@@ -1,0 +1,246 @@
+//! Optimized sequential scan (Algorithm 1; the SSH / SSE rows of Table 3).
+//!
+//! The scan walks the row-major matrix once, computes the exact score of
+//! every vector against the query and keeps the k best in a bounded heap.
+//! [`sequential_scan_early_abandon`] is the "more sophisticated approach"
+//! of footnote 6 — the partial score of a vector is checked against the
+//! current k-th best every few dimensions and the vector is abandoned when
+//! it can no longer qualify. The paper found this variant *slower* on
+//! average because of the comparison overhead and its inability to choose a
+//! good dimension order; both observations can be reproduced with the
+//! benchmark harness.
+
+use bond_metrics::{DecomposableMetric, Objective};
+use vdstore::topk::Scored;
+use vdstore::{RowMatrix, TopKLargest, TopKSmallest};
+
+/// The outcome of a sequential scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanResult {
+    /// The k best rows, best first.
+    pub hits: Vec<Scored>,
+    /// Number of vectors whose score was (at least partially) computed.
+    pub vectors_scanned: usize,
+    /// Total number of per-dimension contribution evaluations performed —
+    /// the CPU-work measure the paper's "avoided work" argument is about.
+    pub dims_touched: usize,
+}
+
+/// Scans all vectors, computing full scores (SSH when `metric` is histogram
+/// intersection, SSE when it is squared Euclidean distance).
+///
+/// # Panics
+/// Panics if `k` is zero or the query dimensionality differs from the data.
+pub fn sequential_scan(
+    data: &RowMatrix,
+    query: &[f64],
+    k: usize,
+    metric: &dyn DecomposableMetric,
+) -> ScanResult {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(query.len(), data.dims(), "query dimensionality mismatch");
+    let dims = data.dims();
+    match metric.objective() {
+        Objective::Maximize => {
+            let mut heap = TopKLargest::new(k);
+            for (row, v) in data.iter() {
+                heap.push(row, metric.score(v, query));
+            }
+            ScanResult {
+                hits: heap.into_sorted_vec(),
+                vectors_scanned: data.rows(),
+                dims_touched: data.rows() * dims,
+            }
+        }
+        Objective::Minimize => {
+            let mut heap = TopKSmallest::new(k);
+            for (row, v) in data.iter() {
+                heap.push(row, metric.score(v, query));
+            }
+            ScanResult {
+                hits: heap.into_sorted_vec(),
+                vectors_scanned: data.rows(),
+                dims_touched: data.rows() * dims,
+            }
+        }
+    }
+}
+
+/// Sequential scan that abandons a vector as soon as its partial score can
+/// no longer reach the current k-th best (footnote 6 of the paper).
+///
+/// For a similarity metric the abandonment test needs an optimistic bound on
+/// the remaining contribution; for histogram intersection that is the
+/// remaining query mass, and in general the per-dimension maximum possible
+/// contribution is supplied by `max_remaining_contribution`, evaluated on
+/// suffix sums of the query. The check is performed every `check_every`
+/// dimensions.
+pub fn sequential_scan_early_abandon(
+    data: &RowMatrix,
+    query: &[f64],
+    k: usize,
+    metric: &dyn DecomposableMetric,
+    check_every: usize,
+) -> ScanResult {
+    assert!(k > 0, "k must be positive");
+    assert!(check_every > 0, "check_every must be positive");
+    assert_eq!(query.len(), data.dims(), "query dimensionality mismatch");
+    let dims = data.dims();
+    // Optimistic remaining contribution after having processed dims [0, d):
+    // for Maximize, the most a vector could still add; for Minimize, zero
+    // (distance only grows), so the partial score itself is the bound.
+    let optimistic_suffix: Vec<f64> = match metric.objective() {
+        Objective::Maximize => {
+            // suffix sums of the per-dimension maximum contribution, using
+            // the query value itself as the per-dimension cap, which is
+            // correct for histogram intersection (min(h, q) ≤ q) and safe
+            // for any metric whose contribution is bounded by q.
+            let mut suffix = vec![0.0; dims + 1];
+            for d in (0..dims).rev() {
+                suffix[d] = suffix[d + 1] + query[d];
+            }
+            suffix
+        }
+        Objective::Minimize => vec![0.0; dims + 1],
+    };
+
+    let mut dims_touched = 0usize;
+    match metric.objective() {
+        Objective::Maximize => {
+            let mut heap = TopKLargest::new(k);
+            for (row, v) in data.iter() {
+                let mut partial = 0.0;
+                let mut abandoned = false;
+                for d in 0..dims {
+                    partial += metric.contribution(d, v[d], query[d]);
+                    dims_touched += 1;
+                    if (d + 1) % check_every == 0 {
+                        if let Some(kth) = heap.kth() {
+                            if partial + optimistic_suffix[d + 1] < kth {
+                                abandoned = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if !abandoned {
+                    heap.push(row, partial);
+                }
+            }
+            ScanResult { hits: heap.into_sorted_vec(), vectors_scanned: data.rows(), dims_touched }
+        }
+        Objective::Minimize => {
+            let mut heap = TopKSmallest::new(k);
+            for (row, v) in data.iter() {
+                let mut partial = 0.0;
+                let mut abandoned = false;
+                for d in 0..dims {
+                    partial += metric.contribution(d, v[d], query[d]);
+                    dims_touched += 1;
+                    if (d + 1) % check_every == 0 {
+                        if let Some(kth) = heap.kth() {
+                            if partial > kth {
+                                abandoned = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if !abandoned {
+                    heap.push(row, partial);
+                }
+            }
+            ScanResult { hits: heap.into_sorted_vec(), vectors_scanned: data.rows(), dims_touched }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bond_metrics::{HistogramIntersection, SquaredEuclidean};
+
+    fn sample_matrix() -> RowMatrix {
+        RowMatrix::from_vectors(&[
+            vec![0.1, 0.3, 0.4, 0.2],
+            vec![0.05, 0.05, 0.9, 0.0],
+            vec![0.8, 0.1, 0.05, 0.05],
+            vec![0.2, 0.6, 0.1, 0.1],
+            vec![0.7, 0.15, 0.15, 0.0],
+            vec![0.925, 0.0, 0.0, 0.075],
+            vec![0.55, 0.2, 0.15, 0.1],
+            vec![0.05, 0.1, 0.05, 0.8],
+            vec![0.45, 0.5, 0.05, 0.05],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn ssh_finds_paper_example_top3() {
+        let q = [0.7, 0.15, 0.1, 0.05];
+        let data = sample_matrix();
+        let result = sequential_scan(&data, &q, 3, &HistogramIntersection);
+        let mut rows: Vec<u32> = result.hits.iter().map(|s| s.row).collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![2, 4, 6], "top 3 are h3, h5, h7");
+        assert_eq!(result.vectors_scanned, 9);
+        assert_eq!(result.dims_touched, 36);
+        // best first
+        assert!(result.hits[0].score >= result.hits[1].score);
+    }
+
+    #[test]
+    fn sse_finds_nearest_by_distance() {
+        let q = [0.7, 0.15, 0.1, 0.05];
+        let data = sample_matrix();
+        let result = sequential_scan(&data, &q, 1, &SquaredEuclidean);
+        // h5 = (0.7, 0.15, 0.15, 0.0) is the closest to q
+        assert_eq!(result.hits[0].row, 4);
+    }
+
+    #[test]
+    fn early_abandon_returns_same_top_k() {
+        let q = [0.7, 0.15, 0.1, 0.05];
+        let data = sample_matrix();
+        for k in [1, 3, 5] {
+            for metric in [&HistogramIntersection as &dyn DecomposableMetric, &SquaredEuclidean] {
+                let full = sequential_scan(&data, &q, k, metric);
+                let abandoning = sequential_scan_early_abandon(&data, &q, k, metric, 2);
+                let rows = |r: &ScanResult| {
+                    let mut v: Vec<u32> = r.hits.iter().map(|s| s.row).collect();
+                    v.sort_unstable();
+                    v
+                };
+                assert_eq!(rows(&full), rows(&abandoning), "k={k}");
+                assert!(abandoning.dims_touched <= full.dims_touched);
+            }
+        }
+    }
+
+    #[test]
+    fn early_abandon_skips_work_on_easy_data() {
+        // one perfect match plus many hopeless vectors: after the heap is
+        // warm, hopeless vectors are abandoned early
+        let mut vectors = vec![vec![1.0, 0.0, 0.0, 0.0]; 3];
+        vectors.extend(vec![vec![0.0, 0.0, 0.0, 1.0]; 50]);
+        let data = RowMatrix::from_vectors(&vectors).unwrap();
+        let q = [1.0, 0.0, 0.0, 0.0];
+        let result = sequential_scan_early_abandon(&data, &q, 1, &HistogramIntersection, 1);
+        assert!(result.dims_touched < data.rows() * data.dims());
+        assert_eq!(result.hits[0].score, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let data = sample_matrix();
+        let _ = sequential_scan(&data, &[0.25; 4], 0, &HistogramIntersection);
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimensionality mismatch")]
+    fn wrong_query_dims_panics() {
+        let data = sample_matrix();
+        let _ = sequential_scan(&data, &[0.5; 3], 1, &HistogramIntersection);
+    }
+}

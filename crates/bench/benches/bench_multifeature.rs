@@ -1,0 +1,93 @@
+//! Criterion bench for the Section 8.2 experiment: synchronized
+//! multi-feature BOND search vs. per-feature search plus stream merging.
+
+use bond::{
+    BlockSchedule, BondParams, BondSearcher, DimensionOrdering, FeatureMetricKind, FeatureQuery,
+    MultiFeatureSearcher,
+};
+use bond_baselines::{merge_streams, RankedStream};
+use bond_bench::{workloads, ExperimentScale};
+use bond_metrics::{DecomposableMetric, SquaredEuclidean, WeightedAverage};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vdstore::topk::Scored;
+
+fn bench_multifeature(c: &mut Criterion) {
+    let scale = ExperimentScale::Small;
+    let color = workloads::clustered_feature(scale, 64, 0xC0105);
+    let texture = workloads::clustered_feature(scale, 128, 0x7E97);
+    let color_queries = workloads::queries(&color, scale);
+    let texture_queries = workloads::queries(&texture, scale);
+    let k = 10;
+    let aggregate = WeightedAverage::uniform(2).unwrap();
+
+    let searcher = MultiFeatureSearcher::new(vec![&color, &texture]).unwrap();
+    let color_searcher = BondSearcher::new(&color);
+    let texture_searcher = BondSearcher::new(&texture);
+    let _ = (color_searcher.row_sums(), texture_searcher.row_sums());
+    let params = BondParams {
+        schedule: BlockSchedule::Fixed(8),
+        ordering: DimensionOrdering::QueryValueDescending,
+        ..BondParams::default()
+    };
+
+    let mut group = c.benchmark_group("multifeature");
+    group.bench_function("synchronized_bond", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let idx = i % color_queries.len();
+            i += 1;
+            let queries = vec![
+                FeatureQuery {
+                    query: color_queries[idx].clone(),
+                    metric: FeatureMetricKind::Euclidean,
+                },
+                FeatureQuery {
+                    query: texture_queries[idx].clone(),
+                    metric: FeatureMetricKind::Euclidean,
+                },
+            ];
+            black_box(searcher.search(&queries, &aggregate, k, BlockSchedule::Fixed(8)).unwrap());
+        })
+    });
+    group.bench_function("stream_merging_depth_4k", |b| {
+        // the baseline with a generous (4·k) per-stream depth
+        let depth = 4 * k;
+        let mut i = 0;
+        b.iter(|| {
+            let idx = i % color_queries.len();
+            i += 1;
+            let cq = &color_queries[idx];
+            let tq = &texture_queries[idx];
+            let stream = |searcher: &BondSearcher<'_>, q: &[f64], dims: usize| {
+                let outcome = searcher.euclidean_ev(q, depth, &params).unwrap();
+                RankedStream::new(
+                    outcome
+                        .hits
+                        .into_iter()
+                        .map(|h| Scored {
+                            row: h.row,
+                            score: SquaredEuclidean::similarity_from_distance(h.score, dims),
+                        })
+                        .collect(),
+                )
+            };
+            let color_stream = stream(&color_searcher, cq, color.dims());
+            let texture_stream = stream(&texture_searcher, tq, texture.dims());
+            let ra = |f: usize, row: u32| -> f64 {
+                let (table, q) = if f == 0 { (&color, cq) } else { (&texture, tq) };
+                let d = SquaredEuclidean.score(&table.row(row).unwrap(), q);
+                SquaredEuclidean::similarity_from_distance(d, table.dims())
+            };
+            black_box(merge_streams(&[color_stream, texture_stream], &ra, &aggregate, k));
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_multifeature
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion bench for Table 3: per-query response time of BOND (Hq, Hh,
+//! Ev) against the sequential-scan baselines (SSH, SSE) on the Corel-like
+//! histogram workload.
+
+use bond::{BlockSchedule, BondParams, BondSearcher, DimensionOrdering};
+use bond_baselines::sequential_scan;
+use bond_bench::{workloads, ExperimentScale};
+use bond_metrics::{HistogramIntersection, SquaredEuclidean};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let scale = ExperimentScale::Small;
+    let table = workloads::corel(scale);
+    let matrix = table.to_row_matrix();
+    let queries = workloads::queries(&table, scale);
+    let searcher = BondSearcher::new(&table);
+    let _ = searcher.row_sums();
+    let params = BondParams {
+        schedule: BlockSchedule::Fixed(8),
+        ordering: DimensionOrdering::QueryValueDescending,
+        ..BondParams::default()
+    };
+    let k = 10;
+
+    let mut group = c.benchmark_group("table3");
+    group.bench_function("bond_hq", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(searcher.histogram_intersection_hq(q, k, &params).unwrap());
+        })
+    });
+    group.bench_function("bond_hh", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(searcher.histogram_intersection_hh(q, k, &params).unwrap());
+        })
+    });
+    group.bench_function("bond_ev", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(searcher.euclidean_ev(q, k, &params).unwrap());
+        })
+    });
+    group.bench_function("seqscan_ssh", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(sequential_scan(&matrix, q, k, &HistogramIntersection));
+        })
+    });
+    group.bench_function("seqscan_sse", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(sequential_scan(&matrix, q, k, &SquaredEuclidean));
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table3
+}
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Ablations of BOND's own design choices (Section 5 / Section 6.1).
+//!
+//! These do not correspond to a numbered figure of the paper but to design
+//! decisions its text discusses qualitatively: the block size `m`, the
+//! bitmap-to-materialised-candidate-list switch, and whether Hh's extra
+//! bookkeeping pays for its better pruning.
+
+use std::time::Instant;
+
+use bond::{BlockSchedule, BondParams, BondSearcher, DimensionOrdering};
+
+use crate::{workloads, ExperimentScale};
+
+/// One measurement of an ablation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationPoint {
+    /// The configuration being measured (e.g. "m = 8").
+    pub configuration: String,
+    /// Mean response time per query in milliseconds.
+    pub avg_ms: f64,
+    /// Mean number of per-dimension contribution evaluations per query.
+    pub avg_contributions: f64,
+}
+
+fn run_sweep(
+    scale: ExperimentScale,
+    configurations: Vec<(String, BondParams, bool)>,
+) -> Vec<AblationPoint> {
+    let table = workloads::corel(scale);
+    let queries = workloads::queries(&table, scale);
+    let searcher = BondSearcher::new(&table);
+    let _ = searcher.row_sums();
+    let k = 10;
+    configurations
+        .into_iter()
+        .map(|(configuration, params, use_hh)| {
+            let mut total_ms = 0.0;
+            let mut total_contributions = 0u64;
+            for q in &queries {
+                let start = Instant::now();
+                let outcome = if use_hh {
+                    searcher.histogram_intersection_hh(q, k, &params)
+                } else {
+                    searcher.histogram_intersection_hq(q, k, &params)
+                }
+                .expect("search succeeds");
+                total_ms += start.elapsed().as_secs_f64() * 1000.0;
+                total_contributions += outcome.trace.contributions_evaluated;
+            }
+            let n = queries.len() as f64;
+            AblationPoint {
+                configuration,
+                avg_ms: total_ms / n,
+                avg_contributions: total_contributions as f64 / n,
+            }
+        })
+        .collect()
+}
+
+/// Sweep of the block size `m` (Section 5.2): smaller blocks prune earlier
+/// but pay the κ computation more often.
+pub fn ablation_m(scale: ExperimentScale) -> Vec<AblationPoint> {
+    let configurations = [2usize, 4, 8, 16, 32, 64]
+        .iter()
+        .map(|&m| {
+            (
+                format!("m = {m}"),
+                BondParams {
+                    schedule: BlockSchedule::Fixed(m),
+                    ordering: DimensionOrdering::QueryValueDescending,
+                    ..BondParams::default()
+                },
+                false,
+            )
+        })
+        .collect();
+    run_sweep(scale, configurations)
+}
+
+/// Sweep of the bitmap-to-list switch threshold (Section 6.1): `0.0` never
+/// materialises the candidate list, `1.0` materialises it after the first
+/// pruning attempt.
+pub fn ablation_bitmap(scale: ExperimentScale) -> Vec<AblationPoint> {
+    let configurations = [0.0f64, 0.01, 0.05, 0.25, 1.0]
+        .iter()
+        .map(|&threshold| {
+            (
+                format!("switch at density {threshold}"),
+                BondParams {
+                    schedule: BlockSchedule::Fixed(8),
+                    ordering: DimensionOrdering::QueryValueDescending,
+                    materialize_threshold: threshold,
+                    ..BondParams::default()
+                },
+                false,
+            )
+        })
+        .collect();
+    run_sweep(scale, configurations)
+}
+
+/// Hq vs. Hh (Section 7.1 / Table 3): does the extra `T(h⁻)` bookkeeping pay
+/// for the better pruning?
+pub fn ablation_hh(scale: ExperimentScale) -> Vec<AblationPoint> {
+    let params = BondParams {
+        schedule: BlockSchedule::Fixed(8),
+        ordering: DimensionOrdering::QueryValueDescending,
+        ..BondParams::default()
+    };
+    run_sweep(
+        scale,
+        vec![
+            ("Hq (no bookkeeping)".to_string(), params.clone(), false),
+            ("Hh (tracks T(h-))".to_string(), params, true),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m_sweep_produces_all_points() {
+        let points = ablation_m(ExperimentScale::Small);
+        assert_eq!(points.len(), 6);
+        for p in &points {
+            assert!(p.avg_ms >= 0.0);
+            assert!(p.avg_contributions > 0.0);
+        }
+        // tiny blocks and huge blocks should both do more contribution work
+        // than the paper's m = 8 sweet spot... at minimum, a single huge
+        // block (m = 64) must evaluate more contributions than m = 8.
+        let by = |cfg: &str| points.iter().find(|p| p.configuration == cfg).unwrap().clone();
+        assert!(by("m = 64").avg_contributions >= by("m = 8").avg_contributions);
+    }
+
+    #[test]
+    fn bitmap_sweep_and_hh_comparison_run() {
+        let bitmap = ablation_bitmap(ExperimentScale::Small);
+        assert_eq!(bitmap.len(), 5);
+        let hh = ablation_hh(ExperimentScale::Small);
+        assert_eq!(hh.len(), 2);
+        // Hh never evaluates more contributions than Hq (it prunes at least
+        // as aggressively)
+        assert!(hh[1].avg_contributions <= hh[0].avg_contributions * 1.05);
+    }
+}

@@ -1,0 +1,183 @@
+//! The multi-feature experiment of Section 8.2: synchronized BOND search in
+//! two feature collections vs. per-feature search followed by stream
+//! merging. The paper reports synchronized search to be ~20 % faster for the
+//! `average` aggregate and ~70 % faster for the `min` aggregate, granting
+//! the stream-merging baseline the (unknowable in practice) optimal
+//! per-stream depth; this harness reproduces that protocol.
+
+use std::time::Instant;
+
+use bond::{
+    BlockSchedule, BondParams, BondSearcher, DimensionOrdering, FeatureMetricKind, FeatureQuery,
+    MultiFeatureSearcher,
+};
+use bond_baselines::{merge_streams, RankedStream};
+use bond_metrics::{FuzzyMin, ScoreAggregate, SquaredEuclidean, WeightedAverage};
+use bond_metrics::DecomposableMetric;
+use vdstore::topk::Scored;
+use vdstore::DecomposedTable;
+
+use crate::{workloads, ExperimentScale};
+
+/// Result of one aggregate's comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiFeatureComparison {
+    /// Aggregate name ("average" or "min").
+    pub aggregate: String,
+    /// Mean synchronized-search time per query (ms).
+    pub synchronized_ms: f64,
+    /// Mean stream-merging time per query (ms), including the per-feature
+    /// searches at the optimal depth.
+    pub stream_merge_ms: f64,
+    /// The optimal per-stream depth granted to the baseline.
+    pub optimal_stream_depth: usize,
+    /// Whether both methods returned identical top-k sets for every query.
+    pub results_agree: bool,
+}
+
+/// Runs the Section 8.2 experiment for both aggregates.
+pub fn sec82(scale: ExperimentScale) -> Vec<MultiFeatureComparison> {
+    let color = workloads::clustered_feature(scale, 64, 0xC0105);
+    let texture = workloads::clustered_feature(scale, 128, 0x7E97);
+    let queries = workloads::queries(&color, scale);
+    let texture_queries = workloads::queries(&texture, scale);
+    let k = 10;
+
+    let average = WeightedAverage::uniform(2).expect("two features");
+    let min = FuzzyMin;
+    vec![
+        compare(&color, &texture, &queries, &texture_queries, &average, "average", k),
+        compare(&color, &texture, &queries, &texture_queries, &min, "min", k),
+    ]
+}
+
+fn similarity_of(table: &DecomposedTable, row: u32, query: &[f64]) -> f64 {
+    let d = SquaredEuclidean.score(&table.row(row).expect("row in range"), query);
+    SquaredEuclidean::similarity_from_distance(d, table.dims())
+}
+
+fn topk_rows(hits: &[Scored]) -> Vec<u32> {
+    let mut rows: Vec<u32> = hits.iter().map(|h| h.row).collect();
+    rows.sort_unstable();
+    rows
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compare(
+    color: &DecomposedTable,
+    texture: &DecomposedTable,
+    color_queries: &[Vec<f64>],
+    texture_queries: &[Vec<f64>],
+    aggregate: &dyn ScoreAggregate,
+    label: &str,
+    k: usize,
+) -> MultiFeatureComparison {
+    let searcher = MultiFeatureSearcher::new(vec![color, texture]).expect("same row space");
+    let color_searcher = BondSearcher::new(color);
+    let texture_searcher = BondSearcher::new(texture);
+    let params = BondParams {
+        schedule: BlockSchedule::Fixed(8),
+        ordering: DimensionOrdering::QueryValueDescending,
+        ..BondParams::default()
+    };
+
+    let mut sync_total = 0.0;
+    let mut merge_total = 0.0;
+    let mut max_depth = 0usize;
+    let mut agree = true;
+
+    for (cq, tq) in color_queries.iter().zip(texture_queries) {
+        // --- synchronized BOND search ---
+        let feature_queries = vec![
+            FeatureQuery { query: cq.clone(), metric: FeatureMetricKind::Euclidean },
+            FeatureQuery { query: tq.clone(), metric: FeatureMetricKind::Euclidean },
+        ];
+        let start = Instant::now();
+        let sync = searcher
+            .search(&feature_queries, aggregate, k, BlockSchedule::Fixed(8))
+            .expect("synchronized search succeeds");
+        sync_total += start.elapsed().as_secs_f64() * 1000.0;
+        let sync_rows = topk_rows(&sync.hits);
+
+        // --- stream merging at the optimal depth ---
+        // Find the smallest per-stream depth that lets the merge terminate
+        // correctly (the paper grants the baseline this optimum), then time
+        // the whole baseline pipeline at exactly that depth.
+        let mut depth = k.max(8);
+        let (merge_ms, merge_rows, used_depth) = loop {
+            let start = Instant::now();
+            let color_stream = ranked_stream(&color_searcher, cq, depth, &params, color.dims());
+            let texture_stream =
+                ranked_stream(&texture_searcher, tq, depth, &params, texture.dims());
+            let ra = |f: usize, row: u32| -> f64 {
+                if f == 0 {
+                    similarity_of(color, row, cq)
+                } else {
+                    similarity_of(texture, row, tq)
+                }
+            };
+            let merged = merge_streams(&[color_stream, texture_stream], &ra, aggregate, k);
+            let elapsed = start.elapsed().as_secs_f64() * 1000.0;
+            if merged.complete || depth >= color.rows() {
+                break (elapsed, topk_rows(&merged.hits), depth);
+            }
+            depth = (depth * 2).min(color.rows());
+        };
+        merge_total += merge_ms;
+        max_depth = max_depth.max(used_depth);
+        if sync_rows != merge_rows {
+            agree = false;
+        }
+    }
+    let n = color_queries.len() as f64;
+    MultiFeatureComparison {
+        aggregate: label.to_string(),
+        synchronized_ms: sync_total / n,
+        stream_merge_ms: merge_total / n,
+        optimal_stream_depth: max_depth,
+        results_agree: agree,
+    }
+}
+
+/// A per-feature ranked stream of the `depth` most similar objects, produced
+/// by a BOND Ev search in that feature collection (similarities on the
+/// Equation 3 scale).
+fn ranked_stream(
+    searcher: &BondSearcher<'_>,
+    query: &[f64],
+    depth: usize,
+    params: &BondParams,
+    dims: usize,
+) -> RankedStream {
+    let depth = depth.min(searcher.table().rows());
+    let outcome = searcher.euclidean_ev(query, depth, params).expect("per-feature search succeeds");
+    RankedStream::new(
+        outcome
+            .hits
+            .into_iter()
+            .map(|h| Scored {
+                row: h.row,
+                score: SquaredEuclidean::similarity_from_distance(h.score, dims),
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronized_and_merged_results_agree() {
+        let results = sec82(ExperimentScale::Small);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.results_agree, "{} results diverged", r.aggregate);
+            assert!(r.synchronized_ms > 0.0);
+            assert!(r.stream_merge_ms > 0.0);
+            assert!(r.optimal_stream_depth >= 10);
+        }
+        assert_eq!(results[0].aggregate, "average");
+        assert_eq!(results[1].aggregate, "min");
+    }
+}

@@ -1,0 +1,85 @@
+//! Shared datasets and query sets.
+
+use bond_datagen::{sample_queries, ClusteredConfig, CorelLikeConfig};
+use vdstore::DecomposedTable;
+
+use crate::ExperimentScale;
+
+/// The Corel-like histogram collection at the standard 166-bin
+/// dimensionality (Section 7.1's dataset).
+pub fn corel(scale: ExperimentScale) -> DecomposedTable {
+    CorelLikeConfig { vectors: scale.corel_vectors(), dims: 166, ..CorelLikeConfig::default() }
+        .generate()
+}
+
+/// The Corel-like collection at an arbitrary dimensionality (Figure 8 uses
+/// 26, 52, 166 and 260 bins).
+pub fn corel_with_dims(scale: ExperimentScale, dims: usize) -> DecomposedTable {
+    CorelLikeConfig { vectors: scale.corel_vectors(), dims, ..CorelLikeConfig::default() }
+        .with_dims(dims)
+        .generate()
+}
+
+/// The clustered dataset of Section 7.5 for a given center skew θ.
+pub fn clustered(scale: ExperimentScale, theta: f64) -> DecomposedTable {
+    ClusteredConfig {
+        vectors: scale.clustered_vectors(),
+        dims: 128,
+        clusters: 1000.min(scale.clustered_vectors() / 20).max(4),
+        theta,
+        ..ClusteredConfig::default()
+    }
+    .generate()
+}
+
+/// A clustered feature collection with arbitrary dimensionality (Section 8.2
+/// uses 64- and 128-dimensional feature sets).
+pub fn clustered_feature(scale: ExperimentScale, dims: usize, seed: u64) -> DecomposedTable {
+    ClusteredConfig {
+        vectors: scale.clustered_vectors(),
+        dims,
+        clusters: 1000.min(scale.clustered_vectors() / 20).max(4),
+        theta: 1.0,
+        seed,
+        ..ClusteredConfig::default()
+    }
+    .generate()
+}
+
+/// The query workload: `scale.queries()` vectors sampled from the collection
+/// (the paper's protocol).
+pub fn queries(table: &DecomposedTable, scale: ExperimentScale) -> Vec<Vec<f64>> {
+    sample_queries(table, scale.queries(), 0x5EED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corel_workload_shape() {
+        let t = corel(ExperimentScale::Small);
+        assert_eq!(t.dims(), 166);
+        assert_eq!(t.rows(), 2000);
+        let q = queries(&t, ExperimentScale::Small);
+        assert_eq!(q.len(), 10);
+        assert_eq!(q[0].len(), 166);
+    }
+
+    #[test]
+    fn dimensionality_sweep_shapes() {
+        for dims in [26, 52] {
+            let t = corel_with_dims(ExperimentScale::Small, dims);
+            assert_eq!(t.dims(), dims);
+        }
+    }
+
+    #[test]
+    fn clustered_workload_shape() {
+        let t = clustered(ExperimentScale::Small, 0.5);
+        assert_eq!(t.dims(), 128);
+        assert_eq!(t.rows(), 2000);
+        let f = clustered_feature(ExperimentScale::Small, 64, 7);
+        assert_eq!(f.dims(), 64);
+    }
+}

@@ -1,0 +1,168 @@
+//! Candidate-set representations.
+//!
+//! Section 6.1: while selectivity is still low, materialising the surviving
+//! candidates into new base tables would copy most of the collection, so the
+//! early iterations represent the candidate set as a *bitmap* over the dense
+//! row ids; once the set has shrunk enough, the engine switches to an
+//! explicit row-id list ("the 'standard' positional joins approach,
+//! resulting in much smaller base tables for the subsequent iterations").
+//! [`CandidateSet`] encapsulates both phases behind one interface and
+//! performs the switch automatically.
+
+use vdstore::{Bitmap, RowId};
+
+/// The evolving candidate set of a BOND search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CandidateSet {
+    /// Early phase: a bitmap over all row ids.
+    Bits(Bitmap),
+    /// Late phase: an explicit, ascending list of surviving row ids.
+    List(Vec<RowId>),
+}
+
+impl CandidateSet {
+    /// Starts from the given live-row bitmap (all non-deleted rows, possibly
+    /// pre-filtered by another predicate as Section 6.1 suggests).
+    pub fn from_bitmap(live: Bitmap) -> Self {
+        CandidateSet::Bits(live)
+    }
+
+    /// Starts with every row of an `rows`-row table alive.
+    pub fn all(rows: usize) -> Self {
+        CandidateSet::Bits(Bitmap::full(rows))
+    }
+
+    /// Number of surviving candidates.
+    pub fn len(&self) -> usize {
+        match self {
+            CandidateSet::Bits(b) => b.count(),
+            CandidateSet::List(l) => l.len(),
+        }
+    }
+
+    /// Whether no candidates survive.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the set is still in the bitmap phase.
+    pub fn is_bitmap(&self) -> bool {
+        matches!(self, CandidateSet::Bits(_))
+    }
+
+    /// Calls `f` for every surviving row id, in ascending order.
+    pub fn for_each(&self, mut f: impl FnMut(RowId)) {
+        match self {
+            CandidateSet::Bits(b) => {
+                for row in b.iter() {
+                    f(row);
+                }
+            }
+            CandidateSet::List(l) => {
+                for &row in l {
+                    f(row);
+                }
+            }
+        }
+    }
+
+    /// Retains only the rows for which `keep` returns `true`; returns the
+    /// number of rows removed.
+    pub fn retain(&mut self, mut keep: impl FnMut(RowId) -> bool) -> usize {
+        match self {
+            CandidateSet::Bits(b) => {
+                let mut removed = 0;
+                let doomed: Vec<RowId> = b.iter().filter(|&r| !keep(r)).collect();
+                for r in doomed {
+                    b.clear(r);
+                    removed += 1;
+                }
+                removed
+            }
+            CandidateSet::List(l) => {
+                let before = l.len();
+                l.retain(|&r| keep(r));
+                before - l.len()
+            }
+        }
+    }
+
+    /// Materialises the bitmap into an explicit row list if the surviving
+    /// fraction has dropped below `threshold` (a no-op in the list phase).
+    /// Returns `true` if a switch happened.
+    pub fn maybe_materialize(&mut self, threshold: f64) -> bool {
+        if let CandidateSet::Bits(b) = self {
+            if b.density() <= threshold {
+                let list = b.to_rows();
+                *self = CandidateSet::List(list);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The surviving row ids as a vector (ascending).
+    pub fn to_rows(&self) -> Vec<RowId> {
+        match self {
+            CandidateSet::Bits(b) => b.to_rows(),
+            CandidateSet::List(l) => l.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_and_len() {
+        let c = CandidateSet::all(100);
+        assert_eq!(c.len(), 100);
+        assert!(c.is_bitmap());
+        assert!(!c.is_empty());
+        assert!(CandidateSet::List(vec![]).is_empty());
+    }
+
+    #[test]
+    fn from_bitmap_respects_prior_predicate() {
+        let live = Bitmap::from_rows(10, &[1, 3, 5]);
+        let c = CandidateSet::from_bitmap(live);
+        assert_eq!(c.to_rows(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn retain_in_both_phases() {
+        let mut c = CandidateSet::all(10);
+        let removed = c.retain(|r| r % 2 == 0);
+        assert_eq!(removed, 5);
+        assert_eq!(c.to_rows(), vec![0, 2, 4, 6, 8]);
+
+        let mut l = CandidateSet::List(vec![0, 2, 4, 6, 8]);
+        let removed = l.retain(|r| r > 3);
+        assert_eq!(removed, 2);
+        assert_eq!(l.to_rows(), vec![4, 6, 8]);
+    }
+
+    #[test]
+    fn for_each_visits_ascending() {
+        let c = CandidateSet::List(vec![2, 5, 9]);
+        let mut seen = Vec::new();
+        c.for_each(|r| seen.push(r));
+        assert_eq!(seen, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn materialization_switch() {
+        let mut c = CandidateSet::all(100);
+        // density 1.0: no switch at threshold 0.2
+        assert!(!c.maybe_materialize(0.2));
+        assert!(c.is_bitmap());
+        c.retain(|r| r < 10);
+        // density 0.1 <= 0.2: switch
+        assert!(c.maybe_materialize(0.2));
+        assert!(!c.is_bitmap());
+        assert_eq!(c.len(), 10);
+        // second call is a no-op
+        assert!(!c.maybe_materialize(0.2));
+    }
+}

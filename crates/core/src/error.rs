@@ -1,0 +1,92 @@
+//! Error type for the BOND engine.
+
+use std::fmt;
+
+use vdstore::VdError;
+
+/// Errors produced by BOND searches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BondError {
+    /// The underlying storage layer reported an error.
+    Storage(VdError),
+    /// `k` is zero or exceeds the number of live rows.
+    InvalidK {
+        /// Requested k.
+        k: usize,
+        /// Live rows available.
+        rows: usize,
+    },
+    /// The query's dimensionality does not match the table.
+    QueryDimensionMismatch {
+        /// Table dimensionality.
+        expected: usize,
+        /// Query dimensionality.
+        actual: usize,
+    },
+    /// The weight vector's dimensionality does not match the table.
+    WeightDimensionMismatch {
+        /// Table dimensionality.
+        expected: usize,
+        /// Weight vector dimensionality.
+        actual: usize,
+    },
+    /// Invalid parameter combination, described in the message.
+    InvalidParams(String),
+}
+
+impl fmt::Display for BondError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BondError::Storage(e) => write!(f, "storage error: {e}"),
+            BondError::InvalidK { k, rows } => {
+                write!(f, "invalid k = {k} for a collection with {rows} live rows")
+            }
+            BondError::QueryDimensionMismatch { expected, actual } => {
+                write!(f, "query has {actual} dimensions, table has {expected}")
+            }
+            BondError::WeightDimensionMismatch { expected, actual } => {
+                write!(f, "weight vector has {actual} dimensions, table has {expected}")
+            }
+            BondError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BondError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BondError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VdError> for BondError {
+    fn from(e: VdError) -> Self {
+        BondError::Storage(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, BondError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = BondError::InvalidK { k: 100, rows: 10 };
+        assert!(e.to_string().contains("k = 100"));
+        let e = BondError::QueryDimensionMismatch { expected: 166, actual: 64 };
+        assert!(e.to_string().contains("166"));
+        let e: BondError = VdError::Empty("columns").into();
+        assert!(matches!(e, BondError::Storage(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = BondError::InvalidParams("bad".into());
+        assert!(std::error::Error::source(&e).is_none());
+        assert!(e.to_string().contains("bad"));
+        let e = BondError::WeightDimensionMismatch { expected: 4, actual: 2 };
+        assert!(e.to_string().contains("weight"));
+    }
+}

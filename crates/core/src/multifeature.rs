@@ -1,0 +1,470 @@
+//! Synchronized multi-feature search (Section 8.2).
+//!
+//! A complex query evaluates several feature collections at once — e.g.
+//! "the k images with the best weighted average of color similarity to A and
+//! texture similarity to B". Instead of running one ranked stream per
+//! feature and merging them (the classical approach, implemented as the
+//! `stream_merge` baseline), BOND treats the union of all feature dimensions
+//! as one large set of dimensions: it scans blocks of the most promising
+//! dimensions across *all* collections simultaneously, maintains per-feature
+//! partial scores, converts the per-feature score bounds to similarity
+//! bounds, combines them through the monotonic aggregate, and prunes on the
+//! combined bounds.
+//!
+//! Every feature collection may use its own metric; Euclidean components are
+//! mapped onto the `[0, 1]` similarity scale with Equation 3 so they can be
+//! aggregated with histogram-intersection components.
+
+use bond_metrics::{
+    CandidateState, DecomposableMetric, EvRule, HhRule, HistogramIntersection, PruningRule,
+    ScoreAggregate, SquaredEuclidean,
+};
+use vdstore::topk::Scored;
+use vdstore::{DecomposedTable, RowId, TopKLargest};
+
+use crate::error::{BondError, Result};
+use crate::schedule::BlockSchedule;
+use crate::trace::{PruneTrace, TraceCheckpoint};
+
+/// Which metric a feature collection is searched with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureMetricKind {
+    /// Histogram intersection (similarity in `[0, 1]`), pruned with Hh.
+    HistogramIntersection,
+    /// Squared Euclidean distance mapped to a similarity with Equation 3,
+    /// pruned with Ev.
+    Euclidean,
+}
+
+/// One component of a multi-feature query.
+#[derive(Debug, Clone)]
+pub struct FeatureQuery {
+    /// The query vector for this feature collection.
+    pub query: Vec<f64>,
+    /// The metric used within this collection.
+    pub metric: FeatureMetricKind,
+}
+
+/// The outcome of a synchronized multi-feature search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiFeatureOutcome {
+    /// The k best rows by aggregate similarity, best first.
+    pub hits: Vec<Scored>,
+    /// Pruning trace over the combined dimension sequence.
+    pub trace: PruneTrace,
+}
+
+/// A synchronized searcher over several feature collections that share the
+/// same row-id space (one row = one object, e.g. one image).
+#[derive(Debug)]
+pub struct MultiFeatureSearcher<'a> {
+    tables: Vec<&'a DecomposedTable>,
+}
+
+struct FeatureState {
+    query: Vec<f64>,
+    kind: FeatureMetricKind,
+    dims: usize,
+    partial: Vec<f64>,
+    scanned_mass: Vec<f64>,
+    total_mass: Vec<f64>,
+    processed: Vec<usize>,
+    remaining: Vec<usize>,
+}
+
+impl FeatureState {
+    fn similarity_bounds(&self, rule: &dyn PruningRule, row: RowId) -> (f64, f64) {
+        let idx = row as usize;
+        let state = CandidateState {
+            partial: self.partial[idx],
+            scanned_mass: self.scanned_mass[idx],
+            total_mass: self.total_mass[idx],
+        };
+        let (lo, hi) = rule.bounds(&state);
+        match self.kind {
+            FeatureMetricKind::HistogramIntersection => (lo, hi),
+            FeatureMetricKind::Euclidean => {
+                // distance bounds -> similarity bounds (Equation 3), order flips
+                let sim_hi = SquaredEuclidean::similarity_from_distance(lo, self.dims);
+                let sim_lo = SquaredEuclidean::similarity_from_distance(hi, self.dims);
+                (sim_lo, sim_hi)
+            }
+        }
+    }
+
+    fn exact_similarity(&self, row: RowId) -> f64 {
+        match self.kind {
+            FeatureMetricKind::HistogramIntersection => self.partial[row as usize],
+            FeatureMetricKind::Euclidean => {
+                SquaredEuclidean::similarity_from_distance(self.partial[row as usize], self.dims)
+            }
+        }
+    }
+}
+
+impl<'a> MultiFeatureSearcher<'a> {
+    /// Creates a searcher over feature collections that all have the same
+    /// number of rows.
+    pub fn new(tables: Vec<&'a DecomposedTable>) -> Result<Self> {
+        let first = tables
+            .first()
+            .ok_or_else(|| BondError::InvalidParams("need at least one feature collection".into()))?;
+        for t in &tables {
+            if t.rows() != first.rows() {
+                return Err(BondError::InvalidParams(format!(
+                    "feature collections must share the row space ({} vs {} rows)",
+                    first.rows(),
+                    t.rows()
+                )));
+            }
+        }
+        Ok(MultiFeatureSearcher { tables })
+    }
+
+    /// Number of objects in the shared row space.
+    pub fn rows(&self) -> usize {
+        self.tables.first().map(|t| t.rows()).unwrap_or(0)
+    }
+
+    /// Runs the synchronized search: the k rows with the largest aggregate
+    /// similarity over all feature components.
+    ///
+    /// `block` dimensions are scanned between pruning attempts (across all
+    /// features combined); the global dimension order interleaves features
+    /// by decreasing query value scaled by the aggregate's sensitivity to
+    /// that feature (its weight for a weighted average, 1 otherwise).
+    pub fn search(
+        &self,
+        queries: &[FeatureQuery],
+        aggregate: &dyn ScoreAggregate,
+        k: usize,
+        schedule: BlockSchedule,
+    ) -> Result<MultiFeatureOutcome> {
+        if queries.len() != self.tables.len() {
+            return Err(BondError::InvalidParams(format!(
+                "{} feature queries supplied for {} collections",
+                queries.len(),
+                self.tables.len()
+            )));
+        }
+        let rows = self.rows();
+        if k == 0 || k > rows {
+            return Err(BondError::InvalidK { k, rows });
+        }
+        for (f, q) in queries.iter().enumerate() {
+            if q.query.len() != self.tables[f].dims() {
+                return Err(BondError::QueryDimensionMismatch {
+                    expected: self.tables[f].dims(),
+                    actual: q.query.len(),
+                });
+            }
+        }
+
+        // Per-feature state and rules.
+        let mut states: Vec<FeatureState> = queries
+            .iter()
+            .enumerate()
+            .map(|(f, q)| {
+                let table = self.tables[f];
+                FeatureState {
+                    query: q.query.clone(),
+                    kind: q.metric,
+                    dims: table.dims(),
+                    partial: vec![0.0; rows],
+                    scanned_mass: vec![0.0; rows],
+                    total_mass: table.row_sums(),
+                    processed: Vec::new(),
+                    remaining: (0..table.dims()).collect(),
+                }
+            })
+            .collect();
+        let mut rules: Vec<Box<dyn PruningRule>> = queries
+            .iter()
+            .map(|q| match q.metric {
+                FeatureMetricKind::HistogramIntersection => Box::new(HhRule::new()) as Box<dyn PruningRule>,
+                FeatureMetricKind::Euclidean => Box::new(EvRule::new()) as Box<dyn PruningRule>,
+            })
+            .collect();
+
+        // Global dimension order: (feature, dim) sorted by decreasing query
+        // value (the per-feature skew heuristic applied to the union).
+        let mut global_order: Vec<(usize, usize)> = Vec::new();
+        for (f, q) in queries.iter().enumerate() {
+            for d in 0..q.query.len() {
+                global_order.push((f, d));
+            }
+        }
+        global_order.sort_by(|&(fa, da), &(fb, db)| {
+            let ka = queries[fa].query[da];
+            let kb = queries[fb].query[db];
+            kb.partial_cmp(&ka).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let total_dims = global_order.len();
+
+        let mut alive: Vec<RowId> = (0..rows as RowId).collect();
+        let mut trace = PruneTrace::default();
+        let hist_metric = HistogramIntersection;
+        let euclid_metric = SquaredEuclidean;
+
+        let mut processed = 0usize;
+        let mut attempts = 0usize;
+        loop {
+            let block = schedule.next_block(processed, total_dims, attempts);
+            if block == 0 {
+                break;
+            }
+            for &(f, d) in &global_order[processed..processed + block] {
+                let column = self.tables[f].column(d)?;
+                let values = column.values();
+                let state = &mut states[f];
+                let q = state.query[d];
+                for &row in &alive {
+                    let v = values[row as usize];
+                    let contribution = match state.kind {
+                        FeatureMetricKind::HistogramIntersection => {
+                            hist_metric.contribution(d, v, q)
+                        }
+                        FeatureMetricKind::Euclidean => euclid_metric.contribution(d, v, q),
+                    };
+                    state.partial[row as usize] += contribution;
+                    state.scanned_mass[row as usize] += v;
+                }
+                state.processed.push(d);
+                state.remaining.retain(|&r| r != d);
+            }
+            trace.contributions_evaluated += (block * alive.len()) as u64;
+            processed += block;
+            trace.dims_accessed = processed;
+
+            if alive.len() <= k {
+                break;
+            }
+
+            // Prepare per-feature rules with their remaining dimensions.
+            for (f, rule) in rules.iter_mut().enumerate() {
+                rule.prepare(&states[f].query, &states[f].remaining);
+            }
+
+            // Global bounds per candidate.
+            let mut lower = Vec::with_capacity(alive.len());
+            let mut upper = Vec::with_capacity(alive.len());
+            let mut feature_lo = vec![0.0; states.len()];
+            let mut feature_hi = vec![0.0; states.len()];
+            for &row in &alive {
+                for (f, state) in states.iter().enumerate() {
+                    let (lo, hi) = state.similarity_bounds(rules[f].as_ref(), row);
+                    feature_lo[f] = lo;
+                    feature_hi[f] = hi;
+                }
+                let (glo, ghi) = aggregate.combine_bounds(&feature_lo, &feature_hi);
+                lower.push(glo);
+                upper.push(ghi);
+            }
+            let mut heap = TopKLargest::new(k);
+            for (i, &row) in alive.iter().enumerate() {
+                heap.push(row, lower[i]);
+            }
+            attempts += 1;
+            trace.pruning_attempts = attempts;
+            let mut pruned_now = 0usize;
+            if let Some(kappa) = heap.kth() {
+                let slack = crate::searcher::prune_slack(kappa);
+                let before = alive.len();
+                let mut idx = 0usize;
+                alive.retain(|_| {
+                    let keep = upper[idx] >= kappa - slack;
+                    idx += 1;
+                    keep
+                });
+                pruned_now = before - alive.len();
+            }
+            trace.checkpoints.push(TraceCheckpoint {
+                dims_processed: processed,
+                candidates: alive.len(),
+                pruned_now,
+            });
+            if alive.len() <= k {
+                break;
+            }
+        }
+
+        // Complete the survivors' exact per-feature scores.
+        if processed < total_dims {
+            for &(f, d) in &global_order[processed..] {
+                let column = self.tables[f].column(d)?;
+                let values = column.values();
+                let state = &mut states[f];
+                let q = state.query[d];
+                for &row in &alive {
+                    let v = values[row as usize];
+                    let contribution = match state.kind {
+                        FeatureMetricKind::HistogramIntersection => {
+                            hist_metric.contribution(d, v, q)
+                        }
+                        FeatureMetricKind::Euclidean => euclid_metric.contribution(d, v, q),
+                    };
+                    state.partial[row as usize] += contribution;
+                }
+            }
+            trace.contributions_evaluated += ((total_dims - processed) * alive.len()) as u64;
+            trace.dims_accessed = total_dims;
+        }
+
+        let mut heap = TopKLargest::new(k);
+        let mut component = vec![0.0; states.len()];
+        for &row in &alive {
+            for (f, state) in states.iter().enumerate() {
+                component[f] = state.exact_similarity(row);
+            }
+            heap.push(row, aggregate.combine(&component));
+        }
+        Ok(MultiFeatureOutcome { hits: heap.into_sorted_vec(), trace })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bond_metrics::{FuzzyMin, WeightedAverage};
+
+    fn color_table() -> DecomposedTable {
+        DecomposedTable::from_vectors(
+            "color",
+            &[
+                vec![0.7, 0.2, 0.1, 0.0],
+                vec![0.1, 0.1, 0.4, 0.4],
+                vec![0.25, 0.25, 0.25, 0.25],
+                vec![0.6, 0.3, 0.05, 0.05],
+                vec![0.0, 0.1, 0.2, 0.7],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn texture_table() -> DecomposedTable {
+        DecomposedTable::from_vectors(
+            "texture",
+            &[
+                vec![0.9, 0.1, 0.3],
+                vec![0.2, 0.8, 0.5],
+                vec![0.5, 0.5, 0.5],
+                vec![0.1, 0.9, 0.6],
+                vec![0.85, 0.15, 0.25],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn brute_force(
+        color_q: &[f64],
+        texture_q: &[f64],
+        aggregate: &dyn ScoreAggregate,
+        k: usize,
+    ) -> Vec<RowId> {
+        let color = color_table();
+        let texture = texture_table();
+        let mut scored: Vec<(RowId, f64)> = (0..color.rows() as RowId)
+            .map(|r| {
+                let c = HistogramIntersection.score(&color.row(r).unwrap(), color_q);
+                let d = SquaredEuclidean.score(&texture.row(r).unwrap(), texture_q);
+                let t = SquaredEuclidean::similarity_from_distance(d, texture.dims());
+                (r, aggregate.combine(&[c, t]))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let mut rows: Vec<RowId> = scored.into_iter().take(k).map(|(r, _)| r).collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    fn run(aggregate: &dyn ScoreAggregate, k: usize) -> Vec<RowId> {
+        let color = color_table();
+        let texture = texture_table();
+        let searcher = MultiFeatureSearcher::new(vec![&color, &texture]).unwrap();
+        let queries = vec![
+            FeatureQuery {
+                query: vec![0.65, 0.25, 0.05, 0.05],
+                metric: FeatureMetricKind::HistogramIntersection,
+            },
+            FeatureQuery { query: vec![0.9, 0.1, 0.3], metric: FeatureMetricKind::Euclidean },
+        ];
+        let outcome = searcher.search(&queries, aggregate, k, BlockSchedule::Fixed(2)).unwrap();
+        let mut rows: Vec<RowId> = outcome.hits.iter().map(|h| h.row).collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    #[test]
+    fn synchronized_search_matches_brute_force_average() {
+        let agg = WeightedAverage::new(vec![0.6, 0.4]).unwrap();
+        for k in [1, 2, 3] {
+            assert_eq!(
+                run(&agg, k),
+                brute_force(&[0.65, 0.25, 0.05, 0.05], &[0.9, 0.1, 0.3], &agg, k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn synchronized_search_matches_brute_force_min() {
+        let agg = FuzzyMin;
+        for k in [1, 2] {
+            assert_eq!(
+                run(&agg, k),
+                brute_force(&[0.65, 0.25, 0.05, 0.05], &[0.9, 0.1, 0.3], &agg, k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let color = color_table();
+        let texture = texture_table();
+        let small = DecomposedTable::from_vectors("s", &[vec![1.0]]).unwrap();
+        assert!(MultiFeatureSearcher::new(vec![]).is_err());
+        assert!(MultiFeatureSearcher::new(vec![&color, &small]).is_err());
+        let searcher = MultiFeatureSearcher::new(vec![&color, &texture]).unwrap();
+        assert_eq!(searcher.rows(), 5);
+        let agg = FuzzyMin;
+        // wrong number of feature queries
+        let one = vec![FeatureQuery {
+            query: vec![0.5; 4],
+            metric: FeatureMetricKind::HistogramIntersection,
+        }];
+        assert!(searcher.search(&one, &agg, 1, BlockSchedule::Fixed(2)).is_err());
+        // wrong query dims
+        let bad = vec![
+            FeatureQuery { query: vec![0.5; 3], metric: FeatureMetricKind::HistogramIntersection },
+            FeatureQuery { query: vec![0.5; 3], metric: FeatureMetricKind::Euclidean },
+        ];
+        assert!(searcher.search(&bad, &agg, 1, BlockSchedule::Fixed(2)).is_err());
+        // bad k
+        let ok = vec![
+            FeatureQuery { query: vec![0.5; 4], metric: FeatureMetricKind::HistogramIntersection },
+            FeatureQuery { query: vec![0.5; 3], metric: FeatureMetricKind::Euclidean },
+        ];
+        assert!(searcher.search(&ok, &agg, 0, BlockSchedule::Fixed(2)).is_err());
+        assert!(searcher.search(&ok, &agg, 100, BlockSchedule::Fixed(2)).is_err());
+    }
+
+    #[test]
+    fn trace_reports_pruning_progress() {
+        let color = color_table();
+        let texture = texture_table();
+        let searcher = MultiFeatureSearcher::new(vec![&color, &texture]).unwrap();
+        let queries = vec![
+            FeatureQuery {
+                query: vec![0.65, 0.25, 0.05, 0.05],
+                metric: FeatureMetricKind::HistogramIntersection,
+            },
+            FeatureQuery { query: vec![0.9, 0.1, 0.3], metric: FeatureMetricKind::Euclidean },
+        ];
+        let agg = WeightedAverage::uniform(2).unwrap();
+        let outcome = searcher.search(&queries, &agg, 1, BlockSchedule::Fixed(2)).unwrap();
+        assert!(!outcome.trace.checkpoints.is_empty());
+        assert!(outcome.trace.dims_accessed <= 7);
+        assert_eq!(outcome.hits.len(), 1);
+    }
+}

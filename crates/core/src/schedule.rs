@@ -1,0 +1,137 @@
+//! Pruning schedules: how many dimensions to scan between pruning attempts
+//! (the parameter `m` of Section 5.2).
+//!
+//! A small block prunes sooner but pays the κ-computation and
+//! candidate-update overhead more often; a large block wastes scans on
+//! vectors that could already have been discarded. The paper uses a fixed
+//! `m = 8` for most experiments and observes that pruning can only start
+//! once the accumulated query mass exceeds 0.5 (for Hq), which motivates the
+//! [`BlockSchedule::WarmupThenFixed`] variant. [`BlockSchedule::Doubling`]
+//! is the adaptive variant the paper lists as an open question.
+
+/// How the dimensions are grouped into scan-then-prune blocks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BlockSchedule {
+    /// Scan `m` dimensions between pruning attempts (the paper's setting;
+    /// `m = 8` in the experiments).
+    Fixed(usize),
+    /// Scan `warmup` dimensions before the first pruning attempt, then `m`
+    /// dimensions per block. Useful because Hq cannot prune anything until
+    /// `T(q⁻) > 0.5` (Section 5.2), so early attempts are wasted work.
+    WarmupThenFixed {
+        /// Dimensions scanned before the first pruning attempt.
+        warmup: usize,
+        /// Dimensions per block afterwards.
+        m: usize,
+    },
+    /// Start with `first` dimensions and double the block size after every
+    /// pruning attempt (bounded exploration of the "adapt m dynamically"
+    /// idea of Section 5.2).
+    Doubling {
+        /// Size of the first block.
+        first: usize,
+    },
+    /// Scan everything in one go — BOND degenerates into a sequential scan
+    /// over decomposed storage (useful as a sanity baseline).
+    SingleBlock,
+}
+
+impl Default for BlockSchedule {
+    fn default() -> Self {
+        BlockSchedule::Fixed(8)
+    }
+}
+
+impl BlockSchedule {
+    /// The number of dimensions to scan in the next block, given how many
+    /// have been processed so far, the total number of dimensions, and how
+    /// many pruning attempts have already happened. Returns 0 when all
+    /// dimensions have been processed.
+    pub fn next_block(&self, processed: usize, total: usize, attempts: usize) -> usize {
+        if processed >= total {
+            return 0;
+        }
+        let remaining = total - processed;
+        let desired = match *self {
+            BlockSchedule::Fixed(m) => m.max(1),
+            BlockSchedule::WarmupThenFixed { warmup, m } => {
+                if processed == 0 {
+                    warmup.max(1)
+                } else {
+                    m.max(1)
+                }
+            }
+            BlockSchedule::Doubling { first } => first.max(1) << attempts.min(20),
+            BlockSchedule::SingleBlock => remaining,
+        };
+        desired.min(remaining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_blocks() {
+        let s = BlockSchedule::Fixed(8);
+        assert_eq!(s.next_block(0, 166, 0), 8);
+        assert_eq!(s.next_block(160, 166, 20), 6);
+        assert_eq!(s.next_block(166, 166, 20), 0);
+        // degenerate m = 0 is clamped to 1
+        assert_eq!(BlockSchedule::Fixed(0).next_block(0, 10, 0), 1);
+    }
+
+    #[test]
+    fn warmup_then_fixed() {
+        let s = BlockSchedule::WarmupThenFixed { warmup: 16, m: 4 };
+        assert_eq!(s.next_block(0, 166, 0), 16);
+        assert_eq!(s.next_block(16, 166, 1), 4);
+        assert_eq!(s.next_block(164, 166, 10), 2);
+    }
+
+    #[test]
+    fn doubling() {
+        let s = BlockSchedule::Doubling { first: 4 };
+        assert_eq!(s.next_block(0, 166, 0), 4);
+        assert_eq!(s.next_block(4, 166, 1), 8);
+        assert_eq!(s.next_block(12, 166, 2), 16);
+        assert_eq!(s.next_block(150, 166, 3), 16);
+        // very large attempt counts must not overflow the shift
+        assert_eq!(s.next_block(0, 166, 1000), 166);
+    }
+
+    #[test]
+    fn single_block_consumes_everything() {
+        let s = BlockSchedule::SingleBlock;
+        assert_eq!(s.next_block(0, 166, 0), 166);
+        assert_eq!(s.next_block(166, 166, 1), 0);
+    }
+
+    #[test]
+    fn default_is_the_paper_setting() {
+        assert_eq!(BlockSchedule::default(), BlockSchedule::Fixed(8));
+    }
+
+    #[test]
+    fn schedule_always_terminates() {
+        for schedule in [
+            BlockSchedule::Fixed(7),
+            BlockSchedule::WarmupThenFixed { warmup: 10, m: 3 },
+            BlockSchedule::Doubling { first: 2 },
+            BlockSchedule::SingleBlock,
+        ] {
+            let total = 131;
+            let mut processed = 0;
+            let mut attempts = 0;
+            while processed < total {
+                let b = schedule.next_block(processed, total, attempts);
+                assert!(b > 0 && b <= total - processed);
+                processed += b;
+                attempts += 1;
+                assert!(attempts < 1000, "schedule did not terminate");
+            }
+            assert_eq!(schedule.next_block(processed, total, attempts), 0);
+        }
+    }
+}

@@ -1,0 +1,548 @@
+//! The BOND search engine (Algorithm 2).
+//!
+//! `BOND(X, k, m)`:
+//!
+//! 1. compute the partial scores `S⁻ = S(X⁻)` over the next block of
+//!    dimensions,
+//! 2. determine the per-candidate bounds `S_max` and `S_min`,
+//! 3. determine κ from the "safe" bounds of the current candidates,
+//! 4. remove every candidate whose optimistic bound cannot reach κ,
+//! 5. repeat with a larger `m` until only `k` candidates remain or all
+//!    dimensions have been processed.
+//!
+//! The engine is generic over the [`PruningRule`] (Hq, Hh, Eq, Ev and their
+//! weighted variants) and the [`DecomposableMetric`]; convenience methods
+//! instantiate the combinations the paper evaluates.
+
+use bond_metrics::{CandidateState, DecomposableMetric, Objective, PruningRule};
+use bond_metrics::{EqRule, EvRule, HhRule, HistogramIntersection, HqRule, SquaredEuclidean};
+use vdstore::topk::Scored;
+use vdstore::{DecomposedTable, RowId, TopKLargest, TopKSmallest};
+
+use crate::candidates::CandidateSet;
+use crate::error::{BondError, Result};
+use crate::ordering::DimensionOrdering;
+use crate::schedule::BlockSchedule;
+use crate::trace::{PruneTrace, TraceCheckpoint};
+
+/// Relative tolerance applied to the pruning comparison. Bounds that are
+/// analytically equal to κ can drift apart by a few ulps (e.g. a candidate
+/// whose lower and upper bound coincide and which itself defines κ); pruning
+/// strictly on `<`/`>` could then discard a true answer. The guard errs on
+/// the side of keeping candidates, which never affects correctness.
+pub(crate) const PRUNE_EPS: f64 = 1e-9;
+
+/// Slack around κ below/above which a candidate is *not* pruned.
+pub(crate) fn prune_slack(kappa: f64) -> f64 {
+    PRUNE_EPS * kappa.abs().max(1.0)
+}
+
+/// Tuning knobs of a BOND search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BondParams {
+    /// How many dimensions to scan between pruning attempts (Section 5.2).
+    pub schedule: BlockSchedule,
+    /// In which order to process the dimensional fragments (Section 5.1).
+    pub ordering: DimensionOrdering,
+    /// Candidate-set density at or below which the bitmap representation is
+    /// materialised into an explicit row list (Section 6.1).
+    pub materialize_threshold: f64,
+    /// Whether the surviving candidates' exact scores are completed over the
+    /// unscanned dimensions before ranking. Disabling this reproduces the
+    /// paper's observation that once `|C| = k` the remaining fragments "need
+    /// not be accessed at all" — the hits are then ranked by their partial
+    /// scores.
+    pub refine_survivors: bool,
+}
+
+impl Default for BondParams {
+    fn default() -> Self {
+        BondParams {
+            schedule: BlockSchedule::default(),
+            ordering: DimensionOrdering::default(),
+            materialize_threshold: 0.05,
+            refine_survivors: true,
+        }
+    }
+}
+
+/// The result of a BOND search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The k best rows, best first. Scores are exact when
+    /// [`BondParams::refine_survivors`] is `true` (the default).
+    pub hits: Vec<Scored>,
+    /// The per-block pruning trace and work counters.
+    pub trace: PruneTrace,
+}
+
+/// A BOND searcher bound to one decomposed table.
+#[derive(Debug)]
+pub struct BondSearcher<'a> {
+    table: &'a DecomposedTable,
+    row_sums: std::sync::OnceLock<Vec<f64>>,
+}
+
+impl<'a> BondSearcher<'a> {
+    /// Creates a searcher over the given table.
+    pub fn new(table: &'a DecomposedTable) -> Self {
+        BondSearcher { table, row_sums: std::sync::OnceLock::new() }
+    }
+
+    /// The table this searcher reads.
+    pub fn table(&self) -> &DecomposedTable {
+        self.table
+    }
+
+    /// The materialised per-row total masses `T(x)` (computed on first use;
+    /// the "extra table" of Section 4.3).
+    pub fn row_sums(&self) -> &[f64] {
+        self.row_sums.get_or_init(|| self.table.row_sums())
+    }
+
+    fn validate(&self, query: &[f64], k: usize) -> Result<()> {
+        if query.len() != self.table.dims() {
+            return Err(BondError::QueryDimensionMismatch {
+                expected: self.table.dims(),
+                actual: query.len(),
+            });
+        }
+        let live = self.table.live_rows();
+        if k == 0 || k > live {
+            return Err(BondError::InvalidK { k, rows: live });
+        }
+        Ok(())
+    }
+
+    /// k-NN under histogram intersection with the query-only criterion Hq.
+    pub fn histogram_intersection_hq(
+        &self,
+        query: &[f64],
+        k: usize,
+        params: &BondParams,
+    ) -> Result<SearchOutcome> {
+        let mut rule = HqRule::new();
+        self.search_with_rule(query, &HistogramIntersection, &mut rule, k, None, params)
+    }
+
+    /// k-NN under histogram intersection with the per-vector criterion Hh.
+    pub fn histogram_intersection_hh(
+        &self,
+        query: &[f64],
+        k: usize,
+        params: &BondParams,
+    ) -> Result<SearchOutcome> {
+        let mut rule = HhRule::new();
+        self.search_with_rule(query, &HistogramIntersection, &mut rule, k, None, params)
+    }
+
+    /// k-NN under squared Euclidean distance with the query-only criterion Eq.
+    pub fn euclidean_eq(&self, query: &[f64], k: usize, params: &BondParams) -> Result<SearchOutcome> {
+        let mut rule = EqRule::new();
+        self.search_with_rule(query, &SquaredEuclidean, &mut rule, k, None, params)
+    }
+
+    /// k-NN under squared Euclidean distance with the per-vector criterion Ev.
+    pub fn euclidean_ev(&self, query: &[f64], k: usize, params: &BondParams) -> Result<SearchOutcome> {
+        let mut rule = EvRule::new();
+        self.search_with_rule(query, &SquaredEuclidean, &mut rule, k, None, params)
+    }
+
+    /// The generic branch-and-bound loop, usable with any metric / rule pair
+    /// whose objectives agree. `weights` only influences the dimension
+    /// ordering (pass the metric's weights for weighted search).
+    pub fn search_with_rule(
+        &self,
+        query: &[f64],
+        metric: &dyn DecomposableMetric,
+        rule: &mut dyn PruningRule,
+        k: usize,
+        weights: Option<&[f64]>,
+        params: &BondParams,
+    ) -> Result<SearchOutcome> {
+        self.validate(query, k)?;
+        if metric.objective() != rule.objective() {
+            return Err(BondError::InvalidParams(format!(
+                "metric {} maximizes/minimizes differently than rule {}",
+                metric.name(),
+                rule.name()
+            )));
+        }
+        let dims = self.table.dims();
+        let rows = self.table.rows();
+        let order = params.ordering.order(query, weights, dims);
+        if !DimensionOrdering::is_valid_permutation(&order, dims) {
+            return Err(BondError::InvalidParams(
+                "dimension ordering is not a permutation of the table's dimensions".into(),
+            ));
+        }
+
+        let requirements = rule.requirements();
+        let total_mass: Option<&[f64]> =
+            if requirements.needs_total_mass { Some(self.row_sums()) } else { None };
+        let mut scanned_mass: Option<Vec<f64>> =
+            if requirements.needs_scanned_mass { Some(vec![0.0; rows]) } else { None };
+
+        let mut partial = vec![0.0f64; rows];
+        let mut candidates = CandidateSet::from_bitmap(self.table.live_bitmap());
+        let mut trace = PruneTrace::default();
+        let objective = metric.objective();
+
+        let mut processed = 0usize;
+        let mut attempts = 0usize;
+        loop {
+            let block = params.schedule.next_block(processed, dims, attempts);
+            if block == 0 {
+                break;
+            }
+            let alive = candidates.len();
+            // Step 1: accumulate the partial scores over this block.
+            for &d in &order[processed..processed + block] {
+                let column = self.table.column(d)?;
+                let values = column.values();
+                let q = query[d];
+                match &mut scanned_mass {
+                    Some(mass) => candidates.for_each(|row| {
+                        let v = values[row as usize];
+                        partial[row as usize] += metric.contribution(d, v, q);
+                        mass[row as usize] += v;
+                    }),
+                    None => candidates.for_each(|row| {
+                        let v = values[row as usize];
+                        partial[row as usize] += metric.contribution(d, v, q);
+                    }),
+                }
+            }
+            trace.contributions_evaluated += (block * alive) as u64;
+            processed += block;
+            trace.dims_accessed = processed;
+
+            if candidates.len() <= k {
+                // Step 5's termination: the candidate set already is the
+                // answer set; no pruning attempt can shrink it further.
+                break;
+            }
+
+            // Steps 2–4: bounds, κ, prune.
+            rule.prepare(query, &order[processed..]);
+            let mut bounds: Vec<(RowId, f64, f64)> = Vec::with_capacity(candidates.len());
+            candidates.for_each(|row| {
+                let idx = row as usize;
+                let state = CandidateState {
+                    partial: partial[idx],
+                    scanned_mass: scanned_mass.as_ref().map_or(0.0, |m| m[idx]),
+                    total_mass: total_mass.map_or(0.0, |t| t[idx]),
+                };
+                let (lo, hi) = rule.bounds(&state);
+                bounds.push((row, lo, hi));
+            });
+            let kappa = match objective {
+                Objective::Maximize => {
+                    // κ_min: the k-th largest lower bound
+                    let mut heap = TopKLargest::new(k);
+                    for &(row, lo, _) in &bounds {
+                        heap.push(row, lo);
+                    }
+                    heap.kth()
+                }
+                Objective::Minimize => {
+                    // κ_max: the k-th smallest upper bound
+                    let mut heap = TopKSmallest::new(k);
+                    for &(row, _, hi) in &bounds {
+                        heap.push(row, hi);
+                    }
+                    heap.kth()
+                }
+            };
+            attempts += 1;
+            trace.pruning_attempts = attempts;
+            let mut pruned_now = 0usize;
+            if let Some(kappa) = kappa {
+                let slack = prune_slack(kappa);
+                let mut doomed: Vec<RowId> = Vec::new();
+                for &(row, lo, hi) in &bounds {
+                    let prune = match objective {
+                        Objective::Maximize => hi < kappa - slack,
+                        Objective::Minimize => lo > kappa + slack,
+                    };
+                    if prune {
+                        doomed.push(row);
+                    }
+                }
+                if !doomed.is_empty() {
+                    let doomed_set: std::collections::HashSet<RowId> = doomed.iter().copied().collect();
+                    pruned_now = candidates.retain(|row| !doomed_set.contains(&row));
+                }
+            }
+            trace.checkpoints.push(TraceCheckpoint {
+                dims_processed: processed,
+                candidates: candidates.len(),
+                pruned_now,
+            });
+            if candidates.maybe_materialize(params.materialize_threshold) {
+                trace.switched_to_list = true;
+            }
+            if candidates.len() <= k {
+                break;
+            }
+        }
+
+        // Final step: complete the survivors' scores over the unscanned
+        // dimensions (cheap: only |C| vectors are touched), then rank.
+        let survivors = candidates.to_rows();
+        if params.refine_survivors && processed < dims {
+            for &d in &order[processed..] {
+                let column = self.table.column(d)?;
+                let values = column.values();
+                let q = query[d];
+                for &row in &survivors {
+                    partial[row as usize] += metric.contribution(d, values[row as usize], q);
+                }
+            }
+            trace.contributions_evaluated += ((dims - processed) * survivors.len()) as u64;
+            trace.dims_accessed = dims;
+        }
+
+        let hits = rank(&survivors, &partial, objective, k);
+        Ok(SearchOutcome { hits, trace })
+    }
+}
+
+/// Ranks the surviving rows by score under the objective and returns the k
+/// best, best first.
+fn rank(survivors: &[RowId], partial: &[f64], objective: Objective, k: usize) -> Vec<Scored> {
+    match objective {
+        Objective::Maximize => {
+            let mut heap = TopKLargest::new(k);
+            for &row in survivors {
+                heap.push(row, partial[row as usize]);
+            }
+            heap.into_sorted_vec()
+        }
+        Objective::Minimize => {
+            let mut heap = TopKSmallest::new(k);
+            for &row in survivors {
+                heap.push(row, partial[row as usize]);
+            }
+            heap.into_sorted_vec()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 2's collection (h6 kept exactly as printed, mass 0.95).
+    fn example_table() -> DecomposedTable {
+        DecomposedTable::from_vectors(
+            "table2",
+            &[
+                vec![0.1, 0.3, 0.4, 0.2],
+                vec![0.05, 0.05, 0.9, 0.0],
+                vec![0.8, 0.1, 0.05, 0.05],
+                vec![0.2, 0.6, 0.1, 0.1],
+                vec![0.7, 0.15, 0.15, 0.0],
+                vec![0.925, 0.0, 0.0, 0.025],
+                vec![0.55, 0.2, 0.15, 0.1],
+                vec![0.05, 0.1, 0.05, 0.8],
+                vec![0.45, 0.5, 0.05, 0.05],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn query() -> Vec<f64> {
+        vec![0.7, 0.15, 0.1, 0.05]
+    }
+
+    fn params_m2() -> BondParams {
+        BondParams {
+            schedule: BlockSchedule::Fixed(2),
+            ordering: DimensionOrdering::Natural,
+            ..BondParams::default()
+        }
+    }
+
+    #[test]
+    fn finds_the_paper_example_top3_with_hq() {
+        let table = example_table();
+        let searcher = BondSearcher::new(&table);
+        let outcome = searcher.histogram_intersection_hq(&query(), 3, &params_m2()).unwrap();
+        let mut rows: Vec<RowId> = outcome.hits.iter().map(|h| h.row).collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![2, 4, 6], "the three best matches are h3, h5, h7");
+        // after the first block (m = 2) the candidate set shrinks to 5
+        // (h1, h2, h4, h8 are pruned, Section 4.2)
+        let first = outcome.trace.checkpoints[0];
+        assert_eq!(first.dims_processed, 2);
+        assert_eq!(first.candidates, 5);
+        assert_eq!(first.pruned_now, 4);
+    }
+
+    #[test]
+    fn hh_prunes_down_to_the_answer_after_one_block() {
+        let table = example_table();
+        let searcher = BondSearcher::new(&table);
+        let outcome = searcher.histogram_intersection_hh(&query(), 3, &params_m2()).unwrap();
+        let mut rows: Vec<RowId> = outcome.hits.iter().map(|h| h.row).collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![2, 4, 6]);
+        let first = outcome.trace.checkpoints[0];
+        assert_eq!(first.candidates, 3, "Hh identifies the three best results immediately");
+    }
+
+    #[test]
+    fn euclidean_rules_agree_with_each_other() {
+        let table = example_table();
+        let searcher = BondSearcher::new(&table);
+        let q = query();
+        let ev = searcher.euclidean_ev(&q, 3, &params_m2()).unwrap();
+        let eq = searcher.euclidean_eq(&q, 3, &params_m2()).unwrap();
+        let rows = |o: &SearchOutcome| {
+            let mut v: Vec<RowId> = o.hits.iter().map(|h| h.row).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(rows(&ev), rows(&eq));
+        // scores are exact distances, ascending
+        assert!(ev.hits[0].score <= ev.hits[1].score);
+    }
+
+    #[test]
+    fn exact_scores_match_direct_computation() {
+        let table = example_table();
+        let searcher = BondSearcher::new(&table);
+        let q = query();
+        let outcome = searcher.histogram_intersection_hq(&q, 3, &params_m2()).unwrap();
+        use bond_metrics::DecomposableMetric;
+        for hit in &outcome.hits {
+            let v = table.row(hit.row).unwrap();
+            let direct = HistogramIntersection.score(&v, &q);
+            assert!((hit.score - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let table = example_table();
+        let searcher = BondSearcher::new(&table);
+        let p = BondParams::default();
+        assert!(matches!(
+            searcher.histogram_intersection_hq(&[0.5; 3], 1, &p),
+            Err(BondError::QueryDimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            searcher.histogram_intersection_hq(&query(), 0, &p),
+            Err(BondError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            searcher.histogram_intersection_hq(&query(), 100, &p),
+            Err(BondError::InvalidK { .. })
+        ));
+        // mismatched objective between metric and rule
+        let mut rule = EvRule::new();
+        assert!(matches!(
+            searcher.search_with_rule(&query(), &HistogramIntersection, &mut rule, 1, None, &p),
+            Err(BondError::InvalidParams(_))
+        ));
+        // bad explicit ordering
+        let bad = BondParams {
+            ordering: DimensionOrdering::Explicit(vec![0, 0, 1, 2]),
+            ..BondParams::default()
+        };
+        assert!(matches!(
+            searcher.histogram_intersection_hq(&query(), 1, &bad),
+            Err(BondError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn deleted_rows_never_appear_in_results() {
+        let mut table = example_table();
+        table.delete(2).unwrap(); // h3 was the best match
+        let searcher = BondSearcher::new(&table);
+        let outcome = searcher.histogram_intersection_hq(&query(), 3, &params_m2()).unwrap();
+        let rows: Vec<RowId> = outcome.hits.iter().map(|h| h.row).collect();
+        assert!(!rows.contains(&2));
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn k_equal_to_collection_size_returns_everything() {
+        let table = example_table();
+        let searcher = BondSearcher::new(&table);
+        let outcome = searcher.histogram_intersection_hq(&query(), 9, &params_m2()).unwrap();
+        assert_eq!(outcome.hits.len(), 9);
+        // best first
+        for w in outcome.hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn unrefined_search_skips_remaining_fragments() {
+        let table = example_table();
+        let searcher = BondSearcher::new(&table);
+        let refined = searcher.histogram_intersection_hh(&query(), 3, &params_m2()).unwrap();
+        let params = BondParams { refine_survivors: false, ..params_m2() };
+        let unrefined = searcher.histogram_intersection_hh(&query(), 3, &params).unwrap();
+        // the answer set is identified after 2 of 4 dimensions; without
+        // refinement the last fragments are never read
+        assert_eq!(unrefined.trace.dims_accessed, 2);
+        assert_eq!(refined.trace.dims_accessed, 4);
+        let rows = |o: &SearchOutcome| {
+            let mut v: Vec<RowId> = o.hits.iter().map(|h| h.row).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(rows(&refined), rows(&unrefined));
+        assert!(unrefined.trace.contributions_evaluated < refined.trace.contributions_evaluated);
+    }
+
+    #[test]
+    fn ordering_does_not_change_the_answer() {
+        let table = example_table();
+        let searcher = BondSearcher::new(&table);
+        let q = query();
+        let reference: Vec<RowId> = {
+            let mut v: Vec<RowId> = searcher
+                .histogram_intersection_hq(&q, 3, &params_m2())
+                .unwrap()
+                .hits
+                .iter()
+                .map(|h| h.row)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        for ordering in [
+            DimensionOrdering::QueryValueDescending,
+            DimensionOrdering::QueryValueAscending,
+            DimensionOrdering::Random { seed: 3 },
+            DimensionOrdering::Natural,
+        ] {
+            let p = BondParams { ordering, ..params_m2() };
+            let mut rows: Vec<RowId> = searcher
+                .histogram_intersection_hq(&q, 3, &p)
+                .unwrap()
+                .hits
+                .iter()
+                .map(|h| h.row)
+                .collect();
+            rows.sort_unstable();
+            assert_eq!(rows, reference);
+        }
+    }
+
+    #[test]
+    fn work_counter_reflects_pruning() {
+        let table = example_table();
+        let searcher = BondSearcher::new(&table);
+        let outcome = searcher.histogram_intersection_hh(&query(), 3, &params_m2()).unwrap();
+        // naive work would be 9 vectors × 4 dims = 36 contributions; BOND
+        // scans 9×2 in the first block and only the 3 survivors afterwards
+        assert!(outcome.trace.contributions_evaluated < 36);
+        assert!(outcome.trace.work_fraction(9, 4) < 1.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Pruning traces.
+//!
+//! Every figure of the paper's evaluation (Figures 4–11) plots, for some
+//! workload, the number of surviving candidates against the number of
+//! dimensions processed. The search engine records exactly that series —
+//! plus the work counters needed for the run-time tables — in a
+//! [`PruneTrace`], which the benchmark harness aggregates across queries.
+
+use serde::{Deserialize, Serialize};
+
+/// The state of the search after one scan-and-prune block.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceCheckpoint {
+    /// Number of dimensions processed so far.
+    pub dims_processed: usize,
+    /// Number of candidates that survive after the pruning attempt.
+    pub candidates: usize,
+    /// Number of candidates removed by this pruning attempt.
+    pub pruned_now: usize,
+}
+
+/// Work counters and the per-block candidate series of one BOND search.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PruneTrace {
+    /// One entry per pruning attempt, in order.
+    pub checkpoints: Vec<TraceCheckpoint>,
+    /// Total `(candidate, dimension)` contribution evaluations — the CPU
+    /// work the "avoided work" region of Figure 1 refers to.
+    pub contributions_evaluated: u64,
+    /// Number of dimensional fragments that were read at all (the paper:
+    /// "the top-k images are identified after 64 dimensions, which means
+    /// that 102 tables need not be accessed at all").
+    pub dims_accessed: usize,
+    /// Number of pruning attempts performed.
+    pub pruning_attempts: usize,
+    /// Whether the candidate-set representation switched from bitmap to an
+    /// explicit list during the search (Section 6.1).
+    pub switched_to_list: bool,
+}
+
+impl PruneTrace {
+    /// Number of candidates that survived after processing `dims` dimensions
+    /// (reading the step function defined by the checkpoints). Before the
+    /// first checkpoint the whole collection of `total_rows` survives.
+    pub fn candidates_after(&self, dims: usize, total_rows: usize) -> usize {
+        let mut current = total_rows;
+        for c in &self.checkpoints {
+            if c.dims_processed <= dims {
+                current = c.candidates;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+
+    /// The number of dimensions after which the candidate set first shrank
+    /// to at most `target` candidates, if it ever did.
+    pub fn dims_to_reach(&self, target: usize) -> Option<usize> {
+        self.checkpoints.iter().find(|c| c.candidates <= target).map(|c| c.dims_processed)
+    }
+
+    /// Fraction of the naive `rows × dims` contribution evaluations that was
+    /// actually performed (the "avoided work" complement).
+    pub fn work_fraction(&self, rows: usize, dims: usize) -> f64 {
+        if rows == 0 || dims == 0 {
+            return 0.0;
+        }
+        self.contributions_evaluated as f64 / (rows as f64 * dims as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PruneTrace {
+        PruneTrace {
+            checkpoints: vec![
+                TraceCheckpoint { dims_processed: 8, candidates: 500, pruned_now: 500 },
+                TraceCheckpoint { dims_processed: 16, candidates: 100, pruned_now: 400 },
+                TraceCheckpoint { dims_processed: 24, candidates: 10, pruned_now: 90 },
+            ],
+            contributions_evaluated: 8 * 1000 + 8 * 500 + 8 * 100,
+            dims_accessed: 24,
+            pruning_attempts: 3,
+            switched_to_list: true,
+        }
+    }
+
+    #[test]
+    fn candidates_after_reads_the_step_function() {
+        let t = sample();
+        assert_eq!(t.candidates_after(0, 1000), 1000);
+        assert_eq!(t.candidates_after(7, 1000), 1000);
+        assert_eq!(t.candidates_after(8, 1000), 500);
+        assert_eq!(t.candidates_after(20, 1000), 100);
+        assert_eq!(t.candidates_after(166, 1000), 10);
+    }
+
+    #[test]
+    fn dims_to_reach_finds_first_checkpoint() {
+        let t = sample();
+        assert_eq!(t.dims_to_reach(600), Some(8));
+        assert_eq!(t.dims_to_reach(100), Some(16));
+        assert_eq!(t.dims_to_reach(5), None);
+    }
+
+    #[test]
+    fn work_fraction() {
+        let t = sample();
+        let f = t.work_fraction(1000, 166);
+        assert!(f > 0.0 && f < 1.0);
+        assert_eq!(PruneTrace::default().work_fraction(0, 10), 0.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Weighted and subspace k-NN queries (Section 8.1, Appendix A).
+//!
+//! Weights turn the similarity metric into the weighted squared Euclidean
+//! distance of Definition 3 (or a weighted histogram intersection); a
+//! subspace query is the special case where the weights of the irrelevant
+//! dimensions are zero. Vertical fragmentation pays off twice here: the
+//! engine simply never reads the fragments of zero-weight dimensions, and
+//! the skew the weights introduce makes pruning more effective (Figure 11).
+
+use bond_metrics::{WeightedEvRule, WeightedHqRule, WeightedSquaredEuclidean};
+use bond_metrics::metric::DecomposableMetric;
+
+use crate::error::{BondError, Result};
+use crate::ordering::DimensionOrdering;
+use crate::searcher::{BondParams, BondSearcher, SearchOutcome};
+
+/// A weighted-histogram-intersection metric: `Σ w_i · min(h_i, q_i)`.
+///
+/// The paper's weighted examples use Euclidean distance; this metric rounds
+/// out the weighted story for the similarity side and powers weighted
+/// multi-feature color queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedHistogramIntersection {
+    weights: Vec<f64>,
+}
+
+impl WeightedHistogramIntersection {
+    /// Creates the metric; weights must be non-negative and finite.
+    pub fn new(weights: Vec<f64>) -> std::result::Result<Self, String> {
+        if weights.is_empty() {
+            return Err("weight vector must not be empty".into());
+        }
+        if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+            return Err("weights must be finite and non-negative".into());
+        }
+        Ok(WeightedHistogramIntersection { weights })
+    }
+
+    /// The per-dimension weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl DecomposableMetric for WeightedHistogramIntersection {
+    fn objective(&self) -> bond_metrics::Objective {
+        bond_metrics::Objective::Maximize
+    }
+
+    #[inline]
+    fn contribution(&self, dim: usize, value: f64, query: f64) -> f64 {
+        self.weights[dim] * value.min(query)
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted_histogram_intersection"
+    }
+}
+
+impl BondSearcher<'_> {
+    fn validate_weights(&self, weights: &[f64]) -> Result<()> {
+        if weights.len() != self.table().dims() {
+            return Err(BondError::WeightDimensionMismatch {
+                expected: self.table().dims(),
+                actual: weights.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Weighted k-NN under the weighted squared Euclidean distance of
+    /// Definition 3, pruned with the (safe) weighted `E_v` bounds.
+    ///
+    /// The dimension ordering defaults to decreasing `w_i · q_i²` — "the most
+    /// skewed query dimensions (after normalization using the weights) are
+    /// chosen first".
+    pub fn weighted_euclidean(
+        &self,
+        query: &[f64],
+        weights: &[f64],
+        k: usize,
+        params: &BondParams,
+    ) -> Result<SearchOutcome> {
+        self.validate_weights(weights)?;
+        let metric = WeightedSquaredEuclidean::new(weights.to_vec())
+            .map_err(BondError::InvalidParams)?;
+        let mut rule = WeightedEvRule::new(weights.to_vec());
+        let params = reorder_for_weights(params);
+        self.search_with_rule(query, &metric, &mut rule, k, Some(weights), &params)
+    }
+
+    /// Weighted k-NN under weighted histogram intersection, pruned with the
+    /// weighted query-only bound.
+    pub fn weighted_histogram_intersection(
+        &self,
+        query: &[f64],
+        weights: &[f64],
+        k: usize,
+        params: &BondParams,
+    ) -> Result<SearchOutcome> {
+        self.validate_weights(weights)?;
+        let metric = WeightedHistogramIntersection::new(weights.to_vec())
+            .map_err(BondError::InvalidParams)?;
+        let mut rule = WeightedHqRule::new(weights.to_vec());
+        let params = reorder_for_weights(params);
+        self.search_with_rule(query, &metric, &mut rule, k, Some(weights), &params)
+    }
+
+    /// k-NN restricted to a dimensional subspace: only the `selected`
+    /// dimensions contribute to the (Euclidean) distance. This is weighted
+    /// search with 0/1 weights (Section 8.1); fragments of unselected
+    /// dimensions are ordered last and in practice never read.
+    pub fn subspace_euclidean(
+        &self,
+        query: &[f64],
+        selected: &[usize],
+        k: usize,
+        params: &BondParams,
+    ) -> Result<SearchOutcome> {
+        let dims = self.table().dims();
+        let mut weights = vec![0.0; dims];
+        for &d in selected {
+            if d >= dims {
+                return Err(BondError::InvalidParams(format!(
+                    "subspace dimension {d} out of range (table has {dims} dims)"
+                )));
+            }
+            weights[d] = 1.0;
+        }
+        if selected.is_empty() {
+            return Err(BondError::InvalidParams("subspace must select at least one dimension".into()));
+        }
+        self.weighted_euclidean(query, &weights, k, params)
+    }
+}
+
+/// Switch a caller-supplied parameter set to the weighted ordering unless an
+/// explicit order was requested.
+fn reorder_for_weights(params: &BondParams) -> BondParams {
+    match params.ordering {
+        DimensionOrdering::Explicit(_) => params.clone(),
+        _ => BondParams {
+            ordering: DimensionOrdering::WeightedQueryDescending,
+            ..params.clone()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bond_metrics::DecomposableMetric;
+    use vdstore::DecomposedTable;
+
+    fn unit_cube_table() -> DecomposedTable {
+        DecomposedTable::from_vectors(
+            "cube",
+            &[
+                vec![0.1, 0.9, 0.5, 0.3],
+                vec![0.2, 0.1, 0.4, 0.8],
+                vec![0.9, 0.9, 0.1, 0.1],
+                vec![0.15, 0.85, 0.55, 0.35],
+                vec![0.5, 0.5, 0.5, 0.5],
+                vec![0.05, 0.95, 0.45, 0.25],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn brute_force_weighted(
+        table: &DecomposedTable,
+        query: &[f64],
+        weights: &[f64],
+        k: usize,
+    ) -> Vec<u32> {
+        let metric = WeightedSquaredEuclidean::new(weights.to_vec()).unwrap();
+        let mut scored: Vec<(u32, f64)> = (0..table.rows() as u32)
+            .map(|r| (r, metric.score(&table.row(r).unwrap(), query)))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let mut rows: Vec<u32> = scored.into_iter().take(k).map(|(r, _)| r).collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    #[test]
+    fn weighted_search_matches_brute_force() {
+        let table = unit_cube_table();
+        let searcher = BondSearcher::new(&table);
+        let query = vec![0.1, 0.9, 0.5, 0.3];
+        let params = BondParams {
+            schedule: crate::BlockSchedule::Fixed(1),
+            ..BondParams::default()
+        };
+        for weights in [
+            vec![1.0, 1.0, 1.0, 1.0],
+            vec![10.0, 0.1, 1.0, 0.5],
+            vec![0.0, 4.0, 0.0, 1.0],
+        ] {
+            for k in [1, 2, 4] {
+                let outcome = searcher.weighted_euclidean(&query, &weights, k, &params).unwrap();
+                let mut rows: Vec<u32> = outcome.hits.iter().map(|h| h.row).collect();
+                rows.sort_unstable();
+                assert_eq!(
+                    rows,
+                    brute_force_weighted(&table, &query, &weights, k),
+                    "weights {weights:?}, k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subspace_search_ignores_other_dimensions() {
+        let table = unit_cube_table();
+        let searcher = BondSearcher::new(&table);
+        // query matches row 2 exactly on dims {0, 1} but is far on dims {2, 3}
+        let query = vec![0.9, 0.9, 0.9, 0.9];
+        let outcome = searcher
+            .subspace_euclidean(&query, &[0, 1], 1, &BondParams::default())
+            .unwrap();
+        assert_eq!(outcome.hits[0].row, 2);
+        assert!(outcome.hits[0].score.abs() < 1e-12, "exact match in the subspace");
+        // the same query over all dimensions prefers the centroid row 4
+        let full = searcher.euclidean_ev(&query, 1, &BondParams::default()).unwrap();
+        assert_eq!(full.hits[0].row, 4);
+    }
+
+    #[test]
+    fn weighted_histogram_intersection_matches_brute_force() {
+        let table = DecomposedTable::from_vectors(
+            "hists",
+            &[
+                vec![0.7, 0.2, 0.1, 0.0],
+                vec![0.1, 0.1, 0.4, 0.4],
+                vec![0.25, 0.25, 0.25, 0.25],
+                vec![0.6, 0.3, 0.05, 0.05],
+            ],
+        )
+        .unwrap();
+        let searcher = BondSearcher::new(&table);
+        let query = vec![0.65, 0.25, 0.05, 0.05];
+        let weights = vec![1.0, 3.0, 0.5, 0.0];
+        let metric = WeightedHistogramIntersection::new(weights.clone()).unwrap();
+        let mut brute: Vec<(u32, f64)> = (0..4u32)
+            .map(|r| (r, metric.score(&table.row(r).unwrap(), &query)))
+            .collect();
+        brute.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let outcome = searcher
+            .weighted_histogram_intersection(&query, &weights, 2, &BondParams::default())
+            .unwrap();
+        let rows: Vec<u32> = outcome.hits.iter().map(|h| h.row).collect();
+        assert_eq!(rows, brute.iter().take(2).map(|(r, _)| *r).collect::<Vec<_>>());
+        assert!((outcome.hits[0].score - brute[0].1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_of_weights_and_subspaces() {
+        let table = unit_cube_table();
+        let searcher = BondSearcher::new(&table);
+        let q = vec![0.5; 4];
+        assert!(matches!(
+            searcher.weighted_euclidean(&q, &[1.0; 3], 1, &BondParams::default()),
+            Err(BondError::WeightDimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            searcher.weighted_euclidean(&q, &[1.0, -1.0, 1.0, 1.0], 1, &BondParams::default()),
+            Err(BondError::InvalidParams(_))
+        ));
+        assert!(searcher.subspace_euclidean(&q, &[], 1, &BondParams::default()).is_err());
+        assert!(searcher.subspace_euclidean(&q, &[7], 1, &BondParams::default()).is_err());
+    }
+
+    #[test]
+    fn metric_accessor_and_validation() {
+        assert!(WeightedHistogramIntersection::new(vec![]).is_err());
+        assert!(WeightedHistogramIntersection::new(vec![f64::INFINITY]).is_err());
+        let m = WeightedHistogramIntersection::new(vec![1.0, 2.0]).unwrap();
+        assert_eq!(m.weights(), &[1.0, 2.0]);
+        assert_eq!(m.name(), "weighted_histogram_intersection");
+        assert!((m.contribution(1, 0.3, 0.5) - 0.6).abs() < 1e-12);
+    }
+}

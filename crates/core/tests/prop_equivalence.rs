@@ -1,0 +1,208 @@
+//! The central safety property of BOND: whatever the pruning criterion, the
+//! dimension ordering, the block schedule or the candidate-set
+//! representation, the returned top-k set must be exactly what a sequential
+//! scan over the same data returns. If any bound were too tight, pruning
+//! would lose a true neighbour and these tests would catch it.
+
+use bond::{BlockSchedule, BondParams, BondSearcher, DimensionOrdering};
+use bond_baselines::sequential_scan;
+use bond_metrics::{HistogramIntersection, SquaredEuclidean, WeightedSquaredEuclidean};
+use proptest::prelude::*;
+use vdstore::DecomposedTable;
+
+const DIMS: usize = 10;
+const ROWS: usize = 60;
+
+/// A random collection of normalized histograms plus a query drawn from it.
+fn histogram_collection() -> impl Strategy<Value = (Vec<Vec<f64>>, usize)> {
+    (
+        proptest::collection::vec(proptest::collection::vec(0.01f64..=1.0, DIMS), ROWS),
+        0..ROWS,
+    )
+        .prop_map(|(mut vectors, query_idx)| {
+            for v in &mut vectors {
+                let total: f64 = v.iter().sum();
+                for x in v.iter_mut() {
+                    *x /= total;
+                }
+            }
+            (vectors, query_idx)
+        })
+}
+
+/// A random collection of unit-hypercube vectors plus a query index.
+fn cube_collection() -> impl Strategy<Value = (Vec<Vec<f64>>, usize)> {
+    (
+        proptest::collection::vec(proptest::collection::vec(0.0f64..=1.0, DIMS), ROWS),
+        0..ROWS,
+    )
+}
+
+fn sorted_rows(hits: &[bond::Scored]) -> Vec<u32> {
+    let mut rows: Vec<u32> = hits.iter().map(|h| h.row).collect();
+    rows.sort_unstable();
+    rows
+}
+
+fn sorted_scores(hits: &[bond::Scored]) -> Vec<f64> {
+    let mut scores: Vec<f64> = hits.iter().map(|h| h.score).collect();
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    scores
+}
+
+/// Compares BOND and sequential-scan results: the score multisets must agree
+/// (rows may differ only when scores tie exactly).
+fn assert_same_topk(bond_hits: &[bond::Scored], scan_hits: &[vdstore::topk::Scored]) {
+    let bond_scores = sorted_scores(bond_hits);
+    let mut scan_scores: Vec<f64> = scan_hits.iter().map(|h| h.score).collect();
+    scan_scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert_eq!(bond_scores.len(), scan_scores.len());
+    for (a, b) in bond_scores.iter().zip(&scan_scores) {
+        assert!((a - b).abs() < 1e-9, "top-k score sets differ: {a} vs {b}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hq_and_hh_match_sequential_scan(
+        (vectors, qi) in histogram_collection(),
+        k in 1usize..=15,
+        m in 1usize..=DIMS,
+    ) {
+        let table = DecomposedTable::from_vectors("h", &vectors).unwrap();
+        let matrix = table.to_row_matrix();
+        let query = vectors[qi].clone();
+        let searcher = BondSearcher::new(&table);
+        let params = BondParams {
+            schedule: BlockSchedule::Fixed(m),
+            ..BondParams::default()
+        };
+        let truth = sequential_scan(&matrix, &query, k, &HistogramIntersection);
+        let hq = searcher.histogram_intersection_hq(&query, k, &params).unwrap();
+        let hh = searcher.histogram_intersection_hh(&query, k, &params).unwrap();
+        assert_same_topk(&hq.hits, &truth.hits);
+        assert_same_topk(&hh.hits, &truth.hits);
+    }
+
+    #[test]
+    fn eq_and_ev_match_sequential_scan(
+        (vectors, qi) in cube_collection(),
+        k in 1usize..=15,
+        m in 1usize..=DIMS,
+    ) {
+        let table = DecomposedTable::from_vectors("v", &vectors).unwrap();
+        let matrix = table.to_row_matrix();
+        let query = vectors[qi].clone();
+        let searcher = BondSearcher::new(&table);
+        let params = BondParams {
+            schedule: BlockSchedule::Fixed(m),
+            ..BondParams::default()
+        };
+        let truth = sequential_scan(&matrix, &query, k, &SquaredEuclidean);
+        let eq = searcher.euclidean_eq(&query, k, &params).unwrap();
+        let ev = searcher.euclidean_ev(&query, k, &params).unwrap();
+        assert_same_topk(&eq.hits, &truth.hits);
+        assert_same_topk(&ev.hits, &truth.hits);
+    }
+
+    #[test]
+    fn orderings_and_schedules_do_not_change_results(
+        (vectors, qi) in histogram_collection(),
+        k in 1usize..=10,
+        seed in 0u64..1000,
+    ) {
+        let table = DecomposedTable::from_vectors("h", &vectors).unwrap();
+        let matrix = table.to_row_matrix();
+        let query = vectors[qi].clone();
+        let searcher = BondSearcher::new(&table);
+        let truth = sequential_scan(&matrix, &query, k, &HistogramIntersection);
+        for ordering in [
+            DimensionOrdering::QueryValueDescending,
+            DimensionOrdering::QueryValueAscending,
+            DimensionOrdering::Random { seed },
+            DimensionOrdering::Natural,
+        ] {
+            for schedule in [
+                BlockSchedule::Fixed(3),
+                BlockSchedule::WarmupThenFixed { warmup: 4, m: 2 },
+                BlockSchedule::Doubling { first: 1 },
+                BlockSchedule::SingleBlock,
+            ] {
+                let params = BondParams { schedule, ordering: ordering.clone(), ..BondParams::default() };
+                let out = searcher.histogram_intersection_hq(&query, k, &params).unwrap();
+                assert_same_topk(&out.hits, &truth.hits);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_search_matches_weighted_scan(
+        (vectors, qi) in cube_collection(),
+        k in 1usize..=10,
+        weights in proptest::collection::vec(prop_oneof![Just(0.0f64), 0.1f64..=4.0], DIMS),
+    ) {
+        // ensure at least one positive weight
+        let mut weights = weights;
+        if weights.iter().all(|&w| w == 0.0) {
+            weights[0] = 1.0;
+        }
+        let table = DecomposedTable::from_vectors("v", &vectors).unwrap();
+        let matrix = table.to_row_matrix();
+        let query = vectors[qi].clone();
+        let searcher = BondSearcher::new(&table);
+        let metric = WeightedSquaredEuclidean::new(weights.clone()).unwrap();
+        let truth = sequential_scan(&matrix, &query, k, &metric);
+        let out = searcher
+            .weighted_euclidean(&query, &weights, k, &BondParams::default())
+            .unwrap();
+        assert_same_topk(&out.hits, &truth.hits);
+    }
+
+    #[test]
+    fn subspace_matches_projection_scan(
+        (vectors, qi) in cube_collection(),
+        k in 1usize..=8,
+        mask in proptest::collection::vec(proptest::bool::ANY, DIMS),
+    ) {
+        let selected: Vec<usize> =
+            mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+        let selected = if selected.is_empty() { vec![0] } else { selected };
+        let table = DecomposedTable::from_vectors("v", &vectors).unwrap();
+        let query = vectors[qi].clone();
+        let searcher = BondSearcher::new(&table);
+        let out = searcher
+            .subspace_euclidean(&query, &selected, k, &BondParams::default())
+            .unwrap();
+        // reference: scan the projected table with the unweighted metric
+        let projected = table.project(&selected).unwrap();
+        let projected_query: Vec<f64> = selected.iter().map(|&d| query[d]).collect();
+        let truth =
+            sequential_scan(&projected.to_row_matrix(), &projected_query, k, &SquaredEuclidean);
+        assert_same_topk(&out.hits, &truth.hits);
+    }
+
+    #[test]
+    fn refined_and_unrefined_searches_return_the_same_rows(
+        (vectors, qi) in histogram_collection(),
+        k in 1usize..=10,
+    ) {
+        let table = DecomposedTable::from_vectors("h", &vectors).unwrap();
+        let query = vectors[qi].clone();
+        let searcher = BondSearcher::new(&table);
+        let refined = searcher
+            .histogram_intersection_hh(&query, k, &BondParams::default())
+            .unwrap();
+        let unrefined = searcher
+            .histogram_intersection_hh(
+                &query,
+                k,
+                &BondParams { refine_survivors: false, ..BondParams::default() },
+            )
+            .unwrap();
+        // Without refinement the ordering inside the answer set may differ,
+        // but the returned set of rows must be identical.
+        assert_eq!(sorted_rows(&refined.hits), sorted_rows(&unrefined.hits));
+    }
+}

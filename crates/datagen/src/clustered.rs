@@ -1,0 +1,191 @@
+//! Clustered synthetic datasets (Section 7.5).
+//!
+//! "All datasets contain 100,000 128-dimensional vectors, defined in a unit
+//! hypercube. In this hypercube, 1000 points define the centers of the
+//! clusters; 95 % of the generated vectors belong to some random cluster,
+//! whereas 5 % of them take random values (noise). The distance from each
+//! vector to the cluster where it belongs to is defined by a Gaussian
+//! distribution around the cluster's center. The coordinates of the
+//! clusters' centers follow a Zipfian distribution [with skew θ]; if θ is 0
+//! the centers follow a uniform distribution."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vdstore::DecomposedTable;
+
+use crate::samplers::{gaussian, skewed_coordinate};
+
+/// Configuration of the clustered-vector generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusteredConfig {
+    /// Number of vectors (paper: 100,000).
+    pub vectors: usize,
+    /// Dimensionality (paper: 128; Section 8.2 also uses 64).
+    pub dims: usize,
+    /// Number of cluster centers (paper: 1000).
+    pub clusters: usize,
+    /// Skew of the cluster-center coordinates; 0 = uniform centers.
+    pub theta: f64,
+    /// Fraction of pure-noise vectors (paper: 0.05).
+    pub noise_fraction: f64,
+    /// Standard deviation of the Gaussian spread around a center.
+    pub sigma: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ClusteredConfig {
+    /// The paper's full-scale configuration for a given skew θ.
+    pub fn paper_scale(theta: f64) -> Self {
+        ClusteredConfig { vectors: 100_000, dims: 128, theta, ..ClusteredConfig::default() }
+    }
+
+    /// A smaller configuration suitable for tests and examples.
+    pub fn small(vectors: usize, dims: usize, theta: f64) -> Self {
+        ClusteredConfig {
+            vectors,
+            dims,
+            theta,
+            clusters: (vectors / 100).max(4),
+            ..ClusteredConfig::default()
+        }
+    }
+
+    /// Same configuration with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Same configuration with a different dimensionality.
+    pub fn with_dims(mut self, dims: usize) -> Self {
+        self.dims = dims;
+        self
+    }
+
+    /// Generates the collection as a vertically decomposed table.
+    pub fn generate(&self) -> DecomposedTable {
+        assert!(self.vectors > 0 && self.dims > 0 && self.clusters > 0, "empty dataset requested");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Cluster centers with skewed coordinates.
+        let centers: Vec<Vec<f64>> = (0..self.clusters)
+            .map(|_| (0..self.dims).map(|_| skewed_coordinate(&mut rng, self.theta)).collect())
+            .collect();
+
+        let mut vectors = Vec::with_capacity(self.vectors);
+        for _ in 0..self.vectors {
+            let v: Vec<f64> = if rng.gen::<f64>() < self.noise_fraction {
+                // noise: uniform in the unit hypercube
+                (0..self.dims).map(|_| rng.gen::<f64>()).collect()
+            } else {
+                let center = &centers[rng.gen_range(0..self.clusters)];
+                center
+                    .iter()
+                    .map(|&c| gaussian(&mut rng, c, self.sigma).clamp(0.0, 1.0))
+                    .collect()
+            };
+            vectors.push(v);
+        }
+        DecomposedTable::from_vectors(
+            format!("clustered_{}d_theta{}", self.dims, self.theta),
+            &vectors,
+        )
+        .expect("generator produces a rectangular collection")
+    }
+}
+
+impl Default for ClusteredConfig {
+    fn default() -> Self {
+        ClusteredConfig {
+            vectors: 10_000,
+            dims: 128,
+            clusters: 1000,
+            theta: 1.0,
+            noise_fraction: 0.05,
+            sigma: 0.05,
+            seed: 0xC1_05_7E_2D,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdstore::DatasetStats;
+
+    #[test]
+    fn vectors_live_in_unit_hypercube() {
+        let t = ClusteredConfig::small(500, 16, 1.0).generate();
+        assert_eq!(t.rows(), 500);
+        assert_eq!(t.dims(), 16);
+        for c in t.columns() {
+            assert!(c.min().unwrap() >= 0.0);
+            assert!(c.max().unwrap() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn clustering_makes_nn_meaningful() {
+        // With clusters, a vector's nearest neighbour is much closer than a
+        // random vector: compare the average NN distance to the average
+        // pairwise distance on a small sample.
+        let t = ClusteredConfig::small(300, 16, 0.0).generate();
+        let m = t.to_row_matrix();
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+        };
+        let mut nn_sum = 0.0;
+        let mut all_sum = 0.0;
+        let mut all_cnt = 0usize;
+        for i in 0..50u32 {
+            let mut best = f64::INFINITY;
+            for j in 0..300u32 {
+                if i == j {
+                    continue;
+                }
+                let d = dist(m.row(i), m.row(j));
+                best = best.min(d);
+                all_sum += d;
+                all_cnt += 1;
+            }
+            nn_sum += best;
+        }
+        let mean_nn = nn_sum / 50.0;
+        let mean_all = all_sum / all_cnt as f64;
+        assert!(
+            mean_nn < mean_all / 4.0,
+            "nearest neighbours should be far closer than average: {mean_nn} vs {mean_all}"
+        );
+    }
+
+    #[test]
+    fn theta_skews_the_coordinates() {
+        let uniform = ClusteredConfig::small(2000, 8, 0.0).generate();
+        let skewed = ClusteredConfig::small(2000, 8, 3.0).with_seed(9).generate();
+        let mean_u = DatasetStats::compute(&uniform)
+            .mean_per_dim
+            .iter()
+            .sum::<f64>()
+            / 8.0;
+        let mean_s = DatasetStats::compute(&skewed).mean_per_dim.iter().sum::<f64>() / 8.0;
+        assert!((mean_u - 0.5).abs() < 0.05, "θ=0 should be roughly centered, got {mean_u}");
+        assert!(mean_s < 0.3, "θ=3 should push coordinates toward 0, got {mean_s}");
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let a = ClusteredConfig::small(100, 8, 1.0).with_seed(1).generate();
+        let b = ClusteredConfig::small(100, 8, 1.0).with_seed(1).generate();
+        assert_eq!(a.row(42).unwrap(), b.row(42).unwrap());
+    }
+
+    #[test]
+    fn paper_scale_parameters() {
+        let cfg = ClusteredConfig::paper_scale(0.5);
+        assert_eq!(cfg.vectors, 100_000);
+        assert_eq!(cfg.dims, 128);
+        assert_eq!(cfg.clusters, 1000);
+        assert!((cfg.noise_fraction - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,201 @@
+//! Corel-like color-histogram generator.
+//!
+//! The paper's real dataset (Section 7.1) consists of 59,619 HSV color
+//! histograms with 166 bins, normalized to sum to 1, whose per-image values
+//! follow a Zipfian distribution while the *identity* of the high-value bins
+//! differs from image to image (Figure 2). Those two properties — skewed
+//! per-vector mass and T(h) = 1 — are exactly what the Hq/Hh/Ev pruning
+//! behaviour depends on, so the generator reproduces them:
+//!
+//! * a global, Zipf-distributed *bin popularity* decides which bins tend to
+//!   carry mass (this produces the uneven per-bin means of Figure 2, top),
+//! * every image samples a handful of "active" bins without replacement,
+//!   biased by popularity, and assigns them Zipf-rank masses (this produces
+//!   the sorted Zipfian profile of Figure 2, bottom),
+//! * a small uniform background is added and the histogram is normalized.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vdstore::DecomposedTable;
+
+use crate::samplers::{weighted_sample_without_replacement, zipf_probabilities};
+
+/// Configuration of the Corel-like histogram generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorelLikeConfig {
+    /// Number of histograms (the paper's collection has 59,619).
+    pub vectors: usize,
+    /// Number of bins (the paper's HSV quantization yields 166).
+    pub dims: usize,
+    /// Zipf exponent of the per-image rank masses (≈ 1 reproduces the
+    /// Figure 2 profile).
+    pub value_skew: f64,
+    /// Zipf exponent of the global bin popularity (how unevenly mass is
+    /// spread over bins across the collection).
+    pub bin_popularity_skew: f64,
+    /// Number of active (high-mass) bins per image.
+    pub active_bins: usize,
+    /// Fraction of each histogram's mass spread uniformly over all bins as
+    /// background noise.
+    pub background: f64,
+    /// RNG seed; the same seed reproduces the same collection.
+    pub seed: u64,
+}
+
+impl CorelLikeConfig {
+    /// The paper's full-scale dataset: 59,619 histograms, 166 bins.
+    pub fn paper_scale() -> Self {
+        CorelLikeConfig { vectors: 59_619, dims: 166, ..CorelLikeConfig::default() }
+    }
+
+    /// A smaller configuration suitable for unit tests and examples.
+    pub fn small(vectors: usize, dims: usize) -> Self {
+        CorelLikeConfig { vectors, dims, ..CorelLikeConfig::default() }
+    }
+
+    /// Same configuration at a different dimensionality (used by the
+    /// Figure 8 dimensionality sweep: 26, 52, 166, 260 bins).
+    pub fn with_dims(mut self, dims: usize) -> Self {
+        self.dims = dims;
+        self.active_bins = self.active_bins.min(dims);
+        self
+    }
+
+    /// Same configuration with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the collection as a vertically decomposed table.
+    pub fn generate(&self) -> DecomposedTable {
+        assert!(self.vectors > 0 && self.dims > 0, "empty dataset requested");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let active = self.active_bins.clamp(1, self.dims);
+
+        // Global bin popularity: a Zipf law over a random permutation of the
+        // bins, so that "popular" bins are scattered over the index range
+        // (as in the paper's Figure 2 the high-mean bins are not contiguous).
+        let mut popularity = zipf_probabilities(self.dims, self.bin_popularity_skew);
+        for i in (1..popularity.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            popularity.swap(i, j);
+        }
+
+        // Per-image rank masses (Zipfian profile of Figure 2, bottom).
+        let rank_mass = zipf_probabilities(active, self.value_skew);
+
+        let mut vectors = Vec::with_capacity(self.vectors);
+        for _ in 0..self.vectors {
+            let mut h = vec![0.0f64; self.dims];
+            let bins = weighted_sample_without_replacement(&mut rng, &popularity, active);
+            for (rank, &bin) in bins.iter().enumerate() {
+                // jitter the rank mass slightly so no two images are identical
+                let jitter = 0.75 + 0.5 * rng.gen::<f64>();
+                h[bin] += rank_mass[rank] * jitter;
+            }
+            if self.background > 0.0 {
+                let per_bin = self.background / self.dims as f64;
+                for x in &mut h {
+                    *x += per_bin * rng.gen::<f64>();
+                }
+            }
+            let total: f64 = h.iter().sum();
+            for x in &mut h {
+                *x /= total;
+            }
+            vectors.push(h);
+        }
+        DecomposedTable::from_vectors(format!("corel_like_{}d", self.dims), &vectors)
+            .expect("generator produces a rectangular collection")
+    }
+}
+
+impl Default for CorelLikeConfig {
+    fn default() -> Self {
+        CorelLikeConfig {
+            vectors: 1000,
+            dims: 166,
+            value_skew: 1.0,
+            bin_popularity_skew: 0.8,
+            active_bins: 24,
+            background: 0.05,
+            seed: 0x0BDE_C0DE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdstore::DatasetStats;
+
+    #[test]
+    fn histograms_are_normalized() {
+        let t = CorelLikeConfig::small(200, 64).generate();
+        assert_eq!(t.rows(), 200);
+        assert_eq!(t.dims(), 64);
+        for s in t.row_sums() {
+            assert!((s - 1.0).abs() < 1e-9, "histogram mass {s} != 1");
+        }
+        for c in t.columns() {
+            assert!(c.min().unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn per_vector_profile_is_zipfian_like() {
+        let t = CorelLikeConfig::small(300, 64).generate();
+        let stats = DatasetStats::compute(&t);
+        // The sorted profile must be strongly skewed: the top 10% of bins of
+        // an average vector carry well over half of its mass (Figure 2).
+        let concentration = stats.mass_concentration(0.1);
+        assert!(concentration > 0.6, "mass concentration too low: {concentration}");
+        // and the profile decreases
+        for w in stats.mean_sorted_profile.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn high_value_bins_differ_across_images() {
+        let t = CorelLikeConfig::small(100, 64).generate();
+        let mut argmaxes = std::collections::HashSet::new();
+        for r in 0..t.rows() as u32 {
+            let row = t.row(r).unwrap();
+            let argmax = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            argmaxes.insert(argmax);
+        }
+        assert!(argmaxes.len() > 5, "top bins should vary across images, got {argmaxes:?}");
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let a = CorelLikeConfig::small(50, 32).with_seed(42).generate();
+        let b = CorelLikeConfig::small(50, 32).with_seed(42).generate();
+        let c = CorelLikeConfig::small(50, 32).with_seed(43).generate();
+        assert_eq!(a.row(7).unwrap(), b.row(7).unwrap());
+        assert_ne!(a.row(7).unwrap(), c.row(7).unwrap());
+    }
+
+    #[test]
+    fn with_dims_scales_active_bins() {
+        let cfg = CorelLikeConfig::small(10, 166).with_dims(8);
+        assert_eq!(cfg.dims, 8);
+        assert!(cfg.active_bins <= 8);
+        let t = cfg.generate();
+        assert_eq!(t.dims(), 8);
+    }
+
+    #[test]
+    fn paper_scale_matches_paper_parameters() {
+        let cfg = CorelLikeConfig::paper_scale();
+        assert_eq!(cfg.vectors, 59_619);
+        assert_eq!(cfg.dims, 166);
+    }
+}

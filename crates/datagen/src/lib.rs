@@ -1,0 +1,32 @@
+//! # bond-datagen — synthetic workloads for the BOND reproduction
+//!
+//! The paper evaluates BOND on two families of datasets:
+//!
+//! 1. **Corel HSV color histograms** — 59,619 images, 166 bins, values
+//!    normalized to sum to 1, per-image values following a Zipf law
+//!    (Figure 2). The real Corel collection is proprietary, so
+//!    [`corel::CorelLikeConfig`] generates a synthetic collection calibrated
+//!    to the same distributional properties; the pruning behaviour of the
+//!    criteria depends only on those properties.
+//! 2. **Clustered synthetic vectors** (Section 7.5) — 100,000 vectors of
+//!    dimensionality 128 in the unit hypercube, 1000 cluster centers whose
+//!    coordinates are skewed by a parameter θ (θ = 0 means uniform), vectors
+//!    Gaussian-distributed around their center, and 5 % uniform noise.
+//!    [`clustered::ClusteredConfig`] reproduces this generator.
+//!
+//! The crate also provides the skewed weight vectors of Section 8.1
+//! ([`weights`]) and query sampling helpers ([`queries`]).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod clustered;
+pub mod corel;
+pub mod queries;
+pub mod samplers;
+pub mod weights;
+
+pub use clustered::ClusteredConfig;
+pub use corel::CorelLikeConfig;
+pub use queries::{sample_queries, sample_query_rows};
+pub use weights::{concentrated_weights, zipf_weights};

@@ -1,0 +1,77 @@
+//! Query sampling.
+//!
+//! The paper evaluates every experiment with "100 queries randomly selected
+//! from the collection"; these helpers reproduce that protocol
+//! deterministically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vdstore::{DecomposedTable, RowId};
+
+/// Samples `count` distinct row ids from the table (fewer if the table is
+/// smaller), deterministically for a given seed.
+pub fn sample_query_rows(table: &DecomposedTable, count: usize, seed: u64) -> Vec<RowId> {
+    let rows = table.rows();
+    let count = count.min(rows);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // partial Fisher–Yates over the row-id range
+    let mut ids: Vec<RowId> = (0..rows as RowId).collect();
+    for i in 0..count {
+        let j = rng.gen_range(i..rows);
+        ids.swap(i, j);
+    }
+    ids.truncate(count);
+    ids
+}
+
+/// Samples `count` query vectors from the table (the paper's protocol:
+/// queries are members of the collection).
+pub fn sample_queries(table: &DecomposedTable, count: usize, seed: u64) -> Vec<Vec<f64>> {
+    sample_query_rows(table, count, seed)
+        .into_iter()
+        .map(|r| table.row(r).expect("sampled row id is in range"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: usize) -> DecomposedTable {
+        let vectors: Vec<Vec<f64>> =
+            (0..rows).map(|i| vec![i as f64, (rows - i) as f64]).collect();
+        DecomposedTable::from_vectors("t", &vectors).unwrap()
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_distinct() {
+        let t = table(500);
+        let a = sample_query_rows(&t, 100, 7);
+        let b = sample_query_rows(&t, 100, 7);
+        let c = sample_query_rows(&t, 100, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 100);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 100, "sampled rows must be distinct");
+    }
+
+    #[test]
+    fn sampling_clamps_to_table_size() {
+        let t = table(5);
+        let rows = sample_query_rows(&t, 100, 1);
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn queries_are_actual_rows() {
+        let t = table(50);
+        let rows = sample_query_rows(&t, 10, 3);
+        let queries = sample_queries(&t, 10, 3);
+        for (r, q) in rows.iter().zip(&queries) {
+            assert_eq!(&t.row(*r).unwrap(), q);
+        }
+    }
+}

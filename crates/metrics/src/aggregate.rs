@@ -1,0 +1,156 @@
+//! Monotonic aggregate functions for multi-feature queries (Section 8.2).
+//!
+//! A complex query asks for the k images with the best *combination* of
+//! per-feature similarities — e.g. "similar to image A in color and to
+//! image B in texture". The paper requires only that the global similarity
+//! is a monotonic function of the component similarities; it names the
+//! arithmetic aggregates of Güntzer et al. (weighted average) and the fuzzy
+//! logic aggregates of Fagin (min, max). Monotonicity is what lets the
+//! synchronized BOND search combine per-feature score *bounds* into global
+//! bounds: evaluate the aggregate on the component lower bounds and on the
+//! component upper bounds.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing aggregate over per-feature similarity scores.
+pub trait ScoreAggregate: Send + Sync {
+    /// Combines per-feature similarities into a global similarity.
+    fn combine(&self, scores: &[f64]) -> f64;
+
+    /// Combines per-feature `(lower, upper)` bounds into global bounds.
+    ///
+    /// Valid for any monotonically increasing aggregate: the global lower
+    /// bound is the aggregate of the lower bounds, and likewise for the
+    /// upper bounds.
+    fn combine_bounds(&self, lowers: &[f64], uppers: &[f64]) -> (f64, f64) {
+        (self.combine(lowers), self.combine(uppers))
+    }
+
+    /// A short name used in experiment reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Weighted arithmetic mean of the component similarities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedAverage {
+    weights: Vec<f64>,
+}
+
+impl WeightedAverage {
+    /// Creates the aggregate; weights are normalized to sum to 1.
+    ///
+    /// Returns `None` when no weight is positive.
+    pub fn new(weights: Vec<f64>) -> Option<Self> {
+        let total: f64 = weights.iter().sum();
+        if weights.is_empty() || total <= 0.0 || weights.iter().any(|&w| w < 0.0) {
+            return None;
+        }
+        Some(WeightedAverage { weights: weights.into_iter().map(|w| w / total).collect() })
+    }
+
+    /// Uniform weights over `n` features.
+    pub fn uniform(n: usize) -> Option<Self> {
+        WeightedAverage::new(vec![1.0; n])
+    }
+
+    /// The normalized weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl ScoreAggregate for WeightedAverage {
+    fn combine(&self, scores: &[f64]) -> f64 {
+        debug_assert_eq!(scores.len(), self.weights.len());
+        scores.iter().zip(&self.weights).map(|(&s, &w)| s * w).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted_average"
+    }
+}
+
+/// Fuzzy-logic conjunction: the global similarity is the *minimum* component
+/// similarity ("similar to A in color AND to B in texture").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuzzyMin;
+
+impl ScoreAggregate for FuzzyMin {
+    fn combine(&self, scores: &[f64]) -> f64 {
+        scores.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    fn name(&self) -> &'static str {
+        "fuzzy_min"
+    }
+}
+
+/// Fuzzy-logic disjunction: the global similarity is the *maximum* component
+/// similarity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuzzyMax;
+
+impl ScoreAggregate for FuzzyMax {
+    fn combine(&self, scores: &[f64]) -> f64 {
+        scores.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    fn name(&self) -> &'static str {
+        "fuzzy_max"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_average_normalizes() {
+        let a = WeightedAverage::new(vec![2.0, 2.0]).unwrap();
+        assert_eq!(a.weights(), &[0.5, 0.5]);
+        assert!((a.combine(&[0.8, 0.4]) - 0.6).abs() < 1e-12);
+        let skewed = WeightedAverage::new(vec![3.0, 1.0]).unwrap();
+        assert!((skewed.combine(&[1.0, 0.0]) - 0.75).abs() < 1e-12);
+        assert_eq!(a.name(), "weighted_average");
+    }
+
+    #[test]
+    fn weighted_average_rejects_bad_weights() {
+        assert!(WeightedAverage::new(vec![]).is_none());
+        assert!(WeightedAverage::new(vec![0.0, 0.0]).is_none());
+        assert!(WeightedAverage::new(vec![1.0, -1.0]).is_none());
+        assert!(WeightedAverage::uniform(3).is_some());
+        assert!(WeightedAverage::uniform(0).is_none());
+    }
+
+    #[test]
+    fn fuzzy_aggregates() {
+        assert_eq!(FuzzyMin.combine(&[0.9, 0.2, 0.5]), 0.2);
+        assert_eq!(FuzzyMax.combine(&[0.9, 0.2, 0.5]), 0.9);
+        assert_eq!(FuzzyMin.name(), "fuzzy_min");
+        assert_eq!(FuzzyMax.name(), "fuzzy_max");
+    }
+
+    #[test]
+    fn bound_combination_brackets_true_value_for_monotone_aggregates() {
+        let lowers = [0.2, 0.1];
+        let uppers = [0.6, 0.9];
+        let actual = [0.5, 0.3];
+        for agg in [&WeightedAverage::uniform(2).unwrap() as &dyn ScoreAggregate, &FuzzyMin, &FuzzyMax]
+        {
+            let (lo, hi) = agg.combine_bounds(&lowers, &uppers);
+            let truth = agg.combine(&actual);
+            assert!(lo <= truth + 1e-12, "{} lower bound", agg.name());
+            assert!(hi >= truth - 1e-12, "{} upper bound", agg.name());
+        }
+    }
+
+    #[test]
+    fn combine_bounds_is_monotone_in_inputs() {
+        let agg = WeightedAverage::new(vec![1.0, 2.0]).unwrap();
+        let (lo1, hi1) = agg.combine_bounds(&[0.1, 0.1], &[0.5, 0.5]);
+        let (lo2, hi2) = agg.combine_bounds(&[0.2, 0.2], &[0.6, 0.6]);
+        assert!(lo2 > lo1);
+        assert!(hi2 > hi1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Pruning bounds (Section 4 and Appendix A).
+//!
+//! After BOND has scanned the first `m` dimensional fragments, every
+//! surviving candidate `x` has a known partial score `S(x⁻, q⁻)` and —
+//! depending on the rule — the mass `T(x⁻)` it has shown so far and/or its
+//! total mass `T(x)`. A [`PruningRule`] turns that per-candidate state into
+//! a lower and an upper bound on the *final* score. The engine then
+//! computes κ (the k-th best "safe" bound) and discards every candidate
+//! whose "optimistic" bound cannot reach κ:
+//!
+//! * similarity metrics (maximize): κ_min = k-th largest `S_min`; prune
+//!   candidates with `S_max < κ_min` (step 4 of Algorithm 2);
+//! * distance metrics (minimize): κ_max = k-th smallest `S_max`; prune
+//!   candidates with `S_min > κ_max`.
+//!
+//! The concrete rules live in [`histogram`] (Hq, Hh), [`euclid`] (Eq, Ev)
+//! and [`weighted`] (weighted Euclidean / weighted histogram intersection).
+
+pub mod euclid;
+pub mod histogram;
+pub mod weighted;
+
+use crate::metric::Objective;
+
+/// Per-candidate bookkeeping a rule may require from the engine.
+///
+/// Hq and Eq need nothing beyond the partial score (that is their selling
+/// point: "computationally cheaper and requires less bookkeeping"); Hh needs
+/// the scanned mass `T(x⁻)`; Ev additionally needs the total mass `T(x)`
+/// which the engine materialises once per search (Section 4.3: "a simple
+/// solution materializes and uses this extra table").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Requirements {
+    /// The rule reads [`CandidateState::scanned_mass`].
+    pub needs_scanned_mass: bool,
+    /// The rule reads [`CandidateState::total_mass`].
+    pub needs_total_mass: bool,
+}
+
+/// The per-candidate state available when bounds are evaluated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateState {
+    /// Partial score `S(x⁻, q⁻)` accumulated over the scanned dimensions.
+    pub partial: f64,
+    /// Scanned mass `T(x⁻) = Σ_{scanned} x_i` (0 if the rule does not need it).
+    pub scanned_mass: f64,
+    /// Total mass `T(x) = Σ_i x_i` (0 if the rule does not need it).
+    pub total_mass: f64,
+}
+
+impl CandidateState {
+    /// Convenience constructor for rules that only need the partial score.
+    pub fn partial_only(partial: f64) -> Self {
+        CandidateState { partial, scanned_mass: 0.0, total_mass: 0.0 }
+    }
+
+    /// Remaining (unseen) mass `T(x⁺) = T(x) − T(x⁻)`, clamped at zero to be
+    /// robust against floating-point drift.
+    #[inline]
+    pub fn remaining_mass(&self) -> f64 {
+        (self.total_mass - self.scanned_mass).max(0.0)
+    }
+}
+
+/// A branch-and-bound pruning rule: bounds on the final score given the
+/// partial state of a candidate.
+pub trait PruningRule: Send + Sync {
+    /// Whether the final ranking maximizes or minimizes the score.
+    fn objective(&self) -> Objective;
+
+    /// Which per-candidate bookkeeping this rule needs.
+    fn requirements(&self) -> Requirements;
+
+    /// Re-derives the query-side constants for the given set of *remaining*
+    /// (not yet scanned) dimensions. Called once per pruning attempt, before
+    /// any [`PruningRule::bounds`] calls for that attempt.
+    fn prepare(&mut self, query: &[f64], remaining_dims: &[usize]);
+
+    /// Lower and upper bounds `(S_min, S_max)` on the candidate's final
+    /// score. Must satisfy `S_min ≤ S(x, q) ≤ S_max` for every vector `x`
+    /// consistent with the candidate state.
+    fn bounds(&self, candidate: &CandidateState) -> (f64, f64);
+
+    /// A short name used in experiment reports ("Hq", "Ev", ...).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remaining_mass_clamps_at_zero() {
+        let c = CandidateState { partial: 0.1, scanned_mass: 1.0 + 1e-9, total_mass: 1.0 };
+        assert_eq!(c.remaining_mass(), 0.0);
+        let c = CandidateState { partial: 0.1, scanned_mass: 0.25, total_mass: 1.0 };
+        assert!((c.remaining_mass() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_only_state() {
+        let c = CandidateState::partial_only(0.5);
+        assert_eq!(c.partial, 0.5);
+        assert_eq!(c.scanned_mass, 0.0);
+        assert_eq!(c.total_mass, 0.0);
+    }
+
+    #[test]
+    fn requirements_default_is_none() {
+        let r = Requirements::default();
+        assert!(!r.needs_scanned_mass);
+        assert!(!r.needs_total_mass);
+    }
+}

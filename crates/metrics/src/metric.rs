@@ -1,0 +1,310 @@
+//! Similarity and distance metrics (Section 3.2 and Appendix A).
+//!
+//! BOND only requires the aggregate to be *associative, monotonic and
+//! commutative* in its per-dimension contributions; the
+//! [`DecomposableMetric`] trait captures exactly that: a metric is a sum of
+//! per-dimension contributions, and the best matches are either the largest
+//! (similarity) or the smallest (distance) sums.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether the best matches have the largest or the smallest scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Top-k = the k largest scores (similarity metrics).
+    Maximize,
+    /// Top-k = the k smallest scores (distance metrics).
+    Minimize,
+}
+
+impl Objective {
+    /// `true` when `a` is a strictly better score than `b` under this
+    /// objective.
+    #[inline]
+    pub fn better(&self, a: f64, b: f64) -> bool {
+        match self {
+            Objective::Maximize => a > b,
+            Objective::Minimize => a < b,
+        }
+    }
+}
+
+/// A metric that decomposes into a sum of per-dimension contributions:
+/// `S(x, q) = Σ_i contribution(i, x_i, q_i)`.
+///
+/// This is the "associative and monotonic aggregate function S" of the
+/// paper's Section 3.1; commutativity over the dimensions is what lets BOND
+/// process them in any order (Section 5.1).
+pub trait DecomposableMetric: Send + Sync {
+    /// Whether larger or smaller scores are better.
+    fn objective(&self) -> Objective;
+
+    /// The contribution of a single dimension to the total score.
+    fn contribution(&self, dim: usize, value: f64, query: f64) -> f64;
+
+    /// The exact score between a stored vector and the query.
+    ///
+    /// The default implementation sums [`DecomposableMetric::contribution`]
+    /// over all dimensions; metrics may override it with a tighter loop.
+    fn score(&self, vector: &[f64], query: &[f64]) -> f64 {
+        debug_assert_eq!(vector.len(), query.len());
+        vector
+            .iter()
+            .zip(query)
+            .enumerate()
+            .map(|(d, (&v, &q))| self.contribution(d, v, q))
+            .sum()
+    }
+
+    /// The score restricted to a subset of dimensions (used to accumulate
+    /// partial scores `S(x⁻, q⁻)` over the scanned prefix).
+    fn partial_score(&self, dims: &[usize], vector: &[f64], query: &[f64]) -> f64 {
+        dims.iter().map(|&d| self.contribution(d, vector[d], query[d])).sum()
+    }
+
+    /// A short human-readable name (used in experiment reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Histogram intersection (Definition 1):
+/// `Sim(h, q) = Σ_i min(h_i, q_i)`, a similarity in `[0, 1]` for normalized
+/// histograms. Reported in the paper (after Swain & Ballard) to be superior
+/// to Euclidean distance for color histograms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramIntersection;
+
+impl DecomposableMetric for HistogramIntersection {
+    fn objective(&self) -> Objective {
+        Objective::Maximize
+    }
+
+    #[inline]
+    fn contribution(&self, _dim: usize, value: f64, query: f64) -> f64 {
+        value.min(query)
+    }
+
+    fn score(&self, vector: &[f64], query: &[f64]) -> f64 {
+        vector.iter().zip(query).map(|(&v, &q)| v.min(q)).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "histogram_intersection"
+    }
+}
+
+/// Squared Euclidean distance (Definition 2):
+/// `δ(v, q) = Σ_i (v_i − q_i)²`, a distance (smaller is better). The paper
+/// uses the squared form to avoid the square root; the ranking is identical
+/// because the square root is monotonic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SquaredEuclidean;
+
+impl DecomposableMetric for SquaredEuclidean {
+    fn objective(&self) -> Objective {
+        Objective::Minimize
+    }
+
+    #[inline]
+    fn contribution(&self, _dim: usize, value: f64, query: f64) -> f64 {
+        let d = value - query;
+        d * d
+    }
+
+    fn score(&self, vector: &[f64], query: &[f64]) -> f64 {
+        vector
+            .iter()
+            .zip(query)
+            .map(|(&v, &q)| {
+                let d = v - q;
+                d * d
+            })
+            .sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "squared_euclidean"
+    }
+}
+
+impl SquaredEuclidean {
+    /// The similarity form of Equation 3: `Sim(v, q) = 1 − sqrt(δ(v, q)/N)`.
+    /// Used by multi-feature queries to put Euclidean components on the same
+    /// `[0, 1]` similarity scale as histogram intersection.
+    pub fn similarity_from_distance(distance: f64, dims: usize) -> f64 {
+        if dims == 0 {
+            return 1.0;
+        }
+        1.0 - (distance / dims as f64).sqrt()
+    }
+
+    /// Inverse of [`SquaredEuclidean::similarity_from_distance`].
+    pub fn distance_from_similarity(similarity: f64, dims: usize) -> f64 {
+        let s = 1.0 - similarity;
+        s * s * dims as f64
+    }
+}
+
+/// Weighted squared Euclidean distance (Definition 3, Appendix A):
+/// `δ_w(v, q) = Σ_i w_i (v_i − q_i)²`.
+///
+/// A query in a dimensional subspace is the special case where the weights
+/// of the irrelevant dimensions are zero (Section 8.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedSquaredEuclidean {
+    weights: Vec<f64>,
+}
+
+impl WeightedSquaredEuclidean {
+    /// Creates the metric from per-dimension weights. Negative weights are
+    /// rejected (they would break monotonicity of the aggregate).
+    pub fn new(weights: Vec<f64>) -> Result<Self, String> {
+        if weights.is_empty() {
+            return Err("weight vector must not be empty".into());
+        }
+        if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+            return Err("weights must be finite and non-negative".into());
+        }
+        Ok(WeightedSquaredEuclidean { weights })
+    }
+
+    /// Weights normalized so that they sum to the dimensionality `N`, the
+    /// convention under which Equation 3 still defines a similarity.
+    pub fn normalized(weights: Vec<f64>) -> Result<Self, String> {
+        let n = weights.len() as f64;
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err("weights must have a positive sum".into());
+        }
+        let scaled = weights.iter().map(|w| w * n / total).collect();
+        WeightedSquaredEuclidean::new(scaled)
+    }
+
+    /// A subspace query: weight 1 on the selected dimensions, 0 elsewhere.
+    pub fn subspace(dims: usize, selected: &[usize]) -> Result<Self, String> {
+        let mut weights = vec![0.0; dims];
+        for &d in selected {
+            if d >= dims {
+                return Err(format!("subspace dimension {d} out of range {dims}"));
+            }
+            weights[d] = 1.0;
+        }
+        WeightedSquaredEuclidean::new(weights)
+    }
+
+    /// The per-dimension weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl DecomposableMetric for WeightedSquaredEuclidean {
+    fn objective(&self) -> Objective {
+        Objective::Minimize
+    }
+
+    #[inline]
+    fn contribution(&self, dim: usize, value: f64, query: f64) -> f64 {
+        let d = value - query;
+        self.weights[dim] * d * d
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted_squared_euclidean"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_better() {
+        assert!(Objective::Maximize.better(0.9, 0.1));
+        assert!(!Objective::Maximize.better(0.1, 0.9));
+        assert!(Objective::Minimize.better(0.1, 0.9));
+        assert!(!Objective::Minimize.better(0.2, 0.2));
+    }
+
+    #[test]
+    fn histogram_intersection_paper_example() {
+        // h3 and q from the worked example in Section 4.2.
+        let q = [0.7, 0.15, 0.1, 0.05];
+        let h3 = [0.8, 0.1, 0.05, 0.05];
+        let m = HistogramIntersection;
+        let s = m.score(&h3, &q);
+        assert!((s - 0.9).abs() < 1e-12);
+        assert_eq!(m.objective(), Objective::Maximize);
+        // identical histograms intersect to T(h) = 1
+        assert!((m.score(&q, &q) - 1.0).abs() < 1e-12);
+        // partial score over the first two dims: min(0.8,0.7)+min(0.1,0.15)
+        assert!((m.partial_score(&[0, 1], &h3, &q) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squared_euclidean_basics() {
+        let m = SquaredEuclidean;
+        assert_eq!(m.objective(), Objective::Minimize);
+        let v = [0.0, 0.5, 1.0];
+        let q = [0.0, 0.0, 0.0];
+        assert!((m.score(&v, &q) - 1.25).abs() < 1e-12);
+        assert_eq!(m.score(&v, &v), 0.0);
+        assert!((m.contribution(1, 0.5, 0.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_transform_round_trips() {
+        let dims = 16;
+        for d in [0.0, 0.5, 4.0, 16.0] {
+            let s = SquaredEuclidean::similarity_from_distance(d, dims);
+            let back = SquaredEuclidean::distance_from_similarity(s, dims);
+            assert!((back - d).abs() < 1e-9);
+        }
+        assert_eq!(SquaredEuclidean::similarity_from_distance(0.0, 0), 1.0);
+        // zero distance -> similarity 1, max distance N -> similarity 0
+        assert_eq!(SquaredEuclidean::similarity_from_distance(0.0, 8), 1.0);
+        assert_eq!(SquaredEuclidean::similarity_from_distance(8.0, 8), 0.0);
+    }
+
+    #[test]
+    fn weighted_euclidean_reduces_to_unweighted() {
+        let w = WeightedSquaredEuclidean::new(vec![1.0; 4]).unwrap();
+        let v = [0.1, 0.2, 0.3, 0.4];
+        let q = [0.4, 0.3, 0.2, 0.1];
+        assert!((w.score(&v, &q) - SquaredEuclidean.score(&v, &q)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_euclidean_validation_and_normalization() {
+        assert!(WeightedSquaredEuclidean::new(vec![]).is_err());
+        assert!(WeightedSquaredEuclidean::new(vec![-1.0]).is_err());
+        assert!(WeightedSquaredEuclidean::new(vec![f64::NAN]).is_err());
+        assert!(WeightedSquaredEuclidean::normalized(vec![0.0, 0.0]).is_err());
+
+        let w = WeightedSquaredEuclidean::normalized(vec![1.0, 3.0]).unwrap();
+        assert!((w.weights().iter().sum::<f64>() - 2.0).abs() < 1e-12);
+        assert!((w.weights()[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subspace_is_zero_one_weights() {
+        let w = WeightedSquaredEuclidean::subspace(4, &[1, 3]).unwrap();
+        assert_eq!(w.weights(), &[0.0, 1.0, 0.0, 1.0]);
+        let v = [9.0, 0.5, 9.0, 0.25];
+        let q = [0.0, 0.0, 0.0, 0.0];
+        // only dims 1 and 3 count
+        assert!((w.score(&v, &q) - (0.25 + 0.0625)).abs() < 1e-12);
+        assert!(WeightedSquaredEuclidean::subspace(4, &[4]).is_err());
+    }
+
+    #[test]
+    fn weighted_skew_changes_ranking() {
+        // Under uniform weights v1 is closer; with weight on dim 0, v2 wins.
+        let q = [0.0, 0.0];
+        let v1 = [0.3, 0.1];
+        let v2 = [0.1, 0.4];
+        let uniform = WeightedSquaredEuclidean::new(vec![1.0, 1.0]).unwrap();
+        assert!(uniform.score(&v1, &q) < uniform.score(&v2, &q));
+        let skewed = WeightedSquaredEuclidean::new(vec![10.0, 0.1]).unwrap();
+        assert!(skewed.score(&v2, &q) < skewed.score(&v1, &q));
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests for the pruning bounds.
+//!
+//! The single invariant everything in BOND rests on is *bound correctness*:
+//! for any query, any data vector, any scanned/remaining split of the
+//! dimensions and any weights, the rule's lower bound must not exceed the
+//! true final score and its upper bound must not fall below it. A violation
+//! would make pruning unsafe (BOND could drop a true nearest neighbour), so
+//! these properties are exercised aggressively here.
+
+use bond_metrics::{
+    CandidateState, DecomposableMetric, EqRule, EvRule, HhRule, HistogramIntersection, HqRule,
+    PruningRule, SquaredEuclidean, WeightedEvRule, WeightedHqRule, WeightedSquaredEuclidean,
+};
+use proptest::prelude::*;
+
+const DIMS: usize = 12;
+
+/// A random vector in the unit hypercube.
+fn unit_vector() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..=1.0, DIMS)
+}
+
+/// A random normalized histogram (non-negative, sums to 1).
+fn histogram() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..=1.0, DIMS).prop_map(|mut v| {
+        let total: f64 = v.iter().sum();
+        if total <= 0.0 {
+            v[0] = 1.0;
+        } else {
+            for x in &mut v {
+                *x /= total;
+            }
+        }
+        v
+    })
+}
+
+/// Non-negative weights, some possibly zero.
+fn weights() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(prop_oneof![Just(0.0f64), 0.01f64..=5.0], DIMS)
+}
+
+/// A split point m in [0, DIMS].
+fn split() -> impl Strategy<Value = usize> {
+    0..=DIMS
+}
+
+fn scanned_remaining(m: usize) -> (Vec<usize>, Vec<usize>) {
+    ((0..m).collect(), (m..DIMS).collect())
+}
+
+fn state_for(v: &[f64], metric: &dyn DecomposableMetric, q: &[f64], m: usize) -> CandidateState {
+    let (scanned, _) = scanned_remaining(m);
+    CandidateState {
+        partial: metric.partial_score(&scanned, v, q),
+        scanned_mass: v[..m].iter().sum(),
+        total_mass: v.iter().sum(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn hq_bounds_are_correct(h in histogram(), q in histogram(), m in split()) {
+        let metric = HistogramIntersection;
+        let (_, remaining) = scanned_remaining(m);
+        let mut rule = HqRule::new();
+        rule.prepare(&q, &remaining);
+        let state = state_for(&h, &metric, &q, m);
+        let (lo, hi) = rule.bounds(&state);
+        let full = metric.score(&h, &q);
+        prop_assert!(lo <= full + 1e-9);
+        prop_assert!(hi >= full - 1e-9);
+    }
+
+    #[test]
+    fn hh_bounds_are_correct_and_tighter(h in histogram(), q in histogram(), m in split()) {
+        let metric = HistogramIntersection;
+        let (_, remaining) = scanned_remaining(m);
+        let mut hh = HhRule::new();
+        let mut hq = HqRule::new();
+        hh.prepare(&q, &remaining);
+        hq.prepare(&q, &remaining);
+        let state = state_for(&h, &metric, &q, m);
+        let (lo, hi) = hh.bounds(&state);
+        let full = metric.score(&h, &q);
+        prop_assert!(lo <= full + 1e-9, "Hh lower {} vs {}", lo, full);
+        prop_assert!(hi >= full - 1e-9, "Hh upper {} vs {}", hi, full);
+        let (lo_q, hi_q) = hq.bounds(&state);
+        prop_assert!(lo >= lo_q - 1e-9);
+        prop_assert!(hi <= hi_q + 1e-9);
+    }
+
+    #[test]
+    fn eq_bounds_are_correct(v in unit_vector(), q in unit_vector(), m in split()) {
+        let metric = SquaredEuclidean;
+        let (_, remaining) = scanned_remaining(m);
+        let mut rule = EqRule::new();
+        rule.prepare(&q, &remaining);
+        let state = state_for(&v, &metric, &q, m);
+        let (lo, hi) = rule.bounds(&state);
+        let full = metric.score(&v, &q);
+        prop_assert!(lo <= full + 1e-9);
+        prop_assert!(hi >= full - 1e-9);
+    }
+
+    #[test]
+    fn ev_bounds_are_correct_and_tighter_upper(v in unit_vector(), q in unit_vector(), m in split()) {
+        let metric = SquaredEuclidean;
+        let (_, remaining) = scanned_remaining(m);
+        let mut ev = EvRule::new();
+        let mut eq = EqRule::new();
+        ev.prepare(&q, &remaining);
+        eq.prepare(&q, &remaining);
+        let state = state_for(&v, &metric, &q, m);
+        let (lo, hi) = ev.bounds(&state);
+        let full = metric.score(&v, &q);
+        prop_assert!(lo <= full + 1e-9, "Ev lower {} vs true {}", lo, full);
+        prop_assert!(hi >= full - 1e-9, "Ev upper {} vs true {}", hi, full);
+        // Ev's lower bound is at least Eq's (which is just the partial score).
+        let (lo_q, _) = eq.bounds(&state);
+        prop_assert!(lo >= lo_q - 1e-9);
+    }
+
+    #[test]
+    fn weighted_ev_bounds_are_correct(
+        v in unit_vector(),
+        q in unit_vector(),
+        w in weights(),
+        m in split(),
+    ) {
+        let metric = match WeightedSquaredEuclidean::new(w.clone()) {
+            Ok(m) => m,
+            Err(_) => return Ok(()),
+        };
+        let (_, remaining) = scanned_remaining(m);
+        let mut rule = WeightedEvRule::new(w);
+        rule.prepare(&q, &remaining);
+        let state = state_for(&v, &metric, &q, m);
+        let (lo, hi) = rule.bounds(&state);
+        let full = metric.score(&v, &q);
+        prop_assert!(lo <= full + 1e-9, "WEv lower {} vs true {}", lo, full);
+        prop_assert!(hi >= full - 1e-9, "WEv upper {} vs true {}", hi, full);
+    }
+
+    #[test]
+    fn weighted_hq_bounds_are_correct(
+        h in histogram(),
+        q in histogram(),
+        w in weights(),
+        m in split(),
+    ) {
+        let (_, remaining) = scanned_remaining(m);
+        let mut rule = WeightedHqRule::new(w.clone());
+        rule.prepare(&q, &remaining);
+        let scanned: Vec<usize> = (0..m).collect();
+        let partial: f64 = scanned.iter().map(|&d| w[d] * h[d].min(q[d])).sum();
+        let full: f64 = (0..DIMS).map(|d| w[d] * h[d].min(q[d])).sum();
+        let (lo, hi) = rule.bounds(&CandidateState::partial_only(partial));
+        prop_assert!(lo <= full + 1e-9);
+        prop_assert!(hi >= full - 1e-9);
+    }
+
+    #[test]
+    fn bounds_shrink_as_more_dimensions_are_scanned(h in histogram(), q in histogram()) {
+        // The Hq bound interval at m+1 is contained in the interval at m
+        // for the same histogram (monotone refinement).
+        let metric = HistogramIntersection;
+        let mut rule = HqRule::new();
+        let mut prev_width = f64::INFINITY;
+        for m in 0..=DIMS {
+            let (_, remaining) = scanned_remaining(m);
+            rule.prepare(&q, &remaining);
+            let state = state_for(&h, &metric, &q, m);
+            let (lo, hi) = rule.bounds(&state);
+            let width = hi - lo;
+            prop_assert!(width <= prev_width + 1e-9);
+            prev_width = width;
+        }
+    }
+
+    #[test]
+    fn euclidean_similarity_transform_is_monotone(d1 in 0.0f64..16.0, d2 in 0.0f64..16.0) {
+        let s1 = SquaredEuclidean::similarity_from_distance(d1, 16);
+        let s2 = SquaredEuclidean::similarity_from_distance(d2, 16);
+        if d1 < d2 {
+            prop_assert!(s1 >= s2);
+        }
+    }
+}

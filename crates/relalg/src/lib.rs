@@ -1,0 +1,35 @@
+//! # bond-relalg — BOND expressed in relational algebra
+//!
+//! Section 6 of the paper stresses that BOND "can be expressed in standard
+//! relational algebra; it does not require user-defined types or advanced
+//! indexing structures" and lists the MIL (Monet Interpreter Language)
+//! program that implements criterion Hq:
+//!
+//! ```text
+//! 1. for i in 1 .. m do
+//!        Di := [min](Hi, const Qi);
+//!    Smin := [+](D1, ..., Dm);
+//! 2. sumQ := Q1 + .. + Qm;
+//!    sk := Smin.kfetch( k );
+//!    maxbound := sk + sumQ - 1;
+//!    C := Smin.uselect(maxbound, 1.0);
+//! 3. for i in m+1 .. N do
+//!        Hi := C.reverse.join(Hi);
+//! ```
+//!
+//! This crate reproduces that formulation on top of the BAT types of
+//! `vdstore`: [`ops`] provides the physical operators (`[min]`, `[+]`,
+//! `kfetch`, `uselect`, positional join), and [`program`] drives the
+//! iterative BOND-Hq plan using *only* those operators, recording the MIL
+//! statements it executes along the way. The tests check that the algebraic
+//! formulation returns exactly the same answers as the direct implementation
+//! in `bond-core`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ops;
+pub mod program;
+
+pub use ops::{kfetch_largest, map_add, map_min_const, positional_join, uselect_range};
+pub use program::{run_bond_hq, BondHqProgram, MilRun};

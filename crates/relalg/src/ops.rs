@@ -1,0 +1,109 @@
+//! Physical BAT operators used by the MIL formulation of BOND.
+//!
+//! These mirror the Monet operators named in Section 6.1. All of them
+//! preserve the dense-head property where the original system does, so the
+//! positional joins of step 3 stay cheap.
+
+use vdstore::bat::{Bat, Head, OidBat};
+use vdstore::ops as kernels;
+use vdstore::{Result, VdError};
+
+/// `[min](Hi, const q)` — the multi-join map that takes the element-wise
+/// minimum of a dimensional fragment and a query constant.
+pub fn map_min_const(input: &Bat, constant: f64) -> Bat {
+    input.map_tail(|v| v.min(constant))
+}
+
+/// `[+](D1, ..., Dm)` — the multi-join map that adds aligned fragments
+/// element-wise. All inputs must have the same length; the head of the
+/// first input is reused (the join is positional because the fragments are
+/// aligned).
+pub fn map_add(inputs: &[&Bat]) -> Result<Bat> {
+    let first = inputs.first().ok_or(VdError::Empty("input list"))?;
+    let tails: Vec<&[f64]> = inputs.iter().map(|b| b.tail()).collect();
+    let summed = kernels::map_add(&tails)?;
+    // Property propagation (Section 6): the result of a positional multi-join
+    // map over aligned fragments keeps the head of its first input, so a
+    // dense head stays dense and later positional joins remain cheap.
+    Ok(match first.head() {
+        Head::VirtualDense { base } => Bat::dense_from(*base, summed),
+        Head::Materialized(_) => {
+            Bat::materialized(first.head_oids(), summed).expect("aligned inputs")
+        }
+    })
+}
+
+/// `Smin.kfetch(k)` — the k-th largest tail value.
+pub fn kfetch_largest(input: &Bat, k: usize) -> Result<f64> {
+    kernels::kfetch_largest(input.tail(), k)
+}
+
+/// `Smin.uselect(lo, hi)` — the unary range select. Returns an [`OidBat`]
+/// mapping a dense result head to the head OIDs of qualifying tuples, which
+/// is exactly the candidate list `C` of step 2.
+pub fn uselect_range(input: &Bat, lo: f64, hi: f64) -> OidBat {
+    let mut qualifying = Vec::new();
+    for (idx, &v) in input.tail().iter().enumerate() {
+        if v >= lo && v <= hi {
+            qualifying.push(input.head_oids()[idx]);
+        }
+    }
+    OidBat::dense(qualifying)
+}
+
+/// `C.reverse.join(Hi)` — the positional join that restricts a remaining
+/// fragment to the candidate set.
+pub fn positional_join(candidates: &OidBat, fragment: &Bat) -> Result<Bat> {
+    candidates.join(fragment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_min_const_clamps() {
+        let h = Bat::dense(vec![0.8, 0.05, 0.2]);
+        let d = map_min_const(&h, 0.1);
+        assert_eq!(d.tail(), &[0.1, 0.05, 0.1]);
+        assert!(d.head().is_dense());
+    }
+
+    #[test]
+    fn map_add_aligns_positionally() {
+        let a = Bat::dense(vec![0.1, 0.2]);
+        let b = Bat::dense(vec![0.3, 0.4]);
+        let s = map_add(&[&a, &b]).unwrap();
+        assert_eq!(s.tail(), &[0.4, 0.6000000000000001]);
+        assert!(map_add(&[]).is_err());
+        let short = Bat::dense(vec![0.1]);
+        assert!(map_add(&[&a, &short]).is_err());
+    }
+
+    #[test]
+    fn kfetch_is_kth_largest() {
+        let s = Bat::dense(vec![0.25, 0.8, 0.1, 0.85, 0.7]);
+        assert_eq!(kfetch_largest(&s, 1).unwrap(), 0.85);
+        assert_eq!(kfetch_largest(&s, 3).unwrap(), 0.7);
+        assert!(kfetch_largest(&s, 6).is_err());
+    }
+
+    #[test]
+    fn uselect_returns_candidate_oids() {
+        let s = Bat::dense(vec![0.25, 0.8, 0.1, 0.85, 0.7]);
+        let c = uselect_range(&s, 0.7, 1.0);
+        assert_eq!(c.tail(), &[1, 3, 4]);
+        // works on materialized heads too
+        let m = Bat::materialized(vec![10, 20, 30], vec![0.5, 0.9, 0.2]).unwrap();
+        let c = uselect_range(&m, 0.6, 1.0);
+        assert_eq!(c.tail(), &[20]);
+    }
+
+    #[test]
+    fn positional_join_restricts_fragments() {
+        let fragment = Bat::dense(vec![0.4, 0.3, 0.2, 0.1]);
+        let candidates = OidBat::dense(vec![2, 0]);
+        let reduced = positional_join(&candidates, &fragment).unwrap();
+        assert_eq!(reduced.tail(), &[0.2, 0.4]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Binary Association Tables (BATs).
+//!
+//! Monet — the system the paper implements BOND in — represents every
+//! relation as a set of binary tables `(head, tail)`. The head is frequently
+//! a *virtual* densely ascending OID column, which enables positional lookup
+//! and saves a third of the storage (footnote 4 of the paper). The
+//! `bond-relalg` crate builds the MIL program of Section 6.1 on top of this
+//! type; the BOND engine itself works on the leaner [`crate::Column`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, VdError};
+use crate::RowId;
+
+/// The head column of a BAT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Head {
+    /// Densely ascending OIDs starting at `base` — nothing is materialised.
+    VirtualDense {
+        /// The OID of the first tuple.
+        base: RowId,
+    },
+    /// Explicitly materialised OIDs (used after selections destroy density).
+    Materialized(Vec<RowId>),
+}
+
+impl Head {
+    /// The head OID of tuple `idx`.
+    #[inline]
+    pub fn oid(&self, idx: usize) -> RowId {
+        match self {
+            Head::VirtualDense { base } => base + idx as RowId,
+            Head::Materialized(oids) => oids[idx],
+        }
+    }
+
+    /// Whether the head is virtual (dense).
+    pub fn is_dense(&self) -> bool {
+        matches!(self, Head::VirtualDense { .. })
+    }
+}
+
+/// A binary association table with `f64` tail values.
+///
+/// The tail is always materialised; the head may be virtual. All operators
+/// used by the MIL program preserve or re-establish head density where the
+/// paper's implementation does ("administration of properties ... propagates
+/// fragmentation information through operators").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bat {
+    head: Head,
+    tail: Vec<f64>,
+}
+
+impl Bat {
+    /// A BAT with a dense head starting at 0 and the given tail.
+    pub fn dense(tail: Vec<f64>) -> Self {
+        Bat { head: Head::VirtualDense { base: 0 }, tail }
+    }
+
+    /// A BAT with a dense head starting at `base`.
+    pub fn dense_from(base: RowId, tail: Vec<f64>) -> Self {
+        Bat { head: Head::VirtualDense { base }, tail }
+    }
+
+    /// A BAT with explicit head OIDs.
+    ///
+    /// Returns an error when head and tail lengths differ.
+    pub fn materialized(head: Vec<RowId>, tail: Vec<f64>) -> Result<Self> {
+        if head.len() != tail.len() {
+            return Err(VdError::LengthMismatch { expected: head.len(), actual: tail.len() });
+        }
+        Ok(Bat { head: Head::Materialized(head), tail })
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Whether the BAT holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tail.is_empty()
+    }
+
+    /// The head descriptor.
+    pub fn head(&self) -> &Head {
+        &self.head
+    }
+
+    /// The tail values.
+    pub fn tail(&self) -> &[f64] {
+        &self.tail
+    }
+
+    /// The `(oid, value)` pair at position `idx`.
+    pub fn tuple(&self, idx: usize) -> (RowId, f64) {
+        (self.head.oid(idx), self.tail[idx])
+    }
+
+    /// Iterates over `(oid, value)` tuples.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, f64)> + '_ {
+        (0..self.len()).map(move |i| self.tuple(i))
+    }
+
+    /// Positional lookup of the tail value for head OID `oid`.
+    ///
+    /// Only available on dense BATs, where it is O(1) (the whole point of
+    /// keeping heads virtual).
+    pub fn lookup_dense(&self, oid: RowId) -> Result<f64> {
+        match &self.head {
+            Head::VirtualDense { base } => {
+                let idx = oid.checked_sub(*base).ok_or(VdError::RowOutOfBounds {
+                    row: oid,
+                    rows: self.len(),
+                })? as usize;
+                self.tail
+                    .get(idx)
+                    .copied()
+                    .ok_or(VdError::RowOutOfBounds { row: oid, rows: self.len() })
+            }
+            Head::Materialized(_) => Err(VdError::InvalidArgument(
+                "positional lookup requires a dense head".into(),
+            )),
+        }
+    }
+
+    /// `reverse` in MIL: swaps head and tail roles. Since our tails are
+    /// `f64`, reverse is only meaningful for OID-valued tails; here it
+    /// returns the head OIDs as a [`OidBat`] keyed by position, which is what
+    /// the MIL fragment `C.reverse.join(Hi)` needs.
+    pub fn head_oids(&self) -> Vec<RowId> {
+        (0..self.len()).map(|i| self.head.oid(i)).collect()
+    }
+
+    /// Element-wise map over the tail, preserving the head.
+    pub fn map_tail(&self, f: impl Fn(f64) -> f64) -> Bat {
+        Bat { head: self.head.clone(), tail: self.tail.iter().map(|&v| f(v)).collect() }
+    }
+}
+
+/// A binary association table whose tail holds OIDs (e.g. the result of a
+/// selection, mapping new dense result positions to qualifying row OIDs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OidBat {
+    head: Head,
+    tail: Vec<RowId>,
+}
+
+impl OidBat {
+    /// An OID BAT with a dense head starting at 0.
+    pub fn dense(tail: Vec<RowId>) -> Self {
+        OidBat { head: Head::VirtualDense { base: 0 }, tail }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Whether the BAT holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tail.is_empty()
+    }
+
+    /// The tail OIDs.
+    pub fn tail(&self) -> &[RowId] {
+        &self.tail
+    }
+
+    /// The head descriptor.
+    pub fn head(&self) -> &Head {
+        &self.head
+    }
+
+    /// Joins this OID BAT with a dense `f64` BAT: for every tail OID, fetch
+    /// the value with that OID in `other`. This is the positional join used
+    /// in step 3 of the MIL program to shrink the remaining dimensional
+    /// fragments to the candidate set.
+    pub fn join(&self, other: &Bat) -> Result<Bat> {
+        let mut tail = Vec::with_capacity(self.len());
+        for &oid in &self.tail {
+            tail.push(other.lookup_dense(oid)?);
+        }
+        Ok(Bat { head: self.head.clone(), tail })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_bat_lookup() {
+        let b = Bat::dense(vec![0.5, 0.25, 0.25]);
+        assert_eq!(b.len(), 3);
+        assert!(b.head().is_dense());
+        assert_eq!(b.tuple(1), (1, 0.25));
+        assert_eq!(b.lookup_dense(2).unwrap(), 0.25);
+        assert!(b.lookup_dense(3).is_err());
+    }
+
+    #[test]
+    fn dense_from_base() {
+        let b = Bat::dense_from(10, vec![1.0, 2.0]);
+        assert_eq!(b.tuple(0), (10, 1.0));
+        assert_eq!(b.lookup_dense(11).unwrap(), 2.0);
+        assert!(b.lookup_dense(9).is_err());
+    }
+
+    #[test]
+    fn materialized_bat() {
+        let b = Bat::materialized(vec![5, 3, 8], vec![0.1, 0.2, 0.3]).unwrap();
+        assert!(!b.head().is_dense());
+        assert_eq!(b.tuple(2), (8, 0.3));
+        assert!(b.lookup_dense(5).is_err());
+        assert!(Bat::materialized(vec![1], vec![]).is_err());
+    }
+
+    #[test]
+    fn iter_and_map() {
+        let b = Bat::dense(vec![1.0, 2.0]);
+        let tuples: Vec<_> = b.iter().collect();
+        assert_eq!(tuples, vec![(0, 1.0), (1, 2.0)]);
+        let doubled = b.map_tail(|v| v * 2.0);
+        assert_eq!(doubled.tail(), &[2.0, 4.0]);
+        assert_eq!(doubled.head(), b.head());
+    }
+
+    #[test]
+    fn oid_bat_join_is_positional() {
+        let values = Bat::dense(vec![10.0, 11.0, 12.0, 13.0]);
+        let cand = OidBat::dense(vec![3, 1]);
+        let joined = cand.join(&values).unwrap();
+        assert_eq!(joined.tail(), &[13.0, 11.0]);
+        assert_eq!(joined.head().oid(0), 0);
+        // join against missing oid fails
+        let bad = OidBat::dense(vec![9]);
+        assert!(bad.join(&values).is_err());
+    }
+
+    #[test]
+    fn head_oids_materialisation() {
+        let b = Bat::dense_from(4, vec![0.0, 0.0, 0.0]);
+        assert_eq!(b.head_oids(), vec![4, 5, 6]);
+        let m = Bat::materialized(vec![2, 7], vec![0.0, 0.0]).unwrap();
+        assert_eq!(m.head_oids(), vec![2, 7]);
+        assert!(OidBat::dense(vec![]).is_empty());
+    }
+}

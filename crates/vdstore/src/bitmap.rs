@@ -1,0 +1,281 @@
+//! Candidate-set bitmaps.
+//!
+//! Section 6.1 of the paper notes that in the early BOND iterations — when
+//! selectivity is still low — materialising the surviving candidates as new
+//! base tables copies too much data; instead a bitmap over the (dense) row
+//! identifiers marks the pruned vectors. The same bitmap doubles as the
+//! tombstone structure for deleted rows (Section 6.2) and as the carrier of
+//! prior relational predicates ("photographs taken in 1992") combined with
+//! the k-NN search.
+
+use serde::{Deserialize, Serialize};
+
+use crate::RowId;
+
+/// A fixed-length bitset over dense row identifiers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitmap {
+    len: usize,
+    words: Vec<u64>,
+}
+
+const WORD_BITS: usize = 64;
+
+impl Bitmap {
+    /// Creates a bitmap of `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        Bitmap { len, words: vec![0; len.div_ceil(WORD_BITS)] }
+    }
+
+    /// Creates a bitmap of `len` bits, all set.
+    pub fn full(len: usize) -> Self {
+        let mut b = Bitmap { len, words: vec![u64::MAX; len.div_ceil(WORD_BITS)] };
+        b.clear_trailing();
+        b
+    }
+
+    /// Creates a bitmap with exactly the given rows set.
+    pub fn from_rows(len: usize, rows: &[RowId]) -> Self {
+        let mut b = Bitmap::new(len);
+        for &r in rows {
+            b.set(r);
+        }
+        b
+    }
+
+    fn clear_trailing(&mut self) {
+        let used = self.len % WORD_BITS;
+        if used != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << used) - 1;
+            }
+        }
+    }
+
+    /// Number of addressable bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap addresses zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets the bit for `row`.
+    #[inline]
+    pub fn set(&mut self, row: RowId) {
+        let row = row as usize;
+        debug_assert!(row < self.len);
+        self.words[row / WORD_BITS] |= 1u64 << (row % WORD_BITS);
+    }
+
+    /// Clears the bit for `row`.
+    #[inline]
+    pub fn clear(&mut self, row: RowId) {
+        let row = row as usize;
+        debug_assert!(row < self.len);
+        self.words[row / WORD_BITS] &= !(1u64 << (row % WORD_BITS));
+    }
+
+    /// Tests the bit for `row`.
+    #[inline]
+    pub fn get(&self, row: RowId) -> bool {
+        let row = row as usize;
+        debug_assert!(row < self.len);
+        self.words[row / WORD_BITS] & (1u64 << (row % WORD_BITS)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Sets every bit.
+    pub fn set_all(&mut self) {
+        self.words.fill(u64::MAX);
+        self.clear_trailing();
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    /// Panics if the bitmaps have different lengths.
+    pub fn and_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    /// Panics if the bitmaps have different lengths.
+    pub fn or_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place complement (within the addressed length).
+    pub fn negate(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.clear_trailing();
+    }
+
+    /// In-place difference: clears every bit that is set in `other`.
+    ///
+    /// # Panics
+    /// Panics if the bitmaps have different lengths.
+    pub fn and_not_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// Iterates over the set rows in ascending order.
+    pub fn iter(&self) -> BitmapIter<'_> {
+        BitmapIter { bitmap: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Materialises the set rows into a vector (the "switch to positional
+    /// joins" moment of Section 6.1).
+    pub fn to_rows(&self) -> Vec<RowId> {
+        self.iter().collect()
+    }
+
+    /// Fraction of set bits, in `[0, 1]`; `0` for an empty bitmap.
+    pub fn density(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count() as f64 / self.len as f64
+        }
+    }
+}
+
+/// Iterator over the set rows of a [`Bitmap`].
+pub struct BitmapIter<'a> {
+    bitmap: &'a Bitmap,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitmapIter<'_> {
+    type Item = RowId;
+
+    fn next(&mut self) -> Option<RowId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some((self.word_idx * WORD_BITS + bit) as RowId);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.bitmap.words.len() {
+                return None;
+            }
+            self.current = self.bitmap.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Bitmap {
+    type Item = RowId;
+    type IntoIter = BitmapIter<'a>;
+
+    fn into_iter(self) -> BitmapIter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_full_and_count() {
+        let b = Bitmap::new(100);
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.count(), 0);
+        let f = Bitmap::full(100);
+        assert_eq!(f.count(), 100);
+        assert!(f.get(0) && f.get(99));
+        // bits past the logical length stay clear
+        let f = Bitmap::full(65);
+        assert_eq!(f.count(), 65);
+    }
+
+    #[test]
+    fn set_clear_get() {
+        let mut b = Bitmap::new(130);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(128));
+        assert_eq!(b.count(), 3);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn iteration_order_and_to_rows() {
+        let rows = vec![3, 64, 65, 127, 128];
+        let b = Bitmap::from_rows(200, &rows);
+        assert_eq!(b.to_rows(), rows);
+        assert_eq!(b.iter().count(), 5);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let mut a = Bitmap::from_rows(10, &[1, 2, 3]);
+        let b = Bitmap::from_rows(10, &[2, 3, 4]);
+        let mut u = a.clone();
+        u.or_with(&b);
+        assert_eq!(u.to_rows(), vec![1, 2, 3, 4]);
+        a.and_with(&b);
+        assert_eq!(a.to_rows(), vec![2, 3]);
+        a.and_not_with(&Bitmap::from_rows(10, &[3]));
+        assert_eq!(a.to_rows(), vec![2]);
+    }
+
+    #[test]
+    fn negate_respects_length() {
+        let mut b = Bitmap::from_rows(70, &[0, 69]);
+        b.negate();
+        assert_eq!(b.count(), 68);
+        assert!(!b.get(0) && !b.get(69) && b.get(1));
+    }
+
+    #[test]
+    fn set_all_clear_all_density() {
+        let mut b = Bitmap::new(64);
+        assert_eq!(b.density(), 0.0);
+        b.set_all();
+        assert_eq!(b.count(), 64);
+        assert_eq!(b.density(), 1.0);
+        b.clear_all();
+        assert_eq!(b.count(), 0);
+        assert_eq!(Bitmap::new(0).density(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bitmap length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut a = Bitmap::new(10);
+        let b = Bitmap::new(11);
+        a.and_with(&b);
+    }
+}

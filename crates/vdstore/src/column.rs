@@ -1,0 +1,206 @@
+//! A single dimensional fragment: the values of one dimension for every
+//! vector of the collection.
+//!
+//! In the paper's Monet implementation each dimension `i` is a binary
+//! relation `Hi(oid, value)`. Because the histogram identifiers form a
+//! densely ascending sequence the head column is *virtual*: the value of row
+//! `r` is simply `values[r]`. [`Column`] captures exactly that.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, VdError};
+use crate::RowId;
+
+/// One vertically decomposed dimension: a dense array of `f64` coefficients,
+/// addressed positionally by [`RowId`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Column {
+    /// Optional human-readable name (e.g. `"hsv_bin_17"`).
+    name: String,
+    values: Vec<f64>,
+}
+
+impl Column {
+    /// Creates a column from raw values.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Column { name: name.into(), values }
+    }
+
+    /// Creates an unnamed column from raw values.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        Column { name: String::new(), values }
+    }
+
+    /// Creates an empty column with the given capacity.
+    pub fn with_capacity(name: impl Into<String>, capacity: usize) -> Self {
+        Column { name: name.into(), values: Vec::with_capacity(capacity) }
+    }
+
+    /// The column's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the column.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of rows stored.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Returns the value at `row`, or an error when out of bounds.
+    pub fn get(&self, row: RowId) -> Result<f64> {
+        self.values
+            .get(row as usize)
+            .copied()
+            .ok_or(VdError::RowOutOfBounds { row, rows: self.values.len() })
+    }
+
+    /// Positional lookup without bounds checking beyond the slice's own.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    #[inline]
+    pub fn value(&self, row: RowId) -> f64 {
+        self.values[row as usize]
+    }
+
+    /// The underlying dense value slice.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the underlying value slice.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Appends a value (a new row) to the column.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Overwrites the value of an existing row.
+    pub fn set(&mut self, row: RowId, value: f64) -> Result<()> {
+        let rows = self.values.len();
+        let slot = self
+            .values
+            .get_mut(row as usize)
+            .ok_or(VdError::RowOutOfBounds { row, rows })?;
+        *slot = value;
+        Ok(())
+    }
+
+    /// Gathers the values of the given rows (a positional join with a
+    /// materialised candidate list, cf. step 3 of the MIL program).
+    pub fn gather(&self, rows: &[RowId]) -> Vec<f64> {
+        rows.iter().map(|&r| self.values[r as usize]).collect()
+    }
+
+    /// Minimum value of the column (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum value of the column (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Arithmetic mean of the column (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Consumes the column and returns its values.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+}
+
+impl From<Vec<f64>> for Column {
+    fn from(values: Vec<f64>) -> Self {
+        Column::from_values(values)
+    }
+}
+
+impl std::ops::Index<RowId> for Column {
+    type Output = f64;
+
+    fn index(&self, row: RowId) -> &f64 {
+        &self.values[row as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let c = Column::new("dim0", vec![0.1, 0.2, 0.3]);
+        assert_eq!(c.name(), "dim0");
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.value(1), 0.2);
+        assert_eq!(c[2], 0.3);
+        assert_eq!(c.get(0).unwrap(), 0.1);
+        assert!(matches!(
+            c.get(3),
+            Err(VdError::RowOutOfBounds { row: 3, rows: 3 })
+        ));
+    }
+
+    #[test]
+    fn push_set_and_mutation() {
+        let mut c = Column::with_capacity("d", 4);
+        assert!(c.is_empty());
+        c.push(1.0);
+        c.push(2.0);
+        c.set(0, 5.0).unwrap();
+        assert_eq!(c.values(), &[5.0, 2.0]);
+        assert!(c.set(9, 1.0).is_err());
+        c.values_mut()[1] = 7.0;
+        assert_eq!(c.value(1), 7.0);
+    }
+
+    #[test]
+    fn gather_is_positional() {
+        let c = Column::from_values(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(c.gather(&[3, 0, 0]), vec![40.0, 10.0, 10.0]);
+        assert_eq!(c.gather(&[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn aggregates() {
+        let c = Column::from_values(vec![2.0, -1.0, 4.0]);
+        assert_eq!(c.min(), Some(-1.0));
+        assert_eq!(c.max(), Some(4.0));
+        assert!((c.mean().unwrap() - 5.0 / 3.0).abs() < 1e-12);
+        let empty = Column::default();
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.mean(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        let c: Column = vec![1.0, 2.0].into();
+        assert_eq!(c.into_values(), vec![1.0, 2.0]);
+        let mut c = Column::from_values(vec![0.0]);
+        c.set_name("renamed");
+        assert_eq!(c.name(), "renamed");
+    }
+}

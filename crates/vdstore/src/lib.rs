@@ -1,0 +1,60 @@
+//! # vdstore — a vertically decomposed in-memory column store
+//!
+//! This crate is the storage substrate for the BOND reproduction (de Vries,
+//! Mamoulis, Nes, Kersten: *Efficient k-NN Search on Vertically Decomposed
+//! Data*, SIGMOD 2002). It implements the Decomposition Storage Model
+//! (Copeland & Khoshafian, SIGMOD 1985) the way the paper's Monet
+//! implementation uses it:
+//!
+//! * every dimension of a feature-vector collection is stored in its own
+//!   [`Column`] (a BAT with a *virtual*, densely ascending OID head and a
+//!   `f64` tail),
+//! * a [`DecomposedTable`] groups the per-dimension columns of one feature
+//!   collection and offers row-major construction, appends, tombstone
+//!   deletes and subspace views,
+//! * the physical operators the MIL program of Section 6.1 relies on live in
+//!   [`ops`]: `kfetch` (k-th largest/smallest element), `uselect` (unary
+//!   range select), positional joins/gathers and element-wise maps,
+//! * [`Bitmap`] is the candidate-set representation used in the early BOND
+//!   iterations before the engine switches to materialised candidate lists,
+//! * [`quantize`] provides the 8-bit scalar quantization used both by
+//!   BOND-on-compressed-fragments (Figure 9 / Table 4) and by the VA-File
+//!   baseline,
+//! * [`stats`] computes the dataset statistics of Figure 2 that motivate the
+//!   dimension-ordering heuristics,
+//! * [`persist`] serialises decomposed tables to a simple binary format.
+//!
+//! The crate is deliberately free of any knowledge about similarity metrics
+//! or pruning rules — those live in `bond-metrics` and `bond-core`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bat;
+pub mod bitmap;
+pub mod column;
+pub mod error;
+pub mod ops;
+pub mod persist;
+pub mod quantize;
+pub mod rowmatrix;
+pub mod stats;
+pub mod table;
+pub mod topk;
+
+pub use bat::{Bat, Head};
+pub use bitmap::Bitmap;
+pub use column::Column;
+pub use error::{Result, VdError};
+pub use quantize::{QuantizedColumn, QuantizedTable};
+pub use rowmatrix::RowMatrix;
+pub use stats::{ColumnStats, DatasetStats};
+pub use table::{DecomposedTable, TableBuilder};
+pub use topk::{TopKLargest, TopKSmallest};
+
+/// Row identifier inside a decomposed table.
+///
+/// The paper exploits the "known, densely ascending order of histograms" to
+/// avoid materialising histogram identifiers; we keep the same invariant:
+/// a `RowId` is simply the dense position of the vector in the collection.
+pub type RowId = u32;

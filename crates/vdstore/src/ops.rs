@@ -1,0 +1,214 @@
+//! Physical operators over dimensional fragments.
+//!
+//! These are the free-standing kernels the BOND engine and the MIL-like plan
+//! interpreter are built from: `kfetch` (the k-th largest/smallest element of
+//! a score column), `uselect` (unary range select producing qualifying row
+//! ids), positional gathers and the element-wise maps `[min]` / `[+]` of the
+//! multi-join map construct in Section 6.1.
+
+use crate::bitmap::Bitmap;
+use crate::error::{Result, VdError};
+use crate::topk::{TopKLargest, TopKSmallest};
+use crate::RowId;
+
+/// Returns the k-th **largest** value of `values` (1-based k), using a
+/// bounded heap with worst-case cost `O(n log k)` — the `kfetch` operator.
+pub fn kfetch_largest(values: &[f64], k: usize) -> Result<f64> {
+    if k == 0 || k > values.len() {
+        return Err(VdError::InvalidK { k, rows: values.len() });
+    }
+    let mut heap = TopKLargest::new(k);
+    for (i, &v) in values.iter().enumerate() {
+        heap.push(i as RowId, v);
+    }
+    heap.kth().ok_or(VdError::InvalidK { k, rows: values.len() })
+}
+
+/// Returns the k-th **smallest** value of `values` (1-based k).
+pub fn kfetch_smallest(values: &[f64], k: usize) -> Result<f64> {
+    if k == 0 || k > values.len() {
+        return Err(VdError::InvalidK { k, rows: values.len() });
+    }
+    let mut heap = TopKSmallest::new(k);
+    for (i, &v) in values.iter().enumerate() {
+        heap.push(i as RowId, v);
+    }
+    heap.kth().ok_or(VdError::InvalidK { k, rows: values.len() })
+}
+
+/// Variant of [`kfetch_largest`] restricted to the rows set in `candidates`.
+pub fn kfetch_largest_masked(values: &[f64], candidates: &Bitmap, k: usize) -> Result<f64> {
+    let live = candidates.count();
+    if k == 0 || k > live {
+        return Err(VdError::InvalidK { k, rows: live });
+    }
+    let mut heap = TopKLargest::new(k);
+    for row in candidates.iter() {
+        heap.push(row, values[row as usize]);
+    }
+    heap.kth().ok_or(VdError::InvalidK { k, rows: live })
+}
+
+/// Variant of [`kfetch_smallest`] restricted to the rows set in `candidates`.
+pub fn kfetch_smallest_masked(values: &[f64], candidates: &Bitmap, k: usize) -> Result<f64> {
+    let live = candidates.count();
+    if k == 0 || k > live {
+        return Err(VdError::InvalidK { k, rows: live });
+    }
+    let mut heap = TopKSmallest::new(k);
+    for row in candidates.iter() {
+        heap.push(row, values[row as usize]);
+    }
+    heap.kth().ok_or(VdError::InvalidK { k, rows: live })
+}
+
+/// Unary range select: the row ids whose value lies in `[lo, hi]`
+/// (inclusive on both ends, like MIL's `uselect(lo, hi)`).
+pub fn uselect(values: &[f64], lo: f64, hi: f64) -> Vec<RowId> {
+    values
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &v)| (v >= lo && v <= hi).then_some(i as RowId))
+        .collect()
+}
+
+/// Range select returning a bitmap instead of a materialised id list — the
+/// representation BOND uses while selectivity is still low (Section 6.1).
+pub fn uselect_bitmap(values: &[f64], lo: f64, hi: f64) -> Bitmap {
+    let mut b = Bitmap::new(values.len());
+    for (i, &v) in values.iter().enumerate() {
+        if v >= lo && v <= hi {
+            b.set(i as RowId);
+        }
+    }
+    b
+}
+
+/// Range select restricted to rows already present in `candidates`; clears
+/// candidates falling outside `[lo, hi]` in place.
+pub fn uselect_refine(values: &[f64], candidates: &mut Bitmap, lo: f64, hi: f64) {
+    let mut pruned: Vec<RowId> = Vec::new();
+    for row in candidates.iter() {
+        let v = values[row as usize];
+        if v < lo || v > hi {
+            pruned.push(row);
+        }
+    }
+    for row in pruned {
+        candidates.clear(row);
+    }
+}
+
+/// Element-wise `min(values[i], constant)` — the `[min](Hi, const q_i)`
+/// multi-join map of step 1.
+pub fn map_min_const(values: &[f64], constant: f64) -> Vec<f64> {
+    values.iter().map(|&v| v.min(constant)).collect()
+}
+
+/// Element-wise addition of several equally long arrays — the `[+]`
+/// multi-join map of step 1. Returns an error when the arrays disagree in
+/// length or no array is given.
+pub fn map_add(arrays: &[&[f64]]) -> Result<Vec<f64>> {
+    let first = arrays.first().ok_or(VdError::Empty("array list"))?;
+    let len = first.len();
+    for a in arrays {
+        if a.len() != len {
+            return Err(VdError::LengthMismatch { expected: len, actual: a.len() });
+        }
+    }
+    let mut out = vec![0.0; len];
+    for a in arrays {
+        for (o, &v) in out.iter_mut().zip(*a) {
+            *o += v;
+        }
+    }
+    Ok(out)
+}
+
+/// Accumulates `acc[i] += values[i]` in place (the incremental form of
+/// `[+]` the engine uses to avoid re-summing every processed dimension).
+pub fn accumulate(acc: &mut [f64], values: &[f64]) -> Result<()> {
+    if acc.len() != values.len() {
+        return Err(VdError::LengthMismatch { expected: acc.len(), actual: values.len() });
+    }
+    for (a, &v) in acc.iter_mut().zip(values) {
+        *a += v;
+    }
+    Ok(())
+}
+
+/// Positional gather: `values[rows[i]]` for every i (step 3's positional
+/// join of the candidate list against a remaining fragment).
+pub fn gather(values: &[f64], rows: &[RowId]) -> Vec<f64> {
+    rows.iter().map(|&r| values[r as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kfetch_largest_matches_sort() {
+        let v = vec![0.1, 0.85, 0.9, 0.8, 0.35, 0.7, 0.15, 0.6];
+        assert_eq!(kfetch_largest(&v, 1).unwrap(), 0.9);
+        assert_eq!(kfetch_largest(&v, 3).unwrap(), 0.8);
+        assert_eq!(kfetch_largest(&v, 8).unwrap(), 0.1);
+        assert!(kfetch_largest(&v, 0).is_err());
+        assert!(kfetch_largest(&v, 9).is_err());
+    }
+
+    #[test]
+    fn kfetch_smallest_matches_sort() {
+        let v = vec![5.0, 2.0, 9.0, 1.0];
+        assert_eq!(kfetch_smallest(&v, 1).unwrap(), 1.0);
+        assert_eq!(kfetch_smallest(&v, 2).unwrap(), 2.0);
+        assert_eq!(kfetch_smallest(&v, 4).unwrap(), 9.0);
+        assert!(kfetch_smallest(&[], 1).is_err());
+    }
+
+    #[test]
+    fn masked_kfetch_only_sees_candidates() {
+        let v = vec![0.9, 0.1, 0.8, 0.2, 0.7];
+        let mask = Bitmap::from_rows(5, &[1, 3, 4]);
+        assert_eq!(kfetch_largest_masked(&v, &mask, 1).unwrap(), 0.7);
+        assert_eq!(kfetch_largest_masked(&v, &mask, 3).unwrap(), 0.1);
+        assert_eq!(kfetch_smallest_masked(&v, &mask, 1).unwrap(), 0.1);
+        assert!(kfetch_largest_masked(&v, &mask, 4).is_err());
+    }
+
+    #[test]
+    fn uselect_variants_agree() {
+        let v = vec![0.55, 0.2, 0.7, 0.75, 0.3];
+        let ids = uselect(&v, 0.55, 1.0);
+        assert_eq!(ids, vec![0, 2, 3]);
+        let bm = uselect_bitmap(&v, 0.55, 1.0);
+        assert_eq!(bm.to_rows(), ids);
+
+        let mut cand = Bitmap::from_rows(5, &[0, 1, 2]);
+        uselect_refine(&v, &mut cand, 0.55, 1.0);
+        assert_eq!(cand.to_rows(), vec![0, 2]);
+    }
+
+    #[test]
+    fn maps_and_accumulate() {
+        let h = vec![0.3, 0.8, 0.05];
+        assert_eq!(map_min_const(&h, 0.25), vec![0.25, 0.25, 0.05]);
+
+        let a = vec![1.0, 2.0];
+        let b = vec![0.5, 0.5];
+        assert_eq!(map_add(&[&a, &b]).unwrap(), vec![1.5, 2.5]);
+        assert!(map_add(&[]).is_err());
+        assert!(map_add(&[&a, &[1.0]]).is_err());
+
+        let mut acc = vec![1.0, 1.0];
+        accumulate(&mut acc, &[0.25, 0.75]).unwrap();
+        assert_eq!(acc, vec![1.25, 1.75]);
+        assert!(accumulate(&mut acc, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn gather_is_positional() {
+        let v = vec![9.0, 8.0, 7.0];
+        assert_eq!(gather(&v, &[2, 2, 0]), vec![7.0, 7.0, 9.0]);
+    }
+}

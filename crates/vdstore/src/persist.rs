@@ -1,0 +1,223 @@
+//! Binary persistence of decomposed tables.
+//!
+//! A decomposed table is written column-after-column, which is exactly the
+//! on-disk layout the decomposition storage model is about: each dimensional
+//! fragment is one contiguous run of values, so a search that touches only
+//! the first `m` fragments reads only those byte ranges. The format is
+//! deliberately simple (no compression, little metadata) — it exists so that
+//! datasets generated once can be reloaded by examples, tests and the
+//! benchmark harness.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   : 8 bytes  = b"BONDVD01"
+//! name_len: u32, name bytes (UTF-8)
+//! dims    : u32
+//! rows    : u64
+//! per column: name_len u32, name bytes, rows * f64 values
+//! deleted bitmap: n_words u32, words u64 * n_words
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::bitmap::Bitmap;
+use crate::column::Column;
+use crate::error::{Result, VdError};
+use crate::table::DecomposedTable;
+
+const MAGIC: &[u8; 8] = b"BONDVD01";
+
+/// Serialises a table into a byte buffer.
+pub fn table_to_bytes(table: &DecomposedTable) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + table.rows() * table.dims() * 8);
+    buf.put_slice(MAGIC);
+    put_string(&mut buf, table.name());
+    buf.put_u32_le(table.dims() as u32);
+    buf.put_u64_le(table.rows() as u64);
+    for c in table.columns() {
+        put_string(&mut buf, c.name());
+        for &v in c.values() {
+            buf.put_f64_le(v);
+        }
+    }
+    // tombstones: store as the list of deleted row ids (usually tiny)
+    let deleted: Vec<u32> = (0..table.rows() as u32).filter(|&r| table.is_deleted(r)).collect();
+    buf.put_u32_le(deleted.len() as u32);
+    for r in deleted {
+        buf.put_u32_le(r);
+    }
+    buf.freeze()
+}
+
+/// Reconstructs a table from a byte buffer produced by [`table_to_bytes`].
+pub fn table_from_bytes(bytes: &[u8]) -> Result<DecomposedTable> {
+    let mut buf = bytes;
+    if buf.remaining() < MAGIC.len() {
+        return Err(VdError::Corrupt("buffer shorter than magic".into()));
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(VdError::Corrupt(format!("bad magic {magic:?}")));
+    }
+    let name = get_string(&mut buf)?;
+    if buf.remaining() < 12 {
+        return Err(VdError::Corrupt("truncated header".into()));
+    }
+    let dims = buf.get_u32_le() as usize;
+    let rows = buf.get_u64_le() as usize;
+    if dims == 0 {
+        return Err(VdError::Corrupt("zero dimensions".into()));
+    }
+    let mut columns = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        let cname = get_string(&mut buf)?;
+        if buf.remaining() < rows * 8 {
+            return Err(VdError::Corrupt("truncated column data".into()));
+        }
+        let mut values = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            values.push(buf.get_f64_le());
+        }
+        columns.push(Column::new(cname, values));
+    }
+    let mut table = DecomposedTable::from_columns(name, columns)?;
+    if buf.remaining() < 4 {
+        return Err(VdError::Corrupt("missing tombstone section".into()));
+    }
+    let n_deleted = buf.get_u32_le() as usize;
+    if buf.remaining() < n_deleted * 4 {
+        return Err(VdError::Corrupt("truncated tombstone list".into()));
+    }
+    for _ in 0..n_deleted {
+        let r = buf.get_u32_le();
+        table.delete(r)?;
+    }
+    Ok(table)
+}
+
+/// Writes a table to a file.
+pub fn save_table(table: &DecomposedTable, path: &std::path::Path) -> Result<()> {
+    let bytes = table_to_bytes(table);
+    std::fs::write(path, &bytes)
+        .map_err(|e| VdError::Corrupt(format!("io error writing {}: {e}", path.display())))
+}
+
+/// Reads a table from a file.
+pub fn load_table(path: &std::path::Path) -> Result<DecomposedTable> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| VdError::Corrupt(format!("io error reading {}: {e}", path.display())))?;
+    table_from_bytes(&bytes)
+}
+
+/// Serialises only the live-row bitmap of a table (useful for persisting the
+/// result of a prior selection predicate to combine with k-NN search).
+pub fn bitmap_to_bytes(bitmap: &Bitmap) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u64_le(bitmap.len() as u64);
+    for row in bitmap.iter() {
+        buf.put_u32_le(row);
+    }
+    buf.freeze()
+}
+
+/// Reconstructs a bitmap from [`bitmap_to_bytes`] output.
+pub fn bitmap_from_bytes(bytes: &[u8]) -> Result<Bitmap> {
+    let mut buf = bytes;
+    if buf.remaining() < 8 {
+        return Err(VdError::Corrupt("bitmap buffer too short".into()));
+    }
+    let len = buf.get_u64_le() as usize;
+    let mut b = Bitmap::new(len);
+    while buf.remaining() >= 4 {
+        let row = buf.get_u32_le();
+        if (row as usize) >= len {
+            return Err(VdError::Corrupt(format!("bitmap row {row} out of range {len}")));
+        }
+        b.set(row);
+    }
+    Ok(b)
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(VdError::Corrupt("truncated string length".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(VdError::Corrupt("truncated string".into()));
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|e| VdError::Corrupt(format!("invalid utf-8: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DecomposedTable {
+        let mut t = DecomposedTable::from_vectors(
+            "corel_sample",
+            &[vec![0.1, 0.9], vec![0.5, 0.5], vec![0.8, 0.2]],
+        )
+        .unwrap();
+        t.delete(1).unwrap();
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample();
+        let bytes = table_to_bytes(&t);
+        let back = table_from_bytes(&bytes).unwrap();
+        assert_eq!(back.name(), "corel_sample");
+        assert_eq!(back.dims(), 2);
+        assert_eq!(back.rows(), 3);
+        assert_eq!(back.row(0).unwrap(), t.row(0).unwrap());
+        assert!(back.is_deleted(1));
+        assert_eq!(back.live_rows(), 2);
+        assert_eq!(back.column(0).unwrap().name(), "dim_0");
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        let t = sample();
+        let bytes = table_to_bytes(&t);
+        assert!(table_from_bytes(&[]).is_err());
+        assert!(table_from_bytes(&bytes[..4]).is_err());
+        let mut bad_magic = bytes.to_vec();
+        bad_magic[0] = b'X';
+        assert!(table_from_bytes(&bad_magic).is_err());
+        let truncated = &bytes[..bytes.len() - 8];
+        assert!(table_from_bytes(truncated).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("vdstore_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table.bondvd");
+        let t = sample();
+        save_table(&t, &path).unwrap();
+        let back = load_table(&path).unwrap();
+        assert_eq!(back.rows(), t.rows());
+        std::fs::remove_file(&path).unwrap();
+        assert!(load_table(&path).is_err());
+    }
+
+    #[test]
+    fn bitmap_round_trip() {
+        let b = Bitmap::from_rows(100, &[0, 17, 64, 99]);
+        let bytes = bitmap_to_bytes(&b);
+        let back = bitmap_from_bytes(&bytes).unwrap();
+        assert_eq!(back, b);
+        assert!(bitmap_from_bytes(&[1, 2]).is_err());
+    }
+}

@@ -1,0 +1,324 @@
+//! Scalar quantization of dimensional fragments.
+//!
+//! Section 7.4 of the paper shows that BOND combines transparently with the
+//! compression idea of the VA-File: each `f64` coefficient is replaced by an
+//! 8-bit approximation, the pruning phase runs on the small codes, and only
+//! the final refinement step touches exact values. The same machinery also
+//! provides the cell bounds the VA-File baseline needs.
+//!
+//! We use uniform scalar quantization per dimension: the value range
+//! `[min, max]` of a column is split into `2^bits` equi-width cells; a value
+//! is represented by its cell index. Every cell index maps back to a
+//! `[cell_lower, cell_upper]` interval that brackets the original value,
+//! which is what makes pruning on codes *safe*.
+
+use serde::{Deserialize, Serialize};
+
+use crate::column::Column;
+use crate::error::{Result, VdError};
+use crate::table::DecomposedTable;
+use crate::RowId;
+
+/// A quantized dimensional fragment: per-row cell codes plus the parameters
+/// needed to reconstruct value intervals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedColumn {
+    name: String,
+    min: f64,
+    max: f64,
+    bits: u8,
+    codes: Vec<u16>,
+}
+
+impl QuantizedColumn {
+    /// Quantizes a column with `bits` bits per value (1 ..= 16).
+    pub fn from_column(column: &Column, bits: u8) -> Result<Self> {
+        if bits == 0 || bits > 16 {
+            return Err(VdError::InvalidQuantization(format!(
+                "bits per dimension must be in 1..=16, got {bits}"
+            )));
+        }
+        if column.is_empty() {
+            return Err(VdError::Empty("column"));
+        }
+        let min = column.min().expect("non-empty column");
+        let max = column.max().expect("non-empty column");
+        let levels = 1u32 << bits;
+        let width = cell_width(min, max, levels);
+        let codes = column
+            .values()
+            .iter()
+            .map(|&v| {
+                let code = if width == 0.0 { 0 } else { ((v - min) / width) as u32 };
+                code.min(levels - 1) as u16
+            })
+            .collect();
+        Ok(QuantizedColumn { name: column.name().to_string(), min, max, bits, codes })
+    }
+
+    /// The column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bits per value.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The raw code of a row.
+    #[inline]
+    pub fn code(&self, row: RowId) -> u16 {
+        self.codes[row as usize]
+    }
+
+    /// All codes.
+    pub fn codes(&self) -> &[u16] {
+        &self.codes
+    }
+
+    fn width(&self) -> f64 {
+        cell_width(self.min, self.max, 1u32 << self.bits)
+    }
+
+    /// The lower edge of the cell a row's value fell into. The original
+    /// value is guaranteed to be `>= cell_lower(row)`.
+    #[inline]
+    pub fn cell_lower(&self, row: RowId) -> f64 {
+        self.min + self.codes[row as usize] as f64 * self.width()
+    }
+
+    /// The upper edge of the cell a row's value fell into. The original
+    /// value is guaranteed to be `<= cell_upper(row)`.
+    #[inline]
+    pub fn cell_upper(&self, row: RowId) -> f64 {
+        let upper = self.min + (self.codes[row as usize] + 1) as f64 * self.width();
+        upper.min(self.max)
+    }
+
+    /// Midpoint reconstruction of a row's value (the approximation used when
+    /// a single representative value is needed, e.g. BOND-on-codes partial
+    /// scores).
+    #[inline]
+    pub fn approximate(&self, row: RowId) -> f64 {
+        0.5 * (self.cell_lower(row) + self.cell_upper(row))
+    }
+
+    /// Midpoint reconstructions for all rows.
+    pub fn approximate_all(&self) -> Vec<f64> {
+        (0..self.codes.len() as RowId).map(|r| self.approximate(r)).collect()
+    }
+
+    /// Maximum absolute reconstruction error of the midpoint approximation:
+    /// half a cell width.
+    pub fn max_error(&self) -> f64 {
+        0.5 * self.width()
+    }
+
+    /// The lower edge of the cell a *query value* would fall into, clamped
+    /// to the column's range; used by the VA-File bounds.
+    pub fn query_cell(&self, value: f64) -> (f64, f64) {
+        let levels = 1u32 << self.bits;
+        let width = self.width();
+        if width == 0.0 {
+            return (self.min, self.max);
+        }
+        let clamped = value.clamp(self.min, self.max);
+        let code = (((clamped - self.min) / width) as u32).min(levels - 1);
+        let lo = self.min + code as f64 * width;
+        let hi = (self.min + (code + 1) as f64 * width).min(self.max);
+        (lo, hi)
+    }
+
+    /// Approximate storage size in bytes (codes only).
+    pub fn approx_bytes(&self) -> usize {
+        if self.bits <= 8 {
+            self.codes.len()
+        } else {
+            self.codes.len() * 2
+        }
+    }
+}
+
+fn cell_width(min: f64, max: f64, levels: u32) -> f64 {
+    if max > min {
+        (max - min) / levels as f64
+    } else {
+        0.0
+    }
+}
+
+/// All dimensional fragments of a table, quantized with the same bit width.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTable {
+    name: String,
+    bits: u8,
+    rows: usize,
+    columns: Vec<QuantizedColumn>,
+}
+
+impl QuantizedTable {
+    /// Quantizes every dimension of `table` with `bits` bits per value.
+    pub fn from_table(table: &DecomposedTable, bits: u8) -> Result<Self> {
+        let mut columns = Vec::with_capacity(table.dims());
+        for c in table.columns() {
+            columns.push(QuantizedColumn::from_column(c, bits)?);
+        }
+        Ok(QuantizedTable {
+            name: format!("{}_q{bits}", table.name()),
+            bits,
+            rows: table.rows(),
+            columns,
+        })
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bits per value.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The quantized fragment of dimension `dim`.
+    pub fn column(&self, dim: usize) -> Result<&QuantizedColumn> {
+        self.columns.get(dim).ok_or(VdError::DimOutOfBounds { dim, dims: self.columns.len() })
+    }
+
+    /// All quantized fragments.
+    pub fn columns(&self) -> &[QuantizedColumn] {
+        &self.columns
+    }
+
+    /// Reconstructs an approximate table using midpoint values, preserving
+    /// column names. Running BOND on this table is "BOND on compressed
+    /// fragments" (Figure 9).
+    pub fn to_approximate_table(&self) -> DecomposedTable {
+        let columns: Vec<Column> = self
+            .columns
+            .iter()
+            .map(|qc| Column::new(qc.name(), qc.approximate_all()))
+            .collect();
+        DecomposedTable::from_columns(format!("{}_approx", self.name), columns)
+            .expect("quantized columns are rectangular")
+    }
+
+    /// Total approximate storage of the codes in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.approx_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(values: Vec<f64>) -> Column {
+        Column::new("c", values)
+    }
+
+    #[test]
+    fn codes_bracket_values() {
+        let c = col(vec![0.0, 0.1, 0.25, 0.5, 0.99, 1.0]);
+        let q = QuantizedColumn::from_column(&c, 8).unwrap();
+        assert_eq!(q.len(), 6);
+        for (i, &v) in c.values().iter().enumerate() {
+            let r = i as RowId;
+            assert!(q.cell_lower(r) <= v + 1e-12, "lower bound violated at {i}");
+            assert!(q.cell_upper(r) >= v - 1e-12, "upper bound violated at {i}");
+            assert!((q.approximate(r) - v).abs() <= q.max_error() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn bits_validation() {
+        let c = col(vec![1.0]);
+        assert!(QuantizedColumn::from_column(&c, 0).is_err());
+        assert!(QuantizedColumn::from_column(&c, 17).is_err());
+        assert!(QuantizedColumn::from_column(&Column::default(), 8).is_err());
+        assert!(QuantizedColumn::from_column(&c, 16).is_ok());
+    }
+
+    #[test]
+    fn constant_column_quantizes_to_zero_width() {
+        let c = col(vec![0.5, 0.5, 0.5]);
+        let q = QuantizedColumn::from_column(&c, 8).unwrap();
+        assert_eq!(q.code(0), 0);
+        assert_eq!(q.cell_lower(1), 0.5);
+        assert_eq!(q.cell_upper(2), 0.5);
+        assert_eq!(q.approximate(0), 0.5);
+        assert_eq!(q.max_error(), 0.0);
+        assert_eq!(q.query_cell(0.7), (0.5, 0.5));
+    }
+
+    #[test]
+    fn more_bits_means_less_error() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64 / 99.0).collect();
+        let c = col(values);
+        let q4 = QuantizedColumn::from_column(&c, 4).unwrap();
+        let q8 = QuantizedColumn::from_column(&c, 8).unwrap();
+        assert!(q8.max_error() < q4.max_error());
+        assert_eq!(q4.approx_bytes(), 100);
+        assert_eq!(q8.approx_bytes(), 100);
+        let q12 = QuantizedColumn::from_column(&c, 12).unwrap();
+        assert_eq!(q12.approx_bytes(), 200);
+    }
+
+    #[test]
+    fn query_cell_clamps() {
+        let c = col(vec![0.0, 1.0]);
+        let q = QuantizedColumn::from_column(&c, 2).unwrap();
+        let (lo, hi) = q.query_cell(0.6);
+        assert!(lo <= 0.6 && 0.6 <= hi);
+        let (lo, _hi) = q.query_cell(-5.0);
+        assert_eq!(lo, 0.0);
+        let (_lo, hi) = q.query_cell(5.0);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn quantized_table_round_trip() {
+        let t = DecomposedTable::from_vectors(
+            "t",
+            &[vec![0.1, 0.9], vec![0.4, 0.6], vec![0.8, 0.2]],
+        )
+        .unwrap();
+        let qt = QuantizedTable::from_table(&t, 8).unwrap();
+        assert_eq!(qt.dims(), 2);
+        assert_eq!(qt.rows(), 3);
+        assert_eq!(qt.bits(), 8);
+        assert!(qt.column(5).is_err());
+        let approx = qt.to_approximate_table();
+        assert_eq!(approx.dims(), 2);
+        for r in 0..3u32 {
+            for d in 0..2 {
+                let orig = t.value(r, d).unwrap();
+                let appr = approx.value(r, d).unwrap();
+                assert!((orig - appr).abs() <= qt.column(d).unwrap().max_error() + 1e-12);
+            }
+        }
+        assert_eq!(qt.approx_bytes(), 6);
+    }
+}

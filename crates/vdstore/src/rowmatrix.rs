@@ -1,0 +1,128 @@
+//! Row-major storage, used by the sequential-scan baselines.
+//!
+//! The paper compares BOND against "an optimized implementation of
+//! sequentially scanning a single table with all vectors"; that single table
+//! is this contiguous row-major matrix.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, VdError};
+use crate::RowId;
+
+/// A dense row-major matrix of feature vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowMatrix {
+    dims: usize,
+    data: Vec<f64>,
+}
+
+impl RowMatrix {
+    /// Creates a matrix from contiguous row-major data.
+    ///
+    /// `data.len()` must be a multiple of `dims`.
+    pub fn new(dims: usize, data: Vec<f64>) -> Result<Self> {
+        if dims == 0 {
+            return Err(VdError::Empty("matrix dimensionality"));
+        }
+        if data.len() % dims != 0 {
+            return Err(VdError::LengthMismatch {
+                expected: data.len().next_multiple_of(dims),
+                actual: data.len(),
+            });
+        }
+        Ok(RowMatrix { dims, data })
+    }
+
+    /// Creates a matrix by copying a slice of vectors.
+    pub fn from_vectors(vectors: &[Vec<f64>]) -> Result<Self> {
+        let first = vectors.first().ok_or(VdError::Empty("vector collection"))?;
+        let dims = first.len();
+        let mut data = Vec::with_capacity(vectors.len() * dims);
+        for v in vectors {
+            if v.len() != dims {
+                return Err(VdError::DimensionMismatch { expected: dims, actual: v.len() });
+            }
+            data.extend_from_slice(v);
+        }
+        RowMatrix::new(dims, data)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        if self.dims == 0 {
+            0
+        } else {
+            self.data.len() / self.dims
+        }
+    }
+
+    /// Number of dimensions per row.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Whether the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The vector stored at `row`.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    #[inline]
+    pub fn row(&self, row: RowId) -> &[f64] {
+        let start = row as usize * self.dims;
+        &self.data[start..start + self.dims]
+    }
+
+    /// The vector stored at `row`, or an error when out of bounds.
+    pub fn try_row(&self, row: RowId) -> Result<&[f64]> {
+        if (row as usize) < self.rows() {
+            Ok(self.row(row))
+        } else {
+            Err(VdError::RowOutOfBounds { row, rows: self.rows() })
+        }
+    }
+
+    /// Iterates over `(row_id, vector)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &[f64])> + '_ {
+        self.data.chunks_exact(self.dims).enumerate().map(|(i, v)| (i as RowId, v))
+    }
+
+    /// The raw row-major buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = RowMatrix::new(2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.dims(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert!(m.try_row(2).is_err());
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(RowMatrix::new(0, vec![]).is_err());
+        assert!(RowMatrix::new(3, vec![1.0, 2.0]).is_err());
+        assert!(RowMatrix::from_vectors(&[]).is_err());
+        assert!(RowMatrix::from_vectors(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn from_vectors_and_iter() {
+        let m = RowMatrix::from_vectors(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let collected: Vec<_> = m.iter().map(|(i, v)| (i, v.to_vec())).collect();
+        assert_eq!(collected, vec![(0, vec![1.0, 2.0]), (1, vec![3.0, 4.0])]);
+        assert_eq!(m.data().len(), 4);
+    }
+}

@@ -1,0 +1,239 @@
+//! Bounded top-k heaps.
+//!
+//! The MIL program of Section 6.1 uses a `kfetch` operator that selects the
+//! k-th largest element "using a priority queue implemented as a heap, with
+//! worst-case cost O(n log k)". These two types are that priority queue, for
+//! the two directions BOND needs: k largest (similarity metrics) and
+//! k smallest (distance metrics). The sequential-scan baselines use the same
+//! structures to maintain "an array with the best k answers so far".
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::RowId;
+
+/// A scored row, ordered by score then row id (for deterministic ties).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scored {
+    /// The row this score belongs to.
+    pub row: RowId,
+    /// The score (similarity or distance, depending on context).
+    pub score: f64,
+}
+
+impl Eq for Scored {}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .partial_cmp(&other.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.row.cmp(&other.row))
+    }
+}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Keeps the `k` largest scores seen so far (a min-heap of size ≤ k).
+#[derive(Debug, Clone)]
+pub struct TopKLargest {
+    k: usize,
+    // BinaryHeap is a max-heap; store reversed entries so the *smallest*
+    // retained score sits at the top and can be evicted in O(log k).
+    heap: BinaryHeap<std::cmp::Reverse<Scored>>,
+}
+
+impl TopKLargest {
+    /// Creates a collector for the `k` largest scores. `k` must be > 0.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        TopKLargest { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offers a scored row; it is retained only if it belongs to the top k.
+    #[inline]
+    pub fn push(&mut self, row: RowId, score: f64) {
+        let item = std::cmp::Reverse(Scored { row, score });
+        if self.heap.len() < self.k {
+            self.heap.push(item);
+        } else if let Some(top) = self.heap.peek() {
+            if item < *top {
+                self.heap.pop();
+                self.heap.push(item);
+            }
+        }
+    }
+
+    /// Number of retained entries (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The k-th largest score seen so far (the weakest retained entry), or
+    /// `None` when fewer than `k` entries have been offered.
+    ///
+    /// This is κ_min of the paper when fed with lower bounds `S_min`.
+    pub fn kth(&self) -> Option<f64> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|r| r.0.score)
+        }
+    }
+
+    /// The weakest retained score even when fewer than `k` entries are held.
+    pub fn weakest(&self) -> Option<f64> {
+        self.heap.peek().map(|r| r.0.score)
+    }
+
+    /// Drains the collector into a vector sorted by descending score.
+    pub fn into_sorted_vec(self) -> Vec<Scored> {
+        let mut v: Vec<Scored> = self.heap.into_iter().map(|r| r.0).collect();
+        v.sort_by(|a, b| b.cmp(a));
+        v
+    }
+}
+
+/// Keeps the `k` smallest scores seen so far (a max-heap of size ≤ k).
+#[derive(Debug, Clone)]
+pub struct TopKSmallest {
+    k: usize,
+    heap: BinaryHeap<Scored>,
+}
+
+impl TopKSmallest {
+    /// Creates a collector for the `k` smallest scores. `k` must be > 0.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        TopKSmallest { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offers a scored row; it is retained only if it belongs to the k
+    /// smallest.
+    #[inline]
+    pub fn push(&mut self, row: RowId, score: f64) {
+        let item = Scored { row, score };
+        if self.heap.len() < self.k {
+            self.heap.push(item);
+        } else if let Some(top) = self.heap.peek() {
+            if item < *top {
+                self.heap.pop();
+                self.heap.push(item);
+            }
+        }
+    }
+
+    /// Number of retained entries (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The k-th smallest score seen so far, or `None` when fewer than `k`
+    /// entries have been offered.
+    ///
+    /// This is κ_max of the paper when fed with upper bounds `S_max`.
+    pub fn kth(&self) -> Option<f64> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|s| s.score)
+        }
+    }
+
+    /// The weakest retained score even when fewer than `k` entries are held.
+    pub fn weakest(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.score)
+    }
+
+    /// Drains the collector into a vector sorted by ascending score.
+    pub fn into_sorted_vec(self) -> Vec<Scored> {
+        let mut v: Vec<Scored> = self.heap.into_iter().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_largest_keeps_largest() {
+        let mut t = TopKLargest::new(3);
+        assert!(t.is_empty());
+        assert_eq!(t.kth(), None);
+        for (i, s) in [0.1, 0.9, 0.3, 0.8, 0.2, 0.7].into_iter().enumerate() {
+            t.push(i as RowId, s);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.kth(), Some(0.7));
+        let sorted = t.into_sorted_vec();
+        let scores: Vec<f64> = sorted.iter().map(|s| s.score).collect();
+        assert_eq!(scores, vec![0.9, 0.8, 0.7]);
+    }
+
+    #[test]
+    fn top_k_smallest_keeps_smallest() {
+        let mut t = TopKSmallest::new(2);
+        for (i, s) in [5.0, 1.0, 3.0, 0.5, 4.0].into_iter().enumerate() {
+            t.push(i as RowId, s);
+        }
+        assert_eq!(t.kth(), Some(1.0));
+        let sorted = t.into_sorted_vec();
+        let rows: Vec<RowId> = sorted.iter().map(|s| s.row).collect();
+        assert_eq!(rows, vec![3, 1]);
+    }
+
+    #[test]
+    fn kth_requires_k_entries() {
+        let mut t = TopKLargest::new(5);
+        t.push(0, 1.0);
+        assert_eq!(t.kth(), None);
+        assert_eq!(t.weakest(), Some(1.0));
+        let mut t = TopKSmallest::new(5);
+        t.push(0, 1.0);
+        assert_eq!(t.kth(), None);
+        assert_eq!(t.weakest(), Some(1.0));
+    }
+
+    #[test]
+    fn ties_are_deterministic() {
+        let mut a = TopKLargest::new(2);
+        let mut b = TopKLargest::new(2);
+        for (i, s) in [0.5, 0.5, 0.5, 0.5].into_iter().enumerate() {
+            a.push(i as RowId, s);
+            b.push(i as RowId, s);
+        }
+        assert_eq!(a.into_sorted_vec(), b.into_sorted_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = TopKLargest::new(0);
+    }
+
+    #[test]
+    fn scored_ordering() {
+        let a = Scored { row: 1, score: 0.3 };
+        let b = Scored { row: 2, score: 0.3 };
+        let c = Scored { row: 0, score: 0.9 };
+        assert!(a < b);
+        assert!(b < c);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+}

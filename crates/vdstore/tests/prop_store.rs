@@ -1,0 +1,150 @@
+//! Property-based tests of the storage substrate: bitmap boolean algebra,
+//! quantization bracketing, top-k heaps against a full sort, and
+//! persistence round-trips. These are the invariants the upper layers
+//! (pruning, VA-File bounds, candidate management) silently rely on.
+
+use proptest::prelude::*;
+use vdstore::{
+    ops, persist, Bitmap, Column, DecomposedTable, QuantizedColumn, TopKLargest, TopKSmallest,
+};
+
+const LEN: usize = 200;
+
+fn rows(max: u32) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0..max, 0..(max as usize)).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bitmap_boolean_algebra(a in rows(LEN as u32), b in rows(LEN as u32)) {
+        let ba = Bitmap::from_rows(LEN, &a);
+        let bb = Bitmap::from_rows(LEN, &b);
+
+        // union / intersection counts agree with set semantics
+        let sa: std::collections::BTreeSet<u32> = a.iter().copied().collect();
+        let sb: std::collections::BTreeSet<u32> = b.iter().copied().collect();
+        let mut union = ba.clone();
+        union.or_with(&bb);
+        prop_assert_eq!(union.to_rows(), sa.union(&sb).copied().collect::<Vec<_>>());
+        let mut inter = ba.clone();
+        inter.and_with(&bb);
+        prop_assert_eq!(inter.to_rows(), sa.intersection(&sb).copied().collect::<Vec<_>>());
+        let mut diff = ba.clone();
+        diff.and_not_with(&bb);
+        prop_assert_eq!(diff.to_rows(), sa.difference(&sb).copied().collect::<Vec<_>>());
+
+        // double negation is identity
+        let mut neg = ba.clone();
+        neg.negate();
+        neg.negate();
+        prop_assert_eq!(neg, ba.clone());
+
+        // density is count / len
+        prop_assert!((ba.density() - sa.len() as f64 / LEN as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantization_brackets_every_value(
+        values in proptest::collection::vec(-10.0f64..10.0, 1..120),
+        bits in 1u8..=12,
+    ) {
+        let column = Column::new("c", values.clone());
+        let q = QuantizedColumn::from_column(&column, bits).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            let r = i as u32;
+            prop_assert!(q.cell_lower(r) <= v + 1e-9);
+            prop_assert!(q.cell_upper(r) >= v - 1e-9);
+            prop_assert!((q.approximate(r) - v).abs() <= q.max_error() + 1e-9);
+            let (lo, hi) = q.query_cell(v);
+            prop_assert!(lo <= v + 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn topk_heaps_agree_with_sorting(
+        values in proptest::collection::vec(-1000.0f64..1000.0, 1..200),
+        k in 1usize..30,
+    ) {
+        let k = k.min(values.len());
+        let mut largest = TopKLargest::new(k);
+        let mut smallest = TopKSmallest::new(k);
+        for (i, &v) in values.iter().enumerate() {
+            largest.push(i as u32, v);
+            smallest.push(i as u32, v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let top: Vec<f64> = largest.into_sorted_vec().iter().map(|s| s.score).collect();
+        prop_assert_eq!(top.len(), k);
+        for (a, b) in top.iter().zip(&sorted[..k]) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+        sorted.reverse();
+        let bottom: Vec<f64> = smallest.into_sorted_vec().iter().map(|s| s.score).collect();
+        for (a, b) in bottom.iter().zip(&sorted[..k]) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+        // kfetch agrees with the heaps
+        prop_assert!((ops::kfetch_largest(&values, k).unwrap() - top[k - 1]).abs() < 1e-12);
+        prop_assert!((ops::kfetch_smallest(&values, k).unwrap() - bottom[k - 1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uselect_matches_filter(values in proptest::collection::vec(0.0f64..1.0, 1..200), lo in 0.0f64..1.0, width in 0.0f64..1.0) {
+        let hi = (lo + width).min(1.0);
+        let expected: Vec<u32> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v >= lo && v <= hi)
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(ops::uselect(&values, lo, hi), expected.clone());
+        prop_assert_eq!(ops::uselect_bitmap(&values, lo, hi).to_rows(), expected);
+    }
+
+    #[test]
+    fn table_persistence_round_trips(
+        raw in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 6), 1..40),
+        deleted in proptest::collection::vec(proptest::bool::ANY, 1..40),
+    ) {
+        let mut table = DecomposedTable::from_vectors("t", &raw).unwrap();
+        for (i, &d) in deleted.iter().enumerate().take(raw.len()) {
+            if d {
+                table.delete(i as u32).unwrap();
+            }
+        }
+        let bytes = persist::table_to_bytes(&table);
+        let back = persist::table_from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.rows(), table.rows());
+        prop_assert_eq!(back.dims(), table.dims());
+        prop_assert_eq!(back.live_rows(), table.live_rows());
+        for r in 0..table.rows() as u32 {
+            prop_assert_eq!(back.row(r).unwrap(), table.row(r).unwrap());
+            prop_assert_eq!(back.is_deleted(r), table.is_deleted(r));
+        }
+    }
+
+    #[test]
+    fn row_matrix_matches_decomposed_table(
+        raw in proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, 5), 1..50),
+    ) {
+        let table = DecomposedTable::from_vectors("t", &raw).unwrap();
+        let matrix = table.to_row_matrix();
+        prop_assert_eq!(matrix.rows(), table.rows());
+        for r in 0..table.rows() as u32 {
+            prop_assert_eq!(matrix.row(r).to_vec(), table.row(r).unwrap());
+        }
+        // row sums computed column-wise equal row sums computed row-wise
+        let sums = table.row_sums();
+        for (r, s) in sums.iter().enumerate() {
+            let direct: f64 = matrix.row(r as u32).iter().sum();
+            prop_assert!((s - direct).abs() < 1e-9);
+        }
+    }
+}

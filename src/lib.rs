@@ -1,0 +1,16 @@
+//! Umbrella crate for the BOND reproduction.
+//!
+//! The actual functionality lives in the workspace crates; this crate only
+//! re-exports them under one roof so that the runnable examples under
+//! `examples/` and the cross-crate integration tests under `tests/` have a
+//! single, convenient dependency. Library users should depend on the
+//! individual crates (`bond-core`, `vdstore`, …) directly.
+
+#![warn(missing_docs)]
+
+pub use bond;
+pub use bond_baselines as baselines;
+pub use bond_datagen as datagen;
+pub use bond_metrics as metrics;
+pub use bond_relalg as relalg;
+pub use vdstore;
