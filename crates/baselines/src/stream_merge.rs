@@ -90,10 +90,8 @@ pub fn merge_streams(
     let mut heap = TopKLargest::new(k);
     let mut seen: HashSet<RowId> = HashSet::new();
     let mut positions = vec![0usize; features];
-    let mut last_scores: Vec<f64> = streams
-        .iter()
-        .map(|s| s.get(0).map(|e| e.score).unwrap_or(0.0))
-        .collect();
+    let mut last_scores: Vec<f64> =
+        streams.iter().map(|s| s.get(0).map(|e| e.score).unwrap_or(0.0)).collect();
     let mut sorted_accesses = 0usize;
     let mut random_accesses = 0usize;
     let mut complete = false;
@@ -148,10 +146,7 @@ mod tests {
     /// Two features over five objects with known similarities.
     fn toy() -> (Vec<Vec<f64>>, Vec<RankedStream>) {
         // feature-major: sims[f][row]
-        let sims = vec![
-            vec![0.9, 0.8, 0.1, 0.4, 0.3],
-            vec![0.2, 0.7, 0.9, 0.5, 0.1],
-        ];
+        let sims = vec![vec![0.9, 0.8, 0.1, 0.4, 0.3], vec![0.2, 0.7, 0.9, 0.5, 0.1]];
         let streams = sims
             .iter()
             .map(|s| {

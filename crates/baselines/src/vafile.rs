@@ -18,7 +18,9 @@
 
 use bond_metrics::{DecomposableMetric, HistogramIntersection, SquaredEuclidean};
 use vdstore::topk::Scored;
-use vdstore::{DecomposedTable, QuantizedTable, Result, RowId, RowMatrix, TopKLargest, TopKSmallest};
+use vdstore::{
+    DecomposedTable, QuantizedTable, Result, RowId, RowMatrix, TopKLargest, TopKSmallest,
+};
 
 /// The result of a complete VA-File search (filter + refinement).
 #[derive(Debug, Clone, PartialEq)]
@@ -67,9 +69,8 @@ impl VaFile {
         assert!(k > 0, "k must be positive");
         let mut lower = vec![0.0f64; rows];
         let mut upper = vec![0.0f64; rows];
-        for d in 0..dims {
+        for (d, &q) in query.iter().enumerate() {
             let col = self.quantized.column(d).expect("dimension in range");
-            let q = query[d];
             for r in 0..rows {
                 let lo = col.cell_lower(r as RowId);
                 let hi = col.cell_upper(r as RowId);
@@ -87,9 +88,8 @@ impl VaFile {
             tau_heap.push(r as RowId, u);
         }
         let tau = tau_heap.kth().unwrap_or(f64::INFINITY);
-        let candidates: Vec<RowId> = (0..rows as RowId)
-            .filter(|&r| lower[r as usize] <= tau + 1e-12)
-            .collect();
+        let candidates: Vec<RowId> =
+            (0..rows as RowId).filter(|&r| lower[r as usize] <= tau + 1e-12).collect();
         (candidates, rows * dims)
     }
 
@@ -103,9 +103,8 @@ impl VaFile {
         assert!(k > 0, "k must be positive");
         let mut lower = vec![0.0f64; rows];
         let mut upper = vec![0.0f64; rows];
-        for d in 0..dims {
+        for (d, &q) in query.iter().enumerate() {
             let col = self.quantized.column(d).expect("dimension in range");
-            let q = query[d];
             for r in 0..rows {
                 lower[r] += col.cell_lower(r as RowId).min(q);
                 upper[r] += col.cell_upper(r as RowId).min(q);
@@ -116,9 +115,8 @@ impl VaFile {
             tau_heap.push(r as RowId, l);
         }
         let tau = tau_heap.kth().unwrap_or(f64::NEG_INFINITY);
-        let candidates: Vec<RowId> = (0..rows as RowId)
-            .filter(|&r| upper[r as usize] >= tau - 1e-12)
-            .collect();
+        let candidates: Vec<RowId> =
+            (0..rows as RowId).filter(|&r| upper[r as usize] >= tau - 1e-12).collect();
         (candidates, rows * dims)
     }
 

@@ -18,10 +18,7 @@ const DIMS: usize = 8;
 const ROWS: usize = 50;
 
 fn collection() -> impl Strategy<Value = (Vec<Vec<f64>>, usize)> {
-    (
-        proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, DIMS), ROWS),
-        0..ROWS,
-    )
+    (proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, DIMS), ROWS), 0..ROWS)
 }
 
 fn sorted_scores(hits: &[Scored]) -> Vec<f64> {

@@ -1,0 +1,108 @@
+//! Throughput scaling of the parallel engine: queries/sec vs thread count.
+//!
+//! ```text
+//! cargo bench -p bond-bench --bench bench_parallel
+//! ```
+//!
+//! Runs the same query batch through `bond-exec` engines built with
+//! 1, 2, 4, … worker threads (one partition per thread) and reports
+//! queries/sec per configuration plus the speedup over the single-threaded
+//! engine. Ends by printing a machine-readable JSON summary line (prefixed
+//! `BENCH_JSON`) so the perf trajectory can be scraped across commits.
+//!
+//! Thread counts beyond the machine's cores are still measured — they show
+//! the oversubscription plateau — but speedups are only meaningful up to
+//! `available_parallelism`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bond_datagen::{sample_queries, CorelLikeConfig};
+use bond_exec::{Engine, QueryBatch, RuleKind};
+
+struct Series {
+    threads: usize,
+    partitions: usize,
+    qps: f64,
+    ms_per_query: f64,
+    speedup: f64,
+    contributions: u64,
+}
+
+fn main() {
+    let rows = 50_000;
+    let dims = 32;
+    let k = 10;
+    let n_queries = 16;
+    let reps = 3;
+
+    let table = CorelLikeConfig::small(rows, dims).generate();
+    let queries = sample_queries(&table, n_queries, 1234);
+    let batch = QueryBatch::from_queries(queries, k);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "parallel scaling: {} rows x {dims} dims, {n_queries} queries, k = {k}, {cores} cores",
+        table.rows()
+    );
+
+    let mut thread_counts = vec![1usize, 2, 4];
+    if cores >= 8 {
+        thread_counts.push(8);
+    }
+
+    let mut series: Vec<Series> = Vec::new();
+    for &threads in &thread_counts {
+        let engine = Engine::builder(&table)
+            .partitions(threads)
+            .threads(threads)
+            .rule(RuleKind::HistogramHh)
+            .build();
+        // warm-up pass (untimed)
+        let outcome = engine.execute(&batch).expect("batch executes");
+        let contributions = outcome.queries.iter().map(|q| q.contributions_evaluated()).sum();
+
+        let timer = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(engine.execute(&batch).expect("batch executes"));
+        }
+        let elapsed = timer.elapsed();
+        let total_queries = (reps * batch.len()) as f64;
+        let qps = total_queries / elapsed.as_secs_f64();
+        let ms_per_query = elapsed.as_secs_f64() * 1000.0 / total_queries;
+        let speedup = series.first().map_or(1.0, |base| qps / base.qps);
+        println!(
+            "  threads {threads:>2} ({:>2} partitions): {qps:>8.1} q/s, {ms_per_query:>6.2} ms/query, speedup {speedup:>5.2}x",
+            engine.partitions()
+        );
+        series.push(Series {
+            threads,
+            partitions: engine.partitions(),
+            qps,
+            ms_per_query,
+            speedup,
+            contributions,
+        });
+    }
+
+    // Machine-readable summary for the perf trajectory.
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"bench\":\"parallel_scaling\",\"rows\":{},\"dims\":{dims},\"k\":{k},\
+         \"queries\":{n_queries},\"reps\":{reps},\"cores\":{cores},\"rule\":\"Hh\",\"series\":[",
+        table.rows()
+    );
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"threads\":{},\"partitions\":{},\"qps\":{:.2},\"ms_per_query\":{:.4},\
+             \"speedup\":{:.3},\"contributions\":{}}}",
+            s.threads, s.partitions, s.qps, s.ms_per_query, s.speedup, s.contributions
+        );
+    }
+    json.push_str("]}");
+    println!("BENCH_JSON {json}");
+}

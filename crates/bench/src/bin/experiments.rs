@@ -34,8 +34,23 @@ fn main() {
         ids.push("all".to_string());
     }
     let all = [
-        "fig2", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table3", "table4",
-        "fig10", "fig11", "sec82", "ablation_m", "ablation_bitmap", "ablation_hh", "headline",
+        "fig2",
+        "table2",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "table3",
+        "table4",
+        "fig10",
+        "fig11",
+        "sec82",
+        "ablation_m",
+        "ablation_bitmap",
+        "ablation_hh",
+        "headline",
         "checks",
     ];
     let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
@@ -76,7 +91,10 @@ fn run(id: &str, scale: ExperimentScale) {
         ),
         "fig8" => print!(
             "{}",
-            report::render_series("Figure 8: impact of dimensionality on Ev", &figures::fig8(scale))
+            report::render_series(
+                "Figure 8: impact of dimensionality on Ev",
+                &figures::fig8(scale)
+            )
         ),
         "fig9" => print!(
             "{}",

@@ -62,8 +62,7 @@ pub fn aggregate_traces(
     let mut worst = Vec::new();
     let mut d = step.max(1);
     while d <= total_dims {
-        let counts: Vec<usize> =
-            traces.iter().map(|t| t.candidates_after(d, total_rows)).collect();
+        let counts: Vec<usize> = traces.iter().map(|t| t.candidates_after(d, total_rows)).collect();
         dims.push(d);
         best.push(counts.iter().copied().min().unwrap_or(total_rows));
         worst.push(counts.iter().copied().max().unwrap_or(total_rows));
@@ -198,11 +197,8 @@ pub fn fig7(scale: ExperimentScale) -> Vec<PruningSeries> {
     orderings
         .into_iter()
         .map(|(label, ordering)| {
-            let params = BondParams {
-                schedule: BlockSchedule::Fixed(8),
-                ordering,
-                ..BondParams::default()
-            };
+            let params =
+                BondParams { schedule: BlockSchedule::Fixed(8), ordering, ..BondParams::default() };
             let traces = run_histogram(&table, &queries, 10, &params, false);
             aggregate_traces(label, &traces, table.rows(), table.dims(), 8)
         })
@@ -282,8 +278,7 @@ pub fn fig11(scale: ExperimentScale) -> Vec<PruningSeries> {
     [0.1f64, 0.5, 0.75, 0.9, 0.99]
         .iter()
         .map(|&mass| {
-            let weights =
-                bond_datagen::concentrated_weights(table.dims(), 0.1, mass, 0xF16_11);
+            let weights = bond_datagen::concentrated_weights(table.dims(), 0.1, mass, 0x000F_1611);
             let params = default_params(8);
             let traces: Vec<PruneTrace> = crate::par_map(&queries, |q| {
                 searcher
@@ -327,11 +322,9 @@ pub fn headline(scale: ExperimentScale) -> HeadlineStats {
         .map(|t| 1.0 - t.candidates_after(fifth, table.rows()) as f64 / rows)
         .sum::<f64>()
         / traces.len() as f64;
-    let avg_dims_to_top_k = traces
-        .iter()
-        .map(|t| t.dims_to_reach(10).unwrap_or(table.dims()) as f64)
-        .sum::<f64>()
-        / traces.len() as f64;
+    let avg_dims_to_top_k =
+        traces.iter().map(|t| t.dims_to_reach(10).unwrap_or(table.dims()) as f64).sum::<f64>()
+            / traces.len() as f64;
     HeadlineStats { pruned_after_fifth, avg_dims_to_top_k }
 }
 
@@ -348,7 +341,8 @@ pub fn check_shapes(scale: ExperimentScale) -> Vec<(String, bool)> {
     ));
     let hh_fifth = f4[1].avg_survivors_at_fraction(0.2);
     let hq_fifth = f4[0].avg_survivors_at_fraction(0.2);
-    checks.push(("fig4: Hh prunes at least as well as Hq".to_string(), hh_fifth <= hq_fifth * 1.05));
+    checks
+        .push(("fig4: Hh prunes at least as well as Hq".to_string(), hh_fifth <= hq_fifth * 1.05));
 
     let f5 = fig5(scale);
     let eq_late = f5[0].avg_survivors_at_fraction(0.8) / f5[0].total_rows as f64;
@@ -366,8 +360,8 @@ pub fn check_shapes(scale: ExperimentScale) -> Vec<(String, bool)> {
 
     let f10 = fig10(scale);
     let uniform = f10[0].avg_survivors_at_fraction(0.5) / f10[0].total_rows as f64;
-    let skewed = f10.last().unwrap().avg_survivors_at_fraction(0.5)
-        / f10.last().unwrap().total_rows as f64;
+    let skewed =
+        f10.last().unwrap().avg_survivors_at_fraction(0.5) / f10.last().unwrap().total_rows as f64;
     checks.push(("fig10: data skew favours pruning".to_string(), skewed < uniform));
 
     let f11 = fig11(scale);

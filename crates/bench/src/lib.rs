@@ -101,20 +101,16 @@ where
     let chunk = items.len().div_ceil(threads);
     let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
     results.resize_with(items.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        for (chunk_idx, (input, output)) in
-            items.chunks(chunk).zip(results.chunks_mut(chunk)).enumerate()
-        {
+    std::thread::scope(|scope| {
+        for (input, output) in items.chunks(chunk).zip(results.chunks_mut(chunk)) {
             let f = &f;
-            scope.spawn(move |_| {
-                let _ = chunk_idx;
+            scope.spawn(move || {
                 for (i, item) in input.iter().enumerate() {
                     output[i] = Some(f(item));
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     results.into_iter().map(|r| r.expect("all chunks processed")).collect()
 }
 

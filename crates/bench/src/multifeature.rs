@@ -12,8 +12,8 @@ use bond::{
     MultiFeatureSearcher,
 };
 use bond_baselines::{merge_streams, RankedStream};
-use bond_metrics::{FuzzyMin, ScoreAggregate, SquaredEuclidean, WeightedAverage};
 use bond_metrics::DecomposableMetric;
+use bond_metrics::{FuzzyMin, ScoreAggregate, SquaredEuclidean, WeightedAverage};
 use vdstore::topk::Scored;
 use vdstore::DecomposedTable;
 

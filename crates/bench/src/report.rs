@@ -28,18 +28,11 @@ pub fn render_series(title: &str, series: &[PruningSeries]) -> String {
     out.push('\n');
     let max_len = series.iter().map(|s| s.dims.len()).max().unwrap_or(0);
     for i in 0..max_len {
-        let dims = series
-            .iter()
-            .find_map(|s| s.dims.get(i))
-            .copied()
-            .unwrap_or_default();
+        let dims = series.iter().find_map(|s| s.dims.get(i)).copied().unwrap_or_default();
         out.push_str(&format!("{dims:>6}"));
         for s in series {
             if i < s.dims.len() {
-                out.push_str(&format!(
-                    " | {:>8} {:>9.1} {:>9}",
-                    s.best[i], s.avg[i], s.worst[i]
-                ));
+                out.push_str(&format!(" | {:>8} {:>9.1} {:>9}", s.best[i], s.avg[i], s.worst[i]));
             } else {
                 out.push_str(&format!(" | {:>8} {:>9} {:>9}", "-", "-", "-"));
             }
@@ -78,12 +71,7 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
         "h", "histogram", "S-", "Smin", "Smax", "S", "Hq prunes", "Hh prunes"
     ));
     for r in rows {
-        let hist = r
-            .histogram
-            .iter()
-            .map(|v| format!("{v:.3}"))
-            .collect::<Vec<_>>()
-            .join(", ");
+        let hist = r.histogram.iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>().join(", ");
         out.push_str(&format!(
             "{:<4} <{hist:<26}> {:>6.3} {:>6.3} {:>6.3} {:>6.3}  {:<10} {:<10}\n",
             r.name,
@@ -138,11 +126,8 @@ pub fn render_multifeature(results: &[MultiFeatureComparison]) -> String {
         "aggregate", "synchronized ms", "stream-merge ms", "speedup", "stream depth", "agree"
     ));
     for r in results {
-        let speedup = if r.synchronized_ms > 0.0 {
-            r.stream_merge_ms / r.synchronized_ms
-        } else {
-            f64::NAN
-        };
+        let speedup =
+            if r.synchronized_ms > 0.0 { r.stream_merge_ms / r.synchronized_ms } else { f64::NAN };
         out.push_str(&format!(
             "{:<10} {:>16.3} {:>16.3} {:>9.2}x {:>14} {:>8}\n",
             r.aggregate,

@@ -32,11 +32,8 @@ impl TimingStats {
         assert!(!times.is_empty(), "need at least one measurement");
         times.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let n = times.len();
-        let median = if n % 2 == 1 {
-            times[n / 2]
-        } else {
-            0.5 * (times[n / 2 - 1] + times[n / 2])
-        };
+        let median =
+            if n % 2 == 1 { times[n / 2] } else { 0.5 * (times[n / 2 - 1] + times[n / 2]) };
         TimingStats {
             min_ms: times[0],
             max_ms: times[n - 1],
@@ -117,11 +114,7 @@ pub fn table2() -> Vec<Table2Row> {
             let partial = metric.partial_score(&scanned, h, &query);
             (
                 partial,
-                CandidateState {
-                    partial,
-                    scanned_mass: h[0] + h[1],
-                    total_mass: h.iter().sum(),
-                },
+                CandidateState { partial, scanned_mass: h[0] + h[1], total_mass: h.iter().sum() },
             )
         })
         .collect();
@@ -328,17 +321,11 @@ mod tests {
         assert!((h5.s_max - 1.0).abs() < 1e-12);
         assert!((h5.s_full - 0.95).abs() < 1e-12);
         // Hq prunes h1, h2, h4, h8; Hh additionally prunes h6 and h9.
-        let pruned_hq: Vec<&str> = rows
-            .iter()
-            .filter(|r| r.pruned_by_hq)
-            .map(|r| r.name.as_str())
-            .collect();
+        let pruned_hq: Vec<&str> =
+            rows.iter().filter(|r| r.pruned_by_hq).map(|r| r.name.as_str()).collect();
         assert_eq!(pruned_hq, vec!["h1", "h2", "h4", "h8"]);
-        let pruned_hh: Vec<&str> = rows
-            .iter()
-            .filter(|r| r.pruned_by_hh)
-            .map(|r| r.name.as_str())
-            .collect();
+        let pruned_hh: Vec<&str> =
+            rows.iter().filter(|r| r.pruned_by_hh).map(|r| r.name.as_str()).collect();
         assert_eq!(pruned_hh, vec!["h1", "h2", "h4", "h6", "h8", "h9"]);
     }
 

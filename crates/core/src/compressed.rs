@@ -166,10 +166,7 @@ mod tests {
         let exact = table();
         let quantized = QuantizedTable::from_table(&exact, 8).unwrap();
         let searcher = BondSearcher::new(&exact);
-        let params = BondParams {
-            schedule: BlockSchedule::Fixed(2),
-            ..BondParams::default()
-        };
+        let params = BondParams { schedule: BlockSchedule::Fixed(2), ..BondParams::default() };
         for qi in [0u32, 7, 21] {
             let query = exact.row(qi).unwrap();
             for k in [1usize, 5, 10] {
@@ -243,11 +240,11 @@ mod tests {
             Err(BondError::QueryDimensionMismatch { .. })
         ));
         assert!(matches!(
-            search_compressed_histogram(&exact, &quantized, &vec![0.125; 8], 0, &params),
+            search_compressed_histogram(&exact, &quantized, &[0.125; 8], 0, &params),
             Err(BondError::InvalidK { .. })
         ));
         let other = DecomposedTable::from_vectors("other", &[vec![0.5, 0.5]]).unwrap();
         let other_q = QuantizedTable::from_table(&other, 8).unwrap();
-        assert!(search_compressed_histogram(&exact, &other_q, &vec![0.125; 8], 1, &params).is_err());
+        assert!(search_compressed_histogram(&exact, &other_q, &[0.125; 8], 1, &params).is_err());
     }
 }

@@ -1,0 +1,67 @@
+//! Externally supplied pruning bounds (κ sharing).
+//!
+//! In Algorithm 2, κ is the k-th best "safe" bound over the *current
+//! candidate set*: for a similarity metric, k candidates are known to reach
+//! at least κ, so anything that cannot reach κ is discarded. That argument
+//! does not care where the k witnesses live — a κ established by *any*
+//! subset of the collection prunes candidates everywhere. [`KappaCell`] is
+//! the hook that lets concurrent BOND searches over disjoint row segments
+//! of one table pool their κ values: each search offers its local κ after
+//! every pruning attempt and receives the tightest κ any segment has proven
+//! so far. A tight bound discovered in one segment then immediately prunes
+//! candidates in all others, which is what makes partitioned BOND more than
+//! an embarrassingly parallel split (`bond-exec` provides the atomic
+//! implementation).
+
+/// A pruning bound shared between concurrent searches of one query.
+///
+/// Implementations must be monotone under the search's objective: for a
+/// maximizing metric the cell only ever grows (`tighten` returns
+/// `max(local, shared)`), for a minimizing metric it only ever shrinks.
+/// Pruning with a stale (less tight) value is always safe, so relaxed
+/// memory ordering is fine.
+pub trait KappaCell: Sync {
+    /// Merges a κ derived from one segment's candidates into the shared
+    /// bound and returns the tightest κ known across all segments.
+    fn tighten(&self, local: f64) -> f64;
+
+    /// The tightest κ any search has proven so far, if one exists. Used by
+    /// a segment whose own candidate set is still too small to derive a
+    /// local κ (fewer than k candidates).
+    fn current(&self) -> Option<f64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    /// A deliberately naive single-threaded cell used to exercise the trait
+    /// wiring without the atomic machinery of `bond-exec`.
+    struct MaxCell(Cell<Option<f64>>);
+
+    // SAFETY: only used single-threaded in this test.
+    unsafe impl Sync for MaxCell {}
+
+    impl KappaCell for MaxCell {
+        fn tighten(&self, local: f64) -> f64 {
+            let merged = self.0.get().map_or(local, |g| g.max(local));
+            self.0.set(Some(merged));
+            merged
+        }
+
+        fn current(&self) -> Option<f64> {
+            self.0.get()
+        }
+    }
+
+    #[test]
+    fn tighten_is_monotone() {
+        let cell = MaxCell(Cell::new(None));
+        assert_eq!(cell.current(), None);
+        assert_eq!(cell.tighten(0.3), 0.3);
+        assert_eq!(cell.tighten(0.1), 0.3);
+        assert_eq!(cell.tighten(0.7), 0.7);
+        assert_eq!(cell.current(), Some(0.7));
+    }
+}

@@ -53,6 +53,7 @@
 pub mod candidates;
 pub mod compressed;
 pub mod error;
+pub mod kappa;
 pub mod multifeature;
 pub mod ordering;
 pub mod schedule;
@@ -63,10 +64,13 @@ pub mod weighted;
 pub use candidates::CandidateSet;
 pub use compressed::{compressed_filter_histogram, search_compressed_histogram, CompressedFilter};
 pub use error::{BondError, Result};
-pub use multifeature::{FeatureMetricKind, FeatureQuery, MultiFeatureOutcome, MultiFeatureSearcher};
+pub use kappa::KappaCell;
+pub use multifeature::{
+    FeatureMetricKind, FeatureQuery, MultiFeatureOutcome, MultiFeatureSearcher,
+};
 pub use ordering::DimensionOrdering;
 pub use schedule::BlockSchedule;
-pub use searcher::{BondParams, BondSearcher, SearchOutcome};
+pub use searcher::{search_segment, BondParams, BondSearcher, SearchOutcome, SegmentContext};
 pub use trace::{PruneTrace, TraceCheckpoint};
 
 // Re-export the vocabulary types callers need.

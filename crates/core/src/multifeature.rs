@@ -106,9 +106,9 @@ impl<'a> MultiFeatureSearcher<'a> {
     /// Creates a searcher over feature collections that all have the same
     /// number of rows.
     pub fn new(tables: Vec<&'a DecomposedTable>) -> Result<Self> {
-        let first = tables
-            .first()
-            .ok_or_else(|| BondError::InvalidParams("need at least one feature collection".into()))?;
+        let first = tables.first().ok_or_else(|| {
+            BondError::InvalidParams("need at least one feature collection".into())
+        })?;
         for t in &tables {
             if t.rows() != first.rows() {
                 return Err(BondError::InvalidParams(format!(
@@ -181,7 +181,9 @@ impl<'a> MultiFeatureSearcher<'a> {
         let mut rules: Vec<Box<dyn PruningRule>> = queries
             .iter()
             .map(|q| match q.metric {
-                FeatureMetricKind::HistogramIntersection => Box::new(HhRule::new()) as Box<dyn PruningRule>,
+                FeatureMetricKind::HistogramIntersection => {
+                    Box::new(HhRule::new()) as Box<dyn PruningRule>
+                }
                 FeatureMetricKind::Euclidean => Box::new(EvRule::new()) as Box<dyn PruningRule>,
             })
             .collect();

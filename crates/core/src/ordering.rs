@@ -13,9 +13,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// How the dimensional fragments are ordered before scanning.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum DimensionOrdering {
     /// Decreasing query value — the paper's default heuristic.
+    #[default]
     QueryValueDescending,
     /// Increasing query value — the worst case of Figure 7.
     QueryValueAscending,
@@ -35,12 +36,6 @@ pub enum DimensionOrdering {
     /// The natural storage order `0, 1, 2, …` (useful as a neutral baseline
     /// and for debugging).
     Natural,
-}
-
-impl Default for DimensionOrdering {
-    fn default() -> Self {
-        DimensionOrdering::QueryValueDescending
-    }
 }
 
 impl DimensionOrdering {

@@ -17,10 +17,11 @@
 use bond_metrics::{CandidateState, DecomposableMetric, Objective, PruningRule};
 use bond_metrics::{EqRule, EvRule, HhRule, HistogramIntersection, HqRule, SquaredEuclidean};
 use vdstore::topk::Scored;
-use vdstore::{DecomposedTable, RowId, TopKLargest, TopKSmallest};
+use vdstore::{DecomposedTable, RowId, Segment, TopKLargest, TopKSmallest};
 
 use crate::candidates::CandidateSet;
 use crate::error::{BondError, Result};
+use crate::kappa::KappaCell;
 use crate::ordering::DimensionOrdering;
 use crate::schedule::BlockSchedule;
 use crate::trace::{PruneTrace, TraceCheckpoint};
@@ -137,13 +138,23 @@ impl<'a> BondSearcher<'a> {
     }
 
     /// k-NN under squared Euclidean distance with the query-only criterion Eq.
-    pub fn euclidean_eq(&self, query: &[f64], k: usize, params: &BondParams) -> Result<SearchOutcome> {
+    pub fn euclidean_eq(
+        &self,
+        query: &[f64],
+        k: usize,
+        params: &BondParams,
+    ) -> Result<SearchOutcome> {
         let mut rule = EqRule::new();
         self.search_with_rule(query, &SquaredEuclidean, &mut rule, k, None, params)
     }
 
     /// k-NN under squared Euclidean distance with the per-vector criterion Ev.
-    pub fn euclidean_ev(&self, query: &[f64], k: usize, params: &BondParams) -> Result<SearchOutcome> {
+    pub fn euclidean_ev(
+        &self,
+        query: &[f64],
+        k: usize,
+        params: &BondParams,
+    ) -> Result<SearchOutcome> {
         let mut rule = EvRule::new();
         self.search_with_rule(query, &SquaredEuclidean, &mut rule, k, None, params)
     }
@@ -161,168 +172,268 @@ impl<'a> BondSearcher<'a> {
         params: &BondParams,
     ) -> Result<SearchOutcome> {
         self.validate(query, k)?;
-        if metric.objective() != rule.objective() {
-            return Err(BondError::InvalidParams(format!(
-                "metric {} maximizes/minimizes differently than rule {}",
-                metric.name(),
-                rule.name()
-            )));
-        }
-        let dims = self.table.dims();
-        let rows = self.table.rows();
-        let order = params.ordering.order(query, weights, dims);
-        if !DimensionOrdering::is_valid_permutation(&order, dims) {
-            return Err(BondError::InvalidParams(
-                "dimension ordering is not a permutation of the table's dimensions".into(),
-            ));
-        }
-
+        let segment = self.table.segment(0..self.table.rows())?;
         let requirements = rule.requirements();
-        let total_mass: Option<&[f64]> =
-            if requirements.needs_total_mass { Some(self.row_sums()) } else { None };
-        let mut scanned_mass: Option<Vec<f64>> =
-            if requirements.needs_scanned_mass { Some(vec![0.0; rows]) } else { None };
-
-        let mut partial = vec![0.0f64; rows];
-        let mut candidates = CandidateSet::from_bitmap(self.table.live_bitmap());
-        let mut trace = PruneTrace::default();
-        let objective = metric.objective();
-
-        let mut processed = 0usize;
-        let mut attempts = 0usize;
-        loop {
-            let block = params.schedule.next_block(processed, dims, attempts);
-            if block == 0 {
-                break;
-            }
-            let alive = candidates.len();
-            // Step 1: accumulate the partial scores over this block.
-            for &d in &order[processed..processed + block] {
-                let column = self.table.column(d)?;
-                let values = column.values();
-                let q = query[d];
-                match &mut scanned_mass {
-                    Some(mass) => candidates.for_each(|row| {
-                        let v = values[row as usize];
-                        partial[row as usize] += metric.contribution(d, v, q);
-                        mass[row as usize] += v;
-                    }),
-                    None => candidates.for_each(|row| {
-                        let v = values[row as usize];
-                        partial[row as usize] += metric.contribution(d, v, q);
-                    }),
-                }
-            }
-            trace.contributions_evaluated += (block * alive) as u64;
-            processed += block;
-            trace.dims_accessed = processed;
-
-            if candidates.len() <= k {
-                // Step 5's termination: the candidate set already is the
-                // answer set; no pruning attempt can shrink it further.
-                break;
-            }
-
-            // Steps 2–4: bounds, κ, prune.
-            rule.prepare(query, &order[processed..]);
-            let mut bounds: Vec<(RowId, f64, f64)> = Vec::with_capacity(candidates.len());
-            candidates.for_each(|row| {
-                let idx = row as usize;
-                let state = CandidateState {
-                    partial: partial[idx],
-                    scanned_mass: scanned_mass.as_ref().map_or(0.0, |m| m[idx]),
-                    total_mass: total_mass.map_or(0.0, |t| t[idx]),
-                };
-                let (lo, hi) = rule.bounds(&state);
-                bounds.push((row, lo, hi));
-            });
-            let kappa = match objective {
-                Objective::Maximize => {
-                    // κ_min: the k-th largest lower bound
-                    let mut heap = TopKLargest::new(k);
-                    for &(row, lo, _) in &bounds {
-                        heap.push(row, lo);
-                    }
-                    heap.kth()
-                }
-                Objective::Minimize => {
-                    // κ_max: the k-th smallest upper bound
-                    let mut heap = TopKSmallest::new(k);
-                    for &(row, _, hi) in &bounds {
-                        heap.push(row, hi);
-                    }
-                    heap.kth()
-                }
-            };
-            attempts += 1;
-            trace.pruning_attempts = attempts;
-            let mut pruned_now = 0usize;
-            if let Some(kappa) = kappa {
-                let slack = prune_slack(kappa);
-                let mut doomed: Vec<RowId> = Vec::new();
-                for &(row, lo, hi) in &bounds {
-                    let prune = match objective {
-                        Objective::Maximize => hi < kappa - slack,
-                        Objective::Minimize => lo > kappa + slack,
-                    };
-                    if prune {
-                        doomed.push(row);
-                    }
-                }
-                if !doomed.is_empty() {
-                    let doomed_set: std::collections::HashSet<RowId> = doomed.iter().copied().collect();
-                    pruned_now = candidates.retain(|row| !doomed_set.contains(&row));
-                }
-            }
-            trace.checkpoints.push(TraceCheckpoint {
-                dims_processed: processed,
-                candidates: candidates.len(),
-                pruned_now,
-            });
-            if candidates.maybe_materialize(params.materialize_threshold) {
-                trace.switched_to_list = true;
-            }
-            if candidates.len() <= k {
-                break;
-            }
-        }
-
-        // Final step: complete the survivors' scores over the unscanned
-        // dimensions (cheap: only |C| vectors are touched), then rank.
-        let survivors = candidates.to_rows();
-        if params.refine_survivors && processed < dims {
-            for &d in &order[processed..] {
-                let column = self.table.column(d)?;
-                let values = column.values();
-                let q = query[d];
-                for &row in &survivors {
-                    partial[row as usize] += metric.contribution(d, values[row as usize], q);
-                }
-            }
-            trace.contributions_evaluated += ((dims - processed) * survivors.len()) as u64;
-            trace.dims_accessed = dims;
-        }
-
-        let hits = rank(&survivors, &partial, objective, k);
-        Ok(SearchOutcome { hits, trace })
+        let ctx = SegmentContext {
+            kappa: None,
+            row_sums: requirements.needs_total_mass.then(|| self.row_sums()),
+            order: None,
+        };
+        search_segment(&segment, query, metric, rule, k, weights, params, &ctx)
     }
 }
 
-/// Ranks the surviving rows by score under the objective and returns the k
-/// best, best first.
-fn rank(survivors: &[RowId], partial: &[f64], objective: Objective, k: usize) -> Vec<Scored> {
+/// Shared context for a (possibly partitioned) BOND search.
+///
+/// [`BondSearcher::search_with_rule`] fills this in for the classic
+/// single-threaded full-table search; the `bond-exec` engine fills it in
+/// once per query and hands it to every segment worker, which is what
+/// amortizes the per-query setup (dimension ordering, `T(x)` materialisation)
+/// across partitions and lets segments pool their pruning bounds.
+#[derive(Default)]
+pub struct SegmentContext<'k> {
+    /// Shared κ cell; `None` runs the segment in isolation (the classic
+    /// sequential behaviour).
+    pub kappa: Option<&'k dyn KappaCell>,
+    /// Precomputed per-row total masses `T(x)` for the segment's rows, in
+    /// segment-local order. Only consulted when the rule needs total mass;
+    /// computed on the fly when absent.
+    pub row_sums: Option<&'k [f64]>,
+    /// Precomputed dimension processing order (must be a permutation of
+    /// `0..dims`). Derived from `params.ordering` when absent.
+    pub order: Option<&'k [usize]>,
+}
+
+/// Runs one branch-and-bound BOND search restricted to a row segment.
+///
+/// This is [`BondSearcher::search_with_rule`] generalised along two axes:
+/// the scan covers only `segment`'s rows, and an externally supplied
+/// [`KappaCell`] may tighten κ with bounds proven by other segments of the
+/// same query. Returned [`Scored::row`] ids are *global* table row ids, and
+/// with [`BondParams::refine_survivors`] enabled the scores are exact — so
+/// per-segment outcomes merge into the global top-k by score alone.
+///
+/// Unlike the full-table entry point, `k` may exceed the segment's row
+/// count: the segment then simply reports everything it holds (the caller
+/// is responsible for the global k).
+#[allow(clippy::too_many_arguments)]
+pub fn search_segment(
+    segment: &Segment<'_>,
+    query: &[f64],
+    metric: &dyn DecomposableMetric,
+    rule: &mut dyn PruningRule,
+    k: usize,
+    weights: Option<&[f64]>,
+    params: &BondParams,
+    ctx: &SegmentContext<'_>,
+) -> Result<SearchOutcome> {
+    let dims = segment.table().dims();
+    if query.len() != dims {
+        return Err(BondError::QueryDimensionMismatch { expected: dims, actual: query.len() });
+    }
+    if k == 0 {
+        return Err(BondError::InvalidK { k, rows: segment.live_rows() });
+    }
+    if metric.objective() != rule.objective() {
+        return Err(BondError::InvalidParams(format!(
+            "metric {} maximizes/minimizes differently than rule {}",
+            metric.name(),
+            rule.name()
+        )));
+    }
+    let derived_order;
+    let order: &[usize] = match ctx.order {
+        Some(order) => order,
+        None => {
+            derived_order = params.ordering.order(query, weights, dims);
+            &derived_order
+        }
+    };
+    if !DimensionOrdering::is_valid_permutation(order, dims) {
+        return Err(BondError::InvalidParams(
+            "dimension ordering is not a permutation of the table's dimensions".into(),
+        ));
+    }
+
+    let rows = segment.len();
+    let requirements = rule.requirements();
+    let computed_sums;
+    let total_mass: Option<&[f64]> = if requirements.needs_total_mass {
+        match ctx.row_sums {
+            Some(sums) => {
+                if sums.len() != rows {
+                    return Err(BondError::InvalidParams(format!(
+                        "precomputed row sums cover {} rows but the segment has {rows}",
+                        sums.len()
+                    )));
+                }
+                Some(sums)
+            }
+            None => {
+                computed_sums = segment.row_sums();
+                Some(&computed_sums)
+            }
+        }
+    } else {
+        None
+    };
+    let mut scanned_mass: Option<Vec<f64>> =
+        if requirements.needs_scanned_mass { Some(vec![0.0; rows]) } else { None };
+
+    // All bookkeeping below is in segment-local row ids; only the final
+    // ranking translates back to global ids.
+    let mut partial = vec![0.0f64; rows];
+    let mut candidates = CandidateSet::from_bitmap(segment.live_bitmap());
+    let mut trace = PruneTrace::default();
+    let objective = metric.objective();
+
+    let mut processed = 0usize;
+    let mut attempts = 0usize;
+    loop {
+        let block = params.schedule.next_block(processed, dims, attempts);
+        if block == 0 {
+            break;
+        }
+        let alive = candidates.len();
+        // Step 1: accumulate the partial scores over this block.
+        for &d in &order[processed..processed + block] {
+            let values = segment.col_slice(d)?;
+            let q = query[d];
+            match &mut scanned_mass {
+                Some(mass) => candidates.for_each(|row| {
+                    let v = values[row as usize];
+                    partial[row as usize] += metric.contribution(d, v, q);
+                    mass[row as usize] += v;
+                }),
+                None => candidates.for_each(|row| {
+                    let v = values[row as usize];
+                    partial[row as usize] += metric.contribution(d, v, q);
+                }),
+            }
+        }
+        trace.contributions_evaluated += (block * alive) as u64;
+        processed += block;
+        trace.dims_accessed = processed;
+
+        if candidates.len() <= k {
+            // Step 5's termination: the candidate set already is the
+            // answer set; no pruning attempt can shrink it further.
+            break;
+        }
+
+        // Steps 2–4: bounds, κ, prune.
+        rule.prepare(query, &order[processed..]);
+        let mut bounds: Vec<(RowId, f64, f64)> = Vec::with_capacity(candidates.len());
+        candidates.for_each(|row| {
+            let idx = row as usize;
+            let state = CandidateState {
+                partial: partial[idx],
+                scanned_mass: scanned_mass.as_ref().map_or(0.0, |m| m[idx]),
+                total_mass: total_mass.map_or(0.0, |t| t[idx]),
+            };
+            let (lo, hi) = rule.bounds(&state);
+            bounds.push((row, lo, hi));
+        });
+        let local_kappa = match objective {
+            Objective::Maximize => {
+                // κ_min: the k-th largest lower bound
+                let mut heap = TopKLargest::new(k);
+                for &(row, lo, _) in &bounds {
+                    heap.push(row, lo);
+                }
+                heap.kth()
+            }
+            Objective::Minimize => {
+                // κ_max: the k-th smallest upper bound
+                let mut heap = TopKSmallest::new(k);
+                for &(row, _, hi) in &bounds {
+                    heap.push(row, hi);
+                }
+                heap.kth()
+            }
+        };
+        // κ sharing: publish the locally proven bound and adopt the
+        // tightest one any segment of this query has proven so far.
+        let kappa = match ctx.kappa {
+            None => local_kappa,
+            Some(cell) => match local_kappa {
+                Some(local) => Some(cell.tighten(local)),
+                None => cell.current(),
+            },
+        };
+        attempts += 1;
+        trace.pruning_attempts = attempts;
+        let mut pruned_now = 0usize;
+        if let Some(kappa) = kappa {
+            let slack = prune_slack(kappa);
+            let mut doomed: Vec<RowId> = Vec::new();
+            for &(row, lo, hi) in &bounds {
+                let prune = match objective {
+                    Objective::Maximize => hi < kappa - slack,
+                    Objective::Minimize => lo > kappa + slack,
+                };
+                if prune {
+                    doomed.push(row);
+                }
+            }
+            if !doomed.is_empty() {
+                let doomed_set: std::collections::HashSet<RowId> = doomed.iter().copied().collect();
+                pruned_now = candidates.retain(|row| !doomed_set.contains(&row));
+            }
+        }
+        trace.checkpoints.push(TraceCheckpoint {
+            dims_processed: processed,
+            candidates: candidates.len(),
+            pruned_now,
+        });
+        if candidates.maybe_materialize(params.materialize_threshold) {
+            trace.switched_to_list = true;
+        }
+        if candidates.len() <= k {
+            break;
+        }
+    }
+
+    // Final step: complete the survivors' scores over the unscanned
+    // dimensions (cheap: only |C| vectors are touched), then rank.
+    let survivors = candidates.to_rows();
+    if params.refine_survivors && processed < dims {
+        for &d in &order[processed..] {
+            let values = segment.col_slice(d)?;
+            let q = query[d];
+            for &row in &survivors {
+                partial[row as usize] += metric.contribution(d, values[row as usize], q);
+            }
+        }
+        trace.contributions_evaluated += ((dims - processed) * survivors.len()) as u64;
+        trace.dims_accessed = dims;
+    }
+
+    let hits = rank(segment, &survivors, &partial, objective, k);
+    Ok(SearchOutcome { hits, trace })
+}
+
+/// Ranks the surviving (segment-local) rows by score under the objective
+/// and returns the k best, best first, with *global* row ids.
+fn rank(
+    segment: &Segment<'_>,
+    survivors: &[RowId],
+    partial: &[f64],
+    objective: Objective,
+    k: usize,
+) -> Vec<Scored> {
     match objective {
         Objective::Maximize => {
             let mut heap = TopKLargest::new(k);
             for &row in survivors {
-                heap.push(row, partial[row as usize]);
+                heap.push(segment.to_global(row), partial[row as usize]);
             }
             heap.into_sorted_vec()
         }
         Objective::Minimize => {
             let mut heap = TopKSmallest::new(k);
             for &row in survivors {
-                heap.push(row, partial[row as usize]);
+                heap.push(segment.to_global(row), partial[row as usize]);
             }
             heap.into_sorted_vec()
         }

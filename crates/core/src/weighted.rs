@@ -7,8 +7,8 @@
 //! engine simply never reads the fragments of zero-weight dimensions, and
 //! the skew the weights introduce makes pruning more effective (Figure 11).
 
-use bond_metrics::{WeightedEvRule, WeightedHqRule, WeightedSquaredEuclidean};
 use bond_metrics::metric::DecomposableMetric;
+use bond_metrics::{WeightedEvRule, WeightedHqRule, WeightedSquaredEuclidean};
 
 use crate::error::{BondError, Result};
 use crate::ordering::DimensionOrdering;
@@ -82,8 +82,8 @@ impl BondSearcher<'_> {
         params: &BondParams,
     ) -> Result<SearchOutcome> {
         self.validate_weights(weights)?;
-        let metric = WeightedSquaredEuclidean::new(weights.to_vec())
-            .map_err(BondError::InvalidParams)?;
+        let metric =
+            WeightedSquaredEuclidean::new(weights.to_vec()).map_err(BondError::InvalidParams)?;
         let mut rule = WeightedEvRule::new(weights.to_vec());
         let params = reorder_for_weights(params);
         self.search_with_rule(query, &metric, &mut rule, k, Some(weights), &params)
@@ -128,7 +128,9 @@ impl BondSearcher<'_> {
             weights[d] = 1.0;
         }
         if selected.is_empty() {
-            return Err(BondError::InvalidParams("subspace must select at least one dimension".into()));
+            return Err(BondError::InvalidParams(
+                "subspace must select at least one dimension".into(),
+            ));
         }
         self.weighted_euclidean(query, &weights, k, params)
     }
@@ -139,10 +141,7 @@ impl BondSearcher<'_> {
 fn reorder_for_weights(params: &BondParams) -> BondParams {
     match params.ordering {
         DimensionOrdering::Explicit(_) => params.clone(),
-        _ => BondParams {
-            ordering: DimensionOrdering::WeightedQueryDescending,
-            ..params.clone()
-        },
+        _ => BondParams { ordering: DimensionOrdering::WeightedQueryDescending, ..params.clone() },
     }
 }
 
@@ -188,15 +187,11 @@ mod tests {
         let table = unit_cube_table();
         let searcher = BondSearcher::new(&table);
         let query = vec![0.1, 0.9, 0.5, 0.3];
-        let params = BondParams {
-            schedule: crate::BlockSchedule::Fixed(1),
-            ..BondParams::default()
-        };
-        for weights in [
-            vec![1.0, 1.0, 1.0, 1.0],
-            vec![10.0, 0.1, 1.0, 0.5],
-            vec![0.0, 4.0, 0.0, 1.0],
-        ] {
+        let params =
+            BondParams { schedule: crate::BlockSchedule::Fixed(1), ..BondParams::default() };
+        for weights in
+            [vec![1.0, 1.0, 1.0, 1.0], vec![10.0, 0.1, 1.0, 0.5], vec![0.0, 4.0, 0.0, 1.0]]
+        {
             for k in [1, 2, 4] {
                 let outcome = searcher.weighted_euclidean(&query, &weights, k, &params).unwrap();
                 let mut rows: Vec<u32> = outcome.hits.iter().map(|h| h.row).collect();
@@ -216,9 +211,8 @@ mod tests {
         let searcher = BondSearcher::new(&table);
         // query matches row 2 exactly on dims {0, 1} but is far on dims {2, 3}
         let query = vec![0.9, 0.9, 0.9, 0.9];
-        let outcome = searcher
-            .subspace_euclidean(&query, &[0, 1], 1, &BondParams::default())
-            .unwrap();
+        let outcome =
+            searcher.subspace_euclidean(&query, &[0, 1], 1, &BondParams::default()).unwrap();
         assert_eq!(outcome.hits[0].row, 2);
         assert!(outcome.hits[0].score.abs() < 1e-12, "exact match in the subspace");
         // the same query over all dimensions prefers the centroid row 4
@@ -242,9 +236,8 @@ mod tests {
         let query = vec![0.65, 0.25, 0.05, 0.05];
         let weights = vec![1.0, 3.0, 0.5, 0.0];
         let metric = WeightedHistogramIntersection::new(weights.clone()).unwrap();
-        let mut brute: Vec<(u32, f64)> = (0..4u32)
-            .map(|r| (r, metric.score(&table.row(r).unwrap(), &query)))
-            .collect();
+        let mut brute: Vec<(u32, f64)> =
+            (0..4u32).map(|r| (r, metric.score(&table.row(r).unwrap(), &query))).collect();
         brute.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         let outcome = searcher
             .weighted_histogram_intersection(&query, &weights, 2, &BondParams::default())

@@ -15,10 +15,7 @@ const ROWS: usize = 60;
 
 /// A random collection of normalized histograms plus a query drawn from it.
 fn histogram_collection() -> impl Strategy<Value = (Vec<Vec<f64>>, usize)> {
-    (
-        proptest::collection::vec(proptest::collection::vec(0.01f64..=1.0, DIMS), ROWS),
-        0..ROWS,
-    )
+    (proptest::collection::vec(proptest::collection::vec(0.01f64..=1.0, DIMS), ROWS), 0..ROWS)
         .prop_map(|(mut vectors, query_idx)| {
             for v in &mut vectors {
                 let total: f64 = v.iter().sum();
@@ -32,10 +29,7 @@ fn histogram_collection() -> impl Strategy<Value = (Vec<Vec<f64>>, usize)> {
 
 /// A random collection of unit-hypercube vectors plus a query index.
 fn cube_collection() -> impl Strategy<Value = (Vec<Vec<f64>>, usize)> {
-    (
-        proptest::collection::vec(proptest::collection::vec(0.0f64..=1.0, DIMS), ROWS),
-        0..ROWS,
-    )
+    (proptest::collection::vec(proptest::collection::vec(0.0f64..=1.0, DIMS), ROWS), 0..ROWS)
 }
 
 fn sorted_rows(hits: &[bond::Scored]) -> Vec<u32> {

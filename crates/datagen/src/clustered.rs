@@ -80,10 +80,7 @@ impl ClusteredConfig {
                 (0..self.dims).map(|_| rng.gen::<f64>()).collect()
             } else {
                 let center = &centers[rng.gen_range(0..self.clusters)];
-                center
-                    .iter()
-                    .map(|&c| gaussian(&mut rng, c, self.sigma).clamp(0.0, 1.0))
-                    .collect()
+                center.iter().map(|&c| gaussian(&mut rng, c, self.sigma).clamp(0.0, 1.0)).collect()
             };
             vectors.push(v);
         }
@@ -163,11 +160,7 @@ mod tests {
     fn theta_skews_the_coordinates() {
         let uniform = ClusteredConfig::small(2000, 8, 0.0).generate();
         let skewed = ClusteredConfig::small(2000, 8, 3.0).with_seed(9).generate();
-        let mean_u = DatasetStats::compute(&uniform)
-            .mean_per_dim
-            .iter()
-            .sum::<f64>()
-            / 8.0;
+        let mean_u = DatasetStats::compute(&uniform).mean_per_dim.iter().sum::<f64>() / 8.0;
         let mean_s = DatasetStats::compute(&skewed).mean_per_dim.iter().sum::<f64>() / 8.0;
         assert!((mean_u - 0.5).abs() < 0.05, "θ=0 should be roughly centered, got {mean_u}");
         assert!(mean_s < 0.3, "θ=3 should push coordinates toward 0, got {mean_s}");

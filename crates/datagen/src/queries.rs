@@ -38,8 +38,7 @@ mod tests {
     use super::*;
 
     fn table(rows: usize) -> DecomposedTable {
-        let vectors: Vec<Vec<f64>> =
-            (0..rows).map(|i| vec![i as f64, (rows - i) as f64]).collect();
+        let vectors: Vec<Vec<f64>> = (0..rows).map(|i| vec![i as f64, (rows - i) as f64]).collect();
         DecomposedTable::from_vectors("t", &vectors).unwrap()
     }
 

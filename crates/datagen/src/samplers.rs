@@ -133,10 +133,8 @@ mod tests {
     fn skewed_coordinate_is_uniform_at_zero_theta() {
         let mut rng = StdRng::seed_from_u64(3);
         let n = 20_000;
-        let mean0: f64 =
-            (0..n).map(|_| skewed_coordinate(&mut rng, 0.0)).sum::<f64>() / n as f64;
-        let mean2: f64 =
-            (0..n).map(|_| skewed_coordinate(&mut rng, 2.0)).sum::<f64>() / n as f64;
+        let mean0: f64 = (0..n).map(|_| skewed_coordinate(&mut rng, 0.0)).sum::<f64>() / n as f64;
+        let mean2: f64 = (0..n).map(|_| skewed_coordinate(&mut rng, 2.0)).sum::<f64>() / n as f64;
         assert!((mean0 - 0.5).abs() < 0.02);
         assert!(mean2 < 0.3, "theta=2 should push mass toward 0, mean {mean2}");
     }

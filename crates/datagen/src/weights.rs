@@ -124,11 +124,7 @@ mod tests {
         let a = concentrated_weights(64, 0.1, 0.9, 1);
         let b = concentrated_weights(64, 0.1, 0.9, 2);
         let heavy = |w: &[f64]| -> Vec<usize> {
-            w.iter()
-                .enumerate()
-                .filter(|(_, &x)| x > 1.0)
-                .map(|(i, _)| i)
-                .collect()
+            w.iter().enumerate().filter(|(_, &x)| x > 1.0).map(|(i, _)| i).collect()
         };
         assert_ne!(heavy(&a), heavy(&b), "different seeds place weight on different dims");
     }

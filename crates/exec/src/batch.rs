@@ -1,0 +1,168 @@
+//! Batched queries and their outcomes.
+//!
+//! Serving workloads rarely issue one query at a time: a navigation step in
+//! an image browser, a relevance-feedback loop, or a bulk re-ranking job
+//! all submit *batches* against the same table. [`QueryBatch`] carries them
+//! together so the engine amortizes its per-query setup (dimension
+//! ordering, `T(x)` materialisation, worker-pool spawn) and schedules all
+//! `queries × segments` work items on one pool. Every query reports a
+//! per-segment [`bond::PruneTrace`], preserving the paper's evaluation
+//! instrumentation in the parallel engine.
+
+use bond::PruneTrace;
+use std::ops::Range;
+use vdstore::topk::Scored;
+
+/// A set of k-NN queries executed together against one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryBatch {
+    queries: Vec<Vec<f64>>,
+    k: usize,
+}
+
+impl QueryBatch {
+    /// An empty batch requesting `k` neighbours per query.
+    pub fn new(k: usize) -> Self {
+        QueryBatch { queries: Vec::new(), k }
+    }
+
+    /// A batch over pre-collected query vectors.
+    pub fn from_queries(queries: Vec<Vec<f64>>, k: usize) -> Self {
+        QueryBatch { queries, k }
+    }
+
+    /// A single-query batch.
+    pub fn single(query: Vec<f64>, k: usize) -> Self {
+        QueryBatch { queries: vec![query], k }
+    }
+
+    /// Adds one query.
+    pub fn push(&mut self, query: Vec<f64>) -> &mut Self {
+        self.queries.push(query);
+        self
+    }
+
+    /// The number of neighbours requested per query.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The queries, in submission order.
+    pub fn queries(&self) -> &[Vec<f64>] {
+        &self.queries
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// What one segment contributed to one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentRun {
+    /// The table row range the segment covers.
+    pub rows: Range<usize>,
+    /// The pruning trace of the segment's branch-and-bound search.
+    pub trace: PruneTrace,
+}
+
+/// The answer to one query of a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// The k best rows across all segments, best first, with exact scores.
+    pub hits: Vec<Scored>,
+    /// Per-segment traces, in segment (row-range) order.
+    pub segments: Vec<SegmentRun>,
+}
+
+impl QueryOutcome {
+    /// Total `(candidate, dimension)` contribution evaluations across all
+    /// segments — the batch analogue of [`PruneTrace::contributions_evaluated`].
+    pub fn contributions_evaluated(&self) -> u64 {
+        self.segments.iter().map(|s| s.trace.contributions_evaluated).sum()
+    }
+
+    /// Fraction of the naive `rows × dims` work actually performed.
+    pub fn work_fraction(&self, rows: usize, dims: usize) -> f64 {
+        if rows == 0 || dims == 0 {
+            return 0.0;
+        }
+        self.contributions_evaluated() as f64 / (rows as f64 * dims as f64)
+    }
+
+    /// Total pruning attempts across all segments.
+    pub fn pruning_attempts(&self) -> usize {
+        self.segments.iter().map(|s| s.trace.pruning_attempts).sum()
+    }
+}
+
+/// The answers to a whole batch, in query submission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// One outcome per query.
+    pub queries: Vec<QueryOutcome>,
+}
+
+impl BatchOutcome {
+    /// Total contribution evaluations over the whole batch.
+    pub fn contributions_evaluated(&self) -> u64 {
+        self.queries.iter().map(|q| q.contributions_evaluated()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_construction() {
+        let mut b = QueryBatch::new(5);
+        assert!(b.is_empty());
+        b.push(vec![0.1, 0.9]).push(vec![0.5, 0.5]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.k(), 5);
+        assert_eq!(b.queries()[1], vec![0.5, 0.5]);
+
+        let single = QueryBatch::single(vec![1.0], 1);
+        assert_eq!(single.len(), 1);
+        let from = QueryBatch::from_queries(vec![vec![1.0], vec![2.0]], 3);
+        assert_eq!(from.len(), 2);
+    }
+
+    #[test]
+    fn outcome_aggregates_sum_over_segments() {
+        let outcome = QueryOutcome {
+            hits: vec![],
+            segments: vec![
+                SegmentRun {
+                    rows: 0..50,
+                    trace: PruneTrace {
+                        contributions_evaluated: 100,
+                        pruning_attempts: 2,
+                        ..PruneTrace::default()
+                    },
+                },
+                SegmentRun {
+                    rows: 50..100,
+                    trace: PruneTrace {
+                        contributions_evaluated: 60,
+                        pruning_attempts: 1,
+                        ..PruneTrace::default()
+                    },
+                },
+            ],
+        };
+        assert_eq!(outcome.contributions_evaluated(), 160);
+        assert_eq!(outcome.pruning_attempts(), 3);
+        assert!((outcome.work_fraction(100, 4) - 0.4).abs() < 1e-12);
+        assert_eq!(outcome.work_fraction(0, 4), 0.0);
+        let batch = BatchOutcome { queries: vec![outcome.clone(), outcome] };
+        assert_eq!(batch.contributions_evaluated(), 320);
+    }
+}

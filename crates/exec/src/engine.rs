@@ -1,0 +1,319 @@
+//! The parallel, partitioned execution engine.
+//!
+//! An [`Engine`] is built once per table and then serves queries: the table
+//! is split into contiguous row-range [`Segment`]s, every query's
+//! branch-and-bound search runs per segment on a pool of workers, the
+//! segments pool their pruning bound κ through a [`SharedKappa`] cell, and
+//! the per-segment top-k heaps merge into the final answer. Because every
+//! segment refines its survivors to *exact* scores (in the same dimension
+//! order the sequential searcher uses), the merged top-k is bit-identical
+//! to a sequential [`BondSearcher`] search over the whole table.
+
+use crate::batch::{BatchOutcome, QueryBatch, QueryOutcome, SegmentRun};
+use crate::kappa::SharedKappa;
+use crate::rules::RuleKind;
+use bond::{
+    search_segment, BondError, BondParams, BondSearcher, KappaCell, Result, SearchOutcome,
+    SegmentContext,
+};
+use bond_metrics::Objective;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use vdstore::topk::Scored;
+use vdstore::{DecomposedTable, Segment, SegmentStats, TopKLargest, TopKSmallest};
+
+/// Builds an [`Engine`] for one table.
+#[derive(Debug)]
+pub struct EngineBuilder<'a> {
+    table: &'a DecomposedTable,
+    partitions: usize,
+    threads: usize,
+    params: BondParams,
+    rule: RuleKind,
+    share_kappa: bool,
+}
+
+impl<'a> EngineBuilder<'a> {
+    /// Number of row-range segments the table is split into. Defaults to
+    /// the machine's available parallelism.
+    pub fn partitions(mut self, partitions: usize) -> Self {
+        self.partitions = partitions.max(1);
+        self
+    }
+
+    /// Number of worker threads (no implicit cap — oversubscribing the
+    /// machine is the caller's choice). Defaults to the machine's available
+    /// parallelism; `1` executes inline without spawning.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Search parameters (schedule, ordering, materialisation threshold).
+    ///
+    /// `refine_survivors` is forced to `true`: merging per-segment answers
+    /// requires exact scores, and exact scores are also what makes the
+    /// parallel result bit-identical to the sequential one.
+    pub fn params(mut self, params: BondParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Which metric + pruning criterion to serve. Defaults to
+    /// [`RuleKind::HistogramHq`].
+    pub fn rule(mut self, rule: RuleKind) -> Self {
+        self.rule = rule;
+        self
+    }
+
+    /// Whether segments of one query share their pruning bound κ through an
+    /// atomic cell (default `true`). Disabling isolates the segments — same
+    /// answers, strictly less pruning; useful for measuring the κ-sharing
+    /// benefit.
+    pub fn share_kappa(mut self, share: bool) -> Self {
+        self.share_kappa = share;
+        self
+    }
+
+    /// Finishes the build: partitions the table and materialises whatever
+    /// the rule needs once (e.g. the `T(x)` table for Ev).
+    pub fn build(self) -> Engine<'a> {
+        let mut params = self.params;
+        params.refine_survivors = true;
+        let segments = self.table.partition_segments(self.partitions);
+        let row_sums = self.rule.needs_total_mass().then(|| self.table.row_sums());
+        Engine {
+            table: self.table,
+            segments,
+            threads: self.threads,
+            params,
+            rule: self.rule,
+            share_kappa: self.share_kappa,
+            row_sums,
+        }
+    }
+}
+
+/// A query-execution engine bound to one decomposed table.
+///
+/// Construction partitions the table and pre-materialises shared state;
+/// [`Engine::execute`] then serves whole batches and
+/// [`Engine::search`] single queries.
+#[derive(Debug)]
+pub struct Engine<'a> {
+    table: &'a DecomposedTable,
+    segments: Vec<Segment<'a>>,
+    threads: usize,
+    params: BondParams,
+    rule: RuleKind,
+    share_kappa: bool,
+    /// Full-table `T(x)`, materialised once when the rule needs it; workers
+    /// slice it per segment.
+    row_sums: Option<Vec<f64>>,
+}
+
+impl<'a> Engine<'a> {
+    /// Starts building an engine over `table` with default settings.
+    pub fn builder(table: &'a DecomposedTable) -> EngineBuilder<'a> {
+        let parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        EngineBuilder {
+            table,
+            partitions: parallelism,
+            threads: parallelism,
+            params: BondParams::default(),
+            rule: RuleKind::HistogramHq,
+            share_kappa: true,
+        }
+    }
+
+    /// The table this engine serves.
+    pub fn table(&self) -> &'a DecomposedTable {
+        self.table
+    }
+
+    /// The engine's segments, in row order.
+    pub fn segments(&self) -> &[Segment<'a>] {
+        &self.segments
+    }
+
+    /// Number of partitions actually in use (may be lower than requested
+    /// for tiny tables).
+    pub fn partitions(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The metric + rule the engine serves.
+    pub fn rule(&self) -> RuleKind {
+        self.rule
+    }
+
+    /// The effective search parameters.
+    pub fn params(&self) -> &BondParams {
+        &self.params
+    }
+
+    /// Per-dimension statistics of every segment — the per-partition view
+    /// of the collection's distribution (diverging segment statistics are
+    /// the signal for per-segment tuning or re-partitioning).
+    pub fn segment_stats(&self) -> Vec<SegmentStats> {
+        self.segments.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Runs one k-NN query; equivalent to a single-query [`Engine::execute`].
+    pub fn search(&self, query: &[f64], k: usize) -> Result<QueryOutcome> {
+        let batch = QueryBatch::from_queries(vec![query.to_vec()], k);
+        let mut outcome = self.execute(&batch)?;
+        Ok(outcome.queries.pop().expect("one outcome per query"))
+    }
+
+    /// Executes a whole batch: all `queries × segments` searches are
+    /// scheduled on one worker pool, per-query setup is done once, and each
+    /// query's per-segment answers are merged into its global top-k.
+    pub fn execute(&self, batch: &QueryBatch) -> Result<BatchOutcome> {
+        let k = batch.k();
+        let live = self.table.live_rows();
+        if k == 0 || k > live {
+            return Err(BondError::InvalidK { k, rows: live });
+        }
+        for query in batch.queries() {
+            if query.len() != self.table.dims() {
+                return Err(BondError::QueryDimensionMismatch {
+                    expected: self.table.dims(),
+                    actual: query.len(),
+                });
+            }
+        }
+        if batch.is_empty() {
+            return Ok(BatchOutcome { queries: Vec::new() });
+        }
+
+        // Per-query setup, done once and shared by every segment worker:
+        // the dimension processing order and (optionally) the κ cell.
+        let objective = self.rule.objective();
+        let orders: Vec<Vec<usize>> = batch
+            .queries()
+            .iter()
+            .map(|q| self.params.ordering.order(q, None, self.table.dims()))
+            .collect();
+        let kappas: Vec<Option<SharedKappa>> = (0..batch.len())
+            .map(|_| self.share_kappa.then(|| SharedKappa::new(objective)))
+            .collect();
+
+        let n_segments = self.segments.len();
+        let n_tasks = batch.len() * n_segments;
+        let slots: Vec<OnceLock<Result<SearchOutcome>>> =
+            (0..n_tasks).map(|_| OnceLock::new()).collect();
+
+        let run_task = |task: usize| {
+            let qi = task / n_segments;
+            let si = task % n_segments;
+            let segment = &self.segments[si];
+            let mut rule = self.rule.make_rule();
+            let ctx = SegmentContext {
+                kappa: kappas[qi].as_ref().map(|cell| cell as &dyn KappaCell),
+                row_sums: self.row_sums.as_deref().map(|sums| &sums[segment.range()]),
+                order: Some(&orders[qi]),
+            };
+            let outcome = search_segment(
+                segment,
+                &batch.queries()[qi],
+                self.rule.metric(),
+                rule.as_mut(),
+                k,
+                None,
+                &self.params,
+                &ctx,
+            );
+            slots[task].set(outcome).expect("each task is claimed exactly once");
+        };
+
+        let workers = self.threads.min(n_tasks);
+        if workers <= 1 {
+            for task in 0..n_tasks {
+                run_task(task);
+            }
+        } else {
+            let next_task = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let task = next_task.fetch_add(1, Ordering::Relaxed);
+                        if task >= n_tasks {
+                            break;
+                        }
+                        run_task(task);
+                    });
+                }
+            });
+        }
+
+        let mut per_task =
+            slots.into_iter().map(|slot| slot.into_inner().expect("all tasks completed"));
+
+        let mut queries = Vec::with_capacity(batch.len());
+        for _ in 0..batch.len() {
+            let segment_outcomes =
+                per_task.by_ref().take(n_segments).collect::<Result<Vec<SearchOutcome>>>()?;
+            queries.push(self.merge_query(segment_outcomes, k, objective));
+        }
+        Ok(BatchOutcome { queries })
+    }
+
+    /// Merges per-segment outcomes (exact-scored, global row ids) into the
+    /// query's global top-k. The k best under the total `(score, row)`
+    /// order are unique, so the merge is deterministic and matches the
+    /// sequential searcher bit for bit.
+    fn merge_query(
+        &self,
+        segment_outcomes: Vec<SearchOutcome>,
+        k: usize,
+        objective: Objective,
+    ) -> QueryOutcome {
+        let mut segments = Vec::with_capacity(segment_outcomes.len());
+        let hits = match objective {
+            Objective::Maximize => {
+                let mut heap = TopKLargest::new(k);
+                for (segment, outcome) in self.segments.iter().zip(segment_outcomes) {
+                    for hit in &outcome.hits {
+                        heap.push(hit.row, hit.score);
+                    }
+                    segments.push(SegmentRun { rows: segment.range(), trace: outcome.trace });
+                }
+                heap.into_sorted_vec()
+            }
+            Objective::Minimize => {
+                let mut heap = TopKSmallest::new(k);
+                for (segment, outcome) in self.segments.iter().zip(segment_outcomes) {
+                    for hit in &outcome.hits {
+                        heap.push(hit.row, hit.score);
+                    }
+                    segments.push(SegmentRun { rows: segment.range(), trace: outcome.trace });
+                }
+                heap.into_sorted_vec()
+            }
+        };
+        QueryOutcome { hits, segments }
+    }
+
+    /// Convenience: the sequential reference answer for the same rule and
+    /// parameters, computed by the classic single-threaded [`BondSearcher`]
+    /// (used by tests, benches and doc examples to demonstrate equivalence).
+    pub fn sequential_reference(&self, query: &[f64], k: usize) -> Result<Vec<Scored>> {
+        let searcher = BondSearcher::new(self.table);
+        let mut rule = self.rule.make_rule();
+        let outcome = searcher.search_with_rule(
+            query,
+            self.rule.metric(),
+            rule.as_mut(),
+            k,
+            None,
+            &self.params,
+        )?;
+        Ok(outcome.hits)
+    }
+}

@@ -1,0 +1,125 @@
+//! The shared, lock-free κ cell.
+//!
+//! Segments of one query pool their pruning bounds through a single atomic
+//! word holding the bit pattern of the tightest κ proven so far. Publishing
+//! and reading use relaxed ordering: κ only ever moves in one direction
+//! (up for similarity metrics, down for distances), and pruning with a
+//! stale value is merely less effective, never wrong — so no cross-thread
+//! happens-before edge is required beyond the scope join.
+
+use bond::KappaCell;
+use bond_metrics::Objective;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bit pattern marking "no κ proven yet" (a negative quiet NaN that
+/// `f64::to_bits` never produces for a real bound).
+const EMPTY: u64 = u64::MAX;
+
+/// An atomic κ shared by all segment searches of one query.
+#[derive(Debug)]
+pub struct SharedKappa {
+    bits: AtomicU64,
+    objective: Objective,
+}
+
+impl SharedKappa {
+    /// Creates an empty cell for a search under the given objective.
+    pub fn new(objective: Objective) -> Self {
+        SharedKappa { bits: AtomicU64::new(EMPTY), objective }
+    }
+
+    /// Whether `candidate` is a tighter κ than `best` under the objective.
+    #[inline]
+    fn tighter(&self, candidate: f64, best: f64) -> bool {
+        match self.objective {
+            Objective::Maximize => candidate > best,
+            Objective::Minimize => candidate < best,
+        }
+    }
+
+    /// Merges `local` into the cell and returns the tightest κ known.
+    pub fn merge(&self, local: f64) -> f64 {
+        let mut observed = self.bits.load(Ordering::Relaxed);
+        loop {
+            let best = if observed == EMPTY { None } else { Some(f64::from_bits(observed)) };
+            match best {
+                Some(best) if !self.tighter(local, best) => return best,
+                _ => {
+                    match self.bits.compare_exchange_weak(
+                        observed,
+                        local.to_bits(),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return local,
+                        Err(actual) => observed = actual,
+                    }
+                }
+            }
+        }
+    }
+
+    /// The tightest κ proven so far, if any.
+    pub fn get(&self) -> Option<f64> {
+        let bits = self.bits.load(Ordering::Relaxed);
+        (bits != EMPTY).then(|| f64::from_bits(bits))
+    }
+}
+
+impl KappaCell for SharedKappa {
+    fn tighten(&self, local: f64) -> f64 {
+        self.merge(local)
+    }
+
+    fn current(&self) -> Option<f64> {
+        self.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maximize_keeps_the_largest() {
+        let cell = SharedKappa::new(Objective::Maximize);
+        assert_eq!(cell.get(), None);
+        assert_eq!(cell.merge(0.4), 0.4);
+        assert_eq!(cell.merge(0.2), 0.4);
+        assert_eq!(cell.merge(0.9), 0.9);
+        assert_eq!(cell.get(), Some(0.9));
+    }
+
+    #[test]
+    fn minimize_keeps_the_smallest() {
+        let cell = SharedKappa::new(Objective::Minimize);
+        assert_eq!(cell.merge(3.0), 3.0);
+        assert_eq!(cell.merge(5.0), 3.0);
+        assert_eq!(cell.merge(1.5), 1.5);
+        assert_eq!(cell.get(), Some(1.5));
+    }
+
+    #[test]
+    fn negative_bounds_survive_the_bit_encoding() {
+        let cell = SharedKappa::new(Objective::Minimize);
+        assert_eq!(cell.merge(-0.5), -0.5);
+        assert_eq!(cell.merge(-2.5), -2.5);
+        assert_eq!(cell.merge(-1.0), -2.5);
+    }
+
+    #[test]
+    fn concurrent_merges_agree_on_the_tightest() {
+        let cell = SharedKappa::new(Objective::Maximize);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let cell = &cell;
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        cell.merge((t * 1000 + i) as f64 / 8000.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(cell.get(), Some(7999.0 / 8000.0));
+    }
+}

@@ -1,0 +1,194 @@
+//! # bond-exec — a parallel, partitioned, batched query-execution engine
+//!
+//! The core crate reproduces the paper's algorithm: one query, one thread,
+//! one pass over the fragments. This crate turns it into a *serving
+//! engine*:
+//!
+//! * **Horizontal partitioning** — the table is split into contiguous
+//!   row-range [`vdstore::Segment`]s (zero-copy column-slice views); BOND's
+//!   per-fragment partial scores depend only on a candidate's own
+//!   coefficients, so segments are independently scannable units, exactly
+//!   like the independent searchers of parallel-ensemble k-NN designs.
+//! * **Parallel BOND with κ sharing** — every segment runs the unmodified
+//!   pruning rules, but publishes its κ (the k-th best safe bound) into one
+//!   atomic [`SharedKappa`] cell per query. A tight bound found in one
+//!   segment immediately prunes candidates in all others, recovering most
+//!   of the pruning power a single full-table search has — the split is
+//!   *not* embarrassingly parallel, it is cooperative branch-and-bound.
+//! * **Batched execution** — a [`QueryBatch`] schedules all
+//!   `queries × segments` work items on one worker pool and amortizes
+//!   per-query setup (dimension ordering, the Ev rule's `T(x)` table,
+//!   thread spawn) across the batch. Every query still reports per-segment
+//!   [`bond::PruneTrace`]s, so the paper's instrumentation survives.
+//! * **Exactness** — each segment refines its survivors to exact scores in
+//!   the *same* dimension order the sequential searcher uses; since the k
+//!   best rows under the total `(score, row id)` order are unique, the
+//!   merged answer is bit-identical to [`bond::BondSearcher`]'s.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bond_exec::{Engine, QueryBatch, RuleKind};
+//! use vdstore::DecomposedTable;
+//!
+//! let vectors: Vec<Vec<f64>> = (0..100)
+//!     .map(|i| vec![i as f64 / 100.0, 1.0 - i as f64 / 100.0])
+//!     .collect();
+//! let table = DecomposedTable::from_vectors("demo", &vectors).unwrap();
+//!
+//! let engine = Engine::builder(&table)
+//!     .partitions(4)
+//!     .threads(2)
+//!     .rule(RuleKind::EuclideanEq)
+//!     .build();
+//!
+//! // one query …
+//! let outcome = engine.search(&[0.25, 0.75], 3).unwrap();
+//! assert_eq!(outcome.hits.len(), 3);
+//! assert_eq!(outcome.hits[0].row, 25);
+//!
+//! // … or a whole batch, answered together
+//! let batch = QueryBatch::from_queries(
+//!     vec![vec![0.1, 0.9], vec![0.9, 0.1]],
+//!     5,
+//! );
+//! let answers = engine.execute(&batch).unwrap();
+//! assert_eq!(answers.queries.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod batch;
+pub mod engine;
+pub mod kappa;
+pub mod rules;
+
+pub use batch::{BatchOutcome, QueryBatch, QueryOutcome, SegmentRun};
+pub use engine::{Engine, EngineBuilder};
+pub use kappa::SharedKappa;
+pub use rules::RuleKind;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bond::BondError;
+    use vdstore::DecomposedTable;
+
+    fn table(rows: usize, dims: usize) -> DecomposedTable {
+        // deterministic, mildly skewed synthetic histograms
+        let vectors: Vec<Vec<f64>> = (0..rows)
+            .map(|r| {
+                let mut v: Vec<f64> =
+                    (0..dims).map(|d| ((r * 31 + d * 17) % 97) as f64 + 1.0).collect();
+                let total: f64 = v.iter().sum();
+                v.iter_mut().for_each(|x| *x /= total);
+                v
+            })
+            .collect();
+        DecomposedTable::from_vectors("t", &vectors).unwrap()
+    }
+
+    #[test]
+    fn engine_matches_sequential_for_every_rule() {
+        let table = table(500, 16);
+        let query = table.row(123).unwrap();
+        for rule in RuleKind::ALL {
+            let engine = Engine::builder(&table).partitions(4).threads(3).rule(rule).build();
+            let parallel = engine.search(&query, 10).unwrap();
+            let sequential = engine.sequential_reference(&query, 10).unwrap();
+            assert_eq!(parallel.hits, sequential, "rule {}", rule.name());
+        }
+    }
+
+    #[test]
+    fn batch_answers_match_single_queries() {
+        let table = table(300, 8);
+        let engine = Engine::builder(&table).partitions(3).threads(2).build();
+        let queries: Vec<Vec<f64>> = (0..5).map(|i| table.row(i * 37).unwrap()).collect();
+        let batch = QueryBatch::from_queries(queries.clone(), 7);
+        let outcome = engine.execute(&batch).unwrap();
+        assert_eq!(outcome.queries.len(), 5);
+        for (q, merged) in queries.iter().zip(&outcome.queries) {
+            let single = engine.search(q, 7).unwrap();
+            assert_eq!(single.hits, merged.hits);
+            assert_eq!(merged.segments.len(), engine.partitions());
+        }
+    }
+
+    #[test]
+    fn tombstoned_rows_never_surface() {
+        let mut t = table(200, 8);
+        let query = t.row(50).unwrap();
+        t.delete(50).unwrap(); // the best possible match is deleted
+        let engine = Engine::builder(&t).partitions(4).threads(2).build();
+        let outcome = engine.search(&query, 5).unwrap();
+        assert_eq!(outcome.hits.len(), 5);
+        assert!(outcome.hits.iter().all(|h| h.row != 50));
+    }
+
+    #[test]
+    fn validation_matches_the_sequential_searcher() {
+        let t = table(50, 4);
+        let engine = Engine::builder(&t).partitions(2).build();
+        assert!(matches!(
+            engine.search(&[0.5; 3], 1),
+            Err(BondError::QueryDimensionMismatch { .. })
+        ));
+        let q = t.row(0).unwrap();
+        assert!(matches!(engine.search(&q, 0), Err(BondError::InvalidK { .. })));
+        assert!(matches!(engine.search(&q, 51), Err(BondError::InvalidK { .. })));
+        // empty batch is fine
+        let empty = engine.execute(&QueryBatch::new(3)).unwrap();
+        assert!(empty.queries.is_empty());
+    }
+
+    #[test]
+    fn more_partitions_than_rows_degrades_gracefully() {
+        let t = table(5, 4);
+        let engine = Engine::builder(&t).partitions(64).threads(8).build();
+        assert!(engine.partitions() <= 5);
+        let q = t.row(2).unwrap();
+        let outcome = engine.search(&q, 5).unwrap();
+        assert_eq!(outcome.hits.len(), 5);
+        assert_eq!(outcome.hits[0].row, 2);
+    }
+
+    #[test]
+    fn kappa_sharing_reduces_work_without_changing_answers() {
+        let table = table(2000, 24);
+        let query = table.row(7).unwrap();
+        let shared = Engine::builder(&table)
+            .partitions(4)
+            .threads(1) // deterministic interleaving for a fair work count
+            .rule(RuleKind::HistogramHh)
+            .build();
+        let isolated = Engine::builder(&table)
+            .partitions(4)
+            .threads(1)
+            .rule(RuleKind::HistogramHh)
+            .share_kappa(false)
+            .build();
+        let with = shared.search(&query, 5).unwrap();
+        let without = isolated.search(&query, 5).unwrap();
+        assert_eq!(with.hits, without.hits);
+        assert!(
+            with.contributions_evaluated() <= without.contributions_evaluated(),
+            "κ sharing must never increase the scanned work: {} vs {}",
+            with.contributions_evaluated(),
+            without.contributions_evaluated()
+        );
+    }
+
+    #[test]
+    fn segment_stats_expose_per_partition_distributions() {
+        let t = table(100, 6);
+        let engine = Engine::builder(&t).partitions(4).build();
+        let stats = engine.segment_stats();
+        assert_eq!(stats.len(), engine.partitions());
+        assert!(stats.iter().all(|s| s.per_dim.len() == 6));
+        // segments tile the table
+        assert_eq!(stats.first().unwrap().range.start, 0);
+        assert_eq!(stats.last().unwrap().range.end, 100);
+    }
+}

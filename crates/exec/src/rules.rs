@@ -1,0 +1,116 @@
+//! Metric / pruning-rule selection for the engine.
+//!
+//! The core searcher is generic over `(DecomposableMetric, PruningRule)`
+//! pairs; a serving engine needs a *value-level* description of that choice
+//! so it can be carried in a builder, logged, and instantiated fresh for
+//! every worker (rules hold per-attempt state and are not shared across
+//! threads). [`RuleKind`] enumerates the four unweighted combinations the
+//! paper evaluates.
+
+use bond_metrics::{
+    DecomposableMetric, EqRule, EvRule, HhRule, HistogramIntersection, HqRule, Objective,
+    PruningRule, SquaredEuclidean,
+};
+
+/// Which metric + pruning criterion a search uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleKind {
+    /// Histogram intersection with the query-only criterion Hq.
+    HistogramHq,
+    /// Histogram intersection with the per-vector criterion Hh.
+    HistogramHh,
+    /// Squared Euclidean distance with the query-only criterion Eq.
+    EuclideanEq,
+    /// Squared Euclidean distance with the per-vector criterion Ev.
+    EuclideanEv,
+}
+
+impl RuleKind {
+    /// All rule kinds, in the paper's order.
+    pub const ALL: [RuleKind; 4] = [
+        RuleKind::HistogramHq,
+        RuleKind::HistogramHh,
+        RuleKind::EuclideanEq,
+        RuleKind::EuclideanEv,
+    ];
+
+    /// The metric this rule prunes for.
+    pub fn metric(self) -> &'static dyn DecomposableMetric {
+        match self {
+            RuleKind::HistogramHq | RuleKind::HistogramHh => &HistogramIntersection,
+            RuleKind::EuclideanEq | RuleKind::EuclideanEv => &SquaredEuclidean,
+        }
+    }
+
+    /// Whether the metric maximizes (similarity) or minimizes (distance).
+    pub fn objective(self) -> Objective {
+        self.metric().objective()
+    }
+
+    /// A fresh pruning-rule instance (each worker needs its own: rules hold
+    /// per-pruning-attempt state).
+    pub fn make_rule(self) -> Box<dyn PruningRule> {
+        match self {
+            RuleKind::HistogramHq => Box::new(HqRule::new()),
+            RuleKind::HistogramHh => Box::new(HhRule::new()),
+            RuleKind::EuclideanEq => Box::new(EqRule::new()),
+            RuleKind::EuclideanEv => Box::new(EvRule::new()),
+        }
+    }
+
+    /// Whether the rule needs the per-row total masses `T(x)` (the engine
+    /// materialises them once per table instead of once per search).
+    pub fn needs_total_mass(self) -> bool {
+        matches!(self, RuleKind::HistogramHh | RuleKind::EuclideanEv)
+    }
+
+    /// The paper's short name for the combination.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleKind::HistogramHq => "Hq",
+            RuleKind::HistogramHh => "Hh",
+            RuleKind::EuclideanEq => "Eq",
+            RuleKind::EuclideanEv => "Ev",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_and_rule_objectives_agree() {
+        for kind in RuleKind::ALL {
+            assert_eq!(kind.objective(), kind.make_rule().objective(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn needs_total_mass_matches_the_rules_own_declaration() {
+        for kind in RuleKind::ALL {
+            assert_eq!(
+                kind.needs_total_mass(),
+                kind.make_rule().requirements().needs_total_mass,
+                "{}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn per_vector_rules_need_total_mass() {
+        // Hh and Ev track the scanned/remaining mass of each vector; the
+        // query-only rules need no per-vector bookkeeping.
+        assert!(RuleKind::HistogramHh.needs_total_mass());
+        assert!(RuleKind::EuclideanEv.needs_total_mass());
+        assert!(!RuleKind::HistogramHq.needs_total_mass());
+        assert!(!RuleKind::EuclideanEq.needs_total_mass());
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        let names: Vec<&str> = RuleKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["Hq", "Hh", "Eq", "Ev"]);
+    }
+}

@@ -1,0 +1,149 @@
+//! The engine's contract: partitioned, parallel, κ-sharing execution
+//! returns *exactly* what the sequential searcher returns — same row ids,
+//! bit-identical scores — for every pruning rule, any partition count and
+//! any k. A divergence would mean either an unsafe shared bound (a true
+//! neighbour pruned) or a merge bug, both answer-corrupting, so this is
+//! exercised as a property over random collections and, separately, at
+//! serving scale on a 50k-row synthetic table.
+
+use bond::{BondParams, BondSearcher};
+use bond_datagen::{sample_queries, ClusteredConfig, CorelLikeConfig};
+use bond_exec::{Engine, QueryBatch, RuleKind};
+use proptest::prelude::*;
+use vdstore::topk::Scored;
+use vdstore::DecomposedTable;
+
+const DIMS: usize = 8;
+const PARTITIONS: [usize; 4] = [1, 2, 3, 7];
+
+/// A random collection of normalized histograms plus a query index.
+fn histogram_collection() -> impl Strategy<Value = (Vec<Vec<f64>>, usize)> {
+    (proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, DIMS), 30..90), 0usize..30)
+        .prop_map(|(mut vectors, qi)| {
+            for v in &mut vectors {
+                let total: f64 = v.iter().sum();
+                if total <= 0.0 {
+                    v[0] = 1.0;
+                } else {
+                    for x in v.iter_mut() {
+                        *x /= total;
+                    }
+                }
+            }
+            (vectors, qi)
+        })
+}
+
+fn sequential_hits(
+    table: &DecomposedTable,
+    rule: RuleKind,
+    query: &[f64],
+    k: usize,
+    params: &BondParams,
+) -> Vec<Scored> {
+    let searcher = BondSearcher::new(table);
+    let mut rule_instance = rule.make_rule();
+    searcher
+        .search_with_rule(query, rule.metric(), rule_instance.as_mut(), k, None, params)
+        .expect("sequential search succeeds")
+        .hits
+}
+
+fn assert_bit_identical(parallel: &[Scored], sequential: &[Scored], context: &str) {
+    assert_eq!(parallel.len(), sequential.len(), "{context}: hit counts differ");
+    for (p, s) in parallel.iter().zip(sequential) {
+        assert_eq!(p.row, s.row, "{context}: row ids diverge");
+        assert_eq!(
+            p.score.to_bits(),
+            s.score.to_bits(),
+            "{context}: scores are not bit-identical ({} vs {})",
+            p.score,
+            s.score
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn partitioned_search_is_bit_identical_to_sequential(
+        (vectors, qi) in histogram_collection(),
+    ) {
+        let table = DecomposedTable::from_vectors("prop", &vectors).unwrap();
+        let query = vectors[qi % vectors.len()].clone();
+        let params = BondParams::default();
+        let n = table.rows();
+        for rule in RuleKind::ALL {
+            for partitions in PARTITIONS {
+                for k in [1, 10.min(n), n] {
+                    let engine = Engine::builder(&table)
+                        .partitions(partitions)
+                        .threads(3)
+                        .rule(rule)
+                        .params(params.clone())
+                        .build();
+                    let parallel = engine.search(&query, k).unwrap();
+                    let sequential = sequential_hits(&table, rule, &query, k, &params);
+                    let context = format!(
+                        "rule {} partitions {partitions} k {k} rows {n}",
+                        rule.name()
+                    );
+                    assert_bit_identical(&parallel.hits, &sequential, &context);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_execution_matches_per_query_searches(
+        (vectors, _) in histogram_collection(),
+        k in 1usize..=5,
+    ) {
+        let table = DecomposedTable::from_vectors("batch", &vectors).unwrap();
+        let queries: Vec<Vec<f64>> =
+            vectors.iter().step_by(vectors.len().div_ceil(4).max(1)).cloned().collect();
+        let engine = Engine::builder(&table).partitions(3).threads(2).build();
+        let outcome = engine
+            .execute(&QueryBatch::from_queries(queries.clone(), k))
+            .unwrap();
+        for (q, merged) in queries.iter().zip(&outcome.queries) {
+            let single = engine.search(q, k).unwrap();
+            assert_eq!(single.hits, merged.hits);
+        }
+    }
+}
+
+/// The acceptance-scale check: a ≥50k-row synthetic table, 4+ partitions,
+/// bit-identical answers for both metric families under every rule.
+#[test]
+fn serving_scale_bit_identity_50k() {
+    let k = 10;
+    let params = BondParams::default();
+
+    // Corel-like histograms for the histogram-intersection rules.
+    let histograms = CorelLikeConfig::small(50_000, 24).generate();
+    // Clustered unit-cube vectors for the Euclidean rules.
+    let clustered = ClusteredConfig::small(50_000, 16, 0.5).generate();
+
+    for rule in RuleKind::ALL {
+        let table = match rule.objective() {
+            bond_metrics::Objective::Maximize => &histograms,
+            bond_metrics::Objective::Minimize => &clustered,
+        };
+        let queries = sample_queries(table, 3, 7);
+        let engine = Engine::builder(table)
+            .partitions(5)
+            .threads(4)
+            .rule(rule)
+            .params(params.clone())
+            .build();
+        assert!(engine.partitions() >= 4);
+        for query in &queries {
+            let parallel = engine.search(query, k).unwrap();
+            let sequential = sequential_hits(table, rule, query, k, &params);
+            let context = format!("50k-row table, rule {}", rule.name());
+            assert_bit_identical(&parallel.hits, &sequential, &context);
+        }
+    }
+}

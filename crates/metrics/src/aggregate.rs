@@ -136,7 +136,8 @@ mod tests {
         let lowers = [0.2, 0.1];
         let uppers = [0.6, 0.9];
         let actual = [0.5, 0.3];
-        for agg in [&WeightedAverage::uniform(2).unwrap() as &dyn ScoreAggregate, &FuzzyMin, &FuzzyMax]
+        for agg in
+            [&WeightedAverage::uniform(2).unwrap() as &dyn ScoreAggregate, &FuzzyMin, &FuzzyMax]
         {
             let (lo, hi) = agg.combine_bounds(&lowers, &uppers);
             let truth = agg.combine(&actual);

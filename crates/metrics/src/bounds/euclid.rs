@@ -163,10 +163,7 @@ impl PruningRule for EvRule {
     #[inline]
     fn bounds(&self, candidate: &CandidateState) -> (f64, f64) {
         let mass = candidate.remaining_mass();
-        (
-            candidate.partial + self.lower_extra(mass),
-            candidate.partial + self.upper_extra(mass),
-        )
+        (candidate.partial + self.lower_extra(mass), candidate.partial + self.upper_extra(mass))
     }
 
     fn name(&self) -> &'static str {
@@ -242,8 +239,7 @@ mod tests {
             let q = vec![qa, qb];
             rule.prepare(&q, &[0, 1]);
             for mass in [0.0, 0.3, 0.5, 1.0, 1.2, 1.7, 2.0] {
-                let state =
-                    CandidateState { partial: 0.0, scanned_mass: 0.0, total_mass: mass };
+                let state = CandidateState { partial: 0.0, scanned_mass: 0.0, total_mass: mass };
                 let (_, hi) = rule.bounds(&state);
                 let brute = brute_force_max_extra(&q, mass, 2000);
                 assert!(

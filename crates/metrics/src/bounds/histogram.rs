@@ -88,10 +88,8 @@ impl PruningRule for HhRule {
 
     fn prepare(&mut self, query: &[f64], remaining_dims: &[usize]) {
         self.remaining_query_sum = remaining_dims.iter().map(|&d| query[d]).sum();
-        self.remaining_query_min = remaining_dims
-            .iter()
-            .map(|&d| query[d])
-            .fold(f64::INFINITY, f64::min);
+        self.remaining_query_min =
+            remaining_dims.iter().map(|&d| query[d]).fold(f64::INFINITY, f64::min);
         if remaining_dims.is_empty() {
             self.remaining_query_min = 0.0;
         }
@@ -119,15 +117,15 @@ mod tests {
     fn example() -> (Vec<f64>, Vec<Vec<f64>>) {
         let q = vec![0.7, 0.15, 0.1, 0.05];
         let h = vec![
-            vec![0.1, 0.3, 0.4, 0.2],     // h1 (values chosen so S(h1-,q-)=0.25 as in the table)
-            vec![0.05, 0.05, 0.9, 0.0],   // h2
-            vec![0.8, 0.1, 0.05, 0.05],   // h3
-            vec![0.2, 0.6, 0.1, 0.1],     // h4
-            vec![0.7, 0.15, 0.15, 0.0],   // h5
+            vec![0.1, 0.3, 0.4, 0.2], // h1 (values chosen so S(h1-,q-)=0.25 as in the table)
+            vec![0.05, 0.05, 0.9, 0.0], // h2
+            vec![0.8, 0.1, 0.05, 0.05], // h3
+            vec![0.2, 0.6, 0.1, 0.1], // h4
+            vec![0.7, 0.15, 0.15, 0.0], // h5
             vec![0.925, 0.0, 0.0, 0.025], // h6
-            vec![0.55, 0.2, 0.15, 0.1],   // h7
-            vec![0.05, 0.1, 0.05, 0.8],   // h8
-            vec![0.45, 0.5, 0.05, 0.05],  // h9
+            vec![0.55, 0.2, 0.15, 0.1], // h7
+            vec![0.05, 0.1, 0.05, 0.8], // h8
+            vec![0.45, 0.5, 0.05, 0.05], // h9
         ];
         (q, h)
     }
@@ -158,8 +156,7 @@ mod tests {
         let metric = HistogramIntersection;
         let mut rule = HqRule::new();
         rule.prepare(&q, &[2, 3]);
-        let partials: Vec<f64> =
-            hs.iter().map(|h| metric.partial_score(&[0, 1], h, &q)).collect();
+        let partials: Vec<f64> = hs.iter().map(|h| metric.partial_score(&[0, 1], h, &q)).collect();
         // κ_min = 3rd largest lower bound = 3rd largest partial
         let mut lows: Vec<f64> =
             partials.iter().map(|&p| rule.bounds(&CandidateState::partial_only(p)).0).collect();
@@ -221,11 +218,8 @@ mod tests {
         hh.prepare(&q, &remaining);
         for h in &hs {
             let partial = metric.partial_score(&scanned, h, &q);
-            let state = CandidateState {
-                partial,
-                scanned_mass: h[0] + h[1],
-                total_mass: h.iter().sum(),
-            };
+            let state =
+                CandidateState { partial, scanned_mass: h[0] + h[1], total_mass: h.iter().sum() };
             let (lo_q, hi_q) = hq.bounds(&CandidateState::partial_only(partial));
             let (lo_h, hi_h) = hh.bounds(&state);
             let full = metric.score(h, &q);

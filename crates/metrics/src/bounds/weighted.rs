@@ -177,10 +177,7 @@ impl PruningRule for WeightedEvRule {
     #[inline]
     fn bounds(&self, candidate: &CandidateState) -> (f64, f64) {
         let mass = candidate.remaining_mass();
-        (
-            candidate.partial + self.lower_extra(mass),
-            candidate.partial + self.upper_extra(mass),
-        )
+        (candidate.partial + self.lower_extra(mass), candidate.partial + self.upper_extra(mass))
     }
 
     fn name(&self) -> &'static str {
@@ -278,8 +275,7 @@ mod tests {
         let remaining = [2usize, 3];
         let mut rule = WeightedHqRule::new(weights.clone());
         rule.prepare(&q, &remaining);
-        let partial: f64 =
-            scanned.iter().map(|&d| weights[d] * h[d].min(q[d])).sum();
+        let partial: f64 = scanned.iter().map(|&d| weights[d] * h[d].min(q[d])).sum();
         let full: f64 = (0..4).map(|d| weights[d] * h[d].min(q[d])).sum();
         let (lo, hi) = rule.bounds(&CandidateState::partial_only(partial));
         assert!(lo <= full + 1e-12 && hi >= full - 1e-12);
@@ -308,11 +304,7 @@ mod tests {
         let v = vec![0.0, 0.0, 0.25, 0.35];
         let mut rule = WeightedEvRule::new(weights);
         rule.prepare(&q, &[2, 3]);
-        let state = CandidateState {
-            partial: 0.0,
-            scanned_mass: 0.0,
-            total_mass: v[2] + v[3],
-        };
+        let state = CandidateState { partial: 0.0, scanned_mass: 0.0, total_mass: v[2] + v[3] };
         let (lo, hi) = rule.bounds(&state);
         let full = metric.score(&v, &q);
         assert!(lo <= full + 1e-12 && hi >= full - 1e-12);

@@ -37,5 +37,6 @@ pub use bounds::{
     CandidateState, PruningRule, Requirements,
 };
 pub use metric::{
-    DecomposableMetric, HistogramIntersection, Objective, SquaredEuclidean, WeightedSquaredEuclidean,
+    DecomposableMetric, HistogramIntersection, Objective, SquaredEuclidean,
+    WeightedSquaredEuclidean,
 };

@@ -48,12 +48,7 @@ pub trait DecomposableMetric: Send + Sync {
     /// over all dimensions; metrics may override it with a tighter loop.
     fn score(&self, vector: &[f64], query: &[f64]) -> f64 {
         debug_assert_eq!(vector.len(), query.len());
-        vector
-            .iter()
-            .zip(query)
-            .enumerate()
-            .map(|(d, (&v, &q))| self.contribution(d, v, q))
-            .sum()
+        vector.iter().zip(query).enumerate().map(|(d, (&v, &q))| self.contribution(d, v, q)).sum()
     }
 
     /// The score restricted to a subset of dimensions (used to accumulate

@@ -64,7 +64,8 @@ impl BondHqProgram {
 
         // Dimension order: decreasing query value.
         let mut order: Vec<usize> = (0..dims).collect();
-        order.sort_by(|&a, &b| query[b].partial_cmp(&query[a]).unwrap_or(std::cmp::Ordering::Equal));
+        order
+            .sort_by(|&a, &b| query[b].partial_cmp(&query[a]).unwrap_or(std::cmp::Ordering::Equal));
 
         let mut script = Vec::new();
         let mut candidates_per_step = Vec::new();
@@ -79,8 +80,7 @@ impl BondHqProgram {
 
         let mut processed = 0usize;
         while processed < dims {
-            let block: Vec<usize> =
-                order[processed..(processed + self.m).min(dims)].to_vec();
+            let block: Vec<usize> = order[processed..(processed + self.m).min(dims)].to_vec();
             // Step 1: Di := [min](Hi, const Qi);  Smin := [+](Smin, D1, ..., Dm)
             let mut summands: Vec<Bat> = Vec::with_capacity(block.len());
             for &d in &block {

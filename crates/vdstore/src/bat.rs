@@ -110,18 +110,18 @@ impl Bat {
     pub fn lookup_dense(&self, oid: RowId) -> Result<f64> {
         match &self.head {
             Head::VirtualDense { base } => {
-                let idx = oid.checked_sub(*base).ok_or(VdError::RowOutOfBounds {
-                    row: oid,
-                    rows: self.len(),
-                })? as usize;
+                let idx = oid
+                    .checked_sub(*base)
+                    .ok_or(VdError::RowOutOfBounds { row: oid, rows: self.len() })?
+                    as usize;
                 self.tail
                     .get(idx)
                     .copied()
                     .ok_or(VdError::RowOutOfBounds { row: oid, rows: self.len() })
             }
-            Head::Materialized(_) => Err(VdError::InvalidArgument(
-                "positional lookup requires a dense head".into(),
-            )),
+            Head::Materialized(_) => {
+                Err(VdError::InvalidArgument("positional lookup requires a dense head".into()))
+            }
         }
     }
 

@@ -154,6 +154,31 @@ impl Bitmap {
         self.iter().collect()
     }
 
+    /// Extracts the bits of `range` into a new bitmap of length
+    /// `range.len()` (bit `i` of the result is bit `range.start + i` of
+    /// `self`). Word-wise: O(range.len() / 64).
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the bitmap's length.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bitmap {
+        assert!(range.start <= range.end && range.end <= self.len, "slice out of range");
+        let len = range.end - range.start;
+        let mut out = Bitmap::new(len);
+        let shift = range.start % WORD_BITS;
+        let first_word = range.start / WORD_BITS;
+        for (i, w) in out.words.iter_mut().enumerate() {
+            let lo = self.words.get(first_word + i).copied().unwrap_or(0) >> shift;
+            let hi = if shift == 0 {
+                0
+            } else {
+                self.words.get(first_word + i + 1).copied().unwrap_or(0) << (WORD_BITS - shift)
+            };
+            *w = lo | hi;
+        }
+        out.clear_trailing();
+        out
+    }
+
     /// Fraction of set bits, in `[0, 1]`; `0` for an empty bitmap.
     pub fn density(&self) -> f64 {
         if self.len == 0 {
@@ -202,6 +227,28 @@ impl<'a> IntoIterator for &'a Bitmap {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn slice_extracts_ranges_across_word_boundaries() {
+        let rows: Vec<RowId> = vec![0, 3, 63, 64, 65, 100, 127, 128, 199];
+        let b = Bitmap::from_rows(200, &rows);
+        for range in [0..200, 0..64, 1..200, 63..66, 60..140, 128..129, 199..200, 70..70] {
+            let s = b.slice(range.clone());
+            assert_eq!(s.len(), range.len());
+            let expected: Vec<RowId> = rows
+                .iter()
+                .filter(|&&r| range.contains(&(r as usize)))
+                .map(|&r| r - range.start as RowId)
+                .collect();
+            assert_eq!(s.to_rows(), expected, "range {range:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of range")]
+    fn slice_rejects_out_of_range() {
+        let _ = Bitmap::new(10).slice(5..11);
+    }
 
     #[test]
     fn new_full_and_count() {

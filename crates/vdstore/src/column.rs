@@ -92,10 +92,8 @@ impl Column {
     /// Overwrites the value of an existing row.
     pub fn set(&mut self, row: RowId, value: f64) -> Result<()> {
         let rows = self.values.len();
-        let slot = self
-            .values
-            .get_mut(row as usize)
-            .ok_or(VdError::RowOutOfBounds { row, rows })?;
+        let slot =
+            self.values.get_mut(row as usize).ok_or(VdError::RowOutOfBounds { row, rows })?;
         *slot = value;
         Ok(())
     }
@@ -158,10 +156,7 @@ mod tests {
         assert_eq!(c.value(1), 0.2);
         assert_eq!(c[2], 0.3);
         assert_eq!(c.get(0).unwrap(), 0.1);
-        assert!(matches!(
-            c.get(3),
-            Err(VdError::RowOutOfBounds { row: 3, rows: 3 })
-        ));
+        assert!(matches!(c.get(3), Err(VdError::RowOutOfBounds { row: 3, rows: 3 })));
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod ops;
 pub mod persist;
 pub mod quantize;
 pub mod rowmatrix;
+pub mod segment;
 pub mod stats;
 pub mod table;
 pub mod topk;
@@ -48,6 +49,7 @@ pub use column::Column;
 pub use error::{Result, VdError};
 pub use quantize::{QuantizedColumn, QuantizedTable};
 pub use rowmatrix::RowMatrix;
+pub use segment::{Segment, SegmentStats};
 pub use stats::{ColumnStats, DatasetStats};
 pub use table::{DecomposedTable, TableBuilder};
 pub use topk::{TopKLargest, TopKSmallest};

@@ -216,11 +216,8 @@ impl QuantizedTable {
     /// column names. Running BOND on this table is "BOND on compressed
     /// fragments" (Figure 9).
     pub fn to_approximate_table(&self) -> DecomposedTable {
-        let columns: Vec<Column> = self
-            .columns
-            .iter()
-            .map(|qc| Column::new(qc.name(), qc.approximate_all()))
-            .collect();
+        let columns: Vec<Column> =
+            self.columns.iter().map(|qc| Column::new(qc.name(), qc.approximate_all())).collect();
         DecomposedTable::from_columns(format!("{}_approx", self.name), columns)
             .expect("quantized columns are rectangular")
     }
@@ -300,11 +297,9 @@ mod tests {
 
     #[test]
     fn quantized_table_round_trip() {
-        let t = DecomposedTable::from_vectors(
-            "t",
-            &[vec![0.1, 0.9], vec![0.4, 0.6], vec![0.8, 0.2]],
-        )
-        .unwrap();
+        let t =
+            DecomposedTable::from_vectors("t", &[vec![0.1, 0.9], vec![0.4, 0.6], vec![0.8, 0.2]])
+                .unwrap();
         let qt = QuantizedTable::from_table(&t, 8).unwrap();
         assert_eq!(qt.dims(), 2);
         assert_eq!(qt.rows(), 3);

@@ -24,7 +24,7 @@ impl RowMatrix {
         if dims == 0 {
             return Err(VdError::Empty("matrix dimensionality"));
         }
-        if data.len() % dims != 0 {
+        if !data.len().is_multiple_of(dims) {
             return Err(VdError::LengthMismatch {
                 expected: data.len().next_multiple_of(dims),
                 actual: data.len(),
@@ -49,11 +49,7 @@ impl RowMatrix {
 
     /// Number of rows.
     pub fn rows(&self) -> usize {
-        if self.dims == 0 {
-            0
-        } else {
-            self.data.len() / self.dims
-        }
+        self.data.len().checked_div(self.dims).unwrap_or(0)
     }
 
     /// Number of dimensions per row.

@@ -1,0 +1,284 @@
+//! Horizontal partitioning: zero-copy row-range views of a decomposed table.
+//!
+//! BOND's per-fragment partial scores shard naturally along the row axis —
+//! a candidate's bounds depend only on its own coefficients — so a table can
+//! be split into contiguous row ranges that independent workers scan in
+//! parallel (the `bond-exec` engine does exactly that). A [`Segment`] is a
+//! *view*: it borrows the table's columns and exposes each dimensional
+//! fragment as a sub-slice, so partitioning copies no vector data.
+//!
+//! Every segment can also compute its own per-dimension statistics
+//! ([`SegmentStats`]); because real collections are often appended in
+//! batches with drifting distributions, per-segment statistics diverge from
+//! the table-wide ones and are the hook for per-segment tuning decisions
+//! (and, later, for segment-level zone-map pruning).
+
+use crate::bitmap::Bitmap;
+use crate::error::{Result, VdError};
+use crate::stats::ColumnStats;
+use crate::table::DecomposedTable;
+use crate::RowId;
+use std::ops::Range;
+
+/// A contiguous row-range view of a [`DecomposedTable`].
+///
+/// Row ids inside a segment are *local* (0-based within the segment);
+/// [`Segment::to_global`] maps them back to table row ids.
+#[derive(Debug, Clone, Copy)]
+pub struct Segment<'a> {
+    table: &'a DecomposedTable,
+    start: usize,
+    len: usize,
+}
+
+impl<'a> Segment<'a> {
+    /// The table this segment views.
+    pub fn table(&self) -> &'a DecomposedTable {
+        self.table
+    }
+
+    /// First table row covered by this segment.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of rows covered (including tombstoned ones).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the segment covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The covered table row range.
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.start + self.len
+    }
+
+    /// Number of live (non-tombstoned) rows in the segment.
+    pub fn live_rows(&self) -> usize {
+        self.range().filter(|&r| !self.table.is_deleted(r as RowId)).count()
+    }
+
+    /// The values of dimension `dim` restricted to this segment — a
+    /// zero-copy sub-slice of the table's column.
+    pub fn col_slice(&self, dim: usize) -> Result<&'a [f64]> {
+        Ok(&self.table.column(dim)?.values()[self.range()])
+    }
+
+    /// Maps a segment-local row id to the table row id.
+    #[inline]
+    pub fn to_global(&self, local: RowId) -> RowId {
+        (self.start + local as usize) as RowId
+    }
+
+    /// Maps a table row id to the segment-local id, when covered.
+    pub fn to_local(&self, global: RowId) -> Option<RowId> {
+        let g = global as usize;
+        self.range().contains(&g).then(|| (g - self.start) as RowId)
+    }
+
+    /// The live-row bitmap of this segment, in *local* indexing: bit `i` is
+    /// set iff table row `start + i` is not tombstoned. This is the initial
+    /// candidate set of a per-segment BOND search. Word-wise, so per-query
+    /// candidate-set setup costs O(rows / 64) like the sequential engine's.
+    pub fn live_bitmap(&self) -> Bitmap {
+        self.table.live_bitmap().slice(self.range())
+    }
+
+    /// Per-row total masses `T(x)` of the segment's rows, in local order —
+    /// the `Ev` bookkeeping, restricted to the rows this segment scans.
+    pub fn row_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.len];
+        for d in 0..self.table.dims() {
+            let values = self.col_slice(d).expect("dimension in range");
+            for (s, &v) in sums.iter_mut().zip(values) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Per-dimension statistics over *this segment's rows only*.
+    pub fn stats(&self) -> SegmentStats {
+        let per_dim = (0..self.table.dims())
+            .map(|d| {
+                let values = self.col_slice(d).expect("dimension in range");
+                ColumnStats::compute_slice(self.table.column(d).expect("dim").name(), values)
+            })
+            .collect();
+        SegmentStats { range: self.range(), per_dim }
+    }
+}
+
+/// Per-dimension statistics of one segment.
+///
+/// Each entry is `None` only for an empty segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentStats {
+    /// The table row range the statistics describe.
+    pub range: Range<usize>,
+    /// Statistics of each dimensional fragment, restricted to the segment.
+    pub per_dim: Vec<Option<ColumnStats>>,
+}
+
+impl SegmentStats {
+    /// The per-dimension mean values (NaN for an empty segment).
+    pub fn mean_per_dim(&self) -> Vec<f64> {
+        self.per_dim.iter().map(|s| s.as_ref().map_or(f64::NAN, |s| s.mean)).collect()
+    }
+
+    /// The dimensions ordered by decreasing segment-local mean — the
+    /// per-segment analogue of the paper's "decreasing value in q" heuristic
+    /// applied to the data side.
+    pub fn dims_by_mean_descending(&self) -> Vec<usize> {
+        let means = self.mean_per_dim();
+        let mut order: Vec<usize> = (0..means.len()).collect();
+        order.sort_by(|&a, &b| {
+            means[b].partial_cmp(&means[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+        order
+    }
+}
+
+impl DecomposedTable {
+    /// A segment viewing the given row range.
+    pub fn segment(&self, range: Range<usize>) -> Result<Segment<'_>> {
+        if range.start > range.end || range.end > self.rows() {
+            return Err(VdError::RowOutOfBounds { row: range.end as RowId, rows: self.rows() });
+        }
+        Ok(Segment { table: self, start: range.start, len: range.end - range.start })
+    }
+
+    /// Splits the table into `partitions` contiguous row-range segments of
+    /// near-equal size (sizes differ by at most one row; empty trailing
+    /// segments are omitted for tables smaller than the partition count).
+    pub fn partition_segments(&self, partitions: usize) -> Vec<Segment<'_>> {
+        let partitions = partitions.max(1);
+        let rows = self.rows();
+        let base = rows / partitions;
+        let extra = rows % partitions;
+        let mut segments = Vec::with_capacity(partitions);
+        let mut start = 0;
+        for p in 0..partitions {
+            let len = base + usize::from(p < extra);
+            if len == 0 {
+                break;
+            }
+            segments.push(Segment { table: self, start, len });
+            start += len;
+        }
+        segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DecomposedTable {
+        DecomposedTable::from_vectors(
+            "seg",
+            &(0..10).map(|i| vec![i as f64, 10.0 - i as f64, 0.5]).collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn segment_views_are_zero_copy_slices() {
+        let t = sample();
+        let s = t.segment(3..7).unwrap();
+        assert_eq!(s.start(), 3);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.col_slice(0).unwrap(), &[3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(s.col_slice(1).unwrap(), &[7.0, 6.0, 5.0, 4.0]);
+        // the slice aliases the column's storage
+        let col = t.column(0).unwrap().values();
+        assert!(std::ptr::eq(&col[3], &s.col_slice(0).unwrap()[0]));
+        assert!(s.col_slice(9).is_err());
+        assert!(t.segment(5..11).is_err());
+        #[allow(clippy::reversed_empty_ranges)]
+        let backwards = t.segment(7..3);
+        assert!(backwards.is_err());
+    }
+
+    #[test]
+    fn local_global_round_trip() {
+        let t = sample();
+        let s = t.segment(4..8).unwrap();
+        assert_eq!(s.to_global(0), 4);
+        assert_eq!(s.to_global(3), 7);
+        assert_eq!(s.to_local(5), Some(1));
+        assert_eq!(s.to_local(3), None);
+        assert_eq!(s.to_local(8), None);
+    }
+
+    #[test]
+    fn partitioning_covers_every_row_exactly_once() {
+        let t = sample();
+        for parts in [1, 2, 3, 4, 7, 10, 13] {
+            let segments = t.partition_segments(parts);
+            assert!(segments.len() <= parts);
+            let mut covered = Vec::new();
+            for s in &segments {
+                covered.extend(s.range());
+            }
+            assert_eq!(covered, (0..t.rows()).collect::<Vec<_>>(), "parts = {parts}");
+            // sizes are balanced to within one row
+            let sizes: Vec<usize> = segments.iter().map(|s| s.len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "unbalanced partition sizes {sizes:?}");
+        }
+        assert_eq!(t.partition_segments(0).len(), 1, "0 partitions clamps to 1");
+    }
+
+    #[test]
+    fn live_bitmap_is_local_and_respects_tombstones() {
+        let mut t = sample();
+        t.delete(5).unwrap();
+        let s = t.segment(4..8).unwrap();
+        assert_eq!(s.live_bitmap().to_rows(), vec![0, 2, 3]); // local ids
+        assert_eq!(s.live_rows(), 3);
+        let untouched = t.segment(0..4).unwrap();
+        assert_eq!(untouched.live_rows(), 4);
+    }
+
+    #[test]
+    fn segment_row_sums_match_table_row_sums() {
+        let t = sample();
+        let all = t.row_sums();
+        let s = t.segment(2..9).unwrap();
+        let local = s.row_sums();
+        for (i, sum) in local.iter().enumerate() {
+            assert!((sum - all[i + 2]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn per_segment_stats_differ_from_table_stats() {
+        let t = sample();
+        let lo = t.segment(0..5).unwrap().stats();
+        let hi = t.segment(5..10).unwrap().stats();
+        // dimension 0 is ascending: the two halves have different means
+        let m_lo = lo.per_dim[0].as_ref().unwrap().mean;
+        let m_hi = hi.per_dim[0].as_ref().unwrap().mean;
+        assert!(m_lo < m_hi);
+        assert_eq!(lo.range, 0..5);
+        // dimension 2 is constant: identical stats in both segments
+        let (c_lo, c_hi) = (lo.per_dim[2].as_ref().unwrap(), hi.per_dim[2].as_ref().unwrap());
+        assert_eq!((c_lo.min, c_lo.max, c_lo.mean), (c_hi.min, c_hi.max, c_hi.mean));
+    }
+
+    #[test]
+    fn stats_ordering_prefers_heavy_dims() {
+        let t = sample();
+        let s = t.segment(0..3).unwrap(); // dim1 mean 9, dim0 mean 1, dim2 mean 0.5
+        assert_eq!(s.stats().dims_by_mean_descending(), vec![1, 0, 2]);
+        let empty = t.segment(4..4).unwrap();
+        assert!(empty.is_empty());
+        assert!(empty.stats().per_dim.iter().all(|s| s.is_none()));
+    }
+}

@@ -33,7 +33,12 @@ impl ColumnStats {
     /// Computes the statistics of a column. Returns `None` for an empty
     /// column.
     pub fn compute(column: &Column) -> Option<Self> {
-        let values = column.values();
+        Self::compute_slice(column.name(), column.values())
+    }
+
+    /// Computes the statistics of a raw value slice (e.g. a segment's view
+    /// of a column). Returns `None` for an empty slice.
+    pub fn compute_slice(name: &str, values: &[f64]) -> Option<Self> {
         if values.is_empty() {
             return None;
         }
@@ -52,7 +57,7 @@ impl ColumnStats {
         }
         let variance = m2 / n;
         let skewness = if variance > 0.0 { (m3 / n) / variance.powf(1.5) } else { 0.0 };
-        Some(ColumnStats { name: column.name().to_string(), min, max, mean, variance, skewness })
+        Some(ColumnStats { name: name.to_string(), min, max, mean, variance, skewness })
     }
 
     /// Standard deviation.
@@ -160,11 +165,8 @@ mod tests {
 
     #[test]
     fn dataset_stats_profile_is_sorted_mean() {
-        let t = DecomposedTable::from_vectors(
-            "h",
-            &[vec![0.7, 0.2, 0.1], vec![0.1, 0.6, 0.3]],
-        )
-        .unwrap();
+        let t = DecomposedTable::from_vectors("h", &[vec![0.7, 0.2, 0.1], vec![0.1, 0.6, 0.3]])
+            .unwrap();
         let s = DatasetStats::compute(&t);
         assert_eq!(s.mean_per_dim.len(), 3);
         assert!((s.mean_per_dim[0] - 0.4).abs() < 1e-12);
@@ -186,11 +188,7 @@ mod tests {
             &[vec![0.9, 0.05, 0.03, 0.02], vec![0.85, 0.1, 0.03, 0.02]],
         )
         .unwrap();
-        let uniform = DecomposedTable::from_vectors(
-            "u",
-            &[vec![0.25; 4], vec![0.25; 4]],
-        )
-        .unwrap();
+        let uniform = DecomposedTable::from_vectors("u", &[vec![0.25; 4], vec![0.25; 4]]).unwrap();
         let cs = DatasetStats::compute(&skewed).mass_concentration(0.25);
         let cu = DatasetStats::compute(&uniform).mass_concentration(0.25);
         assert!(cs > 0.8);

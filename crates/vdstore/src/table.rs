@@ -269,11 +269,7 @@ mod tests {
     fn sample() -> DecomposedTable {
         DecomposedTable::from_vectors(
             "h",
-            &[
-                vec![0.1, 0.2, 0.3, 0.4],
-                vec![0.4, 0.3, 0.2, 0.1],
-                vec![0.25, 0.25, 0.25, 0.25],
-            ],
+            &[vec![0.1, 0.2, 0.3, 0.4], vec![0.4, 0.3, 0.2, 0.1], vec![0.25, 0.25, 0.25, 0.25]],
         )
         .unwrap()
     }

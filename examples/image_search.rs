@@ -42,9 +42,8 @@ fn main() {
 
     for query in &queries {
         let start = Instant::now();
-        let bond_result = searcher
-            .histogram_intersection_hq(query, k, &params)
-            .expect("bond search succeeds");
+        let bond_result =
+            searcher.histogram_intersection_hq(query, k, &params).expect("bond search succeeds");
         bond_ms += start.elapsed().as_secs_f64() * 1000.0;
         avg_dims_read += bond_result.trace.dims_accessed as f64;
 
@@ -75,11 +74,7 @@ fn main() {
     println!("  sequential scan (SSH)     : {:>8.2} ms", scan_ms / n);
     println!("  VA-File (filter + refine) : {:>8.2} ms", va_ms / n);
     println!("  BOND speedup over scan    : {:>8.2}x", scan_ms / bond_ms);
-    println!(
-        "\nBOND read {:.1} of {} dimension fragments on average",
-        avg_dims_read / n,
-        dims
-    );
+    println!("\nBOND read {:.1} of {} dimension fragments on average", avg_dims_read / n, dims);
     println!(
         "results identical to sequential scan: {}",
         if agree_scan { "yes" } else { "NO (unexpected)" }

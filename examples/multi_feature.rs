@@ -18,7 +18,9 @@ use bond::{
 };
 use bond_baselines::{merge_streams, RankedStream};
 use bond_datagen::ClusteredConfig;
-use bond_metrics::{DecomposableMetric, FuzzyMin, ScoreAggregate, SquaredEuclidean, WeightedAverage};
+use bond_metrics::{
+    DecomposableMetric, FuzzyMin, ScoreAggregate, SquaredEuclidean, WeightedAverage,
+};
 use vdstore::topk::Scored;
 use vdstore::DecomposedTable;
 
@@ -46,8 +48,11 @@ fn main() {
     ];
 
     for (name, aggregate) in [
-        ("weighted average (color 0.7, texture 0.3)",
-         Box::new(WeightedAverage::new(vec![0.7, 0.3]).expect("valid weights")) as Box<dyn ScoreAggregate>),
+        (
+            "weighted average (color 0.7, texture 0.3)",
+            Box::new(WeightedAverage::new(vec![0.7, 0.3]).expect("valid weights"))
+                as Box<dyn ScoreAggregate>,
+        ),
         ("fuzzy min (must match both)", Box::new(FuzzyMin)),
     ] {
         println!("== aggregate: {name} ==");
@@ -84,8 +89,10 @@ fn main() {
                     .collect(),
             )
         };
-        let streams =
-            [stream(&color_searcher, &color_query, 64), stream(&texture_searcher, &texture_query, 128)];
+        let streams = [
+            stream(&color_searcher, &color_query, 64),
+            stream(&texture_searcher, &texture_query, 128),
+        ];
         let ra = |f: usize, row: u32| -> f64 {
             if f == 0 {
                 similarity(&color, row, &color_query)

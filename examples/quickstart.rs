@@ -34,9 +34,7 @@ fn main() {
 
     // 3. Histogram intersection with the query-only pruning criterion Hq —
     //    the configuration the paper finds fastest.
-    let outcome = searcher
-        .histogram_intersection_hq(&query, 5, &params)
-        .expect("search succeeds");
+    let outcome = searcher.histogram_intersection_hq(&query, 5, &params).expect("search succeeds");
     println!("\ntop-5 by histogram intersection (criterion Hq):");
     for hit in &outcome.hits {
         println!("  image {:>5}  similarity {:.4}", hit.row, hit.score);

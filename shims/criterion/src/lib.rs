@@ -1,0 +1,196 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmarking surface the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`criterion_group!`] and [`criterion_main!`] — with a
+//! simple mean-of-samples wall-clock measurement and plain-text output.
+//! There is no statistical analysis, HTML report or outlier rejection; the
+//! numbers are indicative and the benches stay runnable offline.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, measurement_time: Duration::from_secs(1) }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark time budget (advisory in this shim).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _criterion: self, name, sample_size }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let samples = self.sample_size;
+        run_one(&id, samples, f);
+    }
+}
+
+/// A named collection of benchmarks sharing the driver's settings.
+///
+/// Holds its own sample-size override so a group-level `sample_size` call
+/// never leaks into later groups (matching upstream criterion's scoping).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.sample_size, f);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+    // one untimed warm-up pass
+    f(&mut bencher);
+    bencher.elapsed = Duration::ZERO;
+    bencher.iterations = 0;
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    let per_iter = if bencher.iterations == 0 {
+        Duration::ZERO
+    } else {
+        bencher.elapsed / bencher.iterations as u32
+    };
+    println!("bench {id}: {per_iter:?}/iter over {} iterations", bencher.iterations);
+}
+
+/// Passed to benchmark closures; times the routine under test.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (criterion would run it many times
+    /// per sample; the shim keeps one-per-sample for predictable runtimes).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+        std_black_box(out);
+    }
+}
+
+/// Declares a group of benchmark targets, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benches_run() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.bench_function("count", |b| {
+                b.iter(|| {
+                    runs += 1;
+                    black_box(runs)
+                })
+            });
+            group.finish();
+        }
+        // 1 warm-up + 3 samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn group_sample_size_does_not_leak_into_later_groups() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut first = 0usize;
+        let mut second = 0usize;
+        {
+            let mut group = c.benchmark_group("a");
+            group.sample_size(5);
+            group.bench_function("x", |b| b.iter(|| first += 1));
+            group.finish();
+        }
+        {
+            let mut group = c.benchmark_group("b");
+            group.bench_function("y", |b| b.iter(|| second += 1));
+            group.finish();
+        }
+        assert_eq!(first, 6, "group override applies within the group");
+        assert_eq!(second, 3, "later groups keep the driver's setting");
+    }
+}

@@ -1,0 +1,121 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this shim reimplements
+//! the slice of the proptest API the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` and boxing,
+//! * range strategies for integers and floats,
+//! * [`collection::vec`] with exact or ranged sizes,
+//! * [`bool::ANY`], [`strategy::Just`] and [`prop_oneof!`],
+//! * the [`proptest!`] macro with `#![proptest_config(..)]` support, and
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Inputs are generated from a deterministic per-test RNG (seeded by the
+//! test's name), so failures are reproducible run-over-run. There is no
+//! shrinking: a failing case panics with the generated inputs printed via
+//! the assertion message instead.
+
+#![warn(missing_docs)]
+
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The common imports property tests expect: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+///
+/// The shim has no case-rejection budget; the case simply counts as passed.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($arg:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Chooses uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body for `ProptestConfig::cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident ( $($arg:pat in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for _case in 0..config.cases {
+                    // One closure call per case; like upstream proptest the
+                    // body may `return Ok(())` (or be skipped by
+                    // `prop_assume!`) to end the case early.
+                    let outcome = (|rng: &mut $crate::test_runner::TestRng|
+                        -> ::std::result::Result<(), ::std::string::String> {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strategy), rng);)*
+                        $body
+                        ::std::result::Result::Ok(())
+                    })(&mut rng);
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!("property {} failed: {}", stringify!($name), message);
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,201 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the *small, deterministic* subset of the `rand` 0.8 API
+//! it actually uses: [`Rng::gen`], [`Rng::gen_range`], [`SeedableRng::seed_from_u64`]
+//! and [`rngs::StdRng`]. The generator is SplitMix64 — statistically solid
+//! for synthetic-workload generation and fully reproducible across runs,
+//! which is all the test-suite and the experiment harness need. It is *not*
+//! a cryptographic generator and the exact stream differs from upstream
+//! `StdRng`.
+
+#![warn(missing_docs)]
+
+pub mod rngs;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be sampled from the "standard" distribution of `rng.gen()`:
+/// uniform on `[0, 1)` for floats, uniform over all values for integers and
+/// `bool`.
+pub trait SampleStandard {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits, uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl SampleStandard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {
+        $(impl SampleStandard for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that `rng.gen_range(..)` accepts.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {
+        $(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                #[inline]
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample from empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                #[inline]
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample from empty range");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.next_u64() % (span + 1)) as $t
+                }
+            }
+        )*
+    };
+}
+impl_range_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {
+        $(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                #[inline]
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample from empty range");
+                    let u: $t = SampleStandard::sample(rng);
+                    self.start + u * (self.end - self.start)
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                #[inline]
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample from empty range");
+                    let u: $t = SampleStandard::sample(rng);
+                    lo + u * (hi - lo)
+                }
+            }
+        )*
+    };
+}
+impl_range_float!(f32, f64);
+
+/// The user-facing sampling interface, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value from the standard distribution of its type.
+    #[inline]
+    fn gen<T: SampleStandard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples a value uniformly from the given range.
+    #[inline]
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of reproducible generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 1usize..100 {
+            let x = rng.gen_range(0..i);
+            assert!(x < i);
+            let y = rng.gen_range(0..=i);
+            assert!(y <= i);
+            let f = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+}

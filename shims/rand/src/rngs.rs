@@ -1,0 +1,33 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// A fast deterministic generator (SplitMix64).
+///
+/// Stands in for `rand::rngs::StdRng`; the stream differs from upstream but
+/// has the same reproducibility guarantees given a fixed seed.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // Pre-mix the seed so that small consecutive seeds (0, 1, 2, …)
+        // produce unrelated streams from the very first draw.
+        let mut rng = StdRng { state: state ^ 0x5851_F42D_4C95_7F2D };
+        let _ = rng.next_u64();
+        rng
+    }
+}

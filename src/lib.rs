@@ -11,6 +11,9 @@
 pub use bond;
 pub use bond_baselines as baselines;
 pub use bond_datagen as datagen;
+pub use bond_exec as exec;
 pub use bond_metrics as metrics;
 pub use bond_relalg as relalg;
 pub use vdstore;
+
+pub use bond_exec::{Engine, EngineBuilder, QueryBatch, RuleKind};

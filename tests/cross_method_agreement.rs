@@ -60,7 +60,11 @@ fn all_methods_agree_on_corel_like_workload() {
         );
 
         let va = vafile.search_histogram(&matrix, &query, k);
-        assert_scores_match("VA-File", &sorted_scores(va.hits.iter().map(|h| h.score)), &truth_scores);
+        assert_scores_match(
+            "VA-File",
+            &sorted_scores(va.hits.iter().map(|h| h.score)),
+            &truth_scores,
+        );
 
         let abandon = sequential_scan_early_abandon(&matrix, &query, k, &HistogramIntersection, 8);
         assert_scores_match(

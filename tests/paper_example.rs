@@ -79,9 +79,7 @@ fn persisted_collection_round_trips_through_search() {
     let bytes = vdstore::persist::table_to_bytes(&table);
     let reloaded = vdstore::persist::table_from_bytes(&bytes).unwrap();
     let searcher = BondSearcher::new(&reloaded);
-    let outcome = searcher
-        .histogram_intersection_hq(&query(), 3, &BondParams::default())
-        .unwrap();
+    let outcome = searcher.histogram_intersection_hq(&query(), 3, &BondParams::default()).unwrap();
     assert_eq!(sorted_rows(outcome.hits.iter().map(|h| h.row)), vec![2, 4, 6]);
 }
 
@@ -90,17 +88,13 @@ fn tombstoned_rows_are_excluded_across_the_stack() {
     let mut table = DecomposedTable::from_vectors("table2", &collection()).unwrap();
     table.delete(4).unwrap(); // remove h5, the best match
     let searcher = BondSearcher::new(&table);
-    let outcome = searcher
-        .histogram_intersection_hh(&query(), 3, &BondParams::default())
-        .unwrap();
+    let outcome = searcher.histogram_intersection_hh(&query(), 3, &BondParams::default()).unwrap();
     let rows = sorted_rows(outcome.hits.iter().map(|h| h.row));
     assert!(!rows.contains(&4));
     assert_eq!(rows.len(), 3);
     // after reorganisation the same search still works on compacted row ids
     table.reorganize();
     let searcher = BondSearcher::new(&table);
-    let outcome = searcher
-        .histogram_intersection_hh(&query(), 3, &BondParams::default())
-        .unwrap();
+    let outcome = searcher.histogram_intersection_hh(&query(), 3, &BondParams::default()).unwrap();
     assert_eq!(outcome.hits.len(), 3);
 }
