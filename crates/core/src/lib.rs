@@ -40,6 +40,8 @@
 //! * [`ordering`] — dimension orderings (Section 5.1),
 //! * [`schedule`] — how many dimensions to scan between pruning attempts
 //!   (Section 5.2),
+//! * [`plan`] — [`SegmentPlan`], the resolved per-segment (order, schedule)
+//!   pair that `bond-exec`'s planners vary across partitions,
 //! * [`weighted`] — weighted and subspace k-NN queries (Section 8.1),
 //! * [`multifeature`] — synchronized multi-feature search (Section 8.2),
 //! * [`compressed`] — BOND on 8-bit-quantized fragments with an exact
@@ -56,6 +58,7 @@ pub mod error;
 pub mod kappa;
 pub mod multifeature;
 pub mod ordering;
+pub mod plan;
 pub mod schedule;
 pub mod searcher;
 pub mod trace;
@@ -69,9 +72,13 @@ pub use multifeature::{
     FeatureMetricKind, FeatureQuery, MultiFeatureOutcome, MultiFeatureSearcher,
 };
 pub use ordering::DimensionOrdering;
+pub use plan::SegmentPlan;
 pub use schedule::BlockSchedule;
-pub use searcher::{search_segment, BondParams, BondSearcher, SearchOutcome, SegmentContext};
+pub use searcher::{
+    prune_slack, search_segment, BondParams, BondSearcher, SearchOutcome, SegmentContext,
+};
 pub use trace::{PruneTrace, TraceCheckpoint};
+pub use weighted::WeightedHistogramIntersection;
 
 // Re-export the vocabulary types callers need.
 pub use bond_metrics as metrics;

@@ -1,0 +1,101 @@
+//! Per-segment search plans.
+//!
+//! PR 1's engine applied one global [`DimensionOrdering`] and
+//! [`BlockSchedule`] to every partition. Real collections are appended in
+//! batches with drifting distributions, so per-segment statistics diverge —
+//! exactly the regime where the *same* query wants a *different* fragment
+//! order and pruning cadence in different row ranges. A [`SegmentPlan`] is
+//! the value-level answer: the fully resolved "what order, what cadence"
+//! decision for one `(query, segment)` pair, decoupled from engine-wide
+//! configuration. The sequential searcher derives a plan from its
+//! [`BondParams`] (the `Uniform` behaviour); planners in `bond-exec` derive
+//! one per segment from [`vdstore::SegmentStats`].
+//!
+//! Plans are safe to vary per segment because BOND's aggregates are
+//! commutative over dimensions: any permutation yields the same exact
+//! scores up to floating-point summation order. The merge story for that
+//! last caveat (re-verifying exact scores, tie-breaking on row id) lives in
+//! the engine.
+
+use crate::ordering::DimensionOrdering;
+use crate::schedule::BlockSchedule;
+use crate::searcher::BondParams;
+
+/// A fully resolved per-segment search plan: the dimension processing order
+/// and the scan-then-prune block schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentPlan {
+    /// The dimension processing order (a permutation of `0..dims`).
+    pub order: Vec<usize>,
+    /// How the dimensions are grouped into scan-then-prune blocks.
+    pub schedule: BlockSchedule,
+}
+
+impl SegmentPlan {
+    /// The plan every segment shares under uniform planning: the order
+    /// derived from `params.ordering` for this query (and optional metric
+    /// weights) and the params' block schedule. This is exactly what the
+    /// classic sequential searcher executes, which is what keeps the
+    /// `Uniform` engine path bit-identical to it.
+    pub fn uniform(
+        params: &BondParams,
+        query: &[f64],
+        weights: Option<&[f64]>,
+        dims: usize,
+    ) -> Self {
+        SegmentPlan {
+            order: params.ordering.order(query, weights, dims),
+            schedule: params.schedule,
+        }
+    }
+
+    /// An explicit plan from a pre-computed order and schedule.
+    pub fn new(order: Vec<usize>, schedule: BlockSchedule) -> Self {
+        SegmentPlan { order, schedule }
+    }
+
+    /// Whether the plan's order is a valid permutation of `0..dims`.
+    pub fn is_valid(&self, dims: usize) -> bool {
+        DimensionOrdering::is_valid_permutation(&self.order, dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_plan_mirrors_params() {
+        let params = BondParams {
+            ordering: DimensionOrdering::QueryValueDescending,
+            schedule: BlockSchedule::Fixed(3),
+            ..BondParams::default()
+        };
+        let q = [0.1, 0.5, 0.2, 0.2];
+        let plan = SegmentPlan::uniform(&params, &q, None, 4);
+        assert_eq!(plan.order[0], 1);
+        assert_eq!(plan.schedule, BlockSchedule::Fixed(3));
+        assert!(plan.is_valid(4));
+    }
+
+    #[test]
+    fn validity_checks_the_permutation() {
+        let good = SegmentPlan::new(vec![2, 0, 1], BlockSchedule::SingleBlock);
+        assert!(good.is_valid(3));
+        assert!(!good.is_valid(4));
+        let bad = SegmentPlan::new(vec![0, 0, 1], BlockSchedule::SingleBlock);
+        assert!(!bad.is_valid(3));
+    }
+
+    #[test]
+    fn weighted_uniform_plans_use_the_weights() {
+        let params = BondParams {
+            ordering: DimensionOrdering::WeightedQueryDescending,
+            ..Default::default()
+        };
+        let q = [0.1, 0.5, 0.05];
+        let w = [1.0, 1.0, 400.0];
+        let plan = SegmentPlan::uniform(&params, &q, Some(&w), 3);
+        assert_eq!(plan.order[0], 2, "heavy weight promotes the tiny query dim");
+    }
+}

@@ -23,6 +23,7 @@ use crate::candidates::CandidateSet;
 use crate::error::{BondError, Result};
 use crate::kappa::KappaCell;
 use crate::ordering::DimensionOrdering;
+use crate::plan::SegmentPlan;
 use crate::schedule::BlockSchedule;
 use crate::trace::{PruneTrace, TraceCheckpoint};
 
@@ -33,8 +34,9 @@ use crate::trace::{PruneTrace, TraceCheckpoint};
 /// the side of keeping candidates, which never affects correctness.
 pub(crate) const PRUNE_EPS: f64 = 1e-9;
 
-/// Slack around κ below/above which a candidate is *not* pruned.
-pub(crate) fn prune_slack(kappa: f64) -> f64 {
+/// Slack around κ below/above which a candidate (or, in the engine's
+/// zone-map check, a whole segment) is *not* pruned.
+pub fn prune_slack(kappa: f64) -> f64 {
     PRUNE_EPS * kappa.abs().max(1.0)
 }
 
@@ -177,7 +179,7 @@ impl<'a> BondSearcher<'a> {
         let ctx = SegmentContext {
             kappa: None,
             row_sums: requirements.needs_total_mass.then(|| self.row_sums()),
-            order: None,
+            plan: None,
         };
         search_segment(&segment, query, metric, rule, k, weights, params, &ctx)
     }
@@ -199,9 +201,9 @@ pub struct SegmentContext<'k> {
     /// segment-local order. Only consulted when the rule needs total mass;
     /// computed on the fly when absent.
     pub row_sums: Option<&'k [f64]>,
-    /// Precomputed dimension processing order (must be a permutation of
-    /// `0..dims`). Derived from `params.ordering` when absent.
-    pub order: Option<&'k [usize]>,
+    /// The per-segment search plan (dimension order + block schedule).
+    /// Derived from `params` when absent — the classic uniform behaviour.
+    pub plan: Option<&'k SegmentPlan>,
 }
 
 /// Runs one branch-and-bound BOND search restricted to a row segment.
@@ -241,19 +243,20 @@ pub fn search_segment(
             rule.name()
         )));
     }
-    let derived_order;
-    let order: &[usize] = match ctx.order {
-        Some(order) => order,
+    let derived_plan;
+    let plan: &SegmentPlan = match ctx.plan {
+        Some(plan) => plan,
         None => {
-            derived_order = params.ordering.order(query, weights, dims);
-            &derived_order
+            derived_plan = SegmentPlan::uniform(params, query, weights, dims);
+            &derived_plan
         }
     };
-    if !DimensionOrdering::is_valid_permutation(order, dims) {
+    if !plan.is_valid(dims) {
         return Err(BondError::InvalidParams(
             "dimension ordering is not a permutation of the table's dimensions".into(),
         ));
     }
+    let order: &[usize] = &plan.order;
 
     let rows = segment.len();
     let requirements = rule.requirements();
@@ -290,7 +293,7 @@ pub fn search_segment(
     let mut processed = 0usize;
     let mut attempts = 0usize;
     loop {
-        let block = params.schedule.next_block(processed, dims, attempts);
+        let block = plan.schedule.next_block(processed, dims, attempts);
         if block == 0 {
             break;
         }

@@ -36,6 +36,10 @@ pub struct PruneTrace {
     /// Whether the candidate-set representation switched from bitmap to an
     /// explicit list during the search (Section 6.1).
     pub switched_to_list: bool,
+    /// Whether the whole segment was skipped by the engine's zone-map check
+    /// (its envelope bound could not reach κ) — the search never ran and no
+    /// column of the segment was touched.
+    pub segment_skipped: bool,
 }
 
 impl PruneTrace {
@@ -85,6 +89,7 @@ mod tests {
             dims_accessed: 24,
             pruning_attempts: 3,
             switched_to_list: true,
+            segment_skipped: false,
         }
     }
 

@@ -7,55 +7,15 @@
 //! engine simply never reads the fragments of zero-weight dimensions, and
 //! the skew the weights introduce makes pruning more effective (Figure 11).
 
-use bond_metrics::metric::DecomposableMetric;
 use bond_metrics::{WeightedEvRule, WeightedHqRule, WeightedSquaredEuclidean};
 
 use crate::error::{BondError, Result};
 use crate::ordering::DimensionOrdering;
 use crate::searcher::{BondParams, BondSearcher, SearchOutcome};
 
-/// A weighted-histogram-intersection metric: `Σ w_i · min(h_i, q_i)`.
-///
-/// The paper's weighted examples use Euclidean distance; this metric rounds
-/// out the weighted story for the similarity side and powers weighted
-/// multi-feature color queries.
-#[derive(Debug, Clone, PartialEq)]
-pub struct WeightedHistogramIntersection {
-    weights: Vec<f64>,
-}
-
-impl WeightedHistogramIntersection {
-    /// Creates the metric; weights must be non-negative and finite.
-    pub fn new(weights: Vec<f64>) -> std::result::Result<Self, String> {
-        if weights.is_empty() {
-            return Err("weight vector must not be empty".into());
-        }
-        if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
-            return Err("weights must be finite and non-negative".into());
-        }
-        Ok(WeightedHistogramIntersection { weights })
-    }
-
-    /// The per-dimension weights.
-    pub fn weights(&self) -> &[f64] {
-        &self.weights
-    }
-}
-
-impl DecomposableMetric for WeightedHistogramIntersection {
-    fn objective(&self) -> bond_metrics::Objective {
-        bond_metrics::Objective::Maximize
-    }
-
-    #[inline]
-    fn contribution(&self, dim: usize, value: f64, query: f64) -> f64 {
-        self.weights[dim] * value.min(query)
-    }
-
-    fn name(&self) -> &'static str {
-        "weighted_histogram_intersection"
-    }
-}
+// The metric itself lives in `bond-metrics` beside its Euclidean sibling;
+// re-exported here because this module is its natural discovery point.
+pub use bond_metrics::WeightedHistogramIntersection;
 
 impl BondSearcher<'_> {
     fn validate_weights(&self, weights: &[f64]) -> Result<()> {

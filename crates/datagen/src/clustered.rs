@@ -32,6 +32,12 @@ pub struct ClusteredConfig {
     pub sigma: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Row layout: `false` stores vectors in generation (shuffled) order —
+    /// every row range sees every cluster; `true` stores them cluster-major
+    /// (all of cluster 0's vectors, then cluster 1's, …, noise last), the
+    /// append-in-batches regime where contiguous row segments have narrow
+    /// value envelopes and per-segment statistics diverge.
+    pub cluster_major: bool,
 }
 
 impl ClusteredConfig {
@@ -63,6 +69,13 @@ impl ClusteredConfig {
         self
     }
 
+    /// Same configuration with a cluster-major (contiguous-cluster) row
+    /// layout.
+    pub fn with_cluster_major(mut self, cluster_major: bool) -> Self {
+        self.cluster_major = cluster_major;
+        self
+    }
+
     /// Generates the collection as a vertically decomposed table.
     pub fn generate(&self) -> DecomposedTable {
         assert!(self.vectors > 0 && self.dims > 0 && self.clusters > 0, "empty dataset requested");
@@ -73,17 +86,30 @@ impl ClusteredConfig {
             .map(|_| (0..self.dims).map(|_| skewed_coordinate(&mut rng, self.theta)).collect())
             .collect();
 
-        let mut vectors = Vec::with_capacity(self.vectors);
+        // (cluster id, vector); noise vectors get id = clusters so the
+        // cluster-major sort puts them after every real cluster.
+        let mut tagged: Vec<(usize, Vec<f64>)> = Vec::with_capacity(self.vectors);
         for _ in 0..self.vectors {
-            let v: Vec<f64> = if rng.gen::<f64>() < self.noise_fraction {
+            let (id, v): (usize, Vec<f64>) = if rng.gen::<f64>() < self.noise_fraction {
                 // noise: uniform in the unit hypercube
-                (0..self.dims).map(|_| rng.gen::<f64>()).collect()
+                (self.clusters, (0..self.dims).map(|_| rng.gen::<f64>()).collect())
             } else {
-                let center = &centers[rng.gen_range(0..self.clusters)];
-                center.iter().map(|&c| gaussian(&mut rng, c, self.sigma).clamp(0.0, 1.0)).collect()
+                let c = rng.gen_range(0..self.clusters);
+                let center = &centers[c];
+                (
+                    c,
+                    center
+                        .iter()
+                        .map(|&c| gaussian(&mut rng, c, self.sigma).clamp(0.0, 1.0))
+                        .collect(),
+                )
             };
-            vectors.push(v);
+            tagged.push((id, v));
         }
+        if self.cluster_major {
+            tagged.sort_by_key(|(id, _)| *id);
+        }
+        let vectors: Vec<Vec<f64>> = tagged.into_iter().map(|(_, v)| v).collect();
         DecomposedTable::from_vectors(
             format!("clustered_{}d_theta{}", self.dims, self.theta),
             &vectors,
@@ -102,6 +128,7 @@ impl Default for ClusteredConfig {
             noise_fraction: 0.05,
             sigma: 0.05,
             seed: 0xC1_05_7E_2D,
+            cluster_major: false,
         }
     }
 }
@@ -164,6 +191,33 @@ mod tests {
         let mean_s = DatasetStats::compute(&skewed).mean_per_dim.iter().sum::<f64>() / 8.0;
         assert!((mean_u - 0.5).abs() < 0.05, "θ=0 should be roughly centered, got {mean_u}");
         assert!(mean_s < 0.3, "θ=3 should push coordinates toward 0, got {mean_s}");
+    }
+
+    #[test]
+    fn cluster_major_layout_narrows_segment_envelopes() {
+        let shuffled = ClusteredConfig::small(1000, 8, 0.0).generate();
+        let major = ClusteredConfig::small(1000, 8, 0.0).with_cluster_major(true).generate();
+        assert_eq!(major.rows(), 1000);
+        // same multiset of vectors, different order: identical column means
+        let mean = |t: &DecomposedTable, d: usize| {
+            t.columns()[d].values().iter().sum::<f64>() / t.rows() as f64
+        };
+        for d in 0..8 {
+            assert!((mean(&shuffled, d) - mean(&major, d)).abs() < 1e-9);
+        }
+        // a row slice of the cluster-major table spans far fewer clusters,
+        // so its per-dimension envelope is much narrower on average
+        let width = |t: &DecomposedTable| {
+            let s = t.segment(0..100).unwrap().stats();
+            let (mins, maxs) = s.envelope().unwrap();
+            mins.iter().zip(&maxs).map(|(lo, hi)| hi - lo).sum::<f64>() / 8.0
+        };
+        assert!(
+            width(&major) < width(&shuffled) * 0.8,
+            "cluster-major envelope {} should be narrower than shuffled {}",
+            width(&major),
+            width(&shuffled)
+        );
     }
 
     #[test]

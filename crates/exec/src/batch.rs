@@ -100,6 +100,13 @@ impl QueryOutcome {
     pub fn pruning_attempts(&self) -> usize {
         self.segments.iter().map(|s| s.trace.pruning_attempts).sum()
     }
+
+    /// Number of segments the engine skipped outright via their zone-map
+    /// envelope bound (adaptive planning only; skipped segments report zero
+    /// contributions and zero dimensions accessed).
+    pub fn segments_skipped(&self) -> usize {
+        self.segments.iter().filter(|s| s.trace.segment_skipped).count()
+    }
 }
 
 /// The answers to a whole batch, in query submission order.
@@ -160,6 +167,7 @@ mod tests {
         };
         assert_eq!(outcome.contributions_evaluated(), 160);
         assert_eq!(outcome.pruning_attempts(), 3);
+        assert_eq!(outcome.segments_skipped(), 0);
         assert!((outcome.work_fraction(100, 4) - 0.4).abs() < 1e-12);
         assert_eq!(outcome.work_fraction(0, 4), 0.0);
         let batch = BatchOutcome { queries: vec![outcome.clone(), outcome] };

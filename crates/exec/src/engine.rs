@@ -4,23 +4,37 @@
 //! is split into contiguous row-range [`Segment`]s, every query's
 //! branch-and-bound search runs per segment on a pool of workers, the
 //! segments pool their pruning bound κ through a [`SharedKappa`] cell, and
-//! the per-segment top-k heaps merge into the final answer. Because every
-//! segment refines its survivors to *exact* scores (in the same dimension
-//! order the sequential searcher uses), the merged top-k is bit-identical
-//! to a sequential [`BondSearcher`] search over the whole table.
+//! the per-segment top-k heaps merge into the final answer.
+//!
+//! *What to scan, in which dimension order, with which block schedule* is a
+//! per-segment [`SegmentPlan`] chosen by the engine's [`PlannerKind`]:
+//!
+//! * [`PlannerKind::Uniform`] gives every segment the same plan (the
+//!   engine's `BondParams`), every segment refines its survivors to exact
+//!   scores in the same dimension order the sequential searcher uses, and
+//!   the merged top-k is bit-identical to a sequential [`BondSearcher`]
+//!   search over the whole table.
+//! * [`PlannerKind::Adaptive`] derives each segment's plan from its cached
+//!   [`SegmentStats`] and additionally skips whole segments whose zone-map
+//!   envelope bound provably cannot reach the current κ — without touching
+//!   any of the segment's columns. Per-segment refinement orders then
+//!   differ, so the merge re-verifies exact scores (fixed, natural
+//!   summation order) and breaks ties deterministically on the row id:
+//!   rank-correct rather than bit-identical.
 
 use crate::batch::{BatchOutcome, QueryBatch, QueryOutcome, SegmentRun};
 use crate::kappa::SharedKappa;
+use crate::planner::{AdaptivePlanner, PlannerKind};
 use crate::rules::RuleKind;
 use bond::{
-    search_segment, BondError, BondParams, BondSearcher, KappaCell, Result, SearchOutcome,
-    SegmentContext,
+    prune_slack, search_segment, BondError, BondParams, BondSearcher, DimensionOrdering, KappaCell,
+    PruneTrace, Result, SearchOutcome, SegmentContext, SegmentPlan,
 };
-use bond_metrics::Objective;
+use bond_metrics::{DecomposableMetric, Objective};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use vdstore::topk::Scored;
-use vdstore::{DecomposedTable, Segment, SegmentStats, TopKLargest, TopKSmallest};
+use vdstore::{DecomposedTable, Envelope, Segment, SegmentStats, TopKLargest, TopKSmallest};
 
 /// Builds an [`Engine`] for one table.
 #[derive(Debug)]
@@ -31,6 +45,7 @@ pub struct EngineBuilder<'a> {
     params: BondParams,
     rule: RuleKind,
     share_kappa: bool,
+    planner: PlannerKind,
 }
 
 impl<'a> EngineBuilder<'a> {
@@ -53,14 +68,25 @@ impl<'a> EngineBuilder<'a> {
     ///
     /// `refine_survivors` is forced to `true`: merging per-segment answers
     /// requires exact scores, and exact scores are also what makes the
-    /// parallel result bit-identical to the sequential one.
+    /// uniform parallel result bit-identical to the sequential one. For a
+    /// weighted rule, any ordering other than
+    /// [`DimensionOrdering::Explicit`] is replaced by the weighted default
+    /// ordering — the same rewrite the sequential weighted entry points
+    /// apply (and what keeps [`Engine::sequential_reference`] comparable);
+    /// pass an explicit permutation to pin a specific order. Note that
+    /// under [`PlannerKind::Adaptive`] the ordering and schedule come from
+    /// each segment's statistics instead — the params' ordering/schedule
+    /// (explicit or not) only govern the `Uniform` planner and the
+    /// sequential reference.
     pub fn params(mut self, params: BondParams) -> Self {
         self.params = params;
         self
     }
 
     /// Which metric + pruning criterion to serve. Defaults to
-    /// [`RuleKind::HistogramHq`].
+    /// [`RuleKind::HistogramHq`]. Weighted kinds switch non-`Explicit`
+    /// orderings to [`DimensionOrdering::WeightedQueryDescending`] at build
+    /// time (see [`EngineBuilder::params`]).
     pub fn rule(mut self, rule: RuleKind) -> Self {
         self.rule = rule;
         self
@@ -68,29 +94,56 @@ impl<'a> EngineBuilder<'a> {
 
     /// Whether segments of one query share their pruning bound κ through an
     /// atomic cell (default `true`). Disabling isolates the segments — same
-    /// answers, strictly less pruning; useful for measuring the κ-sharing
+    /// answers, strictly less pruning (and no adaptive segment skipping,
+    /// which consumes the shared κ); useful for measuring the κ-sharing
     /// benefit.
     pub fn share_kappa(mut self, share: bool) -> Self {
         self.share_kappa = share;
         self
     }
 
+    /// How segment plans are chosen (default [`PlannerKind::Uniform`]).
+    /// [`PlannerKind::Adaptive`] picks each segment's dimension order and
+    /// block schedule from its statistics — overriding the params'
+    /// ordering/schedule — and enables κ-aware whole-segment skipping.
+    pub fn planner(mut self, planner: PlannerKind) -> Self {
+        self.planner = planner;
+        self
+    }
+
     /// Finishes the build: partitions the table and materialises whatever
-    /// the rule needs once (e.g. the `T(x)` table for Ev).
+    /// the configuration needs once — the `T(x)` table for the per-vector
+    /// rules, and the per-segment statistics when the adaptive planner (or
+    /// a later [`Engine::segment_stats`] call) will consume them.
     pub fn build(self) -> Engine<'a> {
         let mut params = self.params;
         params.refine_survivors = true;
+        // Weighted rules default to the weighted ordering, mirroring the
+        // sequential searcher's weighted entry points.
+        if self.rule.weights().is_some()
+            && !matches!(params.ordering, DimensionOrdering::Explicit(_))
+        {
+            params.ordering = DimensionOrdering::WeightedQueryDescending;
+        }
         let segments = self.table.partition_segments(self.partitions);
         let row_sums = self.rule.needs_total_mass().then(|| self.table.row_sums());
-        Engine {
+        let engine = Engine {
             table: self.table,
             segments,
             threads: self.threads,
             params,
             rule: self.rule,
             share_kappa: self.share_kappa,
+            planner: self.planner,
             row_sums,
+            stats: OnceLock::new(),
+            envelopes: OnceLock::new(),
+        };
+        if engine.planner == PlannerKind::Adaptive {
+            // Computed once here; every query of every batch reuses them.
+            engine.segment_envelopes();
         }
+        engine
     }
 }
 
@@ -107,9 +160,16 @@ pub struct Engine<'a> {
     params: BondParams,
     rule: RuleKind,
     share_kappa: bool,
+    planner: PlannerKind,
     /// Full-table `T(x)`, materialised once when the rule needs it; workers
     /// slice it per segment.
     row_sums: Option<Vec<f64>>,
+    /// Per-segment statistics, computed once (eagerly for the adaptive
+    /// planner, lazily on first [`Engine::segment_stats`] call otherwise).
+    stats: OnceLock<Vec<SegmentStats>>,
+    /// Per-segment zone maps derived from `stats`, cached so batches do not
+    /// re-allocate them on every [`Engine::execute`] call.
+    envelopes: OnceLock<Vec<Option<Envelope>>>,
 }
 
 impl<'a> Engine<'a> {
@@ -123,6 +183,7 @@ impl<'a> Engine<'a> {
             params: BondParams::default(),
             rule: RuleKind::HistogramHq,
             share_kappa: true,
+            planner: PlannerKind::Uniform,
         }
     }
 
@@ -148,8 +209,13 @@ impl<'a> Engine<'a> {
     }
 
     /// The metric + rule the engine serves.
-    pub fn rule(&self) -> RuleKind {
-        self.rule
+    pub fn rule(&self) -> &RuleKind {
+        &self.rule
+    }
+
+    /// The planning policy in effect.
+    pub fn planner(&self) -> PlannerKind {
+        self.planner
     }
 
     /// The effective search parameters.
@@ -158,10 +224,18 @@ impl<'a> Engine<'a> {
     }
 
     /// Per-dimension statistics of every segment — the per-partition view
-    /// of the collection's distribution (diverging segment statistics are
-    /// the signal for per-segment tuning or re-partitioning).
-    pub fn segment_stats(&self) -> Vec<SegmentStats> {
-        self.segments.iter().map(|s| s.stats()).collect()
+    /// of the collection's distribution and the input of the adaptive
+    /// planner. Computed once per engine (at build time for adaptive
+    /// engines) and cached; repeated calls are free.
+    pub fn segment_stats(&self) -> &[SegmentStats] {
+        self.stats.get_or_init(|| self.segments.iter().map(Segment::stats).collect())
+    }
+
+    /// The per-segment zone maps (value envelopes), derived from the cached
+    /// statistics once and reused by every batch's skip checks.
+    fn segment_envelopes(&self) -> &[Option<Envelope>] {
+        self.envelopes
+            .get_or_init(|| self.segment_stats().iter().map(SegmentStats::envelope).collect())
     }
 
     /// Runs one k-NN query; equivalent to a single-query [`Engine::execute`].
@@ -172,39 +246,70 @@ impl<'a> Engine<'a> {
     }
 
     /// Executes a whole batch: all `queries × segments` searches are
-    /// scheduled on one worker pool, per-query setup is done once, and each
-    /// query's per-segment answers are merged into its global top-k.
+    /// scheduled on one worker pool, per-query setup (segment plans, κ
+    /// cells) is done once, and each query's per-segment answers are merged
+    /// into its global top-k. Under the adaptive planner, segments whose
+    /// zone-map bound cannot reach the query's current κ are skipped
+    /// entirely (their [`SegmentRun::trace`] reports `segment_skipped`).
     pub fn execute(&self, batch: &QueryBatch) -> Result<BatchOutcome> {
         let k = batch.k();
+        let dims = self.table.dims();
         let live = self.table.live_rows();
         if k == 0 || k > live {
             return Err(BondError::InvalidK { k, rows: live });
         }
         for query in batch.queries() {
-            if query.len() != self.table.dims() {
+            if query.len() != dims {
                 return Err(BondError::QueryDimensionMismatch {
-                    expected: self.table.dims(),
+                    expected: dims,
                     actual: query.len(),
                 });
             }
         }
+        let weights = self.rule.weights();
+        if let Some(w) = weights {
+            if w.len() != dims {
+                return Err(BondError::WeightDimensionMismatch { expected: dims, actual: w.len() });
+            }
+        }
+        // Invalid weight *values* (directly constructed variants bypassing
+        // the validating constructors) error here instead of panicking in
+        // `make_metric` below.
+        self.rule.validate(dims).map_err(BondError::InvalidParams)?;
         if batch.is_empty() {
             return Ok(BatchOutcome { queries: Vec::new() });
         }
 
         // Per-query setup, done once and shared by every segment worker:
-        // the dimension processing order and (optionally) the κ cell.
+        // the metric, the uniform plans and (optionally) the κ cell.
+        // (Adaptive plans are per-(query, segment) values derived inside the
+        // task itself — on the worker pool, and only for segments the
+        // zone-map check does not skip.)
+        let metric = self.rule.make_metric();
         let objective = self.rule.objective();
-        let orders: Vec<Vec<usize>> = batch
-            .queries()
-            .iter()
-            .map(|q| self.params.ordering.order(q, None, self.table.dims()))
-            .collect();
+        let n_segments = self.segments.len();
+        let uniform_plans: Vec<SegmentPlan> = match self.planner {
+            PlannerKind::Uniform => batch
+                .queries()
+                .iter()
+                .map(|q| SegmentPlan::uniform(&self.params, q, weights, dims))
+                .collect(),
+            PlannerKind::Adaptive => Vec::new(),
+        };
+        // Zone maps for whole-segment skipping (adaptive only).
+        let envelopes: &[Option<Envelope>] = match self.planner {
+            PlannerKind::Adaptive => self.segment_envelopes(),
+            PlannerKind::Uniform => &[],
+        };
+        // Query coordinate sums T(q) for the total-mass skip bound.
+        let query_sums: Vec<f64> = match self.planner {
+            PlannerKind::Adaptive => batch.queries().iter().map(|q| q.iter().sum()).collect(),
+            PlannerKind::Uniform => Vec::new(),
+        };
         let kappas: Vec<Option<SharedKappa>> = (0..batch.len())
             .map(|_| self.share_kappa.then(|| SharedKappa::new(objective)))
             .collect();
 
-        let n_segments = self.segments.len();
         let n_tasks = batch.len() * n_segments;
         let slots: Vec<OnceLock<Result<SearchOutcome>>> =
             (0..n_tasks).map(|_| OnceLock::new()).collect();
@@ -213,22 +318,58 @@ impl<'a> Engine<'a> {
             let qi = task / n_segments;
             let si = task % n_segments;
             let segment = &self.segments[si];
+            let query = &batch.queries()[qi];
+            let cell = kappas[qi].as_ref();
+
+            if self.planner == PlannerKind::Adaptive {
+                if let Some(outcome) = self.try_skip_segment(
+                    si,
+                    query,
+                    query_sums[qi],
+                    metric.as_ref(),
+                    cell,
+                    envelopes,
+                ) {
+                    slots[task].set(Ok(outcome)).expect("each task is claimed exactly once");
+                    return;
+                }
+            }
+
             let mut rule = self.rule.make_rule();
+            let adaptive_plan;
+            let plan = match self.planner {
+                PlannerKind::Uniform => &uniform_plans[qi],
+                PlannerKind::Adaptive => {
+                    adaptive_plan =
+                        AdaptivePlanner.plan(&self.segment_stats()[si], query, weights, objective);
+                    &adaptive_plan
+                }
+            };
             let ctx = SegmentContext {
-                kappa: kappas[qi].as_ref().map(|cell| cell as &dyn KappaCell),
+                kappa: cell.map(|cell| cell as &dyn KappaCell),
                 row_sums: self.row_sums.as_deref().map(|sums| &sums[segment.range()]),
-                order: Some(&orders[qi]),
+                plan: Some(plan),
             };
             let outcome = search_segment(
                 segment,
-                &batch.queries()[qi],
-                self.rule.metric(),
+                query,
+                metric.as_ref(),
                 rule.as_mut(),
                 k,
-                None,
+                weights,
                 &self.params,
                 &ctx,
             );
+            if self.planner == PlannerKind::Adaptive {
+                // The segment's k-th best *exact* score is a valid κ (k
+                // witnesses reach it); publishing it arms the zone-map skip
+                // for segments that have not started yet.
+                if let (Some(cell), Ok(outcome)) = (cell, &outcome) {
+                    if outcome.hits.len() >= k {
+                        cell.tighten(outcome.hits[k - 1].score);
+                    }
+                }
+            }
             slots[task].set(outcome).expect("each task is claimed exactly once");
         };
 
@@ -256,44 +397,101 @@ impl<'a> Engine<'a> {
             slots.into_iter().map(|slot| slot.into_inner().expect("all tasks completed"));
 
         let mut queries = Vec::with_capacity(batch.len());
-        for _ in 0..batch.len() {
+        for query in batch.queries() {
             let segment_outcomes =
                 per_task.by_ref().take(n_segments).collect::<Result<Vec<SearchOutcome>>>()?;
-            queries.push(self.merge_query(segment_outcomes, k, objective));
+            queries.push(self.merge_query(query, metric.as_ref(), segment_outcomes, k, objective));
         }
         Ok(BatchOutcome { queries })
     }
 
-    /// Merges per-segment outcomes (exact-scored, global row ids) into the
-    /// query's global top-k. The k best under the total `(score, row)`
-    /// order are unique, so the merge is deterministic and matches the
-    /// sequential searcher bit for bit.
+    /// The zone-map check: when the query's κ is already tighter than the
+    /// best score any vector inside the segment's envelope could reach, the
+    /// segment contributes nothing and is skipped without touching its
+    /// columns. Two independent per-segment bounds combine (the tighter
+    /// wins): the per-dimension value envelope and the row-sum (total-mass)
+    /// envelope. The same ε-slack as candidate pruning keeps boundary ties
+    /// safe.
+    fn try_skip_segment(
+        &self,
+        si: usize,
+        query: &[f64],
+        query_sum: f64,
+        metric: &dyn DecomposableMetric,
+        cell: Option<&SharedKappa>,
+        envelopes: &[Option<Envelope>],
+    ) -> Option<SearchOutcome> {
+        let kappa = cell?.get()?;
+        let (mins, maxs) = envelopes[si].as_ref()?;
+        let mut optimistic = metric.envelope_best_score(query, mins, maxs);
+        let stats = &self.segment_stats()[si];
+        if let Some(mass_bound) =
+            metric.mass_best_score(query_sum, stats.row_sum_min, stats.row_sum_max, query.len())
+        {
+            optimistic = match metric.objective() {
+                Objective::Maximize => optimistic.min(mass_bound),
+                Objective::Minimize => optimistic.max(mass_bound),
+            };
+        }
+        let slack = prune_slack(kappa);
+        let skip = match metric.objective() {
+            Objective::Maximize => optimistic < kappa - slack,
+            Objective::Minimize => optimistic > kappa + slack,
+        };
+        skip.then(|| SearchOutcome {
+            hits: Vec::new(),
+            trace: PruneTrace { segment_skipped: true, ..PruneTrace::default() },
+        })
+    }
+
+    /// Merges per-segment outcomes (global row ids) into the query's global
+    /// top-k.
+    ///
+    /// Under the uniform planner every segment refined in the same
+    /// dimension order, so scores are directly comparable and the k best
+    /// under the total `(score, row)` order match the sequential searcher
+    /// bit for bit. Under the adaptive planner the refinement orders differ
+    /// per segment, so every candidate hit's exact score is re-verified in
+    /// one fixed (natural) summation order before ranking — that, plus the
+    /// deterministic `RowId` tie-break, makes the merge rank-correct
+    /// irrespective of each segment's plan, up to floating-point
+    /// indistinguishability: two *distinct* rows whose exact scores differ
+    /// by less than summation-order drift (a few ulps) may rank either way
+    /// at a segment's k-cutoff. Exactly equal rows (duplicates) always
+    /// order by row id, in both engines and the sequential reference.
     fn merge_query(
         &self,
+        query: &[f64],
+        metric: &dyn DecomposableMetric,
         segment_outcomes: Vec<SearchOutcome>,
         k: usize,
         objective: Objective,
     ) -> QueryOutcome {
+        let reverify = self.planner == PlannerKind::Adaptive;
         let mut segments = Vec::with_capacity(segment_outcomes.len());
+        let offer = |heap_push: &mut dyn FnMut(Scored)| {
+            for (segment, outcome) in self.segments.iter().zip(segment_outcomes) {
+                for hit in &outcome.hits {
+                    let score = if reverify {
+                        let row = self.table.row(hit.row).expect("hit rows are live table rows");
+                        metric.score(&row, query)
+                    } else {
+                        hit.score
+                    };
+                    heap_push(Scored { row: hit.row, score });
+                }
+                segments.push(SegmentRun { rows: segment.range(), trace: outcome.trace });
+            }
+        };
         let hits = match objective {
             Objective::Maximize => {
                 let mut heap = TopKLargest::new(k);
-                for (segment, outcome) in self.segments.iter().zip(segment_outcomes) {
-                    for hit in &outcome.hits {
-                        heap.push(hit.row, hit.score);
-                    }
-                    segments.push(SegmentRun { rows: segment.range(), trace: outcome.trace });
-                }
+                offer(&mut |s| heap.push(s.row, s.score));
                 heap.into_sorted_vec()
             }
             Objective::Minimize => {
                 let mut heap = TopKSmallest::new(k);
-                for (segment, outcome) in self.segments.iter().zip(segment_outcomes) {
-                    for hit in &outcome.hits {
-                        heap.push(hit.row, hit.score);
-                    }
-                    segments.push(SegmentRun { rows: segment.range(), trace: outcome.trace });
-                }
+                offer(&mut |s| heap.push(s.row, s.score));
                 heap.into_sorted_vec()
             }
         };
@@ -302,16 +500,18 @@ impl<'a> Engine<'a> {
 
     /// Convenience: the sequential reference answer for the same rule and
     /// parameters, computed by the classic single-threaded [`BondSearcher`]
-    /// (used by tests, benches and doc examples to demonstrate equivalence).
+    /// (used by tests, benches and doc examples to demonstrate equivalence
+    /// and rank-correctness).
     pub fn sequential_reference(&self, query: &[f64], k: usize) -> Result<Vec<Scored>> {
         let searcher = BondSearcher::new(self.table);
+        let metric = self.rule.make_metric();
         let mut rule = self.rule.make_rule();
         let outcome = searcher.search_with_rule(
             query,
-            self.rule.metric(),
+            metric.as_ref(),
             rule.as_mut(),
             k,
-            None,
+            self.rule.weights(),
             &self.params,
         )?;
         Ok(outcome.hits)

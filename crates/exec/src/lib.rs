@@ -24,6 +24,20 @@
 //!   the *same* dimension order the sequential searcher uses; since the k
 //!   best rows under the total `(score, row id)` order are unique, the
 //!   merged answer is bit-identical to [`bond::BondSearcher`]'s.
+//! * **Per-segment adaptive plans** — with
+//!   [`EngineBuilder::planner`]`(`[`PlannerKind::Adaptive`]`)` every
+//!   segment gets its own [`bond::SegmentPlan`] (dimension order + block
+//!   schedule) derived from its cached [`vdstore::SegmentStats`], and
+//!   segments whose zone-map envelope bound provably cannot reach the
+//!   query's current κ are skipped without touching their columns. The
+//!   merge then re-verifies exact scores and tie-breaks on row ids:
+//!   rank-correct answers — the sequential reference's k-NN set and ranks,
+//!   up to ties between distinct rows whose exact scores differ by less
+//!   than floating-point summation drift.
+//! * **Weighted rules** — [`RuleKind::WeightedHistogram`] /
+//!   [`RuleKind::WeightedEuclidean`] carry per-dimension weights through
+//!   the same engine: weighted orderings, the safe weighted bounds, and
+//!   subspace queries (0/1 weights) all execute partitioned and batched.
 //!
 //! ## Quick start
 //!
@@ -62,11 +76,13 @@
 pub mod batch;
 pub mod engine;
 pub mod kappa;
+pub mod planner;
 pub mod rules;
 
 pub use batch::{BatchOutcome, QueryBatch, QueryOutcome, SegmentRun};
 pub use engine::{Engine, EngineBuilder};
 pub use kappa::SharedKappa;
+pub use planner::{AdaptivePlanner, PlannerKind};
 pub use rules::RuleKind;
 
 #[cfg(test)]
@@ -94,7 +110,8 @@ mod tests {
         let table = table(500, 16);
         let query = table.row(123).unwrap();
         for rule in RuleKind::ALL {
-            let engine = Engine::builder(&table).partitions(4).threads(3).rule(rule).build();
+            let engine =
+                Engine::builder(&table).partitions(4).threads(3).rule(rule.clone()).build();
             let parallel = engine.search(&query, 10).unwrap();
             let sequential = engine.sequential_reference(&query, 10).unwrap();
             assert_eq!(parallel.hits, sequential, "rule {}", rule.name());
@@ -141,6 +158,11 @@ mod tests {
         // empty batch is fine
         let empty = engine.execute(&QueryBatch::new(3)).unwrap();
         assert!(empty.queries.is_empty());
+        // directly constructed invalid weights error instead of panicking
+        let bad = Engine::builder(&t).rule(RuleKind::WeightedEuclidean(vec![-1.0; 4])).build();
+        assert!(matches!(bad.search(&q, 1), Err(BondError::InvalidParams(_))));
+        let short = Engine::builder(&t).rule(RuleKind::WeightedEuclidean(vec![1.0; 3])).build();
+        assert!(matches!(short.search(&q, 1), Err(BondError::WeightDimensionMismatch { .. })));
     }
 
     #[test]

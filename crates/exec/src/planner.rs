@@ -1,0 +1,186 @@
+//! Stats-driven per-segment search planning.
+//!
+//! The engine's PR 1 behaviour — one global ordering and block schedule for
+//! every partition — is kept as [`PlannerKind::Uniform`] and stays
+//! bit-identical to the sequential searcher. [`PlannerKind::Adaptive`]
+//! instead derives a [`SegmentPlan`] per `(query, segment)` pair from the
+//! segment's cached [`SegmentStats`]:
+//!
+//! * **Ordering.** For a distance metric the expected per-dimension
+//!   contribution of a segment row is exactly
+//!   `E[(v_d − q_d)²] = (μ_d − q_d)² + σ_d²` — dimensions where the segment
+//!   disagrees with the query (or spreads widely) are scanned first, which
+//!   grows the candidates' lower bounds fastest and prunes soonest. For a
+//!   similarity metric the achievable contribution of dimension `d` is
+//!   capped at `min(q_d, max_d)`: dimensions whose segment-local envelope
+//!   cannot match the query's mass are deferred, sharpening the paper's
+//!   "decreasing value in q" heuristic with data-side statistics.
+//! * **Schedule.** Pruning cannot start before the scanned prefix carries
+//!   enough discriminating mass (for Hq, not before `T(q⁻) > 0.5`), so the
+//!   planner sizes a warmup block to cover half of the total ordering key
+//!   mass and then prunes every few dimensions.
+//!
+//! Adaptive plans give up the bit-identical-refinement guarantee (per-row
+//! sums accumulate in different orders per segment); the engine compensates
+//! by re-verifying exact scores at merge time.
+
+use bond::{BlockSchedule, SegmentPlan};
+use bond_metrics::Objective;
+use vdstore::SegmentStats;
+
+/// Which planning policy the engine applies to its segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlannerKind {
+    /// One plan for every segment, derived from the engine's `BondParams` —
+    /// bit-identical to the sequential searcher.
+    #[default]
+    Uniform,
+    /// A per-segment plan derived from the segment's statistics, plus
+    /// κ-aware whole-segment skipping against the segments' zone maps.
+    Adaptive,
+}
+
+/// Derives per-segment plans from segment statistics.
+///
+/// Stateless; the interesting inputs are the query, the (optional) metric
+/// weights and the per-segment [`SegmentStats`] the engine caches at build
+/// time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdaptivePlanner;
+
+impl AdaptivePlanner {
+    /// The per-dimension ordering keys for one segment (larger = scan
+    /// earlier). Falls back to the query value itself for dimensions with
+    /// no statistics (empty segments never reach the search loop).
+    fn ordering_keys(
+        stats: &SegmentStats,
+        query: &[f64],
+        weights: Option<&[f64]>,
+        objective: Objective,
+    ) -> Vec<f64> {
+        query
+            .iter()
+            .enumerate()
+            .map(|(d, &q)| {
+                let w = weights.map_or(1.0, |w| w[d]);
+                let key = match (&stats.per_dim[d], objective) {
+                    (Some(s), Objective::Minimize) => {
+                        let bias = s.mean - q;
+                        bias * bias + s.variance
+                    }
+                    (Some(s), Objective::Maximize) => q.min(s.max),
+                    (None, _) => q,
+                };
+                w * key
+            })
+            .collect()
+    }
+
+    /// The plan for one segment: dimensions sorted by decreasing key
+    /// (deterministic tie-break on the dimension index), and a warmup
+    /// schedule sized so the first pruning attempt happens once half of the
+    /// total key mass has been scanned.
+    pub fn plan(
+        &self,
+        stats: &SegmentStats,
+        query: &[f64],
+        weights: Option<&[f64]>,
+        objective: Objective,
+    ) -> SegmentPlan {
+        let dims = query.len();
+        let keys = Self::ordering_keys(stats, query, weights, objective);
+        let mut order: Vec<usize> = (0..dims).collect();
+        order.sort_by(|&a, &b| {
+            keys[b].partial_cmp(&keys[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+
+        let total: f64 = keys.iter().sum();
+        let mut warmup = dims;
+        if total > 0.0 {
+            let mut acc = 0.0;
+            for (i, &d) in order.iter().enumerate() {
+                acc += keys[d];
+                if acc >= total * 0.5 {
+                    warmup = i + 1;
+                    break;
+                }
+            }
+        }
+        // After the warmup, prune every few dimensions: fine-grained enough
+        // to cash in a tightening κ, coarse enough to amortize the bound
+        // computation (a pruning attempt costs about as much as scanning a
+        // dimension; the paper uses m = 8 at 166 dims).
+        let m = (dims / 4).clamp(4, 16);
+        SegmentPlan::new(order, BlockSchedule::WarmupThenFixed { warmup, m })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdstore::DecomposedTable;
+
+    fn segment_stats(vectors: &[Vec<f64>]) -> SegmentStats {
+        let t = DecomposedTable::from_vectors("plan", vectors).unwrap();
+        t.segment(0..t.rows()).unwrap().stats()
+    }
+
+    #[test]
+    fn minimize_orders_by_expected_contribution() {
+        // dim 0: segment agrees with the query (tiny expected distance);
+        // dim 1: strong disagreement; dim 2: high variance.
+        let stats = segment_stats(&[
+            vec![0.5, 0.9, 0.0],
+            vec![0.5, 0.95, 1.0],
+            vec![0.5, 0.85, 0.0],
+            vec![0.5, 0.9, 1.0],
+        ]);
+        let q = [0.5, 0.1, 0.5];
+        let plan = AdaptivePlanner.plan(&stats, &q, None, Objective::Minimize);
+        assert!(plan.is_valid(3));
+        assert_eq!(*plan.order.last().unwrap(), 0, "agreeing dim is deferred");
+        assert_eq!(plan.order[0], 1, "disagreeing dim leads");
+    }
+
+    #[test]
+    fn maximize_defers_dims_the_segment_cannot_match() {
+        // dim 1 has a large query value but the segment's envelope tops out
+        // near zero there — it cannot contribute and goes last.
+        let stats = segment_stats(&[vec![0.5, 0.01, 0.3], vec![0.6, 0.02, 0.4]]);
+        let q = [0.4, 0.5, 0.1];
+        let plan = AdaptivePlanner.plan(&stats, &q, None, Objective::Maximize);
+        assert_eq!(plan.order, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn weights_scale_the_keys() {
+        let stats = segment_stats(&[vec![0.5, 0.5], vec![0.4, 0.6]]);
+        let q = [0.0, 0.0];
+        // unweighted: both dims have similar expected distance; weight dim 1 up
+        let plan = AdaptivePlanner.plan(&stats, &q, Some(&[1.0, 100.0]), Objective::Minimize);
+        assert_eq!(plan.order[0], 1);
+    }
+
+    #[test]
+    fn warmup_covers_half_the_key_mass() {
+        let stats = segment_stats(&vec![vec![0.9, 0.05, 0.03, 0.02]; 3]);
+        let q = [0.9, 0.05, 0.03, 0.02];
+        let plan = AdaptivePlanner.plan(&stats, &q, None, Objective::Maximize);
+        // dim 0 alone carries ≥ half the achievable mass
+        assert_eq!(plan.schedule, BlockSchedule::WarmupThenFixed { warmup: 1, m: 4 });
+    }
+
+    #[test]
+    fn degenerate_zero_mass_still_yields_a_valid_plan() {
+        let stats = segment_stats(&[vec![0.0, 0.0], vec![0.0, 0.0]]);
+        let plan = AdaptivePlanner.plan(&stats, &[0.0, 0.0], None, Objective::Maximize);
+        assert!(plan.is_valid(2));
+        // no key mass: the whole scan is one warmup block
+        assert_eq!(plan.schedule, BlockSchedule::WarmupThenFixed { warmup: 2, m: 4 });
+    }
+
+    #[test]
+    fn planner_kind_default_is_uniform() {
+        assert_eq!(PlannerKind::default(), PlannerKind::Uniform);
+    }
+}

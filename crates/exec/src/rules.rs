@@ -5,15 +5,25 @@
 //! so it can be carried in a builder, logged, and instantiated fresh for
 //! every worker (rules hold per-attempt state and are not shared across
 //! threads). [`RuleKind`] enumerates the four unweighted combinations the
-//! paper evaluates.
+//! paper evaluates plus the weighted variants of Section 8.1 / Appendix A
+//! (weighted histogram intersection with the WHq bound, weighted squared
+//! Euclidean with the safe WEv bound), so weighted and subspace queries run
+//! through the same partitioned engine as the unweighted ones.
 
 use bond_metrics::{
     DecomposableMetric, EqRule, EvRule, HhRule, HistogramIntersection, HqRule, Objective,
-    PruningRule, SquaredEuclidean,
+    PruningRule, SquaredEuclidean, WeightedEvRule, WeightedHistogramIntersection, WeightedHqRule,
+    WeightedSquaredEuclidean,
 };
 
 /// Which metric + pruning criterion a search uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The weighted variants carry their per-dimension weights by value, which
+/// is what lets one engine serve e.g. a subspace query configuration
+/// (weights 0/1) without threading a second side channel through the
+/// scheduler. Construct them through [`RuleKind::weighted_histogram`] /
+/// [`RuleKind::weighted_euclidean`] so the weights are validated once.
+#[derive(Debug, Clone, PartialEq)]
 pub enum RuleKind {
     /// Histogram intersection with the query-only criterion Hq.
     HistogramHq,
@@ -23,10 +33,21 @@ pub enum RuleKind {
     EuclideanEq,
     /// Squared Euclidean distance with the per-vector criterion Ev.
     EuclideanEv,
+    /// Weighted histogram intersection with the weighted query-only bound.
+    WeightedHistogram(
+        /// Per-dimension weights (finite, non-negative).
+        Vec<f64>,
+    ),
+    /// Weighted squared Euclidean distance with the safe weighted per-vector
+    /// bound.
+    WeightedEuclidean(
+        /// Per-dimension weights (finite, non-negative).
+        Vec<f64>,
+    ),
 }
 
 impl RuleKind {
-    /// All rule kinds, in the paper's order.
+    /// The unweighted rule kinds, in the paper's order.
     pub const ALL: [RuleKind; 4] = [
         RuleKind::HistogramHq,
         RuleKind::HistogramHh,
@@ -34,43 +55,108 @@ impl RuleKind {
         RuleKind::EuclideanEv,
     ];
 
-    /// The metric this rule prunes for.
-    pub fn metric(self) -> &'static dyn DecomposableMetric {
+    /// A validated weighted-histogram-intersection rule.
+    pub fn weighted_histogram(weights: Vec<f64>) -> Result<Self, String> {
+        WeightedHistogramIntersection::new(weights.clone())?;
+        Ok(RuleKind::WeightedHistogram(weights))
+    }
+
+    /// A validated weighted-squared-Euclidean rule.
+    pub fn weighted_euclidean(weights: Vec<f64>) -> Result<Self, String> {
+        WeightedSquaredEuclidean::new(weights.clone())?;
+        Ok(RuleKind::WeightedEuclidean(weights))
+    }
+
+    /// Checks that carried weights are usable for a `dims`-dimensional
+    /// table. Variants can be constructed directly (bypassing the
+    /// validating constructors), so the engine re-checks here at the start
+    /// of every `execute` and surfaces a proper error instead of panicking
+    /// mid-search. Value validity is delegated to the metric constructors —
+    /// the single source of the "finite and non-negative" rule.
+    pub fn validate(&self, dims: usize) -> Result<(), String> {
+        if let Some(w) = self.weights() {
+            if w.len() != dims {
+                return Err(format!("rule has {} weights, table has {dims} dimensions", w.len()));
+            }
+        }
         match self {
-            RuleKind::HistogramHq | RuleKind::HistogramHh => &HistogramIntersection,
-            RuleKind::EuclideanEq | RuleKind::EuclideanEv => &SquaredEuclidean,
+            RuleKind::WeightedHistogram(w) => {
+                WeightedHistogramIntersection::new(w.clone()).map(|_| ())
+            }
+            RuleKind::WeightedEuclidean(w) => WeightedSquaredEuclidean::new(w.clone()).map(|_| ()),
+            _ => Ok(()),
+        }
+    }
+
+    /// The metric this rule prunes for. Weighted kinds construct their
+    /// metric from the carried weights (call [`RuleKind::validate`] first —
+    /// weights that would not have passed the validating constructors panic
+    /// here).
+    pub fn make_metric(&self) -> Box<dyn DecomposableMetric> {
+        match self {
+            RuleKind::HistogramHq | RuleKind::HistogramHh => Box::new(HistogramIntersection),
+            RuleKind::EuclideanEq | RuleKind::EuclideanEv => Box::new(SquaredEuclidean),
+            RuleKind::WeightedHistogram(w) => Box::new(
+                WeightedHistogramIntersection::new(w.clone()).expect("weights pre-validated"),
+            ),
+            RuleKind::WeightedEuclidean(w) => {
+                Box::new(WeightedSquaredEuclidean::new(w.clone()).expect("weights pre-validated"))
+            }
         }
     }
 
     /// Whether the metric maximizes (similarity) or minimizes (distance).
-    pub fn objective(self) -> Objective {
-        self.metric().objective()
+    pub fn objective(&self) -> Objective {
+        match self {
+            RuleKind::HistogramHq | RuleKind::HistogramHh | RuleKind::WeightedHistogram(_) => {
+                Objective::Maximize
+            }
+            RuleKind::EuclideanEq | RuleKind::EuclideanEv | RuleKind::WeightedEuclidean(_) => {
+                Objective::Minimize
+            }
+        }
     }
 
     /// A fresh pruning-rule instance (each worker needs its own: rules hold
     /// per-pruning-attempt state).
-    pub fn make_rule(self) -> Box<dyn PruningRule> {
+    pub fn make_rule(&self) -> Box<dyn PruningRule> {
         match self {
             RuleKind::HistogramHq => Box::new(HqRule::new()),
             RuleKind::HistogramHh => Box::new(HhRule::new()),
             RuleKind::EuclideanEq => Box::new(EqRule::new()),
             RuleKind::EuclideanEv => Box::new(EvRule::new()),
+            RuleKind::WeightedHistogram(w) => Box::new(WeightedHqRule::new(w.clone())),
+            RuleKind::WeightedEuclidean(w) => Box::new(WeightedEvRule::new(w.clone())),
         }
     }
 
     /// Whether the rule needs the per-row total masses `T(x)` (the engine
     /// materialises them once per table instead of once per search).
-    pub fn needs_total_mass(self) -> bool {
-        matches!(self, RuleKind::HistogramHh | RuleKind::EuclideanEv)
+    pub fn needs_total_mass(&self) -> bool {
+        matches!(
+            self,
+            RuleKind::HistogramHh | RuleKind::EuclideanEv | RuleKind::WeightedEuclidean(_)
+        )
+    }
+
+    /// The metric weights, when this is a weighted kind. Feeds the weighted
+    /// dimension orderings and the searcher's `weights` parameter.
+    pub fn weights(&self) -> Option<&[f64]> {
+        match self {
+            RuleKind::WeightedHistogram(w) | RuleKind::WeightedEuclidean(w) => Some(w),
+            _ => None,
+        }
     }
 
     /// The paper's short name for the combination.
-    pub fn name(self) -> &'static str {
+    pub fn name(&self) -> &'static str {
         match self {
             RuleKind::HistogramHq => "Hq",
             RuleKind::HistogramHh => "Hh",
             RuleKind::EuclideanEq => "Eq",
             RuleKind::EuclideanEv => "Ev",
+            RuleKind::WeightedHistogram(_) => "WHq",
+            RuleKind::WeightedEuclidean(_) => "WEv",
         }
     }
 }
@@ -79,16 +165,24 @@ impl RuleKind {
 mod tests {
     use super::*;
 
+    fn all_kinds() -> Vec<RuleKind> {
+        let mut kinds: Vec<RuleKind> = RuleKind::ALL.to_vec();
+        kinds.push(RuleKind::weighted_histogram(vec![1.0, 2.0]).unwrap());
+        kinds.push(RuleKind::weighted_euclidean(vec![0.5, 0.0]).unwrap());
+        kinds
+    }
+
     #[test]
     fn metric_and_rule_objectives_agree() {
-        for kind in RuleKind::ALL {
+        for kind in all_kinds() {
             assert_eq!(kind.objective(), kind.make_rule().objective(), "{}", kind.name());
+            assert_eq!(kind.objective(), kind.make_metric().objective(), "{}", kind.name());
         }
     }
 
     #[test]
     fn needs_total_mass_matches_the_rules_own_declaration() {
-        for kind in RuleKind::ALL {
+        for kind in all_kinds() {
             assert_eq!(
                 kind.needs_total_mass(),
                 kind.make_rule().requirements().needs_total_mass,
@@ -100,17 +194,38 @@ mod tests {
 
     #[test]
     fn per_vector_rules_need_total_mass() {
-        // Hh and Ev track the scanned/remaining mass of each vector; the
-        // query-only rules need no per-vector bookkeeping.
+        // Hh, Ev and WEv track the scanned/remaining mass of each vector;
+        // the query-only rules need no per-vector bookkeeping.
         assert!(RuleKind::HistogramHh.needs_total_mass());
         assert!(RuleKind::EuclideanEv.needs_total_mass());
+        assert!(RuleKind::WeightedEuclidean(vec![1.0]).needs_total_mass());
         assert!(!RuleKind::HistogramHq.needs_total_mass());
         assert!(!RuleKind::EuclideanEq.needs_total_mass());
+        assert!(!RuleKind::WeightedHistogram(vec![1.0]).needs_total_mass());
     }
 
     #[test]
     fn names_match_the_paper() {
-        let names: Vec<&str> = RuleKind::ALL.iter().map(|k| k.name()).collect();
-        assert_eq!(names, vec!["Hq", "Hh", "Eq", "Ev"]);
+        let names: Vec<&str> = all_kinds().iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["Hq", "Hh", "Eq", "Ev", "WHq", "WEv"]);
+    }
+
+    #[test]
+    fn validate_catches_directly_constructed_invalid_weights() {
+        assert!(RuleKind::WeightedEuclidean(vec![-1.0, 1.0]).validate(2).is_err());
+        assert!(RuleKind::WeightedHistogram(vec![f64::NAN, 1.0]).validate(2).is_err());
+        assert!(RuleKind::WeightedEuclidean(vec![1.0]).validate(2).is_err(), "dims mismatch");
+        assert!(RuleKind::WeightedEuclidean(vec![1.0, 0.0]).validate(2).is_ok());
+        assert!(RuleKind::HistogramHq.validate(99).is_ok(), "unweighted kinds have no weights");
+    }
+
+    #[test]
+    fn weighted_constructors_validate() {
+        assert!(RuleKind::weighted_euclidean(vec![]).is_err());
+        assert!(RuleKind::weighted_euclidean(vec![-1.0]).is_err());
+        assert!(RuleKind::weighted_histogram(vec![f64::NAN]).is_err());
+        let kind = RuleKind::weighted_euclidean(vec![1.0, 3.0]).unwrap();
+        assert_eq!(kind.weights(), Some(&[1.0, 3.0][..]));
+        assert_eq!(RuleKind::HistogramHq.weights(), None);
     }
 }

@@ -36,15 +36,16 @@ fn histogram_collection() -> impl Strategy<Value = (Vec<Vec<f64>>, usize)> {
 
 fn sequential_hits(
     table: &DecomposedTable,
-    rule: RuleKind,
+    rule: &RuleKind,
     query: &[f64],
     k: usize,
     params: &BondParams,
 ) -> Vec<Scored> {
     let searcher = BondSearcher::new(table);
+    let metric = rule.make_metric();
     let mut rule_instance = rule.make_rule();
     searcher
-        .search_with_rule(query, rule.metric(), rule_instance.as_mut(), k, None, params)
+        .search_with_rule(query, metric.as_ref(), rule_instance.as_mut(), k, None, params)
         .expect("sequential search succeeds")
         .hits
 }
@@ -80,11 +81,11 @@ proptest! {
                     let engine = Engine::builder(&table)
                         .partitions(partitions)
                         .threads(3)
-                        .rule(rule)
+                        .rule(rule.clone())
                         .params(params.clone())
                         .build();
                     let parallel = engine.search(&query, k).unwrap();
-                    let sequential = sequential_hits(&table, rule, &query, k, &params);
+                    let sequential = sequential_hits(&table, &rule, &query, k, &params);
                     let context = format!(
                         "rule {} partitions {partitions} k {k} rows {n}",
                         rule.name()
@@ -135,13 +136,13 @@ fn serving_scale_bit_identity_50k() {
         let engine = Engine::builder(table)
             .partitions(5)
             .threads(4)
-            .rule(rule)
+            .rule(rule.clone())
             .params(params.clone())
             .build();
         assert!(engine.partitions() >= 4);
         for query in &queries {
             let parallel = engine.search(query, k).unwrap();
-            let sequential = sequential_hits(table, rule, query, k, &params);
+            let sequential = sequential_hits(table, &rule, query, k, &params);
             let context = format!("50k-row table, rule {}", rule.name());
             assert_bit_identical(&parallel.hits, &sequential, &context);
         }

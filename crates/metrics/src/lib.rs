@@ -38,5 +38,5 @@ pub use bounds::{
 };
 pub use metric::{
     DecomposableMetric, HistogramIntersection, Objective, SquaredEuclidean,
-    WeightedSquaredEuclidean,
+    WeightedHistogramIntersection, WeightedSquaredEuclidean,
 };

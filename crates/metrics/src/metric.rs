@@ -57,6 +57,54 @@ pub trait DecomposableMetric: Send + Sync {
         dims.iter().map(|&d| self.contribution(d, vector[d], query[d])).sum()
     }
 
+    /// The *best* contribution dimension `dim` can make for any value in
+    /// `[lo, hi]`: the maximum over the interval for a similarity metric,
+    /// the minimum for a distance metric.
+    ///
+    /// This is the per-dimension building block of zone-map-style
+    /// whole-segment bounds ([`DecomposableMetric::envelope_best_score`]).
+    /// The default is deliberately vacuous (`+∞` / `0`), which makes
+    /// envelope pruning a no-op rather than unsafe for metrics that do not
+    /// override it.
+    fn best_contribution(&self, dim: usize, lo: f64, hi: f64, query: f64) -> f64 {
+        let _ = (dim, lo, hi, query);
+        match self.objective() {
+            Objective::Maximize => f64::INFINITY,
+            Objective::Minimize => 0.0,
+        }
+    }
+
+    /// An *optimistic* bound on the score of any vector inside the
+    /// per-dimension value envelope `[mins_i, maxs_i]`: no vector in the box
+    /// can score better than this under the metric's objective. Comparing it
+    /// against the current pruning bound κ decides whether a whole segment
+    /// can be skipped without touching its data (zone-map pruning).
+    fn envelope_best_score(&self, query: &[f64], mins: &[f64], maxs: &[f64]) -> f64 {
+        debug_assert_eq!(query.len(), mins.len());
+        debug_assert_eq!(query.len(), maxs.len());
+        query.iter().enumerate().map(|(d, &q)| self.best_contribution(d, mins[d], maxs[d], q)).sum()
+    }
+
+    /// An optimistic score bound derived from the *total-mass* envelope
+    /// alone: no vector whose coordinate sum `T(x)` lies in
+    /// `[mass_lo, mass_hi]` can score better than this against a query with
+    /// coordinate sum `query_sum` over `dims` dimensions. `None` when the
+    /// metric admits no such bound (the default).
+    ///
+    /// Zone-map segment skipping combines this with
+    /// [`DecomposableMetric::envelope_best_score`]; the tighter of the two
+    /// wins.
+    fn mass_best_score(
+        &self,
+        query_sum: f64,
+        mass_lo: f64,
+        mass_hi: f64,
+        dims: usize,
+    ) -> Option<f64> {
+        let _ = (query_sum, mass_lo, mass_hi, dims);
+        None
+    }
+
     /// A short human-readable name (used in experiment reports).
     fn name(&self) -> &'static str;
 }
@@ -80,6 +128,23 @@ impl DecomposableMetric for HistogramIntersection {
 
     fn score(&self, vector: &[f64], query: &[f64]) -> f64 {
         vector.iter().zip(query).map(|(&v, &q)| v.min(q)).sum()
+    }
+
+    #[inline]
+    fn best_contribution(&self, _dim: usize, _lo: f64, hi: f64, query: f64) -> f64 {
+        // min(v, q) is non-decreasing in v, so the interval's top is best.
+        hi.min(query)
+    }
+
+    fn mass_best_score(
+        &self,
+        query_sum: f64,
+        _mass_lo: f64,
+        mass_hi: f64,
+        _dims: usize,
+    ) -> Option<f64> {
+        // Σ min(h_i, q_i) ≤ min(T(h), T(q)) ≤ min(mass_hi, T(q)).
+        Some(mass_hi.min(query_sum))
     }
 
     fn name(&self) -> &'static str {
@@ -116,6 +181,30 @@ impl DecomposableMetric for SquaredEuclidean {
             .sum()
     }
 
+    #[inline]
+    fn best_contribution(&self, _dim: usize, lo: f64, hi: f64, query: f64) -> f64 {
+        // (v − q)² is minimized at the point of [lo, hi] closest to q.
+        let d = query.clamp(lo, hi) - query;
+        d * d
+    }
+
+    fn mass_best_score(
+        &self,
+        query_sum: f64,
+        mass_lo: f64,
+        mass_hi: f64,
+        dims: usize,
+    ) -> Option<f64> {
+        if dims == 0 {
+            return None;
+        }
+        // Cauchy–Schwarz (the paper's Lemma 2 over all dimensions):
+        // δ(v, q) ≥ (T(v) − T(q))² / N, minimized at the T(v) in
+        // [mass_lo, mass_hi] closest to T(q).
+        let d = query_sum.clamp(mass_lo, mass_hi) - query_sum;
+        Some(d * d / dims as f64)
+    }
+
     fn name(&self) -> &'static str {
         "squared_euclidean"
     }
@@ -136,6 +225,54 @@ impl SquaredEuclidean {
     pub fn distance_from_similarity(similarity: f64, dims: usize) -> f64 {
         let s = 1.0 - similarity;
         s * s * dims as f64
+    }
+}
+
+/// A weighted-histogram-intersection metric: `Σ w_i · min(h_i, q_i)`.
+///
+/// The paper's weighted examples use Euclidean distance; this metric rounds
+/// out the weighted story for the similarity side and powers weighted
+/// multi-feature color queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedHistogramIntersection {
+    weights: Vec<f64>,
+}
+
+impl WeightedHistogramIntersection {
+    /// Creates the metric; weights must be non-negative and finite.
+    pub fn new(weights: Vec<f64>) -> Result<Self, String> {
+        if weights.is_empty() {
+            return Err("weight vector must not be empty".into());
+        }
+        if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+            return Err("weights must be finite and non-negative".into());
+        }
+        Ok(WeightedHistogramIntersection { weights })
+    }
+
+    /// The per-dimension weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl DecomposableMetric for WeightedHistogramIntersection {
+    fn objective(&self) -> Objective {
+        Objective::Maximize
+    }
+
+    #[inline]
+    fn contribution(&self, dim: usize, value: f64, query: f64) -> f64 {
+        self.weights[dim] * value.min(query)
+    }
+
+    #[inline]
+    fn best_contribution(&self, dim: usize, _lo: f64, hi: f64, query: f64) -> f64 {
+        self.weights[dim] * hi.min(query)
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted_histogram_intersection"
     }
 }
 
@@ -200,6 +337,12 @@ impl DecomposableMetric for WeightedSquaredEuclidean {
     #[inline]
     fn contribution(&self, dim: usize, value: f64, query: f64) -> f64 {
         let d = value - query;
+        self.weights[dim] * d * d
+    }
+
+    #[inline]
+    fn best_contribution(&self, dim: usize, lo: f64, hi: f64, query: f64) -> f64 {
+        let d = query.clamp(lo, hi) - query;
         self.weights[dim] * d * d
     }
 
@@ -289,6 +432,83 @@ mod tests {
         // only dims 1 and 3 count
         assert!((w.score(&v, &q) - (0.25 + 0.0625)).abs() < 1e-12);
         assert!(WeightedSquaredEuclidean::subspace(4, &[4]).is_err());
+    }
+
+    #[test]
+    fn envelope_bounds_dominate_every_boxed_vector() {
+        // deterministic pseudo-random boxes + vectors inside them
+        let mut seed = 0xA5A5_5A5A_1234_5678u64;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let dims = 6;
+        let weighted = WeightedSquaredEuclidean::new(vec![2.0, 0.5, 1.0, 0.0, 3.0, 1.0]).unwrap();
+        for _ in 0..200 {
+            let q: Vec<f64> = (0..dims).map(|_| next()).collect();
+            let mins: Vec<f64> = (0..dims).map(|_| next() * 0.5).collect();
+            let maxs: Vec<f64> = mins.iter().map(|&m| m + next() * 0.5).collect();
+            let v: Vec<f64> =
+                mins.iter().zip(&maxs).map(|(&lo, &hi)| lo + next() * (hi - lo)).collect();
+            let hist_bound = HistogramIntersection.envelope_best_score(&q, &mins, &maxs);
+            assert!(HistogramIntersection.score(&v, &q) <= hist_bound + 1e-12);
+            let euclid_bound = SquaredEuclidean.envelope_best_score(&q, &mins, &maxs);
+            assert!(SquaredEuclidean.score(&v, &q) >= euclid_bound - 1e-12);
+            let weighted_bound = weighted.envelope_best_score(&q, &mins, &maxs);
+            assert!(weighted.score(&v, &q) >= weighted_bound - 1e-12);
+        }
+    }
+
+    #[test]
+    fn mass_bounds_dominate_every_vector_in_the_mass_range() {
+        // histogram intersection: score ≤ min(T(h), T(q))
+        let q = [0.5, 0.3, 0.2];
+        let q_sum: f64 = q.iter().sum();
+        let h = [0.1, 0.2, 0.1]; // T(h) = 0.4
+        let bound = HistogramIntersection.mass_best_score(q_sum, 0.0, 0.4, 3).unwrap();
+        assert!((bound - 0.4).abs() < 1e-12);
+        assert!(HistogramIntersection.score(&h, &q) <= bound + 1e-12);
+        // squared Euclidean: δ ≥ (T(v) − T(q))² / N
+        let v = [0.0, 0.1, 0.0]; // T(v) = 0.1
+        let bound = SquaredEuclidean.mass_best_score(q_sum, 0.0, 0.2, 3).unwrap();
+        assert!((bound - (0.8 * 0.8) / 3.0).abs() < 1e-12);
+        assert!(SquaredEuclidean.score(&v, &q) >= bound - 1e-12);
+        // T(q) inside the mass range: the Euclidean mass bound is vacuous
+        assert_eq!(SquaredEuclidean.mass_best_score(q_sum, 0.5, 2.0, 3), Some(0.0));
+        assert_eq!(SquaredEuclidean.mass_best_score(q_sum, 0.5, 2.0, 0), None);
+        // weighted metrics keep the conservative default
+        let w = WeightedSquaredEuclidean::new(vec![1.0; 3]).unwrap();
+        assert_eq!(w.mass_best_score(q_sum, 0.0, 0.2, 3), None);
+    }
+
+    #[test]
+    fn envelope_bound_is_tight_at_the_box_boundary() {
+        // query inside the box: best distance 0, best intersection min(max, q)
+        let q = [0.5, 0.2];
+        let mins = [0.4, 0.0];
+        let maxs = [0.6, 0.1];
+        assert!((SquaredEuclidean.envelope_best_score(&q, &mins, &maxs) - 0.01).abs() < 1e-12);
+        assert!((HistogramIntersection.envelope_best_score(&q, &mins, &maxs) - 0.6).abs() < 1e-12);
+        // default implementation is vacuous per objective
+        struct Opaque(Objective);
+        impl DecomposableMetric for Opaque {
+            fn objective(&self) -> Objective {
+                self.0
+            }
+            fn contribution(&self, _d: usize, v: f64, q: f64) -> f64 {
+                v * q
+            }
+            fn name(&self) -> &'static str {
+                "opaque"
+            }
+        }
+        assert_eq!(
+            Opaque(Objective::Maximize).envelope_best_score(&q, &mins, &maxs),
+            f64::INFINITY
+        );
+        assert_eq!(Opaque(Objective::Minimize).envelope_best_score(&q, &mins, &maxs), 0.0);
     }
 
     #[test]

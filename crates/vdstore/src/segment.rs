@@ -101,33 +101,93 @@ impl<'a> Segment<'a> {
         sums
     }
 
-    /// Per-dimension statistics over *this segment's rows only*.
+    /// Per-dimension statistics over *this segment's rows only*, plus the
+    /// row-sum envelope a search planner needs. Each fragment is visited
+    /// once (the per-row sums accumulate alongside the column moments);
+    /// intended to be computed once at partition time and cached.
     pub fn stats(&self) -> SegmentStats {
-        let per_dim = (0..self.table.dims())
+        let mut sums = vec![0.0; self.len];
+        let per_dim: Vec<Option<ColumnStats>> = (0..self.table.dims())
             .map(|d| {
                 let values = self.col_slice(d).expect("dimension in range");
+                for (s, &v) in sums.iter_mut().zip(values) {
+                    *s += v;
+                }
                 ColumnStats::compute_slice(self.table.column(d).expect("dim").name(), values)
             })
             .collect();
-        SegmentStats { range: self.range(), per_dim }
+        let (mut sum_min, mut sum_max, mut total) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+        for &s in &sums {
+            sum_min = sum_min.min(s);
+            sum_max = sum_max.max(s);
+            total += s;
+        }
+        let (row_sum_min, row_sum_max, row_sum_mean) = if sums.is_empty() {
+            (0.0, 0.0, 0.0)
+        } else {
+            (sum_min, sum_max, total / sums.len() as f64)
+        };
+        SegmentStats {
+            range: self.range(),
+            per_dim,
+            live_rows: self.live_rows(),
+            row_sum_min,
+            row_sum_max,
+            row_sum_mean,
+        }
     }
 }
 
+/// A per-dimension value envelope: parallel `(mins, maxs)` vectors — the
+/// zone map of a row range.
+pub type Envelope = (Vec<f64>, Vec<f64>);
+
 /// Per-dimension statistics of one segment.
 ///
-/// Each entry is `None` only for an empty segment.
+/// Each entry is `None` only for an empty segment. Beyond the per-column
+/// moments, the struct carries the *envelopes* a search planner consumes:
+/// per-dimension `[min, max]` value boxes (the zone map of the segment) and
+/// the `[min, max]` range of the per-row total masses `T(x)`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SegmentStats {
     /// The table row range the statistics describe.
     pub range: Range<usize>,
     /// Statistics of each dimensional fragment, restricted to the segment.
     pub per_dim: Vec<Option<ColumnStats>>,
+    /// Number of live (non-tombstoned) rows in the segment.
+    pub live_rows: usize,
+    /// Smallest per-row total mass `T(x)` in the segment (0 when empty).
+    pub row_sum_min: f64,
+    /// Largest per-row total mass `T(x)` in the segment (0 when empty).
+    pub row_sum_max: f64,
+    /// Mean per-row total mass `T(x)` in the segment (0 when empty).
+    pub row_sum_mean: f64,
 }
 
 impl SegmentStats {
     /// The per-dimension mean values (NaN for an empty segment).
     pub fn mean_per_dim(&self) -> Vec<f64> {
         self.per_dim.iter().map(|s| s.as_ref().map_or(f64::NAN, |s| s.mean)).collect()
+    }
+
+    /// The per-dimension minimum values (NaN for an empty segment).
+    pub fn min_per_dim(&self) -> Vec<f64> {
+        self.per_dim.iter().map(|s| s.as_ref().map_or(f64::NAN, |s| s.min)).collect()
+    }
+
+    /// The per-dimension maximum values (NaN for an empty segment).
+    pub fn max_per_dim(&self) -> Vec<f64> {
+        self.per_dim.iter().map(|s| s.as_ref().map_or(f64::NAN, |s| s.max)).collect()
+    }
+
+    /// The segment's value envelope: per-dimension `(min, max)` boxes, i.e.
+    /// the zone map used for metric-specific whole-segment bounds. `None`
+    /// for an empty segment.
+    pub fn envelope(&self) -> Option<Envelope> {
+        if self.per_dim.iter().any(|s| s.is_none()) {
+            return None;
+        }
+        Some((self.min_per_dim(), self.max_per_dim()))
     }
 
     /// The dimensions ordered by decreasing segment-local mean — the
@@ -270,6 +330,27 @@ mod tests {
         // dimension 2 is constant: identical stats in both segments
         let (c_lo, c_hi) = (lo.per_dim[2].as_ref().unwrap(), hi.per_dim[2].as_ref().unwrap());
         assert_eq!((c_lo.min, c_lo.max, c_lo.mean), (c_hi.min, c_hi.max, c_hi.mean));
+    }
+
+    #[test]
+    fn stats_carry_envelopes_and_row_sum_range() {
+        let mut t = sample();
+        t.delete(1).unwrap();
+        let s = t.segment(0..4).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.live_rows, 3);
+        let (mins, maxs) = stats.envelope().expect("non-empty segment has an envelope");
+        assert_eq!(mins, vec![0.0, 7.0, 0.5]);
+        assert_eq!(maxs, vec![3.0, 10.0, 0.5]);
+        // row sums: i + (10 - i) + 0.5 = 10.5 for every row
+        assert!((stats.row_sum_min - 10.5).abs() < 1e-12);
+        assert!((stats.row_sum_max - 10.5).abs() < 1e-12);
+        assert!((stats.row_sum_mean - 10.5).abs() < 1e-12);
+        // empty segment: no envelope, zeroed row-sum range
+        let empty = t.segment(4..4).unwrap().stats();
+        assert!(empty.envelope().is_none());
+        assert_eq!((empty.row_sum_min, empty.row_sum_max, empty.row_sum_mean), (0.0, 0.0, 0.0));
+        assert_eq!(empty.live_rows, 0);
     }
 
     #[test]

@@ -16,4 +16,4 @@ pub use bond_metrics as metrics;
 pub use bond_relalg as relalg;
 pub use vdstore;
 
-pub use bond_exec::{Engine, EngineBuilder, QueryBatch, RuleKind};
+pub use bond_exec::{AdaptivePlanner, Engine, EngineBuilder, PlannerKind, QueryBatch, RuleKind};
