@@ -14,10 +14,11 @@
 //! machine-readable `BENCH_JSON` line for the perf trajectory.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use bond_datagen::{sample_queries, ClusteredConfig};
-use bond_exec::{Engine, PlannerKind, QueryBatch, RuleKind};
+use bond_exec::{Engine, PlannerKind, RequestBatch, RuleKind};
 
 struct Series {
     planner: &'static str,
@@ -39,11 +40,13 @@ fn main() {
     // then covers a handful of clusters, its envelopes are narrow, and the
     // zone-map check has something to skip — the regime per-segment plans
     // are built for.
-    let table = ClusteredConfig { clusters: 16, ..ClusteredConfig::small(rows, dims, 0.0) }
-        .with_cluster_major(true)
-        .generate();
+    let table = Arc::new(
+        ClusteredConfig { clusters: 16, ..ClusteredConfig::small(rows, dims, 0.0) }
+            .with_cluster_major(true)
+            .generate(),
+    );
     let queries = sample_queries(&table, n_queries, 4321);
-    let batch = QueryBatch::from_queries(queries, k);
+    let batch = RequestBatch::from_queries(queries, k);
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!(
         "adaptive planning: {} rows x {dims} dims (clustered, cluster-major), \
@@ -54,12 +57,13 @@ fn main() {
     let mut series: Vec<Series> = Vec::new();
     for (name, planner) in [("uniform", PlannerKind::Uniform), ("adaptive", PlannerKind::Adaptive)]
     {
-        let engine = Engine::builder(&table)
+        let engine = Engine::builder(table.clone())
             .partitions(partitions)
             .threads(1) // isolate plan quality + skipping from parallel speedup
             .rule(RuleKind::EuclideanEv)
             .planner(planner)
-            .build();
+            .build()
+            .expect("valid engine configuration");
         // warm-up pass (untimed) also collects the work counters
         let outcome = engine.execute(&batch).expect("batch executes");
         let contributions: u64 = outcome.queries.iter().map(|q| q.contributions_evaluated()).sum();

@@ -15,10 +15,11 @@
 //! `available_parallelism`.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use bond_datagen::{sample_queries, CorelLikeConfig};
-use bond_exec::{Engine, QueryBatch, RuleKind};
+use bond_exec::{Engine, RequestBatch, RuleKind};
 
 struct Series {
     threads: usize,
@@ -36,9 +37,9 @@ fn main() {
     let n_queries = 16;
     let reps = 3;
 
-    let table = CorelLikeConfig::small(rows, dims).generate();
+    let table = Arc::new(CorelLikeConfig::small(rows, dims).generate());
     let queries = sample_queries(&table, n_queries, 1234);
-    let batch = QueryBatch::from_queries(queries, k);
+    let batch = RequestBatch::from_queries(queries, k);
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!(
         "parallel scaling: {} rows x {dims} dims, {n_queries} queries, k = {k}, {cores} cores",
@@ -52,11 +53,12 @@ fn main() {
 
     let mut series: Vec<Series> = Vec::new();
     for &threads in &thread_counts {
-        let engine = Engine::builder(&table)
+        let engine = Engine::builder(table.clone())
             .partitions(threads)
             .threads(threads)
             .rule(RuleKind::HistogramHh)
-            .build();
+            .build()
+            .expect("valid engine configuration");
         // warm-up pass (untimed)
         let outcome = engine.execute(&batch).expect("batch executes");
         let contributions = outcome.queries.iter().map(|q| q.contributions_evaluated()).sum();

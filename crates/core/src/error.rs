@@ -32,6 +32,9 @@ pub enum BondError {
     },
     /// Invalid parameter combination, described in the message.
     InvalidParams(String),
+    /// A serving front-end could not complete the request (shut down, or
+    /// its worker died before answering).
+    ServiceUnavailable(String),
 }
 
 impl fmt::Display for BondError {
@@ -48,6 +51,7 @@ impl fmt::Display for BondError {
                 write!(f, "weight vector has {actual} dimensions, table has {expected}")
             }
             BondError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            BondError::ServiceUnavailable(msg) => write!(f, "service unavailable: {msg}"),
         }
     }
 }
@@ -88,5 +92,8 @@ mod tests {
         assert!(e.to_string().contains("bad"));
         let e = BondError::WeightDimensionMismatch { expected: 4, actual: 2 };
         assert!(e.to_string().contains("weight"));
+        let e = BondError::ServiceUnavailable("shut down".into());
+        assert!(e.to_string().contains("service unavailable"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

@@ -1,65 +1,156 @@
-//! Batched queries and their outcomes.
+//! Per-query requests and batched outcomes.
 //!
-//! Serving workloads rarely issue one query at a time: a navigation step in
-//! an image browser, a relevance-feedback loop, or a bulk re-ranking job
-//! all submit *batches* against the same table. [`QueryBatch`] carries them
-//! together so the engine amortizes its per-query setup (dimension
-//! ordering, `T(x)` materialisation, worker-pool spawn) and schedules all
-//! `queries × segments` work items on one pool. Every query reports a
-//! per-segment [`bond::PruneTrace`], preserving the paper's evaluation
-//! instrumentation in the parallel engine.
+//! Serving workloads are heterogeneous: a navigation step wants 10
+//! neighbours under the engine's default rule while a re-ranking job in the
+//! same batch wants 100 under a weighted metric. A [`QuerySpec`] carries
+//! one query's *whole* request — the vector, its own `k`, and optional
+//! per-query overrides of the engine's pruning rule and planner — and a
+//! [`RequestBatch`] collects specs so the engine amortizes per-query setup
+//! (dimension ordering, `T(x)` materialisation, worker-pool spawn) and
+//! schedules all `queries × segments` work items on one pool. Every query
+//! still reports a per-segment [`bond::PruneTrace`], preserving the paper's
+//! evaluation instrumentation in the parallel engine.
 
+use crate::planner::PlannerKind;
+use crate::rules::RuleKind;
 use bond::PruneTrace;
 use std::ops::Range;
 use vdstore::topk::Scored;
 
-/// A set of k-NN queries executed together against one table.
+/// One k-NN request: a query vector, how many neighbours it wants, and
+/// optional per-query overrides of the engine defaults.
+///
+/// Built in builder style; every method is chainable:
+///
+/// ```
+/// use bond_exec::{PlannerKind, QuerySpec, RuleKind};
+///
+/// let spec = QuerySpec::new(vec![0.25, 0.75], 10)
+///     .rule(RuleKind::EuclideanEq)          // override the engine default
+///     .planner(PlannerKind::Adaptive);      // per-query planning policy
+/// assert_eq!(spec.k(), 10);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
-pub struct QueryBatch {
-    queries: Vec<Vec<f64>>,
+pub struct QuerySpec {
+    vector: Vec<f64>,
     k: usize,
+    rule: Option<RuleKind>,
+    planner: Option<PlannerKind>,
 }
 
-impl QueryBatch {
-    /// An empty batch requesting `k` neighbours per query.
-    pub fn new(k: usize) -> Self {
-        QueryBatch { queries: Vec::new(), k }
+impl QuerySpec {
+    /// A request for the `k` nearest neighbours of `vector` under the
+    /// engine's default rule and planner.
+    #[must_use]
+    pub fn new(vector: Vec<f64>, k: usize) -> Self {
+        QuerySpec { vector, k, rule: None, planner: None }
     }
 
-    /// A batch over pre-collected query vectors.
-    pub fn from_queries(queries: Vec<Vec<f64>>, k: usize) -> Self {
-        QueryBatch { queries, k }
-    }
-
-    /// A single-query batch.
-    pub fn single(query: Vec<f64>, k: usize) -> Self {
-        QueryBatch { queries: vec![query], k }
-    }
-
-    /// Adds one query.
-    pub fn push(&mut self, query: Vec<f64>) -> &mut Self {
-        self.queries.push(query);
+    /// Overrides the engine's metric + pruning rule for this query only
+    /// (weighted kinds carry their per-dimension weights by value, so a
+    /// single batch can mix e.g. unweighted and subspace requests).
+    #[must_use]
+    pub fn rule(mut self, rule: RuleKind) -> Self {
+        self.rule = Some(rule);
         self
     }
 
-    /// The number of neighbours requested per query.
+    /// Overrides the engine's planning policy for this query only.
+    #[must_use]
+    pub fn planner(mut self, planner: PlannerKind) -> Self {
+        self.planner = Some(planner);
+        self
+    }
+
+    /// The query vector.
+    pub fn vector(&self) -> &[f64] {
+        &self.vector
+    }
+
+    /// The number of neighbours this query requests.
     pub fn k(&self) -> usize {
         self.k
     }
 
-    /// The queries, in submission order.
-    pub fn queries(&self) -> &[Vec<f64>] {
-        &self.queries
+    /// The per-query rule override, when one was set.
+    pub fn rule_override(&self) -> Option<&RuleKind> {
+        self.rule.as_ref()
     }
 
-    /// Number of queries in the batch.
+    /// The per-query planner override, when one was set.
+    pub fn planner_override(&self) -> Option<PlannerKind> {
+        self.planner
+    }
+}
+
+/// A heterogeneous set of [`QuerySpec`]s executed together against one
+/// table: every spec keeps its own `k`, rule and planner, and the engine
+/// answers them in submission order in a single worker-pool pass.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RequestBatch {
+    specs: Vec<QuerySpec>,
+}
+
+impl RequestBatch {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        RequestBatch::default()
+    }
+
+    /// A batch over pre-collected specs.
+    #[must_use]
+    pub fn from_specs(specs: Vec<QuerySpec>) -> Self {
+        RequestBatch { specs }
+    }
+
+    /// A homogeneous batch: every query requests the same `k` under the
+    /// engine defaults (the pre-`QuerySpec` `QueryBatch` shape).
+    #[must_use]
+    pub fn from_queries(queries: Vec<Vec<f64>>, k: usize) -> Self {
+        RequestBatch { specs: queries.into_iter().map(|q| QuerySpec::new(q, k)).collect() }
+    }
+
+    /// A single-request batch.
+    #[must_use]
+    pub fn single(spec: QuerySpec) -> Self {
+        RequestBatch { specs: vec![spec] }
+    }
+
+    /// Adds one request.
+    pub fn push(&mut self, spec: QuerySpec) -> &mut Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// The requests, in submission order.
+    pub fn specs(&self) -> &[QuerySpec] {
+        &self.specs
+    }
+
+    /// Number of requests in the batch.
     pub fn len(&self) -> usize {
-        self.queries.len()
+        self.specs.len()
     }
 
-    /// Whether the batch holds no queries.
+    /// Whether the batch holds no requests.
     pub fn is_empty(&self) -> bool {
-        self.queries.is_empty()
+        self.specs.is_empty()
+    }
+}
+
+impl FromIterator<QuerySpec> for RequestBatch {
+    fn from_iter<I: IntoIterator<Item = QuerySpec>>(iter: I) -> Self {
+        RequestBatch { specs: iter.into_iter().collect() }
+    }
+}
+
+impl IntoIterator for RequestBatch {
+    type Item = QuerySpec;
+    type IntoIter = std::vec::IntoIter<QuerySpec>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.specs.into_iter()
     }
 }
 
@@ -109,10 +200,10 @@ impl QueryOutcome {
     }
 }
 
-/// The answers to a whole batch, in query submission order.
+/// The answers to a whole batch, in request submission order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchOutcome {
-    /// One outcome per query.
+    /// One outcome per request.
     pub queries: Vec<QueryOutcome>,
 }
 
@@ -128,18 +219,41 @@ mod tests {
     use super::*;
 
     #[test]
-    fn batch_construction() {
-        let mut b = QueryBatch::new(5);
-        assert!(b.is_empty());
-        b.push(vec![0.1, 0.9]).push(vec![0.5, 0.5]);
-        assert_eq!(b.len(), 2);
-        assert_eq!(b.k(), 5);
-        assert_eq!(b.queries()[1], vec![0.5, 0.5]);
+    fn spec_builder_carries_overrides() {
+        let plain = QuerySpec::new(vec![0.1, 0.9], 5);
+        assert_eq!(plain.vector(), &[0.1, 0.9]);
+        assert_eq!(plain.k(), 5);
+        assert_eq!(plain.rule_override(), None);
+        assert_eq!(plain.planner_override(), None);
 
-        let single = QueryBatch::single(vec![1.0], 1);
+        let spec = QuerySpec::new(vec![0.5, 0.5], 3)
+            .rule(RuleKind::EuclideanEq)
+            .planner(PlannerKind::Adaptive);
+        assert_eq!(spec.rule_override(), Some(&RuleKind::EuclideanEq));
+        assert_eq!(spec.planner_override(), Some(PlannerKind::Adaptive));
+    }
+
+    #[test]
+    fn batch_construction_and_accessors() {
+        let mut b = RequestBatch::new();
+        assert!(b.is_empty());
+        assert_eq!(b, RequestBatch::default());
+        b.push(QuerySpec::new(vec![0.1, 0.9], 5)).push(QuerySpec::new(vec![0.5, 0.5], 2));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.specs()[1].k(), 2);
+
+        let single = RequestBatch::single(QuerySpec::new(vec![1.0], 1));
         assert_eq!(single.len(), 1);
-        let from = QueryBatch::from_queries(vec![vec![1.0], vec![2.0]], 3);
-        assert_eq!(from.len(), 2);
+
+        let homogeneous = RequestBatch::from_queries(vec![vec![1.0], vec![2.0]], 3);
+        assert_eq!(homogeneous.len(), 2);
+        assert!(homogeneous.specs().iter().all(|s| s.k() == 3 && s.rule_override().is_none()));
+
+        let collected: RequestBatch =
+            (0..4).map(|i| QuerySpec::new(vec![i as f64], i + 1)).collect();
+        assert_eq!(collected.len(), 4);
+        let ks: Vec<usize> = collected.into_iter().map(|s| s.k()).collect();
+        assert_eq!(ks, vec![1, 2, 3, 4]);
     }
 
     #[test]

@@ -1,13 +1,24 @@
 //! The parallel, partitioned execution engine.
 //!
-//! An [`Engine`] is built once per table and then serves queries: the table
-//! is split into contiguous row-range [`Segment`]s, every query's
-//! branch-and-bound search runs per segment on a pool of workers, the
-//! segments pool their pruning bound κ through a [`SharedKappa`] cell, and
-//! the per-segment top-k heaps merge into the final answer.
+//! An [`Engine`] is built once per table and then serves requests for as
+//! long as the process lives: it *owns* its [`DecomposedTable`] behind an
+//! [`Arc`], stores its partition boundaries as lifetime-free
+//! [`SegmentSpec`]s plus cached [`SegmentStats`], and materialises the
+//! zero-copy [`Segment`] views internally, per call. The engine is
+//! `Send + Sync + 'static` and cheaply clonable (a clone is one `Arc`
+//! bump), so it can be stored in a server struct, shared across request
+//! threads, or handed to a background worker — the shape a long-lived
+//! serving system needs (see [`crate::service`]).
+//!
+//! Execution is per-request heterogeneous: a [`RequestBatch`] of
+//! [`QuerySpec`]s may mix `k`s, pruning rules and planners freely. All
+//! `queries × segments` searches still run in one worker-pool pass, each
+//! query gets its own shared-κ cell, and every query's per-segment top-k
+//! heaps merge into its final answer.
 //!
 //! *What to scan, in which dimension order, with which block schedule* is a
-//! per-segment [`SegmentPlan`] chosen by the engine's [`PlannerKind`]:
+//! per-segment [`SegmentPlan`] chosen by the query's effective
+//! [`PlannerKind`]:
 //!
 //! * [`PlannerKind::Uniform`] gives every segment the same plan (the
 //!   engine's `BondParams`), every segment refines its survivors to exact
@@ -22,7 +33,7 @@
 //!   summation order) and breaks ties deterministically on the row id:
 //!   rank-correct rather than bit-identical.
 
-use crate::batch::{BatchOutcome, QueryBatch, QueryOutcome, SegmentRun};
+use crate::batch::{BatchOutcome, QueryOutcome, QuerySpec, RequestBatch, SegmentRun};
 use crate::kappa::SharedKappa;
 use crate::planner::{AdaptivePlanner, PlannerKind};
 use crate::rules::RuleKind;
@@ -32,14 +43,22 @@ use bond::{
 };
 use bond_metrics::{DecomposableMetric, Objective};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use vdstore::topk::Scored;
-use vdstore::{DecomposedTable, Envelope, Segment, SegmentStats, TopKLargest, TopKSmallest};
+use vdstore::{
+    DecomposedTable, Envelope, Segment, SegmentSpec, SegmentStats, TopKLargest, TopKSmallest,
+};
 
 /// Builds an [`Engine`] for one table.
+///
+/// Construction is fallible: [`EngineBuilder::build`] validates the
+/// configuration (`partitions`/`threads` must be non-zero, a weighted
+/// default rule must carry weights valid for the table) and returns
+/// [`BondError::InvalidParams`] / [`BondError::WeightDimensionMismatch`]
+/// instead of silently clamping or panicking mid-search.
 #[derive(Debug)]
-pub struct EngineBuilder<'a> {
-    table: &'a DecomposedTable,
+pub struct EngineBuilder {
+    table: Arc<DecomposedTable>,
     partitions: usize,
     threads: usize,
     params: BondParams,
@@ -48,19 +67,23 @@ pub struct EngineBuilder<'a> {
     planner: PlannerKind,
 }
 
-impl<'a> EngineBuilder<'a> {
+impl EngineBuilder {
     /// Number of row-range segments the table is split into. Defaults to
-    /// the machine's available parallelism.
+    /// the machine's available parallelism; `0` is rejected at
+    /// [`EngineBuilder::build`].
+    #[must_use]
     pub fn partitions(mut self, partitions: usize) -> Self {
-        self.partitions = partitions.max(1);
+        self.partitions = partitions;
         self
     }
 
     /// Number of worker threads (no implicit cap — oversubscribing the
     /// machine is the caller's choice). Defaults to the machine's available
-    /// parallelism; `1` executes inline without spawning.
+    /// parallelism; `1` executes inline without spawning; `0` is rejected
+    /// at [`EngineBuilder::build`].
+    #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.threads = threads;
         self
     }
 
@@ -69,7 +92,7 @@ impl<'a> EngineBuilder<'a> {
     /// `refine_survivors` is forced to `true`: merging per-segment answers
     /// requires exact scores, and exact scores are also what makes the
     /// uniform parallel result bit-identical to the sequential one. For a
-    /// weighted rule, any ordering other than
+    /// query whose effective rule is weighted, any ordering other than
     /// [`DimensionOrdering::Explicit`] is replaced by the weighted default
     /// ordering — the same rewrite the sequential weighted entry points
     /// apply (and what keeps [`Engine::sequential_reference`] comparable);
@@ -78,15 +101,18 @@ impl<'a> EngineBuilder<'a> {
     /// each segment's statistics instead — the params' ordering/schedule
     /// (explicit or not) only govern the `Uniform` planner and the
     /// sequential reference.
+    #[must_use]
     pub fn params(mut self, params: BondParams) -> Self {
         self.params = params;
         self
     }
 
-    /// Which metric + pruning criterion to serve. Defaults to
+    /// Which metric + pruning criterion to serve by default — a
+    /// [`QuerySpec::rule`] override replaces it per query. Defaults to
     /// [`RuleKind::HistogramHq`]. Weighted kinds switch non-`Explicit`
-    /// orderings to [`DimensionOrdering::WeightedQueryDescending`] at build
-    /// time (see [`EngineBuilder::params`]).
+    /// orderings to [`DimensionOrdering::WeightedQueryDescending`] per
+    /// query (see [`EngineBuilder::params`]).
+    #[must_use]
     pub fn rule(mut self, rule: RuleKind) -> Self {
         self.rule = rule;
         self
@@ -97,87 +123,131 @@ impl<'a> EngineBuilder<'a> {
     /// answers, strictly less pruning (and no adaptive segment skipping,
     /// which consumes the shared κ); useful for measuring the κ-sharing
     /// benefit.
+    #[must_use]
     pub fn share_kappa(mut self, share: bool) -> Self {
         self.share_kappa = share;
         self
     }
 
-    /// How segment plans are chosen (default [`PlannerKind::Uniform`]).
-    /// [`PlannerKind::Adaptive`] picks each segment's dimension order and
-    /// block schedule from its statistics — overriding the params'
-    /// ordering/schedule — and enables κ-aware whole-segment skipping.
+    /// How segment plans are chosen by default (default
+    /// [`PlannerKind::Uniform`]) — a [`QuerySpec::planner`] override
+    /// replaces it per query. [`PlannerKind::Adaptive`] picks each
+    /// segment's dimension order and block schedule from its statistics —
+    /// overriding the params' ordering/schedule — and enables κ-aware
+    /// whole-segment skipping.
+    #[must_use]
     pub fn planner(mut self, planner: PlannerKind) -> Self {
         self.planner = planner;
         self
     }
 
-    /// Finishes the build: partitions the table and materialises whatever
-    /// the configuration needs once — the `T(x)` table for the per-vector
-    /// rules, and the per-segment statistics when the adaptive planner (or
-    /// a later [`Engine::segment_stats`] call) will consume them.
-    pub fn build(self) -> Engine<'a> {
+    /// Finishes the build: validates the configuration, partitions the
+    /// table, and computes the per-segment statistics (and their zone-map
+    /// envelopes) once — every query of every future batch reuses them.
+    ///
+    /// # Errors
+    ///
+    /// [`BondError::InvalidParams`] when `partitions` or `threads` is zero
+    /// or the default rule carries invalid weight values;
+    /// [`BondError::WeightDimensionMismatch`] when the default rule's
+    /// weights do not match the table's dimensionality.
+    pub fn build(self) -> Result<Engine> {
+        if self.partitions == 0 {
+            return Err(BondError::InvalidParams("partitions must be non-zero".into()));
+        }
+        if self.threads == 0 {
+            return Err(BondError::InvalidParams("threads must be non-zero".into()));
+        }
+        let dims = self.table.dims();
+        if let Some(w) = self.rule.weights() {
+            if w.len() != dims {
+                return Err(BondError::WeightDimensionMismatch { expected: dims, actual: w.len() });
+            }
+        }
+        self.rule.validate(dims).map_err(BondError::InvalidParams)?;
         let mut params = self.params;
         params.refine_survivors = true;
-        // Weighted rules default to the weighted ordering, mirroring the
-        // sequential searcher's weighted entry points.
-        if self.rule.weights().is_some()
-            && !matches!(params.ordering, DimensionOrdering::Explicit(_))
-        {
-            params.ordering = DimensionOrdering::WeightedQueryDescending;
-        }
-        let segments = self.table.partition_segments(self.partitions);
-        let row_sums = self.rule.needs_total_mass().then(|| self.table.row_sums());
-        let engine = Engine {
-            table: self.table,
-            segments,
-            threads: self.threads,
-            params,
-            rule: self.rule,
-            share_kappa: self.share_kappa,
-            planner: self.planner,
-            row_sums,
-            stats: OnceLock::new(),
-            envelopes: OnceLock::new(),
-        };
-        if engine.planner == PlannerKind::Adaptive {
-            // Computed once here; every query of every batch reuses them.
-            engine.segment_envelopes();
-        }
-        engine
+        let specs = self.table.partition_specs(self.partitions);
+        let stats: Vec<SegmentStats> =
+            specs.iter().map(|s| s.view(&self.table).expect("spec in range").stats()).collect();
+        let envelopes: Vec<Option<Envelope>> = stats.iter().map(SegmentStats::envelope).collect();
+        Ok(Engine {
+            inner: Arc::new(EngineInner {
+                table: self.table,
+                specs,
+                stats,
+                envelopes,
+                threads: self.threads,
+                params,
+                rule: self.rule,
+                share_kappa: self.share_kappa,
+                planner: self.planner,
+                row_sums: OnceLock::new(),
+            }),
+        })
     }
 }
 
-/// A query-execution engine bound to one decomposed table.
-///
-/// Construction partitions the table and pre-materialises shared state;
-/// [`Engine::execute`] then serves whole batches and
-/// [`Engine::search`] single queries.
+/// The engine's shared state: everything a worker thread needs, owned.
 #[derive(Debug)]
-pub struct Engine<'a> {
-    table: &'a DecomposedTable,
-    segments: Vec<Segment<'a>>,
+struct EngineInner {
+    table: Arc<DecomposedTable>,
+    /// Partition boundaries, stored lifetime-free; [`Segment`] views are
+    /// materialised from these per call.
+    specs: Vec<SegmentSpec>,
+    /// Per-segment statistics, computed once at build; the input of the
+    /// adaptive planner and the zone-map skip checks.
+    stats: Vec<SegmentStats>,
+    /// Per-segment zone maps derived from `stats`, cached so batches do not
+    /// re-derive them on every [`Engine::execute`] call.
+    envelopes: Vec<Option<Envelope>>,
     threads: usize,
     params: BondParams,
     rule: RuleKind,
     share_kappa: bool,
     planner: PlannerKind,
-    /// Full-table `T(x)`, materialised once when the rule needs it; workers
-    /// slice it per segment.
-    row_sums: Option<Vec<f64>>,
-    /// Per-segment statistics, computed once (eagerly for the adaptive
-    /// planner, lazily on first [`Engine::segment_stats`] call otherwise).
-    stats: OnceLock<Vec<SegmentStats>>,
-    /// Per-segment zone maps derived from `stats`, cached so batches do not
-    /// re-allocate them on every [`Engine::execute`] call.
-    envelopes: OnceLock<Vec<Option<Envelope>>>,
+    /// Full-table `T(x)`, materialised lazily the first time any request's
+    /// rule needs it; workers slice it per segment.
+    row_sums: OnceLock<Vec<f64>>,
 }
 
-impl<'a> Engine<'a> {
+/// A query-execution engine bound to one decomposed table, which it owns.
+///
+/// Construction partitions the table and pre-materialises shared state;
+/// [`Engine::execute`] then serves whole (possibly heterogeneous) batches,
+/// [`Engine::search`] single queries. The engine is `Send + Sync +
+/// 'static` and [`Engine::clone`] is one `Arc` bump — store it in a
+/// server, share it across threads, move it into workers.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+/// Everything `execute` resolves once per query before scheduling: the
+/// effective rule/planner, the metric instance, the uniform plan (when the
+/// query plans uniformly) and the shared κ cell.
+struct ResolvedQuery<'b> {
+    spec: &'b QuerySpec,
+    rule: &'b RuleKind,
+    planner: PlannerKind,
+    metric: Box<dyn DecomposableMetric>,
+    objective: Objective,
+    uniform_plan: Option<SegmentPlan>,
+    /// `T(q)` for the total-mass skip bound (adaptive planning only).
+    query_sum: f64,
+    kappa: Option<SharedKappa>,
+}
+
+impl Engine {
     /// Starts building an engine over `table` with default settings.
-    pub fn builder(table: &'a DecomposedTable) -> EngineBuilder<'a> {
+    ///
+    /// Accepts the table by value or already wrapped in an [`Arc`]; either
+    /// way the engine takes (shared) ownership — no lifetime ties the
+    /// engine to a stack frame.
+    pub fn builder(table: impl Into<Arc<DecomposedTable>>) -> EngineBuilder {
         let parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
         EngineBuilder {
-            table,
+            table: table.into(),
             partitions: parallelism,
             threads: parallelism,
             params: BondParams::default(),
@@ -188,127 +258,175 @@ impl<'a> Engine<'a> {
     }
 
     /// The table this engine serves.
-    pub fn table(&self) -> &'a DecomposedTable {
-        self.table
+    pub fn table(&self) -> &DecomposedTable {
+        &self.inner.table
     }
 
-    /// The engine's segments, in row order.
-    pub fn segments(&self) -> &[Segment<'a>] {
-        &self.segments
+    /// The engine's partition boundaries, in row order.
+    pub fn segment_specs(&self) -> &[SegmentSpec] {
+        &self.inner.specs
     }
 
     /// Number of partitions actually in use (may be lower than requested
     /// for tiny tables).
     pub fn partitions(&self) -> usize {
-        self.segments.len()
+        self.inner.specs.len()
     }
 
     /// The worker-thread count.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.inner.threads
     }
 
-    /// The metric + rule the engine serves.
+    /// The default metric + rule the engine serves when a [`QuerySpec`]
+    /// does not override it.
     pub fn rule(&self) -> &RuleKind {
-        &self.rule
+        &self.inner.rule
     }
 
-    /// The planning policy in effect.
+    /// The default planning policy.
     pub fn planner(&self) -> PlannerKind {
-        self.planner
+        self.inner.planner
     }
 
     /// The effective search parameters.
     pub fn params(&self) -> &BondParams {
-        &self.params
+        &self.inner.params
     }
 
     /// Per-dimension statistics of every segment — the per-partition view
     /// of the collection's distribution and the input of the adaptive
-    /// planner. Computed once per engine (at build time for adaptive
-    /// engines) and cached; repeated calls are free.
+    /// planner. Computed once at build time and cached; calls are free.
     pub fn segment_stats(&self) -> &[SegmentStats] {
-        self.stats.get_or_init(|| self.segments.iter().map(Segment::stats).collect())
+        &self.inner.stats
     }
 
-    /// The per-segment zone maps (value envelopes), derived from the cached
-    /// statistics once and reused by every batch's skip checks.
-    fn segment_envelopes(&self) -> &[Option<Envelope>] {
-        self.envelopes
-            .get_or_init(|| self.segment_stats().iter().map(SegmentStats::envelope).collect())
-    }
-
-    /// Runs one k-NN query; equivalent to a single-query [`Engine::execute`].
-    pub fn search(&self, query: &[f64], k: usize) -> Result<QueryOutcome> {
-        let batch = QueryBatch::from_queries(vec![query.to_vec()], k);
-        let mut outcome = self.execute(&batch)?;
-        Ok(outcome.queries.pop().expect("one outcome per query"))
-    }
-
-    /// Executes a whole batch: all `queries × segments` searches are
-    /// scheduled on one worker pool, per-query setup (segment plans, κ
-    /// cells) is done once, and each query's per-segment answers are merged
-    /// into its global top-k. Under the adaptive planner, segments whose
-    /// zone-map bound cannot reach the query's current κ are skipped
-    /// entirely (their [`SegmentRun::trace`] reports `segment_skipped`).
-    pub fn execute(&self, batch: &QueryBatch) -> Result<BatchOutcome> {
-        let k = batch.k();
-        let dims = self.table.dims();
-        let live = self.table.live_rows();
-        if k == 0 || k > live {
-            return Err(BondError::InvalidK { k, rows: live });
+    /// The `BondParams` a query executing under `rule` effectively uses:
+    /// the engine's params, with non-explicit orderings switched to the
+    /// weighted default ordering for weighted rules — the same rewrite the
+    /// sequential weighted entry points apply.
+    fn params_for(&self, rule: &RuleKind) -> BondParams {
+        let mut params = self.inner.params.clone();
+        if rule.weights().is_some() && !matches!(params.ordering, DimensionOrdering::Explicit(_)) {
+            params.ordering = DimensionOrdering::WeightedQueryDescending;
         }
-        for query in batch.queries() {
-            if query.len() != dims {
-                return Err(BondError::QueryDimensionMismatch {
-                    expected: dims,
-                    actual: query.len(),
-                });
-            }
+        params
+    }
+
+    /// Checks one request against this engine's table and the spec's
+    /// effective rule, without executing anything: the up-front validation
+    /// [`Engine::execute`] applies to every spec, exposed so admission
+    /// control (e.g. [`crate::service::Server::submit`]) can reject a bad
+    /// request immediately instead of poisoning a coalesced batch.
+    pub fn validate(&self, spec: &QuerySpec) -> Result<()> {
+        let dims = self.inner.table.dims();
+        let live = self.inner.table.live_rows();
+        if spec.vector().len() != dims {
+            return Err(BondError::QueryDimensionMismatch {
+                expected: dims,
+                actual: spec.vector().len(),
+            });
         }
-        let weights = self.rule.weights();
-        if let Some(w) = weights {
+        if spec.k() == 0 || spec.k() > live {
+            return Err(BondError::InvalidK { k: spec.k(), rows: live });
+        }
+        let rule = spec.rule_override().unwrap_or(&self.inner.rule);
+        if let Some(w) = rule.weights() {
             if w.len() != dims {
                 return Err(BondError::WeightDimensionMismatch { expected: dims, actual: w.len() });
             }
         }
         // Invalid weight *values* (directly constructed variants bypassing
         // the validating constructors) error here instead of panicking in
-        // `make_metric` below.
-        self.rule.validate(dims).map_err(BondError::InvalidParams)?;
+        // `make_metric` during execution.
+        rule.validate(dims).map_err(BondError::InvalidParams)?;
+        Ok(())
+    }
+
+    /// Runs one k-NN query under the engine defaults; equivalent to a
+    /// single-spec [`Engine::execute`].
+    pub fn search(&self, query: &[f64], k: usize) -> Result<QueryOutcome> {
+        self.search_spec(&QuerySpec::new(query.to_vec(), k))
+    }
+
+    /// Runs one request, honouring its per-query overrides; equivalent to a
+    /// single-spec [`Engine::execute`].
+    pub fn search_spec(&self, spec: &QuerySpec) -> Result<QueryOutcome> {
+        let batch = RequestBatch::single(spec.clone());
+        let mut outcome = self.execute(&batch)?;
+        Ok(outcome.queries.pop().expect("one outcome per query"))
+    }
+
+    /// Executes a whole batch: all `queries × segments` searches are
+    /// scheduled on one worker pool, per-query setup (effective rule and
+    /// planner, segment plans, κ cells) is done once, and each query's
+    /// per-segment answers are merged into its own top-`k`. Specs may mix
+    /// `k`s, rules and planners freely — heterogeneity costs nothing
+    /// beyond the per-query setup it always required. Under adaptive
+    /// planning, segments whose zone-map bound cannot reach the query's
+    /// current κ are skipped entirely (their [`SegmentRun::trace`] reports
+    /// `segment_skipped`).
+    ///
+    /// Every spec is validated before any work starts; the first invalid
+    /// spec fails the whole call.
+    pub fn execute(&self, batch: &RequestBatch) -> Result<BatchOutcome> {
+        let inner = &*self.inner;
+        for spec in batch.specs() {
+            self.validate(spec)?;
+        }
         if batch.is_empty() {
             return Ok(BatchOutcome { queries: Vec::new() });
         }
 
-        // Per-query setup, done once and shared by every segment worker:
-        // the metric, the uniform plans and (optionally) the κ cell.
-        // (Adaptive plans are per-(query, segment) values derived inside the
-        // task itself — on the worker pool, and only for segments the
-        // zone-map check does not skip.)
-        let metric = self.rule.make_metric();
-        let objective = self.rule.objective();
-        let n_segments = self.segments.len();
-        let uniform_plans: Vec<SegmentPlan> = match self.planner {
-            PlannerKind::Uniform => batch
-                .queries()
-                .iter()
-                .map(|q| SegmentPlan::uniform(&self.params, q, weights, dims))
-                .collect(),
-            PlannerKind::Adaptive => Vec::new(),
-        };
-        // Zone maps for whole-segment skipping (adaptive only).
-        let envelopes: &[Option<Envelope>] = match self.planner {
-            PlannerKind::Adaptive => self.segment_envelopes(),
-            PlannerKind::Uniform => &[],
-        };
-        // Query coordinate sums T(q) for the total-mass skip bound.
-        let query_sums: Vec<f64> = match self.planner {
-            PlannerKind::Adaptive => batch.queries().iter().map(|q| q.iter().sum()).collect(),
-            PlannerKind::Uniform => Vec::new(),
-        };
-        let kappas: Vec<Option<SharedKappa>> = (0..batch.len())
-            .map(|_| self.share_kappa.then(|| SharedKappa::new(objective)))
+        // Materialise the zero-copy segment views for this call.
+        let segments: Vec<Segment<'_>> = inner
+            .specs
+            .iter()
+            .map(|s| s.view(&inner.table).expect("specs partition this table"))
             .collect();
+        let n_segments = segments.len();
+
+        // Per-query setup, done once and shared by every segment worker:
+        // the effective rule/planner, the metric, the uniform plan and
+        // (optionally) the κ cell. (Adaptive plans are per-(query, segment)
+        // values derived inside the task itself — on the worker pool, and
+        // only for segments the zone-map check does not skip.)
+        let resolved: Vec<ResolvedQuery<'_>> = batch
+            .specs()
+            .iter()
+            .map(|spec| {
+                let rule = spec.rule_override().unwrap_or(&inner.rule);
+                let planner = spec.planner_override().unwrap_or(inner.planner);
+                let metric = rule.make_metric();
+                let objective = rule.objective();
+                let uniform_plan = (planner == PlannerKind::Uniform).then(|| {
+                    let params = self.params_for(rule);
+                    SegmentPlan::uniform(&params, spec.vector(), rule.weights(), inner.table.dims())
+                });
+                let query_sum = match planner {
+                    PlannerKind::Adaptive => spec.vector().iter().sum(),
+                    PlannerKind::Uniform => 0.0,
+                };
+                let kappa = inner.share_kappa.then(|| SharedKappa::new(objective));
+                ResolvedQuery {
+                    spec,
+                    rule,
+                    planner,
+                    metric,
+                    objective,
+                    uniform_plan,
+                    query_sum,
+                    kappa,
+                }
+            })
+            .collect();
+
+        // The `T(x)` table, materialised once per engine the first time any
+        // request's rule needs it.
+        let row_sums: Option<&[f64]> = resolved
+            .iter()
+            .any(|rq| rq.rule.needs_total_mass())
+            .then(|| inner.row_sums.get_or_init(|| inner.table.row_sums()).as_slice());
 
         let n_tasks = batch.len() * n_segments;
         let slots: Vec<OnceLock<Result<SearchOutcome>>> =
@@ -317,50 +435,51 @@ impl<'a> Engine<'a> {
         let run_task = |task: usize| {
             let qi = task / n_segments;
             let si = task % n_segments;
-            let segment = &self.segments[si];
-            let query = &batch.queries()[qi];
-            let cell = kappas[qi].as_ref();
+            let segment = &segments[si];
+            let rq = &resolved[qi];
+            let query = rq.spec.vector();
+            let k = rq.spec.k();
+            let cell = rq.kappa.as_ref();
 
-            if self.planner == PlannerKind::Adaptive {
-                if let Some(outcome) = self.try_skip_segment(
-                    si,
-                    query,
-                    query_sums[qi],
-                    metric.as_ref(),
-                    cell,
-                    envelopes,
-                ) {
+            if rq.planner == PlannerKind::Adaptive {
+                if let Some(outcome) = self.try_skip_segment(si, rq) {
                     slots[task].set(Ok(outcome)).expect("each task is claimed exactly once");
                     return;
                 }
             }
 
-            let mut rule = self.rule.make_rule();
+            let mut rule = rq.rule.make_rule();
             let adaptive_plan;
-            let plan = match self.planner {
-                PlannerKind::Uniform => &uniform_plans[qi],
+            let plan = match rq.planner {
+                PlannerKind::Uniform => {
+                    rq.uniform_plan.as_ref().expect("uniform queries carry a plan")
+                }
                 PlannerKind::Adaptive => {
-                    adaptive_plan =
-                        AdaptivePlanner.plan(&self.segment_stats()[si], query, weights, objective);
+                    adaptive_plan = AdaptivePlanner.plan(
+                        &inner.stats[si],
+                        query,
+                        rq.rule.weights(),
+                        rq.objective,
+                    );
                     &adaptive_plan
                 }
             };
             let ctx = SegmentContext {
                 kappa: cell.map(|cell| cell as &dyn KappaCell),
-                row_sums: self.row_sums.as_deref().map(|sums| &sums[segment.range()]),
+                row_sums: row_sums.map(|sums| &sums[segment.range()]),
                 plan: Some(plan),
             };
             let outcome = search_segment(
                 segment,
                 query,
-                metric.as_ref(),
+                rq.metric.as_ref(),
                 rule.as_mut(),
                 k,
-                weights,
-                &self.params,
+                rq.rule.weights(),
+                &inner.params,
                 &ctx,
             );
-            if self.planner == PlannerKind::Adaptive {
+            if rq.planner == PlannerKind::Adaptive {
                 // The segment's k-th best *exact* score is a valid κ (k
                 // witnesses reach it); publishing it arms the zone-map skip
                 // for segments that have not started yet.
@@ -373,7 +492,7 @@ impl<'a> Engine<'a> {
             slots[task].set(outcome).expect("each task is claimed exactly once");
         };
 
-        let workers = self.threads.min(n_tasks);
+        let workers = inner.threads.min(n_tasks);
         if workers <= 1 {
             for task in 0..n_tasks {
                 run_task(task);
@@ -397,10 +516,10 @@ impl<'a> Engine<'a> {
             slots.into_iter().map(|slot| slot.into_inner().expect("all tasks completed"));
 
         let mut queries = Vec::with_capacity(batch.len());
-        for query in batch.queries() {
+        for rq in &resolved {
             let segment_outcomes =
                 per_task.by_ref().take(n_segments).collect::<Result<Vec<SearchOutcome>>>()?;
-            queries.push(self.merge_query(query, metric.as_ref(), segment_outcomes, k, objective));
+            queries.push(self.merge_query(rq, &segments, segment_outcomes));
         }
         Ok(BatchOutcome { queries })
     }
@@ -412,29 +531,25 @@ impl<'a> Engine<'a> {
     /// wins): the per-dimension value envelope and the row-sum (total-mass)
     /// envelope. The same ε-slack as candidate pruning keeps boundary ties
     /// safe.
-    fn try_skip_segment(
-        &self,
-        si: usize,
-        query: &[f64],
-        query_sum: f64,
-        metric: &dyn DecomposableMetric,
-        cell: Option<&SharedKappa>,
-        envelopes: &[Option<Envelope>],
-    ) -> Option<SearchOutcome> {
-        let kappa = cell?.get()?;
-        let (mins, maxs) = envelopes[si].as_ref()?;
-        let mut optimistic = metric.envelope_best_score(query, mins, maxs);
-        let stats = &self.segment_stats()[si];
-        if let Some(mass_bound) =
-            metric.mass_best_score(query_sum, stats.row_sum_min, stats.row_sum_max, query.len())
-        {
-            optimistic = match metric.objective() {
+    fn try_skip_segment(&self, si: usize, rq: &ResolvedQuery<'_>) -> Option<SearchOutcome> {
+        let kappa = rq.kappa.as_ref()?.get()?;
+        let (mins, maxs) = self.inner.envelopes[si].as_ref()?;
+        let query = rq.spec.vector();
+        let mut optimistic = rq.metric.envelope_best_score(query, mins, maxs);
+        let stats = &self.inner.stats[si];
+        if let Some(mass_bound) = rq.metric.mass_best_score(
+            rq.query_sum,
+            stats.row_sum_min,
+            stats.row_sum_max,
+            query.len(),
+        ) {
+            optimistic = match rq.objective {
                 Objective::Maximize => optimistic.min(mass_bound),
                 Objective::Minimize => optimistic.max(mass_bound),
             };
         }
         let slack = prune_slack(kappa);
-        let skip = match metric.objective() {
+        let skip = match rq.objective {
             Objective::Maximize => optimistic < kappa - slack,
             Objective::Minimize => optimistic > kappa + slack,
         };
@@ -447,12 +562,12 @@ impl<'a> Engine<'a> {
     /// Merges per-segment outcomes (global row ids) into the query's global
     /// top-k.
     ///
-    /// Under the uniform planner every segment refined in the same
-    /// dimension order, so scores are directly comparable and the k best
-    /// under the total `(score, row)` order match the sequential searcher
-    /// bit for bit. Under the adaptive planner the refinement orders differ
-    /// per segment, so every candidate hit's exact score is re-verified in
-    /// one fixed (natural) summation order before ranking — that, plus the
+    /// Under uniform planning every segment refined in the same dimension
+    /// order, so scores are directly comparable and the k best under the
+    /// total `(score, row)` order match the sequential searcher bit for
+    /// bit. Under adaptive planning the refinement orders differ per
+    /// segment, so every candidate hit's exact score is re-verified in one
+    /// fixed (natural) summation order before ranking — that, plus the
     /// deterministic `RowId` tie-break, makes the merge rank-correct
     /// irrespective of each segment's plan, up to floating-point
     /// indistinguishability: two *distinct* rows whose exact scores differ
@@ -461,29 +576,30 @@ impl<'a> Engine<'a> {
     /// order by row id, in both engines and the sequential reference.
     fn merge_query(
         &self,
-        query: &[f64],
-        metric: &dyn DecomposableMetric,
+        rq: &ResolvedQuery<'_>,
+        segments: &[Segment<'_>],
         segment_outcomes: Vec<SearchOutcome>,
-        k: usize,
-        objective: Objective,
     ) -> QueryOutcome {
-        let reverify = self.planner == PlannerKind::Adaptive;
-        let mut segments = Vec::with_capacity(segment_outcomes.len());
+        let reverify = rq.planner == PlannerKind::Adaptive;
+        let query = rq.spec.vector();
+        let k = rq.spec.k();
+        let mut runs = Vec::with_capacity(segment_outcomes.len());
         let offer = |heap_push: &mut dyn FnMut(Scored)| {
-            for (segment, outcome) in self.segments.iter().zip(segment_outcomes) {
+            for (segment, outcome) in segments.iter().zip(segment_outcomes) {
                 for hit in &outcome.hits {
                     let score = if reverify {
-                        let row = self.table.row(hit.row).expect("hit rows are live table rows");
-                        metric.score(&row, query)
+                        let row =
+                            self.inner.table.row(hit.row).expect("hit rows are live table rows");
+                        rq.metric.score(&row, query)
                     } else {
                         hit.score
                     };
                     heap_push(Scored { row: hit.row, score });
                 }
-                segments.push(SegmentRun { rows: segment.range(), trace: outcome.trace });
+                runs.push(SegmentRun { rows: segment.range(), trace: outcome.trace });
             }
         };
-        let hits = match objective {
+        let hits = match rq.objective {
             Objective::Maximize => {
                 let mut heap = TopKLargest::new(k);
                 offer(&mut |s| heap.push(s.row, s.score));
@@ -495,24 +611,34 @@ impl<'a> Engine<'a> {
                 heap.into_sorted_vec()
             }
         };
-        QueryOutcome { hits, segments }
+        QueryOutcome { hits, segments: runs }
     }
 
-    /// Convenience: the sequential reference answer for the same rule and
-    /// parameters, computed by the classic single-threaded [`BondSearcher`]
-    /// (used by tests, benches and doc examples to demonstrate equivalence
-    /// and rank-correctness).
+    /// Convenience: the sequential reference answer for the engine's
+    /// default rule and parameters, computed by the classic single-threaded
+    /// [`BondSearcher`] (used by tests, benches and doc examples to
+    /// demonstrate equivalence and rank-correctness).
     pub fn sequential_reference(&self, query: &[f64], k: usize) -> Result<Vec<Scored>> {
-        let searcher = BondSearcher::new(self.table);
-        let metric = self.rule.make_metric();
-        let mut rule = self.rule.make_rule();
+        self.sequential_reference_spec(&QuerySpec::new(query.to_vec(), k))
+    }
+
+    /// The sequential reference answer for one request, honouring its
+    /// per-query rule override (the planner override is irrelevant — the
+    /// reference is always the classic full-table scan).
+    pub fn sequential_reference_spec(&self, spec: &QuerySpec) -> Result<Vec<Scored>> {
+        self.validate(spec)?;
+        let rule = spec.rule_override().unwrap_or(&self.inner.rule);
+        let params = self.params_for(rule);
+        let searcher = BondSearcher::new(&self.inner.table);
+        let metric = rule.make_metric();
+        let mut rule_instance = rule.make_rule();
         let outcome = searcher.search_with_rule(
-            query,
+            spec.vector(),
             metric.as_ref(),
-            rule.as_mut(),
-            k,
-            self.rule.weights(),
-            &self.params,
+            rule_instance.as_mut(),
+            spec.k(),
+            rule.weights(),
+            &params,
         )?;
         Ok(outcome.hits)
     }

@@ -4,45 +4,59 @@
 //! one pass over the fragments. This crate turns it into a *serving
 //! engine*:
 //!
+//! * **An owned, shareable engine** — [`Engine`] owns its table behind an
+//!   `Arc`, stores partition boundaries as lifetime-free
+//!   [`vdstore::SegmentSpec`]s with cached [`vdstore::SegmentStats`], and
+//!   materialises the zero-copy [`vdstore::Segment`] views per call. It is
+//!   `Send + Sync + 'static` and clones in O(1), so it can live in a
+//!   server struct and serve concurrent request threads for the life of
+//!   the process.
 //! * **Horizontal partitioning** — the table is split into contiguous
-//!   row-range [`vdstore::Segment`]s (zero-copy column-slice views); BOND's
-//!   per-fragment partial scores depend only on a candidate's own
-//!   coefficients, so segments are independently scannable units, exactly
-//!   like the independent searchers of parallel-ensemble k-NN designs.
+//!   row-range segments; BOND's per-fragment partial scores depend only on
+//!   a candidate's own coefficients, so segments are independently
+//!   scannable units, exactly like the independent searchers of
+//!   parallel-ensemble k-NN designs.
 //! * **Parallel BOND with κ sharing** — every segment runs the unmodified
 //!   pruning rules, but publishes its κ (the k-th best safe bound) into one
 //!   atomic [`SharedKappa`] cell per query. A tight bound found in one
 //!   segment immediately prunes candidates in all others, recovering most
 //!   of the pruning power a single full-table search has — the split is
 //!   *not* embarrassingly parallel, it is cooperative branch-and-bound.
-//! * **Batched execution** — a [`QueryBatch`] schedules all
-//!   `queries × segments` work items on one worker pool and amortizes
+//! * **Heterogeneous batched execution** — a [`RequestBatch`] of
+//!   [`QuerySpec`]s schedules all `queries × segments` work items on one
+//!   worker pool. Every spec carries its own `k` and may override the
+//!   engine's pruning rule and planner, so mixed workloads (navigation
+//!   steps next to weighted re-ranking jobs) execute in a single pass;
 //!   per-query setup (dimension ordering, the Ev rule's `T(x)` table,
-//!   thread spawn) across the batch. Every query still reports per-segment
-//!   [`bond::PruneTrace`]s, so the paper's instrumentation survives.
+//!   thread spawn) is amortized across the batch, and every query still
+//!   reports per-segment [`bond::PruneTrace`]s.
 //! * **Exactness** — each segment refines its survivors to exact scores in
 //!   the *same* dimension order the sequential searcher uses; since the k
 //!   best rows under the total `(score, row id)` order are unique, the
 //!   merged answer is bit-identical to [`bond::BondSearcher`]'s.
-//! * **Per-segment adaptive plans** — with
-//!   [`EngineBuilder::planner`]`(`[`PlannerKind::Adaptive`]`)` every
-//!   segment gets its own [`bond::SegmentPlan`] (dimension order + block
-//!   schedule) derived from its cached [`vdstore::SegmentStats`], and
-//!   segments whose zone-map envelope bound provably cannot reach the
-//!   query's current κ are skipped without touching their columns. The
-//!   merge then re-verifies exact scores and tie-breaks on row ids:
-//!   rank-correct answers — the sequential reference's k-NN set and ranks,
-//!   up to ties between distinct rows whose exact scores differ by less
-//!   than floating-point summation drift.
+//! * **Per-segment adaptive plans** — under [`PlannerKind::Adaptive`]
+//!   (engine-wide or per query) every segment gets its own
+//!   [`bond::SegmentPlan`] (dimension order + block schedule) derived from
+//!   its cached statistics, and segments whose zone-map envelope bound
+//!   provably cannot reach the query's current κ are skipped without
+//!   touching their columns. The merge then re-verifies exact scores and
+//!   tie-breaks on row ids: rank-correct answers — the sequential
+//!   reference's k-NN set and ranks, up to ties between distinct rows
+//!   whose exact scores differ by less than floating-point summation
+//!   drift.
 //! * **Weighted rules** — [`RuleKind::WeightedHistogram`] /
 //!   [`RuleKind::WeightedEuclidean`] carry per-dimension weights through
 //!   the same engine: weighted orderings, the safe weighted bounds, and
 //!   subspace queries (0/1 weights) all execute partitioned and batched.
+//! * **A serving front-end** — [`service::Server`] wraps a cloned engine
+//!   in a submission queue: concurrent threads submit individual
+//!   [`QuerySpec`]s, a worker coalesces them into engine batches, and
+//!   answers route back through per-request tickets.
 //!
 //! ## Quick start
 //!
 //! ```
-//! use bond_exec::{Engine, QueryBatch, RuleKind};
+//! use bond_exec::{Engine, PlannerKind, QuerySpec, RequestBatch, RuleKind};
 //! use vdstore::DecomposedTable;
 //!
 //! let vectors: Vec<Vec<f64>> = (0..100)
@@ -50,24 +64,28 @@
 //!     .collect();
 //! let table = DecomposedTable::from_vectors("demo", &vectors).unwrap();
 //!
-//! let engine = Engine::builder(&table)
+//! // the engine takes ownership of the table (Arc'd internally) …
+//! let engine = Engine::builder(table)
 //!     .partitions(4)
 //!     .threads(2)
 //!     .rule(RuleKind::EuclideanEq)
-//!     .build();
+//!     .build()
+//!     .unwrap();
 //!
-//! // one query …
+//! // … one query under the engine defaults …
 //! let outcome = engine.search(&[0.25, 0.75], 3).unwrap();
 //! assert_eq!(outcome.hits.len(), 3);
 //! assert_eq!(outcome.hits[0].row, 25);
 //!
-//! // … or a whole batch, answered together
-//! let batch = QueryBatch::from_queries(
-//!     vec![vec![0.1, 0.9], vec![0.9, 0.1]],
-//!     5,
-//! );
+//! // … or a heterogeneous batch: per-query k, rule and planner.
+//! let batch = RequestBatch::from_specs(vec![
+//!     QuerySpec::new(vec![0.1, 0.9], 5),
+//!     QuerySpec::new(vec![0.9, 0.1], 1).rule(RuleKind::HistogramHq),
+//!     QuerySpec::new(vec![0.5, 0.5], 2).planner(PlannerKind::Adaptive),
+//! ]);
 //! let answers = engine.execute(&batch).unwrap();
-//! assert_eq!(answers.queries.len(), 2);
+//! assert_eq!(answers.queries.len(), 3);
+//! assert_eq!(answers.queries[1].hits.len(), 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -78,12 +96,14 @@ pub mod engine;
 pub mod kappa;
 pub mod planner;
 pub mod rules;
+pub mod service;
 
-pub use batch::{BatchOutcome, QueryBatch, QueryOutcome, SegmentRun};
+pub use batch::{BatchOutcome, QueryOutcome, QuerySpec, RequestBatch, SegmentRun};
 pub use engine::{Engine, EngineBuilder};
 pub use kappa::SharedKappa;
 pub use planner::{AdaptivePlanner, PlannerKind};
 pub use rules::RuleKind;
+pub use service::{Server, ServerBuilder, Ticket};
 
 #[cfg(test)]
 mod tests {
@@ -106,12 +126,37 @@ mod tests {
     }
 
     #[test]
+    fn engine_is_send_sync_static_and_cheaply_clonable() {
+        fn assert_send_sync_static<T: Send + Sync + 'static>() {}
+        assert_send_sync_static::<Engine>();
+        assert_send_sync_static::<Server>();
+        assert_send_sync_static::<QuerySpec>();
+        assert_send_sync_static::<RequestBatch>();
+
+        // an engine outlives the stack frame its table was built in, and a
+        // clone can be moved into a spawned (non-scoped) thread
+        let engine = {
+            let t = table(100, 4);
+            Engine::builder(t).partitions(2).threads(1).build().unwrap()
+        };
+        let q = engine.table().row(10).unwrap();
+        let clone = engine.clone();
+        let hits = std::thread::spawn(move || clone.search(&q, 3).unwrap().hits).join().unwrap();
+        let q = engine.table().row(10).unwrap();
+        assert_eq!(hits, engine.search(&q, 3).unwrap().hits);
+    }
+
+    #[test]
     fn engine_matches_sequential_for_every_rule() {
         let table = table(500, 16);
         let query = table.row(123).unwrap();
         for rule in RuleKind::ALL {
-            let engine =
-                Engine::builder(&table).partitions(4).threads(3).rule(rule.clone()).build();
+            let engine = Engine::builder(table.clone())
+                .partitions(4)
+                .threads(3)
+                .rule(rule.clone())
+                .build()
+                .unwrap();
             let parallel = engine.search(&query, 10).unwrap();
             let sequential = engine.sequential_reference(&query, 10).unwrap();
             assert_eq!(parallel.hits, sequential, "rule {}", rule.name());
@@ -121,9 +166,9 @@ mod tests {
     #[test]
     fn batch_answers_match_single_queries() {
         let table = table(300, 8);
-        let engine = Engine::builder(&table).partitions(3).threads(2).build();
-        let queries: Vec<Vec<f64>> = (0..5).map(|i| table.row(i * 37).unwrap()).collect();
-        let batch = QueryBatch::from_queries(queries.clone(), 7);
+        let engine = Engine::builder(table).partitions(3).threads(2).build().unwrap();
+        let queries: Vec<Vec<f64>> = (0..5).map(|i| engine.table().row(i * 37).unwrap()).collect();
+        let batch = RequestBatch::from_queries(queries.clone(), 7);
         let outcome = engine.execute(&batch).unwrap();
         assert_eq!(outcome.queries.len(), 5);
         for (q, merged) in queries.iter().zip(&outcome.queries) {
@@ -134,11 +179,38 @@ mod tests {
     }
 
     #[test]
+    fn mixed_k_mixed_rule_batches_answer_each_spec_on_its_own_terms() {
+        let table = table(400, 8);
+        let engine = Engine::builder(table)
+            .partitions(3)
+            .threads(2)
+            .rule(RuleKind::HistogramHh)
+            .build()
+            .unwrap();
+        let specs = vec![
+            QuerySpec::new(engine.table().row(11).unwrap(), 1),
+            QuerySpec::new(engine.table().row(42).unwrap(), 9).rule(RuleKind::EuclideanEv),
+            QuerySpec::new(engine.table().row(99).unwrap(), 4)
+                .rule(RuleKind::EuclideanEq)
+                .planner(PlannerKind::Adaptive),
+            QuerySpec::new(engine.table().row(7).unwrap(), 17).rule(
+                RuleKind::weighted_euclidean(vec![1.0, 2.0, 0.0, 1.0, 4.0, 1.0, 1.0, 0.5]).unwrap(),
+            ),
+        ];
+        let outcome = engine.execute(&RequestBatch::from_specs(specs.clone())).unwrap();
+        assert_eq!(outcome.queries.len(), specs.len());
+        for (spec, merged) in specs.iter().zip(&outcome.queries) {
+            assert_eq!(merged.hits.len(), spec.k(), "each spec gets its own k");
+            assert_eq!(merged.hits, engine.search_spec(spec).unwrap().hits);
+        }
+    }
+
+    #[test]
     fn tombstoned_rows_never_surface() {
         let mut t = table(200, 8);
         let query = t.row(50).unwrap();
         t.delete(50).unwrap(); // the best possible match is deleted
-        let engine = Engine::builder(&t).partitions(4).threads(2).build();
+        let engine = Engine::builder(t).partitions(4).threads(2).build().unwrap();
         let outcome = engine.search(&query, 5).unwrap();
         assert_eq!(outcome.hits.len(), 5);
         assert!(outcome.hits.iter().all(|h| h.row != 50));
@@ -147,7 +219,7 @@ mod tests {
     #[test]
     fn validation_matches_the_sequential_searcher() {
         let t = table(50, 4);
-        let engine = Engine::builder(&t).partitions(2).build();
+        let engine = Engine::builder(t.clone()).partitions(2).threads(1).build().unwrap();
         assert!(matches!(
             engine.search(&[0.5; 3], 1),
             Err(BondError::QueryDimensionMismatch { .. })
@@ -156,21 +228,60 @@ mod tests {
         assert!(matches!(engine.search(&q, 0), Err(BondError::InvalidK { .. })));
         assert!(matches!(engine.search(&q, 51), Err(BondError::InvalidK { .. })));
         // empty batch is fine
-        let empty = engine.execute(&QueryBatch::new(3)).unwrap();
+        let empty = engine.execute(&RequestBatch::new()).unwrap();
         assert!(empty.queries.is_empty());
-        // directly constructed invalid weights error instead of panicking
-        let bad = Engine::builder(&t).rule(RuleKind::WeightedEuclidean(vec![-1.0; 4])).build();
-        assert!(matches!(bad.search(&q, 1), Err(BondError::InvalidParams(_))));
-        let short = Engine::builder(&t).rule(RuleKind::WeightedEuclidean(vec![1.0; 3])).build();
-        assert!(matches!(short.search(&q, 1), Err(BondError::WeightDimensionMismatch { .. })));
+        // per-spec rule overrides are validated before any work starts
+        let bad = QuerySpec::new(q.clone(), 1).rule(RuleKind::WeightedEuclidean(vec![-1.0; 4]));
+        assert!(matches!(engine.search_spec(&bad), Err(BondError::InvalidParams(_))));
+        let short = QuerySpec::new(q.clone(), 1).rule(RuleKind::WeightedEuclidean(vec![1.0; 3]));
+        assert!(matches!(
+            engine.search_spec(&short),
+            Err(BondError::WeightDimensionMismatch { .. })
+        ));
+        // one bad spec fails the whole batch up front
+        let batch = RequestBatch::from_specs(vec![QuerySpec::new(q, 1), short]);
+        assert!(engine.execute(&batch).is_err());
+    }
+
+    #[test]
+    fn build_rejects_zero_partitions_and_threads() {
+        let t = table(20, 4);
+        assert!(matches!(
+            Engine::builder(t.clone()).partitions(0).build(),
+            Err(BondError::InvalidParams(_))
+        ));
+        assert!(matches!(
+            Engine::builder(t.clone()).threads(0).build(),
+            Err(BondError::InvalidParams(_))
+        ));
+        // a descriptive message, not a silent clamp
+        let msg = match Engine::builder(t).partitions(0).build() {
+            Err(BondError::InvalidParams(msg)) => msg,
+            other => panic!("expected InvalidParams, got {other:?}"),
+        };
+        assert!(msg.contains("partitions"));
+    }
+
+    #[test]
+    fn build_rejects_invalid_default_rules() {
+        let t = table(50, 4);
+        // directly constructed invalid weights error at build, not mid-search
+        assert!(matches!(
+            Engine::builder(t.clone()).rule(RuleKind::WeightedEuclidean(vec![-1.0; 4])).build(),
+            Err(BondError::InvalidParams(_))
+        ));
+        assert!(matches!(
+            Engine::builder(t).rule(RuleKind::WeightedEuclidean(vec![1.0; 3])).build(),
+            Err(BondError::WeightDimensionMismatch { .. })
+        ));
     }
 
     #[test]
     fn more_partitions_than_rows_degrades_gracefully() {
         let t = table(5, 4);
-        let engine = Engine::builder(&t).partitions(64).threads(8).build();
+        let engine = Engine::builder(t).partitions(64).threads(8).build().unwrap();
         assert!(engine.partitions() <= 5);
-        let q = t.row(2).unwrap();
+        let q = engine.table().row(2).unwrap();
         let outcome = engine.search(&q, 5).unwrap();
         assert_eq!(outcome.hits.len(), 5);
         assert_eq!(outcome.hits[0].row, 2);
@@ -180,17 +291,19 @@ mod tests {
     fn kappa_sharing_reduces_work_without_changing_answers() {
         let table = table(2000, 24);
         let query = table.row(7).unwrap();
-        let shared = Engine::builder(&table)
+        let shared = Engine::builder(table.clone())
             .partitions(4)
             .threads(1) // deterministic interleaving for a fair work count
             .rule(RuleKind::HistogramHh)
-            .build();
-        let isolated = Engine::builder(&table)
+            .build()
+            .unwrap();
+        let isolated = Engine::builder(table)
             .partitions(4)
             .threads(1)
             .rule(RuleKind::HistogramHh)
             .share_kappa(false)
-            .build();
+            .build()
+            .unwrap();
         let with = shared.search(&query, 5).unwrap();
         let without = isolated.search(&query, 5).unwrap();
         assert_eq!(with.hits, without.hits);
@@ -205,12 +318,17 @@ mod tests {
     #[test]
     fn segment_stats_expose_per_partition_distributions() {
         let t = table(100, 6);
-        let engine = Engine::builder(&t).partitions(4).build();
+        let engine = Engine::builder(t).partitions(4).threads(1).build().unwrap();
         let stats = engine.segment_stats();
         assert_eq!(stats.len(), engine.partitions());
+        assert_eq!(stats.len(), engine.segment_specs().len());
         assert!(stats.iter().all(|s| s.per_dim.len() == 6));
         // segments tile the table
         assert_eq!(stats.first().unwrap().range.start, 0);
         assert_eq!(stats.last().unwrap().range.end, 100);
+        // specs and stats agree on the boundaries
+        for (spec, stat) in engine.segment_specs().iter().zip(stats) {
+            assert_eq!(spec.range(), stat.range);
+        }
     }
 }

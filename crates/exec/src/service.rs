@@ -1,0 +1,369 @@
+//! A thin, thread-safe serving front-end over an owned [`Engine`].
+//!
+//! The engine's `queries × segments` scheduler is batch-shaped: it
+//! amortizes per-query setup and keeps the worker pool saturated when
+//! handed many requests at once. A real service, however, receives
+//! requests one at a time from concurrent clients. [`Server`] is the seam
+//! between the two: callers [`Server::submit`] individual [`QuerySpec`]s
+//! from any thread, a background worker drains the submission queue and
+//! *coalesces* whatever has accumulated — up to
+//! [`ServerBuilder::max_batch`] requests — into one [`RequestBatch`] per
+//! engine pass, and each answer is routed back to the submitter through
+//! the [`Ticket`] it received at admission.
+//!
+//! Admission control happens at the door: [`Server::submit`] validates the
+//! spec against the engine ([`Engine::validate`]) and rejects invalid
+//! requests immediately, so one bad request can never poison a coalesced
+//! batch. This is deliberately a *synchronous* queue + condvar design —
+//! no async runtime exists in this dependency-free workspace — but the
+//! seam is the one the ROADMAP's async service layer calls for: requests
+//! form batches, batches form engine passes, and the queue is the place
+//! where admission policy (prioritising cheap, skippable work) can grow.
+//!
+//! ```
+//! use bond_exec::service::Server;
+//! use bond_exec::{Engine, QuerySpec, RuleKind};
+//! use vdstore::DecomposedTable;
+//!
+//! let vectors: Vec<Vec<f64>> = (0..100)
+//!     .map(|i| vec![i as f64 / 100.0, 1.0 - i as f64 / 100.0])
+//!     .collect();
+//! let table = DecomposedTable::from_vectors("demo", &vectors).unwrap();
+//! let engine = Engine::builder(table).partitions(4).threads(2).build().unwrap();
+//!
+//! let server = Server::new(engine);
+//! let ticket = server.submit(QuerySpec::new(vec![0.25, 0.75], 3)).unwrap();
+//! let answer = ticket.wait().unwrap();
+//! assert_eq!(answer.hits.len(), 3);
+//! ```
+
+use crate::batch::{QueryOutcome, QuerySpec, RequestBatch};
+use crate::engine::Engine;
+use bond::{BondError, Result};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One queued request: the spec plus the channel its answer travels back on.
+type Pending = (QuerySpec, mpsc::Sender<Result<QueryOutcome>>);
+
+/// The queue shared between submitters and the worker.
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<QueueState>,
+    wake: Condvar,
+    /// Engine passes executed so far (each serving one coalesced batch).
+    batches: AtomicUsize,
+    /// Requests answered so far (success or error).
+    served: AtomicUsize,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    pending: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+/// Builds a [`Server`] over an engine.
+#[derive(Debug)]
+pub struct ServerBuilder {
+    engine: Engine,
+    max_batch: usize,
+}
+
+impl ServerBuilder {
+    /// Upper bound on how many queued requests one engine pass coalesces
+    /// (default 64). Larger batches amortize setup further; smaller ones
+    /// bound per-request latency. `0` is rejected at
+    /// [`ServerBuilder::build`].
+    #[must_use]
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Finishes the build and starts the worker thread.
+    ///
+    /// # Errors
+    ///
+    /// [`BondError::InvalidParams`] when `max_batch` is zero.
+    pub fn build(self) -> Result<Server> {
+        if self.max_batch == 0 {
+            return Err(BondError::InvalidParams("max_batch must be non-zero".into()));
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState { pending: VecDeque::new(), shutdown: false }),
+            wake: Condvar::new(),
+            batches: AtomicUsize::new(0),
+            served: AtomicUsize::new(0),
+        });
+        let worker = {
+            let engine = self.engine.clone();
+            let shared = Arc::clone(&shared);
+            let max_batch = self.max_batch;
+            std::thread::spawn(move || worker_loop(&engine, &shared, max_batch))
+        };
+        Ok(Server { engine: self.engine, shared, worker: Some(worker) })
+    }
+}
+
+/// A long-lived, thread-safe k-NN server: an `Arc`'d [`Engine`] plus a
+/// submission queue whose worker coalesces concurrent requests into engine
+/// batches.
+///
+/// `Server` is `Send + Sync`; submit from as many threads as you like.
+/// Dropping the server shuts the worker down after it drains the queue
+/// (every accepted ticket is answered).
+#[derive(Debug)]
+pub struct Server {
+    engine: Engine,
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// A claim on one submitted request's answer.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<QueryOutcome>>,
+}
+
+impl Ticket {
+    /// Blocks until the answer arrives.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the engine reported for the coalesced batch, or
+    /// [`BondError::ServiceUnavailable`] when the server's worker died
+    /// before answering.
+    pub fn wait(self) -> Result<QueryOutcome> {
+        self.rx.recv().map_err(|_| BondError::ServiceUnavailable("server worker exited".into()))?
+    }
+}
+
+impl Server {
+    /// A server over `engine` with default settings.
+    pub fn new(engine: Engine) -> Server {
+        Server::builder(engine).build().expect("default server configuration is valid")
+    }
+
+    /// Starts building a server over `engine`.
+    pub fn builder(engine: Engine) -> ServerBuilder {
+        ServerBuilder { engine, max_batch: 64 }
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Submits one request and returns the [`Ticket`] its answer arrives
+    /// on. Validation happens here, at admission: an invalid spec is
+    /// rejected immediately (and never reaches a batch), so every accepted
+    /// ticket eventually resolves.
+    ///
+    /// # Errors
+    ///
+    /// [`Engine::validate`]'s errors for an invalid spec, or
+    /// [`BondError::ServiceUnavailable`] after [`Server::shutdown`].
+    pub fn submit(&self, spec: QuerySpec) -> Result<Ticket> {
+        self.engine.validate(&spec)?;
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut state = self.shared.state.lock().expect("queue mutex never poisoned");
+            if state.shutdown {
+                return Err(BondError::ServiceUnavailable("server is shut down".into()));
+            }
+            state.pending.push_back((spec, tx));
+        }
+        self.shared.wake.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Number of engine passes executed so far. Together with
+    /// [`Server::queries_served`] this exposes the coalescing ratio:
+    /// `queries_served / batches_executed` requests were answered per
+    /// engine pass on average.
+    pub fn batches_executed(&self) -> usize {
+        self.shared.batches.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests answered so far (successfully or with an error).
+    pub fn queries_served(&self) -> usize {
+        self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting new requests and wakes the worker so it drains what
+    /// is already queued and exits. Called automatically on drop; explicit
+    /// calls are idempotent.
+    pub fn shutdown(&self) {
+        let mut state = self.shared.state.lock().expect("queue mutex never poisoned");
+        state.shutdown = true;
+        drop(state);
+        self.shared.wake.notify_all();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The worker: wait for requests, drain up to `max_batch` of them, execute
+/// them as one engine batch, route each answer to its submitter.
+fn worker_loop(engine: &Engine, shared: &Shared, max_batch: usize) {
+    loop {
+        let drained: Vec<Pending> = {
+            let mut state = shared.state.lock().expect("queue mutex never poisoned");
+            while state.pending.is_empty() && !state.shutdown {
+                state = shared.wake.wait(state).expect("queue mutex never poisoned");
+            }
+            if state.pending.is_empty() {
+                // shutdown and fully drained
+                return;
+            }
+            let n = state.pending.len().min(max_batch);
+            state.pending.drain(..n).collect()
+        };
+
+        let (specs, txs): (Vec<QuerySpec>, Vec<_>) = drained.into_iter().unzip();
+        let batch = RequestBatch::from_specs(specs);
+        let result = engine.execute(&batch);
+        // Counters tick *before* each answer is routed, so a submitter that
+        // has received its answer always observes itself as served.
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        match result {
+            Ok(outcome) => {
+                for (tx, answer) in txs.into_iter().zip(outcome.queries) {
+                    shared.served.fetch_add(1, Ordering::Relaxed);
+                    // a submitter that dropped its ticket just misses out
+                    let _ = tx.send(Ok(answer));
+                }
+            }
+            Err(e) => {
+                // Specs were validated at admission, so this is an engine-
+                // level failure; report it to every requester in the batch.
+                for tx in txs {
+                    shared.served.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(Err(e.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::PlannerKind;
+    use crate::rules::RuleKind;
+    use vdstore::DecomposedTable;
+
+    fn engine() -> Engine {
+        let vectors: Vec<Vec<f64>> = (0..120)
+            .map(|r| {
+                let mut v: Vec<f64> =
+                    (0..6).map(|d| ((r * 31 + d * 17) % 97) as f64 + 1.0).collect();
+                let total: f64 = v.iter().sum();
+                v.iter_mut().for_each(|x| *x /= total);
+                v
+            })
+            .collect();
+        let table = DecomposedTable::from_vectors("svc", &vectors).unwrap();
+        Engine::builder(table).partitions(3).threads(2).build().unwrap()
+    }
+
+    #[test]
+    fn answers_match_direct_engine_searches() {
+        let engine = engine();
+        let server = Server::new(engine.clone());
+        let q = engine.table().row(17).unwrap();
+        let ticket = server.submit(QuerySpec::new(q.clone(), 4)).unwrap();
+        let answer = ticket.wait().unwrap();
+        assert_eq!(answer.hits, engine.search(&q, 4).unwrap().hits);
+        assert_eq!(server.queries_served(), 1);
+        assert!(server.batches_executed() >= 1);
+    }
+
+    #[test]
+    fn per_request_overrides_are_honoured() {
+        let engine = engine();
+        let server = Server::new(engine.clone());
+        let q = engine.table().row(3).unwrap();
+        let spec =
+            QuerySpec::new(q.clone(), 2).rule(RuleKind::EuclideanEv).planner(PlannerKind::Adaptive);
+        let answer = server.submit(spec.clone()).unwrap().wait().unwrap();
+        assert_eq!(answer.hits, engine.search_spec(&spec).unwrap().hits);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_at_admission() {
+        let server = Server::new(engine());
+        assert!(matches!(
+            server.submit(QuerySpec::new(vec![0.5; 4], 1)),
+            Err(BondError::QueryDimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            server.submit(QuerySpec::new(vec![0.5; 6], 0)),
+            Err(BondError::InvalidK { .. })
+        ));
+        assert_eq!(server.queries_served(), 0);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions_but_answers_queued_ones() {
+        let engine = engine();
+        let server = Server::new(engine.clone());
+        let q = engine.table().row(0).unwrap();
+        let ticket = server.submit(QuerySpec::new(q, 1)).unwrap();
+        server.shutdown();
+        let q2 = engine.table().row(1).unwrap();
+        assert!(matches!(
+            server.submit(QuerySpec::new(q2, 1)),
+            Err(BondError::ServiceUnavailable(_))
+        ));
+        // the pre-shutdown ticket still resolves
+        assert_eq!(ticket.wait().unwrap().hits.len(), 1);
+    }
+
+    #[test]
+    fn zero_max_batch_is_rejected() {
+        assert!(matches!(
+            Server::builder(engine()).max_batch(0).build(),
+            Err(BondError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn bursts_coalesce_into_fewer_engine_passes() {
+        let engine = engine();
+        // a paused server cannot exist (the worker starts immediately), so
+        // submit a burst from many threads and merely assert every answer
+        // routes to the right requester; coalescing shows up as
+        // batches_executed <= queries_served.
+        let server = Server::builder(engine.clone()).max_batch(8).build().unwrap();
+        let n = 24;
+        let expected: Vec<_> = (0..n)
+            .map(|i| {
+                let q = engine.table().row((i * 5) as u32).unwrap();
+                (q.clone(), engine.search(&q, 3).unwrap().hits)
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for (q, hits) in &expected {
+                let server = &server;
+                scope.spawn(move || {
+                    let answer =
+                        server.submit(QuerySpec::new(q.clone(), 3)).unwrap().wait().unwrap();
+                    assert_eq!(&answer.hits, hits, "answer routed to the wrong requester");
+                });
+            }
+        });
+        assert_eq!(server.queries_served(), n);
+        assert!(server.batches_executed() <= n);
+    }
+}

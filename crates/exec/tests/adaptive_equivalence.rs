@@ -12,8 +12,9 @@
 //! purpose — order identically by row id everywhere.)
 
 use bond::{BondParams, BondSearcher};
-use bond_exec::{Engine, PlannerKind, QueryBatch, RuleKind};
+use bond_exec::{Engine, PlannerKind, RequestBatch, RuleKind};
 use proptest::prelude::*;
+use std::sync::Arc;
 use vdstore::topk::Scored;
 use vdstore::DecomposedTable;
 
@@ -64,18 +65,19 @@ proptest! {
     fn adaptive_plans_are_rank_correct_for_every_rule(
         (vectors, qi) in duplicated_collection(),
     ) {
-        let table = DecomposedTable::from_vectors("adaptive", &vectors).unwrap();
+        let table = Arc::new(DecomposedTable::from_vectors("adaptive", &vectors).unwrap());
         let query = vectors[qi % vectors.len()].clone();
         let n = table.rows();
         for rule in RuleKind::ALL {
             for partitions in PARTITIONS {
                 for k in [1, 10.min(n), n] {
-                    let engine = Engine::builder(&table)
+                    let engine = Engine::builder(table.clone())
                         .partitions(partitions)
                         .threads(3)
                         .rule(rule.clone())
                         .planner(PlannerKind::Adaptive)
-                        .build();
+                        .build()
+                        .unwrap();
                     let outcome = engine.search(&query, k).unwrap();
                     let reference = engine.sequential_reference(&query, k).unwrap();
                     let context = format!(
@@ -93,7 +95,7 @@ proptest! {
         (vectors, qi) in duplicated_collection(),
         uniform_planner in proptest::bool::ANY,
     ) {
-        let table = DecomposedTable::from_vectors("weighted", &vectors).unwrap();
+        let table = Arc::new(DecomposedTable::from_vectors("weighted", &vectors).unwrap());
         let query = vectors[qi % vectors.len()].clone();
         let n = table.rows();
         let k = 5.min(n);
@@ -119,12 +121,13 @@ proptest! {
                     .hits,
             ),
         ] {
-            let engine = Engine::builder(&table)
+            let engine = Engine::builder(table.clone())
                 .partitions(3)
                 .threads(2)
                 .rule(kind.clone())
                 .planner(planner)
-                .build();
+                .build()
+                .unwrap();
             let outcome = engine.search(&query, k).unwrap();
             let context = format!("weighted rule {} planner {planner:?}", kind.name());
             assert_rank_correct(&outcome.hits, &sequential, &context);
@@ -139,13 +142,14 @@ proptest! {
         let table = DecomposedTable::from_vectors("batch", &vectors).unwrap();
         let queries: Vec<Vec<f64>> =
             vectors.iter().step_by(vectors.len().div_ceil(4).max(1)).cloned().collect();
-        let engine = Engine::builder(&table)
+        let engine = Engine::builder(table)
             .partitions(3)
             .threads(2)
             .planner(PlannerKind::Adaptive)
-            .build();
+            .build()
+            .unwrap();
         let outcome = engine
-            .execute(&QueryBatch::from_queries(queries.clone(), k))
+            .execute(&RequestBatch::from_queries(queries.clone(), k))
             .unwrap();
         for (q, merged) in queries.iter().zip(&outcome.queries) {
             let reference = engine.sequential_reference(q, k).unwrap();
@@ -173,12 +177,13 @@ fn far_segment_is_skipped_without_touching_columns() {
     let table = DecomposedTable::from_vectors("two_clusters", &vectors).unwrap();
     let query = vectors[0].clone();
 
-    let engine = Engine::builder(&table)
+    let engine = Engine::builder(table)
         .partitions(2)
         .threads(1) // deterministic task order: segment 0 runs first
         .rule(RuleKind::EuclideanEv)
         .planner(PlannerKind::Adaptive)
-        .build();
+        .build()
+        .unwrap();
     let outcome = engine.search(&query, 5).unwrap();
 
     // the answers all come from cluster A and match the reference
@@ -215,12 +220,13 @@ fn massless_segment_is_skipped_under_histogram_intersection() {
     let table = DecomposedTable::from_vectors("disjoint_support", &vectors).unwrap();
     let query = vec![0.8, 0.2, 0.0, 0.0];
 
-    let engine = Engine::builder(&table)
+    let engine = Engine::builder(table)
         .partitions(2)
         .threads(1)
         .rule(RuleKind::HistogramHq)
         .planner(PlannerKind::Adaptive)
-        .build();
+        .build()
+        .unwrap();
     let outcome = engine.search(&query, 3).unwrap();
     assert!(outcome.segments[1].trace.segment_skipped);
     assert_eq!(outcome.segments[1].trace.contributions_evaluated, 0);
@@ -238,7 +244,7 @@ fn no_skipping_without_kappa_sharing_or_under_uniform_planning() {
     for _ in 0..30 {
         vectors.push(vec![0.9; 4]);
     }
-    let table = DecomposedTable::from_vectors("no_skip", &vectors).unwrap();
+    let table = Arc::new(DecomposedTable::from_vectors("no_skip", &vectors).unwrap());
     let query = vec![0.1; 4];
 
     for (planner, share) in [
@@ -246,13 +252,14 @@ fn no_skipping_without_kappa_sharing_or_under_uniform_planning() {
         (PlannerKind::Adaptive, false),
         (PlannerKind::Uniform, false),
     ] {
-        let engine = Engine::builder(&table)
+        let engine = Engine::builder(table.clone())
             .partitions(2)
             .threads(1)
             .rule(RuleKind::EuclideanEv)
             .planner(planner)
             .share_kappa(share)
-            .build();
+            .build()
+            .unwrap();
         let outcome = engine.search(&query, 3).unwrap();
         assert_eq!(outcome.segments_skipped(), 0, "planner {planner:?} share {share}");
         assert!(outcome.segments.iter().all(|s| s.trace.contributions_evaluated > 0));

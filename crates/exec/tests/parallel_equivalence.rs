@@ -8,8 +8,9 @@
 
 use bond::{BondParams, BondSearcher};
 use bond_datagen::{sample_queries, ClusteredConfig, CorelLikeConfig};
-use bond_exec::{Engine, QueryBatch, RuleKind};
+use bond_exec::{Engine, RequestBatch, RuleKind};
 use proptest::prelude::*;
+use std::sync::Arc;
 use vdstore::topk::Scored;
 use vdstore::DecomposedTable;
 
@@ -71,19 +72,20 @@ proptest! {
     fn partitioned_search_is_bit_identical_to_sequential(
         (vectors, qi) in histogram_collection(),
     ) {
-        let table = DecomposedTable::from_vectors("prop", &vectors).unwrap();
+        let table = Arc::new(DecomposedTable::from_vectors("prop", &vectors).unwrap());
         let query = vectors[qi % vectors.len()].clone();
         let params = BondParams::default();
         let n = table.rows();
         for rule in RuleKind::ALL {
             for partitions in PARTITIONS {
                 for k in [1, 10.min(n), n] {
-                    let engine = Engine::builder(&table)
+                    let engine = Engine::builder(table.clone())
                         .partitions(partitions)
                         .threads(3)
                         .rule(rule.clone())
                         .params(params.clone())
-                        .build();
+                        .build()
+                        .unwrap();
                     let parallel = engine.search(&query, k).unwrap();
                     let sequential = sequential_hits(&table, &rule, &query, k, &params);
                     let context = format!(
@@ -104,9 +106,9 @@ proptest! {
         let table = DecomposedTable::from_vectors("batch", &vectors).unwrap();
         let queries: Vec<Vec<f64>> =
             vectors.iter().step_by(vectors.len().div_ceil(4).max(1)).cloned().collect();
-        let engine = Engine::builder(&table).partitions(3).threads(2).build();
+        let engine = Engine::builder(table).partitions(3).threads(2).build().unwrap();
         let outcome = engine
-            .execute(&QueryBatch::from_queries(queries.clone(), k))
+            .execute(&RequestBatch::from_queries(queries.clone(), k))
             .unwrap();
         for (q, merged) in queries.iter().zip(&outcome.queries) {
             let single = engine.search(q, k).unwrap();
@@ -123,9 +125,9 @@ fn serving_scale_bit_identity_50k() {
     let params = BondParams::default();
 
     // Corel-like histograms for the histogram-intersection rules.
-    let histograms = CorelLikeConfig::small(50_000, 24).generate();
+    let histograms = Arc::new(CorelLikeConfig::small(50_000, 24).generate());
     // Clustered unit-cube vectors for the Euclidean rules.
-    let clustered = ClusteredConfig::small(50_000, 16, 0.5).generate();
+    let clustered = Arc::new(ClusteredConfig::small(50_000, 16, 0.5).generate());
 
     for rule in RuleKind::ALL {
         let table = match rule.objective() {
@@ -133,12 +135,13 @@ fn serving_scale_bit_identity_50k() {
             bond_metrics::Objective::Minimize => &clustered,
         };
         let queries = sample_queries(table, 3, 7);
-        let engine = Engine::builder(table)
+        let engine = Engine::builder(table.clone())
             .partitions(5)
             .threads(4)
             .rule(rule.clone())
             .params(params.clone())
-            .build();
+            .build()
+            .unwrap();
         assert!(engine.partitions() >= 4);
         for query in &queries {
             let parallel = engine.search(query, k).unwrap();

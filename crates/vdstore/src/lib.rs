@@ -49,7 +49,7 @@ pub use column::Column;
 pub use error::{Result, VdError};
 pub use quantize::{QuantizedColumn, QuantizedTable};
 pub use rowmatrix::RowMatrix;
-pub use segment::{Envelope, Segment, SegmentStats};
+pub use segment::{Envelope, Segment, SegmentSpec, SegmentStats};
 pub use stats::{ColumnStats, DatasetStats};
 pub use table::{DecomposedTable, TableBuilder};
 pub use topk::{TopKLargest, TopKSmallest};

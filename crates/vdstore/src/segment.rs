@@ -20,6 +20,54 @@ use crate::table::DecomposedTable;
 use crate::RowId;
 use std::ops::Range;
 
+/// An owned, lifetime-free description of a segment: the row range it
+/// covers, without a borrow of the table.
+///
+/// A `SegmentSpec` is what a long-lived engine *stores* — plain partition
+/// boundaries that are `Send + Sync + 'static` and trivially copyable —
+/// while a [`Segment`] is what a search *scans*: [`SegmentSpec::view`]
+/// materialises the zero-copy borrowed view on demand, per call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegmentSpec {
+    start: usize,
+    len: usize,
+}
+
+impl SegmentSpec {
+    /// A spec covering `len` rows starting at table row `start`.
+    #[must_use]
+    pub fn new(start: usize, len: usize) -> Self {
+        SegmentSpec { start, len }
+    }
+
+    /// First table row covered.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of rows covered (including tombstoned ones).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the spec covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The covered table row range.
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.start + self.len
+    }
+
+    /// Materialises the zero-copy [`Segment`] view of `table` this spec
+    /// describes. Errors when the range falls outside the table (e.g. a
+    /// spec persisted against a since-reorganised table).
+    pub fn view<'t>(&self, table: &'t DecomposedTable) -> Result<Segment<'t>> {
+        table.segment(self.range())
+    }
+}
+
 /// A contiguous row-range view of a [`DecomposedTable`].
 ///
 /// Row ids inside a segment are *local* (0-based within the segment);
@@ -35,6 +83,11 @@ impl<'a> Segment<'a> {
     /// The table this segment views.
     pub fn table(&self) -> &'a DecomposedTable {
         self.table
+    }
+
+    /// The owned, lifetime-free description of this segment's row range.
+    pub fn spec(&self) -> SegmentSpec {
+        SegmentSpec { start: self.start, len: self.len }
     }
 
     /// First table row covered by this segment.
@@ -216,21 +269,31 @@ impl DecomposedTable {
     /// near-equal size (sizes differ by at most one row; empty trailing
     /// segments are omitted for tables smaller than the partition count).
     pub fn partition_segments(&self, partitions: usize) -> Vec<Segment<'_>> {
+        self.partition_specs(partitions)
+            .into_iter()
+            .map(|spec| Segment { table: self, start: spec.start, len: spec.len })
+            .collect()
+    }
+
+    /// The owned boundaries of [`DecomposedTable::partition_segments`]:
+    /// the same near-equal split, as lifetime-free [`SegmentSpec`]s a
+    /// long-lived engine can store and re-materialise per call.
+    pub fn partition_specs(&self, partitions: usize) -> Vec<SegmentSpec> {
         let partitions = partitions.max(1);
         let rows = self.rows();
         let base = rows / partitions;
         let extra = rows % partitions;
-        let mut segments = Vec::with_capacity(partitions);
+        let mut specs = Vec::with_capacity(partitions);
         let mut start = 0;
         for p in 0..partitions {
             let len = base + usize::from(p < extra);
             if len == 0 {
                 break;
             }
-            segments.push(Segment { table: self, start, len });
+            specs.push(SegmentSpec { start, len });
             start += len;
         }
-        segments
+        specs
     }
 }
 
@@ -263,6 +326,37 @@ mod tests {
         #[allow(clippy::reversed_empty_ranges)]
         let backwards = t.segment(7..3);
         assert!(backwards.is_err());
+    }
+
+    #[test]
+    fn specs_round_trip_through_views() {
+        let t = sample();
+        let spec = SegmentSpec::new(3, 4);
+        assert_eq!(spec.start(), 3);
+        assert_eq!(spec.len(), 4);
+        assert!(!spec.is_empty());
+        assert_eq!(spec.range(), 3..7);
+        let view = spec.view(&t).unwrap();
+        assert_eq!(view.range(), 3..7);
+        assert_eq!(view.spec(), spec);
+        // out-of-bounds specs fail to materialise instead of panicking
+        assert!(SegmentSpec::new(5, 6).view(&t).is_err());
+        assert!(SegmentSpec::new(0, 0).is_empty());
+    }
+
+    #[test]
+    fn partition_specs_match_partition_segments() {
+        let t = sample();
+        for parts in [1, 2, 3, 4, 7, 10, 13] {
+            let specs = t.partition_specs(parts);
+            let segments = t.partition_segments(parts);
+            assert_eq!(specs.len(), segments.len(), "parts = {parts}");
+            for (spec, seg) in specs.iter().zip(&segments) {
+                assert_eq!(seg.spec(), *spec);
+                assert_eq!(spec.view(&t).unwrap().range(), seg.range());
+            }
+        }
+        assert_eq!(t.partition_specs(0).len(), 1, "0 partitions clamps to 1");
     }
 
     #[test]

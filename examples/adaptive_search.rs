@@ -6,19 +6,22 @@
 //! cargo run --release --example adaptive_search
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use bond_datagen::ClusteredConfig;
-use bond_exec::{Engine, PlannerKind, QueryBatch, RuleKind};
+use bond_exec::{Engine, PlannerKind, RequestBatch, RuleKind};
 
 fn main() {
     // 1. A clustered collection in the cluster-major layout: vectors were
     //    "appended in batches", so contiguous row segments hold different
     //    clusters and their statistics diverge — the regime per-segment
     //    planning is built for.
-    let table = ClusteredConfig { clusters: 12, ..ClusteredConfig::small(30_000, 32, 0.0) }
-        .with_cluster_major(true)
-        .generate();
+    let table = Arc::new(
+        ClusteredConfig { clusters: 12, ..ClusteredConfig::small(30_000, 32, 0.0) }
+            .with_cluster_major(true)
+            .generate(),
+    );
     let k = 10;
     let partitions = 8;
     let queries: Vec<Vec<f64>> =
@@ -33,12 +36,13 @@ fn main() {
     // 2. Two engines over the same table: one global plan vs. one plan per
     //    segment (plus zone-map segment skipping).
     let build = |planner: PlannerKind| {
-        Engine::builder(&table)
+        Engine::builder(table.clone())
             .partitions(partitions)
             .threads(1) // isolate plan quality from parallel speedup
             .rule(RuleKind::EuclideanEv)
             .planner(planner)
             .build()
+            .expect("valid engine configuration")
     };
     let uniform = build(PlannerKind::Uniform);
     let adaptive = build(PlannerKind::Adaptive);
@@ -53,7 +57,7 @@ fn main() {
     }
 
     // 4. Run the same batch through both planners.
-    let batch = QueryBatch::from_queries(queries.clone(), k);
+    let batch = RequestBatch::from_queries(queries.clone(), k);
     let run = |engine: &Engine, name: &str| {
         let t = Instant::now();
         let outcome = engine.execute(&batch).unwrap();

@@ -6,15 +6,16 @@
 //! cargo run --release --example parallel_search
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use bond::{BondParams, BondSearcher};
 use bond_datagen::{sample_queries, CorelLikeConfig};
-use bond_exec::{Engine, QueryBatch, RuleKind};
+use bond_exec::{Engine, RequestBatch, RuleKind};
 
 fn main() {
     // 1. A synthetic collection: 60,000 color histograms with 64 bins.
-    let table = CorelLikeConfig::small(60_000, 64).generate();
+    let table = Arc::new(CorelLikeConfig::small(60_000, 64).generate());
     let k = 10;
     let queries = sample_queries(&table, 24, 42);
     println!(
@@ -38,13 +39,15 @@ fn main() {
         seq_elapsed / queries.len() as u32
     );
 
-    // 3. The parallel engine: partitioned table, shared κ, batched queries.
+    // 3. The parallel engine: it owns (a share of) the table, partitions
+    //    it, pools κ per query, and serves whole request batches.
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let engine = Engine::builder(&table)
+    let engine = Engine::builder(table.clone())
         .partitions(threads)
         .threads(threads)
         .rule(RuleKind::HistogramHh)
-        .build();
+        .build()
+        .expect("valid engine configuration");
     println!(
         "engine: {} partitions of ~{} rows, {} worker threads",
         engine.partitions(),
@@ -52,7 +55,7 @@ fn main() {
         engine.threads(),
     );
 
-    let batch = QueryBatch::from_queries(queries.clone(), k);
+    let batch = RequestBatch::from_queries(queries.clone(), k);
     let t1 = Instant::now();
     let outcome = engine.execute(&batch).unwrap();
     let par_elapsed = t1.elapsed();

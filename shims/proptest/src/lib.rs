@@ -3,7 +3,7 @@
 //! The build environment cannot reach crates.io, so this shim reimplements
 //! the slice of the proptest API the workspace's property tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map` and boxing,
+//! * the [`strategy::Strategy`] trait with `prop_map` and boxing,
 //! * range strategies for integers and floats,
 //! * [`collection::vec`] with exact or ranged sizes,
 //! * [`bool::ANY`], [`strategy::Just`] and [`prop_oneof!`],

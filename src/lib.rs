@@ -16,4 +16,15 @@ pub use bond_metrics as metrics;
 pub use bond_relalg as relalg;
 pub use vdstore;
 
-pub use bond_exec::{AdaptivePlanner, Engine, EngineBuilder, PlannerKind, QueryBatch, RuleKind};
+pub use bond_exec::{
+    AdaptivePlanner, Engine, EngineBuilder, PlannerKind, QuerySpec, RequestBatch, RuleKind, Server,
+    ServerBuilder, Ticket,
+};
+
+/// The unified error enum every layer of the workspace reports through:
+/// storage errors wrap as [`BondError::Storage`], engine/builder validation
+/// as the parameter variants, and the service layer as
+/// [`BondError::ServiceUnavailable`].
+pub use bond::BondError;
+/// Convenience alias over [`BondError`].
+pub use bond::Result;
