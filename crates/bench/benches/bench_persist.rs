@@ -1,0 +1,147 @@
+//! Cold-open vs. warm-build: what the persistent segment store buys.
+//!
+//! ```text
+//! cargo bench -p bond-bench --bench bench_persist
+//! ```
+//!
+//! Builds a clustered collection, persists it as a v2 segment store, and
+//! compares three ways of getting a serving engine:
+//!
+//! * **warm build** — the table is already in memory; the engine partitions
+//!   it and computes per-segment statistics (one full scan).
+//! * **cold open (heap)** — `EngineBuilder::open` decodes every fragment
+//!   from disk into heap `Vec`s; stats come from the footer.
+//! * **cold open (mmap)** — `EngineBuilder::open` maps the file and parses
+//!   only the footer; data pages fault in lazily as the first batch scans.
+//!
+//! Each engine then serves the same query batch (uniform planning, so all
+//! three answer bit-identically — verified) and the first-batch latency is
+//! reported separately from the open latency, because under mmap that is
+//! where the page-in cost moves. Ends with a machine-readable `BENCH_JSON`
+//! line for the perf trajectory.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bond_datagen::{sample_queries, ClusteredConfig};
+use bond_exec::{Engine, EngineBuilder, RequestBatch, RuleKind};
+use vdstore::StorageBackend;
+
+struct Series {
+    mode: &'static str,
+    open_ms: f64,
+    first_batch_ms: f64,
+    steady_batch_ms: f64,
+}
+
+fn main() {
+    let rows = 40_000;
+    let dims = 32;
+    let k = 10;
+    let n_queries = 16;
+    let partitions = 8;
+    let reps = 3;
+
+    let table = Arc::new(
+        ClusteredConfig { clusters: 16, ..ClusteredConfig::small(rows, dims, 0.0) }
+            .with_cluster_major(true)
+            .generate(),
+    );
+    let queries = sample_queries(&table, n_queries, 4321);
+    let batch = RequestBatch::from_queries(queries, k);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let dir = std::env::temp_dir().join(format!("bond_bench_persist_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("store.bondvd");
+
+    // persist once, from a throwaway engine
+    let seed_engine = Engine::builder(table.clone())
+        .partitions(partitions)
+        .threads(1)
+        .rule(RuleKind::EuclideanEv)
+        .build()
+        .expect("valid engine configuration");
+    seed_engine.persist(&path).expect("store persists");
+    let file_mb = std::fs::metadata(&path).map(|m| m.len() as f64 / 1e6).unwrap_or(0.0);
+    println!(
+        "persistence: {rows} rows x {dims} dims (clustered, cluster-major), {file_mb:.1} MB \
+         store, {n_queries} queries, k = {k}, {partitions} partitions, {cores} cores",
+    );
+
+    let mut reference_hits = None;
+    let mut series: Vec<Series> = Vec::new();
+    for mode in ["warm_build", "cold_open_heap", "cold_open_mmap"] {
+        let timer = Instant::now();
+        let builder = match mode {
+            "warm_build" => Engine::builder(table.clone()).partitions(partitions),
+            "cold_open_heap" => {
+                EngineBuilder::open_with(&path, StorageBackend::Heap).expect("heap open")
+            }
+            _ => EngineBuilder::open_with(&path, StorageBackend::Mapped).expect("mapped open"),
+        };
+        let engine = builder.threads(1).rule(RuleKind::EuclideanEv).build().expect("engine builds");
+        let open_ms = timer.elapsed().as_secs_f64() * 1000.0;
+
+        let timer = Instant::now();
+        let first = engine.execute(&batch).expect("first batch executes");
+        let first_batch_ms = timer.elapsed().as_secs_f64() * 1000.0;
+
+        // bit-identity across all three engines (uniform planning)
+        let hits: Vec<_> = first.queries.iter().map(|q| q.hits.clone()).collect();
+        match &reference_hits {
+            None => reference_hits = Some(hits),
+            Some(reference) => {
+                assert_eq!(&hits, reference, "{mode} must answer bit-identically")
+            }
+        }
+
+        let timer = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(engine.execute(&batch).expect("batch executes"));
+        }
+        let steady_batch_ms = timer.elapsed().as_secs_f64() * 1000.0 / reps as f64;
+
+        println!(
+            "  {mode:>15}: {open_ms:>8.2} ms to engine, {first_batch_ms:>8.2} ms first batch, \
+             {steady_batch_ms:>8.2} ms steady batch",
+        );
+        series.push(Series { mode, open_ms, first_batch_ms, steady_batch_ms });
+    }
+
+    let warm = &series[0];
+    let mmap = &series[2];
+    println!(
+        "  cold mmap open vs warm build: {:.0}x faster to a planning-ready engine \
+         ({:.2} ms vs {:.2} ms); first-batch page-in overhead {:.2} ms",
+        warm.open_ms / mmap.open_ms.max(1e-6),
+        mmap.open_ms,
+        warm.open_ms,
+        mmap.first_batch_ms - warm.first_batch_ms,
+    );
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"bench\":\"persist_cold_open\",\"rows\":{rows},\"dims\":{dims},\"k\":{k},\
+         \"queries\":{n_queries},\"partitions\":{partitions},\"reps\":{reps},\"cores\":{cores},\
+         \"file_mb\":{file_mb:.2},\"rule\":\"Ev\",\
+         \"distribution\":\"clustered_cluster_major\",\"series\":[",
+    );
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"mode\":\"{}\",\"open_ms\":{:.4},\"first_batch_ms\":{:.4},\
+             \"steady_batch_ms\":{:.4}}}",
+            s.mode, s.open_ms, s.first_batch_ms, s.steady_batch_ms
+        );
+    }
+    json.push_str("]}");
+    println!("BENCH_JSON {json}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

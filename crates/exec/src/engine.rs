@@ -42,11 +42,14 @@ use bond::{
     PruneTrace, Result, SearchOutcome, SegmentContext, SegmentPlan,
 };
 use bond_metrics::{DecomposableMetric, Objective};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use vdstore::persist::{open_store, save_store, validate_store_inputs, PersistedStore};
 use vdstore::topk::Scored;
 use vdstore::{
-    DecomposedTable, Envelope, Segment, SegmentSpec, SegmentStats, TopKLargest, TopKSmallest,
+    DecomposedTable, Envelope, Segment, SegmentSpec, SegmentStats, StorageBackend, TopKLargest,
+    TopKSmallest,
 };
 
 /// Builds an [`Engine`] for one table.
@@ -65,15 +68,63 @@ pub struct EngineBuilder {
     rule: RuleKind,
     share_kappa: bool,
     planner: PlannerKind,
+    /// Partition boundaries + statistics preloaded from a persisted store's
+    /// footer; when present, [`EngineBuilder::build`] uses them verbatim
+    /// instead of partitioning and scanning the table.
+    preloaded: Option<(Vec<SegmentSpec>, Vec<SegmentStats>)>,
 }
 
 impl EngineBuilder {
+    /// Starts a builder over a store reopened from disk, using the backend
+    /// selected by the `VDSTORE_BACKEND` environment variable (or the
+    /// platform default — memory-mapped where supported). See
+    /// [`EngineBuilder::open_with`].
+    pub fn open(path: impl AsRef<Path>) -> Result<EngineBuilder> {
+        Self::open_with(path, StorageBackend::from_env())
+    }
+
+    /// Starts a builder over a store reopened from disk with an explicit
+    /// [`StorageBackend`].
+    ///
+    /// The builder's partition boundaries, per-segment statistics and
+    /// zone-map envelopes come straight from the store's footer, so the
+    /// engine [`EngineBuilder::build`] returns can plan adaptively and skip
+    /// whole segments *before a single column data page has been read* —
+    /// under [`StorageBackend::Mapped`] the fragments fault in lazily as
+    /// searches touch them. The result is bit-identical to an engine built
+    /// over the original in-memory table with the same partition count
+    /// (footer statistics are bit-exact copies of the cached build-time
+    /// statistics).
+    ///
+    /// # Errors
+    ///
+    /// [`BondError::Storage`] when the file cannot be opened, is corrupt,
+    /// truncated, or written by an unsupported format version.
+    pub fn open_with(path: impl AsRef<Path>, backend: StorageBackend) -> Result<EngineBuilder> {
+        let store = open_store(path.as_ref(), backend).map_err(BondError::Storage)?;
+        Ok(Self::from_store(store))
+    }
+
+    /// Starts a builder over an already-opened [`PersistedStore`] (e.g. one
+    /// inspected or filtered before serving).
+    pub fn from_store(store: PersistedStore) -> EngineBuilder {
+        let PersistedStore { table, specs, stats, .. } = store;
+        let mut builder = Engine::builder(table);
+        builder.partitions = specs.len().max(1);
+        builder.preloaded = Some((specs, stats));
+        builder
+    }
+
     /// Number of row-range segments the table is split into. Defaults to
     /// the machine's available parallelism; `0` is rejected at
-    /// [`EngineBuilder::build`].
+    /// [`EngineBuilder::build`]. On a builder opened from a persisted store
+    /// this *discards* the store's boundaries and footer statistics:
+    /// [`EngineBuilder::build`] re-partitions and recomputes statistics,
+    /// scanning every column (faulting in all pages of a mapped store).
     #[must_use]
     pub fn partitions(mut self, partitions: usize) -> Self {
         self.partitions = partitions;
+        self.preloaded = None;
         self
     }
 
@@ -167,9 +218,24 @@ impl EngineBuilder {
         self.rule.validate(dims).map_err(BondError::InvalidParams)?;
         let mut params = self.params;
         params.refine_survivors = true;
-        let specs = self.table.partition_specs(self.partitions);
-        let stats: Vec<SegmentStats> =
-            specs.iter().map(|s| s.view(&self.table).expect("spec in range").stats()).collect();
+        let (specs, stats) = match self.preloaded {
+            Some((specs, stats)) => {
+                // A store's footer was validated structurally at open; the
+                // same shared validator re-checks layouts handed to the
+                // builder directly (e.g. a hand-assembled `PersistedStore`),
+                // so smuggled boundaries cannot break the merge.
+                validate_store_inputs(&self.table, &specs, &stats).map_err(BondError::Storage)?;
+                (specs, stats)
+            }
+            None => {
+                let specs = self.table.partition_specs(self.partitions);
+                let stats: Vec<SegmentStats> = specs
+                    .iter()
+                    .map(|s| s.view(&self.table).expect("spec in range").stats())
+                    .collect();
+                (specs, stats)
+            }
+        };
         let envelopes: Vec<Option<Envelope>> = stats.iter().map(SegmentStats::envelope).collect();
         Ok(Engine {
             inner: Arc::new(EngineInner {
@@ -254,7 +320,29 @@ impl Engine {
             rule: RuleKind::HistogramHq,
             share_kappa: true,
             planner: PlannerKind::Uniform,
+            preloaded: None,
         }
+    }
+
+    /// Persists the engine's table, partition boundaries and cached
+    /// per-segment statistics as a v2 segment store at `path`. The file can
+    /// be reopened — in this or any other process — with
+    /// [`EngineBuilder::open`], yielding an engine that answers
+    /// bit-identically (uniform planning) without recomputing anything.
+    ///
+    /// # Errors
+    ///
+    /// [`BondError::Storage`] on I/O failure.
+    pub fn persist(&self, path: impl AsRef<Path>) -> Result<()> {
+        save_store(&self.inner.table, &self.inner.specs, &self.inner.stats, path.as_ref())
+            .map_err(BondError::Storage)
+    }
+
+    /// The storage backend serving the engine's column data:
+    /// [`StorageBackend::Mapped`] for an engine reopened from a store with
+    /// mapped columns, [`StorageBackend::Heap`] otherwise.
+    pub fn storage_backend(&self) -> StorageBackend {
+        self.inner.table.backend()
     }
 
     /// The table this engine serves.

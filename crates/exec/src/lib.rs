@@ -48,6 +48,16 @@
 //!   [`RuleKind::WeightedEuclidean`] carry per-dimension weights through
 //!   the same engine: weighted orderings, the safe weighted bounds, and
 //!   subspace queries (0/1 weights) all execute partitioned and batched.
+//! * **Persistence & cold start** — [`Engine::persist`] writes the table,
+//!   the partition boundaries and the cached per-segment statistics as a
+//!   versioned segment store (`vdstore::persist`, format `BONDVD02`);
+//!   [`EngineBuilder::open`] reopens it — in any process — into a fully
+//!   validated engine whose `SegmentSpec`s, statistics and zone-map
+//!   envelopes come straight from the store's footer. Under
+//!   [`vdstore::StorageBackend::Mapped`] the column fragments are *viewed*
+//!   through a read-only file mapping: adaptive planning and whole-segment
+//!   skipping work before a single data page is faulted in, and collections
+//!   larger than RAM stay servable.
 //! * **A serving front-end** — [`service::Server`] wraps a cloned engine
 //!   in a submission queue: concurrent threads submit individual
 //!   [`QuerySpec`]s, a worker coalesces them into engine batches, and

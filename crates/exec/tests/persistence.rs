@@ -1,0 +1,349 @@
+//! The persistent segment store's engine-level contract: an engine reopened
+//! from disk — through either storage backend — is indistinguishable from
+//! the engine that persisted it. Uniform planning stays bit-identical,
+//! adaptive planning stays rank-correct, the footer statistics are
+//! bit-exact copies of the build-time statistics (so zone-map skipping
+//! fires without reading any column data), and malformed files surface
+//! typed errors instead of panics.
+
+use bond::BondError;
+use bond_exec::{Engine, EngineBuilder, PlannerKind, QuerySpec, RequestBatch, RuleKind};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use vdstore::topk::Scored;
+use vdstore::{DecomposedTable, StorageBackend, VdError};
+
+const DIMS: usize = 8;
+
+/// A process-unique temp path, removed by the caller.
+fn temp_store(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bond_exec_persistence_{tag}_{}", std::process::id()))
+}
+
+/// Deterministic, mildly skewed synthetic histograms.
+fn table(rows: usize, dims: usize) -> DecomposedTable {
+    let vectors: Vec<Vec<f64>> = (0..rows)
+        .map(|r| {
+            let mut v: Vec<f64> =
+                (0..dims).map(|d| ((r * 31 + d * 17) % 97) as f64 + 1.0).collect();
+            let total: f64 = v.iter().sum();
+            v.iter_mut().for_each(|x| *x /= total);
+            v
+        })
+        .collect();
+    DecomposedTable::from_vectors("persisted", &vectors).unwrap()
+}
+
+fn assert_rank_correct(got: &[Scored], reference: &[Scored], context: &str) {
+    assert_eq!(got.len(), reference.len(), "{context}: hit counts differ");
+    for (i, (a, r)) in got.iter().zip(reference).enumerate() {
+        assert_eq!(a.row, r.row, "{context}: rank {i} row diverges");
+        assert!(
+            (a.score - r.score).abs() <= 1e-9 * r.score.abs().max(1.0),
+            "{context}: rank {i} score {} vs reference {}",
+            a.score,
+            r.score
+        );
+    }
+}
+
+#[test]
+fn reopened_engines_answer_bit_identically_for_every_rule_and_backend() {
+    let t = table(400, DIMS);
+    let queries: Vec<Vec<f64>> = (0..4).map(|i| t.row(i * 97).unwrap()).collect();
+    let path = temp_store("bitident");
+    let original =
+        Engine::builder(t).partitions(4).threads(2).build().expect("valid configuration");
+    original.persist(&path).expect("store persists");
+
+    for backend in [StorageBackend::Heap, StorageBackend::Mapped] {
+        let reopened = EngineBuilder::open_with(&path, backend)
+            .expect("store reopens")
+            .threads(2)
+            .build()
+            .expect("reopened engine builds");
+        assert_eq!(reopened.partitions(), original.partitions());
+        for rule in RuleKind::ALL {
+            for q in &queries {
+                let spec = QuerySpec::new(q.clone(), 10).rule(rule.clone());
+                let expected = original.search_spec(&spec).unwrap();
+                let got = reopened.search_spec(&spec).unwrap();
+                assert_eq!(got.hits, expected.hits, "rule {} backend {backend:?}", rule.name());
+            }
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn reopened_footer_stats_are_bit_exact_copies_of_build_time_stats() {
+    let t = table(300, DIMS);
+    let path = temp_store("stats");
+    let original = Engine::builder(t).partitions(3).threads(1).build().unwrap();
+    original.persist(&path).unwrap();
+
+    let reopened =
+        EngineBuilder::open_with(&path, StorageBackend::Mapped).unwrap().build().unwrap();
+    assert_eq!(reopened.segment_specs(), original.segment_specs());
+    assert_eq!(reopened.segment_stats(), original.segment_stats(), "bit-exact footer stats");
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Two well-separated clusters persisted and reopened: the zone-map skip on
+/// the far segment must fire in the *reopened* engine, driven purely by the
+/// footer's envelopes — the skipped segment's trace proves no column data
+/// was read for it.
+#[test]
+fn segment_skipping_fires_from_persisted_zone_maps() {
+    let dims = DIMS;
+    let mut vectors = Vec::new();
+    for i in 0..50 {
+        vectors.push(vec![0.1 + (i % 10) as f64 * 1e-3; dims]);
+    }
+    for i in 0..50 {
+        vectors.push(vec![0.9 - (i % 10) as f64 * 1e-3; dims]);
+    }
+    let t = DecomposedTable::from_vectors("two_clusters", &vectors).unwrap();
+    let query = vectors[0].clone();
+    let path = temp_store("zonemap");
+    Engine::builder(t)
+        .partitions(2)
+        .threads(1)
+        .rule(RuleKind::EuclideanEv)
+        .build()
+        .unwrap()
+        .persist(&path)
+        .unwrap();
+
+    for backend in [StorageBackend::Heap, StorageBackend::Mapped] {
+        let engine = EngineBuilder::open_with(&path, backend)
+            .unwrap()
+            .threads(1) // deterministic task order: segment 0 proves κ first
+            .rule(RuleKind::EuclideanEv)
+            .planner(PlannerKind::Adaptive)
+            .build()
+            .unwrap();
+        let outcome = engine.search(&query, 5).unwrap();
+        assert_eq!(outcome.segments_skipped(), 1, "backend {backend:?}");
+        let skipped = &outcome.segments[1].trace;
+        assert!(skipped.segment_skipped);
+        assert_eq!(skipped.contributions_evaluated, 0, "zero column touches on the far segment");
+        assert_eq!(skipped.dims_accessed, 0);
+        assert!(outcome.hits.iter().all(|h| h.row < 50));
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn open_errors_are_typed_not_panics() {
+    let missing = temp_store("missing");
+    assert!(matches!(
+        EngineBuilder::open_with(&missing, StorageBackend::Heap),
+        Err(BondError::Storage(VdError::Io(_)))
+    ));
+
+    // a valid store, then truncated / corrupted variants
+    let t = table(60, DIMS);
+    let path = temp_store("mangled");
+    Engine::builder(t).partitions(2).threads(1).build().unwrap().persist(&path).unwrap();
+    let good = std::fs::read(&path).unwrap();
+
+    for cut in [0, 6, 24, good.len() / 2, good.len() - 1] {
+        std::fs::write(&path, &good[..cut]).unwrap();
+        for backend in [StorageBackend::Heap, StorageBackend::Mapped] {
+            let err = EngineBuilder::open_with(&path, backend).map(|_| ()).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    BondError::Storage(VdError::Corrupt(_))
+                        | BondError::Storage(VdError::UnsupportedVersion { .. })
+                ),
+                "cut {cut} backend {backend:?}: {err}"
+            );
+        }
+    }
+
+    // a v1 magic reports the version gap
+    let mut v1 = good.clone();
+    v1[7] = b'1';
+    std::fs::write(&path, &v1).unwrap();
+    assert!(matches!(
+        EngineBuilder::open_with(&path, StorageBackend::Heap),
+        Err(BondError::Storage(VdError::UnsupportedVersion { found: 1, supported: 2 }))
+    ));
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// A hand-assembled `PersistedStore` goes through the same shared layout
+/// validator the store writers use: zero-length or non-tiling segments are
+/// rejected at `build()`, not silently planned over.
+#[test]
+fn hand_assembled_stores_are_validated_at_build() {
+    let t = table(50, DIMS);
+    let path = temp_store("handmade");
+    Engine::builder(t).partitions(2).threads(1).build().unwrap().persist(&path).unwrap();
+    let mut store = vdstore::persist::open_store(&path, StorageBackend::Heap).unwrap();
+    // inject a zero-length segment (with a matching stats entry, so only
+    // the emptiness itself is at fault)
+    let empty_spec = vdstore::SegmentSpec::new(store.specs[1].start(), 0);
+    let empty_stats = empty_spec.view(&store.table).unwrap().stats();
+    store.specs.insert(1, empty_spec);
+    store.stats.insert(1, empty_stats);
+    let err = EngineBuilder::from_store(store).build().map(|_| ()).unwrap_err();
+    assert!(
+        matches!(err, BondError::Storage(VdError::InvalidArgument(_))),
+        "zero-length persisted segment must be rejected, got {err}"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Weighted rules (including 0-weight subspace queries) agree across
+    /// the persist/reopen boundary on both backends, rank-correctly under
+    /// adaptive planning and bit-identically under uniform planning.
+    #[test]
+    fn weighted_rule_queries_agree_across_backends(
+        vectors in proptest::collection::vec(
+            proptest::collection::vec(0.01f64..1.0, DIMS), 20..60),
+        weights in proptest::collection::vec(0.0f64..4.0, DIMS),
+        qi in 0usize..60,
+        euclidean in proptest::bool::ANY,
+    ) {
+        let mut weights = weights;
+        if weights.iter().all(|&w| w == 0.0) {
+            weights[0] = 1.0;
+        }
+        let rule = if euclidean {
+            RuleKind::weighted_euclidean(weights).unwrap()
+        } else {
+            RuleKind::weighted_histogram(weights).unwrap()
+        };
+        let t = DecomposedTable::from_vectors("weighted", &vectors).unwrap();
+        let query = vectors[qi % vectors.len()].clone();
+        let k = 5.min(vectors.len());
+
+        let path = temp_store(if euclidean { "weighted_e" } else { "weighted_h" });
+        let original = Engine::builder(t)
+            .partitions(3)
+            .threads(2)
+            .rule(rule.clone())
+            .build()
+            .unwrap();
+        original.persist(&path).unwrap();
+        let uniform_expected = original.search(&query, k).unwrap();
+        let reference = original.sequential_reference(&query, k).unwrap();
+
+        for backend in [StorageBackend::Heap, StorageBackend::Mapped] {
+            let reopened = EngineBuilder::open_with(&path, backend)
+                .unwrap()
+                .threads(2)
+                .rule(rule.clone())
+                .build()
+                .unwrap();
+            let uniform = reopened.search(&query, k).unwrap();
+            prop_assert_eq!(&uniform.hits, &uniform_expected.hits, "uniform {:?}", backend);
+            let adaptive = reopened
+                .search_spec(&QuerySpec::new(query.clone(), k).planner(PlannerKind::Adaptive))
+                .unwrap();
+            assert_rank_correct(&adaptive.hits, &reference, &format!("adaptive {backend:?}"));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Persist → reopen → search round-trips rank-correctly for all four
+    /// unweighted rules under adaptive planning, with tombstones persisted.
+    #[test]
+    fn adaptive_reopened_engines_are_rank_correct(
+        rows in 30usize..120,
+        deleted in proptest::collection::vec(0u32..120, 0..6),
+        qi in 0usize..120,
+    ) {
+        let mut t = table(rows, DIMS);
+        for &d in &deleted {
+            if (d as usize) < rows {
+                t.delete(d).unwrap();
+            }
+        }
+        let query = t.row(qi as u32 % rows as u32).unwrap();
+        let k = 5.min(t.live_rows());
+        prop_assume!(k > 0);
+
+        let path = temp_store("adaptive");
+        let original = Engine::builder(t).partitions(3).threads(2).build().unwrap();
+        original.persist(&path).unwrap();
+        let reopened = EngineBuilder::open_with(&path, StorageBackend::from_env())
+            .unwrap()
+            .threads(2)
+            .build()
+            .unwrap();
+        prop_assert_eq!(reopened.table().live_rows(), original.table().live_rows());
+        for rule in RuleKind::ALL {
+            let spec = QuerySpec::new(query.clone(), k)
+                .rule(rule.clone())
+                .planner(PlannerKind::Adaptive);
+            let reference = original.sequential_reference_spec(&spec).unwrap();
+            let got = reopened.search_spec(&spec).unwrap();
+            assert_rank_correct(&got.hits, &reference, rule.name());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+/// A reopened mapped engine stays `Send + Sync + 'static` and survives the
+/// stack frame of its open — the whole point of the owned-engine design.
+#[test]
+fn reopened_mapped_engine_is_shareable() {
+    fn assert_send_sync_static<T: Send + Sync + 'static>(_: &T) {}
+    let path = temp_store("shareable");
+    Engine::builder(table(120, DIMS))
+        .partitions(2)
+        .threads(1)
+        .build()
+        .unwrap()
+        .persist(&path)
+        .unwrap();
+
+    let engine = EngineBuilder::open_with(&path, StorageBackend::Mapped).unwrap().build().unwrap();
+    assert_send_sync_static(&engine);
+    if StorageBackend::mapping_supported() {
+        assert_eq!(engine.storage_backend(), StorageBackend::Mapped);
+    }
+    let q = engine.table().row(7).unwrap();
+    let clone = engine.clone();
+    let hits = std::thread::spawn(move || clone.search(&q, 3).unwrap().hits).join().unwrap();
+    let q = engine.table().row(7).unwrap();
+    assert_eq!(hits, engine.search(&q, 3).unwrap().hits);
+
+    // batches over a mapped table behave like any other batch
+    let batch = RequestBatch::from_queries(vec![engine.table().row(1).unwrap()], 4);
+    assert_eq!(engine.execute(&batch).unwrap().queries.len(), 1);
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Calling `.partitions(n)` on an opened builder deliberately discards the
+/// footer's boundaries and recomputes from the (possibly mapped) columns —
+/// the repartitioned engine must still answer identically to a fresh
+/// in-memory engine with the same partition count.
+#[test]
+fn repartitioning_a_reopened_store_recomputes_consistently() {
+    let t = table(200, DIMS);
+    let path = temp_store("repartition");
+    let original = Engine::builder(t.clone()).partitions(4).threads(1).build().unwrap();
+    original.persist(&path).unwrap();
+
+    let repartitioned = EngineBuilder::open_with(&path, StorageBackend::Mapped)
+        .unwrap()
+        .partitions(7)
+        .threads(1)
+        .build()
+        .unwrap();
+    assert_eq!(repartitioned.partitions(), 7);
+    let fresh = Engine::builder(t).partitions(7).threads(1).build().unwrap();
+    assert_eq!(repartitioned.segment_specs(), fresh.segment_specs());
+    assert_eq!(repartitioned.segment_stats(), fresh.segment_stats());
+    let q = fresh.table().row(42).unwrap();
+    assert_eq!(repartitioned.search(&q, 9).unwrap().hits, fresh.search(&q, 9).unwrap().hits);
+    std::fs::remove_file(&path).unwrap();
+}

@@ -5,11 +5,123 @@
 //! relation `Hi(oid, value)`. Because the histogram identifiers form a
 //! densely ascending sequence the head column is *virtual*: the value of row
 //! `r` is simply `values[r]`. [`Column`] captures exactly that.
+//!
+//! Since the persistent segment store, the dense value array may live in
+//! two places — [`ColumnData`] abstracts over them:
+//!
+//! * [`ColumnData::Heap`]: an owned `Vec<f64>`, the in-memory default.
+//! * [`ColumnData::Mapped`]: a zero-copy view of a [`MappedRegion`] — the
+//!   fragment's contiguous byte range inside a persisted store file, served
+//!   straight from the page cache.
+//!
+//! Reads are transparent (`values()` hands out a `&[f64]` either way).
+//! Mutation promotes a mapped column to the heap first (copy-on-write), so
+//! the whole mutable API keeps working on reopened stores.
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, VdError};
+use crate::mmap::{MappedRegion, StorageBackend};
 use crate::RowId;
+use std::sync::Arc;
+
+/// Where a column's dense value array lives: an owned heap vector or a
+/// zero-copy view of a file-backed [`MappedRegion`].
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Owned values on the heap.
+    Heap(Vec<f64>),
+    /// A `len`-value window into a mapped store file, starting at
+    /// `byte_offset`. The offset is validated (in range, 8-byte aligned) at
+    /// construction, so reads are infallible afterwards.
+    Mapped {
+        /// The mapping this view borrows from (shared by all columns of the
+        /// store).
+        region: Arc<MappedRegion>,
+        /// Byte offset of the fragment's first value inside the region.
+        byte_offset: usize,
+        /// Number of `f64` values in the fragment.
+        len: usize,
+    },
+}
+
+impl ColumnData {
+    /// A mapped view of `len` values at `byte_offset` inside `region`.
+    ///
+    /// # Errors
+    ///
+    /// [`VdError::Io`] when the range falls outside the region or is not
+    /// 8-byte aligned.
+    pub fn mapped(region: Arc<MappedRegion>, byte_offset: usize, len: usize) -> Result<Self> {
+        // Validate once; `as_slice` relies on it.
+        region.f64_slice(byte_offset, len)?;
+        Ok(ColumnData::Mapped { region, byte_offset, len })
+    }
+
+    /// The dense values, wherever they live.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        match self {
+            ColumnData::Heap(v) => v,
+            ColumnData::Mapped { region, byte_offset, len } => {
+                region.f64_slice(*byte_offset, *len).expect("validated at construction")
+            }
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Heap(v) => v.len(),
+            ColumnData::Mapped { len, .. } => *len,
+        }
+    }
+
+    /// Whether there are no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Which backend currently holds the values.
+    pub fn backend(&self) -> StorageBackend {
+        match self {
+            ColumnData::Heap(_) => StorageBackend::Heap,
+            ColumnData::Mapped { .. } => StorageBackend::Mapped,
+        }
+    }
+
+    /// Mutable access, promoting a mapped view to an owned heap vector
+    /// first (copy-on-write).
+    fn make_heap(&mut self) -> &mut Vec<f64> {
+        if let ColumnData::Mapped { .. } = self {
+            *self = ColumnData::Heap(self.as_slice().to_vec());
+        }
+        match self {
+            ColumnData::Heap(v) => v,
+            ColumnData::Mapped { .. } => unreachable!("promoted above"),
+        }
+    }
+
+    /// Consumes the data, copying mapped views onto the heap.
+    fn into_vec(self) -> Vec<f64> {
+        match self {
+            ColumnData::Heap(v) => v,
+            mapped @ ColumnData::Mapped { .. } => mapped.as_slice().to_vec(),
+        }
+    }
+}
+
+impl Default for ColumnData {
+    fn default() -> Self {
+        ColumnData::Heap(Vec::new())
+    }
+}
+
+impl PartialEq for ColumnData {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
 
 /// One vertically decomposed dimension: a dense array of `f64` coefficients,
 /// addressed positionally by [`RowId`].
@@ -17,23 +129,28 @@ use crate::RowId;
 pub struct Column {
     /// Optional human-readable name (e.g. `"hsv_bin_17"`).
     name: String,
-    values: Vec<f64>,
+    data: ColumnData,
 }
 
 impl Column {
     /// Creates a column from raw values.
     pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
-        Column { name: name.into(), values }
+        Column { name: name.into(), data: ColumnData::Heap(values) }
+    }
+
+    /// Creates a column over pre-built storage (heap or mapped).
+    pub fn from_data(name: impl Into<String>, data: ColumnData) -> Self {
+        Column { name: name.into(), data }
     }
 
     /// Creates an unnamed column from raw values.
     pub fn from_values(values: Vec<f64>) -> Self {
-        Column { name: String::new(), values }
+        Column { name: String::new(), data: ColumnData::Heap(values) }
     }
 
     /// Creates an empty column with the given capacity.
     pub fn with_capacity(name: impl Into<String>, capacity: usize) -> Self {
-        Column { name: name.into(), values: Vec::with_capacity(capacity) }
+        Column { name: name.into(), data: ColumnData::Heap(Vec::with_capacity(capacity)) }
     }
 
     /// The column's name.
@@ -46,22 +163,28 @@ impl Column {
         self.name = name.into();
     }
 
+    /// Which storage backend currently holds this column's values.
+    pub fn backend(&self) -> StorageBackend {
+        self.data.backend()
+    }
+
     /// Number of rows stored.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.data.len()
     }
 
     /// Whether the column holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.data.is_empty()
     }
 
     /// Returns the value at `row`, or an error when out of bounds.
     pub fn get(&self, row: RowId) -> Result<f64> {
-        self.values
+        self.data
+            .as_slice()
             .get(row as usize)
             .copied()
-            .ok_or(VdError::RowOutOfBounds { row, rows: self.values.len() })
+            .ok_or(VdError::RowOutOfBounds { row, rows: self.data.len() })
     }
 
     /// Positional lookup without bounds checking beyond the slice's own.
@@ -70,30 +193,33 @@ impl Column {
     /// Panics if `row` is out of bounds.
     #[inline]
     pub fn value(&self, row: RowId) -> f64 {
-        self.values[row as usize]
+        self.data.as_slice()[row as usize]
     }
 
     /// The underlying dense value slice.
     #[inline]
     pub fn values(&self) -> &[f64] {
-        &self.values
+        self.data.as_slice()
     }
 
-    /// Mutable access to the underlying value slice.
+    /// Mutable access to the underlying value slice. A mapped column is
+    /// promoted to the heap first (copy-on-write).
     pub fn values_mut(&mut self) -> &mut [f64] {
-        &mut self.values
+        self.data.make_heap()
     }
 
-    /// Appends a value (a new row) to the column.
+    /// Appends a value (a new row) to the column. A mapped column is
+    /// promoted to the heap first (copy-on-write).
     pub fn push(&mut self, value: f64) {
-        self.values.push(value);
+        self.data.make_heap().push(value);
     }
 
-    /// Overwrites the value of an existing row.
+    /// Overwrites the value of an existing row. A mapped column is promoted
+    /// to the heap first (copy-on-write).
     pub fn set(&mut self, row: RowId, value: f64) -> Result<()> {
-        let rows = self.values.len();
-        let slot =
-            self.values.get_mut(row as usize).ok_or(VdError::RowOutOfBounds { row, rows })?;
+        let rows = self.data.len();
+        let heap = self.data.make_heap();
+        let slot = heap.get_mut(row as usize).ok_or(VdError::RowOutOfBounds { row, rows })?;
         *slot = value;
         Ok(())
     }
@@ -101,31 +227,34 @@ impl Column {
     /// Gathers the values of the given rows (a positional join with a
     /// materialised candidate list, cf. step 3 of the MIL program).
     pub fn gather(&self, rows: &[RowId]) -> Vec<f64> {
-        rows.iter().map(|&r| self.values[r as usize]).collect()
+        let values = self.data.as_slice();
+        rows.iter().map(|&r| values[r as usize]).collect()
     }
 
     /// Minimum value of the column (`None` when empty).
     pub fn min(&self) -> Option<f64> {
-        self.values.iter().copied().reduce(f64::min)
+        self.data.as_slice().iter().copied().reduce(f64::min)
     }
 
     /// Maximum value of the column (`None` when empty).
     pub fn max(&self) -> Option<f64> {
-        self.values.iter().copied().reduce(f64::max)
+        self.data.as_slice().iter().copied().reduce(f64::max)
     }
 
     /// Arithmetic mean of the column (`None` when empty).
     pub fn mean(&self) -> Option<f64> {
-        if self.values.is_empty() {
+        let values = self.data.as_slice();
+        if values.is_empty() {
             None
         } else {
-            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+            Some(values.iter().sum::<f64>() / values.len() as f64)
         }
     }
 
-    /// Consumes the column and returns its values.
+    /// Consumes the column and returns its values (copying them off a
+    /// mapped region when necessary).
     pub fn into_values(self) -> Vec<f64> {
-        self.values
+        self.data.into_vec()
     }
 }
 
@@ -139,7 +268,7 @@ impl std::ops::Index<RowId> for Column {
     type Output = f64;
 
     fn index(&self, row: RowId) -> &f64 {
-        &self.values[row as usize]
+        &self.data.as_slice()[row as usize]
     }
 }
 
@@ -157,6 +286,7 @@ mod tests {
         assert_eq!(c[2], 0.3);
         assert_eq!(c.get(0).unwrap(), 0.1);
         assert!(matches!(c.get(3), Err(VdError::RowOutOfBounds { row: 3, rows: 3 })));
+        assert_eq!(c.backend(), StorageBackend::Heap);
     }
 
     #[test]
@@ -197,5 +327,71 @@ mod tests {
         let mut c = Column::from_values(vec![0.0]);
         c.set_name("renamed");
         assert_eq!(c.name(), "renamed");
+    }
+
+    #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+    mod mapped {
+        use super::*;
+
+        fn mapped_column(values: &[f64]) -> (Column, std::path::PathBuf) {
+            let path = std::env::temp_dir().join(format!(
+                "vdstore_column_mapped_{}_{:p}",
+                std::process::id(),
+                values
+            ));
+            let mut bytes = Vec::new();
+            for v in values {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            std::fs::write(&path, &bytes).unwrap();
+            let region = MappedRegion::map_file(&path).unwrap();
+            let data = ColumnData::mapped(region, 0, values.len()).unwrap();
+            (Column::from_data("mapped", data), path)
+        }
+
+        #[test]
+        fn mapped_columns_read_like_heap_columns() {
+            let values = [0.25, -1.5, 3.75, 0.0];
+            let (c, path) = mapped_column(&values);
+            assert_eq!(c.backend(), StorageBackend::Mapped);
+            assert_eq!(c.values(), &values);
+            assert_eq!(c.len(), 4);
+            assert_eq!(c.value(2), 3.75);
+            assert_eq!(c.get(1).unwrap(), -1.5);
+            assert!(c.get(4).is_err());
+            assert_eq!(c.min(), Some(-1.5));
+            assert_eq!(c.max(), Some(3.75));
+            assert_eq!(c.gather(&[3, 0]), vec![0.0, 0.25]);
+            // a heap column with the same values compares equal
+            assert_eq!(c, Column::from_data("mapped", ColumnData::Heap(values.to_vec())));
+            std::fs::remove_file(&path).unwrap();
+        }
+
+        #[test]
+        fn mutation_promotes_to_heap_copy_on_write() {
+            let (mut c, path) = mapped_column(&[1.0, 2.0, 3.0]);
+            c.set(1, 9.0).unwrap();
+            assert_eq!(c.backend(), StorageBackend::Heap);
+            assert_eq!(c.values(), &[1.0, 9.0, 3.0]);
+            let (mut c2, path2) = mapped_column(&[1.0]);
+            c2.push(2.0);
+            assert_eq!(c2.backend(), StorageBackend::Heap);
+            assert_eq!(c2.into_values(), vec![1.0, 2.0]);
+            // the file on disk is untouched by either mutation
+            assert_eq!(std::fs::read(&path).unwrap().len(), 24);
+            std::fs::remove_file(&path).unwrap();
+            std::fs::remove_file(&path2).unwrap();
+        }
+
+        #[test]
+        fn mapped_construction_validates_range() {
+            let (c, path) = mapped_column(&[1.0, 2.0]);
+            let ColumnData::Mapped { region, .. } = c.data else { panic!("mapped") };
+            assert!(ColumnData::mapped(region.clone(), 0, 3).is_err());
+            assert!(ColumnData::mapped(region.clone(), 4, 1).is_err());
+            let ok = ColumnData::mapped(region, 8, 1).unwrap();
+            assert_eq!(ok.as_slice(), &[2.0]);
+            std::fs::remove_file(&path).unwrap();
+        }
     }
 }

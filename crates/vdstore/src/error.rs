@@ -44,6 +44,16 @@ pub enum VdError {
     },
     /// The persisted byte stream is malformed.
     Corrupt(String),
+    /// An operating-system I/O or memory-mapping operation failed.
+    Io(String),
+    /// A persisted store was written by a format version this build does
+    /// not read.
+    UnsupportedVersion {
+        /// Version number found in the file's magic.
+        found: u32,
+        /// Newest version this build supports.
+        supported: u32,
+    },
     /// Invalid quantization parameters (e.g. zero bits or more than 16).
     InvalidQuantization(String),
     /// Invalid argument with a human-readable description.
@@ -70,6 +80,13 @@ impl fmt::Display for VdError {
                 write!(f, "invalid k = {k} for a collection of {rows} rows")
             }
             VdError::Corrupt(msg) => write!(f, "corrupt persisted table: {msg}"),
+            VdError::Io(msg) => write!(f, "io error: {msg}"),
+            VdError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported store format version {found} (this build reads up to {supported})"
+                )
+            }
             VdError::InvalidQuantization(msg) => write!(f, "invalid quantization: {msg}"),
             VdError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
@@ -99,6 +116,13 @@ mod tests {
 
         let e = VdError::Corrupt("bad magic".into());
         assert!(e.to_string().contains("bad magic"));
+
+        let e = VdError::Io("mmap failed".into());
+        assert!(e.to_string().contains("mmap failed"));
+
+        let e = VdError::UnsupportedVersion { found: 9, supported: 2 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('2'));
     }
 
     #[test]

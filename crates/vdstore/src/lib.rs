@@ -22,7 +22,14 @@
 //!   baseline,
 //! * [`stats`] computes the dataset statistics of Figure 2 that motivate the
 //!   dimension-ordering heuristics,
-//! * [`persist`] serialises decomposed tables to a simple binary format.
+//! * [`persist`] serialises decomposed tables to a simple binary format
+//!   (v1) and, since the persistent segment store (v2), writes the column
+//!   fragments 8-byte aligned with a stats/zone-map footer so a reopened
+//!   store hands its partition boundaries and [`SegmentStats`] to a planner
+//!   before any data page is touched,
+//! * [`mmap`] provides the file-backed [`MappedRegion`] a reopened store's
+//!   columns can view zero-copy ([`StorageBackend::Mapped`]), with heap
+//!   decoding ([`StorageBackend::Heap`]) as the portable fallback.
 //!
 //! The crate is deliberately free of any knowledge about similarity metrics
 //! or pruning rules — those live in `bond-metrics` and `bond-core`.
@@ -34,6 +41,7 @@ pub mod bat;
 pub mod bitmap;
 pub mod column;
 pub mod error;
+pub mod mmap;
 pub mod ops;
 pub mod persist;
 pub mod quantize;
@@ -45,8 +53,10 @@ pub mod topk;
 
 pub use bat::{Bat, Head};
 pub use bitmap::Bitmap;
-pub use column::Column;
+pub use column::{Column, ColumnData};
 pub use error::{Result, VdError};
+pub use mmap::{MappedRegion, StorageBackend};
+pub use persist::PersistedStore;
 pub use quantize::{QuantizedColumn, QuantizedTable};
 pub use rowmatrix::RowMatrix;
 pub use segment::{Envelope, Segment, SegmentSpec, SegmentStats};

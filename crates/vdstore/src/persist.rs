@@ -1,34 +1,65 @@
 //! Binary persistence of decomposed tables.
 //!
-//! A decomposed table is written column-after-column, which is exactly the
-//! on-disk layout the decomposition storage model is about: each dimensional
-//! fragment is one contiguous run of values, so a search that touches only
-//! the first `m` fragments reads only those byte ranges. The format is
-//! deliberately simple (no compression, little metadata) — it exists so that
-//! datasets generated once can be reloaded by examples, tests and the
-//! benchmark harness.
+//! Two formats live here:
 //!
-//! Layout (all integers little-endian):
+//! * **v1 (`BONDVD01`)** — the original table-only stream: header, columns,
+//!   tombstones. Kept for compatibility ([`table_to_bytes`] /
+//!   [`table_from_bytes`] and the file wrappers).
+//! * **v2 (`BONDVD02`)** — the *persistent segment store*: the same
+//!   contiguous column fragments, 8-byte aligned so they can be viewed
+//!   in-place through a file mapping, plus a **stats/zone-map footer**
+//!   carrying the partition boundaries ([`SegmentSpec`]s) and the
+//!   per-segment statistics ([`SegmentStats`]: per-dimension envelopes,
+//!   row-sum ranges, live-row counts) a search planner needs *before* any
+//!   data page is faulted in. A trailer at the end of the file locates the
+//!   footer, so a cold open reads header + footer + trailer only — the
+//!   fragments stay untouched until a search scans them.
+//!
+//! v2 layout (all integers little-endian):
 //!
 //! ```text
-//! magic   : 8 bytes  = b"BONDVD01"
-//! name_len: u32, name bytes (UTF-8)
-//! dims    : u32
-//! rows    : u64
-//! per column: name_len u32, name bytes, rows * f64 values
-//! deleted bitmap: n_words u32, words u64 * n_words
+//! header  : magic 8 bytes = b"BONDVD02"
+//!           name_len u32, name bytes (UTF-8)
+//!           dims u32, rows u64
+//!           zero padding to the next 8-byte boundary
+//! data    : dims fragments, each rows * f64 — column after column,
+//!           contiguous, every fragment 8-byte aligned
+//! footer  : per column: name_len u32, name bytes
+//!           n_deleted u32, n_deleted * u32 ascending row ids
+//!           n_segments u32, per segment:
+//!             start u64, len u64, live_rows u64
+//!             row_sum_min f64, row_sum_max f64, row_sum_mean f64
+//!             per dim: flag u8 (1 = stats follow):
+//!               min f64, max f64, mean f64, variance f64, skewness f64
+//! trailer : footer_offset u64, tail magic 8 bytes = b"BONDFT02"
 //! ```
+//!
+//! The segments must tile `0..rows` in row order — the invariant the
+//! execution engine's merge relies on — and every structural violation
+//! (bad magic, truncation, trailing bytes, overflowing counts, out-of-range
+//! rows) surfaces as a typed [`VdError`], never a panic.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::bitmap::Bitmap;
-use crate::column::Column;
+use crate::column::{Column, ColumnData};
 use crate::error::{Result, VdError};
+use crate::mmap::{MappedRegion, StorageBackend};
+use crate::segment::{SegmentSpec, SegmentStats};
+use crate::stats::ColumnStats;
 use crate::table::DecomposedTable;
+use crate::RowId;
+use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"BONDVD01";
+const MAGIC_V2: &[u8; 8] = b"BONDVD02";
+const MAGIC_PREFIX: &[u8; 6] = b"BONDVD";
+const TAIL_MAGIC_V2: &[u8; 8] = b"BONDFT02";
+const TRAILER_LEN: usize = 16;
+/// Newest store format version this build reads.
+pub const STORE_VERSION: u32 = 2;
 
-/// Serialises a table into a byte buffer.
+/// Serialises a table into a byte buffer (format v1, table only).
 pub fn table_to_bytes(table: &DecomposedTable) -> Bytes {
     let mut buf = BytesMut::with_capacity(64 + table.rows() * table.dims() * 8);
     buf.put_slice(MAGIC);
@@ -53,27 +84,23 @@ pub fn table_to_bytes(table: &DecomposedTable) -> Bytes {
 /// Reconstructs a table from a byte buffer produced by [`table_to_bytes`].
 pub fn table_from_bytes(bytes: &[u8]) -> Result<DecomposedTable> {
     let mut buf = bytes;
-    if buf.remaining() < MAGIC.len() {
-        return Err(VdError::Corrupt("buffer shorter than magic".into()));
-    }
-    let mut magic = [0u8; 8];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(VdError::Corrupt(format!("bad magic {magic:?}")));
-    }
+    check_magic(&mut buf, MAGIC, 1)?;
     let name = get_string(&mut buf)?;
     if buf.remaining() < 12 {
         return Err(VdError::Corrupt("truncated header".into()));
     }
     let dims = buf.get_u32_le() as usize;
-    let rows = buf.get_u64_le() as usize;
+    let rows = checked_rows(buf.get_u64_le())?;
     if dims == 0 {
         return Err(VdError::Corrupt("zero dimensions".into()));
     }
-    let mut columns = Vec::with_capacity(dims);
+    let column_bytes = rows
+        .checked_mul(8)
+        .ok_or_else(|| VdError::Corrupt("column byte length overflows".into()))?;
+    let mut columns = Vec::with_capacity(dims.min(1024));
     for _ in 0..dims {
         let cname = get_string(&mut buf)?;
-        if buf.remaining() < rows * 8 {
+        if buf.remaining() < column_bytes {
             return Err(VdError::Corrupt("truncated column data".into()));
         }
         let mut values = Vec::with_capacity(rows);
@@ -87,27 +114,36 @@ pub fn table_from_bytes(bytes: &[u8]) -> Result<DecomposedTable> {
         return Err(VdError::Corrupt("missing tombstone section".into()));
     }
     let n_deleted = buf.get_u32_le() as usize;
-    if buf.remaining() < n_deleted * 4 {
+    let tombstone_bytes = n_deleted
+        .checked_mul(4)
+        .ok_or_else(|| VdError::Corrupt("tombstone byte length overflows".into()))?;
+    if buf.remaining() < tombstone_bytes {
         return Err(VdError::Corrupt("truncated tombstone list".into()));
     }
     for _ in 0..n_deleted {
         let r = buf.get_u32_le();
         table.delete(r)?;
     }
+    if buf.remaining() != 0 {
+        return Err(VdError::Corrupt(format!(
+            "{} trailing bytes after the tombstone list",
+            buf.remaining()
+        )));
+    }
     Ok(table)
 }
 
-/// Writes a table to a file.
-pub fn save_table(table: &DecomposedTable, path: &std::path::Path) -> Result<()> {
+/// Writes a table to a file (format v1).
+pub fn save_table(table: &DecomposedTable, path: &Path) -> Result<()> {
     let bytes = table_to_bytes(table);
     std::fs::write(path, &bytes)
-        .map_err(|e| VdError::Corrupt(format!("io error writing {}: {e}", path.display())))
+        .map_err(|e| VdError::Io(format!("writing {}: {e}", path.display())))
 }
 
-/// Reads a table from a file.
-pub fn load_table(path: &std::path::Path) -> Result<DecomposedTable> {
-    let bytes = std::fs::read(path)
-        .map_err(|e| VdError::Corrupt(format!("io error reading {}: {e}", path.display())))?;
+/// Reads a table from a file (format v1).
+pub fn load_table(path: &Path) -> Result<DecomposedTable> {
+    let bytes =
+        std::fs::read(path).map_err(|e| VdError::Io(format!("reading {}: {e}", path.display())))?;
     table_from_bytes(&bytes)
 }
 
@@ -128,7 +164,13 @@ pub fn bitmap_from_bytes(bytes: &[u8]) -> Result<Bitmap> {
     if buf.remaining() < 8 {
         return Err(VdError::Corrupt("bitmap buffer too short".into()));
     }
-    let len = buf.get_u64_le() as usize;
+    let len = checked_rows(buf.get_u64_le())?;
+    if !buf.remaining().is_multiple_of(4) {
+        return Err(VdError::Corrupt(format!(
+            "{} trailing bytes after the last whole row id",
+            buf.remaining() % 4
+        )));
+    }
     let mut b = Bitmap::new(len);
     while buf.remaining() >= 4 {
         let row = buf.get_u32_le();
@@ -138,6 +180,467 @@ pub fn bitmap_from_bytes(bytes: &[u8]) -> Result<Bitmap> {
         b.set(row);
     }
     Ok(b)
+}
+
+// ---------------------------------------------------------------------------
+// v2: the persistent segment store
+// ---------------------------------------------------------------------------
+
+/// A reopened persistent segment store: the table plus the partition
+/// boundaries and per-segment statistics its footer carried, ready to feed
+/// an execution engine without recomputing anything.
+#[derive(Debug, Clone)]
+pub struct PersistedStore {
+    /// The reopened table (heap- or mapping-backed columns).
+    pub table: DecomposedTable,
+    /// The persisted partition boundaries, in row order, tiling the table.
+    pub specs: Vec<SegmentSpec>,
+    /// The persisted per-segment statistics, parallel to `specs`.
+    pub stats: Vec<SegmentStats>,
+    /// The backend actually serving the column data (a mapped-open request
+    /// falls back to [`StorageBackend::Heap`] where mapping is unsupported).
+    pub backend: StorageBackend,
+}
+
+/// The v2 header: magic, name, dims, rows, zero-padded to the next 8-byte
+/// boundary so the data region (and every fragment in it) stays aligned.
+fn store_header(table: &DecomposedTable) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(32 + table.name().len());
+    buf.put_slice(MAGIC_V2);
+    put_string(&mut buf, table.name());
+    buf.put_u32_le(table.dims() as u32);
+    buf.put_u64_le(table.rows() as u64);
+    while !buf.len().is_multiple_of(8) {
+        buf.put_u8(0);
+    }
+    buf
+}
+
+/// The v2 footer: column names, tombstones, segment boundaries + stats.
+fn store_footer(
+    table: &DecomposedTable,
+    specs: &[SegmentSpec],
+    stats: &[SegmentStats],
+) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(64 + specs.len() * (48 + table.dims() * 41));
+    for c in table.columns() {
+        put_string(&mut buf, c.name());
+    }
+    let deleted: Vec<u32> = (0..table.rows() as u32).filter(|&r| table.is_deleted(r)).collect();
+    buf.put_u32_le(deleted.len() as u32);
+    for r in deleted {
+        buf.put_u32_le(r);
+    }
+    buf.put_u32_le(specs.len() as u32);
+    for (spec, stat) in specs.iter().zip(stats) {
+        buf.put_u64_le(spec.start() as u64);
+        buf.put_u64_le(spec.len() as u64);
+        buf.put_u64_le(stat.live_rows as u64);
+        buf.put_f64_le(stat.row_sum_min);
+        buf.put_f64_le(stat.row_sum_max);
+        buf.put_f64_le(stat.row_sum_mean);
+        for per_dim in &stat.per_dim {
+            match per_dim {
+                Some(s) => {
+                    buf.put_u8(1);
+                    buf.put_f64_le(s.min);
+                    buf.put_f64_le(s.max);
+                    buf.put_f64_le(s.mean);
+                    buf.put_f64_le(s.variance);
+                    buf.put_f64_le(s.skewness);
+                }
+                None => buf.put_u8(0),
+            }
+        }
+    }
+    buf
+}
+
+/// Serialises a table plus its partition boundaries and cached per-segment
+/// statistics into the v2 store format, in memory. For large collections
+/// prefer [`save_store`], which streams the data region to disk instead of
+/// materialising a second copy of every fragment.
+///
+/// # Errors
+///
+/// [`VdError::InvalidArgument`] when `stats` is not parallel to `specs`,
+/// a stats entry covers a different range than its spec, a stats entry's
+/// dimensionality differs from the table's, or the specs do not tile the
+/// table's rows in order.
+pub fn store_to_bytes(
+    table: &DecomposedTable,
+    specs: &[SegmentSpec],
+    stats: &[SegmentStats],
+) -> Result<Bytes> {
+    validate_store_inputs(table, specs, stats)?;
+    let mut buf = store_header(table);
+    for c in table.columns() {
+        for &v in c.values() {
+            buf.put_f64_le(v);
+        }
+    }
+    let footer_offset = buf.len() as u64;
+    buf.put_slice(&store_footer(table, specs, stats));
+    buf.put_u64_le(footer_offset);
+    buf.put_slice(TAIL_MAGIC_V2);
+    Ok(buf.freeze())
+}
+
+/// Writes the v2 store to a file, streaming the data region through a
+/// buffered writer — peak extra memory is one I/O buffer plus the footer,
+/// not a second copy of the table, so collections near (or beyond, under
+/// [`StorageBackend::Mapped`]) RAM size can still be persisted. Same
+/// validation and byte-exact output as [`store_to_bytes`].
+pub fn save_store(
+    table: &DecomposedTable,
+    specs: &[SegmentSpec],
+    stats: &[SegmentStats],
+    path: &Path,
+) -> Result<()> {
+    use std::io::Write;
+    validate_store_inputs(table, specs, stats)?;
+    let io_err = |e: std::io::Error| VdError::Io(format!("writing {}: {e}", path.display()));
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut w = std::io::BufWriter::new(file);
+    let header = store_header(table);
+    w.write_all(&header).map_err(io_err)?;
+    let mut scratch = Vec::with_capacity(8 * 8192);
+    for c in table.columns() {
+        for chunk in c.values().chunks(8192) {
+            scratch.clear();
+            for &v in chunk {
+                scratch.extend_from_slice(&v.to_le_bytes());
+            }
+            w.write_all(&scratch).map_err(io_err)?;
+        }
+    }
+    let footer_offset = (header.len() + table.rows() * table.dims() * 8) as u64;
+    w.write_all(&store_footer(table, specs, stats)).map_err(io_err)?;
+    w.write_all(&footer_offset.to_le_bytes()).map_err(io_err)?;
+    w.write_all(TAIL_MAGIC_V2).map_err(io_err)?;
+    w.flush().map_err(io_err)
+}
+
+/// Partitions the table, computes the per-segment statistics, and writes the
+/// v2 store in one call — the convenience entry point for callers that do
+/// not already hold cached statistics (the execution engine does, and passes
+/// them to [`save_store`] directly).
+pub fn write_store(table: &DecomposedTable, partitions: usize, path: &Path) -> Result<()> {
+    let specs = table.partition_specs(partitions);
+    let stats: Vec<SegmentStats> =
+        specs.iter().map(|s| s.view(table).expect("spec in range").stats()).collect();
+    save_store(table, &specs, &stats, path)
+}
+
+/// Reconstructs a store from an in-memory v2 byte buffer (heap columns).
+pub fn store_from_bytes(bytes: &[u8]) -> Result<PersistedStore> {
+    let layout = parse_layout(bytes)?;
+    let rows = layout.rows;
+    let columns: Vec<Column> = layout
+        .column_names
+        .iter()
+        .enumerate()
+        .map(|(d, name)| {
+            let start = layout.data_offset + d * rows * 8;
+            let mut window = &bytes[start..start + rows * 8];
+            let mut values = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                values.push(window.get_f64_le());
+            }
+            Column::new(name.clone(), values)
+        })
+        .collect();
+    assemble_store(layout, columns, StorageBackend::Heap)
+}
+
+/// Opens a v2 store file.
+///
+/// With [`StorageBackend::Mapped`] the column fragments are *viewed* through
+/// a read-only file mapping: only the header/footer/trailer pages are read
+/// eagerly, the data pages fault in lazily as searches touch them. Where
+/// mapping is unsupported (non-unix, big-endian) the call transparently
+/// falls back to buffered heap reads — [`PersistedStore::backend`] reports
+/// what is actually in effect.
+pub fn open_store(path: &Path, backend: StorageBackend) -> Result<PersistedStore> {
+    if backend == StorageBackend::Mapped && StorageBackend::mapping_supported() {
+        let region = MappedRegion::map_file(path)?;
+        let layout = parse_layout(region.as_bytes())?;
+        let rows = layout.rows;
+        let columns: Result<Vec<Column>> = layout
+            .column_names
+            .iter()
+            .enumerate()
+            .map(|(d, name)| {
+                let data =
+                    ColumnData::mapped(region.clone(), layout.data_offset + d * rows * 8, rows)?;
+                Ok(Column::from_data(name.clone(), data))
+            })
+            .collect();
+        return assemble_store(layout, columns?, StorageBackend::Mapped);
+    }
+    let bytes =
+        std::fs::read(path).map_err(|e| VdError::Io(format!("reading {}: {e}", path.display())))?;
+    store_from_bytes(&bytes)
+}
+
+/// Everything the v2 header, footer and trailer describe — parsed and
+/// validated without touching a single byte of the data region.
+struct StoreLayout {
+    name: String,
+    rows: usize,
+    data_offset: usize,
+    column_names: Vec<String>,
+    deleted: Vec<RowId>,
+    specs: Vec<SegmentSpec>,
+    stats: Vec<SegmentStats>,
+}
+
+fn parse_layout(bytes: &[u8]) -> Result<StoreLayout> {
+    let mut buf = bytes;
+    check_magic(&mut buf, MAGIC_V2, STORE_VERSION)?;
+    let name = get_string(&mut buf)?;
+    if buf.remaining() < 12 {
+        return Err(VdError::Corrupt("truncated store header".into()));
+    }
+    let dims = buf.get_u32_le() as usize;
+    let rows = checked_rows(buf.get_u64_le())?;
+    if dims == 0 {
+        return Err(VdError::Corrupt("zero dimensions".into()));
+    }
+    let header_len = bytes.len() - buf.remaining();
+    let data_offset = header_len.div_ceil(8) * 8;
+    let data_len = dims
+        .checked_mul(rows)
+        .and_then(|n| n.checked_mul(8))
+        .ok_or_else(|| VdError::Corrupt("data region length overflows".into()))?;
+    let footer_offset = data_offset
+        .checked_add(data_len)
+        .ok_or_else(|| VdError::Corrupt("footer offset overflows".into()))?;
+    let min_len = footer_offset
+        .checked_add(TRAILER_LEN)
+        .ok_or_else(|| VdError::Corrupt("store length overflows".into()))?;
+    if bytes.len() < min_len {
+        return Err(VdError::Corrupt("store truncated before its footer".into()));
+    }
+    let mut trailer = &bytes[bytes.len() - TRAILER_LEN..];
+    let trailer_footer_offset = trailer.get_u64_le();
+    if trailer != TAIL_MAGIC_V2.as_slice() {
+        return Err(VdError::Corrupt("bad trailer magic".into()));
+    }
+    if trailer_footer_offset != footer_offset as u64 {
+        return Err(VdError::Corrupt(format!(
+            "trailer footer offset {trailer_footer_offset} disagrees with header-derived \
+             offset {footer_offset}"
+        )));
+    }
+    // header padding must be zero bytes
+    if bytes[header_len..data_offset].iter().any(|&b| b != 0) {
+        return Err(VdError::Corrupt("non-zero header padding".into()));
+    }
+
+    let mut footer = &bytes[footer_offset..bytes.len() - TRAILER_LEN];
+    let column_names: Vec<String> =
+        (0..dims).map(|_| get_string(&mut footer)).collect::<Result<_>>()?;
+
+    let n_deleted = read_u32(&mut footer, "tombstone count")? as usize;
+    let mut deleted = Vec::with_capacity(n_deleted.min(rows + 1));
+    let mut previous: Option<RowId> = None;
+    for _ in 0..n_deleted {
+        let row = read_u32(&mut footer, "tombstone row id")?;
+        if row as usize >= rows {
+            return Err(VdError::Corrupt(format!("tombstoned row {row} out of range {rows}")));
+        }
+        if previous.is_some_and(|p| p >= row) {
+            return Err(VdError::Corrupt("tombstone row ids not strictly ascending".into()));
+        }
+        previous = Some(row);
+        deleted.push(row);
+    }
+
+    let n_segments = read_u32(&mut footer, "segment count")? as usize;
+    let mut specs = Vec::with_capacity(n_segments.min(rows + 1));
+    let mut stats = Vec::with_capacity(n_segments.min(rows + 1));
+    let mut next_start = 0usize;
+    for _ in 0..n_segments {
+        let start = checked_rows(read_u64(&mut footer, "segment start")?)?;
+        let len = checked_rows(read_u64(&mut footer, "segment length")?)?;
+        if start != next_start || len == 0 {
+            return Err(VdError::Corrupt(format!(
+                "segments must tile the table in row order: got start {start}, length {len}, \
+                 expected start {next_start}"
+            )));
+        }
+        next_start = start.checked_add(len).filter(|&end| end <= rows).ok_or_else(|| {
+            VdError::Corrupt(format!("segment {start}+{len} exceeds {rows} rows"))
+        })?;
+        let live_rows = checked_rows(read_u64(&mut footer, "live-row count")?)?;
+        if live_rows > len {
+            return Err(VdError::Corrupt(format!(
+                "segment claims {live_rows} live rows in {len} rows"
+            )));
+        }
+        let row_sum_min = read_f64(&mut footer, "row-sum minimum")?;
+        let row_sum_max = read_f64(&mut footer, "row-sum maximum")?;
+        let row_sum_mean = read_f64(&mut footer, "row-sum mean")?;
+        let per_dim: Vec<Option<ColumnStats>> = (0..dims)
+            .map(|d| match read_u8(&mut footer, "per-dimension stats flag")? {
+                0 => Ok(None),
+                1 => Ok(Some(ColumnStats {
+                    name: column_names[d].clone(),
+                    min: read_f64(&mut footer, "dimension minimum")?,
+                    max: read_f64(&mut footer, "dimension maximum")?,
+                    mean: read_f64(&mut footer, "dimension mean")?,
+                    variance: read_f64(&mut footer, "dimension variance")?,
+                    skewness: read_f64(&mut footer, "dimension skewness")?,
+                })),
+                flag => Err(VdError::Corrupt(format!("invalid stats flag {flag}"))),
+            })
+            .collect::<Result<_>>()?;
+        specs.push(SegmentSpec::new(start, len));
+        stats.push(SegmentStats {
+            range: start..start + len,
+            per_dim,
+            live_rows,
+            row_sum_min,
+            row_sum_max,
+            row_sum_mean,
+        });
+    }
+    if next_start != rows {
+        return Err(VdError::Corrupt(format!(
+            "segments cover rows 0..{next_start} of a table with {rows} rows"
+        )));
+    }
+    if !footer.is_empty() {
+        return Err(VdError::Corrupt(format!("{} trailing bytes in footer", footer.len())));
+    }
+    Ok(StoreLayout { name, rows, data_offset, column_names, deleted, specs, stats })
+}
+
+fn assemble_store(
+    layout: StoreLayout,
+    columns: Vec<Column>,
+    backend: StorageBackend,
+) -> Result<PersistedStore> {
+    let mut tombstones = Bitmap::new(layout.rows);
+    for &row in &layout.deleted {
+        tombstones.set(row);
+    }
+    let table = DecomposedTable::from_parts(layout.name, columns, tombstones)?;
+    Ok(PersistedStore { table, specs: layout.specs, stats: layout.stats, backend })
+}
+
+/// Checks that `specs`/`stats` describe a valid segment layout for `table`:
+/// parallel, non-empty specs tiling `0..rows` in order, each stats entry
+/// covering exactly its spec's range with the table's dimensionality. Both
+/// store writers call this before serialising, and the execution engine
+/// applies the same check to layouts handed to it directly (e.g. a
+/// hand-assembled `PersistedStore`) — one validator, one invariant.
+///
+/// # Errors
+///
+/// [`VdError::InvalidArgument`] naming the violated invariant.
+pub fn validate_store_inputs(
+    table: &DecomposedTable,
+    specs: &[SegmentSpec],
+    stats: &[SegmentStats],
+) -> Result<()> {
+    if specs.len() != stats.len() {
+        return Err(VdError::InvalidArgument(format!(
+            "{} segment specs but {} stats entries",
+            specs.len(),
+            stats.len()
+        )));
+    }
+    let mut next_start = 0usize;
+    for (spec, stat) in specs.iter().zip(stats) {
+        if spec.start() != next_start || spec.is_empty() || spec.range().end > table.rows() {
+            return Err(VdError::InvalidArgument(format!(
+                "segment specs must tile the table's {} rows in order; offending spec {:?}",
+                table.rows(),
+                spec
+            )));
+        }
+        next_start = spec.range().end;
+        if stat.spec() != *spec {
+            return Err(VdError::InvalidArgument(format!(
+                "stats cover {:?} but the spec covers {:?}",
+                stat.range,
+                spec.range()
+            )));
+        }
+        if stat.per_dim.len() != table.dims() {
+            return Err(VdError::InvalidArgument(format!(
+                "stats carry {} dimensions, table has {}",
+                stat.per_dim.len(),
+                table.dims()
+            )));
+        }
+    }
+    if next_start != table.rows() {
+        return Err(VdError::InvalidArgument(format!(
+            "segment specs cover rows 0..{next_start} of a table with {} rows",
+            table.rows()
+        )));
+    }
+    Ok(())
+}
+
+/// Checks an 8-byte magic whose last two bytes are the ASCII version. A
+/// recognised prefix with a different version reports
+/// [`VdError::UnsupportedVersion`]; anything else is [`VdError::Corrupt`].
+fn check_magic(buf: &mut &[u8], expected: &[u8; 8], expected_version: u32) -> Result<()> {
+    if buf.remaining() < expected.len() {
+        return Err(VdError::Corrupt("buffer shorter than magic".into()));
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic == expected {
+        return Ok(());
+    }
+    if &magic[..6] == MAGIC_PREFIX {
+        if let Some(found) = std::str::from_utf8(&magic[6..]).ok().and_then(|v| v.parse().ok()) {
+            return Err(VdError::UnsupportedVersion { found, supported: expected_version });
+        }
+    }
+    Err(VdError::Corrupt(format!("bad magic {magic:?}")))
+}
+
+fn checked_rows(rows: u64) -> Result<usize> {
+    // RowIds are u32: anything larger cannot be addressed and is rejected
+    // before it can drive an oversized allocation.
+    if rows > u32::MAX as u64 {
+        return Err(VdError::Corrupt(format!("row count {rows} exceeds the u32 row-id space")));
+    }
+    Ok(rows as usize)
+}
+
+fn read_u8(buf: &mut &[u8], what: &str) -> Result<u8> {
+    if buf.remaining() < 1 {
+        return Err(VdError::Corrupt(format!("truncated {what}")));
+    }
+    Ok(buf.get_u8())
+}
+
+fn read_u32(buf: &mut &[u8], what: &str) -> Result<u32> {
+    if buf.remaining() < 4 {
+        return Err(VdError::Corrupt(format!("truncated {what}")));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn read_u64(buf: &mut &[u8], what: &str) -> Result<u64> {
+    if buf.remaining() < 8 {
+        return Err(VdError::Corrupt(format!("truncated {what}")));
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn read_f64(buf: &mut &[u8], what: &str) -> Result<f64> {
+    if buf.remaining() < 8 {
+        return Err(VdError::Corrupt(format!("truncated {what}")));
+    }
+    Ok(buf.get_f64_le())
 }
 
 fn put_string(buf: &mut BytesMut, s: &str) {
@@ -172,6 +675,13 @@ mod tests {
         t
     }
 
+    fn sample_store_bytes(partitions: usize) -> Bytes {
+        let t = sample();
+        let specs = t.partition_specs(partitions);
+        let stats: Vec<SegmentStats> = specs.iter().map(|s| s.view(&t).unwrap().stats()).collect();
+        store_to_bytes(&t, &specs, &stats).unwrap()
+    }
+
     #[test]
     fn round_trip_preserves_everything() {
         let t = sample();
@@ -200,6 +710,36 @@ mod tests {
     }
 
     #[test]
+    fn trailing_bytes_are_rejected() {
+        let t = sample();
+        let mut padded = table_to_bytes(&t).to_vec();
+        padded.push(0);
+        let err = table_from_bytes(&padded).unwrap_err();
+        assert!(matches!(err, VdError::Corrupt(ref msg) if msg.contains("trailing")), "{err}");
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        // a v2 store pushed through the v1 reader reports the version gap
+        let bytes = sample_store_bytes(2);
+        assert_eq!(
+            table_from_bytes(&bytes).unwrap_err(),
+            VdError::UnsupportedVersion { found: 2, supported: 1 }
+        );
+        // and vice versa
+        let v1 = table_to_bytes(&sample());
+        assert_eq!(
+            store_from_bytes(&v1).unwrap_err(),
+            VdError::UnsupportedVersion { found: 1, supported: 2 }
+        );
+        // an unrecognisable version suffix is plain corruption
+        let mut weird = v1.to_vec();
+        weird[6] = b'x';
+        weird[7] = b'y';
+        assert!(matches!(table_from_bytes(&weird), Err(VdError::Corrupt(_))));
+    }
+
+    #[test]
     fn file_round_trip() {
         let dir = std::env::temp_dir().join("vdstore_persist_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -209,7 +749,7 @@ mod tests {
         let back = load_table(&path).unwrap();
         assert_eq!(back.rows(), t.rows());
         std::fs::remove_file(&path).unwrap();
-        assert!(load_table(&path).is_err());
+        assert!(matches!(load_table(&path), Err(VdError::Io(_))));
     }
 
     #[test]
@@ -219,5 +759,140 @@ mod tests {
         let back = bitmap_from_bytes(&bytes).unwrap();
         assert_eq!(back, b);
         assert!(bitmap_from_bytes(&[1, 2]).is_err());
+        // trailing partial row ids are rejected, not silently dropped
+        let mut ragged = bytes.to_vec();
+        ragged.extend_from_slice(&[1, 2, 3]);
+        let err = bitmap_from_bytes(&ragged).unwrap_err();
+        assert!(matches!(err, VdError::Corrupt(ref msg) if msg.contains("trailing")), "{err}");
+        // an absurd domain length cannot drive an oversized allocation
+        let mut huge = bytes.to_vec();
+        huge[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(bitmap_from_bytes(&huge), Err(VdError::Corrupt(_))));
+    }
+
+    #[test]
+    fn store_round_trip_preserves_table_specs_and_stats() {
+        let t = sample();
+        let specs = t.partition_specs(2);
+        let stats: Vec<SegmentStats> = specs.iter().map(|s| s.view(&t).unwrap().stats()).collect();
+        let bytes = store_to_bytes(&t, &specs, &stats).unwrap();
+        let store = store_from_bytes(&bytes).unwrap();
+        assert_eq!(store.backend, StorageBackend::Heap);
+        assert_eq!(store.table, t);
+        assert_eq!(store.specs, specs);
+        assert_eq!(store.stats, stats);
+        assert!(store.table.is_deleted(1));
+        assert_eq!(store.table.column(1).unwrap().name(), "dim_1");
+    }
+
+    #[test]
+    fn store_data_region_is_aligned() {
+        let bytes = sample_store_bytes(1);
+        // header: magic(8) + name_len(4) + name(12) + dims(4) + rows(8) = 36,
+        // padded to 40; every fragment offset is then 8-byte aligned.
+        let mut probe = &bytes[40..];
+        assert_eq!(probe.get_f64_le(), 0.1, "first value of dim_0 sits at the aligned offset");
+    }
+
+    #[test]
+    fn store_writer_validates_inputs() {
+        let t = sample();
+        let specs = t.partition_specs(2);
+        let stats: Vec<SegmentStats> = specs.iter().map(|s| s.view(&t).unwrap().stats()).collect();
+        // specs/stats must be parallel
+        assert!(matches!(
+            store_to_bytes(&t, &specs, &stats[..1]),
+            Err(VdError::InvalidArgument(_))
+        ));
+        // stats must cover the spec's range
+        let swapped = vec![stats[1].clone(), stats[0].clone()];
+        assert!(matches!(store_to_bytes(&t, &specs, &swapped), Err(VdError::InvalidArgument(_))));
+        // specs must tile the table
+        let gappy = vec![SegmentSpec::new(0, 1), SegmentSpec::new(2, 1)];
+        let gappy_stats: Vec<SegmentStats> =
+            gappy.iter().map(|s| s.view(&t).unwrap().stats()).collect();
+        assert!(matches!(
+            store_to_bytes(&t, &gappy, &gappy_stats),
+            Err(VdError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn store_truncations_and_corruptions_are_typed_errors() {
+        let bytes = sample_store_bytes(3);
+        assert!(store_from_bytes(&[]).is_err());
+        for cut in [4, 9, 20, bytes.len() / 2, bytes.len() - 1] {
+            let err = store_from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, VdError::Corrupt(_) | VdError::UnsupportedVersion { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+        // trailing bytes between footer and trailer shift the trailer: caught
+        let mut padded = bytes.to_vec();
+        padded.insert(bytes.len() - TRAILER_LEN, 0);
+        assert!(store_from_bytes(&padded).is_err());
+        // a corrupted trailer magic is caught
+        let mut bad_tail = bytes.to_vec();
+        *bad_tail.last_mut().unwrap() = b'X';
+        assert!(store_from_bytes(&bad_tail).is_err());
+    }
+
+    #[test]
+    fn streamed_save_matches_in_memory_serialisation_byte_for_byte() {
+        let dir = std::env::temp_dir().join("vdstore_store_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("streamed.bondvd");
+        let t = sample();
+        let specs = t.partition_specs(2);
+        let stats: Vec<SegmentStats> = specs.iter().map(|s| s.view(&t).unwrap().stats()).collect();
+        save_store(&t, &specs, &stats, &path).unwrap();
+        let streamed = std::fs::read(&path).unwrap();
+        let in_memory = store_to_bytes(&t, &specs, &stats).unwrap();
+        assert_eq!(streamed, in_memory.to_vec(), "the two writers must never diverge");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn store_file_round_trip_both_backends() {
+        let dir = std::env::temp_dir().join("vdstore_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.bondvd");
+        let t = sample();
+        write_store(&t, 2, &path).unwrap();
+
+        let heap = open_store(&path, StorageBackend::Heap).unwrap();
+        assert_eq!(heap.backend, StorageBackend::Heap);
+        assert_eq!(heap.table, t);
+
+        let mapped = open_store(&path, StorageBackend::Mapped).unwrap();
+        assert_eq!(mapped.table, t);
+        assert_eq!(mapped.specs, heap.specs);
+        assert_eq!(mapped.stats, heap.stats);
+        if StorageBackend::mapping_supported() {
+            assert_eq!(mapped.backend, StorageBackend::Mapped);
+            assert_eq!(mapped.table.column(0).unwrap().backend(), StorageBackend::Mapped);
+        } else {
+            assert_eq!(mapped.backend, StorageBackend::Heap);
+        }
+
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(open_store(&path, StorageBackend::Heap), Err(VdError::Io(_))));
+        assert!(matches!(open_store(&path, StorageBackend::Mapped), Err(VdError::Io(_))));
+    }
+
+    #[test]
+    fn persisted_stats_match_freshly_computed_stats() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("vdstore_store_stats_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stats.bondvd");
+        write_store(&t, 3, &path).unwrap();
+        let store = open_store(&path, StorageBackend::Heap).unwrap();
+        for (spec, stat) in store.specs.iter().zip(&store.stats) {
+            let fresh = spec.view(&store.table).unwrap().stats();
+            assert_eq!(*stat, fresh, "footer stats are bit-identical to recomputed stats");
+        }
+        std::fs::remove_file(&path).unwrap();
     }
 }

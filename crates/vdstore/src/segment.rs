@@ -218,6 +218,13 @@ pub struct SegmentStats {
 }
 
 impl SegmentStats {
+    /// The owned boundary description of the row range the statistics
+    /// cover — the inverse of [`SegmentSpec::view`] + [`Segment::stats`],
+    /// used when persisted stats are matched back to persisted specs.
+    pub fn spec(&self) -> SegmentSpec {
+        SegmentSpec::new(self.range.start, self.range.end - self.range.start)
+    }
+
     /// The per-dimension mean values (NaN for an empty segment).
     pub fn mean_per_dim(&self) -> Vec<f64> {
         self.per_dim.iter().map(|s| s.as_ref().map_or(f64::NAN, |s| s.mean)).collect()
@@ -339,6 +346,7 @@ mod tests {
         let view = spec.view(&t).unwrap();
         assert_eq!(view.range(), 3..7);
         assert_eq!(view.spec(), spec);
+        assert_eq!(view.stats().spec(), spec);
         // out-of-bounds specs fail to materialise instead of panicking
         assert!(SegmentSpec::new(5, 6).view(&t).is_err());
         assert!(SegmentSpec::new(0, 0).is_empty());

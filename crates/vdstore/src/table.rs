@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use crate::bitmap::Bitmap;
 use crate::column::Column;
 use crate::error::{Result, VdError};
+use crate::mmap::StorageBackend;
 use crate::rowmatrix::RowMatrix;
 use crate::RowId;
 
@@ -40,6 +41,25 @@ impl DecomposedTable {
             }
         }
         Ok(DecomposedTable { name: name.into(), columns, rows, deleted: Bitmap::new(rows) })
+    }
+
+    /// Builds a table from pre-decomposed columns plus an explicit tombstone
+    /// bitmap — the constructor a persisted-store reader uses, where the
+    /// tombstones arrive wholesale from the footer instead of through
+    /// per-row [`DecomposedTable::delete`] calls.
+    ///
+    /// The bitmap's length must equal the column length.
+    pub fn from_parts(
+        name: impl Into<String>,
+        columns: Vec<Column>,
+        deleted: Bitmap,
+    ) -> Result<Self> {
+        let mut table = Self::from_columns(name, columns)?;
+        if deleted.len() != table.rows {
+            return Err(VdError::LengthMismatch { expected: table.rows, actual: deleted.len() });
+        }
+        table.deleted = deleted;
+        Ok(table)
     }
 
     /// Builds a table by vertically decomposing row-major vectors.
@@ -99,6 +119,20 @@ impl DecomposedTable {
     /// All columns, in dimension order.
     pub fn columns(&self) -> &[Column] {
         &self.columns
+    }
+
+    /// The storage backend serving this table's columns:
+    /// [`StorageBackend::Mapped`] when every column views a mapped store
+    /// file, [`StorageBackend::Heap`] otherwise (including after a
+    /// copy-on-write mutation promoted any column to the heap).
+    pub fn backend(&self) -> StorageBackend {
+        if !self.columns.is_empty()
+            && self.columns.iter().all(|c| c.backend() == StorageBackend::Mapped)
+        {
+            StorageBackend::Mapped
+        } else {
+            StorageBackend::Heap
+        }
     }
 
     /// Reconstructs the full vector of a row (a positional "tuple
@@ -295,6 +329,20 @@ mod tests {
         );
         assert!(matches!(err, Err(VdError::LengthMismatch { .. })));
         assert!(DecomposedTable::from_columns("empty", vec![]).is_err());
+    }
+
+    #[test]
+    fn from_parts_installs_tombstones_wholesale() {
+        let t = sample();
+        let rebuilt =
+            DecomposedTable::from_parts(t.name(), t.columns().to_vec(), Bitmap::from_rows(3, &[1]))
+                .unwrap();
+        assert_eq!(rebuilt.rows(), 3);
+        assert!(rebuilt.is_deleted(1));
+        assert_eq!(rebuilt.live_rows(), 2);
+        // bitmap length must match the column length
+        let err = DecomposedTable::from_parts("bad", t.columns().to_vec(), Bitmap::new(5));
+        assert!(matches!(err, Err(VdError::LengthMismatch { expected: 3, actual: 5 })));
     }
 
     #[test]

@@ -131,6 +131,95 @@ proptest! {
     }
 
     #[test]
+    fn segment_store_round_trips_with_bit_exact_stats(
+        raw in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 5), 1..40),
+        deleted in proptest::collection::vec(proptest::bool::ANY, 1..40),
+        partitions in 1usize..6,
+    ) {
+        let mut table = DecomposedTable::from_vectors("store", &raw).unwrap();
+        for (i, &d) in deleted.iter().enumerate().take(raw.len()) {
+            if d {
+                table.delete(i as u32).unwrap();
+            }
+        }
+        let specs = table.partition_specs(partitions);
+        let stats: Vec<vdstore::SegmentStats> =
+            specs.iter().map(|s| s.view(&table).unwrap().stats()).collect();
+        let bytes = persist::store_to_bytes(&table, &specs, &stats).unwrap();
+        let store = persist::store_from_bytes(&bytes).unwrap();
+
+        prop_assert_eq!(&store.table, &table);
+        prop_assert_eq!(&store.specs, &specs);
+        // the footer's statistics are bit-exact: equal to the written ones
+        // AND to statistics recomputed from the reopened table
+        prop_assert_eq!(&store.stats, &stats);
+        for (spec, stat) in store.specs.iter().zip(&store.stats) {
+            let fresh = spec.view(&store.table).unwrap().stats();
+            prop_assert_eq!(stat, &fresh);
+            prop_assert_eq!(stat.envelope(), fresh.envelope());
+        }
+    }
+
+    #[test]
+    fn store_parsing_never_panics_on_truncation(
+        raw in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 4), 1..20),
+        partitions in 1usize..4,
+        cut_seed in 0usize..1_000_000_000,
+    ) {
+        let table = DecomposedTable::from_vectors("trunc", &raw).unwrap();
+        let specs = table.partition_specs(partitions);
+        let stats: Vec<vdstore::SegmentStats> =
+            specs.iter().map(|s| s.view(&table).unwrap().stats()).collect();
+        let bytes = persist::store_to_bytes(&table, &specs, &stats).unwrap();
+        // every proper prefix must fail with a typed error, never a panic
+        let cut = cut_seed % bytes.len();
+        let err = persist::store_from_bytes(&bytes[..cut]).unwrap_err();
+        prop_assert!(matches!(
+            err,
+            vdstore::VdError::Corrupt(_) | vdstore::VdError::UnsupportedVersion { .. }
+        ));
+    }
+
+    #[test]
+    fn store_parsing_never_panics_on_single_byte_corruption(
+        raw in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 3), 1..12),
+        flip_seed in 0usize..1_000_000_000,
+        flip_bits in 1u8..=255,
+    ) {
+        let table = DecomposedTable::from_vectors("flip", &raw).unwrap();
+        let specs = table.partition_specs(2);
+        let stats: Vec<vdstore::SegmentStats> =
+            specs.iter().map(|s| s.view(&table).unwrap().stats()).collect();
+        let mut bytes = persist::store_to_bytes(&table, &specs, &stats).unwrap().to_vec();
+        let at = flip_seed % bytes.len();
+        bytes[at] ^= flip_bits;
+        // a flipped byte may land in the f64 data region (still a valid
+        // store) — what is forbidden is a panic or a structurally
+        // inconsistent success
+        if let Ok(store) = persist::store_from_bytes(&bytes) {
+            prop_assert_eq!(store.table.dims(), table.dims());
+            prop_assert_eq!(store.table.rows(), table.rows());
+            prop_assert_eq!(store.specs.len(), store.stats.len());
+        }
+    }
+
+    #[test]
+    fn bitmap_bytes_reject_ragged_tails(
+        domain in 1u32..500,
+        set in proptest::collection::vec(0u32..500, 0..20),
+        junk in proptest::collection::vec(0u8..=255, 1..3),
+    ) {
+        let set: Vec<u32> = set.into_iter().filter(|&r| r < domain).collect();
+        let bitmap = Bitmap::from_rows(domain as usize, &set);
+        let bytes = persist::bitmap_to_bytes(&bitmap);
+        prop_assert_eq!(persist::bitmap_from_bytes(&bytes).unwrap(), bitmap);
+        // appending 1..3 junk bytes always breaks the 4-byte row alignment
+        let mut ragged = bytes.to_vec();
+        ragged.extend_from_slice(&junk);
+        prop_assert!(persist::bitmap_from_bytes(&ragged).is_err());
+    }
+
+    #[test]
     fn row_matrix_matches_decomposed_table(
         raw in proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, 5), 1..50),
     ) {

@@ -21,6 +21,8 @@ pub use bond_exec::{
     ServerBuilder, Ticket,
 };
 
+pub use vdstore::{PersistedStore, StorageBackend};
+
 /// The unified error enum every layer of the workspace reports through:
 /// storage errors wrap as [`BondError::Storage`], engine/builder validation
 /// as the parameter variants, and the service layer as
