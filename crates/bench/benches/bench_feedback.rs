@@ -1,0 +1,150 @@
+//! Cold adaptive vs. warmed feedback planning on clustered data: batch
+//! latency, scanned rows and zone-map skips.
+//!
+//! ```text
+//! cargo bench -p bond-bench --bench bench_feedback
+//! ```
+//!
+//! Generates `datagen`'s clustered distribution in the cluster-major layout
+//! (the regime where a-priori moments mislead: contiguous row segments have
+//! divergent statistics), then compares two engines on the same evaluation
+//! batch: a cold `PlannerKind::Adaptive` engine (plans a-priori from
+//! `SegmentStats`) and a `PlannerKind::Feedback` engine warmed with 100
+//! queries first (plans from the accumulated per-segment prune traces).
+//! Reports per-planner batch latency, scanned work and skip counts, the
+//! feedback/adaptive work ratio, and a machine-readable `BENCH_JSON` line
+//! for the perf trajectory.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bond_datagen::{sample_queries, ClusteredConfig};
+use bond_exec::{Engine, PlannerKind, RequestBatch, RuleKind};
+
+struct Series {
+    planner: &'static str,
+    batch_ms: f64,
+    ms_per_query: f64,
+    contributions: u64,
+    segments_skipped: usize,
+}
+
+fn main() {
+    let rows = 40_000;
+    let dims = 32;
+    let k = 10;
+    let n_queries = 16;
+    let partitions = 8;
+    let warming_queries = 100;
+    let reps = 3;
+
+    // Few clusters relative to the partition count: contiguous segments
+    // cover a handful of clusters each — exactly where observed prune
+    // behaviour outruns the a-priori moments.
+    let table = Arc::new(
+        ClusteredConfig { clusters: 16, ..ClusteredConfig::small(rows, dims, 0.0) }
+            .with_cluster_major(true)
+            .generate(),
+    );
+    let eval = RequestBatch::from_queries(sample_queries(&table, n_queries, 4321), k);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "feedback planning: {} rows x {dims} dims (clustered, cluster-major), \
+         {n_queries} queries, k = {k}, {partitions} partitions, {warming_queries} warming \
+         queries, {cores} cores",
+        table.rows()
+    );
+
+    let build = |planner: PlannerKind| {
+        Engine::builder(table.clone())
+            .partitions(partitions)
+            .threads(1) // isolate plan quality + skipping from parallel speedup
+            .rule(RuleKind::EuclideanEv)
+            .planner(planner)
+            .build()
+            .expect("valid engine configuration")
+    };
+
+    let mut series: Vec<Series> = Vec::new();
+    for (name, planner) in
+        [("adaptive_cold", PlannerKind::Adaptive), ("feedback_warm", PlannerKind::Feedback)]
+    {
+        let engine = build(planner);
+        if planner == PlannerKind::Feedback {
+            // warm the feedback store on a disjoint query sample
+            let warming =
+                RequestBatch::from_queries(sample_queries(&table, warming_queries, 99), k);
+            engine.execute(&warming).expect("warming batch executes");
+            let snapshot = engine.feedback_snapshot();
+            println!(
+                "  warmed on {warming_queries} queries: {} searches folded, {} segment skips \
+                 observed",
+                snapshot.total_searches(),
+                snapshot.total_skips(),
+            );
+        }
+        // untimed pass collects the work counters (and, for the adaptive
+        // engine, mirrors the feedback engine's warm cache state)
+        let outcome = engine.execute(&eval).expect("batch executes");
+        let contributions: u64 = outcome.queries.iter().map(|q| q.contributions_evaluated()).sum();
+        let segments_skipped: usize = outcome.queries.iter().map(|q| q.segments_skipped()).sum();
+
+        let timer = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(engine.execute(&eval).expect("batch executes"));
+        }
+        let elapsed = timer.elapsed();
+        let batch_ms = elapsed.as_secs_f64() * 1000.0 / reps as f64;
+        let ms_per_query = batch_ms / eval.len() as f64;
+        println!(
+            "  {name:>13}: {batch_ms:>8.2} ms/batch, {ms_per_query:>6.2} ms/query, \
+             {contributions:>12} contributions, {segments_skipped:>3} segment searches skipped",
+        );
+        series.push(Series {
+            planner: name,
+            batch_ms,
+            ms_per_query,
+            contributions,
+            segments_skipped,
+        });
+    }
+
+    let adaptive = &series[0];
+    let feedback = &series[1];
+    let work_ratio = feedback.contributions as f64 / adaptive.contributions.max(1) as f64;
+    println!(
+        "  warmed feedback vs cold adaptive: {:.2}x latency, {:.2}x scanned work, \
+         {} vs {} segment searches skipped (of {})",
+        feedback.batch_ms / adaptive.batch_ms,
+        work_ratio,
+        feedback.segments_skipped,
+        adaptive.segments_skipped,
+        n_queries * partitions,
+    );
+
+    // Machine-readable summary for the perf trajectory.
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"bench\":\"feedback_planning\",\"rows\":{},\"dims\":{dims},\"k\":{k},\
+         \"queries\":{n_queries},\"partitions\":{partitions},\
+         \"warming_queries\":{warming_queries},\"reps\":{reps},\"cores\":{cores},\
+         \"rule\":\"Ev\",\"distribution\":\"clustered_cluster_major\",\
+         \"work_ratio\":{work_ratio:.4},\"series\":[",
+        table.rows()
+    );
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"planner\":\"{}\",\"batch_ms\":{:.4},\"ms_per_query\":{:.4},\
+             \"contributions\":{},\"segments_skipped\":{}}}",
+            s.planner, s.batch_ms, s.ms_per_query, s.contributions, s.segments_skipped
+        );
+    }
+    json.push_str("]}");
+    println!("BENCH_JSON {json}");
+}

@@ -1,0 +1,361 @@
+//! The cost model: one place that turns segment knowledge into decisions.
+//!
+//! Three layers used to make their own calls from their own inputs — the
+//! exec planner derived dimension orders from a-priori [`SegmentStats`], the
+//! engine's zone-map check consulted envelopes, and the service layer had no
+//! cost notion at all. [`CostModel`] unifies them: it consumes a segment's
+//! statistics *and* (when available) its accumulated
+//! [`SegmentFeedbackSnapshot`] and
+//! answers the two questions every layer asks:
+//!
+//! * **What plan should this segment run?** [`CostModel::plan`] is the
+//!   a-priori derivation (the former exec `AdaptivePlanner`, moved here
+//!   verbatim so adaptive planning stays bit-identical);
+//!   [`CostModel::plan_with_feedback`] re-ranks the dimension order toward
+//!   dimensions that *observably pruned* on past queries and shortens the
+//!   warmup toward the observed first-effective-prune depth. Cold segments
+//!   (fewer than [`CostModel::min_warm_searches`] folded searches, or no
+//!   prune signal yet) fall back to the a-priori plan exactly.
+//! * **How expensive is this segment for one query?**
+//!   [`CostModel::segment_cost`] estimates the expected number of
+//!   `(candidate, dimension)` cells a search will touch, discounted by the
+//!   observed zone-map skip rate — the per-spec cost estimate the service
+//!   layer orders and cuts batches by.
+//!
+//! Any valid plan yields rank-correct answers (the engine re-verifies exact
+//! scores at merge time), so feedback can only change *work*, never
+//! results.
+
+use crate::feedback::SegmentFeedbackSnapshot;
+use crate::plan::SegmentPlan;
+use crate::schedule::BlockSchedule;
+use bond_metrics::Objective;
+use vdstore::SegmentStats;
+
+/// Derives per-segment plans and cost estimates from segment statistics and
+/// accumulated execution feedback.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Folded searches a segment needs before its learned signals outrank
+    /// the a-priori statistics (below this, feedback plans equal a-priori
+    /// plans exactly).
+    pub min_warm_searches: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { min_warm_searches: 8 }
+    }
+}
+
+impl CostModel {
+    /// Upper bound on how much weight the learned prune-credit distribution
+    /// gets in the blended ordering keys; the remainder stays with the
+    /// a-priori keys so a distribution shift can still be picked up.
+    const MAX_FEEDBACK_WEIGHT: f64 = 0.25;
+    /// Half-saturation constant of the warm-up ramp: at this many folded
+    /// searches the learned signal carries half its maximum weight.
+    const RAMP_SEARCHES: f64 = 16.0;
+    /// The learned warmup probes *below* the mean observed
+    /// first-effective-prune depth by this factor. Probing early is safe
+    /// for scanned work — an attempt before the true effective depth
+    /// either prunes (strictly fewer scans) or removes nothing (same
+    /// scans, one extra bound evaluation) — and self-corrects: when the
+    /// earlier attempt fires, the observed depth ratchets down toward the
+    /// true earliest effective point; when it never fires, the mean stays
+    /// put and the probe stops shrinking.
+    const WARMUP_PROBE: f64 = 0.5;
+
+    /// The per-dimension a-priori ordering keys for one segment (larger =
+    /// scan earlier). For a distance metric the expected per-dimension
+    /// contribution of a segment row is exactly
+    /// `E[(v_d − q_d)²] = (μ_d − q_d)² + σ_d²`; for a similarity metric the
+    /// achievable contribution is capped at `min(q_d, max_d)`. Falls back
+    /// to the query value itself for dimensions with no statistics (empty
+    /// segments never reach the search loop).
+    pub fn apriori_keys(
+        stats: &SegmentStats,
+        query: &[f64],
+        weights: Option<&[f64]>,
+        objective: Objective,
+    ) -> Vec<f64> {
+        query
+            .iter()
+            .enumerate()
+            .map(|(d, &q)| {
+                let w = weights.map_or(1.0, |w| w[d]);
+                let key = match (&stats.per_dim[d], objective) {
+                    (Some(s), Objective::Minimize) => {
+                        let bias = s.mean - q;
+                        bias * bias + s.variance
+                    }
+                    (Some(s), Objective::Maximize) => q.min(s.max),
+                    (None, _) => q,
+                };
+                w * key
+            })
+            .collect()
+    }
+
+    /// The a-priori plan for one segment: dimensions sorted by decreasing
+    /// key (deterministic tie-break on the dimension index), and a warmup
+    /// schedule sized so the first pruning attempt happens once half of the
+    /// total key mass has been scanned. This is exactly what the adaptive
+    /// planner has always produced.
+    pub fn plan(
+        &self,
+        stats: &SegmentStats,
+        query: &[f64],
+        weights: Option<&[f64]>,
+        objective: Objective,
+    ) -> SegmentPlan {
+        let keys = Self::apriori_keys(stats, query, weights, objective);
+        Self::plan_from_keys(&keys, None)
+    }
+
+    /// The feedback-driven plan for one segment: the a-priori keys are
+    /// blended with the segment's observed per-dimension prune-credit
+    /// distribution (weight ramping up with the number of folded searches),
+    /// and the warmup is capped at the mean observed
+    /// first-effective-prune depth. A pruning attempt placed earlier than
+    /// the a-priori warmup can only reduce scanned work — it either prunes
+    /// (fewer rows scan the remaining dimensions) or leaves the candidate
+    /// set unchanged.
+    ///
+    /// Cold segments — fewer than [`CostModel::min_warm_searches`] folded
+    /// searches, or no prune credit recorded yet — return the a-priori plan
+    /// bit for bit.
+    pub fn plan_with_feedback(
+        &self,
+        stats: &SegmentStats,
+        feedback: &SegmentFeedbackSnapshot,
+        query: &[f64],
+        weights: Option<&[f64]>,
+        objective: Objective,
+    ) -> SegmentPlan {
+        let apriori = Self::apriori_keys(stats, query, weights, objective);
+        let rates = feedback.prune_rates();
+        let usable = feedback.is_warm(self.min_warm_searches)
+            && rates.len() == apriori.len()
+            && rates.iter().any(|&r| r > 0.0);
+        if !usable {
+            return Self::plan_from_keys(&apriori, None);
+        }
+        let w = Self::MAX_FEEDBACK_WEIGHT * feedback.searches as f64
+            / (feedback.searches as f64 + Self::RAMP_SEARCHES);
+        let apriori_total: f64 = apriori.iter().sum();
+        let keys: Vec<f64> = if apriori_total > 0.0 {
+            apriori
+                .iter()
+                .zip(&rates)
+                .map(|(&a, &r)| (1.0 - w) * (a / apriori_total) + w * r)
+                .collect()
+        } else {
+            rates.clone()
+        };
+        let learned_warmup =
+            feedback.mean_warmup().map(|m| ((m * Self::WARMUP_PROBE).round() as usize).max(1));
+        Self::plan_from_keys(&keys, learned_warmup)
+    }
+
+    /// Builds the plan from final ordering keys: sort by decreasing key
+    /// (tie-break on the dimension index), size the warmup to cover half
+    /// the total key mass, and prune every few dimensions afterwards. An
+    /// observed warmup, when given, caps the half-mass warmup.
+    fn plan_from_keys(keys: &[f64], observed_warmup: Option<usize>) -> SegmentPlan {
+        let dims = keys.len();
+        let mut order: Vec<usize> = (0..dims).collect();
+        order.sort_by(|&a, &b| {
+            keys[b].partial_cmp(&keys[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+
+        let total: f64 = keys.iter().sum();
+        let mut warmup = dims;
+        if total > 0.0 {
+            let mut acc = 0.0;
+            for (i, &d) in order.iter().enumerate() {
+                acc += keys[d];
+                if acc >= total * 0.5 {
+                    warmup = i + 1;
+                    break;
+                }
+            }
+        }
+        if let Some(observed) = observed_warmup {
+            warmup = warmup.min(observed.clamp(1, dims.max(1)));
+        }
+        // After the warmup, prune every few dimensions: fine-grained enough
+        // to cash in a tightening κ, coarse enough to amortize the bound
+        // computation (a pruning attempt costs about as much as scanning a
+        // dimension; the paper uses m = 8 at 166 dims).
+        let m = (dims / 4).clamp(4, 16);
+        SegmentPlan::new(order, BlockSchedule::WarmupThenFixed { warmup, m })
+    }
+
+    /// Estimated `(candidate, dimension)` cells one search of this segment
+    /// will evaluate — the unified per-segment cost the service layer sums
+    /// into per-spec estimates.
+    ///
+    /// Cold (no feedback): every live row scans through the warmup half of
+    /// the dimensions and survives into the rest — the conservative
+    /// full-work prior. Warm: the observed mean warmup fraction, the
+    /// observed survivor fraction (floored at `k / rows` — a top-k search
+    /// cannot retire more than that), and, when `skipping` is in effect,
+    /// the observed zone-map skip rate discount the estimate.
+    pub fn segment_cost(
+        &self,
+        stats: &SegmentStats,
+        feedback: Option<&SegmentFeedbackSnapshot>,
+        k: usize,
+        skipping: bool,
+    ) -> f64 {
+        let rows = stats.live_rows as f64;
+        let dims = stats.per_dim.len() as f64;
+        if rows <= 0.0 || dims <= 0.0 {
+            return 0.0;
+        }
+        let warm = feedback.filter(|f| f.is_warm(self.min_warm_searches));
+        let warmup_frac = warm
+            .and_then(SegmentFeedbackSnapshot::mean_warmup)
+            .map_or(0.5, |w| (w / dims).clamp(0.0, 1.0));
+        let floor = (k as f64 / rows).min(1.0);
+        let survival = warm
+            .and_then(SegmentFeedbackSnapshot::mean_survival)
+            .map_or(1.0, |s| s.clamp(0.0, 1.0))
+            .max(floor);
+        let p_skip =
+            if skipping { warm.map_or(0.0, SegmentFeedbackSnapshot::skip_rate) } else { 0.0 };
+        rows * dims * (warmup_frac + survival * (1.0 - warmup_frac)) * (1.0 - p_skip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feedback::FEEDBACK_SCALE;
+    use vdstore::DecomposedTable;
+
+    fn segment_stats(vectors: &[Vec<f64>]) -> SegmentStats {
+        let t = DecomposedTable::from_vectors("cost", vectors).unwrap();
+        t.segment(0..t.rows()).unwrap().stats()
+    }
+
+    fn warm_feedback(dims: usize, credit_dim: usize, searches: u64) -> SegmentFeedbackSnapshot {
+        let mut prune_credit = vec![0u64; dims];
+        prune_credit[credit_dim] = 100 * FEEDBACK_SCALE;
+        SegmentFeedbackSnapshot {
+            searches,
+            warmup_sum: searches, // mean observed warmup = 1 dimension
+            warmup_count: searches,
+            survival_sum: searches * FEEDBACK_SCALE / 10, // 10 % survive
+            prune_credit,
+            ..SegmentFeedbackSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn cold_feedback_plans_equal_apriori_plans() {
+        let stats = segment_stats(&[vec![0.5, 0.9, 0.0], vec![0.5, 0.85, 1.0]]);
+        let q = [0.5, 0.1, 0.5];
+        let model = CostModel::default();
+        let apriori = model.plan(&stats, &q, None, Objective::Minimize);
+        // cold: too few searches
+        let cold = SegmentFeedbackSnapshot {
+            searches: model.min_warm_searches - 1,
+            prune_credit: vec![FEEDBACK_SCALE; 3],
+            ..SegmentFeedbackSnapshot::default()
+        };
+        assert_eq!(model.plan_with_feedback(&stats, &cold, &q, None, Objective::Minimize), apriori);
+        // warm but creditless: nothing has pruned yet
+        let creditless = SegmentFeedbackSnapshot {
+            searches: 100,
+            prune_credit: vec![0; 3],
+            ..SegmentFeedbackSnapshot::default()
+        };
+        assert_eq!(
+            model.plan_with_feedback(&stats, &creditless, &q, None, Objective::Minimize),
+            apriori
+        );
+    }
+
+    #[test]
+    fn warm_feedback_promotes_the_pruning_dimension() {
+        // dims 1 and 2 have close a-priori keys with dim 1 slightly ahead;
+        // the blend is deliberately conservative (the a-priori keys keep
+        // most of the weight), so observed credit breaks near-ties rather
+        // than overruling a decisive a-priori signal — credit sits
+        // entirely on dim 2 and flips the close call
+        let stats =
+            segment_stats(&[vec![0.5, 0.82, 0.74], vec![0.5, 0.8, 0.75], vec![0.5, 0.78, 0.76]]);
+        let q = [0.5, 0.1, 0.1];
+        let model = CostModel::default();
+        let apriori = model.plan(&stats, &q, None, Objective::Minimize);
+        assert_eq!(apriori.order[0], 1, "a-priori: dim 1 narrowly ahead");
+        let fb = warm_feedback(3, 2, 1000);
+        let learned = model.plan_with_feedback(&stats, &fb, &q, None, Objective::Minimize);
+        assert_eq!(learned.order[0], 2, "the observed pruning dim leads");
+        assert!(learned.is_valid(3));
+    }
+
+    #[test]
+    fn observed_warmup_caps_the_half_mass_warmup() {
+        let stats = segment_stats(&vec![vec![0.25; 4]; 4]);
+        let q = [0.9; 4];
+        let model = CostModel::default();
+        let apriori = model.plan(&stats, &q, None, Objective::Minimize);
+        let BlockSchedule::WarmupThenFixed { warmup: apriori_warmup, .. } = apriori.schedule else {
+            panic!("warmup schedule expected");
+        };
+        assert!(apriori_warmup >= 2, "uniform keys need half the dims");
+        let fb = warm_feedback(4, 0, 64);
+        let learned = model.plan_with_feedback(&stats, &fb, &q, None, Objective::Minimize);
+        let BlockSchedule::WarmupThenFixed { warmup, .. } = learned.schedule else {
+            panic!("warmup schedule expected");
+        };
+        assert_eq!(warmup, 1, "mean observed warmup of 1 caps the plan's warmup");
+    }
+
+    #[test]
+    fn feedback_weight_ramps_with_sample_count() {
+        let stats = segment_stats(&[vec![0.2, 0.8], vec![0.3, 0.7]]);
+        let q = [0.9, 0.1];
+        let model = CostModel::default();
+        // credit on the a-priori-weaker dim; with few samples the a-priori
+        // order wins, with many the learned order takes over
+        let barely = warm_feedback(2, 1, model.min_warm_searches);
+        let soaked = warm_feedback(2, 1, 100_000);
+        let apriori_first = model.plan(&stats, &q, None, Objective::Minimize).order[0];
+        let soaked_first =
+            model.plan_with_feedback(&stats, &soaked, &q, None, Objective::Minimize).order[0];
+        assert_eq!(soaked_first, 1);
+        // the barely-warm plan is a valid permutation either way
+        assert!(model
+            .plan_with_feedback(&stats, &barely, &q, None, Objective::Minimize)
+            .is_valid(2));
+        assert_ne!(apriori_first, soaked_first);
+    }
+
+    #[test]
+    fn segment_cost_discounts_skips_and_survival() {
+        let stats = segment_stats(&vec![vec![0.1, 0.2, 0.3, 0.4]; 100]);
+        let model = CostModel::default();
+        let cold = model.segment_cost(&stats, None, 10, true);
+        assert!((cold - 100.0 * 4.0).abs() < 1e-9, "cold prior is full work, got {cold}");
+
+        // warm: half skipped, 10 % survive, warmup 1 of 4 dims
+        let mut fb = warm_feedback(4, 0, 40);
+        fb.skips = 40;
+        let warm = model.segment_cost(&stats, Some(&fb), 10, true);
+        assert!(warm < cold * 0.5, "skip rate alone halves the estimate: {warm} vs {cold}");
+        let no_skip = model.segment_cost(&stats, Some(&fb), 10, false);
+        assert!((no_skip - warm * 2.0).abs() < 1e-6, "skipping off removes the discount");
+        // larger k floors the survivor fraction: cost is non-decreasing in k
+        let k_small = model.segment_cost(&stats, Some(&fb), 1, true);
+        let k_large = model.segment_cost(&stats, Some(&fb), 100, true);
+        assert!(k_large >= k_small);
+        // degenerate segments cost nothing
+        let empty = segment_stats(&[vec![0.0, 0.0]]);
+        let empty = SegmentStats { live_rows: 0, ..empty };
+        assert_eq!(model.segment_cost(&empty, None, 1, true), 0.0);
+    }
+}

@@ -42,6 +42,12 @@
 //!   (Section 5.2),
 //! * [`plan`] — [`SegmentPlan`], the resolved per-segment (order, schedule)
 //!   pair that `bond-exec`'s planners vary across partitions,
+//! * [`feedback`] — [`ExecFeedback`], the lock-free per-segment
+//!   accumulators that fold every query's pruning trace into learnable
+//!   signals (prune credit per dimension, observed warmups, skip
+//!   hits/misses, candidate survival),
+//! * [`cost`] — [`CostModel`], the shared decision layer deriving segment
+//!   plans (a-priori or feedback-blended) and per-segment cost estimates,
 //! * [`weighted`] — weighted and subspace k-NN queries (Section 8.1),
 //! * [`multifeature`] — synchronized multi-feature search (Section 8.2),
 //! * [`compressed`] — BOND on 8-bit-quantized fragments with an exact
@@ -54,7 +60,9 @@
 
 pub mod candidates;
 pub mod compressed;
+pub mod cost;
 pub mod error;
+pub mod feedback;
 pub mod kappa;
 pub mod multifeature;
 pub mod ordering;
@@ -66,7 +74,9 @@ pub mod weighted;
 
 pub use candidates::CandidateSet;
 pub use compressed::{compressed_filter_histogram, search_compressed_histogram, CompressedFilter};
+pub use cost::CostModel;
 pub use error::{BondError, Result};
+pub use feedback::{ExecFeedback, FeedbackSnapshot, SegmentFeedback, SegmentFeedbackSnapshot};
 pub use kappa::KappaCell;
 pub use multifeature::{
     FeatureMetricKind, FeatureQuery, MultiFeatureOutcome, MultiFeatureSearcher,

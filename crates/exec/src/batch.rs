@@ -17,17 +17,47 @@ use bond::PruneTrace;
 use std::ops::Range;
 use vdstore::topk::Scored;
 
+/// The admission-control class of a request: which queue it waits in at
+/// the serving front-end. Within a coalesced batch every spec still
+/// executes in one engine pass — priority governs *admission order* when
+/// more work is queued than one pass takes, not execution resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive work, admitted before anything else.
+    Interactive,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Throughput work that yields to both other classes.
+    Batch,
+}
+
+impl Priority {
+    /// All classes, in admission order.
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Normal, Priority::Batch];
+
+    /// The queue index of this class (admission order).
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Normal => 1,
+            Priority::Batch => 2,
+        }
+    }
+}
+
 /// One k-NN request: a query vector, how many neighbours it wants, and
 /// optional per-query overrides of the engine defaults.
 ///
 /// Built in builder style; every method is chainable:
 ///
 /// ```
-/// use bond_exec::{PlannerKind, QuerySpec, RuleKind};
+/// use bond_exec::{PlannerKind, Priority, QuerySpec, RuleKind};
 ///
 /// let spec = QuerySpec::new(vec![0.25, 0.75], 10)
 ///     .rule(RuleKind::EuclideanEq)          // override the engine default
-///     .planner(PlannerKind::Adaptive);      // per-query planning policy
+///     .planner(PlannerKind::Feedback)       // per-query planning policy
+///     .priority(Priority::Interactive);     // admission class at the server
 /// assert_eq!(spec.k(), 10);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -36,14 +66,15 @@ pub struct QuerySpec {
     k: usize,
     rule: Option<RuleKind>,
     planner: Option<PlannerKind>,
+    priority: Priority,
 }
 
 impl QuerySpec {
     /// A request for the `k` nearest neighbours of `vector` under the
-    /// engine's default rule and planner.
+    /// engine's default rule and planner, at [`Priority::Normal`].
     #[must_use]
     pub fn new(vector: Vec<f64>, k: usize) -> Self {
-        QuerySpec { vector, k, rule: None, planner: None }
+        QuerySpec { vector, k, rule: None, planner: None, priority: Priority::Normal }
     }
 
     /// Overrides the engine's metric + pruning rule for this query only
@@ -59,6 +90,15 @@ impl QuerySpec {
     #[must_use]
     pub fn planner(mut self, planner: PlannerKind) -> Self {
         self.planner = Some(planner);
+        self
+    }
+
+    /// Sets this request's admission class at a serving front-end (the
+    /// engine itself executes whatever batch it is handed; see
+    /// [`crate::service::Server`]).
+    #[must_use]
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
         self
     }
 
@@ -80,6 +120,11 @@ impl QuerySpec {
     /// The per-query planner override, when one was set.
     pub fn planner_override(&self) -> Option<PlannerKind> {
         self.planner
+    }
+
+    /// The request's admission class.
+    pub fn priority_class(&self) -> Priority {
+        self.priority
     }
 }
 
@@ -225,12 +270,24 @@ mod tests {
         assert_eq!(plain.k(), 5);
         assert_eq!(plain.rule_override(), None);
         assert_eq!(plain.planner_override(), None);
+        assert_eq!(plain.priority_class(), Priority::Normal);
 
         let spec = QuerySpec::new(vec![0.5, 0.5], 3)
             .rule(RuleKind::EuclideanEq)
-            .planner(PlannerKind::Adaptive);
+            .planner(PlannerKind::Adaptive)
+            .priority(Priority::Batch);
         assert_eq!(spec.rule_override(), Some(&RuleKind::EuclideanEq));
         assert_eq!(spec.planner_override(), Some(PlannerKind::Adaptive));
+        assert_eq!(spec.priority_class(), Priority::Batch);
+    }
+
+    #[test]
+    fn priority_admission_order() {
+        assert_eq!(Priority::default(), Priority::Normal);
+        let indices: Vec<usize> = Priority::ALL.iter().map(|p| p.index()).collect();
+        assert_eq!(indices, vec![0, 1, 2]);
+        assert!(Priority::Interactive < Priority::Normal);
+        assert!(Priority::Normal < Priority::Batch);
     }
 
     #[test]

@@ -32,14 +32,24 @@
 //!   differ, so the merge re-verifies exact scores (fixed, natural
 //!   summation order) and breaks ties deterministically on the row id:
 //!   rank-correct rather than bit-identical.
+//! * [`PlannerKind::Feedback`] additionally consults the engine's
+//!   [`ExecFeedback`] store — lock-free per-segment accumulators into
+//!   which *every* executed search folds its pruning trace (and every
+//!   zone-map skip and merge miss is counted) — re-ranking each segment's
+//!   scan order toward dimensions that observably pruned and shrinking
+//!   warmups toward observed first-effective-prune depths. Cold segments
+//!   plan exactly like `Adaptive`; the same merge keeps answers
+//!   rank-correct. [`Engine::persist`] writes the learned state alongside
+//!   the store footer, so a reopened engine starts warm.
 
 use crate::batch::{BatchOutcome, QueryOutcome, QuerySpec, RequestBatch, SegmentRun};
 use crate::kappa::SharedKappa;
-use crate::planner::{AdaptivePlanner, PlannerKind};
+use crate::planner::PlannerKind;
 use crate::rules::RuleKind;
 use bond::{
-    prune_slack, search_segment, BondError, BondParams, BondSearcher, DimensionOrdering, KappaCell,
-    PruneTrace, Result, SearchOutcome, SegmentContext, SegmentPlan,
+    prune_slack, search_segment, BondError, BondParams, BondSearcher, CostModel, DimensionOrdering,
+    ExecFeedback, FeedbackSnapshot, KappaCell, PruneTrace, Result, SearchOutcome, SegmentContext,
+    SegmentFeedbackSnapshot, SegmentPlan,
 };
 use bond_metrics::{DecomposableMetric, Objective};
 use std::path::Path;
@@ -48,8 +58,8 @@ use std::sync::{Arc, OnceLock};
 use vdstore::persist::{open_store, save_store, validate_store_inputs, PersistedStore};
 use vdstore::topk::Scored;
 use vdstore::{
-    DecomposedTable, Envelope, Segment, SegmentSpec, SegmentStats, StorageBackend, TopKLargest,
-    TopKSmallest,
+    Advice, DecomposedTable, Envelope, Segment, SegmentSpec, SegmentStats, StorageBackend,
+    TopKLargest, TopKSmallest, VdError,
 };
 
 /// Builds an [`Engine`] for one table.
@@ -72,6 +82,9 @@ pub struct EngineBuilder {
     /// footer; when present, [`EngineBuilder::build`] uses them verbatim
     /// instead of partitioning and scanning the table.
     preloaded: Option<(Vec<SegmentSpec>, Vec<SegmentStats>)>,
+    /// The opaque learned-state payload from the store's footer, decoded
+    /// into the engine's feedback store at [`EngineBuilder::build`].
+    preloaded_learned: Option<Vec<u8>>,
 }
 
 impl EngineBuilder {
@@ -108,23 +121,26 @@ impl EngineBuilder {
     /// Starts a builder over an already-opened [`PersistedStore`] (e.g. one
     /// inspected or filtered before serving).
     pub fn from_store(store: PersistedStore) -> EngineBuilder {
-        let PersistedStore { table, specs, stats, .. } = store;
+        let PersistedStore { table, specs, stats, learned, .. } = store;
         let mut builder = Engine::builder(table);
         builder.partitions = specs.len().max(1);
         builder.preloaded = Some((specs, stats));
+        builder.preloaded_learned = learned;
         builder
     }
 
     /// Number of row-range segments the table is split into. Defaults to
     /// the machine's available parallelism; `0` is rejected at
     /// [`EngineBuilder::build`]. On a builder opened from a persisted store
-    /// this *discards* the store's boundaries and footer statistics:
-    /// [`EngineBuilder::build`] re-partitions and recomputes statistics,
-    /// scanning every column (faulting in all pages of a mapped store).
+    /// this *discards* the store's boundaries, footer statistics and
+    /// learned feedback state: [`EngineBuilder::build`] re-partitions and
+    /// recomputes statistics, scanning every column (faulting in all pages
+    /// of a mapped store), and the feedback store starts cold.
     #[must_use]
     pub fn partitions(mut self, partitions: usize) -> Self {
         self.partitions = partitions;
         self.preloaded = None;
+        self.preloaded_learned = None;
         self
     }
 
@@ -237,6 +253,21 @@ impl EngineBuilder {
             }
         };
         let envelopes: Vec<Option<Envelope>> = stats.iter().map(SegmentStats::envelope).collect();
+        let feedback = match self.preloaded_learned {
+            Some(bytes) => {
+                let snapshot = FeedbackSnapshot::from_bytes(&bytes)?;
+                if snapshot.dims != dims || snapshot.segments.len() != specs.len() {
+                    return Err(BondError::Storage(VdError::Corrupt(format!(
+                        "learned feedback covers {} segments x {} dims, store has {} x {dims}",
+                        snapshot.segments.len(),
+                        snapshot.dims,
+                        specs.len(),
+                    ))));
+                }
+                ExecFeedback::from_snapshot(&snapshot)
+            }
+            None => ExecFeedback::new(specs.len(), dims),
+        };
         Ok(Engine {
             inner: Arc::new(EngineInner {
                 table: self.table,
@@ -248,6 +279,8 @@ impl EngineBuilder {
                 rule: self.rule,
                 share_kappa: self.share_kappa,
                 planner: self.planner,
+                cost: CostModel::default(),
+                feedback,
                 row_sums: OnceLock::new(),
             }),
         })
@@ -272,6 +305,14 @@ struct EngineInner {
     rule: RuleKind,
     share_kappa: bool,
     planner: PlannerKind,
+    /// The shared cost model: plan derivation for the stats-driven
+    /// planners and per-segment cost estimates for admission control.
+    cost: CostModel,
+    /// The engine's feedback store: every query's pruning trace, zone-map
+    /// skip and merge miss folds into these lock-free per-segment
+    /// accumulators; the `Feedback` planner and the cost estimates read
+    /// them back.
+    feedback: ExecFeedback,
     /// Full-table `T(x)`, materialised lazily the first time any request's
     /// rule needs it; workers slice it per segment.
     row_sums: OnceLock<Vec<f64>>,
@@ -302,6 +343,12 @@ struct ResolvedQuery<'b> {
     /// `T(q)` for the total-mass skip bound (adaptive planning only).
     query_sum: f64,
     kappa: Option<SharedKappa>,
+    /// The segment *visit order* for this query (feedback planning only):
+    /// position `p` executes segment `visit_order[p]`. Visiting the most
+    /// promising segment first tightens κ immediately, so every later
+    /// segment faces the sharpest possible skip bound. `None` visits in
+    /// row order.
+    visit_order: Option<Vec<usize>>,
 }
 
 impl Engine {
@@ -321,21 +368,31 @@ impl Engine {
             share_kappa: true,
             planner: PlannerKind::Uniform,
             preloaded: None,
+            preloaded_learned: None,
         }
     }
 
-    /// Persists the engine's table, partition boundaries and cached
-    /// per-segment statistics as a v2 segment store at `path`. The file can
-    /// be reopened — in this or any other process — with
-    /// [`EngineBuilder::open`], yielding an engine that answers
-    /// bit-identically (uniform planning) without recomputing anything.
+    /// Persists the engine's table, partition boundaries, cached
+    /// per-segment statistics *and* accumulated feedback state as a v2
+    /// segment store at `path`. The file can be reopened — in this or any
+    /// other process — with [`EngineBuilder::open`], yielding an engine
+    /// that answers bit-identically (uniform planning) without recomputing
+    /// anything and whose `Feedback` planner starts *warm*: everything the
+    /// serving process learned about its segments survives the restart.
     ///
     /// # Errors
     ///
     /// [`BondError::Storage`] on I/O failure.
     pub fn persist(&self, path: impl AsRef<Path>) -> Result<()> {
-        save_store(&self.inner.table, &self.inner.specs, &self.inner.stats, path.as_ref())
-            .map_err(BondError::Storage)
+        let learned = self.inner.feedback.snapshot().to_bytes();
+        save_store(
+            &self.inner.table,
+            &self.inner.specs,
+            &self.inner.stats,
+            Some(&learned),
+            path.as_ref(),
+        )
+        .map_err(BondError::Storage)
     }
 
     /// The storage backend serving the engine's column data:
@@ -387,6 +444,49 @@ impl Engine {
     /// planner. Computed once at build time and cached; calls are free.
     pub fn segment_stats(&self) -> &[SegmentStats] {
         &self.inner.stats
+    }
+
+    /// The cost model shared by the planners, the feedback folds and the
+    /// admission-control estimates.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.inner.cost
+    }
+
+    /// A plain-data snapshot of the engine's accumulated execution
+    /// feedback: per segment, how often it was searched / skipped /
+    /// scanned-in-vain, which dimensions actually pruned, the observed
+    /// warmup depths and survivor fractions. This is what
+    /// [`PlannerKind::Feedback`] plans from, what [`Engine::persist`]
+    /// writes alongside the store footer, and the observability hook for
+    /// the ROADMAP's re-partitioning advisor (segments that straddle
+    /// clusters show high search counts with low skip rates and high
+    /// survival).
+    pub fn feedback_snapshot(&self) -> FeedbackSnapshot {
+        self.inner.feedback.snapshot()
+    }
+
+    /// Estimated `(candidate, dimension)` evaluations this request will
+    /// cost across all segments — the cost model's per-spec estimate the
+    /// service layer uses for cheap-first batch ordering and deadline-aware
+    /// batch cuts. Cold segments use the conservative full-work prior;
+    /// warm segments discount by their observed skip rate, warmup depth and
+    /// survivor fraction (stats-driven planners only — uniform planning
+    /// never skips).
+    pub fn estimate_cost(&self, spec: &QuerySpec) -> f64 {
+        let planner = spec.planner_override().unwrap_or(self.inner.planner);
+        let skipping = planner.is_stats_driven() && self.inner.share_kappa;
+        self.inner
+            .stats
+            .iter()
+            .enumerate()
+            .map(|(si, stats)| {
+                // scalar_snapshot: the cost formula reads only the scalar
+                // counters, so the per-dimension credit vector is not cloned
+                // on this (per-submission) hot path
+                let snapshot = self.inner.feedback.segment(si).scalar_snapshot();
+                self.inner.cost.segment_cost(stats, Some(&snapshot), spec.k(), skipping)
+            })
+            .sum()
     }
 
     /// The `BondParams` a query executing under `rule` effectively uses:
@@ -473,6 +573,9 @@ impl Engine {
             .map(|s| s.view(&inner.table).expect("specs partition this table"))
             .collect();
         let n_segments = segments.len();
+        // Whether the columns are served by a file mapping — the only case
+        // where access-pattern advice reaches a kernel.
+        let mapped = inner.table.backend() == StorageBackend::Mapped;
 
         // Per-query setup, done once and shared by every segment worker:
         // the effective rule/planner, the metric, the uniform plan and
@@ -491,11 +594,43 @@ impl Engine {
                     let params = self.params_for(rule);
                     SegmentPlan::uniform(&params, spec.vector(), rule.weights(), inner.table.dims())
                 });
-                let query_sum = match planner {
-                    PlannerKind::Adaptive => spec.vector().iter().sum(),
-                    PlannerKind::Uniform => 0.0,
-                };
+                let query_sum =
+                    if planner.is_stats_driven() { spec.vector().iter().sum() } else { 0.0 };
                 let kappa = inner.share_kappa.then(|| SharedKappa::new(objective));
+                // Feedback planning also schedules with the cost model:
+                // segments are visited most-promising-first (tightest
+                // optimistic envelope score toward the query), so the
+                // query's own neighbourhood establishes κ before any far
+                // segment starts — which lets those segments skip or prune
+                // at their first attempt instead of warming up against an
+                // empty bound. Any visit order is rank-correct; this one
+                // just minimises wasted scans.
+                let visit_order = (planner.uses_feedback() && inner.share_kappa).then(|| {
+                    let mut order: Vec<usize> = (0..inner.specs.len()).collect();
+                    let promise: Vec<f64> = inner
+                        .envelopes
+                        .iter()
+                        .map(|env| match env {
+                            Some((mins, maxs)) => {
+                                metric.envelope_best_score(spec.vector(), mins, maxs)
+                            }
+                            None => match objective {
+                                Objective::Maximize => f64::NEG_INFINITY,
+                                Objective::Minimize => f64::INFINITY,
+                            },
+                        })
+                        .collect();
+                    order.sort_by(|&a, &b| {
+                        let cmp = promise[a]
+                            .partial_cmp(&promise[b])
+                            .unwrap_or(std::cmp::Ordering::Equal);
+                        match objective {
+                            Objective::Maximize => cmp.reverse().then(a.cmp(&b)),
+                            Objective::Minimize => cmp.then(a.cmp(&b)),
+                        }
+                    });
+                    order
+                });
                 ResolvedQuery {
                     spec,
                     rule,
@@ -505,6 +640,7 @@ impl Engine {
                     uniform_plan,
                     query_sum,
                     kappa,
+                    visit_order,
                 }
             })
             .collect();
@@ -516,42 +652,75 @@ impl Engine {
             .any(|rq| rq.rule.needs_total_mass())
             .then(|| inner.row_sums.get_or_init(|| inner.table.row_sums()).as_slice());
 
+        // Feedback-planned queries read each segment's accumulated
+        // counters; one snapshot per segment per *batch* is enough (the
+        // model tolerates staleness by design — a stale read merely plans
+        // like yesterday) and avoids cloning the per-dimension credit
+        // vector once per (query × segment) task on the worker hot path.
+        let feedback_snapshots: Option<Vec<SegmentFeedbackSnapshot>> = resolved
+            .iter()
+            .any(|rq| rq.planner.uses_feedback())
+            .then(|| (0..n_segments).map(|si| inner.feedback.segment(si).snapshot()).collect());
+
         let n_tasks = batch.len() * n_segments;
         let slots: Vec<OnceLock<Result<SearchOutcome>>> =
             (0..n_tasks).map(|_| OnceLock::new()).collect();
 
         let run_task = |task: usize| {
             let qi = task / n_segments;
-            let si = task % n_segments;
-            let segment = &segments[si];
+            let pos = task % n_segments;
             let rq = &resolved[qi];
+            // position `pos` of a feedback-planned query executes the
+            // `pos`-th most promising segment; everyone else visits in row
+            // order. The slot keeps the *position* index — the merge
+            // permutes outcomes back into segment order.
+            let si = rq.visit_order.as_ref().map_or(pos, |order| order[pos]);
+            let segment = &segments[si];
             let query = rq.spec.vector();
             let k = rq.spec.k();
             let cell = rq.kappa.as_ref();
 
-            if rq.planner == PlannerKind::Adaptive {
+            if rq.planner.is_stats_driven() {
                 if let Some(outcome) = self.try_skip_segment(si, rq) {
+                    // a zone-map skip hit is itself feedback: it raises the
+                    // segment's observed skip rate, cheapening its estimate
+                    inner.feedback.segment(si).record_skip();
                     slots[task].set(Ok(outcome)).expect("each task is claimed exactly once");
                     return;
                 }
             }
 
             let mut rule = rq.rule.make_rule();
-            let adaptive_plan;
+            let derived_plan;
             let plan = match rq.planner {
                 PlannerKind::Uniform => {
                     rq.uniform_plan.as_ref().expect("uniform queries carry a plan")
                 }
                 PlannerKind::Adaptive => {
-                    adaptive_plan = AdaptivePlanner.plan(
+                    derived_plan =
+                        inner.cost.plan(&inner.stats[si], query, rq.rule.weights(), rq.objective);
+                    &derived_plan
+                }
+                PlannerKind::Feedback => {
+                    let snapshots =
+                        feedback_snapshots.as_ref().expect("feedback queries carry snapshots");
+                    derived_plan = inner.cost.plan_with_feedback(
                         &inner.stats[si],
+                        &snapshots[si],
                         query,
                         rq.rule.weights(),
                         rq.objective,
                     );
-                    &adaptive_plan
+                    &derived_plan
                 }
             };
+            // Mapped backend: hint the kernel about the scan the chosen
+            // plan is about to run — the first block's fragment slices are
+            // certain to be read front to back.
+            if mapped {
+                let first_block = plan.schedule.next_block(0, inner.table.dims(), 0);
+                segment.advise(plan.order.iter().take(first_block).copied(), Advice::Sequential);
+            }
             let ctx = SegmentContext {
                 kappa: cell.map(|cell| cell as &dyn KappaCell),
                 row_sums: row_sums.map(|sums| &sums[segment.range()]),
@@ -567,15 +736,25 @@ impl Engine {
                 &inner.params,
                 &ctx,
             );
-            if rq.planner == PlannerKind::Adaptive {
-                // The segment's k-th best *exact* score is a valid κ (k
-                // witnesses reach it); publishing it arms the zone-map skip
-                // for segments that have not started yet.
-                if let (Some(cell), Ok(outcome)) = (cell, &outcome) {
-                    if outcome.hits.len() >= k {
-                        cell.tighten(outcome.hits[k - 1].score);
+            if let Ok(outcome) = &outcome {
+                if rq.planner.is_stats_driven() {
+                    // The segment's k-th best *exact* score is a valid κ (k
+                    // witnesses reach it); publishing it arms the zone-map
+                    // skip for segments that have not started yet.
+                    if let Some(cell) = cell {
+                        if outcome.hits.len() >= k {
+                            cell.tighten(outcome.hits[k - 1].score);
+                        }
                     }
                 }
+                // Fold the executed plan's trace into the feedback store —
+                // every planner teaches the `Feedback` planner, because the
+                // credit is keyed by dimension id, not by policy.
+                inner.feedback.segment(si).record_search(
+                    &plan.order,
+                    &outcome.trace,
+                    segment.len(),
+                );
             }
             slots[task].set(outcome).expect("each task is claimed exactly once");
         };
@@ -600,14 +779,43 @@ impl Engine {
             });
         }
 
-        let mut per_task =
-            slots.into_iter().map(|slot| slot.into_inner().expect("all tasks completed"));
+        // Surface any task error *before* touching the advice state, so a
+        // failed batch cannot leave the table stuck under MADV_RANDOM.
+        let outcomes: Vec<SearchOutcome> = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("all tasks completed"))
+            .collect::<Result<_>>()?;
+        let mut per_task = outcomes.into_iter();
 
+        // Refinement gathers reconstruct scattered rows across every
+        // fragment — the random-access pattern of the plans' final step.
+        // Advised once per batch (not per query), and reset to the kernel
+        // default afterwards so the hint does not outlive the gathers and
+        // suppress readahead for the next batch's scans.
+        let reverifies = mapped && resolved.iter().any(|rq| rq.planner.is_stats_driven());
+        if reverifies {
+            inner.table.advise(Advice::Random);
+        }
         let mut queries = Vec::with_capacity(batch.len());
         for rq in &resolved {
-            let segment_outcomes =
-                per_task.by_ref().take(n_segments).collect::<Result<Vec<SearchOutcome>>>()?;
+            let mut segment_outcomes: Vec<SearchOutcome> =
+                per_task.by_ref().take(n_segments).collect();
+            if let Some(order) = &rq.visit_order {
+                // positions back to segment (row-range) order
+                let mut by_segment: Vec<Option<SearchOutcome>> =
+                    (0..n_segments).map(|_| None).collect();
+                for (&si, outcome) in order.iter().zip(segment_outcomes) {
+                    by_segment[si] = Some(outcome);
+                }
+                segment_outcomes = by_segment
+                    .into_iter()
+                    .map(|o| o.expect("visit order is a permutation"))
+                    .collect();
+            }
             queries.push(self.merge_query(rq, &segments, segment_outcomes));
+        }
+        if reverifies {
+            inner.table.advise(Advice::Normal);
         }
         Ok(BatchOutcome { queries })
     }
@@ -668,7 +876,7 @@ impl Engine {
         segments: &[Segment<'_>],
         segment_outcomes: Vec<SearchOutcome>,
     ) -> QueryOutcome {
-        let reverify = rq.planner == PlannerKind::Adaptive;
+        let reverify = rq.planner.is_stats_driven();
         let query = rq.spec.vector();
         let k = rq.spec.k();
         let mut runs = Vec::with_capacity(segment_outcomes.len());
@@ -699,6 +907,16 @@ impl Engine {
                 heap.into_sorted_vec()
             }
         };
+        // Close the feedback loop on the merge: a segment that was scanned
+        // (not skipped) yet placed nothing in the final top-k was work the
+        // zone map failed to avoid — a "skip miss".
+        for (si, run) in runs.iter().enumerate() {
+            if !run.trace.segment_skipped
+                && !hits.iter().any(|h| run.rows.contains(&(h.row as usize)))
+            {
+                self.inner.feedback.segment(si).record_miss();
+            }
+        }
         QueryOutcome { hits, segments: runs }
     }
 

@@ -44,6 +44,24 @@
 //!   reference's k-NN set and ranks, up to ties between distinct rows
 //!   whose exact scores differ by less than floating-point summation
 //!   drift.
+//! * **Feedback-driven planning** — the engine owns a lock-free
+//!   [`bond::ExecFeedback`] store into which every query's pruning trace,
+//!   zone-map skip and merge miss folds; [`PlannerKind::Feedback`] plans
+//!   from the shared [`bond::CostModel`], re-ranking each segment's scan
+//!   order toward dimensions that *observably pruned* and shrinking
+//!   warmups toward observed first-effective-prune depths (cold segments
+//!   plan exactly like `Adaptive`). [`Engine::feedback_snapshot`] exposes
+//!   the learned state; [`Engine::persist`] writes it alongside the store
+//!   footer so a reopened engine starts warm; and
+//!   [`Engine::estimate_cost`] turns the same signals into per-request
+//!   cost estimates.
+//! * **Cost-aware admission control** — [`service::Server`] prices every
+//!   accepted [`QuerySpec`] with the cost model, queues it under its
+//!   [`Priority`] class, drains Interactive → Normal → Batch with the
+//!   cheapest estimate first, and cuts each coalesced batch once the
+//!   summed estimates exceed the configured budget
+//!   ([`service::ServerBuilder::max_cost`]). Rejected submissions are
+//!   counted ([`service::Server::queries_rejected`]).
 //! * **Weighted rules** — [`RuleKind::WeightedHistogram`] /
 //!   [`RuleKind::WeightedEuclidean`] carry per-dimension weights through
 //!   the same engine: weighted orderings, the safe weighted bounds, and
@@ -108,7 +126,8 @@ pub mod planner;
 pub mod rules;
 pub mod service;
 
-pub use batch::{BatchOutcome, QueryOutcome, QuerySpec, RequestBatch, SegmentRun};
+pub use batch::{BatchOutcome, Priority, QueryOutcome, QuerySpec, RequestBatch, SegmentRun};
+pub use bond::{CostModel, FeedbackSnapshot, SegmentFeedbackSnapshot};
 pub use engine::{Engine, EngineBuilder};
 pub use kappa::SharedKappa;
 pub use planner::{AdaptivePlanner, PlannerKind};

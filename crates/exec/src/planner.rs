@@ -1,30 +1,30 @@
-//! Stats-driven per-segment search planning.
+//! Per-segment search planning policies.
 //!
 //! The engine's PR 1 behaviour — one global ordering and block schedule for
 //! every partition — is kept as [`PlannerKind::Uniform`] and stays
-//! bit-identical to the sequential searcher. [`PlannerKind::Adaptive`]
-//! instead derives a [`SegmentPlan`] per `(query, segment)` pair from the
-//! segment's cached [`SegmentStats`]:
+//! bit-identical to the sequential searcher. The stats-driven policies
+//! derive a [`SegmentPlan`] per `(query, segment)` pair through the shared
+//! [`bond::CostModel`] (the plan-derivation logic itself lives in
+//! `bond-core` beside the trace and feedback machinery, so the same model
+//! also serves the admission-control cost estimates):
 //!
-//! * **Ordering.** For a distance metric the expected per-dimension
-//!   contribution of a segment row is exactly
-//!   `E[(v_d − q_d)²] = (μ_d − q_d)² + σ_d²` — dimensions where the segment
-//!   disagrees with the query (or spreads widely) are scanned first, which
-//!   grows the candidates' lower bounds fastest and prunes soonest. For a
-//!   similarity metric the achievable contribution of dimension `d` is
-//!   capped at `min(q_d, max_d)`: dimensions whose segment-local envelope
-//!   cannot match the query's mass are deferred, sharpening the paper's
-//!   "decreasing value in q" heuristic with data-side statistics.
-//! * **Schedule.** Pruning cannot start before the scanned prefix carries
-//!   enough discriminating mass (for Hq, not before `T(q⁻) > 0.5`), so the
-//!   planner sizes a warmup block to cover half of the total ordering key
-//!   mass and then prunes every few dimensions.
+//! * [`PlannerKind::Adaptive`] plans a-priori from each segment's cached
+//!   [`SegmentStats`]: dimensions ordered by expected contribution
+//!   (`(μ−q)² + σ²` for distances, `min(q, max)` for similarities), warmup
+//!   sized to half the ordering-key mass, plus κ-aware whole-segment
+//!   skipping against the zone maps.
+//! * [`PlannerKind::Feedback`] starts from the same a-priori keys and folds
+//!   in what past queries *observed*: per-dimension prune credit re-ranks
+//!   the scan order toward dimensions that actually pruned, and the warmup
+//!   shrinks toward the observed first-effective-prune depth. Cold segments
+//!   plan exactly like `Adaptive`; answers stay rank-correct either way
+//!   because the merge re-verifies exact scores.
 //!
-//! Adaptive plans give up the bit-identical-refinement guarantee (per-row
-//! sums accumulate in different orders per segment); the engine compensates
-//! by re-verifying exact scores at merge time.
+//! Adaptive and feedback plans give up the bit-identical-refinement
+//! guarantee (per-row sums accumulate in different orders per segment); the
+//! engine compensates by re-verifying exact scores at merge time.
 
-use bond::{BlockSchedule, SegmentPlan};
+use bond::{CostModel, SegmentPlan};
 use bond_metrics::Objective;
 use vdstore::SegmentStats;
 
@@ -35,51 +35,42 @@ pub enum PlannerKind {
     /// bit-identical to the sequential searcher.
     #[default]
     Uniform,
-    /// A per-segment plan derived from the segment's statistics, plus
-    /// κ-aware whole-segment skipping against the segments' zone maps.
+    /// A per-segment plan derived a-priori from the segment's statistics,
+    /// plus κ-aware whole-segment skipping against the segments' zone maps.
     Adaptive,
+    /// A per-segment plan derived from the segment's statistics *and* the
+    /// engine's accumulated execution feedback (observed prune credit,
+    /// warmup depths), plus cost-model-driven scheduling: segments are
+    /// visited most-promising-first, so the query's own neighbourhood
+    /// establishes κ before any far segment starts. Falls back to the
+    /// adaptive plan derivation while a segment is cold; also skips
+    /// segments against the zone maps.
+    Feedback,
 }
 
-/// Derives per-segment plans from segment statistics.
-///
-/// Stateless; the interesting inputs are the query, the (optional) metric
-/// weights and the per-segment [`SegmentStats`] the engine caches at build
-/// time.
+impl PlannerKind {
+    /// Whether this policy derives per-segment plans from statistics — the
+    /// policies that enable zone-map segment skipping and whose merges
+    /// re-verify exact scores (rank-correct rather than bit-identical).
+    pub fn is_stats_driven(self) -> bool {
+        matches!(self, PlannerKind::Adaptive | PlannerKind::Feedback)
+    }
+
+    /// Whether this policy consults the engine's feedback store.
+    pub fn uses_feedback(self) -> bool {
+        self == PlannerKind::Feedback
+    }
+}
+
+/// Derives per-segment plans from segment statistics — a thin, stateless
+/// front over [`CostModel::plan`], kept as the engine-facing name of the
+/// a-priori policy (the derivation itself moved to `bond-core` so the
+/// service layer shares it).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AdaptivePlanner;
 
 impl AdaptivePlanner {
-    /// The per-dimension ordering keys for one segment (larger = scan
-    /// earlier). Falls back to the query value itself for dimensions with
-    /// no statistics (empty segments never reach the search loop).
-    fn ordering_keys(
-        stats: &SegmentStats,
-        query: &[f64],
-        weights: Option<&[f64]>,
-        objective: Objective,
-    ) -> Vec<f64> {
-        query
-            .iter()
-            .enumerate()
-            .map(|(d, &q)| {
-                let w = weights.map_or(1.0, |w| w[d]);
-                let key = match (&stats.per_dim[d], objective) {
-                    (Some(s), Objective::Minimize) => {
-                        let bias = s.mean - q;
-                        bias * bias + s.variance
-                    }
-                    (Some(s), Objective::Maximize) => q.min(s.max),
-                    (None, _) => q,
-                };
-                w * key
-            })
-            .collect()
-    }
-
-    /// The plan for one segment: dimensions sorted by decreasing key
-    /// (deterministic tie-break on the dimension index), and a warmup
-    /// schedule sized so the first pruning attempt happens once half of the
-    /// total key mass has been scanned.
+    /// The a-priori plan for one segment; see [`CostModel::plan`].
     pub fn plan(
         &self,
         stats: &SegmentStats,
@@ -87,37 +78,14 @@ impl AdaptivePlanner {
         weights: Option<&[f64]>,
         objective: Objective,
     ) -> SegmentPlan {
-        let dims = query.len();
-        let keys = Self::ordering_keys(stats, query, weights, objective);
-        let mut order: Vec<usize> = (0..dims).collect();
-        order.sort_by(|&a, &b| {
-            keys[b].partial_cmp(&keys[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
-        });
-
-        let total: f64 = keys.iter().sum();
-        let mut warmup = dims;
-        if total > 0.0 {
-            let mut acc = 0.0;
-            for (i, &d) in order.iter().enumerate() {
-                acc += keys[d];
-                if acc >= total * 0.5 {
-                    warmup = i + 1;
-                    break;
-                }
-            }
-        }
-        // After the warmup, prune every few dimensions: fine-grained enough
-        // to cash in a tightening κ, coarse enough to amortize the bound
-        // computation (a pruning attempt costs about as much as scanning a
-        // dimension; the paper uses m = 8 at 166 dims).
-        let m = (dims / 4).clamp(4, 16);
-        SegmentPlan::new(order, BlockSchedule::WarmupThenFixed { warmup, m })
+        CostModel::default().plan(stats, query, weights, objective)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bond::BlockSchedule;
     use vdstore::DecomposedTable;
 
     fn segment_stats(vectors: &[Vec<f64>]) -> SegmentStats {
@@ -182,5 +150,14 @@ mod tests {
     #[test]
     fn planner_kind_default_is_uniform() {
         assert_eq!(PlannerKind::default(), PlannerKind::Uniform);
+    }
+
+    #[test]
+    fn stats_driven_classification() {
+        assert!(!PlannerKind::Uniform.is_stats_driven());
+        assert!(PlannerKind::Adaptive.is_stats_driven());
+        assert!(PlannerKind::Feedback.is_stats_driven());
+        assert!(PlannerKind::Feedback.uses_feedback());
+        assert!(!PlannerKind::Adaptive.uses_feedback());
     }
 }

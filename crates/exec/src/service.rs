@@ -5,24 +5,41 @@
 //! handed many requests at once. A real service, however, receives
 //! requests one at a time from concurrent clients. [`Server`] is the seam
 //! between the two: callers [`Server::submit`] individual [`QuerySpec`]s
-//! from any thread, a background worker drains the submission queue and
+//! from any thread, a background worker drains the submission queues and
 //! *coalesces* whatever has accumulated — up to
 //! [`ServerBuilder::max_batch`] requests — into one [`RequestBatch`] per
 //! engine pass, and each answer is routed back to the submitter through
 //! the [`Ticket`] it received at admission.
 //!
-//! Admission control happens at the door: [`Server::submit`] validates the
-//! spec against the engine ([`Engine::validate`]) and rejects invalid
-//! requests immediately, so one bad request can never poison a coalesced
-//! batch. This is deliberately a *synchronous* queue + condvar design —
-//! no async runtime exists in this dependency-free workspace — but the
-//! seam is the one the ROADMAP's async service layer calls for: requests
-//! form batches, batches form engine passes, and the queue is the place
-//! where admission policy (prioritising cheap, skippable work) can grow.
+//! Admission control happens at the door, and it is cost-aware:
+//!
+//! * [`Server::submit`] validates the spec against the engine
+//!   ([`Engine::validate`]) and rejects invalid requests immediately
+//!   (counted in [`Server::queries_rejected`]), so one bad request can
+//!   never poison a coalesced batch;
+//! * every accepted spec is priced by the engine's feedback-driven cost
+//!   model ([`Engine::estimate_cost`]) and queued under its
+//!   [`crate::batch::Priority`] class;
+//! * the worker admits [`crate::batch::Priority::Interactive`] before `Normal` before
+//!   `Batch`, takes the *cheapest estimated* request first within a class
+//!   (shortest-job-first keeps the coalescing latency of cheap queries from
+//!   being dominated by expensive neighbours), and stops filling the batch
+//!   once the summed estimates exceed [`ServerBuilder::max_cost`] — the
+//!   deadline-aware batch cut: whatever a pass leaves behind is served by
+//!   a later one, so no single pass grows unboundedly long. Aging keeps
+//!   that promise honest: a request passed over [`STARVATION_PASSES`]
+//!   times stops competing on cost and leads the next pass of its class,
+//!   so sustained cheap traffic cannot starve an expensive request.
+//!
+//! This is deliberately a *synchronous* queue + condvar design — no async
+//! runtime exists in this dependency-free workspace — but the seam is the
+//! one the ROADMAP's async service layer calls for: requests form batches,
+//! batches form engine passes, and the queue is where admission policy
+//! grows.
 //!
 //! ```
 //! use bond_exec::service::Server;
-//! use bond_exec::{Engine, QuerySpec, RuleKind};
+//! use bond_exec::{Engine, Priority, QuerySpec, RuleKind};
 //! use vdstore::DecomposedTable;
 //!
 //! let vectors: Vec<Vec<f64>> = (0..100)
@@ -32,7 +49,8 @@
 //! let engine = Engine::builder(table).partitions(4).threads(2).build().unwrap();
 //!
 //! let server = Server::new(engine);
-//! let ticket = server.submit(QuerySpec::new(vec![0.25, 0.75], 3)).unwrap();
+//! let spec = QuerySpec::new(vec![0.25, 0.75], 3).priority(Priority::Interactive);
+//! let ticket = server.submit(spec).unwrap();
 //! let answer = ticket.wait().unwrap();
 //! assert_eq!(answer.hits.len(), 3);
 //! ```
@@ -45,8 +63,32 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-/// One queued request: the spec plus the channel its answer travels back on.
-type Pending = (QuerySpec, mpsc::Sender<Result<QueryOutcome>>);
+/// One queued request: the spec, its estimated cost, how many engine
+/// passes have drained around it, and the channel its answer travels back
+/// on.
+struct Pending {
+    spec: QuerySpec,
+    cost: f64,
+    /// Engine passes this request has been passed over by (aging input).
+    waited: u32,
+    tx: mpsc::Sender<Result<QueryOutcome>>,
+}
+
+impl std::fmt::Debug for Pending {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pending")
+            .field("k", &self.spec.k())
+            .field("cost", &self.cost)
+            .field("waited", &self.waited)
+            .finish()
+    }
+}
+
+/// After this many passed-over engine passes a request stops competing on
+/// cost: it sorts ahead of every non-starved entry in its class (oldest
+/// first) and, as the first pick of the pass, bypasses the cost budget —
+/// shortest-job-first cannot starve an expensive request forever.
+pub const STARVATION_PASSES: u32 = 4;
 
 /// The queue shared between submitters and the worker.
 #[derive(Debug)]
@@ -57,12 +99,96 @@ struct Shared {
     batches: AtomicUsize,
     /// Requests answered so far (success or error).
     served: AtomicUsize,
+    /// Requests rejected at admission (validation failure or shutdown).
+    rejected: AtomicUsize,
 }
 
 #[derive(Debug)]
 struct QueueState {
-    pending: VecDeque<Pending>,
+    /// One FIFO per priority class, indexed by [`Priority::index`].
+    pending: [VecDeque<Pending>; 3],
     shutdown: bool,
+}
+
+impl QueueState {
+    fn is_empty(&self) -> bool {
+        self.pending.iter().all(VecDeque::is_empty)
+    }
+}
+
+/// Drains up to `max_batch` requests for one engine pass: strict priority
+/// classes first (`Interactive` → `Normal` → `Batch`), the
+/// cheapest estimate first within a class, and a deadline-aware cut — once
+/// the summed estimates of the picked requests would exceed `max_cost`,
+/// the batch closes (the first pick of a pass is always admitted, so an
+/// oversized single request still executes alone rather than starving).
+///
+/// Aging keeps shortest-job-first live: a request passed over
+/// [`STARVATION_PASSES`] times stops competing on cost — it sorts ahead of
+/// its whole class (oldest first) and is admitted even over budget (its
+/// cost still counts toward the budget, so the pass after it stays
+/// bounded). Strict priority between *classes* is deliberate and not aged
+/// away: `Batch` work yields to a sustained `Interactive` stream by
+/// design.
+fn drain_batch(state: &mut QueueState, max_batch: usize, max_cost: f64) -> Vec<Pending> {
+    let mut batch: Vec<Pending> = Vec::new();
+    let mut cost_sum = 0.0;
+    for queue in &mut state.pending {
+        if queue.is_empty() {
+            continue;
+        }
+        // One O(n log n) sort per class instead of repeated O(n) min-scans
+        // while the submission mutex is held: decorate with the arrival
+        // index, sort starved-then-cheapest, admit the prefix, and return
+        // the rest to the queue in arrival order (so future ties still
+        // break FIFO).
+        let mut entries: Vec<(usize, Pending)> =
+            std::mem::take(queue).into_iter().enumerate().collect();
+        entries.sort_by(|(ai, a), (bi, b)| {
+            let a_starved = a.waited >= STARVATION_PASSES;
+            let b_starved = b.waited >= STARVATION_PASSES;
+            b_starved
+                .cmp(&a_starved) // starved entries first …
+                .then(if a_starved && b_starved {
+                    ai.cmp(bi) // … oldest first among them
+                } else {
+                    a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .then(ai.cmp(bi))
+        });
+        let mut leftover: Vec<(usize, Pending)> = Vec::new();
+        let mut deadline_hit = false;
+        for (arrival, pending) in entries {
+            // A starved entry is admitted regardless of the budget (its
+            // cost still counts toward it): were it merely *exempt from
+            // latching*, a sustained higher-class load could hold the
+            // batch non-empty forever and the entry — sorted first in its
+            // class — would head-of-line-block every cheaper request
+            // behind it without ever being served itself.
+            let starved = pending.waited >= STARVATION_PASSES;
+            // `deadline_hit` is a latch: once a non-starved entry exceeds
+            // the budget, the batch is closed for everything after it
+            deadline_hit |= !starved && !batch.is_empty() && cost_sum + pending.cost > max_cost;
+            if (deadline_hit && !starved) || batch.len() >= max_batch {
+                leftover.push((arrival, pending));
+            } else {
+                cost_sum += pending.cost;
+                batch.push(pending);
+            }
+        }
+        leftover.sort_by_key(|&(arrival, _)| arrival);
+        queue.extend(leftover.into_iter().map(|(_, mut pending)| {
+            pending.waited = pending.waited.saturating_add(1);
+            pending
+        }));
+        if deadline_hit || batch.len() >= max_batch {
+            // the deadline cut also closes lower classes: they must not
+            // jump a deadline the class above them already hit (a full
+            // batch closes them trivially)
+            break;
+        }
+    }
+    batch
 }
 
 /// Builds a [`Server`] over an engine.
@@ -70,6 +196,7 @@ struct QueueState {
 pub struct ServerBuilder {
     engine: Engine,
     max_batch: usize,
+    max_cost: f64,
 }
 
 impl ServerBuilder {
@@ -83,37 +210,58 @@ impl ServerBuilder {
         self
     }
 
+    /// Upper bound on the *summed estimated cost* (expected
+    /// `(candidate, dimension)` evaluations, per [`Engine::estimate_cost`])
+    /// one engine pass admits — the deadline-aware batch cut. Default:
+    /// unbounded. The first request of a pass is always admitted, so a
+    /// single estimate above the bound still executes (alone). Non-finite
+    /// (other than `+∞`), NaN or non-positive values are rejected at
+    /// [`ServerBuilder::build`].
+    #[must_use]
+    pub fn max_cost(mut self, max_cost: f64) -> Self {
+        self.max_cost = max_cost;
+        self
+    }
+
     /// Finishes the build and starts the worker thread.
     ///
     /// # Errors
     ///
-    /// [`BondError::InvalidParams`] when `max_batch` is zero.
+    /// [`BondError::InvalidParams`] when `max_batch` is zero or `max_cost`
+    /// is NaN or non-positive.
     pub fn build(self) -> Result<Server> {
         if self.max_batch == 0 {
             return Err(BondError::InvalidParams("max_batch must be non-zero".into()));
         }
+        if self.max_cost.is_nan() || self.max_cost <= 0.0 {
+            return Err(BondError::InvalidParams("max_cost must be positive".into()));
+        }
         let shared = Arc::new(Shared {
-            state: Mutex::new(QueueState { pending: VecDeque::new(), shutdown: false }),
+            state: Mutex::new(QueueState {
+                pending: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                shutdown: false,
+            }),
             wake: Condvar::new(),
             batches: AtomicUsize::new(0),
             served: AtomicUsize::new(0),
+            rejected: AtomicUsize::new(0),
         });
         let worker = {
             let engine = self.engine.clone();
             let shared = Arc::clone(&shared);
-            let max_batch = self.max_batch;
-            std::thread::spawn(move || worker_loop(&engine, &shared, max_batch))
+            let (max_batch, max_cost) = (self.max_batch, self.max_cost);
+            std::thread::spawn(move || worker_loop(&engine, &shared, max_batch, max_cost))
         };
         Ok(Server { engine: self.engine, shared, worker: Some(worker) })
     }
 }
 
-/// A long-lived, thread-safe k-NN server: an `Arc`'d [`Engine`] plus a
-/// submission queue whose worker coalesces concurrent requests into engine
-/// batches.
+/// A long-lived, thread-safe k-NN server: an `Arc`'d [`Engine`] plus
+/// per-priority submission queues whose worker coalesces concurrent
+/// requests into cost-bounded engine batches.
 ///
 /// `Server` is `Send + Sync`; submit from as many threads as you like.
-/// Dropping the server shuts the worker down after it drains the queue
+/// Dropping the server shuts the worker down after it drains the queues
 /// (every accepted ticket is answered).
 #[derive(Debug)]
 pub struct Server {
@@ -149,7 +297,7 @@ impl Server {
 
     /// Starts building a server over `engine`.
     pub fn builder(engine: Engine) -> ServerBuilder {
-        ServerBuilder { engine, max_batch: 64 }
+        ServerBuilder { engine, max_batch: 64, max_cost: f64::INFINITY }
     }
 
     /// The engine this server fronts.
@@ -159,22 +307,36 @@ impl Server {
 
     /// Submits one request and returns the [`Ticket`] its answer arrives
     /// on. Validation happens here, at admission: an invalid spec is
-    /// rejected immediately (and never reaches a batch), so every accepted
-    /// ticket eventually resolves.
+    /// rejected immediately (and counted in [`Server::queries_rejected`]),
+    /// so every accepted ticket eventually resolves. The accepted spec is
+    /// priced by the engine's cost model and queued under its
+    /// [`crate::batch::Priority`] class.
     ///
     /// # Errors
     ///
     /// [`Engine::validate`]'s errors for an invalid spec, or
-    /// [`BondError::ServiceUnavailable`] after [`Server::shutdown`].
+    /// [`BondError::ServiceUnavailable`] after [`Server::shutdown`] —
+    /// either way the rejection is recorded.
     pub fn submit(&self, spec: QuerySpec) -> Result<Ticket> {
-        self.engine.validate(&spec)?;
+        if let Err(e) = self.engine.validate(&spec) {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        let cost = self.engine.estimate_cost(&spec);
         let (tx, rx) = mpsc::channel();
         {
             let mut state = self.shared.state.lock().expect("queue mutex never poisoned");
             if state.shutdown {
+                drop(state);
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(BondError::ServiceUnavailable("server is shut down".into()));
             }
-            state.pending.push_back((spec, tx));
+            state.pending[spec.priority_class().index()].push_back(Pending {
+                spec,
+                cost,
+                waited: 0,
+                tx,
+            });
         }
         self.shared.wake.notify_one();
         Ok(Ticket { rx })
@@ -191,6 +353,13 @@ impl Server {
     /// Number of requests answered so far (successfully or with an error).
     pub fn queries_served(&self) -> usize {
         self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests rejected at admission — validation failures and
+    /// post-shutdown submissions. Together with [`Server::queries_served`]
+    /// this accounts for every spec ever submitted.
+    pub fn queries_rejected(&self) -> usize {
+        self.shared.rejected.load(Ordering::Relaxed)
     }
 
     /// Stops accepting new requests and wakes the worker so it drains what
@@ -213,24 +382,25 @@ impl Drop for Server {
     }
 }
 
-/// The worker: wait for requests, drain up to `max_batch` of them, execute
-/// them as one engine batch, route each answer to its submitter.
-fn worker_loop(engine: &Engine, shared: &Shared, max_batch: usize) {
+/// The worker: wait for requests, drain a priority-ordered, cost-bounded
+/// batch, execute it as one engine pass, route each answer to its
+/// submitter.
+fn worker_loop(engine: &Engine, shared: &Shared, max_batch: usize, max_cost: f64) {
     loop {
         let drained: Vec<Pending> = {
             let mut state = shared.state.lock().expect("queue mutex never poisoned");
-            while state.pending.is_empty() && !state.shutdown {
+            while state.is_empty() && !state.shutdown {
                 state = shared.wake.wait(state).expect("queue mutex never poisoned");
             }
-            if state.pending.is_empty() {
+            if state.is_empty() {
                 // shutdown and fully drained
                 return;
             }
-            let n = state.pending.len().min(max_batch);
-            state.pending.drain(..n).collect()
+            drain_batch(&mut state, max_batch, max_cost)
         };
 
-        let (specs, txs): (Vec<QuerySpec>, Vec<_>) = drained.into_iter().unzip();
+        let (specs, txs): (Vec<QuerySpec>, Vec<_>) =
+            drained.into_iter().map(|p| (p.spec, p.tx)).unzip();
         let batch = RequestBatch::from_specs(specs);
         let result = engine.execute(&batch);
         // Counters tick *before* each answer is routed, so a submitter that
@@ -259,6 +429,7 @@ fn worker_loop(engine: &Engine, shared: &Shared, max_batch: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::Priority;
     use crate::planner::PlannerKind;
     use crate::rules::RuleKind;
     use vdstore::DecomposedTable;
@@ -277,6 +448,16 @@ mod tests {
         Engine::builder(table).partitions(3).threads(2).build().unwrap()
     }
 
+    fn pending(k: usize, cost: f64) -> Pending {
+        // drain tests never answer, so the receiver end can drop
+        let (tx, _rx) = mpsc::channel();
+        Pending { spec: QuerySpec::new(vec![0.5; 6], k), cost, waited: 0, tx }
+    }
+
+    fn queue_state(classes: [Vec<Pending>; 3]) -> QueueState {
+        QueueState { pending: classes.map(VecDeque::from), shutdown: false }
+    }
+
     #[test]
     fn answers_match_direct_engine_searches() {
         let engine = engine();
@@ -286,6 +467,7 @@ mod tests {
         let answer = ticket.wait().unwrap();
         assert_eq!(answer.hits, engine.search(&q, 4).unwrap().hits);
         assert_eq!(server.queries_served(), 1);
+        assert_eq!(server.queries_rejected(), 0);
         assert!(server.batches_executed() >= 1);
     }
 
@@ -294,14 +476,16 @@ mod tests {
         let engine = engine();
         let server = Server::new(engine.clone());
         let q = engine.table().row(3).unwrap();
-        let spec =
-            QuerySpec::new(q.clone(), 2).rule(RuleKind::EuclideanEv).planner(PlannerKind::Adaptive);
+        let spec = QuerySpec::new(q.clone(), 2)
+            .rule(RuleKind::EuclideanEv)
+            .planner(PlannerKind::Feedback)
+            .priority(Priority::Interactive);
         let answer = server.submit(spec.clone()).unwrap().wait().unwrap();
         assert_eq!(answer.hits, engine.search_spec(&spec).unwrap().hits);
     }
 
     #[test]
-    fn invalid_specs_are_rejected_at_admission() {
+    fn invalid_specs_are_rejected_and_counted_at_admission() {
         let server = Server::new(engine());
         assert!(matches!(
             server.submit(QuerySpec::new(vec![0.5; 4], 1)),
@@ -312,6 +496,7 @@ mod tests {
             Err(BondError::InvalidK { .. })
         ));
         assert_eq!(server.queries_served(), 0);
+        assert_eq!(server.queries_rejected(), 2, "every rejection is recorded");
     }
 
     #[test]
@@ -326,16 +511,152 @@ mod tests {
             server.submit(QuerySpec::new(q2, 1)),
             Err(BondError::ServiceUnavailable(_))
         ));
+        assert_eq!(server.queries_rejected(), 1, "post-shutdown submissions count as rejected");
         // the pre-shutdown ticket still resolves
         assert_eq!(ticket.wait().unwrap().hits.len(), 1);
     }
 
     #[test]
-    fn zero_max_batch_is_rejected() {
+    fn invalid_server_configurations_are_rejected() {
         assert!(matches!(
             Server::builder(engine()).max_batch(0).build(),
             Err(BondError::InvalidParams(_))
         ));
+        assert!(matches!(
+            Server::builder(engine()).max_cost(0.0).build(),
+            Err(BondError::InvalidParams(_))
+        ));
+        assert!(matches!(
+            Server::builder(engine()).max_cost(f64::NAN).build(),
+            Err(BondError::InvalidParams(_))
+        ));
+        assert!(Server::builder(engine()).max_cost(f64::INFINITY).build().is_ok());
+    }
+
+    #[test]
+    fn drain_respects_priority_classes_then_cost_within_a_class() {
+        let mut state = queue_state([
+            vec![pending(31, 50.0)],
+            vec![pending(10, 9.0), pending(11, 3.0), pending(12, 6.0)],
+            vec![pending(90, 1.0)],
+        ]);
+        let batch = drain_batch(&mut state, 8, f64::INFINITY);
+        let ks: Vec<usize> = batch.iter().map(|p| p.spec.k()).collect();
+        // interactive first (regardless of cost), then normal cheapest
+        // first, then batch work
+        assert_eq!(ks, vec![31, 11, 12, 10, 90]);
+        assert!(state.is_empty());
+    }
+
+    #[test]
+    fn drain_cuts_the_batch_at_max_cost_and_keeps_the_rest_queued() {
+        let mut state = queue_state([
+            vec![],
+            vec![pending(1, 4.0), pending(2, 4.0), pending(3, 4.0)],
+            vec![pending(9, 0.1)],
+        ]);
+        let batch = drain_batch(&mut state, 8, 10.0);
+        let ks: Vec<usize> = batch.iter().map(|p| p.spec.k()).collect();
+        // 4 + 4 fit; the third normal request would exceed 10 and closes
+        // the batch — including for the cheaper Batch-class request behind
+        // it (lower classes must not jump the deadline)
+        assert_eq!(ks, vec![1, 2]);
+        assert_eq!(state.pending[1].len(), 1);
+        assert_eq!(state.pending[2].len(), 1);
+        // the leftover is served by the next pass
+        let next = drain_batch(&mut state, 8, 10.0);
+        assert_eq!(next.len(), 2);
+        assert!(state.is_empty());
+    }
+
+    #[test]
+    fn aged_requests_stop_competing_on_cost() {
+        // an expensive request under sustained cheaper load: every pass
+        // admits two cost-4 picks and the cost-8 request would be passed
+        // over forever under pure shortest-job-first; aging rescues it.
+        let mut state = queue_state([vec![], vec![pending(99, 8.0)], vec![]]);
+        let mut rescued_at = None;
+        for pass in 0..=STARVATION_PASSES {
+            state.pending[1].push_back(pending(1, 4.0));
+            state.pending[1].push_back(pending(2, 4.0));
+            let batch = drain_batch(&mut state, 8, 10.0);
+            if batch.iter().any(|p| p.spec.k() == 99) {
+                assert_eq!(batch[0].spec.k(), 99, "the starved request leads its pass");
+                rescued_at = Some(pass);
+                break;
+            }
+        }
+        assert_eq!(
+            rescued_at,
+            Some(STARVATION_PASSES),
+            "aging must admit the expensive request after exactly {STARVATION_PASSES} passes"
+        );
+    }
+
+    #[test]
+    fn starved_requests_are_admitted_over_budget_without_blocking_their_class() {
+        // a higher-class pick has consumed most of the budget; the starved
+        // normal request must be admitted anyway (not latch the deadline at
+        // itself and head-of-line-block the class), and the cheap request
+        // behind it is served by the very next pass
+        let mut starved = pending(99, 8.0);
+        starved.waited = STARVATION_PASSES;
+        let mut state =
+            queue_state([vec![pending(50, 6.0)], vec![starved, pending(1, 1.0)], vec![]]);
+        let batch = drain_batch(&mut state, 8, 10.0);
+        let ks: Vec<usize> = batch.iter().map(|p| p.spec.k()).collect();
+        assert_eq!(ks, vec![50, 99], "the starved request is admitted over budget");
+        let next = drain_batch(&mut state, 8, 10.0);
+        assert_eq!(next.len(), 1);
+        assert_eq!(next[0].spec.k(), 1, "the cheap request is not blocked behind it");
+        assert!(state.is_empty());
+    }
+
+    #[test]
+    fn an_oversized_single_request_still_executes_alone() {
+        let mut state = queue_state([vec![], vec![pending(7, 1e12)], vec![]]);
+        let batch = drain_batch(&mut state, 8, 10.0);
+        assert_eq!(batch.len(), 1, "the first pick is always admitted");
+        assert!(state.is_empty());
+    }
+
+    #[test]
+    fn drain_honours_max_batch_across_classes() {
+        let mut state = queue_state([
+            vec![pending(1, 1.0), pending(2, 1.0)],
+            vec![pending(3, 1.0)],
+            vec![pending(4, 1.0)],
+        ]);
+        let batch = drain_batch(&mut state, 3, f64::INFINITY);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(state.pending[2].len(), 1, "the batch-class request waits");
+    }
+
+    #[test]
+    fn cost_bounded_server_still_answers_everything() {
+        let engine = engine();
+        // a tiny cost budget forces many small engine passes; every ticket
+        // must still resolve with the right answer
+        let server = Server::builder(engine.clone()).max_batch(8).max_cost(1.0).build().unwrap();
+        let expected: Vec<_> = (0..12)
+            .map(|i| {
+                let q = engine.table().row(i * 7).unwrap();
+                (q.clone(), engine.search(&q, 2).unwrap().hits)
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for (i, (q, hits)) in expected.iter().enumerate() {
+                let server = &server;
+                let priority = Priority::ALL[i % 3];
+                scope.spawn(move || {
+                    let spec = QuerySpec::new(q.clone(), 2).priority(priority);
+                    let answer = server.submit(spec).unwrap().wait().unwrap();
+                    assert_eq!(&answer.hits, hits, "answer routed to the wrong requester");
+                });
+            }
+        });
+        assert_eq!(server.queries_served(), 12);
+        assert!(server.batches_executed() >= 2, "the cost cut splits the burst");
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! The feedback planner's contract: learned plans may change *work*, never
+//! *answers*. `PlannerKind::Feedback` must return the sequential
+//! reference's k-NN set and ranks for every rule, any partition count and
+//! any k — both cold (where it falls back to the adaptive derivation) and
+//! after warming on a hundred queries (where orders and warmups have moved
+//! to the learned values). On clustered, cluster-major data — the regime
+//! where a-priori moments mislead — the warmed planner must also do
+//! measurably *less* scanned-row work than the a-priori adaptive planner.
+
+use bond_datagen::{sample_queries, ClusteredConfig};
+use bond_exec::{Engine, PlannerKind, QuerySpec, RequestBatch, RuleKind};
+use proptest::prelude::*;
+use std::sync::Arc;
+use vdstore::topk::Scored;
+use vdstore::DecomposedTable;
+
+const DIMS: usize = 8;
+const PARTITIONS: [usize; 4] = [1, 2, 3, 7];
+const WARMING_QUERIES: usize = 100;
+
+/// Random normalized histograms, each duplicated once so the merge's
+/// deterministic tie-breaking is exercised on every query.
+fn duplicated_collection() -> impl Strategy<Value = (Vec<Vec<f64>>, usize)> {
+    (proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, DIMS), 15..40), 0usize..30)
+        .prop_map(|(mut vectors, qi)| {
+            for v in &mut vectors {
+                let total: f64 = v.iter().sum();
+                if total <= 0.0 {
+                    v[0] = 1.0;
+                } else {
+                    for x in v.iter_mut() {
+                        *x /= total;
+                    }
+                }
+            }
+            let dupes: Vec<Vec<f64>> = vectors.clone();
+            vectors.extend(dupes);
+            (vectors, qi)
+        })
+}
+
+/// Same k-NN set *and ranks*; scores equal up to floating-point summation
+/// order.
+fn assert_rank_correct(feedback: &[Scored], reference: &[Scored], context: &str) {
+    assert_eq!(feedback.len(), reference.len(), "{context}: hit counts differ");
+    for (i, (a, r)) in feedback.iter().zip(reference).enumerate() {
+        assert_eq!(a.row, r.row, "{context}: rank {i} row diverges");
+        assert!(
+            (a.score - r.score).abs() <= 1e-9 * r.score.abs().max(1.0),
+            "{context}: rank {i} score {} vs reference {}",
+            a.score,
+            r.score
+        );
+    }
+}
+
+/// Runs `WARMING_QUERIES` feedback-planned queries drawn from the
+/// collection itself, folding their traces into the engine's store.
+fn warm(engine: &Engine, vectors: &[Vec<f64>], k: usize) {
+    let specs: Vec<QuerySpec> = (0..WARMING_QUERIES)
+        .map(|i| {
+            QuerySpec::new(vectors[(i * 13) % vectors.len()].clone(), k)
+                .planner(PlannerKind::Feedback)
+        })
+        .collect();
+    engine.execute(&RequestBatch::from_specs(specs)).expect("warming batch executes");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn feedback_plans_stay_rank_correct_cold_and_warm_for_every_rule(
+        (vectors, qi) in duplicated_collection(),
+    ) {
+        let table = Arc::new(DecomposedTable::from_vectors("feedback", &vectors).unwrap());
+        let query = vectors[qi % vectors.len()].clone();
+        let n = table.rows();
+        for rule in RuleKind::ALL {
+            for partitions in PARTITIONS {
+                let engine = Engine::builder(table.clone())
+                    .partitions(partitions)
+                    .threads(3)
+                    .rule(rule.clone())
+                    .planner(PlannerKind::Feedback)
+                    .build()
+                    .unwrap();
+                prop_assert_eq!(engine.feedback_snapshot().total_searches(), 0);
+                for k in [1, 10.min(n), n] {
+                    // cold: the feedback planner falls back to the
+                    // adaptive derivation and must already be rank-correct
+                    let spec = QuerySpec::new(query.clone(), k);
+                    let cold = engine.search_spec(&spec).unwrap();
+                    let reference = engine.sequential_reference_spec(&spec).unwrap();
+                    let context = format!(
+                        "cold rule {} partitions {partitions} k {k} rows {n}",
+                        rule.name()
+                    );
+                    assert_rank_correct(&cold.hits, &reference, &context);
+                }
+                // warm the store with 100 feedback queries …
+                warm(&engine, &vectors, 5.min(n));
+                prop_assert!(
+                    engine.feedback_snapshot().total_searches()
+                        + engine.feedback_snapshot().total_skips() > 0,
+                    "warming must fold observations into the store"
+                );
+                // … and the learned plans must still be rank-correct
+                for k in [1, 10.min(n), n] {
+                    let spec = QuerySpec::new(query.clone(), k);
+                    let warm_outcome = engine.search_spec(&spec).unwrap();
+                    let reference = engine.sequential_reference_spec(&spec).unwrap();
+                    let context = format!(
+                        "warm rule {} partitions {partitions} k {k} rows {n}",
+                        rule.name()
+                    );
+                    assert_rank_correct(&warm_outcome.hits, &reference, &context);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_planner_batches_answer_each_spec_on_its_own_terms(
+        (vectors, _) in duplicated_collection(),
+        k in 1usize..=5,
+    ) {
+        let table = DecomposedTable::from_vectors("mixed", &vectors).unwrap();
+        let engine = Engine::builder(table).partitions(3).threads(2).build().unwrap();
+        let queries: Vec<Vec<f64>> =
+            vectors.iter().step_by(vectors.len().div_ceil(4).max(1)).cloned().collect();
+        let specs: Vec<QuerySpec> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let planner = match i % 3 {
+                    0 => PlannerKind::Uniform,
+                    1 => PlannerKind::Adaptive,
+                    _ => PlannerKind::Feedback,
+                };
+                QuerySpec::new(q.clone(), k).planner(planner)
+            })
+            .collect();
+        let outcome = engine.execute(&RequestBatch::from_specs(specs.clone())).unwrap();
+        for (spec, merged) in specs.iter().zip(&outcome.queries) {
+            let reference = engine.sequential_reference_spec(spec).unwrap();
+            assert_rank_correct(&merged.hits, &reference, "mixed-planner batch");
+        }
+    }
+}
+
+/// The clustered, cluster-major workload the ISSUE names: contiguous row
+/// segments cover few clusters each, so observed prune behaviour is a
+/// sharper signal than a-priori moments. A feedback engine warmed on 100
+/// queries must scan strictly fewer `(candidate, dimension)` cells than
+/// the a-priori adaptive planner on the same evaluation batch — while
+/// every answer stays rank-correct.
+#[test]
+fn warmed_feedback_beats_adaptive_on_cluster_major_data() {
+    let rows = 8_000;
+    let dims = 16;
+    let k = 10;
+    let partitions = 8;
+    let table = Arc::new(
+        ClusteredConfig { clusters: 16, ..ClusteredConfig::small(rows, dims, 0.0) }
+            .with_cluster_major(true)
+            .generate(),
+    );
+    let eval_queries = sample_queries(&table, 12, 4321);
+    let eval = RequestBatch::from_queries(eval_queries.clone(), k);
+
+    let build = |planner: PlannerKind| {
+        Engine::builder(table.clone())
+            .partitions(partitions)
+            .threads(1) // deterministic task order isolates plan quality
+            .rule(RuleKind::EuclideanEv)
+            .planner(planner)
+            .build()
+            .unwrap()
+    };
+
+    let adaptive = build(PlannerKind::Adaptive);
+    let adaptive_outcome = adaptive.execute(&eval).unwrap();
+    let adaptive_work: u64 =
+        adaptive_outcome.queries.iter().map(|q| q.contributions_evaluated()).sum();
+
+    let feedback = build(PlannerKind::Feedback);
+    let warming = RequestBatch::from_queries(sample_queries(&table, 100, 99), k);
+    feedback.execute(&warming).unwrap();
+    let snapshot = feedback.feedback_snapshot();
+    assert!(snapshot.total_searches() > 0, "warming folded nothing");
+
+    let feedback_outcome = feedback.execute(&eval).unwrap();
+    let feedback_work: u64 =
+        feedback_outcome.queries.iter().map(|q| q.contributions_evaluated()).sum();
+
+    assert!(
+        feedback_work < adaptive_work,
+        "warmed feedback must scan strictly less than a-priori adaptive: {feedback_work} vs \
+         {adaptive_work}"
+    );
+
+    // work went down; answers did not change
+    for (q, merged) in eval_queries.iter().zip(&feedback_outcome.queries) {
+        let reference = feedback.sequential_reference(q, k).unwrap();
+        assert_eq!(merged.hits.len(), reference.len());
+        for (a, r) in merged.hits.iter().zip(&reference) {
+            assert_eq!(a.row, r.row, "feedback planning changed an answer");
+        }
+    }
+}
+
+/// Warm estimates reflect what was observed: a segment the zone map keeps
+/// skipping prices lower than it did cold, and uniform planning (which
+/// never skips) prices at least as high as feedback planning.
+#[test]
+fn cost_estimates_learn_from_feedback() {
+    let mut vectors = Vec::new();
+    for i in 0..400 {
+        vectors.push(vec![0.1 + (i % 10) as f64 * 1e-3; 8]);
+    }
+    for i in 0..400 {
+        vectors.push(vec![0.9 - (i % 10) as f64 * 1e-3; 8]);
+    }
+    let table = Arc::new(DecomposedTable::from_vectors("cost_learn", &vectors).unwrap());
+    let engine = Engine::builder(table.clone())
+        .partitions(2)
+        .threads(1)
+        .rule(RuleKind::EuclideanEv)
+        .planner(PlannerKind::Feedback)
+        .build()
+        .unwrap();
+
+    let spec = QuerySpec::new(vectors[0].clone(), 5);
+    let cold = engine.estimate_cost(&spec);
+    assert!(cold > 0.0);
+
+    // queries from cluster A keep skipping the far cluster-B segment
+    let warming: Vec<QuerySpec> =
+        (0..40).map(|i| QuerySpec::new(vectors[i * 7 % 400].clone(), 5)).collect();
+    let outcome = engine.execute(&RequestBatch::from_specs(warming)).unwrap();
+    assert!(outcome.queries.iter().map(|q| q.segments_skipped()).sum::<usize>() > 0);
+
+    let warm = engine.estimate_cost(&spec);
+    assert!(warm < cold, "observed skips and pruning must cheapen the estimate: {warm} vs {cold}");
+
+    let uniform = engine.estimate_cost(&spec.clone().planner(PlannerKind::Uniform));
+    assert!(uniform >= warm, "uniform planning never skips, so it cannot price lower");
+
+    // the snapshot exposes the same signals for introspection
+    let snapshot = engine.feedback_snapshot();
+    assert_eq!(snapshot.segments.len(), engine.partitions());
+    assert!(snapshot.segments[1].skips > 0, "the far segment accumulated skip hits");
+}

@@ -1,0 +1,79 @@
+//! Fragment checksums: FNV-1a over the persisted bytes of each column.
+//!
+//! The persistent segment store keeps every dimensional fragment as one
+//! contiguous byte run, which makes bit-rot detection cheap: one 64-bit
+//! FNV-1a hash per fragment, stored in the v2 footer. Heap opens verify
+//! every fragment as it is decoded; mapped opens stay lazy (verification
+//! would fault in every page, defeating the cold-open design) and instead
+//! verify a fragment when it is first *promoted* to the heap by a
+//! copy-on-write mutation — the one moment corrupted bytes would otherwise
+//! silently become the new truth.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a 64-bit hash (seed with
+/// [`FNV_OFFSET`]); lets streaming writers hash fragment chunks without
+/// materialising the fragment.
+#[must_use]
+pub fn fnv1a_update(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The FNV-1a 64-bit hash of `bytes`.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_update(FNV_OFFSET, bytes)
+}
+
+/// The FNV-1a 64-bit hash of a fragment's values, hashed exactly as the
+/// store serialises them (little-endian `f64` bytes) so in-memory and
+/// on-disk hashes agree.
+#[must_use]
+pub fn fnv1a_f64(values: &[f64]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for v in values {
+        hash = fnv1a_update(hash, &v.to_le_bytes());
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // standard FNV-1a test vectors
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"the quick brown fox";
+        let mut h = FNV_OFFSET;
+        for chunk in data.chunks(3) {
+            h = fnv1a_update(h, chunk);
+        }
+        assert_eq!(h, fnv1a(data));
+    }
+
+    #[test]
+    fn f64_hash_matches_le_byte_hash() {
+        let values = [1.5f64, -2.25, 0.0, 1e300];
+        let mut bytes = Vec::new();
+        for v in &values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(fnv1a_f64(&values), fnv1a(&bytes));
+        assert_ne!(fnv1a_f64(&values), fnv1a_f64(&values[..3]));
+    }
+}

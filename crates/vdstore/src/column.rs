@@ -20,8 +20,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::checksum::fnv1a;
 use crate::error::{Result, VdError};
-use crate::mmap::{MappedRegion, StorageBackend};
+use crate::mmap::{Advice, MappedRegion, StorageBackend};
 use crate::RowId;
 use std::sync::Arc;
 
@@ -42,20 +43,62 @@ pub enum ColumnData {
         byte_offset: usize,
         /// Number of `f64` values in the fragment.
         len: usize,
+        /// The fragment's FNV-1a checksum from the store footer, when the
+        /// store carried one; verified before any copy-on-write promotion
+        /// so corrupted bytes cannot silently become the heap truth.
+        checksum: Option<u64>,
     },
 }
 
 impl ColumnData {
-    /// A mapped view of `len` values at `byte_offset` inside `region`.
+    /// A mapped view of `len` values at `byte_offset` inside `region`,
+    /// optionally guarded by the fragment's persisted `checksum` (verified
+    /// lazily, on copy-on-write promotion — an eager check would fault in
+    /// every data page and defeat the lazy cold open).
     ///
     /// # Errors
     ///
     /// [`VdError::Io`] when the range falls outside the region or is not
     /// 8-byte aligned.
-    pub fn mapped(region: Arc<MappedRegion>, byte_offset: usize, len: usize) -> Result<Self> {
+    pub fn mapped(
+        region: Arc<MappedRegion>,
+        byte_offset: usize,
+        len: usize,
+        checksum: Option<u64>,
+    ) -> Result<Self> {
         // Validate once; `as_slice` relies on it.
         region.f64_slice(byte_offset, len)?;
-        Ok(ColumnData::Mapped { region, byte_offset, len })
+        Ok(ColumnData::Mapped { region, byte_offset, len, checksum })
+    }
+
+    /// Applies an access-pattern hint to the mapped byte range backing this
+    /// data (no-op for heap data): `rows` restricts the hint to a row
+    /// sub-range, clamped to the fragment.
+    fn advise(&self, rows: std::ops::Range<usize>, advice: Advice) {
+        if let ColumnData::Mapped { region, byte_offset, len, .. } = self {
+            let start = rows.start.min(*len);
+            let end = rows.end.min(*len);
+            if start < end {
+                region.advise(byte_offset + start * 8, (end - start) * 8, advice);
+            }
+        }
+    }
+
+    /// Verifies the fragment's bytes against its persisted checksum, when
+    /// one is carried (heap data and unguarded mappings verify trivially).
+    fn verify(&self, name: &str) -> Result<()> {
+        if let ColumnData::Mapped { region, byte_offset, len, checksum: Some(expected) } = self {
+            let bytes = &region.as_bytes()[*byte_offset..*byte_offset + *len * 8];
+            let actual = fnv1a(bytes);
+            if actual != *expected {
+                return Err(VdError::ChecksumMismatch {
+                    column: name.to_string(),
+                    expected: *expected,
+                    actual,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The dense values, wherever they live.
@@ -63,7 +106,7 @@ impl ColumnData {
     pub fn as_slice(&self) -> &[f64] {
         match self {
             ColumnData::Heap(v) => v,
-            ColumnData::Mapped { region, byte_offset, len } => {
+            ColumnData::Mapped { region, byte_offset, len, .. } => {
                 region.f64_slice(*byte_offset, *len).expect("validated at construction")
             }
         }
@@ -90,16 +133,27 @@ impl ColumnData {
         }
     }
 
-    /// Mutable access, promoting a mapped view to an owned heap vector
-    /// first (copy-on-write).
-    fn make_heap(&mut self) -> &mut Vec<f64> {
+    /// Promotes a mapped view to an owned heap vector (copy-on-write),
+    /// verifying the fragment's checksum first when one is carried — the
+    /// moment corrupted mapped bytes would otherwise become the new heap
+    /// truth. Heap data is returned as-is.
+    fn promote(&mut self, name: &str) -> Result<&mut Vec<f64>> {
         if let ColumnData::Mapped { .. } = self {
+            self.verify(name)?;
             *self = ColumnData::Heap(self.as_slice().to_vec());
         }
         match self {
-            ColumnData::Heap(v) => v,
+            ColumnData::Heap(v) => Ok(v),
             ColumnData::Mapped { .. } => unreachable!("promoted above"),
         }
+    }
+
+    /// Infallible promotion for the mutation APIs without an error channel.
+    ///
+    /// # Panics
+    /// Panics when a guarded mapped fragment fails checksum verification.
+    fn make_heap(&mut self, name: &str) -> &mut Vec<f64> {
+        self.promote(name).expect("mapped fragment failed checksum verification on promotion")
     }
 
     /// Consumes the data, copying mapped views onto the heap.
@@ -203,25 +257,61 @@ impl Column {
     }
 
     /// Mutable access to the underlying value slice. A mapped column is
-    /// promoted to the heap first (copy-on-write).
+    /// promoted to the heap first (copy-on-write, checksum-verified).
+    ///
+    /// # Panics
+    /// Panics when a checksum-guarded mapped fragment fails verification;
+    /// use [`Column::set`] (or verify via [`Column::verify_checksum`]
+    /// first) for a typed [`VdError::ChecksumMismatch`] instead.
     pub fn values_mut(&mut self) -> &mut [f64] {
-        self.data.make_heap()
+        self.data.make_heap(&self.name)
     }
 
     /// Appends a value (a new row) to the column. A mapped column is
-    /// promoted to the heap first (copy-on-write).
+    /// promoted to the heap first (copy-on-write, checksum-verified).
+    ///
+    /// # Panics
+    /// Panics when a checksum-guarded mapped fragment fails verification
+    /// (see [`Column::values_mut`]).
     pub fn push(&mut self, value: f64) {
-        self.data.make_heap().push(value);
+        self.data.make_heap(&self.name).push(value);
     }
 
     /// Overwrites the value of an existing row. A mapped column is promoted
-    /// to the heap first (copy-on-write).
+    /// to the heap first (copy-on-write, checksum-verified).
+    ///
+    /// # Errors
+    ///
+    /// [`VdError::RowOutOfBounds`] for a bad row;
+    /// [`VdError::ChecksumMismatch`] when a guarded mapped fragment fails
+    /// verification at promotion time.
     pub fn set(&mut self, row: RowId, value: f64) -> Result<()> {
         let rows = self.data.len();
-        let heap = self.data.make_heap();
+        let heap = self.data.promote(&self.name)?;
         let slot = heap.get_mut(row as usize).ok_or(VdError::RowOutOfBounds { row, rows })?;
         *slot = value;
         Ok(())
+    }
+
+    /// Verifies a checksum-guarded mapped fragment against its persisted
+    /// checksum (trivially `Ok` for heap columns and unguarded mappings).
+    ///
+    /// # Errors
+    ///
+    /// [`VdError::ChecksumMismatch`] naming the column on disagreement.
+    pub fn verify_checksum(&self) -> Result<()> {
+        self.data.verify(&self.name)
+    }
+
+    /// Applies an access-pattern hint to the rows of a mapped fragment
+    /// (no-op for heap columns and off unix) — see [`Advice`].
+    pub fn advise_rows(&self, rows: std::ops::Range<usize>, advice: Advice) {
+        self.data.advise(rows, advice);
+    }
+
+    /// Applies an access-pattern hint to the whole fragment.
+    pub fn advise(&self, advice: Advice) {
+        self.data.advise(0..self.data.len(), advice);
     }
 
     /// Gathers the values of the given rows (a positional join with a
@@ -345,7 +435,14 @@ mod tests {
             }
             std::fs::write(&path, &bytes).unwrap();
             let region = MappedRegion::map_file(&path).unwrap();
-            let data = ColumnData::mapped(region, 0, values.len()).unwrap();
+            let checksum = {
+                let mut bytes = Vec::new();
+                for v in values {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+                crate::checksum::fnv1a(&bytes)
+            };
+            let data = ColumnData::mapped(region, 0, values.len(), Some(checksum)).unwrap();
             (Column::from_data("mapped", data), path)
         }
 
@@ -387,10 +484,53 @@ mod tests {
         fn mapped_construction_validates_range() {
             let (c, path) = mapped_column(&[1.0, 2.0]);
             let ColumnData::Mapped { region, .. } = c.data else { panic!("mapped") };
-            assert!(ColumnData::mapped(region.clone(), 0, 3).is_err());
-            assert!(ColumnData::mapped(region.clone(), 4, 1).is_err());
-            let ok = ColumnData::mapped(region, 8, 1).unwrap();
+            assert!(ColumnData::mapped(region.clone(), 0, 3, None).is_err());
+            assert!(ColumnData::mapped(region.clone(), 4, 1, None).is_err());
+            let ok = ColumnData::mapped(region, 8, 1, None).unwrap();
             assert_eq!(ok.as_slice(), &[2.0]);
+            std::fs::remove_file(&path).unwrap();
+        }
+
+        #[test]
+        fn checksum_guards_copy_on_write_promotion() {
+            let values = [1.0, 2.0, 3.0];
+            let (c, path) = mapped_column(&values);
+            // a matching checksum verifies and promotes cleanly
+            c.verify_checksum().unwrap();
+            let mut ok = c.clone();
+            ok.set(0, 9.0).unwrap();
+            assert_eq!(ok.backend(), StorageBackend::Heap);
+
+            // a wrong persisted checksum surfaces as the typed error at
+            // promotion time, and the column stays mapped (unpromoted)
+            let ColumnData::Mapped { region, byte_offset, len, .. } = c.data else {
+                panic!("mapped")
+            };
+            let bad = ColumnData::mapped(region, byte_offset, len, Some(0xDEAD)).unwrap();
+            let mut corrupt = Column::from_data("dim_x", bad);
+            let err = corrupt.set(0, 9.0).unwrap_err();
+            assert!(
+                matches!(err, VdError::ChecksumMismatch { ref column, expected: 0xDEAD, .. }
+                    if column == "dim_x"),
+                "{err}"
+            );
+            assert_eq!(corrupt.backend(), StorageBackend::Mapped);
+            assert!(corrupt.verify_checksum().is_err());
+            // an unguarded mapping (no checksum) promotes without checks
+            std::fs::remove_file(&path).unwrap();
+        }
+
+        #[test]
+        fn advise_on_any_backend_is_a_no_op_for_correctness() {
+            let values = [1.0, 2.0, 3.0, 4.0];
+            let (c, path) = mapped_column(&values);
+            c.advise(Advice::Sequential);
+            c.advise_rows(1..3, Advice::Random);
+            c.advise_rows(3..100, Advice::Normal); // clamped
+            assert_eq!(c.values(), &values);
+            let heap = Column::new("h", values.to_vec());
+            heap.advise(Advice::Random); // heap: no-op
+            assert_eq!(heap.values(), &values);
             std::fs::remove_file(&path).unwrap();
         }
     }

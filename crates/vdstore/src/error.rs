@@ -46,6 +46,16 @@ pub enum VdError {
     Corrupt(String),
     /// An operating-system I/O or memory-mapping operation failed.
     Io(String),
+    /// A persisted fragment's content no longer matches its stored
+    /// checksum (bit rot, torn write, or out-of-band modification).
+    ChecksumMismatch {
+        /// Name of the affected column.
+        column: String,
+        /// The checksum recorded in the store footer.
+        expected: u64,
+        /// The checksum computed over the fragment's current bytes.
+        actual: u64,
+    },
     /// A persisted store was written by a format version this build does
     /// not read.
     UnsupportedVersion {
@@ -80,6 +90,13 @@ impl fmt::Display for VdError {
                 write!(f, "invalid k = {k} for a collection of {rows} rows")
             }
             VdError::Corrupt(msg) => write!(f, "corrupt persisted table: {msg}"),
+            VdError::ChecksumMismatch { column, expected, actual } => {
+                write!(
+                    f,
+                    "fragment checksum mismatch in column {column:?}: \
+                     stored {expected:#018x}, computed {actual:#018x}"
+                )
+            }
             VdError::Io(msg) => write!(f, "io error: {msg}"),
             VdError::UnsupportedVersion { found, supported } => {
                 write!(
@@ -119,6 +136,10 @@ mod tests {
 
         let e = VdError::Io("mmap failed".into());
         assert!(e.to_string().contains("mmap failed"));
+
+        let e = VdError::ChecksumMismatch { column: "dim_3".into(), expected: 1, actual: 2 };
+        assert!(e.to_string().contains("dim_3"));
+        assert!(e.to_string().contains("checksum"));
 
         let e = VdError::UnsupportedVersion { found: 9, supported: 2 };
         assert!(e.to_string().contains('9'));

@@ -39,6 +39,7 @@
 
 pub mod bat;
 pub mod bitmap;
+pub mod checksum;
 pub mod column;
 pub mod error;
 pub mod mmap;
@@ -55,7 +56,7 @@ pub use bat::{Bat, Head};
 pub use bitmap::Bitmap;
 pub use column::{Column, ColumnData};
 pub use error::{Result, VdError};
-pub use mmap::{MappedRegion, StorageBackend};
+pub use mmap::{Advice, MappedRegion, StorageBackend};
 pub use persist::PersistedStore;
 pub use quantize::{QuantizedColumn, QuantizedTable};
 pub use rowmatrix::RowMatrix;

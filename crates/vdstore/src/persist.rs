@@ -31,8 +31,29 @@
 //!             row_sum_min f64, row_sum_max f64, row_sum_mean f64
 //!             per dim: flag u8 (1 = stats follow):
 //!               min f64, max f64, mean f64, variance f64, skewness f64
+//!           per dim: fragment checksum u64 (FNV-1a over the fragment's
+//!             bytes in the data region)
+//!           learned_len u32, learned bytes (opaque learned-state payload,
+//!             e.g. an engine's accumulated plan feedback; 0 = none)
+//!           footer checksum u64 (FNV-1a over all preceding footer bytes)
 //! trailer : footer_offset u64, tail magic 8 bytes = b"BONDFT02"
 //! ```
+//!
+//! Fragment checksums are verified on heap opens (every fragment is being
+//! decoded anyway) and, for mapped opens, on copy-on-write promotion — the
+//! one moment corrupted mapped bytes would silently become the new heap
+//! truth — surfacing as the typed [`VdError::ChecksumMismatch`]. The
+//! footer itself (whose statistics and envelopes drive planning and
+//! whole-segment skipping with no later cross-check) carries its own
+//! checksum, verified on every open: the footer is read eagerly anyway,
+//! so that check costs nothing extra.
+//!
+//! Note the checksum and learned-state sections extended the v2 footer *in
+//! place* (the magic stays `BONDVD02`): this workspace owns both ends of
+//! the format and regenerates its stores, so no version bump was spent on
+//! the change — but a store written before the extension parses as
+//! `Corrupt` (truncated checksum section), not `UnsupportedVersion`.
+//! Readers that must bridge that gap should bump to `BONDVD03`.
 //!
 //! The segments must tile `0..rows` in row order — the invariant the
 //! execution engine's merge relies on — and every structural violation
@@ -42,6 +63,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::bitmap::Bitmap;
+use crate::checksum::{fnv1a, fnv1a_f64, fnv1a_update, FNV_OFFSET};
 use crate::column::{Column, ColumnData};
 use crate::error::{Result, VdError};
 use crate::mmap::{MappedRegion, StorageBackend};
@@ -200,6 +222,13 @@ pub struct PersistedStore {
     /// The backend actually serving the column data (a mapped-open request
     /// falls back to [`StorageBackend::Heap`] where mapping is unsupported).
     pub backend: StorageBackend,
+    /// The per-fragment FNV-1a checksums from the footer, in dimension
+    /// order (verified already for heap opens; carried by the mapped
+    /// columns for promotion-time verification).
+    pub fragment_checksums: Vec<u64>,
+    /// The opaque learned-state payload persisted alongside the footer
+    /// (e.g. an engine's accumulated plan feedback), when one was written.
+    pub learned: Option<Vec<u8>>,
 }
 
 /// The v2 header: magic, name, dims, rows, zero-padded to the next 8-byte
@@ -216,13 +245,20 @@ fn store_header(table: &DecomposedTable) -> BytesMut {
     buf
 }
 
-/// The v2 footer: column names, tombstones, segment boundaries + stats.
+/// The v2 footer: column names, tombstones, segment boundaries + stats,
+/// per-fragment checksums and the optional learned-state payload.
 fn store_footer(
     table: &DecomposedTable,
     specs: &[SegmentSpec],
     stats: &[SegmentStats],
+    checksums: &[u64],
+    learned: Option<&[u8]>,
 ) -> BytesMut {
-    let mut buf = BytesMut::with_capacity(64 + specs.len() * (48 + table.dims() * 41));
+    let mut buf = BytesMut::with_capacity(
+        64 + specs.len() * (48 + table.dims() * 41)
+            + checksums.len() * 8
+            + learned.map_or(0, <[u8]>::len),
+    );
     for c in table.columns() {
         put_string(&mut buf, c.name());
     }
@@ -253,13 +289,22 @@ fn store_footer(
             }
         }
     }
+    for &checksum in checksums {
+        buf.put_u64_le(checksum);
+    }
+    let learned = learned.unwrap_or(&[]);
+    buf.put_u32_le(learned.len() as u32);
+    buf.put_slice(learned);
     buf
 }
 
 /// Serialises a table plus its partition boundaries and cached per-segment
-/// statistics into the v2 store format, in memory. For large collections
-/// prefer [`save_store`], which streams the data region to disk instead of
-/// materialising a second copy of every fragment.
+/// statistics into the v2 store format, in memory, computing each
+/// fragment's FNV-1a checksum as it is written and embedding `learned` (an
+/// opaque learned-state payload, e.g. accumulated plan feedback) in the
+/// footer. For large collections prefer [`save_store`], which streams the
+/// data region to disk instead of materialising a second copy of every
+/// fragment.
 ///
 /// # Errors
 ///
@@ -271,16 +316,21 @@ pub fn store_to_bytes(
     table: &DecomposedTable,
     specs: &[SegmentSpec],
     stats: &[SegmentStats],
+    learned: Option<&[u8]>,
 ) -> Result<Bytes> {
     validate_store_inputs(table, specs, stats)?;
     let mut buf = store_header(table);
+    let mut checksums = Vec::with_capacity(table.dims());
     for c in table.columns() {
         for &v in c.values() {
             buf.put_f64_le(v);
         }
+        checksums.push(fnv1a_f64(c.values()));
     }
     let footer_offset = buf.len() as u64;
-    buf.put_slice(&store_footer(table, specs, stats));
+    let footer = store_footer(table, specs, stats, &checksums, learned);
+    buf.put_slice(&footer);
+    buf.put_u64_le(fnv1a(&footer));
     buf.put_u64_le(footer_offset);
     buf.put_slice(TAIL_MAGIC_V2);
     Ok(buf.freeze())
@@ -289,12 +339,14 @@ pub fn store_to_bytes(
 /// Writes the v2 store to a file, streaming the data region through a
 /// buffered writer — peak extra memory is one I/O buffer plus the footer,
 /// not a second copy of the table, so collections near (or beyond, under
-/// [`StorageBackend::Mapped`]) RAM size can still be persisted. Same
+/// [`StorageBackend::Mapped`]) RAM size can still be persisted. Fragment
+/// checksums are folded incrementally over the streamed chunks. Same
 /// validation and byte-exact output as [`store_to_bytes`].
 pub fn save_store(
     table: &DecomposedTable,
     specs: &[SegmentSpec],
     stats: &[SegmentStats],
+    learned: Option<&[u8]>,
     path: &Path,
 ) -> Result<()> {
     use std::io::Write;
@@ -305,17 +357,23 @@ pub fn save_store(
     let header = store_header(table);
     w.write_all(&header).map_err(io_err)?;
     let mut scratch = Vec::with_capacity(8 * 8192);
+    let mut checksums = Vec::with_capacity(table.dims());
     for c in table.columns() {
+        let mut hash = FNV_OFFSET;
         for chunk in c.values().chunks(8192) {
             scratch.clear();
             for &v in chunk {
                 scratch.extend_from_slice(&v.to_le_bytes());
             }
+            hash = fnv1a_update(hash, &scratch);
             w.write_all(&scratch).map_err(io_err)?;
         }
+        checksums.push(hash);
     }
     let footer_offset = (header.len() + table.rows() * table.dims() * 8) as u64;
-    w.write_all(&store_footer(table, specs, stats)).map_err(io_err)?;
+    let footer = store_footer(table, specs, stats, &checksums, learned);
+    w.write_all(&footer).map_err(io_err)?;
+    w.write_all(&fnv1a(&footer).to_le_bytes()).map_err(io_err)?;
     w.write_all(&footer_offset.to_le_bytes()).map_err(io_err)?;
     w.write_all(TAIL_MAGIC_V2).map_err(io_err)?;
     w.flush().map_err(io_err)
@@ -324,43 +382,56 @@ pub fn save_store(
 /// Partitions the table, computes the per-segment statistics, and writes the
 /// v2 store in one call — the convenience entry point for callers that do
 /// not already hold cached statistics (the execution engine does, and passes
-/// them to [`save_store`] directly).
+/// them — plus its learned feedback state — to [`save_store`] directly).
 pub fn write_store(table: &DecomposedTable, partitions: usize, path: &Path) -> Result<()> {
     let specs = table.partition_specs(partitions);
     let stats: Vec<SegmentStats> =
         specs.iter().map(|s| s.view(table).expect("spec in range").stats()).collect();
-    save_store(table, &specs, &stats, path)
+    save_store(table, &specs, &stats, None, path)
 }
 
 /// Reconstructs a store from an in-memory v2 byte buffer (heap columns).
+/// Every fragment is checksum-verified as it is decoded.
 pub fn store_from_bytes(bytes: &[u8]) -> Result<PersistedStore> {
     let layout = parse_layout(bytes)?;
     let rows = layout.rows;
-    let columns: Vec<Column> = layout
+    let columns: Result<Vec<Column>> = layout
         .column_names
         .iter()
         .enumerate()
         .map(|(d, name)| {
             let start = layout.data_offset + d * rows * 8;
-            let mut window = &bytes[start..start + rows * 8];
+            let fragment = &bytes[start..start + rows * 8];
+            let actual = fnv1a(fragment);
+            if actual != layout.checksums[d] {
+                return Err(VdError::ChecksumMismatch {
+                    column: name.clone(),
+                    expected: layout.checksums[d],
+                    actual,
+                });
+            }
+            let mut window = fragment;
             let mut values = Vec::with_capacity(rows);
             for _ in 0..rows {
                 values.push(window.get_f64_le());
             }
-            Column::new(name.clone(), values)
+            Ok(Column::new(name.clone(), values))
         })
         .collect();
-    assemble_store(layout, columns, StorageBackend::Heap)
+    assemble_store(layout, columns?, StorageBackend::Heap)
 }
 
 /// Opens a v2 store file.
 ///
 /// With [`StorageBackend::Mapped`] the column fragments are *viewed* through
 /// a read-only file mapping: only the header/footer/trailer pages are read
-/// eagerly, the data pages fault in lazily as searches touch them. Where
-/// mapping is unsupported (non-unix, big-endian) the call transparently
-/// falls back to buffered heap reads — [`PersistedStore::backend`] reports
-/// what is actually in effect.
+/// eagerly, the data pages fault in lazily as searches touch them (which is
+/// also why checksums are *not* verified here — each mapped fragment
+/// carries its expected checksum and verifies on copy-on-write promotion
+/// instead). Where mapping is unsupported (non-unix, big-endian) the call
+/// transparently falls back to buffered heap reads, which verify every
+/// fragment eagerly — [`PersistedStore::backend`] reports what is actually
+/// in effect.
 pub fn open_store(path: &Path, backend: StorageBackend) -> Result<PersistedStore> {
     if backend == StorageBackend::Mapped && StorageBackend::mapping_supported() {
         let region = MappedRegion::map_file(path)?;
@@ -371,8 +442,12 @@ pub fn open_store(path: &Path, backend: StorageBackend) -> Result<PersistedStore
             .iter()
             .enumerate()
             .map(|(d, name)| {
-                let data =
-                    ColumnData::mapped(region.clone(), layout.data_offset + d * rows * 8, rows)?;
+                let data = ColumnData::mapped(
+                    region.clone(),
+                    layout.data_offset + d * rows * 8,
+                    rows,
+                    Some(layout.checksums[d]),
+                )?;
                 Ok(Column::from_data(name.clone(), data))
             })
             .collect();
@@ -393,6 +468,8 @@ struct StoreLayout {
     deleted: Vec<RowId>,
     specs: Vec<SegmentSpec>,
     stats: Vec<SegmentStats>,
+    checksums: Vec<u64>,
+    learned: Option<Vec<u8>>,
 }
 
 fn parse_layout(bytes: &[u8]) -> Result<StoreLayout> {
@@ -438,7 +515,23 @@ fn parse_layout(bytes: &[u8]) -> Result<StoreLayout> {
         return Err(VdError::Corrupt("non-zero header padding".into()));
     }
 
-    let mut footer = &bytes[footer_offset..bytes.len() - TRAILER_LEN];
+    let footer_region = &bytes[footer_offset..bytes.len() - TRAILER_LEN];
+    if footer_region.len() < 8 {
+        return Err(VdError::Corrupt("footer shorter than its checksum".into()));
+    }
+    let (footer_bytes, stored) = footer_region.split_at(footer_region.len() - 8);
+    let stored = u64::from_le_bytes(stored.try_into().expect("8-byte split"));
+    let actual = fnv1a(footer_bytes);
+    if actual != stored {
+        // the footer drives segment skipping (envelopes) and planning
+        // (statistics) without any later cross-check, so unlike the lazily
+        // verified data region it is verified on *every* open — it is read
+        // eagerly anyway, so the check is near-free
+        return Err(VdError::Corrupt(format!(
+            "footer checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+        )));
+    }
+    let mut footer = footer_bytes;
     let column_names: Vec<String> =
         (0..dims).map(|_| get_string(&mut footer)).collect::<Result<_>>()?;
 
@@ -511,10 +604,33 @@ fn parse_layout(bytes: &[u8]) -> Result<StoreLayout> {
             "segments cover rows 0..{next_start} of a table with {rows} rows"
         )));
     }
+    let checksums: Vec<u64> =
+        (0..dims).map(|_| read_u64(&mut footer, "fragment checksum")).collect::<Result<_>>()?;
+    let learned_len = read_u32(&mut footer, "learned-state length")? as usize;
+    let learned = if learned_len == 0 {
+        None
+    } else {
+        if footer.remaining() < learned_len {
+            return Err(VdError::Corrupt("truncated learned-state payload".into()));
+        }
+        let mut payload = vec![0u8; learned_len];
+        footer.copy_to_slice(&mut payload);
+        Some(payload)
+    };
     if !footer.is_empty() {
         return Err(VdError::Corrupt(format!("{} trailing bytes in footer", footer.len())));
     }
-    Ok(StoreLayout { name, rows, data_offset, column_names, deleted, specs, stats })
+    Ok(StoreLayout {
+        name,
+        rows,
+        data_offset,
+        column_names,
+        deleted,
+        specs,
+        stats,
+        checksums,
+        learned,
+    })
 }
 
 fn assemble_store(
@@ -527,7 +643,14 @@ fn assemble_store(
         tombstones.set(row);
     }
     let table = DecomposedTable::from_parts(layout.name, columns, tombstones)?;
-    Ok(PersistedStore { table, specs: layout.specs, stats: layout.stats, backend })
+    Ok(PersistedStore {
+        table,
+        specs: layout.specs,
+        stats: layout.stats,
+        backend,
+        fragment_checksums: layout.checksums,
+        learned: layout.learned,
+    })
 }
 
 /// Checks that `specs`/`stats` describe a valid segment layout for `table`:
@@ -679,7 +802,7 @@ mod tests {
         let t = sample();
         let specs = t.partition_specs(partitions);
         let stats: Vec<SegmentStats> = specs.iter().map(|s| s.view(&t).unwrap().stats()).collect();
-        store_to_bytes(&t, &specs, &stats).unwrap()
+        store_to_bytes(&t, &specs, &stats, None).unwrap()
     }
 
     #[test]
@@ -775,7 +898,7 @@ mod tests {
         let t = sample();
         let specs = t.partition_specs(2);
         let stats: Vec<SegmentStats> = specs.iter().map(|s| s.view(&t).unwrap().stats()).collect();
-        let bytes = store_to_bytes(&t, &specs, &stats).unwrap();
+        let bytes = store_to_bytes(&t, &specs, &stats, None).unwrap();
         let store = store_from_bytes(&bytes).unwrap();
         assert_eq!(store.backend, StorageBackend::Heap);
         assert_eq!(store.table, t);
@@ -801,18 +924,21 @@ mod tests {
         let stats: Vec<SegmentStats> = specs.iter().map(|s| s.view(&t).unwrap().stats()).collect();
         // specs/stats must be parallel
         assert!(matches!(
-            store_to_bytes(&t, &specs, &stats[..1]),
+            store_to_bytes(&t, &specs, &stats[..1], None),
             Err(VdError::InvalidArgument(_))
         ));
         // stats must cover the spec's range
         let swapped = vec![stats[1].clone(), stats[0].clone()];
-        assert!(matches!(store_to_bytes(&t, &specs, &swapped), Err(VdError::InvalidArgument(_))));
+        assert!(matches!(
+            store_to_bytes(&t, &specs, &swapped, None),
+            Err(VdError::InvalidArgument(_))
+        ));
         // specs must tile the table
         let gappy = vec![SegmentSpec::new(0, 1), SegmentSpec::new(2, 1)];
         let gappy_stats: Vec<SegmentStats> =
             gappy.iter().map(|s| s.view(&t).unwrap().stats()).collect();
         assert!(matches!(
-            store_to_bytes(&t, &gappy, &gappy_stats),
+            store_to_bytes(&t, &gappy, &gappy_stats, None),
             Err(VdError::InvalidArgument(_))
         ));
     }
@@ -846,9 +972,9 @@ mod tests {
         let t = sample();
         let specs = t.partition_specs(2);
         let stats: Vec<SegmentStats> = specs.iter().map(|s| s.view(&t).unwrap().stats()).collect();
-        save_store(&t, &specs, &stats, &path).unwrap();
+        save_store(&t, &specs, &stats, None, &path).unwrap();
         let streamed = std::fs::read(&path).unwrap();
-        let in_memory = store_to_bytes(&t, &specs, &stats).unwrap();
+        let in_memory = store_to_bytes(&t, &specs, &stats, None).unwrap();
         assert_eq!(streamed, in_memory.to_vec(), "the two writers must never diverge");
         std::fs::remove_file(&path).unwrap();
     }
@@ -879,6 +1005,111 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
         assert!(matches!(open_store(&path, StorageBackend::Heap), Err(VdError::Io(_))));
         assert!(matches!(open_store(&path, StorageBackend::Mapped), Err(VdError::Io(_))));
+    }
+
+    #[test]
+    fn fragment_checksums_round_trip_and_catch_data_corruption() {
+        let t = sample();
+        let specs = t.partition_specs(2);
+        let stats: Vec<SegmentStats> = specs.iter().map(|s| s.view(&t).unwrap().stats()).collect();
+        let bytes = store_to_bytes(&t, &specs, &stats, None).unwrap();
+        let store = store_from_bytes(&bytes).unwrap();
+        assert_eq!(store.fragment_checksums.len(), t.dims());
+        for (d, &checksum) in store.fragment_checksums.iter().enumerate() {
+            assert_eq!(checksum, crate::checksum::fnv1a_f64(t.columns()[d].values()));
+        }
+        assert!(store.learned.is_none());
+        store.table.verify_checksums().unwrap();
+
+        // flip one data byte: the heap open reports the typed mismatch
+        // (header: magic 8 + name_len 4 + name 12 + dims 4 + rows 8 = 36,
+        // padded to 40; the first fragment starts there)
+        let mut corrupt = bytes.to_vec();
+        corrupt[40] ^= 0xFF;
+        let err = store_from_bytes(&corrupt).unwrap_err();
+        assert!(
+            matches!(err, VdError::ChecksumMismatch { ref column, .. } if column == "dim_0"),
+            "{err}"
+        );
+    }
+
+    #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+    #[test]
+    fn mapped_open_defers_checksum_verification_to_promotion() {
+        let dir = std::env::temp_dir().join("vdstore_store_cow_checksum_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cow.bondvd");
+        let t = sample();
+        write_store(&t, 2, &path).unwrap();
+
+        // corrupt one byte of the first fragment's data on disk
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(40)).unwrap();
+            f.write_all(&[0xAB]).unwrap();
+        }
+
+        // the mapped open itself stays lazy and succeeds …
+        let store = open_store(&path, StorageBackend::Mapped).unwrap();
+        assert_eq!(store.backend, StorageBackend::Mapped);
+        // … the explicit sweep and the copy-on-write promotion both catch it
+        assert!(matches!(store.table.verify_checksums(), Err(VdError::ChecksumMismatch { .. })));
+        let mut corrupted_col = store.table.columns()[0].clone();
+        let err = corrupted_col.set(0, 9.0).unwrap_err();
+        assert!(matches!(err, VdError::ChecksumMismatch { .. }), "{err}");
+        // untouched fragments still promote cleanly
+        let mut clean_col = store.table.columns()[1].clone();
+        assert!(clean_col.set(0, 9.0).is_ok());
+        assert_eq!(clean_col.backend(), StorageBackend::Heap);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn footer_corruption_is_caught_by_the_footer_checksum() {
+        // the footer's statistics/envelopes drive planning and skipping
+        // with no later cross-check, so a flipped footer byte — even one
+        // the structural parse would happily accept, like a stats float —
+        // must fail the open
+        let bytes = sample_store_bytes(2);
+        let n = bytes.len();
+        let footer_offset = u64::from_le_bytes(bytes[n - 16..n - 8].try_into().unwrap()) as usize;
+        for delta in [10, (n - 24 - footer_offset) / 2] {
+            let mut corrupted = bytes.to_vec();
+            corrupted[footer_offset + delta] ^= 0x01;
+            let err = store_from_bytes(&corrupted).unwrap_err();
+            assert!(
+                matches!(err, VdError::Corrupt(ref m) if m.contains("footer checksum")),
+                "flip at footer+{delta}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn learned_payload_round_trips_and_is_validated() {
+        let t = sample();
+        let specs = t.partition_specs(1);
+        let stats: Vec<SegmentStats> = specs.iter().map(|s| s.view(&t).unwrap().stats()).collect();
+        let payload = vec![7u8, 13, 42, 0, 255];
+        let bytes = store_to_bytes(&t, &specs, &stats, Some(&payload)).unwrap();
+        let store = store_from_bytes(&bytes).unwrap();
+        assert_eq!(store.learned.as_deref(), Some(&payload[..]));
+
+        // the learned section participates in the exact-consumption check:
+        // claiming more bytes than the footer holds is corruption
+        let dir = std::env::temp_dir().join("vdstore_store_learned_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("learned.bondvd");
+        save_store(&t, &specs, &stats, Some(&payload), &path).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), bytes.to_vec());
+        let heap = open_store(&path, StorageBackend::Heap).unwrap();
+        assert_eq!(heap.learned.as_deref(), Some(&payload[..]));
+        if StorageBackend::mapping_supported() {
+            let mapped = open_store(&path, StorageBackend::Mapped).unwrap();
+            assert_eq!(mapped.learned.as_deref(), Some(&payload[..]));
+            assert_eq!(mapped.fragment_checksums, heap.fragment_checksums);
+        }
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -135,6 +135,28 @@ impl DecomposedTable {
         }
     }
 
+    /// Applies an access-pattern hint to every mapped fragment of the
+    /// table (row reconstructions gather at scattered offsets across all
+    /// fragments, so refinement phases hint [`crate::Advice::Random`]
+    /// table-wide). No-op for heap tables and off unix.
+    pub fn advise(&self, advice: crate::Advice) {
+        for c in &self.columns {
+            c.advise(advice);
+        }
+    }
+
+    /// Verifies every checksum-guarded mapped fragment against its
+    /// persisted checksum (trivially `Ok` for heap tables). Note this
+    /// faults in every data page of a mapped store — it is an explicit
+    /// integrity sweep, not part of any open or search path.
+    ///
+    /// # Errors
+    ///
+    /// The first [`VdError::ChecksumMismatch`] encountered.
+    pub fn verify_checksums(&self) -> Result<()> {
+        self.columns.iter().try_for_each(Column::verify_checksum)
+    }
+
     /// Reconstructs the full vector of a row (a positional "tuple
     /// reconstruction" join over all fragments).
     pub fn row(&self, row: RowId) -> Result<Vec<f64>> {

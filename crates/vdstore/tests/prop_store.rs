@@ -145,8 +145,11 @@ proptest! {
         let specs = table.partition_specs(partitions);
         let stats: Vec<vdstore::SegmentStats> =
             specs.iter().map(|s| s.view(&table).unwrap().stats()).collect();
-        let bytes = persist::store_to_bytes(&table, &specs, &stats).unwrap();
+        let learned = vec![0xFEu8; (partitions * 3) % 7];
+        let learned = (!learned.is_empty()).then_some(learned);
+        let bytes = persist::store_to_bytes(&table, &specs, &stats, learned.as_deref()).unwrap();
         let store = persist::store_from_bytes(&bytes).unwrap();
+        prop_assert_eq!(store.learned.as_deref(), learned.as_deref());
 
         prop_assert_eq!(&store.table, &table);
         prop_assert_eq!(&store.specs, &specs);
@@ -170,7 +173,7 @@ proptest! {
         let specs = table.partition_specs(partitions);
         let stats: Vec<vdstore::SegmentStats> =
             specs.iter().map(|s| s.view(&table).unwrap().stats()).collect();
-        let bytes = persist::store_to_bytes(&table, &specs, &stats).unwrap();
+        let bytes = persist::store_to_bytes(&table, &specs, &stats, None).unwrap();
         // every proper prefix must fail with a typed error, never a panic
         let cut = cut_seed % bytes.len();
         let err = persist::store_from_bytes(&bytes[..cut]).unwrap_err();
@@ -190,12 +193,13 @@ proptest! {
         let specs = table.partition_specs(2);
         let stats: Vec<vdstore::SegmentStats> =
             specs.iter().map(|s| s.view(&table).unwrap().stats()).collect();
-        let mut bytes = persist::store_to_bytes(&table, &specs, &stats).unwrap().to_vec();
+        let mut bytes = persist::store_to_bytes(&table, &specs, &stats, None).unwrap().to_vec();
         let at = flip_seed % bytes.len();
         bytes[at] ^= flip_bits;
-        // a flipped byte may land in the f64 data region (still a valid
-        // store) — what is forbidden is a panic or a structurally
-        // inconsistent success
+        // a flipped byte in the data region is caught by the fragment
+        // checksums and one in the footer by the footer checksum; a flip
+        // landing in a checksum field itself also mismatches — what is
+        // forbidden is a panic or a structurally inconsistent success
         if let Ok(store) = persist::store_from_bytes(&bytes) {
             prop_assert_eq!(store.table.dims(), table.dims());
             prop_assert_eq!(store.table.rows(), table.rows());

@@ -17,11 +17,11 @@ pub use bond_relalg as relalg;
 pub use vdstore;
 
 pub use bond_exec::{
-    AdaptivePlanner, Engine, EngineBuilder, PlannerKind, QuerySpec, RequestBatch, RuleKind, Server,
-    ServerBuilder, Ticket,
+    AdaptivePlanner, CostModel, Engine, EngineBuilder, FeedbackSnapshot, PlannerKind, Priority,
+    QuerySpec, RequestBatch, RuleKind, SegmentFeedbackSnapshot, Server, ServerBuilder, Ticket,
 };
 
-pub use vdstore::{PersistedStore, StorageBackend};
+pub use vdstore::{Advice, PersistedStore, StorageBackend};
 
 /// The unified error enum every layer of the workspace reports through:
 /// storage errors wrap as [`BondError::Storage`], engine/builder validation
