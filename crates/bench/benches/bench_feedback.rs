@@ -12,8 +12,9 @@
 //! `SegmentStats`) and a `PlannerKind::Feedback` engine warmed with 100
 //! queries first (plans from the accumulated per-segment prune traces).
 //! Reports per-planner batch latency, scanned work and skip counts, the
-//! feedback/adaptive work ratio, and a machine-readable `BENCH_JSON` line
-//! for the perf trajectory.
+//! feedback/adaptive work ratio, and two machine-readable `BENCH_JSON`
+//! lines for the perf trajectory: the timing summary, then each engine's
+//! full metrics-registry snapshot (`MetricsRegistry::render_json`).
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -28,6 +29,8 @@ struct Series {
     ms_per_query: f64,
     contributions: u64,
     segments_skipped: usize,
+    /// The engine's full metrics-registry snapshot after the timed reps.
+    metrics_json: String,
 }
 
 fn main() {
@@ -107,6 +110,7 @@ fn main() {
             ms_per_query,
             contributions,
             segments_skipped,
+            metrics_json: engine.metrics().render_json(),
         });
     }
 
@@ -147,4 +151,18 @@ fn main() {
     }
     json.push_str("]}");
     println!("BENCH_JSON {json}");
+
+    // Second machine-readable line: each engine's metrics-registry
+    // snapshot, keyed by planner. The warmed feedback engine's snapshot
+    // carries non-zero `engine.segment.skipped` and
+    // `planner.feedback.warm_segments`.
+    let mut metrics = String::from("{\"bench\":\"feedback_planning_metrics\",\"registries\":{");
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            metrics.push(',');
+        }
+        let _ = write!(metrics, "\"{}\":{}", s.planner, s.metrics_json);
+    }
+    metrics.push_str("}}");
+    println!("BENCH_JSON {metrics}");
 }

@@ -428,6 +428,7 @@ mod tests {
             pruning_attempts: 2,
             switched_to_list: false,
             segment_skipped: false,
+            rule: None,
         }
     }
 

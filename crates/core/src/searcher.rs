@@ -292,6 +292,12 @@ pub fn search_segment(
 
     let mut processed = 0usize;
     let mut attempts = 0usize;
+    // Stage tracing: the time from scan start to the first pruning attempt
+    // that actually removed candidates is the segment's *observed* warmup,
+    // recorded as a `segment.warmup` span (detail: dimensions processed)
+    // while the global subscriber is on. Off (the default), beginning the
+    // span is one relaxed atomic load and no clock is read.
+    let mut warmup_span = Some(bond_obs::Span::begin("segment.warmup"));
     loop {
         let block = plan.schedule.next_block(processed, dims, attempts);
         if block == 0 {
@@ -389,12 +395,23 @@ pub fn search_segment(
             candidates: candidates.len(),
             pruned_now,
         });
+        if pruned_now > 0 {
+            if let Some(span) = warmup_span.take() {
+                drop(span.detail(processed as u64));
+            }
+        }
         if candidates.maybe_materialize(params.materialize_threshold) {
             trace.switched_to_list = true;
         }
         if candidates.len() <= k {
             break;
         }
+    }
+
+    // No pruning attempt removed anything: there was no effective warmup
+    // boundary to measure, so the span is discarded rather than recorded.
+    if let Some(span) = warmup_span {
+        span.cancel();
     }
 
     // Final step: complete the survivors' scores over the unscanned

@@ -40,6 +40,13 @@ pub struct PruneTrace {
     /// (its envelope bound could not reach κ) — the search never ran and no
     /// column of the segment was touched.
     pub segment_skipped: bool,
+    /// The name of the pruning rule/metric that produced this trace
+    /// (`"Hq"`, `"Ev"`, …), stamped by the execution engine. Bound scales
+    /// are incomparable across rules, so per-rule consumers (feedback
+    /// analysis, per-rule metrics) must not aggregate traces whose tags
+    /// differ. `None` for traces from the sequential entry points, which
+    /// predate tagging.
+    pub rule: Option<&'static str>,
 }
 
 impl PruneTrace {
@@ -90,6 +97,7 @@ mod tests {
             pruning_attempts: 3,
             switched_to_list: true,
             segment_skipped: false,
+            rule: Some("Hq"),
         }
     }
 

@@ -13,7 +13,7 @@
 
 use crate::planner::PlannerKind;
 use crate::rules::RuleKind;
-use bond::PruneTrace;
+use bond::{PruneTrace, SegmentPlan};
 use std::ops::Range;
 use vdstore::topk::Scored;
 
@@ -206,6 +206,11 @@ pub struct SegmentRun {
     pub rows: Range<usize>,
     /// The pruning trace of the segment's branch-and-bound search.
     pub trace: PruneTrace,
+    /// The [`SegmentPlan`] the scan actually executed — `None` when the
+    /// segment was skipped outright via its zone-map bound (no plan was
+    /// ever derived). [`QueryOutcome::analyze`] joins this against the
+    /// plan [`crate::Engine::explain`] rendered.
+    pub plan: Option<SegmentPlan>,
 }
 
 /// The answer to one query of a batch.
@@ -325,6 +330,7 @@ mod tests {
                         pruning_attempts: 2,
                         ..PruneTrace::default()
                     },
+                    plan: None,
                 },
                 SegmentRun {
                     rows: 50..100,
@@ -333,6 +339,7 @@ mod tests {
                         pruning_attempts: 1,
                         ..PruneTrace::default()
                     },
+                    plan: None,
                 },
             ],
         };

@@ -52,15 +52,91 @@ use bond::{
     SegmentFeedbackSnapshot, SegmentPlan,
 };
 use bond_metrics::{DecomposableMetric, Objective};
+use bond_obs::{Counter, Gauge, Histogram, MetricsRegistry, Span};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 use vdstore::persist::{open_store, save_store, validate_store_inputs, PersistedStore};
 use vdstore::topk::Scored;
 use vdstore::{
     Advice, DecomposedTable, Envelope, Segment, SegmentSpec, SegmentStats, StorageBackend,
     TopKLargest, TopKSmallest, VdError,
 };
+
+/// The pruning-rule names the engine pre-registers per-rule search
+/// counters for (`engine.rule.<name>.searches`). Bound scales are
+/// incomparable across rules, which is exactly why the counts must not
+/// aggregate — see [`bond::PruneTrace::rule`].
+const RULE_NAMES: [&str; 6] = ["Hq", "Hh", "Eq", "Ev", "WHq", "WEv"];
+
+/// The engine's pre-registered metric handles: every hot-path emission is
+/// a relaxed atomic on one of these, never a registry lock.
+#[derive(Debug)]
+pub(crate) struct EngineMetrics {
+    /// The registry the handles live in (per-engine by default; shared
+    /// when [`EngineBuilder::metrics`] injected one).
+    pub(crate) registry: MetricsRegistry,
+    /// `engine.batch.count` — executed engine passes.
+    batches: Counter,
+    /// `engine.query.count` — queries answered.
+    queries: Counter,
+    /// `engine.query.latency_us` — wall time of the engine pass that
+    /// answered each query (the latency a submitter observes).
+    latency_us: Histogram,
+    /// `engine.query.scanned_cells` — `(candidate, dimension)` cells each
+    /// query actually evaluated, summed over its segments.
+    scanned_cells: Histogram,
+    /// `engine.segment.searched` — per-segment scans that ran.
+    segment_searched: Counter,
+    /// `engine.segment.skipped` — whole-segment zone-map skips.
+    segment_skipped: Counter,
+    /// `engine.segment.missed` — scanned segments that contributed nothing
+    /// to their query's final top-k (work the zone map failed to avoid).
+    pub(crate) segment_missed: Counter,
+    /// `engine.rule.<name>.searches` — executed scans per pruning rule.
+    rule_searches: [(&'static str, Counter); RULE_NAMES.len()],
+    /// `planner.feedback.warm_segments` — segments whose feedback store is
+    /// warm enough to plan from, as of the last feedback-planned batch.
+    warm_segments: Gauge,
+    /// `planner.cost.abs_rel_error` — |estimated − executed| / executed
+    /// work per query, in percent (the cost model's calibration error).
+    cost_error: Histogram,
+    /// `store.open.cold_us` — wall time of the store open this engine was
+    /// built from, when it was.
+    open_cold_us: Histogram,
+    /// `store.persist.us` — wall time of [`Engine::persist`] calls.
+    persist_us: Histogram,
+    /// `store.persist.bytes` — bytes written by [`Engine::persist`].
+    persist_bytes: Counter,
+}
+
+impl EngineMetrics {
+    fn new(registry: MetricsRegistry) -> EngineMetrics {
+        let rule_searches = RULE_NAMES
+            .map(|name| (name, registry.counter(&format!("engine.rule.{name}.searches"))));
+        EngineMetrics {
+            batches: registry.counter("engine.batch.count"),
+            queries: registry.counter("engine.query.count"),
+            latency_us: registry.histogram("engine.query.latency_us"),
+            scanned_cells: registry.histogram("engine.query.scanned_cells"),
+            segment_searched: registry.counter("engine.segment.searched"),
+            segment_skipped: registry.counter("engine.segment.skipped"),
+            segment_missed: registry.counter("engine.segment.missed"),
+            rule_searches,
+            warm_segments: registry.gauge("planner.feedback.warm_segments"),
+            cost_error: registry.histogram("planner.cost.abs_rel_error"),
+            open_cold_us: registry.histogram("store.open.cold_us"),
+            persist_us: registry.histogram("store.persist.us"),
+            persist_bytes: registry.counter("store.persist.bytes"),
+            registry,
+        }
+    }
+
+    fn rule_counter(&self, name: &str) -> Option<&Counter> {
+        self.rule_searches.iter().find(|(n, _)| *n == name).map(|(_, c)| c)
+    }
+}
 
 /// Builds an [`Engine`] for one table.
 ///
@@ -85,6 +161,12 @@ pub struct EngineBuilder {
     /// The opaque learned-state payload from the store's footer, decoded
     /// into the engine's feedback store at [`EngineBuilder::build`].
     preloaded_learned: Option<Vec<u8>>,
+    /// The metrics registry the engine emits into; fresh per engine when
+    /// not overridden via [`EngineBuilder::metrics`].
+    metrics: Option<MetricsRegistry>,
+    /// Wall time of the store open this builder came from, recorded as
+    /// `store.open.cold_us` at [`EngineBuilder::build`].
+    open_micros: Option<u64>,
 }
 
 impl EngineBuilder {
@@ -121,11 +203,12 @@ impl EngineBuilder {
     /// Starts a builder over an already-opened [`PersistedStore`] (e.g. one
     /// inspected or filtered before serving).
     pub fn from_store(store: PersistedStore) -> EngineBuilder {
-        let PersistedStore { table, specs, stats, learned, .. } = store;
+        let PersistedStore { table, specs, stats, learned, open_micros, .. } = store;
         let mut builder = Engine::builder(table);
         builder.partitions = specs.len().max(1);
         builder.preloaded = Some((specs, stats));
         builder.preloaded_learned = learned;
+        builder.open_micros = (open_micros > 0).then_some(open_micros);
         builder
     }
 
@@ -208,6 +291,16 @@ impl EngineBuilder {
         self
     }
 
+    /// The [`MetricsRegistry`] the engine emits into. Defaults to a fresh
+    /// per-engine registry (readable via [`Engine::metrics`]); inject a
+    /// shared one to aggregate several engines — or an engine and its
+    /// serving front-end — into a single scrape endpoint.
+    #[must_use]
+    pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     /// Finishes the build: validates the configuration, partitions the
     /// table, and computes the per-segment statistics (and their zone-map
     /// envelopes) once — every query of every future batch reuses them.
@@ -268,6 +361,10 @@ impl EngineBuilder {
             }
             None => ExecFeedback::new(specs.len(), dims),
         };
+        let metrics = EngineMetrics::new(self.metrics.unwrap_or_default());
+        if let Some(us) = self.open_micros {
+            metrics.open_cold_us.record(us);
+        }
         Ok(Engine {
             inner: Arc::new(EngineInner {
                 table: self.table,
@@ -282,6 +379,7 @@ impl EngineBuilder {
                 cost: CostModel::default(),
                 feedback,
                 row_sums: OnceLock::new(),
+                metrics,
             }),
         })
     }
@@ -316,6 +414,9 @@ struct EngineInner {
     /// Full-table `T(x)`, materialised lazily the first time any request's
     /// rule needs it; workers slice it per segment.
     row_sums: OnceLock<Vec<f64>>,
+    /// Pre-registered metric handles; every hot-path emission is a relaxed
+    /// atomic bump on one of these.
+    metrics: EngineMetrics,
 }
 
 /// A query-execution engine bound to one decomposed table, which it owns.
@@ -342,6 +443,10 @@ struct ResolvedQuery<'b> {
     uniform_plan: Option<SegmentPlan>,
     /// `T(q)` for the total-mass skip bound (adaptive planning only).
     query_sum: f64,
+    /// The cost model's pre-execution work estimate for this request —
+    /// compared against the executed work at merge time to feed the
+    /// `planner.cost.abs_rel_error` calibration histogram.
+    estimate: f64,
     kappa: Option<SharedKappa>,
     /// The segment *visit order* for this query (feedback planning only):
     /// position `p` executes segment `visit_order[p]`. Visiting the most
@@ -349,6 +454,15 @@ struct ResolvedQuery<'b> {
     /// segment faces the sharpest possible skip bound. `None` visits in
     /// row order.
     visit_order: Option<Vec<usize>>,
+}
+
+/// What one `(query, segment)` task leaves in its slot: the search outcome
+/// plus the plan it executed (`None` for zone-map skips — no plan was ever
+/// derived).
+#[derive(Debug)]
+struct TaskOutcome {
+    outcome: SearchOutcome,
+    plan: Option<SegmentPlan>,
 }
 
 impl Engine {
@@ -369,6 +483,8 @@ impl Engine {
             planner: PlannerKind::Uniform,
             preloaded: None,
             preloaded_learned: None,
+            metrics: None,
+            open_micros: None,
         }
     }
 
@@ -384,15 +500,31 @@ impl Engine {
     ///
     /// [`BondError::Storage`] on I/O failure.
     pub fn persist(&self, path: impl AsRef<Path>) -> Result<()> {
+        let span = Span::begin("store.persist");
         let learned = self.inner.feedback.snapshot().to_bytes();
-        save_store(
+        let report = save_store(
             &self.inner.table,
             &self.inner.specs,
             &self.inner.stats,
             Some(&learned),
             path.as_ref(),
         )
-        .map_err(BondError::Storage)
+        .map_err(BondError::Storage)?;
+        drop(span);
+        self.inner.metrics.persist_us.record(report.elapsed_micros);
+        self.inner.metrics.persist_bytes.add(report.bytes_written);
+        Ok(())
+    }
+
+    /// The engine's [`MetricsRegistry`]: every executed batch, scan,
+    /// zone-map skip, merge miss, cost estimate and persist call lands
+    /// here as a counter/gauge/histogram update under a stable dotted
+    /// name. Render it with [`MetricsRegistry::render_text`]
+    /// (Prometheus exposition text) or [`MetricsRegistry::render_json`]
+    /// (one machine-readable line). Fresh per engine unless
+    /// [`EngineBuilder::metrics`] injected a shared registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics.registry
     }
 
     /// The storage backend serving the engine's column data:
@@ -501,6 +633,86 @@ impl Engine {
         params
     }
 
+    /// The segment *visit order* a feedback-planned query uses: segments
+    /// sorted most-promising-first by their optimistic zone-map envelope
+    /// score toward the query, ties broken on the segment index. Visiting
+    /// the query's own neighbourhood first establishes κ before any far
+    /// segment starts, so those segments skip or prune at their first
+    /// attempt. Shared by [`Engine::execute`] and [`Engine::explain`], so
+    /// the rendered order is the executed order by construction.
+    pub(crate) fn plan_visit_order(
+        &self,
+        metric: &dyn DecomposableMetric,
+        objective: Objective,
+        query: &[f64],
+    ) -> Vec<usize> {
+        let inner = &*self.inner;
+        let mut order: Vec<usize> = (0..inner.specs.len()).collect();
+        let promise: Vec<f64> = inner
+            .envelopes
+            .iter()
+            .map(|env| match env {
+                Some((mins, maxs)) => metric.envelope_best_score(query, mins, maxs),
+                None => match objective {
+                    Objective::Maximize => f64::NEG_INFINITY,
+                    Objective::Minimize => f64::INFINITY,
+                },
+            })
+            .collect();
+        order.sort_by(|&a, &b| {
+            let cmp = promise[a].partial_cmp(&promise[b]).unwrap_or(std::cmp::Ordering::Equal);
+            match objective {
+                Objective::Maximize => cmp.reverse().then(a.cmp(&b)),
+                Objective::Minimize => cmp.then(a.cmp(&b)),
+            }
+        });
+        order
+    }
+
+    /// Derives the [`SegmentPlan`] segment `si` executes for `query` under
+    /// `planner` — the single plan-derivation path shared by the execution
+    /// workers and [`Engine::explain`], which is what makes the rendered
+    /// plan the executed plan. `snapshot` is the segment's feedback
+    /// snapshot for [`PlannerKind::Feedback`] (callers pass the same
+    /// per-batch snapshot to every task of a batch; `explain` takes a
+    /// fresh one).
+    pub(crate) fn derive_segment_plan(
+        &self,
+        si: usize,
+        planner: PlannerKind,
+        rule: &RuleKind,
+        query: &[f64],
+        snapshot: Option<&SegmentFeedbackSnapshot>,
+    ) -> SegmentPlan {
+        let inner = &*self.inner;
+        match planner {
+            PlannerKind::Uniform => {
+                let params = self.params_for(rule);
+                SegmentPlan::uniform(&params, query, rule.weights(), inner.table.dims())
+            }
+            PlannerKind::Adaptive => {
+                inner.cost.plan(&inner.stats[si], query, rule.weights(), rule.objective())
+            }
+            PlannerKind::Feedback => {
+                let owned;
+                let snapshot = match snapshot {
+                    Some(s) => s,
+                    None => {
+                        owned = inner.feedback.segment(si).snapshot();
+                        &owned
+                    }
+                };
+                inner.cost.plan_with_feedback(
+                    &inner.stats[si],
+                    snapshot,
+                    query,
+                    rule.weights(),
+                    rule.objective(),
+                )
+            }
+        }
+    }
+
     /// Checks one request against this engine's table and the spec's
     /// effective rule, without executing anything: the up-front validation
     /// [`Engine::execute`] applies to every spec, exposed so admission
@@ -565,6 +777,8 @@ impl Engine {
         if batch.is_empty() {
             return Ok(BatchOutcome { queries: Vec::new() });
         }
+        let batch_start = Instant::now();
+        let plan_span = Span::begin("engine.plan").detail(batch.len() as u64);
 
         // Materialise the zero-copy segment views for this call.
         let segments: Vec<Segment<'_>> = inner
@@ -590,9 +804,10 @@ impl Engine {
                 let planner = spec.planner_override().unwrap_or(inner.planner);
                 let metric = rule.make_metric();
                 let objective = rule.objective();
+                // The uniform plan is segment-independent; derive it once
+                // per query through the same path `explain` renders from.
                 let uniform_plan = (planner == PlannerKind::Uniform).then(|| {
-                    let params = self.params_for(rule);
-                    SegmentPlan::uniform(&params, spec.vector(), rule.weights(), inner.table.dims())
+                    self.derive_segment_plan(0, PlannerKind::Uniform, rule, spec.vector(), None)
                 });
                 let query_sum =
                     if planner.is_stats_driven() { spec.vector().iter().sum() } else { 0.0 };
@@ -605,32 +820,9 @@ impl Engine {
                 // at their first attempt instead of warming up against an
                 // empty bound. Any visit order is rank-correct; this one
                 // just minimises wasted scans.
-                let visit_order = (planner.uses_feedback() && inner.share_kappa).then(|| {
-                    let mut order: Vec<usize> = (0..inner.specs.len()).collect();
-                    let promise: Vec<f64> = inner
-                        .envelopes
-                        .iter()
-                        .map(|env| match env {
-                            Some((mins, maxs)) => {
-                                metric.envelope_best_score(spec.vector(), mins, maxs)
-                            }
-                            None => match objective {
-                                Objective::Maximize => f64::NEG_INFINITY,
-                                Objective::Minimize => f64::INFINITY,
-                            },
-                        })
-                        .collect();
-                    order.sort_by(|&a, &b| {
-                        let cmp = promise[a]
-                            .partial_cmp(&promise[b])
-                            .unwrap_or(std::cmp::Ordering::Equal);
-                        match objective {
-                            Objective::Maximize => cmp.reverse().then(a.cmp(&b)),
-                            Objective::Minimize => cmp.then(a.cmp(&b)),
-                        }
-                    });
-                    order
-                });
+                let visit_order = (planner.uses_feedback() && inner.share_kappa)
+                    .then(|| self.plan_visit_order(metric.as_ref(), objective, spec.vector()));
+                let estimate = self.estimate_cost(spec);
                 ResolvedQuery {
                     spec,
                     rule,
@@ -639,6 +831,7 @@ impl Engine {
                     objective,
                     uniform_plan,
                     query_sum,
+                    estimate,
                     kappa,
                     visit_order,
                 }
@@ -661,9 +854,14 @@ impl Engine {
             .iter()
             .any(|rq| rq.planner.uses_feedback())
             .then(|| (0..n_segments).map(|si| inner.feedback.segment(si).snapshot()).collect());
+        if let Some(snapshots) = &feedback_snapshots {
+            let warm = snapshots.iter().filter(|s| s.is_warm(inner.cost.min_warm_searches)).count();
+            inner.metrics.warm_segments.set(warm as i64);
+        }
+        drop(plan_span);
 
         let n_tasks = batch.len() * n_segments;
-        let slots: Vec<OnceLock<Result<SearchOutcome>>> =
+        let slots: Vec<OnceLock<Result<TaskOutcome>>> =
             (0..n_tasks).map(|_| OnceLock::new()).collect();
 
         let run_task = |task: usize| {
@@ -685,34 +883,26 @@ impl Engine {
                     // a zone-map skip hit is itself feedback: it raises the
                     // segment's observed skip rate, cheapening its estimate
                     inner.feedback.segment(si).record_skip();
-                    slots[task].set(Ok(outcome)).expect("each task is claimed exactly once");
+                    slots[task]
+                        .set(Ok(TaskOutcome { outcome, plan: None }))
+                        .expect("each task is claimed exactly once");
                     return;
                 }
             }
 
+            let scan_span = Span::begin("engine.scan").detail(si as u64);
             let mut rule = rq.rule.make_rule();
-            let derived_plan;
             let plan = match rq.planner {
                 PlannerKind::Uniform => {
-                    rq.uniform_plan.as_ref().expect("uniform queries carry a plan")
+                    rq.uniform_plan.clone().expect("uniform queries carry a plan")
                 }
-                PlannerKind::Adaptive => {
-                    derived_plan =
-                        inner.cost.plan(&inner.stats[si], query, rq.rule.weights(), rq.objective);
-                    &derived_plan
-                }
-                PlannerKind::Feedback => {
-                    let snapshots =
-                        feedback_snapshots.as_ref().expect("feedback queries carry snapshots");
-                    derived_plan = inner.cost.plan_with_feedback(
-                        &inner.stats[si],
-                        &snapshots[si],
-                        query,
-                        rq.rule.weights(),
-                        rq.objective,
-                    );
-                    &derived_plan
-                }
+                _ => self.derive_segment_plan(
+                    si,
+                    rq.planner,
+                    rq.rule,
+                    query,
+                    feedback_snapshots.as_ref().map(|snapshots| &snapshots[si]),
+                ),
             };
             // Mapped backend: hint the kernel about the scan the chosen
             // plan is about to run — the first block's fragment slices are
@@ -724,9 +914,9 @@ impl Engine {
             let ctx = SegmentContext {
                 kappa: cell.map(|cell| cell as &dyn KappaCell),
                 row_sums: row_sums.map(|sums| &sums[segment.range()]),
-                plan: Some(plan),
+                plan: Some(&plan),
             };
-            let outcome = search_segment(
+            let mut outcome = search_segment(
                 segment,
                 query,
                 rq.metric.as_ref(),
@@ -736,7 +926,11 @@ impl Engine {
                 &inner.params,
                 &ctx,
             );
-            if let Ok(outcome) = &outcome {
+            if let Ok(outcome) = &mut outcome {
+                // Stamp which pruning rule produced this trace — bound
+                // scales are incomparable across rules, and downstream
+                // consumers (per-rule metrics, ANALYZE) must not mix them.
+                outcome.trace.rule = Some(rq.rule.name());
                 if rq.planner.is_stats_driven() {
                     // The segment's k-th best *exact* score is a valid κ (k
                     // witnesses reach it); publishing it arms the zone-map
@@ -756,7 +950,10 @@ impl Engine {
                     segment.len(),
                 );
             }
-            slots[task].set(outcome).expect("each task is claimed exactly once");
+            drop(scan_span);
+            slots[task]
+                .set(outcome.map(|outcome| TaskOutcome { outcome, plan: Some(plan) }))
+                .expect("each task is claimed exactly once");
         };
 
         let workers = inner.threads.min(n_tasks);
@@ -781,7 +978,7 @@ impl Engine {
 
         // Surface any task error *before* touching the advice state, so a
         // failed batch cannot leave the table stuck under MADV_RANDOM.
-        let outcomes: Vec<SearchOutcome> = slots
+        let outcomes: Vec<TaskOutcome> = slots
             .into_iter()
             .map(|slot| slot.into_inner().expect("all tasks completed"))
             .collect::<Result<_>>()?;
@@ -796,13 +993,14 @@ impl Engine {
         if reverifies {
             inner.table.advise(Advice::Random);
         }
+        let merge_span = Span::begin("engine.merge").detail(batch.len() as u64);
         let mut queries = Vec::with_capacity(batch.len());
         for rq in &resolved {
-            let mut segment_outcomes: Vec<SearchOutcome> =
+            let mut segment_outcomes: Vec<TaskOutcome> =
                 per_task.by_ref().take(n_segments).collect();
             if let Some(order) = &rq.visit_order {
                 // positions back to segment (row-range) order
-                let mut by_segment: Vec<Option<SearchOutcome>> =
+                let mut by_segment: Vec<Option<TaskOutcome>> =
                     (0..n_segments).map(|_| None).collect();
                 for (&si, outcome) in order.iter().zip(segment_outcomes) {
                     by_segment[si] = Some(outcome);
@@ -812,12 +1010,43 @@ impl Engine {
                     .map(|o| o.expect("visit order is a permutation"))
                     .collect();
             }
-            queries.push(self.merge_query(rq, &segments, segment_outcomes));
+            let outcome = self.merge_query(rq, &segments, segment_outcomes);
+            self.record_query_metrics(rq, &outcome);
+            queries.push(outcome);
         }
+        drop(merge_span);
         if reverifies {
             inner.table.advise(Advice::Normal);
         }
+        inner.metrics.batches.inc();
+        // Every query of a coalesced batch waits for the whole engine pass,
+        // so the batch's wall time *is* the latency each submitter observes.
+        let elapsed_us = batch_start.elapsed().as_micros() as u64;
+        for _ in 0..batch.len() {
+            inner.metrics.latency_us.record(elapsed_us);
+        }
         Ok(BatchOutcome { queries })
+    }
+
+    /// Folds one answered query into the engine's metric handles: counts,
+    /// executed work, per-segment search/skip tallies, the per-rule scan
+    /// counters and the cost model's calibration error.
+    fn record_query_metrics(&self, rq: &ResolvedQuery<'_>, outcome: &QueryOutcome) {
+        let m = &self.inner.metrics;
+        m.queries.inc();
+        let scanned = outcome.contributions_evaluated();
+        m.scanned_cells.record(scanned);
+        let skipped = outcome.segments_skipped() as u64;
+        let searched = outcome.segments.len() as u64 - skipped;
+        m.segment_searched.add(searched);
+        m.segment_skipped.add(skipped);
+        if let Some(counter) = m.rule_counter(rq.rule.name()) {
+            counter.add(searched);
+        }
+        // |estimated − executed| / executed, in whole percent; `max(1)`
+        // keeps a fully-skipped query (zero cells) finite.
+        let error_pct = (rq.estimate - scanned as f64).abs() / (scanned as f64).max(1.0) * 100.0;
+        m.cost_error.record(error_pct.round() as u64);
     }
 
     /// The zone-map check: when the query's κ is already tighter than the
@@ -829,21 +1058,13 @@ impl Engine {
     /// safe.
     fn try_skip_segment(&self, si: usize, rq: &ResolvedQuery<'_>) -> Option<SearchOutcome> {
         let kappa = rq.kappa.as_ref()?.get()?;
-        let (mins, maxs) = self.inner.envelopes[si].as_ref()?;
-        let query = rq.spec.vector();
-        let mut optimistic = rq.metric.envelope_best_score(query, mins, maxs);
-        let stats = &self.inner.stats[si];
-        if let Some(mass_bound) = rq.metric.mass_best_score(
+        let optimistic = self.optimistic_bound(
+            si,
+            rq.metric.as_ref(),
+            rq.objective,
+            rq.spec.vector(),
             rq.query_sum,
-            stats.row_sum_min,
-            stats.row_sum_max,
-            query.len(),
-        ) {
-            optimistic = match rq.objective {
-                Objective::Maximize => optimistic.min(mass_bound),
-                Objective::Minimize => optimistic.max(mass_bound),
-            };
-        }
+        )?;
         let slack = prune_slack(kappa);
         let skip = match rq.objective {
             Objective::Maximize => optimistic < kappa - slack,
@@ -851,8 +1072,46 @@ impl Engine {
         };
         skip.then(|| SearchOutcome {
             hits: Vec::new(),
-            trace: PruneTrace { segment_skipped: true, ..PruneTrace::default() },
+            trace: PruneTrace {
+                segment_skipped: true,
+                rule: Some(rq.rule.name()),
+                ..PruneTrace::default()
+            },
         })
+    }
+
+    /// The tightest optimistic score any vector inside segment `si`'s
+    /// zone maps could reach for `query`: the per-dimension value envelope
+    /// combined with the row-sum (total-mass) envelope, tighter bound
+    /// winning — exactly the bound [`Engine::try_skip_segment`] compares
+    /// against κ, shared with [`Engine::explain`]'s rendering. `None` for
+    /// a segment with no envelope (an empty segment).
+    pub(crate) fn optimistic_bound(
+        &self,
+        si: usize,
+        metric: &dyn DecomposableMetric,
+        objective: Objective,
+        query: &[f64],
+        query_sum: f64,
+    ) -> Option<f64> {
+        let (mins, maxs) = self.inner.envelopes[si].as_ref()?;
+        let mut optimistic = metric.envelope_best_score(query, mins, maxs);
+        let stats = &self.inner.stats[si];
+        if let Some(mass_bound) =
+            metric.mass_best_score(query_sum, stats.row_sum_min, stats.row_sum_max, query.len())
+        {
+            optimistic = match objective {
+                Objective::Maximize => optimistic.min(mass_bound),
+                Objective::Minimize => optimistic.max(mass_bound),
+            };
+        }
+        Some(optimistic)
+    }
+
+    /// Whether segments of one query share their κ bound (and thus whether
+    /// stats-driven planning can skip whole segments).
+    pub(crate) fn kappa_shared(&self) -> bool {
+        self.inner.share_kappa
     }
 
     /// Merges per-segment outcomes (global row ids) into the query's global
@@ -874,14 +1133,15 @@ impl Engine {
         &self,
         rq: &ResolvedQuery<'_>,
         segments: &[Segment<'_>],
-        segment_outcomes: Vec<SearchOutcome>,
+        segment_outcomes: Vec<TaskOutcome>,
     ) -> QueryOutcome {
         let reverify = rq.planner.is_stats_driven();
         let query = rq.spec.vector();
         let k = rq.spec.k();
         let mut runs = Vec::with_capacity(segment_outcomes.len());
         let offer = |heap_push: &mut dyn FnMut(Scored)| {
-            for (segment, outcome) in segments.iter().zip(segment_outcomes) {
+            for (segment, task) in segments.iter().zip(segment_outcomes) {
+                let TaskOutcome { outcome, plan } = task;
                 for hit in &outcome.hits {
                     let score = if reverify {
                         let row =
@@ -892,7 +1152,7 @@ impl Engine {
                     };
                     heap_push(Scored { row: hit.row, score });
                 }
-                runs.push(SegmentRun { rows: segment.range(), trace: outcome.trace });
+                runs.push(SegmentRun { rows: segment.range(), trace: outcome.trace, plan });
             }
         };
         let hits = match rq.objective {
@@ -915,6 +1175,7 @@ impl Engine {
                 && !hits.iter().any(|h| run.rows.contains(&(h.row as usize)))
             {
                 self.inner.feedback.segment(si).record_miss();
+                self.inner.metrics.segment_missed.inc();
             }
         }
         QueryOutcome { hits, segments: runs }

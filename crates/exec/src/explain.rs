@@ -1,0 +1,457 @@
+//! Query EXPLAIN and ANALYZE: render the plan, then audit the execution.
+//!
+//! [`Engine::explain`] answers *"what would the engine do for this
+//! request?"* without executing anything: for every segment it renders the
+//! derived [`SegmentPlan`] (dimension order and warmup schedule), where in
+//! the visit order the segment runs, its zone-map envelope bound toward
+//! the query, the cost model's cell estimate and the plan's *provenance*
+//! (uniform params, a-priori statistics, or cold/warm feedback).
+//!
+//! [`QueryOutcome::analyze`] answers *"what did the engine actually do?"*
+//! by joining the rendered plan against the executed [`bond::PruneTrace`]s:
+//! cells scanned vs estimated, the depth at which pruning reached the
+//! query's `k`, which segments were skipped, and whether the executed plan
+//! matched the rendered one (it does by construction — both sides call the
+//! same derivation path — unless feedback advanced between the two calls).
+//!
+//! Both types are plain data with `Display` impls, so they print as
+//! compact reports and remain programmatically inspectable.
+
+use crate::batch::{QueryOutcome, QuerySpec};
+use crate::engine::Engine;
+use crate::planner::PlannerKind;
+use bond::{Result, SegmentPlan};
+use std::fmt;
+use std::ops::Range;
+
+/// Where a segment's plan came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanProvenance {
+    /// The engine's uniform params — every segment shares one plan.
+    Uniform,
+    /// Derived from the segment's a-priori statistics (adaptive planning,
+    /// or feedback planning before any signal accumulated uses the same
+    /// derivation — see [`PlanProvenance::FeedbackCold`]).
+    Apriori,
+    /// Feedback planning on a *cold* segment: too few folded searches, so
+    /// the plan equals the a-priori plan bit for bit.
+    FeedbackCold,
+    /// Feedback planning on a *warm* segment: the dimension order is
+    /// re-ranked by observed prune credit and the warmup shrinks toward
+    /// the observed first-effective-prune depth.
+    FeedbackWarm,
+}
+
+impl PlanProvenance {
+    /// A short lowercase label (`"uniform"`, `"apriori"`,
+    /// `"feedback-cold"`, `"feedback-warm"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            PlanProvenance::Uniform => "uniform",
+            PlanProvenance::Apriori => "apriori",
+            PlanProvenance::FeedbackCold => "feedback-cold",
+            PlanProvenance::FeedbackWarm => "feedback-warm",
+        }
+    }
+}
+
+/// The rendered plan for one segment of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentExplain {
+    /// The segment index, in row-range order.
+    pub segment: usize,
+    /// The table rows the segment covers.
+    pub rows: Range<usize>,
+    /// Position in the query's visit order at which this segment executes
+    /// (feedback planning visits most-promising-first; everyone else in
+    /// row order).
+    pub visit_position: usize,
+    /// The fully derived plan: dimension order plus block schedule.
+    pub plan: SegmentPlan,
+    /// Where the plan came from.
+    pub provenance: PlanProvenance,
+    /// The segment's optimistic zone-map bound toward the query — the
+    /// score the skip check compares against κ at run time. `None` for a
+    /// segment with no envelope.
+    pub envelope_bound: Option<f64>,
+    /// The cost model's estimate of the `(candidate, dimension)` cells one
+    /// search of this segment will evaluate.
+    pub estimated_cells: f64,
+}
+
+/// The rendered execution plan of one request — what [`Engine::execute`]
+/// *would* do, derived without executing anything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryExplain {
+    /// The number of neighbours requested.
+    pub k: usize,
+    /// The effective pruning rule's name (`"Hq"`, `"Ev"`, …).
+    pub rule: &'static str,
+    /// The effective planning policy.
+    pub planner: PlannerKind,
+    /// The table dimensionality.
+    pub dims: usize,
+    /// Whether κ-aware whole-segment skipping is armed for this request
+    /// (stats-driven planner and shared κ).
+    pub skipping: bool,
+    /// The segment visit order: position `p` executes
+    /// `visit_order[p]`.
+    pub visit_order: Vec<usize>,
+    /// Per-segment rendered plans, in segment (row-range) order.
+    pub segments: Vec<SegmentExplain>,
+}
+
+impl QueryExplain {
+    /// Total estimated `(candidate, dimension)` cells across all segments
+    /// — the same figure [`Engine::estimate_cost`] prices admission with.
+    pub fn estimated_cells(&self) -> f64 {
+        self.segments.iter().map(|s| s.estimated_cells).sum()
+    }
+}
+
+impl fmt::Display for QueryExplain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "EXPLAIN k={} rule={} planner={:?} dims={} skipping={} est_cells={:.0}",
+            self.k,
+            self.rule,
+            self.planner,
+            self.dims,
+            if self.skipping { "on" } else { "off" },
+            self.estimated_cells(),
+        )?;
+        let order: Vec<String> = self.visit_order.iter().map(|s| s.to_string()).collect();
+        writeln!(f, "  visit order: {}", order.join(" -> "))?;
+        for seg in &self.segments {
+            let head: Vec<String> = seg.plan.order.iter().take(8).map(|d| d.to_string()).collect();
+            let ellipsis = if seg.plan.order.len() > 8 { " …" } else { "" };
+            let bound =
+                seg.envelope_bound.map_or_else(|| "none".to_string(), |b| format!("{b:.4}"));
+            writeln!(
+                f,
+                "  segment {} rows {}..{} visit#{} [{}] bound={} est={:.0} cells",
+                seg.segment,
+                seg.rows.start,
+                seg.rows.end,
+                seg.visit_position,
+                seg.provenance.label(),
+                bound,
+                seg.estimated_cells,
+            )?;
+            writeln!(
+                f,
+                "    schedule {:?}, order {}{}",
+                seg.plan.schedule,
+                head.join(" "),
+                ellipsis
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One segment's executed scan joined against its rendered plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentAnalysis {
+    /// The segment index, in row-range order.
+    pub segment: usize,
+    /// The cost model's pre-execution cell estimate (from the EXPLAIN).
+    pub estimated_cells: f64,
+    /// The `(candidate, dimension)` cells the scan actually evaluated —
+    /// [`bond::PruneTrace::contributions_evaluated`], exactly.
+    pub scanned_cells: u64,
+    /// Whether the segment was skipped outright via its zone-map bound.
+    pub skipped: bool,
+    /// The pruning rule that produced the trace, as stamped by the engine.
+    pub rule: Option<&'static str>,
+    /// The number of dimensions after which the candidate set first shrank
+    /// to at most `k` — the query's effective prune depth in this segment.
+    /// `None` when pruning never got that far (or the segment was skipped).
+    pub prune_depth: Option<usize>,
+    /// Whether the executed plan equals the rendered one. `None` for a
+    /// skipped segment (no plan was ever derived).
+    pub plan_match: Option<bool>,
+}
+
+/// The post-execution audit of one request: the rendered plan joined with
+/// what actually ran. Built by [`QueryOutcome::analyze`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnalysis {
+    /// The number of neighbours the request asked for.
+    pub k: usize,
+    /// The effective pruning rule's name (from the EXPLAIN).
+    pub rule: &'static str,
+    /// Per-segment audits, in segment (row-range) order.
+    pub segments: Vec<SegmentAnalysis>,
+}
+
+impl QueryAnalysis {
+    /// Total estimated cells across all segments (from the EXPLAIN).
+    pub fn estimated_cells(&self) -> f64 {
+        self.segments.iter().map(|s| s.estimated_cells).sum()
+    }
+
+    /// Total cells actually scanned — matches
+    /// [`QueryOutcome::contributions_evaluated`] exactly.
+    pub fn scanned_cells(&self) -> u64 {
+        self.segments.iter().map(|s| s.scanned_cells).sum()
+    }
+
+    /// `|estimated − scanned| / scanned` in percent — the same calibration
+    /// error the engine folds into its `planner.cost.abs_rel_error`
+    /// histogram (with `scanned` floored at one cell to stay finite).
+    pub fn abs_rel_error_pct(&self) -> f64 {
+        let scanned = self.scanned_cells() as f64;
+        (self.estimated_cells() - scanned).abs() / scanned.max(1.0) * 100.0
+    }
+
+    /// Number of segments skipped outright.
+    pub fn segments_skipped(&self) -> usize {
+        self.segments.iter().filter(|s| s.skipped).count()
+    }
+
+    /// Whether every executed plan matched its rendered plan (skipped
+    /// segments, which executed no plan, do not count against a match).
+    pub fn plans_match(&self) -> bool {
+        self.segments.iter().all(|s| s.plan_match != Some(false))
+    }
+}
+
+impl fmt::Display for QueryAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ANALYZE k={} rule={} estimated={:.0} scanned={} error={:.1}% plans_match={}",
+            self.k,
+            self.rule,
+            self.estimated_cells(),
+            self.scanned_cells(),
+            self.abs_rel_error_pct(),
+            self.plans_match(),
+        )?;
+        for seg in &self.segments {
+            if seg.skipped {
+                writeln!(f, "  segment {}: skipped (zone-map bound beat κ)", seg.segment)?;
+                continue;
+            }
+            let depth = seg.prune_depth.map_or_else(|| "never".to_string(), |d| d.to_string());
+            writeln!(
+                f,
+                "  segment {}: scanned {} est {:.0} prune_depth@k={} rule={} plan={}",
+                seg.segment,
+                seg.scanned_cells,
+                seg.estimated_cells,
+                depth,
+                seg.rule.unwrap_or("?"),
+                match seg.plan_match {
+                    Some(true) => "match",
+                    Some(false) => "DIVERGED",
+                    None => "n/a",
+                },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Engine {
+    /// Renders the execution plan this engine would choose for `spec`,
+    /// without executing it: per segment, the derived [`SegmentPlan`]
+    /// (dimension order, warmup schedule), the visit-order position, the
+    /// zone-map envelope bound toward the query, the cost model's cell
+    /// estimate and the plan's provenance (uniform / a-priori /
+    /// feedback-cold / feedback-warm).
+    ///
+    /// EXPLAIN and [`Engine::execute`] share the same plan-derivation code
+    /// path, so — unless feedback advances between the two calls — the
+    /// rendered plan is the executed plan, which
+    /// [`QueryOutcome::analyze`] verifies.
+    ///
+    /// # Errors
+    ///
+    /// The same validation errors [`Engine::execute`] would return for
+    /// this spec; explaining never touches column data.
+    pub fn explain(&self, spec: &QuerySpec) -> Result<QueryExplain> {
+        self.validate(spec)?;
+        let rule = spec.rule_override().unwrap_or(self.rule());
+        let planner = spec.planner_override().unwrap_or(self.planner());
+        let metric = rule.make_metric();
+        let objective = rule.objective();
+        let query = spec.vector();
+        let query_sum: f64 = query.iter().sum();
+        let skipping = planner.is_stats_driven() && self.kappa_shared();
+        let visit_order = if planner.uses_feedback() && self.kappa_shared() {
+            self.plan_visit_order(metric.as_ref(), objective, query)
+        } else {
+            (0..self.partitions()).collect()
+        };
+        let mut visit_position = vec![0usize; self.partitions()];
+        for (pos, &si) in visit_order.iter().enumerate() {
+            visit_position[si] = pos;
+        }
+        let feedback = self.feedback_snapshot();
+        let min_warm = self.cost_model().min_warm_searches;
+        let segments = self
+            .segment_specs()
+            .iter()
+            .enumerate()
+            .map(|(si, seg_spec)| {
+                let snapshot = &feedback.segments[si];
+                let plan = self.derive_segment_plan(si, planner, rule, query, Some(snapshot));
+                let provenance = match planner {
+                    PlannerKind::Uniform => PlanProvenance::Uniform,
+                    PlannerKind::Adaptive => PlanProvenance::Apriori,
+                    PlannerKind::Feedback => {
+                        if snapshot.is_warm(min_warm) {
+                            PlanProvenance::FeedbackWarm
+                        } else {
+                            PlanProvenance::FeedbackCold
+                        }
+                    }
+                };
+                let envelope_bound =
+                    self.optimistic_bound(si, metric.as_ref(), objective, query, query_sum);
+                let estimated_cells = self.cost_model().segment_cost(
+                    &self.segment_stats()[si],
+                    Some(snapshot),
+                    spec.k(),
+                    skipping,
+                );
+                SegmentExplain {
+                    segment: si,
+                    rows: seg_spec.range(),
+                    visit_position: visit_position[si],
+                    plan,
+                    provenance,
+                    envelope_bound,
+                    estimated_cells,
+                }
+            })
+            .collect();
+        Ok(QueryExplain {
+            k: spec.k(),
+            rule: rule.name(),
+            planner,
+            dims: self.table().dims(),
+            skipping,
+            visit_order,
+            segments,
+        })
+    }
+}
+
+impl QueryOutcome {
+    /// Joins this executed outcome against the plan `explain` rendered for
+    /// the same request: per segment, cells scanned vs estimated, the
+    /// prune depth at which the candidate set reached `k`, skip status and
+    /// whether the executed plan matches the rendered one.
+    ///
+    /// The per-segment `scanned_cells` are exactly the summed
+    /// [`bond::PruneTrace`] work counters, so
+    /// [`QueryAnalysis::scanned_cells`] equals
+    /// [`QueryOutcome::contributions_evaluated`].
+    pub fn analyze(&self, explain: &QueryExplain) -> QueryAnalysis {
+        let segments = self
+            .segments
+            .iter()
+            .zip(&explain.segments)
+            .enumerate()
+            .map(|(si, (run, rendered))| SegmentAnalysis {
+                segment: si,
+                estimated_cells: rendered.estimated_cells,
+                scanned_cells: run.trace.contributions_evaluated,
+                skipped: run.trace.segment_skipped,
+                rule: run.trace.rule,
+                prune_depth: run.trace.dims_to_reach(explain.k),
+                plan_match: run.plan.as_ref().map(|executed| *executed == rendered.plan),
+            })
+            .collect();
+        QueryAnalysis { k: explain.k, rule: explain.rule, segments }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PlannerKind, RequestBatch, RuleKind};
+    use vdstore::DecomposedTable;
+
+    fn table(rows: usize, dims: usize) -> DecomposedTable {
+        let vectors: Vec<Vec<f64>> = (0..rows)
+            .map(|r| {
+                let mut v: Vec<f64> =
+                    (0..dims).map(|d| ((r * 13 + d * 29) % 83) as f64 + 1.0).collect();
+                let total: f64 = v.iter().sum();
+                v.iter_mut().for_each(|x| *x /= total);
+                v
+            })
+            .collect();
+        DecomposedTable::from_vectors("explain", &vectors).unwrap()
+    }
+
+    #[test]
+    fn explain_renders_without_executing() {
+        let engine = Engine::builder(table(200, 8)).partitions(4).threads(1).build().unwrap();
+        let spec = QuerySpec::new(engine.table().row(17).unwrap(), 5);
+        let explain = engine.explain(&spec).unwrap();
+        assert_eq!(explain.k, 5);
+        assert_eq!(explain.rule, "Hq");
+        assert_eq!(explain.planner, PlannerKind::Uniform);
+        assert_eq!(explain.segments.len(), engine.partitions());
+        assert_eq!(explain.visit_order, vec![0, 1, 2, 3]);
+        assert!(!explain.skipping, "uniform planning never skips");
+        assert!(explain.estimated_cells() > 0.0);
+        for seg in &explain.segments {
+            assert_eq!(seg.provenance, PlanProvenance::Uniform);
+            assert!(seg.plan.is_valid(8));
+            assert!(seg.envelope_bound.is_some());
+        }
+        // rendering is purely observational: no feedback accumulated
+        assert_eq!(engine.feedback_snapshot().total_searches(), 0);
+        let text = explain.to_string();
+        assert!(text.contains("EXPLAIN k=5 rule=Hq"));
+        assert!(text.contains("visit order: 0 -> 1 -> 2 -> 3"));
+    }
+
+    #[test]
+    fn explain_rejects_what_execute_rejects() {
+        let engine = Engine::builder(table(50, 4)).partitions(2).threads(1).build().unwrap();
+        assert!(engine.explain(&QuerySpec::new(vec![0.5; 3], 1)).is_err());
+        assert!(engine.explain(&QuerySpec::new(vec![0.25; 4], 0)).is_err());
+    }
+
+    #[test]
+    fn analyze_joins_plan_with_trace() {
+        let engine = Engine::builder(table(300, 8))
+            .partitions(3)
+            .threads(1)
+            .planner(PlannerKind::Adaptive)
+            .build()
+            .unwrap();
+        let spec = QuerySpec::new(engine.table().row(42).unwrap(), 5);
+        let explain = engine.explain(&spec).unwrap();
+        let outcome = engine.execute(&RequestBatch::single(spec)).unwrap().queries.remove(0);
+        let analysis = outcome.analyze(&explain);
+        assert_eq!(analysis.scanned_cells(), outcome.contributions_evaluated());
+        assert_eq!(analysis.segments_skipped(), outcome.segments_skipped());
+        assert!(analysis.plans_match(), "{analysis}");
+        for (seg, run) in analysis.segments.iter().zip(&outcome.segments) {
+            assert_eq!(seg.scanned_cells, run.trace.contributions_evaluated);
+            if !seg.skipped {
+                assert_eq!(seg.rule, Some("Hq"));
+            }
+        }
+        let text = analysis.to_string();
+        assert!(text.contains("ANALYZE k=5 rule=Hq"));
+    }
+
+    #[test]
+    fn weighted_rules_explain_with_their_own_name() {
+        let engine = Engine::builder(table(100, 4)).partitions(2).threads(1).build().unwrap();
+        let spec = QuerySpec::new(vec![0.25; 4], 3)
+            .rule(RuleKind::weighted_euclidean(vec![1.0, 2.0, 0.5, 1.0]).unwrap());
+        let explain = engine.explain(&spec).unwrap();
+        assert_eq!(explain.rule, "WEv");
+    }
+}

@@ -80,6 +80,16 @@
 //!   in a submission queue: concurrent threads submit individual
 //!   [`QuerySpec`]s, a worker coalesces them into engine batches, and
 //!   answers route back through per-request tickets.
+//! * **End-to-end observability** — every engine owns a
+//!   [`bond_obs::MetricsRegistry`] (inject a shared one with
+//!   [`EngineBuilder::metrics`]) into which the engine, planner, store
+//!   and service layers emit counters, gauges and histograms under
+//!   stable dotted names; stage-level [`bond_obs::Span`]s trace
+//!   plan/scan/warmup/merge/persist/queue stages when enabled (a single
+//!   relaxed load when not); and [`Engine::explain`] renders the exact
+//!   per-segment plan a [`QuerySpec`] would run, which
+//!   [`batch::QueryOutcome::analyze`] joins post-execution against the
+//!   executed [`bond::PruneTrace`]s.
 //!
 //! ## Quick start
 //!
@@ -121,6 +131,7 @@
 
 pub mod batch;
 pub mod engine;
+pub mod explain;
 pub mod kappa;
 pub mod planner;
 pub mod rules;
@@ -128,7 +139,9 @@ pub mod service;
 
 pub use batch::{BatchOutcome, Priority, QueryOutcome, QuerySpec, RequestBatch, SegmentRun};
 pub use bond::{CostModel, FeedbackSnapshot, SegmentFeedbackSnapshot};
+pub use bond_obs::MetricsRegistry;
 pub use engine::{Engine, EngineBuilder};
+pub use explain::{PlanProvenance, QueryAnalysis, QueryExplain, SegmentAnalysis, SegmentExplain};
 pub use kappa::SharedKappa;
 pub use planner::{AdaptivePlanner, PlannerKind};
 pub use rules::RuleKind;

@@ -58,10 +58,11 @@
 use crate::batch::{QueryOutcome, QuerySpec, RequestBatch};
 use crate::engine::Engine;
 use bond::{BondError, Result};
+use bond_obs::{span, Counter, Gauge, Histogram, MetricsRegistry, Span};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// One queued request: the spec, its estimated cost, how many engine
 /// passes have drained around it, and the channel its answer travels back
@@ -71,6 +72,8 @@ struct Pending {
     cost: f64,
     /// Engine passes this request has been passed over by (aging input).
     waited: u32,
+    /// When the request was admitted — the queue-wait clock.
+    submitted: Instant,
     tx: mpsc::Sender<Result<QueryOutcome>>,
 }
 
@@ -90,17 +93,43 @@ impl std::fmt::Debug for Pending {
 /// shortest-job-first cannot starve an expensive request forever.
 pub const STARVATION_PASSES: u32 = 4;
 
+/// The server's pre-registered metric handles, living in the fronted
+/// engine's [`MetricsRegistry`] — one registry covers the whole serving
+/// stack, and the legacy accessors ([`Server::queries_served`] & co.) are
+/// thin reads of the same counters.
+#[derive(Debug)]
+struct ServiceMetrics {
+    /// `service.batch.executed` — engine passes executed.
+    batches: Counter,
+    /// `service.query.served` — requests answered (success or error).
+    served: Counter,
+    /// `service.admission.rejected` — requests rejected at admission
+    /// (validation failure or shutdown).
+    rejected: Counter,
+    /// `service.queue.depth` — requests currently queued, all classes.
+    queue_depth: Gauge,
+    /// `service.queue.wait_us` — admission-to-drain wait per request.
+    queue_wait_us: Histogram,
+}
+
+impl ServiceMetrics {
+    fn new(registry: &MetricsRegistry) -> ServiceMetrics {
+        ServiceMetrics {
+            batches: registry.counter("service.batch.executed"),
+            served: registry.counter("service.query.served"),
+            rejected: registry.counter("service.admission.rejected"),
+            queue_depth: registry.gauge("service.queue.depth"),
+            queue_wait_us: registry.histogram("service.queue.wait_us"),
+        }
+    }
+}
+
 /// The queue shared between submitters and the worker.
 #[derive(Debug)]
 struct Shared {
     state: Mutex<QueueState>,
     wake: Condvar,
-    /// Engine passes executed so far (each serving one coalesced batch).
-    batches: AtomicUsize,
-    /// Requests answered so far (success or error).
-    served: AtomicUsize,
-    /// Requests rejected at admission (validation failure or shutdown).
-    rejected: AtomicUsize,
+    metrics: ServiceMetrics,
 }
 
 #[derive(Debug)]
@@ -242,9 +271,7 @@ impl ServerBuilder {
                 shutdown: false,
             }),
             wake: Condvar::new(),
-            batches: AtomicUsize::new(0),
-            served: AtomicUsize::new(0),
-            rejected: AtomicUsize::new(0),
+            metrics: ServiceMetrics::new(self.engine.metrics()),
         });
         let worker = {
             let engine = self.engine.clone();
@@ -319,7 +346,7 @@ impl Server {
     /// either way the rejection is recorded.
     pub fn submit(&self, spec: QuerySpec) -> Result<Ticket> {
         if let Err(e) = self.engine.validate(&spec) {
-            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.rejected.inc();
             return Err(e);
         }
         let cost = self.engine.estimate_cost(&spec);
@@ -328,16 +355,18 @@ impl Server {
             let mut state = self.shared.state.lock().expect("queue mutex never poisoned");
             if state.shutdown {
                 drop(state);
-                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.rejected.inc();
                 return Err(BondError::ServiceUnavailable("server is shut down".into()));
             }
             state.pending[spec.priority_class().index()].push_back(Pending {
                 spec,
                 cost,
                 waited: 0,
+                submitted: Instant::now(),
                 tx,
             });
         }
+        self.shared.metrics.queue_depth.add(1);
         self.shared.wake.notify_one();
         Ok(Ticket { rx })
     }
@@ -345,21 +374,44 @@ impl Server {
     /// Number of engine passes executed so far. Together with
     /// [`Server::queries_served`] this exposes the coalescing ratio:
     /// `queries_served / batches_executed` requests were answered per
-    /// engine pass on average.
+    /// engine pass on average. A thin read of the registry's
+    /// `service.batch.executed` counter.
     pub fn batches_executed(&self) -> usize {
-        self.shared.batches.load(Ordering::Relaxed)
+        self.shared.metrics.batches.get() as usize
     }
 
     /// Number of requests answered so far (successfully or with an error).
+    /// A thin read of the registry's `service.query.served` counter.
     pub fn queries_served(&self) -> usize {
-        self.shared.served.load(Ordering::Relaxed)
+        self.shared.metrics.served.get() as usize
     }
 
     /// Number of requests rejected at admission — validation failures and
     /// post-shutdown submissions. Together with [`Server::queries_served`]
-    /// this accounts for every spec ever submitted.
+    /// this accounts for every spec ever submitted. A thin read of the
+    /// registry's `service.admission.rejected` counter.
     pub fn queries_rejected(&self) -> usize {
-        self.shared.rejected.load(Ordering::Relaxed)
+        self.shared.metrics.rejected.get() as usize
+    }
+
+    /// The metrics registry covering the whole serving stack — the fronted
+    /// engine's registry, which this server's `service.*` metrics also
+    /// live in.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.engine.metrics()
+    }
+
+    /// The current metrics as Prometheus exposition text — what a
+    /// `/metrics` scrape endpoint would serve.
+    pub fn metrics_text(&self) -> String {
+        self.engine.metrics().render_text()
+    }
+
+    /// The current metrics as one machine-readable JSON line (counters,
+    /// gauges, and histogram `count`/`sum`/`p50`/`p95`/`p99` summaries) —
+    /// the `BENCH_JSON` convention the benches print under.
+    pub fn metrics_json(&self) -> String {
+        self.engine.metrics().render_json()
     }
 
     /// Stops accepting new requests and wakes the worker so it drains what
@@ -399,17 +451,32 @@ fn worker_loop(engine: &Engine, shared: &Shared, max_batch: usize, max_cost: f64
             drain_batch(&mut state, max_batch, max_cost)
         };
 
+        shared.metrics.queue_depth.add(-(drained.len() as i64));
+        for pending in &drained {
+            // admission-to-drain wait: recorded per request, plus a
+            // `service.queue_wait` span (detail = priority class) when
+            // tracing is enabled
+            let waited_us = pending.submitted.elapsed().as_micros() as u64;
+            shared.metrics.queue_wait_us.record(waited_us);
+            span::record(
+                "service.queue_wait",
+                pending.spec.priority_class().index() as u64,
+                waited_us,
+            );
+        }
         let (specs, txs): (Vec<QuerySpec>, Vec<_>) =
             drained.into_iter().map(|p| (p.spec, p.tx)).unzip();
         let batch = RequestBatch::from_specs(specs);
+        let exec_span = Span::begin("service.execute").detail(batch.len() as u64);
         let result = engine.execute(&batch);
+        drop(exec_span);
         // Counters tick *before* each answer is routed, so a submitter that
         // has received its answer always observes itself as served.
-        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.batches.inc();
         match result {
             Ok(outcome) => {
                 for (tx, answer) in txs.into_iter().zip(outcome.queries) {
-                    shared.served.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.served.inc();
                     // a submitter that dropped its ticket just misses out
                     let _ = tx.send(Ok(answer));
                 }
@@ -418,7 +485,7 @@ fn worker_loop(engine: &Engine, shared: &Shared, max_batch: usize, max_cost: f64
                 // Specs were validated at admission, so this is an engine-
                 // level failure; report it to every requester in the batch.
                 for tx in txs {
-                    shared.served.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.served.inc();
                     let _ = tx.send(Err(e.clone()));
                 }
             }
@@ -451,7 +518,13 @@ mod tests {
     fn pending(k: usize, cost: f64) -> Pending {
         // drain tests never answer, so the receiver end can drop
         let (tx, _rx) = mpsc::channel();
-        Pending { spec: QuerySpec::new(vec![0.5; 6], k), cost, waited: 0, tx }
+        Pending {
+            spec: QuerySpec::new(vec![0.5; 6], k),
+            cost,
+            waited: 0,
+            submitted: Instant::now(),
+            tx,
+        }
     }
 
     fn queue_state(classes: [Vec<Pending>; 3]) -> QueueState {
@@ -657,6 +730,35 @@ mod tests {
         });
         assert_eq!(server.queries_served(), 12);
         assert!(server.batches_executed() >= 2, "the cost cut splits the burst");
+    }
+
+    #[test]
+    fn registry_counters_back_the_legacy_accessors() {
+        let engine = engine();
+        let server = Server::new(engine.clone());
+        let q = engine.table().row(8).unwrap();
+        server.submit(QuerySpec::new(q, 2)).unwrap().wait().unwrap();
+        let _ = server.submit(QuerySpec::new(vec![0.5; 4], 1)); // wrong dims
+        assert_eq!(server.queries_served(), 1);
+        assert_eq!(server.queries_rejected(), 1);
+        // one counting path: the legacy accessors read the registry
+        let registry = server.metrics();
+        assert_eq!(registry.counter_value("service.query.served"), Some(1));
+        assert_eq!(registry.counter_value("service.admission.rejected"), Some(1));
+        assert_eq!(
+            registry.counter_value("service.batch.executed"),
+            Some(server.batches_executed() as u64)
+        );
+        assert_eq!(registry.gauge_value("service.queue.depth"), Some(0), "queue drained");
+        let wait = registry.histogram_snapshot("service.queue.wait_us").unwrap();
+        assert_eq!(wait.count, 1, "one served request, one queue-wait sample");
+        // engine metrics land in the same registry (shared serving stack)
+        assert_eq!(registry.counter_value("engine.query.count"), Some(1));
+        let text = server.metrics_text();
+        assert!(text.contains("service_query_served 1"), "{text}");
+        assert!(text.contains("engine_query_count 1"), "{text}");
+        let json = server.metrics_json();
+        assert!(json.contains("\"service.query.served\":1"), "{json}");
     }
 
     #[test]

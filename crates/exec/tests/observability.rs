@@ -1,0 +1,225 @@
+//! End-to-end observability invariants: EXPLAIN renders exactly the plan
+//! execution runs, ANALYZE's scanned-cell accounting is the summed
+//! [`bond::PruneTrace`] work counters, disabled tracing is bit-invisible
+//! to query results, the warmed feedback planner's cost estimates stay
+//! loosely calibrated, and a warmed run populates the metrics registry.
+
+use std::sync::Arc;
+
+use bond_datagen::{sample_queries, ClusteredConfig};
+use bond_exec::{Engine, PlannerKind, QuerySpec, RequestBatch, RuleKind};
+use vdstore::DecomposedTable;
+
+const DIMS: usize = 8;
+const PARTITIONS: [usize; 4] = [1, 2, 3, 7];
+
+/// Deterministic normalized histograms — skewed enough that plans differ
+/// across segments, duplicated across no clusters (worst case for
+/// skipping, best case for exercising every planner path).
+fn table(rows: usize, dims: usize) -> DecomposedTable {
+    let vectors: Vec<Vec<f64>> = (0..rows)
+        .map(|r| {
+            let mut v: Vec<f64> =
+                (0..dims).map(|d| ((r * 13 + d * 29) % 83) as f64 + 1.0).collect();
+            let total: f64 = v.iter().sum();
+            v.iter_mut().for_each(|x| *x /= total);
+            v
+        })
+        .collect();
+    DecomposedTable::from_vectors("obs", &vectors).unwrap()
+}
+
+/// A cluster-major clustered table where warmed feedback planning skips
+/// whole segments — the same shape `bench_feedback` runs on.
+fn clustered_table(rows: usize) -> Arc<DecomposedTable> {
+    Arc::new(
+        ClusteredConfig { clusters: 16, ..ClusteredConfig::small(rows, 16, 0.0) }
+            .with_cluster_major(true)
+            .with_seed(7)
+            .generate(),
+    )
+}
+
+/// For every planner × partition count, the plan EXPLAIN renders must be
+/// the plan execution runs (`plans_match`), and ANALYZE's per-segment and
+/// total scanned-cell counts must equal the executed trace's work
+/// counters exactly.
+#[test]
+fn explain_matches_execution_for_every_planner_and_partitioning() {
+    let table = Arc::new(table(210, DIMS));
+    let queries: Vec<Vec<f64>> = (0u32..3).map(|i| table.row(i * 67).unwrap()).collect();
+    for planner in [PlannerKind::Uniform, PlannerKind::Adaptive, PlannerKind::Feedback] {
+        for partitions in PARTITIONS {
+            let engine = Engine::builder(table.clone())
+                .partitions(partitions)
+                .threads(2)
+                .rule(RuleKind::EuclideanEv)
+                .planner(planner)
+                .build()
+                .unwrap();
+            if planner == PlannerKind::Feedback {
+                // exercise the warm derivation path too, not just cold
+                let warming = RequestBatch::from_queries(
+                    (0u32..40)
+                        .map(|i| table.row((i * 11) % table.rows() as u32).unwrap())
+                        .collect(),
+                    5,
+                );
+                engine.execute(&warming).unwrap();
+            }
+            for query in &queries {
+                let spec = QuerySpec::new(query.clone(), 5);
+                // explain immediately before executing: the feedback
+                // snapshot both read is the same
+                let explain = engine.explain(&spec).unwrap();
+                let outcome = engine.search_spec(&spec).unwrap();
+                let analysis = outcome.analyze(&explain);
+
+                let context = format!("planner {planner:?} partitions {partitions}");
+                assert!(analysis.plans_match(), "{context}: executed plan != rendered plan");
+                assert_eq!(
+                    analysis.scanned_cells(),
+                    outcome.contributions_evaluated(),
+                    "{context}: ANALYZE total diverges from trace counters"
+                );
+                assert_eq!(analysis.segments.len(), outcome.segments.len());
+                for (sa, run) in analysis.segments.iter().zip(&outcome.segments) {
+                    assert_eq!(
+                        sa.scanned_cells, run.trace.contributions_evaluated,
+                        "{context}: segment {} scanned cells diverge",
+                        sa.segment
+                    );
+                    assert_eq!(sa.skipped, run.trace.segment_skipped);
+                    assert_eq!(sa.rule, run.trace.rule);
+                    assert_eq!(sa.rule, Some("Ev"), "{context}: rule tag lost");
+                }
+            }
+        }
+    }
+}
+
+/// Tracing must be invisible to results: the same engine configuration
+/// run with the span subscriber disabled and enabled returns
+/// bit-identical scores, identical rows and identical work counters.
+#[test]
+fn disabled_tracing_is_bit_identical_to_enabled() {
+    let table = Arc::new(table(300, DIMS));
+    let batch =
+        RequestBatch::from_queries((0u32..6).map(|i| table.row(i * 41).unwrap()).collect(), 7);
+    let run = || {
+        let engine = Engine::builder(table.clone())
+            .partitions(3)
+            .threads(1) // deterministic κ publication order ⇒ identical work counters
+            .planner(PlannerKind::Adaptive)
+            .build()
+            .unwrap();
+        engine.execute(&batch).unwrap()
+    };
+
+    bond_obs::span::set_enabled(false);
+    bond_obs::span::take_spans(); // drain anything earlier tests left
+    let quiet = run();
+    assert!(bond_obs::span::take_spans().is_empty(), "disabled tracing must record nothing");
+
+    bond_obs::span::set_enabled(true);
+    let traced = run();
+    let spans = bond_obs::span::take_spans();
+    assert!(
+        spans.iter().any(|s| s.stage == "engine.scan"),
+        "enabled tracing must record scan spans"
+    );
+    bond_obs::span::set_enabled(false);
+
+    assert_eq!(quiet.queries.len(), traced.queries.len());
+    for (a, b) in quiet.queries.iter().zip(&traced.queries) {
+        assert_eq!(a.hits.len(), b.hits.len());
+        for (x, y) in a.hits.iter().zip(&b.hits) {
+            assert_eq!(x.row, y.row);
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "score bits diverged");
+        }
+        assert_eq!(a.contributions_evaluated(), b.contributions_evaluated());
+    }
+}
+
+/// On clustered data, a warmed feedback planner's cost estimate must land
+/// within a loose constant factor of the cells actually scanned, and the
+/// engine must have folded its per-query calibration error into the
+/// `planner.cost.abs_rel_error` histogram.
+#[test]
+fn warmed_cost_estimates_are_loosely_calibrated() {
+    let table = clustered_table(4_000);
+    let engine = Engine::builder(table.clone())
+        .partitions(8)
+        .threads(1)
+        .rule(RuleKind::EuclideanEv)
+        .planner(PlannerKind::Feedback)
+        .build()
+        .unwrap();
+    let warming = RequestBatch::from_queries(sample_queries(&table, 80, 99), 10);
+    engine.execute(&warming).unwrap();
+    assert!(engine.feedback_snapshot().total_searches() > 0, "warming folded nothing");
+
+    let mut checked = 0;
+    for query in sample_queries(&table, 6, 4321) {
+        let spec = QuerySpec::new(query, 10);
+        let explain = engine.explain(&spec).unwrap();
+        let outcome = engine.search_spec(&spec).unwrap();
+        let analysis = outcome.analyze(&explain);
+        let scanned = analysis.scanned_cells().max(1) as f64;
+        let estimated = analysis.estimated_cells().max(1.0);
+        let factor = (estimated / scanned).max(scanned / estimated);
+        assert!(
+            factor <= 25.0,
+            "warmed estimate off by {factor:.1}x: estimated {estimated:.0} vs scanned {scanned}"
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 6);
+
+    let errors = engine
+        .metrics()
+        .histogram_snapshot("planner.cost.abs_rel_error")
+        .expect("calibration histogram registered");
+    assert!(errors.count > 0, "no calibration errors recorded");
+}
+
+/// The acceptance check from the issue: after warming a feedback-planned
+/// engine on cluster-major data, the registry reports non-zero
+/// `engine.segment.skipped` and `planner.feedback.warm_segments`, and the
+/// rendered exports carry the numbers.
+#[test]
+fn warmed_feedback_run_populates_the_registry() {
+    let table = clustered_table(4_000);
+    let engine = Engine::builder(table.clone())
+        .partitions(8)
+        .threads(2)
+        .rule(RuleKind::EuclideanEv)
+        .planner(PlannerKind::Feedback)
+        .build()
+        .unwrap();
+    let warming = RequestBatch::from_queries(sample_queries(&table, 100, 99), 10);
+    engine.execute(&warming).unwrap();
+    let eval = RequestBatch::from_queries(sample_queries(&table, 12, 4321), 10);
+    engine.execute(&eval).unwrap();
+
+    let metrics = engine.metrics();
+    assert_eq!(metrics.counter_value("engine.query.count"), Some(112));
+    assert_eq!(metrics.counter_value("engine.batch.count"), Some(2));
+    assert!(
+        metrics.counter_value("engine.segment.skipped").unwrap() > 0,
+        "warmed clustered run must skip whole segments"
+    );
+    assert!(
+        metrics.gauge_value("planner.feedback.warm_segments").unwrap() > 0,
+        "warm-segment gauge never rose"
+    );
+    assert!(metrics.counter_value("engine.rule.Ev.searches").unwrap() > 0);
+    let latency = metrics.histogram_snapshot("engine.query.latency_us").unwrap();
+    assert_eq!(latency.count, 112);
+
+    let text = metrics.render_text();
+    assert!(text.contains("engine_segment_skipped"), "text export missing skip counter");
+    let json = metrics.render_json();
+    assert!(json.contains("\"engine.segment.skipped\":"), "json export missing skip counter");
+    assert!(json.contains("\"planner.feedback.warm_segments\":"));
+}

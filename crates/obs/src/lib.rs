@@ -1,0 +1,47 @@
+//! # bond-obs — observability for the BOND reproduction
+//!
+//! A dependency-free (shims-only workspace, like `vdstore::mmap`)
+//! observability layer shared by every crate of the reproduction:
+//!
+//! * [`registry`] — a [`MetricsRegistry`] of lock-free atomic
+//!   [`Counter`]s, [`Gauge`]s and log-scale [`Histogram`]s registered
+//!   under stable dotted names (`engine.query.latency_us`,
+//!   `engine.segment.skipped`, `service.queue.depth`, …), with snapshot
+//!   export as both a Prometheus-style text page
+//!   ([`MetricsRegistry::render_text`]) and a single machine-readable JSON
+//!   object ([`MetricsRegistry::render_json`], the `BENCH_JSON`
+//!   convention the benches already print).
+//! * [`span`] — stage-level tracing: [`Span`] guards measure
+//!   plan-derivation, per-segment scans, warmups, merges, persist/open and
+//!   service queue-wait with monotonic clocks into a thread-safe ring
+//!   buffer. The whole subsystem costs one relaxed atomic load per span
+//!   site while the global subscriber is disabled ([`span::set_enabled`]),
+//!   so instrumented hot loops stay hot.
+//!
+//! The registry is *instantiable* (each engine owns a fresh one by
+//! default and can be handed a shared one), so concurrent
+//! engines — and concurrent unit tests asserting exact counts — never
+//! share counters by accident. The tracing subscriber switch, by contrast,
+//! is deliberately process-global: it only gates whether clocks are read,
+//! never where measurements go.
+//!
+//! ```
+//! use bond_obs::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! let served = registry.counter("service.query.served");
+//! served.inc();
+//! let latency = registry.histogram("engine.query.latency_us");
+//! latency.record(180);
+//! assert!(registry.render_text().contains("service_query_served 1"));
+//! assert!(registry.render_json().contains("\"service.query.served\":1"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod registry;
+pub mod span;
+
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+pub use span::{enabled, set_enabled, take_spans, Span, SpanRecord};

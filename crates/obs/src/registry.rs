@@ -1,0 +1,424 @@
+//! The metrics registry: named lock-free counters, gauges and log-scale
+//! histograms with Prometheus-text and JSON-line snapshot export.
+//!
+//! Registration (name → handle) takes a short mutex; every *update* after
+//! that is a single relaxed atomic RMW on a pre-registered handle, so hot
+//! loops hold handles and never touch the registry lock. Handles are
+//! cheaply clonable (`Arc` bumps) and stay live independently of the
+//! registry that minted them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log₂ buckets a [`Histogram`] holds: bucket 0 counts zero
+/// values, bucket `i ≥ 1` counts values whose bit length is `i` (the range
+/// `[2^(i-1), 2^i − 1]`), so the full `u64` domain is covered.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed level (queue depth, warm-segment count).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Replaces the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Moves the level by `delta` (negative to decrease).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log-scale (power-of-two bucket) histogram of `u64` observations —
+/// latencies in microseconds, scanned-cell counts, percent errors.
+///
+/// Recording is three relaxed atomic adds; quantiles are estimated from
+/// the fixed buckets at snapshot time (each reported quantile is the upper
+/// bound `2^i − 1` of the bucket the quantile falls in, i.e. exact to
+/// within a factor of two — plenty for latency monitoring).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Bucket index of one observation: 0 for 0, otherwise the bit length.
+    fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// The largest value bucket `i` can hold (its `le` bound).
+    fn bucket_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.0.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (wrapping on `u64` overflow).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time copy (individual bucket loads are
+    /// relaxed; totals conserve because every record updates the bucket
+    /// before the count is read back by callers that first observe quiesce).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count: u64 = buckets.iter().sum();
+        let sum = self.0.sum.load(Ordering::Relaxed);
+        HistogramSnapshot { buckets, count, sum }
+    }
+}
+
+/// A point-in-time copy of one histogram's buckets with quantile lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts; see [`HISTOGRAM_BUCKETS`].
+    pub buckets: Vec<u64>,
+    /// Total observations (the sum of `buckets`).
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// the `⌈q·count⌉`-th smallest observation fell into (0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Histogram::bucket_bound(i);
+            }
+        }
+        Histogram::bucket_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// The mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A named collection of [`Counter`]s, [`Gauge`]s and [`Histogram`]s.
+///
+/// Cloning shares the underlying metrics (an `Arc` bump): an engine, the
+/// server fronting it and a bench harness can all hold the same registry.
+/// Names are stable dotted paths (`engine.segment.skipped`); a name is one
+/// metric kind forever — asking for an existing name with a different kind
+/// returns a *distinct* metric that renders under a `_gauge`-style suffix
+/// would be surprising, so callers simply keep kinds per name consistent
+/// (all call sites in this workspace register through typed constants).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock().expect("registry mutex never poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().expect("registry mutex never poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.histograms.lock().expect("registry mutex never poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The current value of the counter `name`, if one is registered.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.inner
+            .counters
+            .lock()
+            .expect("registry mutex never poisoned")
+            .get(name)
+            .map(Counter::get)
+    }
+
+    /// The current value of the gauge `name`, if one is registered.
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        self.inner.gauges.lock().expect("registry mutex never poisoned").get(name).map(Gauge::get)
+    }
+
+    /// A snapshot of the histogram `name`, if one is registered.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.inner
+            .histograms
+            .lock()
+            .expect("registry mutex never poisoned")
+            .get(name)
+            .map(Histogram::snapshot)
+    }
+
+    /// Renders every metric as a Prometheus-style text page: dotted names
+    /// flatten to underscores, counters and gauges as single samples,
+    /// histograms as cumulative `_bucket{le="…"}` series plus `_sum` and
+    /// `_count`. Deterministic order (names sort lexicographically).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.inner.counters.lock().expect("registry mutex never poisoned").iter() {
+            let flat = flatten(name);
+            out.push_str(&format!("# TYPE {flat} counter\n{flat} {}\n", c.get()));
+        }
+        for (name, g) in self.inner.gauges.lock().expect("registry mutex never poisoned").iter() {
+            let flat = flatten(name);
+            out.push_str(&format!("# TYPE {flat} gauge\n{flat} {}\n", g.get()));
+        }
+        for (name, h) in self.inner.histograms.lock().expect("registry mutex never poisoned").iter()
+        {
+            let flat = flatten(name);
+            let snap = h.snapshot();
+            out.push_str(&format!("# TYPE {flat} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, &n) in snap.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                out.push_str(&format!(
+                    "{flat}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    Histogram::bucket_bound(i)
+                ));
+            }
+            out.push_str(&format!("{flat}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
+            out.push_str(&format!("{flat}_sum {}\n", snap.sum));
+            out.push_str(&format!("{flat}_count {}\n", snap.count));
+        }
+        out
+    }
+
+    /// Renders every metric as one JSON object (no trailing newline) in the
+    /// shape the benches' `BENCH_JSON` lines use: counters and gauges as
+    /// plain numbers keyed by their dotted names, histograms as
+    /// `{count, sum, p50, p95, p99}` sub-objects. Deterministic key order.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let counters = self.inner.counters.lock().expect("registry mutex never poisoned");
+        out.push_str(
+            &counters
+                .iter()
+                .map(|(name, c)| format!("\"{name}\":{}", c.get()))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        drop(counters);
+        out.push_str("},\"gauges\":{");
+        let gauges = self.inner.gauges.lock().expect("registry mutex never poisoned");
+        out.push_str(
+            &gauges
+                .iter()
+                .map(|(name, g)| format!("\"{name}\":{}", g.get()))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        drop(gauges);
+        out.push_str("},\"histograms\":{");
+        let histograms = self.inner.histograms.lock().expect("registry mutex never poisoned");
+        out.push_str(
+            &histograms
+                .iter()
+                .map(|(name, h)| {
+                    let s = h.snapshot();
+                    format!(
+                        "\"{name}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                        s.count,
+                        s.sum,
+                        s.quantile(0.50),
+                        s.quantile(0.95),
+                        s.quantile(0.99)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; dotted paths flatten to
+/// underscores (hyphens too, defensively).
+fn flatten(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once_and_share_state() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x.count");
+        let b = r.counter("x.count");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter_value("x.count"), Some(3));
+        assert_eq!(r.counter_value("missing"), None);
+
+        let g = r.gauge("x.depth");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(r.gauge_value("x.depth"), Some(3));
+    }
+
+    #[test]
+    fn registry_clones_share_metrics() {
+        let r = MetricsRegistry::new();
+        let r2 = r.clone();
+        r.counter("shared").inc();
+        r2.counter("shared").inc();
+        assert_eq!(r.counter_value("shared"), Some(2));
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+
+        for v in [1u64, 2, 3, 100, 1000, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 101_106);
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        // p50 falls into the bucket holding 3 (values [2,3]) → bound 3
+        assert_eq!(s.quantile(0.5), 3);
+        // p99 falls into the bucket holding 100_000 → bound 2^17-1
+        assert_eq!(s.quantile(0.99), (1 << 17) - 1);
+        assert!(s.mean() > 0.0);
+        assert_eq!(HistogramSnapshot { buckets: vec![0; 65], count: 0, sum: 0 }.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn text_render_is_prometheus_shaped() {
+        let r = MetricsRegistry::new();
+        r.counter("engine.segment.skipped").add(7);
+        r.gauge("service.queue.depth").set(2);
+        r.histogram("engine.query.latency_us").record(900);
+        let text = r.render_text();
+        assert!(text.contains("# TYPE engine_segment_skipped counter"));
+        assert!(text.contains("engine_segment_skipped 7"));
+        assert!(text.contains("# TYPE service_queue_depth gauge"));
+        assert!(text.contains("service_queue_depth 2"));
+        assert!(text.contains("# TYPE engine_query_latency_us histogram"));
+        assert!(text.contains("engine_query_latency_us_bucket{le=\"1023\"} 1"));
+        assert!(text.contains("engine_query_latency_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("engine_query_latency_us_sum 900"));
+        assert!(text.contains("engine_query_latency_us_count 1"));
+    }
+
+    #[test]
+    fn json_render_is_one_deterministic_object() {
+        let r = MetricsRegistry::new();
+        r.counter("b.count").inc();
+        r.counter("a.count").add(4);
+        r.histogram("lat_us").record(10);
+        let json = r.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(!json.contains('\n'));
+        // BTreeMap order: a before b
+        let a = json.find("\"a.count\":4").unwrap();
+        let b = json.find("\"b.count\":1").unwrap();
+        assert!(a < b);
+        assert!(
+            json.contains("\"lat_us\":{\"count\":1,\"sum\":10,\"p50\":15,\"p95\":15,\"p99\":15}")
+        );
+        assert_eq!(json, r.render_json(), "stable across renders");
+    }
+}

@@ -1,0 +1,218 @@
+//! Stage-level tracing: lightweight spans into a global ring buffer.
+//!
+//! A [`Span`] measures one stage of a query's life — plan derivation, one
+//! segment's scan, its warmup, the merge, a store persist/open, a
+//! request's queue wait — with a monotonic clock and records it into a
+//! fixed-capacity, thread-safe ring buffer when dropped. The whole
+//! subsystem is gated by one process-global flag: while tracing is
+//! disabled (the default), [`Span::begin`] is a single relaxed atomic load
+//! and **no clock is read**, so instrumenting per-task hot paths costs
+//! nanoseconds. Enable with [`set_enabled`], drain with [`take_spans`].
+//!
+//! The ring buffer keeps the most recent [`RING_CAPACITY`] records and
+//! silently overwrites older ones — tracing answers "where did *recent*
+//! time go", not long-term accounting (that is the metrics registry's
+//! job).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// How many [`SpanRecord`]s the global ring buffer retains.
+pub const RING_CAPACITY: usize = 4096;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The process-start anchor all span timestamps are relative to.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn ring() -> &'static Mutex<Ring> {
+    static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(Ring { records: Vec::new(), next: 0 }))
+}
+
+struct Ring {
+    records: Vec<SpanRecord>,
+    /// Overwrite cursor once `records` reached [`RING_CAPACITY`].
+    next: usize,
+}
+
+impl Ring {
+    fn push(&mut self, record: SpanRecord) {
+        if self.records.len() < RING_CAPACITY {
+            self.records.push(record);
+        } else {
+            self.records[self.next] = record;
+            self.next = (self.next + 1) % RING_CAPACITY;
+        }
+    }
+
+    fn drain(&mut self) -> Vec<SpanRecord> {
+        let mut out = std::mem::take(&mut self.records);
+        // rotate so the oldest surviving record comes first
+        let pivot = self.next.min(out.len());
+        out.rotate_left(pivot);
+        self.next = 0;
+        out
+    }
+}
+
+/// Turns the global tracing subscriber on or off. Spans created while
+/// disabled never read a clock and never touch the ring buffer.
+pub fn set_enabled(on: bool) {
+    if on {
+        // pin the epoch before the first record so timestamps start small
+        let _ = epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the tracing subscriber is currently enabled — one relaxed
+/// atomic load; instrumented code uses this to gate *other* per-stage
+/// costs (extra clock reads, per-stage histograms) too.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Removes and returns every record currently in the ring buffer, oldest
+/// first (up to [`RING_CAPACITY`]; older records were overwritten).
+pub fn take_spans() -> Vec<SpanRecord> {
+    ring().lock().expect("span ring mutex never poisoned").drain()
+}
+
+/// One completed stage measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The stage name (`"engine.scan"`, `"service.queue_wait"`, …) —
+    /// static so recording never allocates for it.
+    pub stage: &'static str,
+    /// A stage-specific detail value: the segment index of a scan, the
+    /// query index of a merge, 0 where nothing fits.
+    pub detail: u64,
+    /// Microseconds from the process's tracing epoch to the span's start.
+    pub start_us: u64,
+    /// The span's duration in microseconds.
+    pub duration_us: u64,
+}
+
+/// An in-flight stage measurement; records into the ring buffer on drop.
+///
+/// ```
+/// bond_obs::span::set_enabled(true);
+/// {
+///     let _span = bond_obs::Span::begin("engine.scan").detail(3);
+///     // … the work being measured …
+/// }
+/// let spans = bond_obs::span::take_spans();
+/// assert!(spans.iter().any(|s| s.stage == "engine.scan" && s.detail == 3));
+/// bond_obs::span::set_enabled(false);
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    stage: &'static str,
+    detail: u64,
+    /// `None` while tracing is disabled — the drop is then free.
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Starts measuring `stage` — a no-op (one relaxed load, no clock
+    /// read) while tracing is disabled.
+    pub fn begin(stage: &'static str) -> Span {
+        let start = enabled().then(Instant::now);
+        Span { stage, detail: 0, start }
+    }
+
+    /// Attaches a stage-specific detail value (segment index, query
+    /// index); chainable.
+    #[must_use]
+    pub fn detail(mut self, detail: u64) -> Span {
+        self.detail = detail;
+        self
+    }
+
+    /// Whether this span is live (tracing was enabled when it began).
+    pub fn is_recording(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Discards the span without recording anything — for measurements
+    /// that turn out not to apply (e.g. a warmup span when no pruning
+    /// attempt ever removed a candidate).
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+}
+
+/// Records an externally measured duration as a span — for stages whose
+/// start and end live on different threads (e.g. a request's queue wait,
+/// measured between submit and drain). A no-op while tracing is disabled.
+pub fn record(stage: &'static str, detail: u64, duration_us: u64) {
+    if !enabled() {
+        return;
+    }
+    let now_us = Instant::now().duration_since(epoch()).as_micros() as u64;
+    let record =
+        SpanRecord { stage, detail, start_us: now_us.saturating_sub(duration_us), duration_us };
+    ring().lock().expect("span ring mutex never poisoned").push(record);
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let record = SpanRecord {
+                stage: self.stage,
+                detail: self.detail,
+                start_us: start.duration_since(epoch()).as_micros() as u64,
+                duration_us: start.elapsed().as_micros() as u64,
+            };
+            ring().lock().expect("span ring mutex never poisoned").push(record);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The tests below share the process-global subscriber and ring, so they
+    // run as one test (the harness runs tests in parallel threads).
+    #[test]
+    fn spans_record_only_while_enabled() {
+        set_enabled(false);
+        drop(Span::begin("off.stage"));
+        assert!(!Span::begin("off.stage").is_recording());
+
+        set_enabled(true);
+        assert!(enabled());
+        {
+            let _a = Span::begin("test.stage.a").detail(7);
+            let _b = Span::begin("test.stage.b");
+        }
+        Span::begin("test.cancelled").cancel();
+        record("test.manual", 3, 1500);
+        set_enabled(false);
+
+        let spans = take_spans();
+        assert!(spans.iter().any(|s| s.stage == "test.stage.a" && s.detail == 7));
+        assert!(spans.iter().any(|s| s.stage == "test.stage.b"));
+        assert!(!spans.iter().any(|s| s.stage == "off.stage"));
+        assert!(!spans.iter().any(|s| s.stage == "test.cancelled"));
+        assert!(spans
+            .iter()
+            .any(|s| s.stage == "test.manual" && s.detail == 3 && s.duration_us == 1500));
+
+        // ring overwrite: capacity + 10 spans keep only the newest CAPACITY
+        set_enabled(true);
+        for _ in 0..RING_CAPACITY + 10 {
+            drop(Span::begin("test.ring"));
+        }
+        set_enabled(false);
+        let spans = take_spans();
+        assert_eq!(spans.len(), RING_CAPACITY);
+        assert!(take_spans().is_empty(), "drain empties the ring");
+    }
+}

@@ -1,0 +1,46 @@
+//! The registry under contention: 8 threads hammer one counter, one gauge
+//! and one histogram; counts must be exact and histogram totals conserved.
+
+use bond_obs::MetricsRegistry;
+
+const THREADS: usize = 8;
+const OPS: usize = 10_000;
+
+#[test]
+fn eight_threads_counts_exact_and_histogram_totals_conserved() {
+    let registry = MetricsRegistry::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = registry.clone();
+            scope.spawn(move || {
+                // half the threads pre-register handles, half go through the
+                // registry every time — both paths must count exactly
+                let counter = registry.counter("test.ops");
+                let histogram = registry.histogram("test.value");
+                for i in 0..OPS {
+                    if t % 2 == 0 {
+                        counter.inc();
+                        histogram.record((t * OPS + i) as u64);
+                    } else {
+                        registry.counter("test.ops").inc();
+                        registry.histogram("test.value").record((t * OPS + i) as u64);
+                    }
+                    registry.gauge("test.level").add(1);
+                }
+            });
+        }
+    });
+
+    let total = (THREADS * OPS) as u64;
+    assert_eq!(registry.counter_value("test.ops"), Some(total));
+    assert_eq!(registry.gauge_value("test.level"), Some(total as i64));
+
+    let snap = registry.histogram_snapshot("test.value").unwrap();
+    assert_eq!(snap.count, total, "histogram count is exact");
+    assert_eq!(snap.buckets.iter().sum::<u64>(), total, "bucket totals conserve every observation");
+    // sum of 0..THREADS*OPS
+    assert_eq!(snap.sum, total * (total - 1) / 2);
+    // quantiles are monotone in q
+    assert!(snap.quantile(0.5) <= snap.quantile(0.95));
+    assert!(snap.quantile(0.95) <= snap.quantile(0.99));
+}

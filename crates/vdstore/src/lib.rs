@@ -57,7 +57,7 @@ pub use bitmap::Bitmap;
 pub use column::{Column, ColumnData};
 pub use error::{Result, VdError};
 pub use mmap::{Advice, MappedRegion, StorageBackend};
-pub use persist::PersistedStore;
+pub use persist::{PersistReport, PersistedStore};
 pub use quantize::{QuantizedColumn, QuantizedTable};
 pub use rowmatrix::RowMatrix;
 pub use segment::{Envelope, Segment, SegmentSpec, SegmentStats};

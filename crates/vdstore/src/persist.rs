@@ -229,6 +229,23 @@ pub struct PersistedStore {
     /// The opaque learned-state payload persisted alongside the footer
     /// (e.g. an engine's accumulated plan feedback), when one was written.
     pub learned: Option<Vec<u8>>,
+    /// Wall time [`open_store`] (or [`store_from_bytes`]) spent producing
+    /// this value, in microseconds — the cold-open cost an engine records
+    /// as `store.open.cold_us`. Under [`StorageBackend::Mapped`] this
+    /// covers only the eager header/footer work; data pages fault in
+    /// lazily afterwards. Zero for hand-assembled stores.
+    pub open_micros: u64,
+}
+
+/// What one store write cost: returned by [`save_store`] and
+/// [`write_store`] so callers (e.g. an engine's `persist`) can feed their
+/// observability layer without re-statting the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistReport {
+    /// Total bytes written (header + data region + footer + trailer).
+    pub bytes_written: u64,
+    /// Wall time of the write, in microseconds.
+    pub elapsed_micros: u64,
 }
 
 /// The v2 header: magic, name, dims, rows, zero-padded to the next 8-byte
@@ -341,15 +358,17 @@ pub fn store_to_bytes(
 /// not a second copy of the table, so collections near (or beyond, under
 /// [`StorageBackend::Mapped`]) RAM size can still be persisted. Fragment
 /// checksums are folded incrementally over the streamed chunks. Same
-/// validation and byte-exact output as [`store_to_bytes`].
+/// validation and byte-exact output as [`store_to_bytes`]. Returns a
+/// [`PersistReport`] with the bytes written and the wall time spent.
 pub fn save_store(
     table: &DecomposedTable,
     specs: &[SegmentSpec],
     stats: &[SegmentStats],
     learned: Option<&[u8]>,
     path: &Path,
-) -> Result<()> {
+) -> Result<PersistReport> {
     use std::io::Write;
+    let started = std::time::Instant::now();
     validate_store_inputs(table, specs, stats)?;
     let io_err = |e: std::io::Error| VdError::Io(format!("writing {}: {e}", path.display()));
     let file = std::fs::File::create(path).map_err(io_err)?;
@@ -376,14 +395,20 @@ pub fn save_store(
     w.write_all(&fnv1a(&footer).to_le_bytes()).map_err(io_err)?;
     w.write_all(&footer_offset.to_le_bytes()).map_err(io_err)?;
     w.write_all(TAIL_MAGIC_V2).map_err(io_err)?;
-    w.flush().map_err(io_err)
+    w.flush().map_err(io_err)?;
+    let bytes_written = footer_offset + footer.len() as u64 + 16 + TAIL_MAGIC_V2.len() as u64;
+    Ok(PersistReport { bytes_written, elapsed_micros: started.elapsed().as_micros() as u64 })
 }
 
 /// Partitions the table, computes the per-segment statistics, and writes the
 /// v2 store in one call — the convenience entry point for callers that do
 /// not already hold cached statistics (the execution engine does, and passes
 /// them — plus its learned feedback state — to [`save_store`] directly).
-pub fn write_store(table: &DecomposedTable, partitions: usize, path: &Path) -> Result<()> {
+pub fn write_store(
+    table: &DecomposedTable,
+    partitions: usize,
+    path: &Path,
+) -> Result<PersistReport> {
     let specs = table.partition_specs(partitions);
     let stats: Vec<SegmentStats> =
         specs.iter().map(|s| s.view(table).expect("spec in range").stats()).collect();
@@ -393,6 +418,7 @@ pub fn write_store(table: &DecomposedTable, partitions: usize, path: &Path) -> R
 /// Reconstructs a store from an in-memory v2 byte buffer (heap columns).
 /// Every fragment is checksum-verified as it is decoded.
 pub fn store_from_bytes(bytes: &[u8]) -> Result<PersistedStore> {
+    let started = std::time::Instant::now();
     let layout = parse_layout(bytes)?;
     let rows = layout.rows;
     let columns: Result<Vec<Column>> = layout
@@ -418,7 +444,9 @@ pub fn store_from_bytes(bytes: &[u8]) -> Result<PersistedStore> {
             Ok(Column::new(name.clone(), values))
         })
         .collect();
-    assemble_store(layout, columns?, StorageBackend::Heap)
+    let mut store = assemble_store(layout, columns?, StorageBackend::Heap)?;
+    store.open_micros = started.elapsed().as_micros() as u64;
+    Ok(store)
 }
 
 /// Opens a v2 store file.
@@ -433,6 +461,7 @@ pub fn store_from_bytes(bytes: &[u8]) -> Result<PersistedStore> {
 /// fragment eagerly — [`PersistedStore::backend`] reports what is actually
 /// in effect.
 pub fn open_store(path: &Path, backend: StorageBackend) -> Result<PersistedStore> {
+    let started = std::time::Instant::now();
     if backend == StorageBackend::Mapped && StorageBackend::mapping_supported() {
         let region = MappedRegion::map_file(path)?;
         let layout = parse_layout(region.as_bytes())?;
@@ -451,11 +480,15 @@ pub fn open_store(path: &Path, backend: StorageBackend) -> Result<PersistedStore
                 Ok(Column::from_data(name.clone(), data))
             })
             .collect();
-        return assemble_store(layout, columns?, StorageBackend::Mapped);
+        let mut store = assemble_store(layout, columns?, StorageBackend::Mapped)?;
+        store.open_micros = started.elapsed().as_micros() as u64;
+        return Ok(store);
     }
     let bytes =
         std::fs::read(path).map_err(|e| VdError::Io(format!("reading {}: {e}", path.display())))?;
-    store_from_bytes(&bytes)
+    let mut store = store_from_bytes(&bytes)?;
+    store.open_micros = started.elapsed().as_micros() as u64;
+    Ok(store)
 }
 
 /// Everything the v2 header, footer and trailer describe — parsed and
@@ -650,6 +683,7 @@ fn assemble_store(
         backend,
         fragment_checksums: layout.checksums,
         learned: layout.learned,
+        open_micros: 0,
     })
 }
 

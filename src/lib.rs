@@ -13,12 +13,17 @@ pub use bond_baselines as baselines;
 pub use bond_datagen as datagen;
 pub use bond_exec as exec;
 pub use bond_metrics as metrics;
+pub use bond_obs as obs;
 pub use bond_relalg as relalg;
 pub use vdstore;
 
 pub use bond_exec::{
     AdaptivePlanner, CostModel, Engine, EngineBuilder, FeedbackSnapshot, PlannerKind, Priority,
     QuerySpec, RequestBatch, RuleKind, SegmentFeedbackSnapshot, Server, ServerBuilder, Ticket,
+};
+
+pub use bond_exec::{
+    MetricsRegistry, PlanProvenance, QueryAnalysis, QueryExplain, SegmentAnalysis, SegmentExplain,
 };
 
 pub use vdstore::{Advice, PersistedStore, StorageBackend};
