@@ -15,8 +15,17 @@
 //! The filter keeps a running k-th best *pessimistic* bound and retains
 //! every vector whose *optimistic* bound beats it, which is precisely the
 //! VA-SSA variant of the original paper.
+//!
+//! The per-cell bounds are *not* implemented here: the filter asks the
+//! metric itself for the best and worst contribution any value inside a
+//! quantization cell can make
+//! ([`DecomposableMetric::best_contribution`] /
+//! [`DecomposableMetric::worst_contribution`]) — the same single bound
+//! implementation the compressed BOND searcher and the execution engine's
+//! quantized first-pass filter build on, so baseline and engine are
+//! guaranteed to agree on what the codes prove.
 
-use bond_metrics::{DecomposableMetric, HistogramIntersection, SquaredEuclidean};
+use bond_metrics::{DecomposableMetric, HistogramIntersection, Objective, SquaredEuclidean};
 use vdstore::topk::Scored;
 use vdstore::{
     DecomposedTable, QuantizedTable, Result, RowId, RowMatrix, TopKLargest, TopKSmallest,
@@ -59,99 +68,123 @@ impl VaFile {
         self.quantized.approx_bytes()
     }
 
-    /// Filter step for squared Euclidean distance: returns the candidate
-    /// rows (those whose lower-bound distance does not exceed the k-th
-    /// smallest upper-bound distance) and the number of code inspections.
-    pub fn filter_euclidean(&self, query: &[f64], k: usize) -> (Vec<RowId>, usize) {
+    /// Filter step under any decomposable metric: accumulates, per row, the
+    /// optimistic and pessimistic full-score bounds the metric derives from
+    /// each quantization cell, proves the k-th best pessimistic bound τ and
+    /// keeps every row whose optimistic bound can still reach it. Returns
+    /// the candidate rows and the number of code inspections.
+    ///
+    /// Metrics that leave the default (vacuous) interval bounds degenerate
+    /// the filter to "keep everything" — never to a wrong answer.
+    pub fn filter_metric(
+        &self,
+        metric: &dyn DecomposableMetric,
+        query: &[f64],
+        k: usize,
+    ) -> (Vec<RowId>, usize) {
         let rows = self.quantized.rows();
         let dims = self.quantized.dims();
         assert_eq!(query.len(), dims, "query dimensionality mismatch");
         assert!(k > 0, "k must be positive");
-        let mut lower = vec![0.0f64; rows];
-        let mut upper = vec![0.0f64; rows];
+        let mut opt = vec![0.0f64; rows];
+        let mut pes = vec![0.0f64; rows];
         for (d, &q) in query.iter().enumerate() {
             let col = self.quantized.column(d).expect("dimension in range");
             for r in 0..rows {
                 let lo = col.cell_lower(r as RowId);
                 let hi = col.cell_upper(r as RowId);
-                // distance from q to the interval [lo, hi]
-                let below = (q - hi).max(0.0);
-                let above = (lo - q).max(0.0);
-                let nearest = below.max(above);
-                let farthest = (q - lo).abs().max((q - hi).abs());
-                lower[r] += nearest * nearest;
-                upper[r] += farthest * farthest;
+                opt[r] += metric.best_contribution(d, lo, hi, q);
+                pes[r] += metric.worst_contribution(d, lo, hi, q);
             }
         }
-        let mut tau_heap = TopKSmallest::new(k.min(rows));
-        for (r, &u) in upper.iter().enumerate() {
-            tau_heap.push(r as RowId, u);
-        }
-        let tau = tau_heap.kth().unwrap_or(f64::INFINITY);
-        let candidates: Vec<RowId> =
-            (0..rows as RowId).filter(|&r| lower[r as usize] <= tau + 1e-12).collect();
+        let tau = match metric.objective() {
+            Objective::Maximize => {
+                let mut heap = TopKLargest::new(k.min(rows));
+                for (r, &p) in pes.iter().enumerate() {
+                    heap.push(r as RowId, p);
+                }
+                heap.kth()
+            }
+            Objective::Minimize => {
+                let mut heap = TopKSmallest::new(k.min(rows));
+                for (r, &p) in pes.iter().enumerate() {
+                    heap.push(r as RowId, p);
+                }
+                heap.kth()
+            }
+        };
+        // a vacuous (infinite) pessimistic bound proves nothing
+        let candidates: Vec<RowId> = match tau.filter(|t| t.is_finite()) {
+            None => (0..rows as RowId).collect(),
+            Some(tau) => (0..rows as RowId)
+                .filter(|&r| match metric.objective() {
+                    Objective::Maximize => opt[r as usize] >= tau - 1e-12,
+                    Objective::Minimize => opt[r as usize] <= tau + 1e-12,
+                })
+                .collect(),
+        };
         (candidates, rows * dims)
+    }
+
+    /// Filter step for squared Euclidean distance: returns the candidate
+    /// rows (those whose lower-bound distance does not exceed the k-th
+    /// smallest upper-bound distance) and the number of code inspections.
+    pub fn filter_euclidean(&self, query: &[f64], k: usize) -> (Vec<RowId>, usize) {
+        self.filter_metric(&SquaredEuclidean, query, k)
     }
 
     /// Filter step for histogram intersection: returns the candidate rows
     /// (those whose upper-bound similarity reaches the k-th largest
     /// lower-bound similarity) and the number of code inspections.
     pub fn filter_histogram(&self, query: &[f64], k: usize) -> (Vec<RowId>, usize) {
-        let rows = self.quantized.rows();
-        let dims = self.quantized.dims();
-        assert_eq!(query.len(), dims, "query dimensionality mismatch");
-        assert!(k > 0, "k must be positive");
-        let mut lower = vec![0.0f64; rows];
-        let mut upper = vec![0.0f64; rows];
-        for (d, &q) in query.iter().enumerate() {
-            let col = self.quantized.column(d).expect("dimension in range");
-            for r in 0..rows {
-                lower[r] += col.cell_lower(r as RowId).min(q);
-                upper[r] += col.cell_upper(r as RowId).min(q);
+        self.filter_metric(&HistogramIntersection, query, k)
+    }
+
+    /// Complete search (filter + exact refinement) under any decomposable
+    /// metric. `exact` must hold the original vectors.
+    pub fn search_metric(
+        &self,
+        exact: &RowMatrix,
+        metric: &dyn DecomposableMetric,
+        query: &[f64],
+        k: usize,
+    ) -> VaSearchResult {
+        let (candidates, filter_work) = self.filter_metric(metric, query, k);
+        let cap = k.min(candidates.len().max(1));
+        let hits = match metric.objective() {
+            Objective::Maximize => {
+                let mut heap = TopKLargest::new(cap);
+                for &r in &candidates {
+                    heap.push(r, metric.score(exact.row(r), query));
+                }
+                heap.into_sorted_vec()
             }
+            Objective::Minimize => {
+                let mut heap = TopKSmallest::new(cap);
+                for &r in &candidates {
+                    heap.push(r, metric.score(exact.row(r), query));
+                }
+                heap.into_sorted_vec()
+            }
+        };
+        VaSearchResult {
+            hits,
+            candidates_after_filter: candidates.len(),
+            filter_dims_touched: filter_work,
+            refine_dims_touched: candidates.len() * exact.dims(),
         }
-        let mut tau_heap = TopKLargest::new(k.min(rows));
-        for (r, &l) in lower.iter().enumerate() {
-            tau_heap.push(r as RowId, l);
-        }
-        let tau = tau_heap.kth().unwrap_or(f64::NEG_INFINITY);
-        let candidates: Vec<RowId> =
-            (0..rows as RowId).filter(|&r| upper[r as usize] >= tau - 1e-12).collect();
-        (candidates, rows * dims)
     }
 
     /// Complete search (filter + exact refinement) under squared Euclidean
     /// distance. `exact` must hold the original vectors.
     pub fn search_euclidean(&self, exact: &RowMatrix, query: &[f64], k: usize) -> VaSearchResult {
-        let (candidates, filter_work) = self.filter_euclidean(query, k);
-        let metric = SquaredEuclidean;
-        let mut heap = TopKSmallest::new(k.min(candidates.len().max(1)));
-        for &r in &candidates {
-            heap.push(r, metric.score(exact.row(r), query));
-        }
-        VaSearchResult {
-            hits: heap.into_sorted_vec(),
-            candidates_after_filter: candidates.len(),
-            filter_dims_touched: filter_work,
-            refine_dims_touched: candidates.len() * exact.dims(),
-        }
+        self.search_metric(exact, &SquaredEuclidean, query, k)
     }
 
     /// Complete search (filter + exact refinement) under histogram
     /// intersection.
     pub fn search_histogram(&self, exact: &RowMatrix, query: &[f64], k: usize) -> VaSearchResult {
-        let (candidates, filter_work) = self.filter_histogram(query, k);
-        let metric = HistogramIntersection;
-        let mut heap = TopKLargest::new(k.min(candidates.len().max(1)));
-        for &r in &candidates {
-            heap.push(r, metric.score(exact.row(r), query));
-        }
-        VaSearchResult {
-            hits: heap.into_sorted_vec(),
-            candidates_after_filter: candidates.len(),
-            filter_dims_touched: filter_work,
-            refine_dims_touched: candidates.len() * exact.dims(),
-        }
+        self.search_metric(exact, &HistogramIntersection, query, k)
     }
 }
 
@@ -248,6 +281,31 @@ mod tests {
                     hit.row
                 );
             }
+        }
+    }
+
+    /// The generic filter serves metrics the hand-rolled filters never
+    /// knew: weighted Euclidean flows through the same shared
+    /// `best/worst_contribution` bounds and matches the sequential truth.
+    #[test]
+    fn weighted_metrics_flow_through_the_shared_bounds() {
+        use bond_metrics::WeightedSquaredEuclidean;
+        let table = random_table(300, 8, 23);
+        let exact = table.to_row_matrix();
+        let va = VaFile::build(&table, 8).unwrap();
+        let metric =
+            WeightedSquaredEuclidean::new(vec![2.0, 0.5, 1.0, 3.0, 1.0, 0.0, 1.5, 1.0]).unwrap();
+        for qi in [4u32, 120, 250] {
+            let query = table.row(qi).unwrap();
+            let truth = sequential_scan(&exact, &query, 10, &metric);
+            let result = va.search_metric(&exact, &metric, &query, 10);
+            let rows = |hits: &[Scored]| {
+                let mut v: Vec<RowId> = hits.iter().map(|s| s.row).collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(rows(&truth.hits), rows(&result.hits), "query {qi}");
+            assert!(result.candidates_after_filter < exact.rows());
         }
     }
 

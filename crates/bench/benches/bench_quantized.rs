@@ -1,0 +1,195 @@
+//! Exact vs quantized-filter vs approximate scans on clustered data:
+//! latency, exact cells scanned, filter selectivity and recall@k.
+//!
+//! ```text
+//! cargo bench -p bond-bench --bench bench_quantized
+//! ```
+//!
+//! Generates `datagen`'s clustered distribution in the cluster-major layout
+//! and runs the same evaluation batch through one engine under its three
+//! scan modes:
+//!
+//! * `exact` — the plain branch-and-bound scan over the `f64` fragments;
+//! * `quantized_filter` — the branch-free `u8` code sweep first, exact
+//!   refinement only for rows whose optimistic interval bound reaches κ
+//!   (bit-identical answers, verified against the exact run);
+//! * `approximate_8bit` — answers from the codes alone, with per-hit error
+//!   bounds and recall@k measured against the exact answers.
+//!
+//! Reports per-mode latency, exact `f64` cells scanned, code cells swept
+//! and filter selectivity, plus the headline `exact_cells_ratio` (exact
+//! cells of the exact run over exact cells of the filtered run) on one
+//! machine-readable `BENCH_JSON` line.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bond_datagen::{sample_queries, ClusteredConfig};
+use bond_exec::{Engine, QuerySpec, RequestBatch, RuleKind, ScanMode};
+
+struct Series {
+    mode: &'static str,
+    batch_ms: f64,
+    ms_per_query: f64,
+    exact_cells: u64,
+    filter_cells: u64,
+    selectivity: f64,
+    recall: f64,
+    mean_error_bound: f64,
+}
+
+fn main() {
+    let rows = 40_000;
+    let dims = 32;
+    let k = 10;
+    let n_queries = 16;
+    let partitions = 8;
+    let reps = 3;
+
+    let table = Arc::new(
+        ClusteredConfig { clusters: 16, ..ClusteredConfig::small(rows, dims, 0.0) }
+            .with_cluster_major(true)
+            .generate(),
+    );
+    let queries = sample_queries(&table, n_queries, 4321);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "quantized scan: {} rows x {dims} dims (clustered, cluster-major), {n_queries} queries, \
+         k = {k}, {partitions} partitions, {cores} cores",
+        table.rows()
+    );
+
+    let engine = Engine::builder(table.clone())
+        .partitions(partitions)
+        .threads(1) // isolate scan-kernel work from parallel speedup
+        .rule(RuleKind::EuclideanEv)
+        .build()
+        .expect("valid engine configuration");
+    // encode once, outside the timed region — persisted stores get this
+    // for free from the footer
+    let encode_timer = Instant::now();
+    engine.ensure_codes(8).expect("finite table quantizes");
+    println!("  one-time 8-bit encode: {:.2} ms", encode_timer.elapsed().as_secs_f64() * 1000.0);
+
+    let batch_for = |scan: Option<ScanMode>| {
+        RequestBatch::from_specs(
+            queries
+                .iter()
+                .map(|q| {
+                    let spec = QuerySpec::new(q.clone(), k);
+                    match scan {
+                        Some(scan) => spec.scan_mode(scan),
+                        None => spec,
+                    }
+                })
+                .collect(),
+        )
+    };
+
+    let exact_reference = engine.execute(&batch_for(None)).expect("exact batch executes");
+
+    let mut series: Vec<Series> = Vec::new();
+    for (mode, scan) in [
+        ("exact", None),
+        ("quantized_filter", Some(ScanMode::QuantizedFilter)),
+        ("approximate_8bit", Some(ScanMode::ApproximateQuantized { bits: 8 })),
+    ] {
+        let batch = batch_for(scan);
+        // untimed pass collects the work counters and checks the answers
+        let outcome = engine.execute(&batch).expect("batch executes");
+        let exact_cells: u64 = outcome.queries.iter().map(|q| q.contributions_evaluated()).sum();
+        let filter_cells: u64 = outcome.queries.iter().map(|q| q.quant_filter_cells()).sum();
+        let selectivities: Vec<f64> =
+            outcome.queries.iter().filter_map(|q| q.quant_filter_selectivity()).collect();
+        let selectivity = if selectivities.is_empty() {
+            0.0
+        } else {
+            selectivities.iter().sum::<f64>() / selectivities.len() as f64
+        };
+
+        let mut recalled = 0usize;
+        let mut bound_sum = 0.0f64;
+        let mut bound_n = 0usize;
+        for (got, reference) in outcome.queries.iter().zip(&exact_reference.queries) {
+            recalled +=
+                got.hits.iter().filter(|h| reference.hits.iter().any(|r| r.row == h.row)).count();
+            if let Some(bounds) = &got.error_bounds {
+                bound_sum += bounds.iter().sum::<f64>();
+                bound_n += bounds.len();
+            }
+            if scan == Some(ScanMode::QuantizedFilter) {
+                assert_eq!(got.hits, reference.hits, "quantized filter must stay bit-identical");
+            }
+        }
+        let recall = recalled as f64 / (n_queries * k) as f64;
+        let mean_error_bound = bound_sum / bound_n.max(1) as f64;
+
+        let timer = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(engine.execute(&batch).expect("batch executes"));
+        }
+        let elapsed = timer.elapsed();
+        let batch_ms = elapsed.as_secs_f64() * 1000.0 / reps as f64;
+        let ms_per_query = batch_ms / batch.len() as f64;
+        println!(
+            "  {mode:>16}: {batch_ms:>8.2} ms/batch, {ms_per_query:>6.2} ms/query, \
+             {exact_cells:>12} exact cells, {filter_cells:>12} code cells, \
+             selectivity {selectivity:>6.4}, recall@{k} {recall:.3}",
+        );
+        series.push(Series {
+            mode,
+            batch_ms,
+            ms_per_query,
+            exact_cells,
+            filter_cells,
+            selectivity,
+            recall,
+            mean_error_bound,
+        });
+    }
+
+    let exact = &series[0];
+    let filtered = &series[1];
+    let cells_ratio = exact.exact_cells as f64 / filtered.exact_cells.max(1) as f64;
+    println!(
+        "  quantized filter vs exact: {:.2}x latency, {:.1}x fewer exact cells \
+         ({} -> {}), approximate recall@{k} {:.3}",
+        filtered.batch_ms / exact.batch_ms,
+        cells_ratio,
+        exact.exact_cells,
+        filtered.exact_cells,
+        series[2].recall,
+    );
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"bench\":\"quantized_scan\",\"rows\":{},\"dims\":{dims},\"k\":{k},\
+         \"queries\":{n_queries},\"partitions\":{partitions},\"reps\":{reps},\"cores\":{cores},\
+         \"rule\":\"Ev\",\"bits\":8,\"distribution\":\"clustered_cluster_major\",\
+         \"exact_cells_ratio\":{cells_ratio:.4},\"series\":[",
+        table.rows()
+    );
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"mode\":\"{}\",\"batch_ms\":{:.4},\"ms_per_query\":{:.4},\
+             \"exact_cells\":{},\"filter_cells\":{},\"selectivity\":{:.6},\
+             \"recall\":{:.4},\"mean_error_bound\":{:.6}}}",
+            s.mode,
+            s.batch_ms,
+            s.ms_per_query,
+            s.exact_cells,
+            s.filter_cells,
+            s.selectivity,
+            s.recall,
+            s.mean_error_bound
+        );
+    }
+    json.push_str("]}");
+    println!("BENCH_JSON {json}");
+}

@@ -227,6 +227,61 @@ impl CostModel {
             if skipping { warm.map_or(0.0, SegmentFeedbackSnapshot::skip_rate) } else { 0.0 };
         rows * dims * (warmup_frac + survival * (1.0 - warmup_frac)) * (1.0 - p_skip)
     }
+
+    /// Relative cost of sweeping one quantized `u8` code cell, in units of
+    /// one exact `(candidate, dimension)` contribution evaluation. A code is
+    /// an eighth of the bytes of an `f64` and the filter kernel is a
+    /// branch-free table lookup, so a code cell is priced at an eighth of an
+    /// exact cell.
+    pub const QUANT_CELL_COST: f64 = 0.125;
+
+    /// Estimated cost (in exact-cell equivalents) of one search of this
+    /// segment when the quantized first-pass filter runs: the full
+    /// `rows × dims` code sweep at [`CostModel::QUANT_CELL_COST`] per cell,
+    /// plus the exact search of [`CostModel::segment_cost`] scaled by the
+    /// segment's *observed* filter selectivity (the fraction of swept rows
+    /// that survived into the exact phase, floored at `k / rows`). With no
+    /// filtered search folded in yet, the exact phase is priced at full
+    /// weight — the conservative prior; one filtered query is enough to
+    /// start discounting.
+    pub fn segment_cost_quantized(
+        &self,
+        stats: &SegmentStats,
+        feedback: Option<&SegmentFeedbackSnapshot>,
+        k: usize,
+        skipping: bool,
+    ) -> f64 {
+        let (filter, refine) = self.segment_cost_quantized_split(stats, feedback, k, skipping);
+        filter + refine
+    }
+
+    /// The two phases of [`CostModel::segment_cost_quantized`] separately:
+    /// `(filter sweep cost, exact refine cost)`, both in exact-cell
+    /// equivalents. EXPLAIN renders the phases side by side; their sum is
+    /// exactly the admission estimate.
+    pub fn segment_cost_quantized_split(
+        &self,
+        stats: &SegmentStats,
+        feedback: Option<&SegmentFeedbackSnapshot>,
+        k: usize,
+        skipping: bool,
+    ) -> (f64, f64) {
+        let rows = stats.live_rows as f64;
+        let dims = stats.per_dim.len() as f64;
+        if rows <= 0.0 || dims <= 0.0 {
+            return (0.0, 0.0);
+        }
+        let warm = feedback.filter(|f| f.is_warm(self.min_warm_searches));
+        let p_skip =
+            if skipping { warm.map_or(0.0, SegmentFeedbackSnapshot::skip_rate) } else { 0.0 };
+        let filter_cost = rows * dims * Self::QUANT_CELL_COST * (1.0 - p_skip);
+        let floor = (k as f64 / rows).min(1.0);
+        let selectivity = feedback
+            .and_then(SegmentFeedbackSnapshot::filter_selectivity)
+            .map_or(1.0, |s| s.clamp(0.0, 1.0))
+            .max(floor);
+        (filter_cost, selectivity * self.segment_cost(stats, feedback, k, skipping))
+    }
 }
 
 #[cfg(test)]
@@ -357,5 +412,41 @@ mod tests {
         let empty = segment_stats(&[vec![0.0, 0.0]]);
         let empty = SegmentStats { live_rows: 0, ..empty };
         assert_eq!(model.segment_cost(&empty, None, 1, true), 0.0);
+    }
+
+    #[test]
+    fn quantized_cost_discounts_with_observed_selectivity() {
+        let stats = segment_stats(&vec![vec![0.1, 0.2, 0.3, 0.4]; 100]);
+        let model = CostModel::default();
+
+        // cold: conservative prior — full exact cost plus the code sweep
+        let cold = model.segment_cost_quantized(&stats, None, 10, true);
+        let exact_cold = model.segment_cost(&stats, None, 10, true);
+        assert!(
+            (cold - (100.0 * 4.0 * CostModel::QUANT_CELL_COST + exact_cold)).abs() < 1e-9,
+            "cold quantized cost is filter sweep + full exact cost, got {cold}"
+        );
+
+        // observed 5 % selectivity slashes the exact phase
+        let mut fb = warm_feedback(4, 0, 40);
+        fb.filter_rows = 4000;
+        fb.refine_rows = 200;
+        assert_eq!(fb.filter_selectivity(), Some(0.05));
+        let observed = model.segment_cost_quantized(&stats, Some(&fb), 1, false);
+        let exact_warm = model.segment_cost(&stats, Some(&fb), 1, false);
+        let expected = 100.0 * 4.0 * CostModel::QUANT_CELL_COST + 0.05 * exact_warm;
+        assert!((observed - expected).abs() < 1e-9, "got {observed}, expected {expected}");
+        assert!(observed < exact_warm, "filtering must look cheaper than scanning exactly");
+
+        // selectivity is floored at k / rows: asking for every row cancels
+        // the discount entirely
+        let all = model.segment_cost_quantized(&stats, Some(&fb), 100, false);
+        let exact_all = model.segment_cost(&stats, Some(&fb), 100, false);
+        assert!((all - (100.0 * 4.0 * CostModel::QUANT_CELL_COST + exact_all)).abs() < 1e-9);
+
+        // degenerate segments still cost nothing
+        let empty = segment_stats(&[vec![0.0, 0.0]]);
+        let empty = SegmentStats { live_rows: 0, ..empty };
+        assert_eq!(model.segment_cost_quantized(&empty, None, 1, true), 0.0);
     }
 }

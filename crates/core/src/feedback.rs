@@ -50,6 +50,17 @@ pub struct SegmentFeedback {
     survival_sum: AtomicU64,
     /// Total `(candidate, dimension)` contribution evaluations folded in.
     contributions: AtomicU64,
+    /// Total `(row, dimension)` code cells swept by the quantized
+    /// first-pass filter. In-memory only: not part of the persisted
+    /// learned-state payload (whose record length is fixed by `BONDFB01`);
+    /// selectivity re-learns within a few queries after a cold open.
+    filter_cells: AtomicU64,
+    /// Total rows the quantized filter swept (the denominator of the
+    /// observed filter selectivity). In-memory only, like `filter_cells`.
+    filter_rows: AtomicU64,
+    /// Total rows that survived the quantized filter into the exact
+    /// search. In-memory only, like `filter_cells`.
+    refine_rows: AtomicU64,
     /// Per-dimension prune credit: Σ (rows pruned ÷ block length) ×
     /// [`FEEDBACK_SCALE`] for every scan block the dimension was part of
     /// when a pruning attempt removed candidates. Indexed by dimension id.
@@ -66,6 +77,9 @@ impl SegmentFeedback {
             warmup_count: AtomicU64::new(0),
             survival_sum: AtomicU64::new(0),
             contributions: AtomicU64::new(0),
+            filter_cells: AtomicU64::new(0),
+            filter_rows: AtomicU64::new(0),
+            refine_rows: AtomicU64::new(0),
             prune_credit: (0..dims).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -79,6 +93,9 @@ impl SegmentFeedback {
             warmup_count: AtomicU64::new(snap.warmup_count),
             survival_sum: AtomicU64::new(snap.survival_sum),
             contributions: AtomicU64::new(snap.contributions),
+            filter_cells: AtomicU64::new(snap.filter_cells),
+            filter_rows: AtomicU64::new(snap.filter_rows),
+            refine_rows: AtomicU64::new(snap.refine_rows),
             prune_credit: snap.prune_credit.iter().map(|&c| AtomicU64::new(c)).collect(),
         }
     }
@@ -91,6 +108,11 @@ impl SegmentFeedback {
     pub fn record_search(&self, order: &[usize], trace: &PruneTrace, rows: usize) {
         self.searches.fetch_add(1, Ordering::Relaxed);
         self.contributions.fetch_add(trace.contributions_evaluated, Ordering::Relaxed);
+        if trace.filter_cells > 0 {
+            self.filter_cells.fetch_add(trace.filter_cells, Ordering::Relaxed);
+            self.filter_rows.fetch_add(rows as u64, Ordering::Relaxed);
+            self.refine_rows.fetch_add(trace.refine_rows, Ordering::Relaxed);
+        }
         let dims = order.len();
         let mut prev = 0usize;
         let mut first_effective: Option<usize> = None;
@@ -145,6 +167,9 @@ impl SegmentFeedback {
             warmup_count: self.warmup_count.load(Ordering::Relaxed),
             survival_sum: self.survival_sum.load(Ordering::Relaxed),
             contributions: self.contributions.load(Ordering::Relaxed),
+            filter_cells: self.filter_cells.load(Ordering::Relaxed),
+            filter_rows: self.filter_rows.load(Ordering::Relaxed),
+            refine_rows: self.refine_rows.load(Ordering::Relaxed),
             prune_credit: Vec::new(),
         }
     }
@@ -161,6 +186,9 @@ impl SegmentFeedback {
             warmup_count: self.warmup_count.load(Ordering::Relaxed),
             survival_sum: self.survival_sum.load(Ordering::Relaxed),
             contributions: self.contributions.load(Ordering::Relaxed),
+            filter_cells: self.filter_cells.load(Ordering::Relaxed),
+            filter_rows: self.filter_rows.load(Ordering::Relaxed),
+            refine_rows: self.refine_rows.load(Ordering::Relaxed),
             prune_credit: self.prune_credit.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
         }
     }
@@ -183,6 +211,13 @@ pub struct SegmentFeedbackSnapshot {
     pub survival_sum: u64,
     /// Total contribution evaluations folded in.
     pub contributions: u64,
+    /// Total code cells swept by the quantized first-pass filter (zero
+    /// when no search used codes). Not persisted with the learned state.
+    pub filter_cells: u64,
+    /// Total rows the quantized filter swept. Not persisted.
+    pub filter_rows: u64,
+    /// Total rows that survived the quantized filter. Not persisted.
+    pub refine_rows: u64,
     /// Per-dimension prune credit (× [`FEEDBACK_SCALE`]), by dimension id.
     pub prune_credit: Vec<u64>,
 }
@@ -217,6 +252,14 @@ impl SegmentFeedbackSnapshot {
         } else {
             self.skips as f64 / total as f64
         }
+    }
+
+    /// Mean observed selectivity of the quantized first-pass filter: the
+    /// fraction of swept rows that survived into the exact search. `None`
+    /// until a filtered search has been folded in. Lower is better — a
+    /// selectivity of 0.1 means the exact scan touched a tenth of the rows.
+    pub fn filter_selectivity(&self) -> Option<f64> {
+        (self.filter_rows > 0).then(|| self.refine_rows as f64 / self.filter_rows as f64)
     }
 
     /// The per-dimension prune-credit distribution, normalised to sum to 1
@@ -343,6 +386,9 @@ impl FeedbackSnapshot {
                 survival_sum,
                 contributions,
                 prune_credit,
+                // the quantized-filter counters are in-memory-only signals;
+                // a reopened store re-learns them within a few queries
+                ..Default::default()
             });
         }
         Ok(FeedbackSnapshot { dims, segments })
@@ -428,6 +474,8 @@ mod tests {
             pruning_attempts: 2,
             switched_to_list: false,
             segment_skipped: false,
+            filter_cells: 0,
+            refine_rows: 0,
             rule: None,
         }
     }
@@ -536,6 +584,32 @@ mod tests {
             FeedbackSnapshot::from_bytes(&huge),
             Err(BondError::Storage(VdError::Corrupt(_)))
         ));
+    }
+
+    #[test]
+    fn quant_filter_counters_accumulate_in_memory_only() {
+        let fb = SegmentFeedback::new(2);
+        let mut t = trace(vec![(2, 4, 6)]);
+        t.filter_cells = 20;
+        t.refine_rows = 4;
+        fb.record_search(&[0, 1], &t, 10);
+        let s = fb.snapshot();
+        assert_eq!((s.filter_cells, s.filter_rows, s.refine_rows), (20, 10, 4));
+        assert!((s.filter_selectivity().unwrap() - 0.4).abs() < 1e-12);
+        assert_eq!(fb.scalar_snapshot().filter_cells, 20);
+        // codeless searches leave the counters untouched
+        let codeless = SegmentFeedback::new(2);
+        codeless.record_search(&[0, 1], &trace(vec![(2, 4, 6)]), 10);
+        assert_eq!(codeless.snapshot().filter_selectivity(), None);
+        // the persisted payload intentionally excludes them (fixed-length
+        // BONDFB01 records) — a byte round trip zeroes them ...
+        let snap = FeedbackSnapshot { dims: 2, segments: vec![s.clone()] };
+        let back = FeedbackSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(back.segments[0].filter_cells, 0);
+        assert_eq!(back.segments[0].filter_selectivity(), None);
+        // ... while in-memory restores keep counting from where they were
+        let restored = ExecFeedback::from_snapshot(&snap);
+        assert_eq!(restored.snapshot().segments[0].refine_rows, 4);
     }
 
     #[test]

@@ -52,6 +52,9 @@
 //! * [`multifeature`] — synchronized multi-feature search (Section 8.2),
 //! * [`compressed`] — BOND on 8-bit-quantized fragments with an exact
 //!   refinement step (Section 7.4, Figure 9 / Table 4),
+//! * [`quantfilter`] — the branch-free quantized first-pass scan kernel the
+//!   execution engine runs before the exact search (LUT sweep over `u8`
+//!   code columns, interval score bounds, approximate codes-only top-k),
 //! * [`trace`] — the pruning traces from which every figure of the paper's
 //!   evaluation is regenerated.
 
@@ -67,13 +70,17 @@ pub mod kappa;
 pub mod multifeature;
 pub mod ordering;
 pub mod plan;
+pub mod quantfilter;
 pub mod schedule;
 pub mod searcher;
 pub mod trace;
 pub mod weighted;
 
 pub use candidates::CandidateSet;
-pub use compressed::{compressed_filter_histogram, search_compressed_histogram, CompressedFilter};
+pub use compressed::{
+    compressed_filter, compressed_filter_histogram, search_compressed, search_compressed_histogram,
+    CompressedFilter,
+};
 pub use cost::CostModel;
 pub use error::{BondError, Result};
 pub use feedback::{ExecFeedback, FeedbackSnapshot, SegmentFeedback, SegmentFeedbackSnapshot};
@@ -83,6 +90,7 @@ pub use multifeature::{
 };
 pub use ordering::DimensionOrdering;
 pub use plan::SegmentPlan;
+pub use quantfilter::{ApproxOutcome, QuantFilter, QuantIntervals};
 pub use schedule::BlockSchedule;
 pub use searcher::{
     prune_slack, search_segment, BondParams, BondSearcher, SearchOutcome, SegmentContext,

@@ -1,0 +1,377 @@
+//! The quantized first-pass scan kernel.
+//!
+//! Section 7.4 of the paper composes BOND with VA-File-style codes: prune
+//! on small approximations first, touch exact values only for survivors.
+//! This module is that first pass in the shape the execution engine's hot
+//! loop wants it: a word-wise sweep over flat `&[u8]` code fragments with
+//! **no per-row branching** — per dimension the kernel builds two tiny
+//! lookup tables (one entry per quantization level, at most 256) holding
+//! the best and worst contribution any value in that cell can make, then
+//! accumulates both per-row running bounds in 64-cell blocks the
+//! auto-vectorizer can unroll. After all dimensions the row's exact score
+//! is bracketed by `[pes, opt]` (Maximize; the interval flips roles under
+//! Minimize):
+//!
+//! * the k-th best **pessimistic** bound over live rows is a valid κ for
+//!   the whole query (k rows provably score at least that well), and
+//! * every row whose **optimistic** bound cannot reach κ can be dropped
+//!   before a single exact `f64` is read.
+//!
+//! Safety rests on one invariant, property-tested per metric in
+//! `bond-metrics`: `worst_contribution ≤ contribution ≤ best_contribution`
+//! for any value inside the cell. Metrics that do not override
+//! `worst_contribution` keep the vacuous default, which degenerates the
+//! filter to "keep everything" — never to a wrong answer.
+//!
+//! The same interval, collapsed to its midpoint, powers the approximate
+//! scan mode: [`approximate_topk`] ranks live rows by midpoint score and
+//! reports half the interval width as a per-hit error bound.
+
+use bond_metrics::{DecomposableMetric, Objective};
+use vdstore::topk::Scored;
+use vdstore::{Bitmap, SegmentCodesView, TopKLargest, TopKSmallest};
+
+use crate::error::{BondError, Result};
+use crate::kappa::KappaCell;
+use crate::searcher::prune_slack;
+
+/// Cells per inner-loop chunk: both running bounds advance through the
+/// code column in blocks of this many rows, keeping the working set in
+/// registers/L1 and giving the auto-vectorizer a fixed trip count.
+const BLOCK_CELLS: usize = 64;
+
+/// Per-row full-score interval bounds proven from the codes alone.
+#[derive(Debug, Clone)]
+pub struct QuantIntervals {
+    /// Optimistic bound per local row: no exact score can beat it.
+    pub opt: Vec<f64>,
+    /// Pessimistic bound per local row: every exact score is at least
+    /// (Maximize) / at most (Minimize) this good.
+    pub pes: Vec<f64>,
+    /// Number of `(row, dimension)` code cells swept.
+    pub cells: u64,
+}
+
+/// Sweeps all code fragments of one segment and returns, for every local
+/// row, the interval `[pes, opt]` bracketing its exact full-dimensional
+/// score under `metric`.
+pub fn interval_scores(
+    codes: &SegmentCodesView<'_>,
+    metric: &dyn DecomposableMetric,
+    query: &[f64],
+) -> Result<QuantIntervals> {
+    let dims = codes.dims();
+    if query.len() != dims {
+        return Err(BondError::QueryDimensionMismatch { expected: dims, actual: query.len() });
+    }
+    let rows = codes.len();
+    let levels = codes.levels();
+    let mut opt = vec![0.0f64; rows];
+    let mut pes = vec![0.0f64; rows];
+    let mut opt_lut = vec![0.0f64; levels];
+    let mut pes_lut = vec![0.0f64; levels];
+    for (d, &q) in query.iter().enumerate() {
+        let grid = codes.params(d);
+        for (code, (o, p)) in opt_lut.iter_mut().zip(pes_lut.iter_mut()).enumerate() {
+            let (lo, hi) = grid.cell_bounds(code as u8);
+            *o = metric.best_contribution(d, lo, hi, q);
+            *p = metric.worst_contribution(d, lo, hi, q);
+        }
+        let column = codes.dim_codes(d)?;
+        // The hot sweep: flat bytes in, two fused multiply-free
+        // accumulations out, no branches on row content.
+        for ((opt_block, pes_block), code_block) in opt
+            .chunks_mut(BLOCK_CELLS)
+            .zip(pes.chunks_mut(BLOCK_CELLS))
+            .zip(column.chunks(BLOCK_CELLS))
+        {
+            for ((o, p), &c) in opt_block.iter_mut().zip(pes_block.iter_mut()).zip(code_block) {
+                *o += opt_lut[c as usize];
+                *p += pes_lut[c as usize];
+            }
+        }
+    }
+    Ok(QuantIntervals { opt, pes, cells: (rows * dims) as u64 })
+}
+
+/// The result of the quantized first pass over one segment.
+#[derive(Debug, Clone)]
+pub struct QuantFilter {
+    /// Live rows whose optimistic bound reaches κ — the only rows the
+    /// exact scan needs to touch. Always a superset of the true top k.
+    pub survivors: Bitmap,
+    /// The κ proven from the codes (the k-th best pessimistic bound,
+    /// tightened with the shared cell when one is given). `None` when the
+    /// segment holds fewer than `k` live rows or the metric's bounds are
+    /// vacuous — the filter then keeps everything.
+    pub kappa: Option<f64>,
+    /// Number of `(row, dimension)` code cells swept.
+    pub cells: u64,
+}
+
+/// Runs the quantized filter over one segment: sweep codes, prove κ from
+/// the pessimistic bounds, keep every live row whose optimistic bound can
+/// still reach κ. Publishes the proven κ to `shared` (it is a valid bound
+/// for the whole query, so sibling segments benefit immediately).
+pub fn filter_segment(
+    codes: &SegmentCodesView<'_>,
+    metric: &dyn DecomposableMetric,
+    query: &[f64],
+    k: usize,
+    live: &Bitmap,
+    shared: Option<&dyn KappaCell>,
+) -> Result<QuantFilter> {
+    let rows = codes.len();
+    if live.len() != rows {
+        return Err(BondError::InvalidParams(format!(
+            "live bitmap covers {} rows but the segment's codes cover {rows}",
+            live.len()
+        )));
+    }
+    let intervals = interval_scores(codes, metric, query)?;
+    let objective = metric.objective();
+    let local = match objective {
+        Objective::Maximize => {
+            let mut heap = TopKLargest::new(k);
+            for row in live.iter() {
+                heap.push(row, intervals.pes[row as usize]);
+            }
+            heap.kth()
+        }
+        Objective::Minimize => {
+            let mut heap = TopKSmallest::new(k);
+            for row in live.iter() {
+                heap.push(row, intervals.pes[row as usize]);
+            }
+            heap.kth()
+        }
+    };
+    // a vacuous (infinite) pessimistic bound proves nothing: do not
+    // publish it, and keep every live row
+    let local = local.filter(|v| v.is_finite());
+    let kappa = match shared {
+        None => local,
+        Some(cell) => match local {
+            Some(local) => Some(cell.tighten(local)),
+            None => cell.current(),
+        },
+    };
+    let mut survivors = Bitmap::new(rows);
+    match kappa {
+        None => {
+            for row in live.iter() {
+                survivors.set(row);
+            }
+        }
+        Some(kappa) => {
+            let slack = prune_slack(kappa);
+            for row in live.iter() {
+                let opt = intervals.opt[row as usize];
+                let keep = match objective {
+                    Objective::Maximize => opt >= kappa - slack,
+                    Objective::Minimize => opt <= kappa + slack,
+                };
+                if keep {
+                    survivors.set(row);
+                }
+            }
+        }
+    }
+    Ok(QuantFilter { survivors, kappa, cells: intervals.cells })
+}
+
+/// The approximate (codes-only) answer for one segment.
+#[derive(Debug, Clone)]
+pub struct ApproxOutcome {
+    /// The k best live rows by midpoint score, best first, with
+    /// segment-local row ids.
+    pub hits: Vec<Scored>,
+    /// Per-hit error bound, parallel to `hits`: half the interval width —
+    /// the exact score differs from the reported one by at most this.
+    pub error_bounds: Vec<f64>,
+    /// Number of `(row, dimension)` code cells swept.
+    pub cells: u64,
+}
+
+/// Answers a top-k query from the codes alone: rows are ranked by the
+/// midpoint of their score interval and each hit carries the bound on how
+/// far its exact score can be. No exact fragment is read at all.
+pub fn approximate_topk(
+    codes: &SegmentCodesView<'_>,
+    metric: &dyn DecomposableMetric,
+    query: &[f64],
+    k: usize,
+    live: &Bitmap,
+) -> Result<ApproxOutcome> {
+    let rows = codes.len();
+    if live.len() != rows {
+        return Err(BondError::InvalidParams(format!(
+            "live bitmap covers {} rows but the segment's codes cover {rows}",
+            live.len()
+        )));
+    }
+    let intervals = interval_scores(codes, metric, query)?;
+    let mid = |row: usize| 0.5 * (intervals.opt[row] + intervals.pes[row]);
+    let hits = match metric.objective() {
+        Objective::Maximize => {
+            let mut heap = TopKLargest::new(k);
+            for row in live.iter() {
+                heap.push(row, mid(row as usize));
+            }
+            heap.into_sorted_vec()
+        }
+        Objective::Minimize => {
+            let mut heap = TopKSmallest::new(k);
+            for row in live.iter() {
+                heap.push(row, mid(row as usize));
+            }
+            heap.into_sorted_vec()
+        }
+    };
+    let error_bounds = hits
+        .iter()
+        .map(|h| {
+            let row = h.row as usize;
+            0.5 * (intervals.opt[row] - intervals.pes[row]).abs()
+        })
+        .collect();
+    Ok(ApproxOutcome { hits, error_bounds, cells: intervals.cells })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bond_metrics::{HistogramIntersection, SquaredEuclidean, WeightedSquaredEuclidean};
+    use vdstore::{DecomposedTable, SegmentStats, StoreCodes};
+
+    fn setup(partitions: usize) -> (DecomposedTable, StoreCodes) {
+        let vectors: Vec<Vec<f64>> = (0..24)
+            .map(|r| (0..4).map(|d| ((r * 4 + d) as f64 * 0.41).sin().abs()).collect())
+            .collect();
+        let table = DecomposedTable::from_vectors("qf", &vectors).unwrap();
+        let specs = table.partition_specs(partitions);
+        let stats: Vec<SegmentStats> =
+            specs.iter().map(|s| s.view(&table).unwrap().stats()).collect();
+        let codes = StoreCodes::build(&table, &specs, &stats, 8).unwrap();
+        (table, codes)
+    }
+
+    #[test]
+    fn intervals_bracket_exact_scores_for_all_metrics() {
+        let (table, codes) = setup(2);
+        let query: Vec<f64> = table.row(5).unwrap();
+        let weighted = WeightedSquaredEuclidean::new(vec![2.0, 0.5, 1.5, 3.0]).unwrap();
+        let metrics: Vec<&dyn DecomposableMetric> =
+            vec![&HistogramIntersection, &SquaredEuclidean, &weighted];
+        for metric in metrics {
+            for si in 0..codes.n_segments() {
+                let view = codes.segment_view(si).unwrap();
+                let iv = interval_scores(&view, metric, &query).unwrap();
+                let spec = codes.specs()[si];
+                for (local, global) in spec.range().enumerate() {
+                    let v = table.row(global as u32).unwrap();
+                    let exact = metric.score(&v, &query);
+                    let (lo, hi) = match metric.objective() {
+                        Objective::Maximize => (iv.pes[local], iv.opt[local]),
+                        Objective::Minimize => (iv.opt[local], iv.pes[local]),
+                    };
+                    assert!(
+                        lo <= exact + 1e-9 && exact <= hi + 1e-9,
+                        "{}: row {global} score {exact} outside [{lo}, {hi}]",
+                        metric.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filter_keeps_the_true_top_k() {
+        let (table, codes) = setup(1);
+        let query: Vec<f64> = table.row(17).unwrap();
+        let live = table.live_bitmap();
+        let view = codes.segment_view(0).unwrap();
+        for k in [1usize, 3, 10] {
+            let filter =
+                filter_segment(&view, &HistogramIntersection, &query, k, &live, None).unwrap();
+            assert!(filter.kappa.is_some());
+            assert_eq!(filter.cells, (table.rows() * table.dims()) as u64);
+            // brute-force truth
+            let mut scores: Vec<(u32, f64)> = (0..table.rows() as u32)
+                .map(|r| (r, HistogramIntersection.score(&table.row(r).unwrap(), &query)))
+                .collect();
+            scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            let survivors = filter.survivors.to_rows();
+            for &(row, _) in &scores[..k] {
+                assert!(survivors.contains(&row), "filter lost true top-{k} row {row}");
+            }
+            assert!(survivors.len() >= k);
+        }
+    }
+
+    #[test]
+    fn filter_respects_the_live_bitmap() {
+        let (table, codes) = setup(1);
+        let query: Vec<f64> = table.row(0).unwrap();
+        let mut live = table.live_bitmap();
+        live.clear(0); // the query row itself is the best match — kill it
+        let view = codes.segment_view(0).unwrap();
+        let filter = filter_segment(&view, &HistogramIntersection, &query, 3, &live, None).unwrap();
+        assert!(!filter.survivors.to_rows().contains(&0));
+    }
+
+    #[test]
+    fn vacuous_bounds_keep_everything() {
+        struct Opaque;
+        impl DecomposableMetric for Opaque {
+            fn objective(&self) -> Objective {
+                Objective::Maximize
+            }
+            fn contribution(&self, _d: usize, v: f64, q: f64) -> f64 {
+                v * q
+            }
+            fn name(&self) -> &'static str {
+                "opaque"
+            }
+        }
+        let (table, codes) = setup(1);
+        let query: Vec<f64> = table.row(2).unwrap();
+        let live = table.live_bitmap();
+        let view = codes.segment_view(0).unwrap();
+        let filter = filter_segment(&view, &Opaque, &query, 2, &live, None).unwrap();
+        assert!(filter.kappa.is_none(), "an infinite pessimistic bound proves nothing");
+        assert_eq!(filter.survivors.to_rows().len(), table.live_rows());
+    }
+
+    #[test]
+    fn approximate_hits_carry_honest_error_bounds() {
+        let (table, codes) = setup(2);
+        let query: Vec<f64> = table.row(9).unwrap();
+        for si in 0..codes.n_segments() {
+            let spec = codes.specs()[si];
+            let view = codes.segment_view(si).unwrap();
+            let live = table.live_bitmap().slice(spec.range());
+            let approx = approximate_topk(&view, &SquaredEuclidean, &query, 3, &live).unwrap();
+            assert_eq!(approx.hits.len(), approx.error_bounds.len());
+            for (hit, &err) in approx.hits.iter().zip(&approx.error_bounds) {
+                let global = spec.start() + hit.row as usize;
+                let exact = SquaredEuclidean.score(&table.row(global as u32).unwrap(), &query);
+                assert!(
+                    (hit.score - exact).abs() <= err + 1e-9,
+                    "hit {global}: |{} - {exact}| > {err}",
+                    hit.score
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_inputs_are_rejected() {
+        let (_table, codes) = setup(1);
+        let view = codes.segment_view(0).unwrap();
+        assert!(interval_scores(&view, &HistogramIntersection, &[0.5; 2]).is_err());
+        let short = Bitmap::new(3);
+        assert!(filter_segment(&view, &HistogramIntersection, &[0.1; 4], 1, &short, None).is_err());
+        assert!(approximate_topk(&view, &HistogramIntersection, &[0.1; 4], 1, &short).is_err());
+    }
+}

@@ -17,7 +17,7 @@
 use bond_metrics::{CandidateState, DecomposableMetric, Objective, PruningRule};
 use bond_metrics::{EqRule, EvRule, HhRule, HistogramIntersection, HqRule, SquaredEuclidean};
 use vdstore::topk::Scored;
-use vdstore::{DecomposedTable, RowId, Segment, TopKLargest, TopKSmallest};
+use vdstore::{DecomposedTable, RowId, Segment, SegmentCodesView, TopKLargest, TopKSmallest};
 
 use crate::candidates::CandidateSet;
 use crate::error::{BondError, Result};
@@ -180,6 +180,7 @@ impl<'a> BondSearcher<'a> {
             kappa: None,
             row_sums: requirements.needs_total_mass.then(|| self.row_sums()),
             plan: None,
+            codes: None,
         };
         search_segment(&segment, query, metric, rule, k, weights, params, &ctx)
     }
@@ -204,6 +205,12 @@ pub struct SegmentContext<'k> {
     /// The per-segment search plan (dimension order + block schedule).
     /// Derived from `params` when absent — the classic uniform behaviour.
     pub plan: Option<&'k SegmentPlan>,
+    /// This segment's window of the store's quantized code companions.
+    /// When present, a branch-free first pass sweeps the codes, proves a
+    /// pessimistic κ and discards every row whose optimistic interval
+    /// bound cannot reach it — only the survivors enter the exact scan
+    /// loop. The answer stays bit-identical to a codeless search.
+    pub codes: Option<SegmentCodesView<'k>>,
 }
 
 /// Runs one branch-and-bound BOND search restricted to a row segment.
@@ -289,6 +296,35 @@ pub fn search_segment(
     let mut candidates = CandidateSet::from_bitmap(segment.live_bitmap());
     let mut trace = PruneTrace::default();
     let objective = metric.objective();
+
+    // Quantized first pass (Section 7.4 composed with the engine): sweep
+    // the u8 code companions branch-free, prove a pessimistic κ from their
+    // interval bounds, and hand the exact loop below only the rows whose
+    // optimistic bound can still reach it. The κ proven here is also
+    // published to the shared cell, so sibling segments prune with it.
+    if let Some(codes) = &ctx.codes {
+        if codes.len() != rows || codes.dims() != dims {
+            return Err(BondError::InvalidParams(format!(
+                "segment codes cover {} rows x {} dims, segment has {rows} x {dims}",
+                codes.len(),
+                codes.dims()
+            )));
+        }
+        let filter = crate::quantfilter::filter_segment(
+            codes,
+            metric,
+            query,
+            k,
+            &segment.live_bitmap(),
+            ctx.kappa,
+        )?;
+        trace.filter_cells = filter.cells;
+        candidates = CandidateSet::from_bitmap(filter.survivors);
+        trace.refine_rows = candidates.len() as u64;
+        if candidates.maybe_materialize(params.materialize_threshold) {
+            trace.switched_to_list = true;
+        }
+    }
 
     let mut processed = 0usize;
     let mut attempts = 0usize;

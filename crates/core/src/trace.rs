@@ -40,6 +40,15 @@ pub struct PruneTrace {
     /// (its envelope bound could not reach κ) — the search never ran and no
     /// column of the segment was touched.
     pub segment_skipped: bool,
+    /// Number of `(row, dimension)` code cells the quantized first-pass
+    /// filter swept before the exact search began — cheap `u8` work, kept
+    /// separate from the exact-cell counter `contributions_evaluated`.
+    /// Zero when the search ran without codes.
+    pub filter_cells: u64,
+    /// Number of rows that survived the quantized filter into the exact
+    /// search (zero when the search ran without codes; equals the segment's
+    /// live rows when the filter could not prune).
+    pub refine_rows: u64,
     /// The name of the pruning rule/metric that produced this trace
     /// (`"Hq"`, `"Ev"`, …), stamped by the execution engine. Bound scales
     /// are incomparable across rules, so per-rule consumers (feedback
@@ -97,6 +106,8 @@ mod tests {
             pruning_attempts: 3,
             switched_to_list: true,
             segment_skipped: false,
+            filter_cells: 0,
+            refine_rows: 0,
             rule: Some("Hq"),
         }
     }

@@ -46,6 +46,68 @@ impl Priority {
     }
 }
 
+/// How a query's segment scans read column data: exact `f64` fragments
+/// only, a quantized first pass in front of the exact search, or codes
+/// alone.
+///
+/// The quantized modes run the branch-free scan kernel of
+/// [`bond::quantfilter`] over the store's `u8` code companions before (or
+/// instead of) touching exact fragments. Codes are built lazily per engine
+/// and cached; engines opened from a store persisted by
+/// [`crate::Engine::persist`] get their 8-bit codes from the footer for
+/// free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScanMode {
+    /// Exact fragments only — the classic BOND scan, no codes involved.
+    #[default]
+    Exact,
+    /// Quantized first pass, exact refinement: every segment sweeps its
+    /// 8-bit code columns first and only rows whose optimistic interval
+    /// bound can still reach the pruning bound κ enter the exact search.
+    /// Answers are bit-identical to [`ScanMode::Exact`] — the filter keeps
+    /// a superset of the true top-k and the exact phase scores survivors
+    /// in the same plan order.
+    QuantizedFilter,
+    /// Codes only: scores are interval midpoints, no exact fragment is
+    /// read, and every hit carries a per-hit error bound
+    /// ([`QueryOutcome::error_bounds`]). Recall is workload-dependent;
+    /// see the README's quantized-scan section.
+    ApproximateQuantized {
+        /// Bits per code (1 ..= 8); fewer bits scan less and err more.
+        bits: u8,
+    },
+}
+
+impl ScanMode {
+    /// Whether this mode reads quantized code columns at all.
+    pub fn uses_codes(self) -> bool {
+        !matches!(self, ScanMode::Exact)
+    }
+
+    /// Whether this mode answers from codes alone (no exact refinement).
+    pub fn is_approximate(self) -> bool {
+        matches!(self, ScanMode::ApproximateQuantized { .. })
+    }
+
+    /// The code width this mode scans (8 for the filter mode, the chosen
+    /// width for the approximate mode, 8 — unused — for exact scans).
+    pub fn bits(self) -> u8 {
+        match self {
+            ScanMode::ApproximateQuantized { bits } => bits,
+            _ => 8,
+        }
+    }
+
+    /// A short lowercase label for logs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScanMode::Exact => "exact",
+            ScanMode::QuantizedFilter => "quantized-filter",
+            ScanMode::ApproximateQuantized { .. } => "approximate-quantized",
+        }
+    }
+}
+
 /// One k-NN request: a query vector, how many neighbours it wants, and
 /// optional per-query overrides of the engine defaults.
 ///
@@ -66,6 +128,7 @@ pub struct QuerySpec {
     k: usize,
     rule: Option<RuleKind>,
     planner: Option<PlannerKind>,
+    scan: Option<ScanMode>,
     priority: Priority,
 }
 
@@ -74,7 +137,7 @@ impl QuerySpec {
     /// engine's default rule and planner, at [`Priority::Normal`].
     #[must_use]
     pub fn new(vector: Vec<f64>, k: usize) -> Self {
-        QuerySpec { vector, k, rule: None, planner: None, priority: Priority::Normal }
+        QuerySpec { vector, k, rule: None, planner: None, scan: None, priority: Priority::Normal }
     }
 
     /// Overrides the engine's metric + pruning rule for this query only
@@ -90,6 +153,14 @@ impl QuerySpec {
     #[must_use]
     pub fn planner(mut self, planner: PlannerKind) -> Self {
         self.planner = Some(planner);
+        self
+    }
+
+    /// Overrides the engine's scan mode for this query only (e.g. one
+    /// approximate navigation query inside an otherwise exact batch).
+    #[must_use]
+    pub fn scan_mode(mut self, scan: ScanMode) -> Self {
+        self.scan = Some(scan);
         self
     }
 
@@ -120,6 +191,11 @@ impl QuerySpec {
     /// The per-query planner override, when one was set.
     pub fn planner_override(&self) -> Option<PlannerKind> {
         self.planner
+    }
+
+    /// The per-query scan-mode override, when one was set.
+    pub fn scan_mode_override(&self) -> Option<ScanMode> {
+        self.scan
     }
 
     /// The request's admission class.
@@ -216,8 +292,14 @@ pub struct SegmentRun {
 /// The answer to one query of a batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryOutcome {
-    /// The k best rows across all segments, best first, with exact scores.
+    /// The k best rows across all segments, best first. Exact scores,
+    /// except under [`ScanMode::ApproximateQuantized`] where they are
+    /// code-interval midpoints (see [`QueryOutcome::error_bounds`]).
     pub hits: Vec<Scored>,
+    /// Per-hit absolute error bounds, parallel to `hits`: `Some` only for
+    /// [`ScanMode::ApproximateQuantized`] answers, where hit `i`'s exact
+    /// score is guaranteed within `error_bounds[i]` of `hits[i].score`.
+    pub error_bounds: Option<Vec<f64>>,
     /// Per-segment traces, in segment (row-range) order.
     pub segments: Vec<SegmentRun>,
 }
@@ -227,6 +309,31 @@ impl QueryOutcome {
     /// segments — the batch analogue of [`PruneTrace::contributions_evaluated`].
     pub fn contributions_evaluated(&self) -> u64 {
         self.segments.iter().map(|s| s.trace.contributions_evaluated).sum()
+    }
+
+    /// Total quantized code cells the first-pass filter (or the
+    /// approximate scan) swept across all segments; `0` for exact scans.
+    pub fn quant_filter_cells(&self) -> u64 {
+        self.segments.iter().map(|s| s.trace.filter_cells).sum()
+    }
+
+    /// Total rows that survived the quantized filter into the exact phase
+    /// across all segments; `0` when no filter ran.
+    pub fn quant_refine_rows(&self) -> u64 {
+        self.segments.iter().map(|s| s.trace.refine_rows).sum()
+    }
+
+    /// Fraction of filtered rows the quantized first pass let through to
+    /// exact refinement, or `None` when no filter ran. Lower is better —
+    /// it is the lever behind the cost model's quantized estimates.
+    pub fn quant_filter_selectivity(&self) -> Option<f64> {
+        let swept: u64 = self
+            .segments
+            .iter()
+            .filter(|s| s.trace.filter_cells > 0)
+            .map(|s| s.rows.len() as u64)
+            .sum();
+        (swept > 0).then(|| self.quant_refine_rows() as f64 / swept as f64)
     }
 
     /// Fraction of the naive `rows × dims` work actually performed.
@@ -322,12 +429,15 @@ mod tests {
     fn outcome_aggregates_sum_over_segments() {
         let outcome = QueryOutcome {
             hits: vec![],
+            error_bounds: None,
             segments: vec![
                 SegmentRun {
                     rows: 0..50,
                     trace: PruneTrace {
                         contributions_evaluated: 100,
                         pruning_attempts: 2,
+                        filter_cells: 200,
+                        refine_rows: 10,
                         ..PruneTrace::default()
                     },
                     plan: None,
@@ -337,6 +447,8 @@ mod tests {
                     trace: PruneTrace {
                         contributions_evaluated: 60,
                         pruning_attempts: 1,
+                        filter_cells: 200,
+                        refine_rows: 15,
                         ..PruneTrace::default()
                     },
                     plan: None,
@@ -346,9 +458,46 @@ mod tests {
         assert_eq!(outcome.contributions_evaluated(), 160);
         assert_eq!(outcome.pruning_attempts(), 3);
         assert_eq!(outcome.segments_skipped(), 0);
+        assert_eq!(outcome.quant_filter_cells(), 400);
+        assert_eq!(outcome.quant_refine_rows(), 25);
+        assert_eq!(outcome.quant_filter_selectivity(), Some(0.25));
         assert!((outcome.work_fraction(100, 4) - 0.4).abs() < 1e-12);
         assert_eq!(outcome.work_fraction(0, 4), 0.0);
         let batch = BatchOutcome { queries: vec![outcome.clone(), outcome] };
         assert_eq!(batch.contributions_evaluated(), 320);
+    }
+
+    #[test]
+    fn exact_outcomes_report_no_filter_phase() {
+        let outcome = QueryOutcome {
+            hits: vec![],
+            error_bounds: None,
+            segments: vec![SegmentRun {
+                rows: 0..10,
+                trace: PruneTrace { contributions_evaluated: 40, ..PruneTrace::default() },
+                plan: None,
+            }],
+        };
+        assert_eq!(outcome.quant_filter_cells(), 0);
+        assert_eq!(outcome.quant_filter_selectivity(), None);
+    }
+
+    #[test]
+    fn scan_mode_classification_and_labels() {
+        assert_eq!(ScanMode::default(), ScanMode::Exact);
+        assert!(!ScanMode::Exact.uses_codes());
+        assert!(ScanMode::QuantizedFilter.uses_codes());
+        assert!(ScanMode::ApproximateQuantized { bits: 6 }.uses_codes());
+        assert!(!ScanMode::QuantizedFilter.is_approximate());
+        assert!(ScanMode::ApproximateQuantized { bits: 6 }.is_approximate());
+        assert_eq!(ScanMode::ApproximateQuantized { bits: 6 }.bits(), 6);
+        assert_eq!(ScanMode::QuantizedFilter.bits(), 8);
+        assert_eq!(ScanMode::Exact.label(), "exact");
+        assert_eq!(ScanMode::QuantizedFilter.label(), "quantized-filter");
+        assert_eq!(ScanMode::ApproximateQuantized { bits: 4 }.label(), "approximate-quantized");
+
+        let spec = QuerySpec::new(vec![0.5], 1).scan_mode(ScanMode::QuantizedFilter);
+        assert_eq!(spec.scan_mode_override(), Some(ScanMode::QuantizedFilter));
+        assert_eq!(QuerySpec::new(vec![0.5], 1).scan_mode_override(), None);
     }
 }

@@ -42,10 +42,11 @@
 //!   rank-correct. [`Engine::persist`] writes the learned state alongside
 //!   the store footer, so a reopened engine starts warm.
 
-use crate::batch::{BatchOutcome, QueryOutcome, QuerySpec, RequestBatch, SegmentRun};
+use crate::batch::{BatchOutcome, QueryOutcome, QuerySpec, RequestBatch, ScanMode, SegmentRun};
 use crate::kappa::SharedKappa;
 use crate::planner::PlannerKind;
 use crate::rules::RuleKind;
+use bond::quantfilter;
 use bond::{
     prune_slack, search_segment, BondError, BondParams, BondSearcher, CostModel, DimensionOrdering,
     ExecFeedback, FeedbackSnapshot, KappaCell, PruneTrace, Result, SearchOutcome, SegmentContext,
@@ -53,15 +54,16 @@ use bond::{
 };
 use bond_metrics::{DecomposableMetric, Objective};
 use bond_obs::{Counter, Gauge, Histogram, MetricsRegistry, Span};
+use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
-use vdstore::persist::{open_store, save_store, validate_store_inputs, PersistedStore};
+use vdstore::persist::{open_store, save_store_with_codes, validate_store_inputs, PersistedStore};
 use vdstore::topk::Scored;
 use vdstore::{
     Advice, DecomposedTable, Envelope, Segment, SegmentSpec, SegmentStats, StorageBackend,
-    TopKLargest, TopKSmallest, VdError,
+    StoreCodes, TopKLargest, TopKSmallest, VdError,
 };
 
 /// The pruning-rule names the engine pre-registers per-rule search
@@ -109,6 +111,15 @@ pub(crate) struct EngineMetrics {
     persist_us: Histogram,
     /// `store.persist.bytes` — bytes written by [`Engine::persist`].
     persist_bytes: Counter,
+    /// `engine.quant.filter_cells` — quantized `u8` code cells swept by
+    /// first-pass filters and approximate scans.
+    quant_filter_cells: Counter,
+    /// `engine.quant.refine_rows` — rows that survived a quantized filter
+    /// into exact refinement.
+    quant_refine_rows: Counter,
+    /// `engine.quant.filter_selectivity` — per query, the percentage of
+    /// filtered rows that reached the exact phase (lower is better).
+    quant_filter_selectivity: Histogram,
 }
 
 impl EngineMetrics {
@@ -129,6 +140,9 @@ impl EngineMetrics {
             open_cold_us: registry.histogram("store.open.cold_us"),
             persist_us: registry.histogram("store.persist.us"),
             persist_bytes: registry.counter("store.persist.bytes"),
+            quant_filter_cells: registry.counter("engine.quant.filter_cells"),
+            quant_refine_rows: registry.counter("engine.quant.refine_rows"),
+            quant_filter_selectivity: registry.histogram("engine.quant.filter_selectivity"),
             registry,
         }
     }
@@ -154,6 +168,7 @@ pub struct EngineBuilder {
     rule: RuleKind,
     share_kappa: bool,
     planner: PlannerKind,
+    scan: ScanMode,
     /// Partition boundaries + statistics preloaded from a persisted store's
     /// footer; when present, [`EngineBuilder::build`] uses them verbatim
     /// instead of partitioning and scanning the table.
@@ -161,6 +176,10 @@ pub struct EngineBuilder {
     /// The opaque learned-state payload from the store's footer, decoded
     /// into the engine's feedback store at [`EngineBuilder::build`].
     preloaded_learned: Option<Vec<u8>>,
+    /// Quantized code fragments from the store's footer, seeded into the
+    /// engine's code cache at [`EngineBuilder::build`] so the first
+    /// quantized scan does not re-encode the table.
+    preloaded_codes: Option<StoreCodes>,
     /// The metrics registry the engine emits into; fresh per engine when
     /// not overridden via [`EngineBuilder::metrics`].
     metrics: Option<MetricsRegistry>,
@@ -203,11 +222,12 @@ impl EngineBuilder {
     /// Starts a builder over an already-opened [`PersistedStore`] (e.g. one
     /// inspected or filtered before serving).
     pub fn from_store(store: PersistedStore) -> EngineBuilder {
-        let PersistedStore { table, specs, stats, learned, open_micros, .. } = store;
+        let PersistedStore { table, specs, stats, learned, codes, open_micros, .. } = store;
         let mut builder = Engine::builder(table);
         builder.partitions = specs.len().max(1);
         builder.preloaded = Some((specs, stats));
         builder.preloaded_learned = learned;
+        builder.preloaded_codes = codes;
         builder.open_micros = (open_micros > 0).then_some(open_micros);
         builder
     }
@@ -224,6 +244,7 @@ impl EngineBuilder {
         self.partitions = partitions;
         self.preloaded = None;
         self.preloaded_learned = None;
+        self.preloaded_codes = None;
         self
     }
 
@@ -291,6 +312,20 @@ impl EngineBuilder {
         self
     }
 
+    /// How queries read column data by default (default
+    /// [`ScanMode::Exact`]) — a [`QuerySpec::scan_mode`] override replaces
+    /// it per query. [`ScanMode::QuantizedFilter`] sweeps the quantized
+    /// code companions first and refines only surviving rows exactly
+    /// (bit-identical answers); [`ScanMode::ApproximateQuantized`] answers
+    /// from codes alone with per-hit error bounds. Codes are built lazily
+    /// on first use and cached per bit width; engines opened from a store
+    /// persisted with codes reuse the footer's codes directly.
+    #[must_use]
+    pub fn scan_mode(mut self, scan: ScanMode) -> Self {
+        self.scan = scan;
+        self
+    }
+
     /// The [`MetricsRegistry`] the engine emits into. Defaults to a fresh
     /// per-engine registry (readable via [`Engine::metrics`]); inject a
     /// shared one to aggregate several engines — or an engine and its
@@ -325,6 +360,13 @@ impl EngineBuilder {
             }
         }
         self.rule.validate(dims).map_err(BondError::InvalidParams)?;
+        if let ScanMode::ApproximateQuantized { bits } = self.scan {
+            if bits == 0 || bits > 8 {
+                return Err(BondError::InvalidParams(format!(
+                    "approximate scan bits must be in 1..=8, got {bits}"
+                )));
+            }
+        }
         let mut params = self.params;
         params.refine_survivors = true;
         let (specs, stats) = match self.preloaded {
@@ -365,6 +407,15 @@ impl EngineBuilder {
         if let Some(us) = self.open_micros {
             metrics.open_cold_us.record(us);
         }
+        // Seed the code cache from the store footer when the persisted
+        // codes still describe this engine's partitioning (they do unless
+        // the builder re-partitioned, which clears them anyway).
+        let mut codes_cache: BTreeMap<u8, Arc<StoreCodes>> = BTreeMap::new();
+        if let Some(codes) = self.preloaded_codes {
+            if codes.matches_specs(&specs) {
+                codes_cache.insert(codes.bits(), Arc::new(codes));
+            }
+        }
         Ok(Engine {
             inner: Arc::new(EngineInner {
                 table: self.table,
@@ -376,9 +427,11 @@ impl EngineBuilder {
                 rule: self.rule,
                 share_kappa: self.share_kappa,
                 planner: self.planner,
+                scan: self.scan,
                 cost: CostModel::default(),
                 feedback,
                 row_sums: OnceLock::new(),
+                codes: Mutex::new(codes_cache),
                 metrics,
             }),
         })
@@ -403,6 +456,7 @@ struct EngineInner {
     rule: RuleKind,
     share_kappa: bool,
     planner: PlannerKind,
+    scan: ScanMode,
     /// The shared cost model: plan derivation for the stats-driven
     /// planners and per-segment cost estimates for admission control.
     cost: CostModel,
@@ -414,6 +468,10 @@ struct EngineInner {
     /// Full-table `T(x)`, materialised lazily the first time any request's
     /// rule needs it; workers slice it per segment.
     row_sums: OnceLock<Vec<f64>>,
+    /// Quantized code companions, cached per bit width: built lazily on the
+    /// first scan that needs them (or seeded from a store footer) and
+    /// shared by every later query at that width.
+    codes: Mutex<BTreeMap<u8, Arc<StoreCodes>>>,
     /// Pre-registered metric handles; every hot-path emission is a relaxed
     /// atomic bump on one of these.
     metrics: EngineMetrics,
@@ -438,6 +496,11 @@ struct ResolvedQuery<'b> {
     spec: &'b QuerySpec,
     rule: &'b RuleKind,
     planner: PlannerKind,
+    /// How this query reads column data (engine default or spec override).
+    scan: ScanMode,
+    /// The quantized code companions quantized scan modes sweep, resolved
+    /// (and built, on the cache's first miss) before any task runs.
+    codes: Option<Arc<StoreCodes>>,
     metric: Box<dyn DecomposableMetric>,
     objective: Objective,
     uniform_plan: Option<SegmentPlan>,
@@ -458,11 +521,15 @@ struct ResolvedQuery<'b> {
 
 /// What one `(query, segment)` task leaves in its slot: the search outcome
 /// plus the plan it executed (`None` for zone-map skips — no plan was ever
-/// derived).
+/// derived — and for approximate codes-only scans, which execute no
+/// dimension plan).
 #[derive(Debug)]
 struct TaskOutcome {
     outcome: SearchOutcome,
     plan: Option<SegmentPlan>,
+    /// Per-hit absolute error bounds, parallel to the outcome's hits;
+    /// `Some` only for approximate codes-only scans.
+    error_bounds: Option<Vec<f64>>,
 }
 
 impl Engine {
@@ -481,8 +548,10 @@ impl Engine {
             rule: RuleKind::HistogramHq,
             share_kappa: true,
             planner: PlannerKind::Uniform,
+            scan: ScanMode::Exact,
             preloaded: None,
             preloaded_learned: None,
+            preloaded_codes: None,
             metrics: None,
             open_micros: None,
         }
@@ -496,17 +565,26 @@ impl Engine {
     /// anything and whose `Feedback` planner starts *warm*: everything the
     /// serving process learned about its segments survives the restart.
     ///
+    /// The store also carries the engine's 8-bit quantized code companions
+    /// (built here if no query has needed them yet), so a reopened engine
+    /// serves [`ScanMode::QuantizedFilter`] and
+    /// [`ScanMode::ApproximateQuantized`] without re-encoding a single
+    /// fragment. Tables whose values cannot be quantized (non-finite
+    /// entries) persist without codes, exactly as before.
+    ///
     /// # Errors
     ///
     /// [`BondError::Storage`] on I/O failure.
     pub fn persist(&self, path: impl AsRef<Path>) -> Result<()> {
         let span = Span::begin("store.persist");
         let learned = self.inner.feedback.snapshot().to_bytes();
-        let report = save_store(
+        let codes = self.ensure_codes(8).ok();
+        let report = save_store_with_codes(
             &self.inner.table,
             &self.inner.specs,
             &self.inner.stats,
             Some(&learned),
+            codes.as_deref(),
             path.as_ref(),
         )
         .map_err(BondError::Storage)?;
@@ -514,6 +592,37 @@ impl Engine {
         self.inner.metrics.persist_us.record(report.elapsed_micros);
         self.inner.metrics.persist_bytes.add(report.bytes_written);
         Ok(())
+    }
+
+    /// The quantized code companions at `bits` bits per value, built on
+    /// first use and cached (seeded from the store footer for engines
+    /// opened from a store persisted with codes). Quantized scan modes call
+    /// this implicitly; exposed so callers can pre-warm the cache off the
+    /// query path.
+    ///
+    /// # Errors
+    ///
+    /// [`BondError::InvalidParams`] for a bit width outside 1..=8;
+    /// [`BondError::Storage`] when the table cannot be quantized
+    /// (non-finite values).
+    pub fn ensure_codes(&self, bits: u8) -> Result<Arc<StoreCodes>> {
+        if bits == 0 || bits > 8 {
+            return Err(BondError::InvalidParams(format!(
+                "scan-mode code bits must be in 1..=8, got {bits}"
+            )));
+        }
+        let mut cache = self.inner.codes.lock().expect("code cache lock");
+        if let Some(codes) = cache.get(&bits) {
+            return Ok(Arc::clone(codes));
+        }
+        let span = Span::begin("engine.codes.build").detail(bits as u64);
+        let codes =
+            StoreCodes::build(&self.inner.table, &self.inner.specs, &self.inner.stats, bits)
+                .map_err(BondError::Storage)?;
+        drop(span);
+        let codes = Arc::new(codes);
+        cache.insert(bits, Arc::clone(&codes));
+        Ok(codes)
     }
 
     /// The engine's [`MetricsRegistry`]: every executed batch, scan,
@@ -566,6 +675,12 @@ impl Engine {
         self.inner.planner
     }
 
+    /// The default scan mode (how queries read column data unless a
+    /// [`QuerySpec::scan_mode`] override says otherwise).
+    pub fn scan_mode(&self) -> ScanMode {
+        self.inner.scan
+    }
+
     /// The effective search parameters.
     pub fn params(&self) -> &BondParams {
         &self.inner.params
@@ -606,19 +721,51 @@ impl Engine {
     /// never skips).
     pub fn estimate_cost(&self, spec: &QuerySpec) -> f64 {
         let planner = spec.planner_override().unwrap_or(self.inner.planner);
-        let skipping = planner.is_stats_driven() && self.inner.share_kappa;
-        self.inner
-            .stats
-            .iter()
-            .enumerate()
-            .map(|(si, stats)| {
+        let scan = spec.scan_mode_override().unwrap_or(self.inner.scan);
+        let skipping =
+            planner.is_stats_driven() && self.inner.share_kappa && !scan.is_approximate();
+        (0..self.inner.stats.len())
+            .map(|si| {
                 // scalar_snapshot: the cost formula reads only the scalar
                 // counters, so the per-dimension credit vector is not cloned
                 // on this (per-submission) hot path
                 let snapshot = self.inner.feedback.segment(si).scalar_snapshot();
-                self.inner.cost.segment_cost(stats, Some(&snapshot), spec.k(), skipping)
+                self.segment_estimate(si, scan, Some(&snapshot), spec.k(), skipping).0
             })
             .sum()
+    }
+
+    /// One segment's cost estimate under `scan`, split into phases:
+    /// `(total, filter sweep, exact refine)` — the filter/refine parts are
+    /// `None` for exact scans. Code cells are priced at
+    /// [`CostModel::QUANT_CELL_COST`] of an exact cell. Shared by
+    /// [`Engine::estimate_cost`] and [`Engine::explain`], so the rendered
+    /// phase split always sums to the admission estimate.
+    pub(crate) fn segment_estimate(
+        &self,
+        si: usize,
+        scan: ScanMode,
+        snapshot: Option<&SegmentFeedbackSnapshot>,
+        k: usize,
+        skipping: bool,
+    ) -> (f64, Option<f64>, Option<f64>) {
+        let inner = &*self.inner;
+        let stats = &inner.stats[si];
+        match scan {
+            ScanMode::Exact => (inner.cost.segment_cost(stats, snapshot, k, skipping), None, None),
+            ScanMode::QuantizedFilter => {
+                let (filter, refine) =
+                    inner.cost.segment_cost_quantized_split(stats, snapshot, k, skipping);
+                (filter + refine, Some(filter), Some(refine))
+            }
+            ScanMode::ApproximateQuantized { .. } => {
+                // codes only: the full sweep, never skipped, nothing exact
+                let filter = stats.live_rows as f64
+                    * stats.per_dim.len() as f64
+                    * CostModel::QUANT_CELL_COST;
+                (filter, Some(filter), Some(0.0))
+            }
+        }
     }
 
     /// The `BondParams` a query executing under `rule` effectively uses:
@@ -740,6 +887,14 @@ impl Engine {
         // the validating constructors) error here instead of panicking in
         // `make_metric` during execution.
         rule.validate(dims).map_err(BondError::InvalidParams)?;
+        let scan = spec.scan_mode_override().unwrap_or(self.inner.scan);
+        if let ScanMode::ApproximateQuantized { bits } = scan {
+            if bits == 0 || bits > 8 {
+                return Err(BondError::InvalidParams(format!(
+                    "approximate scan bits must be in 1..=8, got {bits}"
+                )));
+            }
+        }
         Ok(())
     }
 
@@ -802,6 +957,13 @@ impl Engine {
             .map(|spec| {
                 let rule = spec.rule_override().unwrap_or(&inner.rule);
                 let planner = spec.planner_override().unwrap_or(inner.planner);
+                let scan = spec.scan_mode_override().unwrap_or(inner.scan);
+                // Quantized scans resolve (and, on the cache's first miss,
+                // build) their code companions up front — workers only read.
+                let codes = match scan.uses_codes() {
+                    true => Some(self.ensure_codes(scan.bits())?),
+                    false => None,
+                };
                 let metric = rule.make_metric();
                 let objective = rule.objective();
                 // The uniform plan is segment-independent; derive it once
@@ -823,10 +985,12 @@ impl Engine {
                 let visit_order = (planner.uses_feedback() && inner.share_kappa)
                     .then(|| self.plan_visit_order(metric.as_ref(), objective, spec.vector()));
                 let estimate = self.estimate_cost(spec);
-                ResolvedQuery {
+                Ok(ResolvedQuery {
                     spec,
                     rule,
                     planner,
+                    scan,
+                    codes,
                     metric,
                     objective,
                     uniform_plan,
@@ -834,9 +998,9 @@ impl Engine {
                     estimate,
                     kappa,
                     visit_order,
-                }
+                })
             })
-            .collect();
+            .collect::<Result<_>>()?;
 
         // The `T(x)` table, materialised once per engine the first time any
         // request's rule needs it.
@@ -878,13 +1042,53 @@ impl Engine {
             let k = rq.spec.k();
             let cell = rq.kappa.as_ref();
 
+            if rq.scan.is_approximate() {
+                // Codes only: one branch-free sweep of the segment's code
+                // columns, midpoint scores, per-hit error bounds. No exact
+                // fragment is read, no κ is published (midpoint scores are
+                // not safe bounds for exact searches), no plan is derived.
+                let scan_span = Span::begin("engine.scan").detail(si as u64);
+                let codes = rq.codes.as_ref().expect("approximate queries carry codes");
+                let start = segment.range().start as u32;
+                let result = codes.segment_view(si).map_err(BondError::Storage).and_then(|view| {
+                    quantfilter::approximate_topk(
+                        &view,
+                        rq.metric.as_ref(),
+                        query,
+                        k,
+                        &segment.live_bitmap(),
+                    )
+                });
+                drop(scan_span);
+                slots[task]
+                    .set(result.map(|approx| {
+                        let hits = approx
+                            .hits
+                            .into_iter()
+                            .map(|h| Scored { row: h.row + start, score: h.score })
+                            .collect();
+                        let trace = PruneTrace {
+                            filter_cells: approx.cells,
+                            rule: Some(rq.rule.name()),
+                            ..PruneTrace::default()
+                        };
+                        TaskOutcome {
+                            outcome: SearchOutcome { hits, trace },
+                            plan: None,
+                            error_bounds: Some(approx.error_bounds),
+                        }
+                    }))
+                    .expect("each task is claimed exactly once");
+                return;
+            }
+
             if rq.planner.is_stats_driven() {
                 if let Some(outcome) = self.try_skip_segment(si, rq) {
                     // a zone-map skip hit is itself feedback: it raises the
                     // segment's observed skip rate, cheapening its estimate
                     inner.feedback.segment(si).record_skip();
                     slots[task]
-                        .set(Ok(TaskOutcome { outcome, plan: None }))
+                        .set(Ok(TaskOutcome { outcome, plan: None, error_bounds: None }))
                         .expect("each task is claimed exactly once");
                     return;
                 }
@@ -911,10 +1115,24 @@ impl Engine {
                 let first_block = plan.schedule.next_block(0, inner.table.dims(), 0);
                 segment.advise(plan.order.iter().take(first_block).copied(), Advice::Sequential);
             }
+            // QuantizedFilter: hand the segment's code window to the
+            // searcher, which sweeps it as a first pass and exactly refines
+            // only the surviving rows.
+            let codes_view = match rq.codes.as_ref().map(|codes| codes.segment_view(si)) {
+                Some(Ok(view)) => Some(view),
+                Some(Err(e)) => {
+                    slots[task]
+                        .set(Err(BondError::Storage(e)))
+                        .expect("each task is claimed exactly once");
+                    return;
+                }
+                None => None,
+            };
             let ctx = SegmentContext {
                 kappa: cell.map(|cell| cell as &dyn KappaCell),
                 row_sums: row_sums.map(|sums| &sums[segment.range()]),
                 plan: Some(&plan),
+                codes: codes_view,
             };
             let mut outcome = search_segment(
                 segment,
@@ -952,7 +1170,11 @@ impl Engine {
             }
             drop(scan_span);
             slots[task]
-                .set(outcome.map(|outcome| TaskOutcome { outcome, plan: Some(plan) }))
+                .set(outcome.map(|outcome| TaskOutcome {
+                    outcome,
+                    plan: Some(plan),
+                    error_bounds: None,
+                }))
                 .expect("each task is claimed exactly once");
         };
 
@@ -989,7 +1211,8 @@ impl Engine {
         // Advised once per batch (not per query), and reset to the kernel
         // default afterwards so the hint does not outlive the gathers and
         // suppress readahead for the next batch's scans.
-        let reverifies = mapped && resolved.iter().any(|rq| rq.planner.is_stats_driven());
+        let reverifies = mapped
+            && resolved.iter().any(|rq| rq.planner.is_stats_driven() && !rq.scan.is_approximate());
         if reverifies {
             inner.table.advise(Advice::Random);
         }
@@ -1043,9 +1266,20 @@ impl Engine {
         if let Some(counter) = m.rule_counter(rq.rule.name()) {
             counter.add(searched);
         }
+        let filter_cells = outcome.quant_filter_cells();
+        if filter_cells > 0 {
+            m.quant_filter_cells.add(filter_cells);
+            m.quant_refine_rows.add(outcome.quant_refine_rows());
+            if let Some(selectivity) = outcome.quant_filter_selectivity() {
+                m.quant_filter_selectivity.record((selectivity * 100.0).round() as u64);
+            }
+        }
         // |estimated − executed| / executed, in whole percent; `max(1)`
-        // keeps a fully-skipped query (zero cells) finite.
-        let error_pct = (rq.estimate - scanned as f64).abs() / (scanned as f64).max(1.0) * 100.0;
+        // keeps a fully-skipped query (zero cells) finite. Executed work is
+        // in exact-cell equivalents: swept code cells count at the same
+        // discount the estimate priced them with.
+        let executed = scanned as f64 + filter_cells as f64 * CostModel::QUANT_CELL_COST;
+        let error_pct = (rq.estimate - executed).abs() / executed.max(1.0) * 100.0;
         m.cost_error.record(error_pct.round() as u64);
     }
 
@@ -1135,13 +1369,22 @@ impl Engine {
         segments: &[Segment<'_>],
         segment_outcomes: Vec<TaskOutcome>,
     ) -> QueryOutcome {
-        let reverify = rq.planner.is_stats_driven();
+        // Approximate scans never re-verify: their scores are interval
+        // midpoints by contract, and touching exact rows here would defeat
+        // the codes-only promise.
+        let reverify = rq.planner.is_stats_driven() && !rq.scan.is_approximate();
         let query = rq.spec.vector();
         let k = rq.spec.k();
         let mut runs = Vec::with_capacity(segment_outcomes.len());
+        let mut bound_by_row: HashMap<u32, f64> = HashMap::new();
         let offer = |heap_push: &mut dyn FnMut(Scored)| {
             for (segment, task) in segments.iter().zip(segment_outcomes) {
-                let TaskOutcome { outcome, plan } = task;
+                let TaskOutcome { outcome, plan, error_bounds } = task;
+                if let Some(bounds) = error_bounds {
+                    for (hit, bound) in outcome.hits.iter().zip(bounds) {
+                        bound_by_row.insert(hit.row, bound);
+                    }
+                }
                 for hit in &outcome.hits {
                     let score = if reverify {
                         let row =
@@ -1167,6 +1410,11 @@ impl Engine {
                 heap.into_sorted_vec()
             }
         };
+        let error_bounds = rq.scan.is_approximate().then(|| {
+            hits.iter()
+                .map(|h| bound_by_row.get(&h.row).copied().unwrap_or(f64::INFINITY))
+                .collect()
+        });
         // Close the feedback loop on the merge: a segment that was scanned
         // (not skipped) yet placed nothing in the final top-k was work the
         // zone map failed to avoid — a "skip miss".
@@ -1178,7 +1426,7 @@ impl Engine {
                 self.inner.metrics.segment_missed.inc();
             }
         }
-        QueryOutcome { hits, segments: runs }
+        QueryOutcome { hits, error_bounds, segments: runs }
     }
 
     /// Convenience: the sequential reference answer for the engine's

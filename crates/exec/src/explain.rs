@@ -17,7 +17,7 @@
 //! Both types are plain data with `Display` impls, so they print as
 //! compact reports and remain programmatically inspectable.
 
-use crate::batch::{QueryOutcome, QuerySpec};
+use crate::batch::{QueryOutcome, QuerySpec, ScanMode};
 use crate::engine::Engine;
 use crate::planner::PlannerKind;
 use bond::{Result, SegmentPlan};
@@ -75,8 +75,17 @@ pub struct SegmentExplain {
     /// segment with no envelope.
     pub envelope_bound: Option<f64>,
     /// The cost model's estimate of the `(candidate, dimension)` cells one
-    /// search of this segment will evaluate.
+    /// search of this segment will evaluate, in exact-cell equivalents
+    /// (for quantized scans: the filter and refine phases summed).
     pub estimated_cells: f64,
+    /// The quantized filter sweep's share of `estimated_cells` (code cells
+    /// priced at [`bond::CostModel::QUANT_CELL_COST`] each); `None` for
+    /// exact scans.
+    pub filter_cost: Option<f64>,
+    /// The exact refine phase's share of `estimated_cells`: the cells the
+    /// cost model expects the filter's survivors to need. `Some(0.0)` for
+    /// approximate codes-only scans, `None` for exact scans.
+    pub refine_cost: Option<f64>,
 }
 
 /// The rendered execution plan of one request — what [`Engine::execute`]
@@ -89,6 +98,8 @@ pub struct QueryExplain {
     pub rule: &'static str,
     /// The effective planning policy.
     pub planner: PlannerKind,
+    /// The effective scan mode (exact, quantized filter, or approximate).
+    pub scan: ScanMode,
     /// The table dimensionality.
     pub dims: usize,
     /// Whether κ-aware whole-segment skipping is armed for this request
@@ -113,10 +124,11 @@ impl fmt::Display for QueryExplain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "EXPLAIN k={} rule={} planner={:?} dims={} skipping={} est_cells={:.0}",
+            "EXPLAIN k={} rule={} planner={:?} scan={} dims={} skipping={} est_cells={:.0}",
             self.k,
             self.rule,
             self.planner,
+            self.scan.label(),
             self.dims,
             if self.skipping { "on" } else { "off" },
             self.estimated_cells(),
@@ -128,9 +140,15 @@ impl fmt::Display for QueryExplain {
             let ellipsis = if seg.plan.order.len() > 8 { " …" } else { "" };
             let bound =
                 seg.envelope_bound.map_or_else(|| "none".to_string(), |b| format!("{b:.4}"));
+            let phases = match (seg.filter_cost, seg.refine_cost) {
+                (Some(filter), Some(refine)) => {
+                    format!(" (filter={filter:.0} + refine={refine:.0})")
+                }
+                _ => String::new(),
+            };
             writeln!(
                 f,
-                "  segment {} rows {}..{} visit#{} [{}] bound={} est={:.0} cells",
+                "  segment {} rows {}..{} visit#{} [{}] bound={} est={:.0} cells{}",
                 seg.segment,
                 seg.rows.start,
                 seg.rows.end,
@@ -138,6 +156,7 @@ impl fmt::Display for QueryExplain {
                 seg.provenance.label(),
                 bound,
                 seg.estimated_cells,
+                phases,
             )?;
             writeln!(
                 f,
@@ -161,6 +180,12 @@ pub struct SegmentAnalysis {
     /// The `(candidate, dimension)` cells the scan actually evaluated —
     /// [`bond::PruneTrace::contributions_evaluated`], exactly.
     pub scanned_cells: u64,
+    /// Quantized code cells the first-pass filter (or approximate scan)
+    /// actually swept; `0` for exact scans.
+    pub filter_cells: u64,
+    /// Rows the quantized filter let through to exact refinement; `0` when
+    /// no filter ran.
+    pub refine_rows: u64,
     /// Whether the segment was skipped outright via its zone-map bound.
     pub skipped: bool,
     /// The pruning rule that produced the trace, as stamped by the engine.
@@ -196,6 +221,12 @@ impl QueryAnalysis {
     /// [`QueryOutcome::contributions_evaluated`] exactly.
     pub fn scanned_cells(&self) -> u64 {
         self.segments.iter().map(|s| s.scanned_cells).sum()
+    }
+
+    /// Total quantized code cells swept — matches
+    /// [`QueryOutcome::quant_filter_cells`] exactly.
+    pub fn filter_cells(&self) -> u64 {
+        self.segments.iter().map(|s| s.filter_cells).sum()
     }
 
     /// `|estimated − scanned| / scanned` in percent — the same calibration
@@ -236,12 +267,18 @@ impl fmt::Display for QueryAnalysis {
                 continue;
             }
             let depth = seg.prune_depth.map_or_else(|| "never".to_string(), |d| d.to_string());
+            let filter = if seg.filter_cells > 0 {
+                format!(" filter_cells={} refine_rows={}", seg.filter_cells, seg.refine_rows)
+            } else {
+                String::new()
+            };
             writeln!(
                 f,
-                "  segment {}: scanned {} est {:.0} prune_depth@k={} rule={} plan={}",
+                "  segment {}: scanned {} est {:.0}{} prune_depth@k={} rule={} plan={}",
                 seg.segment,
                 seg.scanned_cells,
                 seg.estimated_cells,
+                filter,
                 depth,
                 seg.rule.unwrap_or("?"),
                 match seg.plan_match {
@@ -276,11 +313,12 @@ impl Engine {
         self.validate(spec)?;
         let rule = spec.rule_override().unwrap_or(self.rule());
         let planner = spec.planner_override().unwrap_or(self.planner());
+        let scan = spec.scan_mode_override().unwrap_or(self.scan_mode());
         let metric = rule.make_metric();
         let objective = rule.objective();
         let query = spec.vector();
         let query_sum: f64 = query.iter().sum();
-        let skipping = planner.is_stats_driven() && self.kappa_shared();
+        let skipping = planner.is_stats_driven() && self.kappa_shared() && !scan.is_approximate();
         let visit_order = if planner.uses_feedback() && self.kappa_shared() {
             self.plan_visit_order(metric.as_ref(), objective, query)
         } else {
@@ -312,12 +350,8 @@ impl Engine {
                 };
                 let envelope_bound =
                     self.optimistic_bound(si, metric.as_ref(), objective, query, query_sum);
-                let estimated_cells = self.cost_model().segment_cost(
-                    &self.segment_stats()[si],
-                    Some(snapshot),
-                    spec.k(),
-                    skipping,
-                );
+                let (estimated_cells, filter_cost, refine_cost) =
+                    self.segment_estimate(si, scan, Some(snapshot), spec.k(), skipping);
                 SegmentExplain {
                     segment: si,
                     rows: seg_spec.range(),
@@ -326,6 +360,8 @@ impl Engine {
                     provenance,
                     envelope_bound,
                     estimated_cells,
+                    filter_cost,
+                    refine_cost,
                 }
             })
             .collect();
@@ -333,6 +369,7 @@ impl Engine {
             k: spec.k(),
             rule: rule.name(),
             planner,
+            scan,
             dims: self.table().dims(),
             skipping,
             visit_order,
@@ -361,6 +398,8 @@ impl QueryOutcome {
                 segment: si,
                 estimated_cells: rendered.estimated_cells,
                 scanned_cells: run.trace.contributions_evaluated,
+                filter_cells: run.trace.filter_cells,
+                refine_rows: run.trace.refine_rows,
                 skipped: run.trace.segment_skipped,
                 rule: run.trace.rule,
                 prune_depth: run.trace.dims_to_reach(explain.k),

@@ -76,6 +76,16 @@
 //!   through a read-only file mapping: adaptive planning and whole-segment
 //!   skipping work before a single data page is faulted in, and collections
 //!   larger than RAM stay servable.
+//! * **Quantized first-pass scanning** — [`ScanMode::QuantizedFilter`]
+//!   sweeps per-segment `u8` code columns ([`vdstore::StoreCodes`]) with
+//!   the branch-free [`bond::quantfilter`] kernel before the exact search:
+//!   only rows whose optimistic interval bound beats the query's current κ
+//!   fall through to `f64` refinement, and the answers stay bit-identical
+//!   to [`ScanMode::Exact`]. [`ScanMode::ApproximateQuantized`] answers
+//!   from the codes alone and reports a per-hit error bound
+//!   ([`batch::QueryOutcome::error_bounds`]). Codes persist in the store
+//!   footer, so reopened engines filter without re-encoding, and observed
+//!   filter selectivity feeds back into the cost model's estimates.
 //! * **A serving front-end** — [`service::Server`] wraps a cloned engine
 //!   in a submission queue: concurrent threads submit individual
 //!   [`QuerySpec`]s, a worker coalesces them into engine batches, and
@@ -137,7 +147,9 @@ pub mod planner;
 pub mod rules;
 pub mod service;
 
-pub use batch::{BatchOutcome, Priority, QueryOutcome, QuerySpec, RequestBatch, SegmentRun};
+pub use batch::{
+    BatchOutcome, Priority, QueryOutcome, QuerySpec, RequestBatch, ScanMode, SegmentRun,
+};
 pub use bond::{CostModel, FeedbackSnapshot, SegmentFeedbackSnapshot};
 pub use bond_obs::MetricsRegistry;
 pub use engine::{Engine, EngineBuilder};

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use bond_datagen::{sample_queries, ClusteredConfig};
-use bond_exec::{Engine, PlannerKind, QuerySpec, RequestBatch, RuleKind};
+use bond_exec::{Engine, PlannerKind, QuerySpec, RequestBatch, RuleKind, ScanMode};
 use vdstore::DecomposedTable;
 
 const DIMS: usize = 8;
@@ -201,10 +201,15 @@ fn warmed_feedback_run_populates_the_registry() {
     engine.execute(&warming).unwrap();
     let eval = RequestBatch::from_queries(sample_queries(&table, 12, 4321), 10);
     engine.execute(&eval).unwrap();
+    // one quantized-filter query feeds the filter-phase counters too
+    let quant_query = sample_queries(&table, 1, 777).remove(0);
+    engine
+        .search_spec(&QuerySpec::new(quant_query, 10).scan_mode(ScanMode::QuantizedFilter))
+        .unwrap();
 
     let metrics = engine.metrics();
-    assert_eq!(metrics.counter_value("engine.query.count"), Some(112));
-    assert_eq!(metrics.counter_value("engine.batch.count"), Some(2));
+    assert_eq!(metrics.counter_value("engine.query.count"), Some(113));
+    assert_eq!(metrics.counter_value("engine.batch.count"), Some(3));
     assert!(
         metrics.counter_value("engine.segment.skipped").unwrap() > 0,
         "warmed clustered run must skip whole segments"
@@ -214,12 +219,22 @@ fn warmed_feedback_run_populates_the_registry() {
         "warm-segment gauge never rose"
     );
     assert!(metrics.counter_value("engine.rule.Ev.searches").unwrap() > 0);
+    assert!(
+        metrics.counter_value("engine.quant.filter_cells").unwrap() > 0,
+        "quantized query must count its code sweep"
+    );
+    assert!(
+        metrics.histogram_snapshot("engine.quant.filter_selectivity").unwrap().count > 0,
+        "quantized query must record its filter selectivity"
+    );
     let latency = metrics.histogram_snapshot("engine.query.latency_us").unwrap();
-    assert_eq!(latency.count, 112);
+    assert_eq!(latency.count, 113);
 
     let text = metrics.render_text();
     assert!(text.contains("engine_segment_skipped"), "text export missing skip counter");
+    assert!(text.contains("engine_quant_filter_cells"), "text export missing filter counter");
     let json = metrics.render_json();
     assert!(json.contains("\"engine.segment.skipped\":"), "json export missing skip counter");
     assert!(json.contains("\"planner.feedback.warm_segments\":"));
+    assert!(json.contains("\"engine.quant.filter_cells\":"));
 }

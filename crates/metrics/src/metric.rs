@@ -74,6 +74,25 @@ pub trait DecomposableMetric: Send + Sync {
         }
     }
 
+    /// The *worst* contribution dimension `dim` can make for any value in
+    /// `[lo, hi]`: the minimum over the interval for a similarity metric,
+    /// the maximum for a distance metric.
+    ///
+    /// Together with [`DecomposableMetric::best_contribution`] this brackets
+    /// the exact contribution of any value known only up to an interval —
+    /// the building block of safe pruning on quantized codes, where a cell
+    /// index stands for the interval `[cell_lower, cell_upper]`. The default
+    /// is vacuous in the *pessimistic* direction (`−∞` / `+∞`), which makes
+    /// interval filters degenerate to "keep everything" rather than unsafe
+    /// for metrics that do not override it.
+    fn worst_contribution(&self, dim: usize, lo: f64, hi: f64, query: f64) -> f64 {
+        let _ = (dim, lo, hi, query);
+        match self.objective() {
+            Objective::Maximize => f64::NEG_INFINITY,
+            Objective::Minimize => f64::INFINITY,
+        }
+    }
+
     /// An *optimistic* bound on the score of any vector inside the
     /// per-dimension value envelope `[mins_i, maxs_i]`: no vector in the box
     /// can score better than this under the metric's objective. Comparing it
@@ -136,6 +155,12 @@ impl DecomposableMetric for HistogramIntersection {
         hi.min(query)
     }
 
+    #[inline]
+    fn worst_contribution(&self, _dim: usize, lo: f64, _hi: f64, query: f64) -> f64 {
+        // ... and the interval's bottom is worst.
+        lo.min(query)
+    }
+
     fn mass_best_score(
         &self,
         query_sum: f64,
@@ -186,6 +211,14 @@ impl DecomposableMetric for SquaredEuclidean {
         // (v − q)² is minimized at the point of [lo, hi] closest to q.
         let d = query.clamp(lo, hi) - query;
         d * d
+    }
+
+    #[inline]
+    fn worst_contribution(&self, _dim: usize, lo: f64, hi: f64, query: f64) -> f64 {
+        // ... and maximized at the endpoint farthest from q.
+        let dl = lo - query;
+        let dh = hi - query;
+        (dl * dl).max(dh * dh)
     }
 
     fn mass_best_score(
@@ -271,6 +304,11 @@ impl DecomposableMetric for WeightedHistogramIntersection {
         self.weights[dim] * hi.min(query)
     }
 
+    #[inline]
+    fn worst_contribution(&self, dim: usize, lo: f64, _hi: f64, query: f64) -> f64 {
+        self.weights[dim] * lo.min(query)
+    }
+
     fn name(&self) -> &'static str {
         "weighted_histogram_intersection"
     }
@@ -344,6 +382,13 @@ impl DecomposableMetric for WeightedSquaredEuclidean {
     fn best_contribution(&self, dim: usize, lo: f64, hi: f64, query: f64) -> f64 {
         let d = query.clamp(lo, hi) - query;
         self.weights[dim] * d * d
+    }
+
+    #[inline]
+    fn worst_contribution(&self, dim: usize, lo: f64, hi: f64, query: f64) -> f64 {
+        let dl = lo - query;
+        let dh = hi - query;
+        self.weights[dim] * (dl * dl).max(dh * dh)
     }
 
     fn name(&self) -> &'static str {
@@ -459,6 +504,60 @@ mod tests {
             let weighted_bound = weighted.envelope_best_score(&q, &mins, &maxs);
             assert!(weighted.score(&v, &q) >= weighted_bound - 1e-12);
         }
+    }
+
+    #[test]
+    fn interval_contributions_bracket_every_boxed_value() {
+        // for any value v in [lo, hi]:
+        //   worst ≤ contribution(v) ≤ best   (Maximize)
+        //   best ≤ contribution(v) ≤ worst   (Minimize)
+        let mut seed = 0x1357_9BDF_2468_ACE0u64;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let w_hist = WeightedHistogramIntersection::new(vec![2.0, 0.5, 0.0, 3.0]).unwrap();
+        let w_euc = WeightedSquaredEuclidean::new(vec![2.0, 0.5, 0.0, 3.0]).unwrap();
+        for _ in 0..500 {
+            let d = (next() * 4.0) as usize % 4;
+            let q = next() * 2.0 - 0.5;
+            let lo = next() * 2.0 - 0.5;
+            let hi = lo + next();
+            let v = lo + next() * (hi - lo);
+            let eps = 1e-12;
+            let h = HistogramIntersection.contribution(d, v, q);
+            assert!(HistogramIntersection.worst_contribution(d, lo, hi, q) <= h + eps);
+            assert!(h <= HistogramIntersection.best_contribution(d, lo, hi, q) + eps);
+            let e = SquaredEuclidean.contribution(d, v, q);
+            assert!(SquaredEuclidean.best_contribution(d, lo, hi, q) <= e + eps);
+            assert!(e <= SquaredEuclidean.worst_contribution(d, lo, hi, q) + eps);
+            let wh = w_hist.contribution(d, v, q);
+            assert!(w_hist.worst_contribution(d, lo, hi, q) <= wh + eps);
+            assert!(wh <= w_hist.best_contribution(d, lo, hi, q) + eps);
+            let we = w_euc.contribution(d, v, q);
+            assert!(w_euc.best_contribution(d, lo, hi, q) <= we + eps);
+            assert!(we <= w_euc.worst_contribution(d, lo, hi, q) + eps);
+        }
+        // the default is vacuous per objective
+        struct Opaque(Objective);
+        impl DecomposableMetric for Opaque {
+            fn objective(&self) -> Objective {
+                self.0
+            }
+            fn contribution(&self, _d: usize, v: f64, q: f64) -> f64 {
+                v * q
+            }
+            fn name(&self) -> &'static str {
+                "opaque"
+            }
+        }
+        assert_eq!(
+            Opaque(Objective::Maximize).worst_contribution(0, 0.0, 1.0, 0.5),
+            f64::NEG_INFINITY
+        );
+        assert_eq!(Opaque(Objective::Minimize).worst_contribution(0, 0.0, 1.0, 0.5), f64::INFINITY);
     }
 
     #[test]

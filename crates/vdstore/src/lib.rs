@@ -20,6 +20,9 @@
 //! * [`quantize`] provides the 8-bit scalar quantization used both by
 //!   BOND-on-compressed-fragments (Figure 9 / Table 4) and by the VA-File
 //!   baseline,
+//! * [`codes`] builds the per-segment `u8` code companions the execution
+//!   engine's quantized first-pass filter sweeps — persisted in the v2
+//!   footer and exposed zero-copy on the mapped backend,
 //! * [`stats`] computes the dataset statistics of Figure 2 that motivate the
 //!   dimension-ordering heuristics,
 //! * [`persist`] serialises decomposed tables to a simple binary format
@@ -40,6 +43,7 @@
 pub mod bat;
 pub mod bitmap;
 pub mod checksum;
+pub mod codes;
 pub mod column;
 pub mod error;
 pub mod mmap;
@@ -54,6 +58,7 @@ pub mod topk;
 
 pub use bat::{Bat, Head};
 pub use bitmap::Bitmap;
+pub use codes::{CodeColumn, CodeParams, SegmentCodesView, StoreCodes};
 pub use column::{Column, ColumnData};
 pub use error::{Result, VdError};
 pub use mmap::{Advice, MappedRegion, StorageBackend};

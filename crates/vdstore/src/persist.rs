@@ -35,6 +35,14 @@
 //!             bytes in the data region)
 //!           learned_len u32, learned bytes (opaque learned-state payload,
 //!             e.g. an engine's accumulated plan feedback; 0 = none)
+//!           codes section (optional — present iff any footer bytes remain
+//!             before the footer checksum; stores written without codes are
+//!             byte-identical to the pre-codes format):
+//!             bits u8 (1..=8)
+//!             per segment, per dim: code grid min f64, max f64
+//!             per dim: rows bytes of u8 cell codes, segment windows
+//!               encoded with that segment's grid
+//!             per dim: code checksum u64 (FNV-1a over the dim's code bytes)
 //!           footer checksum u64 (FNV-1a over all preceding footer bytes)
 //! trailer : footer_offset u64, tail magic 8 bytes = b"BONDFT02"
 //! ```
@@ -64,6 +72,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::bitmap::Bitmap;
 use crate::checksum::{fnv1a, fnv1a_f64, fnv1a_update, FNV_OFFSET};
+use crate::codes::{CodeColumn, CodeParams, StoreCodes};
 use crate::column::{Column, ColumnData};
 use crate::error::{Result, VdError};
 use crate::mmap::{MappedRegion, StorageBackend};
@@ -229,6 +238,11 @@ pub struct PersistedStore {
     /// The opaque learned-state payload persisted alongside the footer
     /// (e.g. an engine's accumulated plan feedback), when one was written.
     pub learned: Option<Vec<u8>>,
+    /// The per-segment quantized code companions from the footer, when the
+    /// store was written with them ([`save_store_with_codes`]) — a cold
+    /// open hands the engine's quantized filter its codes without touching
+    /// a single exact fragment. Mapped opens expose them zero-copy.
+    pub codes: Option<StoreCodes>,
     /// Wall time [`open_store`] (or [`store_from_bytes`]) spent producing
     /// this value, in microseconds — the cold-open cost an engine records
     /// as `store.open.cold_us`. Under [`StorageBackend::Mapped`] this
@@ -270,11 +284,13 @@ fn store_footer(
     stats: &[SegmentStats],
     checksums: &[u64],
     learned: Option<&[u8]>,
+    codes: Option<&StoreCodes>,
 ) -> BytesMut {
     let mut buf = BytesMut::with_capacity(
         64 + specs.len() * (48 + table.dims() * 41)
             + checksums.len() * 8
-            + learned.map_or(0, <[u8]>::len),
+            + learned.map_or(0, <[u8]>::len)
+            + codes.map_or(0, |c| c.rows() * c.dims() + c.n_segments() * c.dims() * 16),
     );
     for c in table.columns() {
         put_string(&mut buf, c.name());
@@ -312,6 +328,23 @@ fn store_footer(
     let learned = learned.unwrap_or(&[]);
     buf.put_u32_le(learned.len() as u32);
     buf.put_slice(learned);
+    if let Some(codes) = codes {
+        buf.put_u8(codes.bits());
+        for si in 0..codes.n_segments() {
+            let view = codes.segment_view(si).expect("segment in range");
+            for d in 0..codes.dims() {
+                let grid = view.params(d);
+                buf.put_f64_le(grid.min);
+                buf.put_f64_le(grid.max);
+            }
+        }
+        for d in 0..codes.dims() {
+            buf.put_slice(codes.dim_codes(d).expect("dim in range"));
+        }
+        for d in 0..codes.dims() {
+            buf.put_u64_le(codes.checksum(d).expect("dim in range"));
+        }
+    }
     buf
 }
 
@@ -335,7 +368,24 @@ pub fn store_to_bytes(
     stats: &[SegmentStats],
     learned: Option<&[u8]>,
 ) -> Result<Bytes> {
+    store_to_bytes_with_codes(table, specs, stats, learned, None)
+}
+
+/// [`store_to_bytes`] plus an optional quantized-code companion persisted
+/// in the footer's codes section. Writing `None` produces bytes identical
+/// to [`store_to_bytes`]; the codes must cover exactly this table and these
+/// segment boundaries.
+pub fn store_to_bytes_with_codes(
+    table: &DecomposedTable,
+    specs: &[SegmentSpec],
+    stats: &[SegmentStats],
+    learned: Option<&[u8]>,
+    codes: Option<&StoreCodes>,
+) -> Result<Bytes> {
     validate_store_inputs(table, specs, stats)?;
+    if let Some(codes) = codes {
+        validate_codes_inputs(table, specs, codes)?;
+    }
     let mut buf = store_header(table);
     let mut checksums = Vec::with_capacity(table.dims());
     for c in table.columns() {
@@ -345,7 +395,7 @@ pub fn store_to_bytes(
         checksums.push(fnv1a_f64(c.values()));
     }
     let footer_offset = buf.len() as u64;
-    let footer = store_footer(table, specs, stats, &checksums, learned);
+    let footer = store_footer(table, specs, stats, &checksums, learned, codes);
     buf.put_slice(&footer);
     buf.put_u64_le(fnv1a(&footer));
     buf.put_u64_le(footer_offset);
@@ -367,9 +417,26 @@ pub fn save_store(
     learned: Option<&[u8]>,
     path: &Path,
 ) -> Result<PersistReport> {
+    save_store_with_codes(table, specs, stats, learned, None, path)
+}
+
+/// [`save_store`] plus an optional quantized-code companion persisted in
+/// the footer's codes section — same streaming, same byte-exact agreement
+/// with [`store_to_bytes_with_codes`].
+pub fn save_store_with_codes(
+    table: &DecomposedTable,
+    specs: &[SegmentSpec],
+    stats: &[SegmentStats],
+    learned: Option<&[u8]>,
+    codes: Option<&StoreCodes>,
+    path: &Path,
+) -> Result<PersistReport> {
     use std::io::Write;
     let started = std::time::Instant::now();
     validate_store_inputs(table, specs, stats)?;
+    if let Some(codes) = codes {
+        validate_codes_inputs(table, specs, codes)?;
+    }
     let io_err = |e: std::io::Error| VdError::Io(format!("writing {}: {e}", path.display()));
     let file = std::fs::File::create(path).map_err(io_err)?;
     let mut w = std::io::BufWriter::new(file);
@@ -390,7 +457,7 @@ pub fn save_store(
         checksums.push(hash);
     }
     let footer_offset = (header.len() + table.rows() * table.dims() * 8) as u64;
-    let footer = store_footer(table, specs, stats, &checksums, learned);
+    let footer = store_footer(table, specs, stats, &checksums, learned, codes);
     w.write_all(&footer).map_err(io_err)?;
     w.write_all(&fnv1a(&footer).to_le_bytes()).map_err(io_err)?;
     w.write_all(&footer_offset.to_le_bytes()).map_err(io_err)?;
@@ -444,7 +511,13 @@ pub fn store_from_bytes(bytes: &[u8]) -> Result<PersistedStore> {
             Ok(Column::new(name.clone(), values))
         })
         .collect();
-    let mut store = assemble_store(layout, columns?, StorageBackend::Heap)?;
+    let code_columns = layout.codes.as_ref().map(|c| {
+        c.dim_offsets
+            .iter()
+            .map(|&offset| CodeColumn::from_vec(bytes[offset..offset + rows].to_vec()))
+            .collect()
+    });
+    let mut store = assemble_store(layout, columns?, code_columns, StorageBackend::Heap)?;
     store.open_micros = started.elapsed().as_micros() as u64;
     Ok(store)
 }
@@ -480,7 +553,16 @@ pub fn open_store(path: &Path, backend: StorageBackend) -> Result<PersistedStore
                 Ok(Column::from_data(name.clone(), data))
             })
             .collect();
-        let mut store = assemble_store(layout, columns?, StorageBackend::Mapped)?;
+        let code_columns = match layout.codes.as_ref() {
+            Some(c) => Some(
+                c.dim_offsets
+                    .iter()
+                    .map(|&offset| CodeColumn::mapped(region.clone(), offset, rows))
+                    .collect::<Result<Vec<_>>>()?,
+            ),
+            None => None,
+        };
+        let mut store = assemble_store(layout, columns?, code_columns, StorageBackend::Mapped)?;
         store.open_micros = started.elapsed().as_micros() as u64;
         return Ok(store);
     }
@@ -503,6 +585,17 @@ struct StoreLayout {
     stats: Vec<SegmentStats>,
     checksums: Vec<u64>,
     learned: Option<Vec<u8>>,
+    codes: Option<CodesLayout>,
+}
+
+/// Where the footer's codes section sits and how to decode it: per-segment
+/// grids plus the absolute file offset of each dimension's code bytes (the
+/// mapped backend views them zero-copy at exactly those offsets).
+struct CodesLayout {
+    bits: u8,
+    params: Vec<Vec<CodeParams>>,
+    dim_offsets: Vec<usize>,
+    checksums: Vec<u64>,
 }
 
 fn parse_layout(bytes: &[u8]) -> Result<StoreLayout> {
@@ -650,6 +743,51 @@ fn parse_layout(bytes: &[u8]) -> Result<StoreLayout> {
         footer.copy_to_slice(&mut payload);
         Some(payload)
     };
+    // anything left before the footer checksum is the codes section; a
+    // pre-codes store ends exactly here and parses as "no codes"
+    let codes = if footer.is_empty() {
+        None
+    } else {
+        let bits = read_u8(&mut footer, "code bits")?;
+        if bits == 0 || bits > 8 {
+            return Err(VdError::Corrupt(format!("code bits {bits} outside 1..=8")));
+        }
+        let mut params = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            let mut per_dim = Vec::with_capacity(dims);
+            for _ in 0..dims {
+                let min = read_f64(&mut footer, "code grid minimum")?;
+                let max = read_f64(&mut footer, "code grid maximum")?;
+                per_dim.push(CodeParams::new(min, max, bits).map_err(|e| {
+                    VdError::Corrupt(format!("segment {:?} code grid: {e}", spec.range()))
+                })?);
+            }
+            params.push(per_dim);
+        }
+        let mut dim_offsets = Vec::with_capacity(dims);
+        for _ in 0..dims {
+            if footer.remaining() < rows {
+                return Err(VdError::Corrupt("truncated code bytes".into()));
+            }
+            let consumed = footer_bytes.len() - footer.remaining();
+            dim_offsets.push(footer_offset + consumed);
+            footer = &footer[rows..];
+        }
+        let code_checksums: Vec<u64> =
+            (0..dims).map(|_| read_u64(&mut footer, "code checksum")).collect::<Result<_>>()?;
+        for (d, &offset) in dim_offsets.iter().enumerate() {
+            let local = offset - footer_offset;
+            let actual = fnv1a(&footer_bytes[local..local + rows]);
+            if actual != code_checksums[d] {
+                return Err(VdError::ChecksumMismatch {
+                    column: format!("{}.codes", column_names[d]),
+                    expected: code_checksums[d],
+                    actual,
+                });
+            }
+        }
+        Some(CodesLayout { bits, params, dim_offsets, checksums: code_checksums })
+    };
     if !footer.is_empty() {
         return Err(VdError::Corrupt(format!("{} trailing bytes in footer", footer.len())));
     }
@@ -663,14 +801,27 @@ fn parse_layout(bytes: &[u8]) -> Result<StoreLayout> {
         stats,
         checksums,
         learned,
+        codes,
     })
 }
 
 fn assemble_store(
     layout: StoreLayout,
     columns: Vec<Column>,
+    code_columns: Option<Vec<CodeColumn>>,
     backend: StorageBackend,
 ) -> Result<PersistedStore> {
+    let codes = match (layout.codes, code_columns) {
+        (Some(c), Some(code_columns)) => Some(StoreCodes::from_parts(
+            c.bits,
+            layout.rows,
+            layout.specs.clone(),
+            c.params,
+            code_columns,
+            c.checksums,
+        )?),
+        _ => None,
+    };
     let mut tombstones = Bitmap::new(layout.rows);
     for &row in &layout.deleted {
         tombstones.set(row);
@@ -683,8 +834,33 @@ fn assemble_store(
         backend,
         fragment_checksums: layout.checksums,
         learned: layout.learned,
+        codes,
         open_micros: 0,
     })
+}
+
+/// Checks that a code companion covers exactly this table and these segment
+/// boundaries — the writer-side invariant of the footer's codes section.
+fn validate_codes_inputs(
+    table: &DecomposedTable,
+    specs: &[SegmentSpec],
+    codes: &StoreCodes,
+) -> Result<()> {
+    if codes.rows() != table.rows() || codes.dims() != table.dims() {
+        return Err(VdError::InvalidArgument(format!(
+            "codes cover {} rows x {} dims, table holds {} x {}",
+            codes.rows(),
+            codes.dims(),
+            table.rows(),
+            table.dims()
+        )));
+    }
+    if !codes.matches_specs(specs) {
+        return Err(VdError::InvalidArgument(
+            "codes were encoded over different segment boundaries than the store's".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// Checks that `specs`/`stats` describe a valid segment layout for `table`:
@@ -1144,6 +1320,73 @@ mod tests {
             assert_eq!(mapped.fragment_checksums, heap.fragment_checksums);
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn codes_round_trip_both_backends_and_checksum_fail_on_corruption() {
+        let t = sample();
+        let specs = t.partition_specs(2);
+        let stats: Vec<SegmentStats> = specs.iter().map(|s| s.view(&t).unwrap().stats()).collect();
+        let codes = StoreCodes::build(&t, &specs, &stats, 8).unwrap();
+
+        // a store written without codes still parses — as "no codes"
+        let plain = store_to_bytes(&t, &specs, &stats, None).unwrap();
+        assert!(store_from_bytes(&plain).unwrap().codes.is_none());
+
+        let bytes = store_to_bytes_with_codes(&t, &specs, &stats, None, Some(&codes)).unwrap();
+        let store = store_from_bytes(&bytes).unwrap();
+        let back = store.codes.as_ref().unwrap();
+        assert_eq!(back.bits(), 8);
+        assert!(back.matches_specs(&specs));
+        assert!(!back.is_mapped());
+        for d in 0..t.dims() {
+            assert_eq!(back.dim_codes(d).unwrap(), codes.dim_codes(d).unwrap());
+            assert_eq!(back.checksum(d).unwrap(), codes.checksum(d).unwrap());
+            for si in 0..specs.len() {
+                assert_eq!(
+                    back.segment_view(si).unwrap().params(d),
+                    codes.segment_view(si).unwrap().params(d)
+                );
+            }
+        }
+
+        // the streamed writer agrees byte for byte, and both backends
+        // reopen the codes
+        let dir = std::env::temp_dir().join("vdstore_store_codes_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("codes.bondvd");
+        save_store_with_codes(&t, &specs, &stats, None, Some(&codes), &path).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), bytes.to_vec());
+        let heap = open_store(&path, StorageBackend::Heap).unwrap();
+        assert_eq!(heap.codes.as_ref().unwrap().dim_codes(0).unwrap(), codes.dim_codes(0).unwrap());
+        if StorageBackend::mapping_supported() {
+            let mapped = open_store(&path, StorageBackend::Mapped).unwrap();
+            let mc = mapped.codes.as_ref().unwrap();
+            assert!(mc.is_mapped(), "mapped opens view codes zero-copy");
+            for d in 0..t.dims() {
+                assert_eq!(mc.dim_codes(d).unwrap(), codes.dim_codes(d).unwrap());
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+
+        // flipping one code byte fails the open with a typed checksum error
+        // (the footer checksum covers the codes section)
+        let layout = parse_layout(&bytes).unwrap();
+        let code_offset = layout.codes.unwrap().dim_offsets[0];
+        let mut corrupted = bytes.to_vec();
+        corrupted[code_offset] ^= 0xFF;
+        let err = store_from_bytes(&corrupted).unwrap_err();
+        assert!(matches!(err, VdError::Corrupt(ref m) if m.contains("footer checksum")), "{err}");
+
+        // the writers reject codes built over different boundaries
+        let other_specs = t.partition_specs(1);
+        let other_stats: Vec<SegmentStats> =
+            other_specs.iter().map(|s| s.view(&t).unwrap().stats()).collect();
+        let mismatched = StoreCodes::build(&t, &other_specs, &other_stats, 8).unwrap();
+        assert!(matches!(
+            store_to_bytes_with_codes(&t, &specs, &stats, None, Some(&mismatched)),
+            Err(VdError::InvalidArgument(_))
+        ));
     }
 
     #[test]

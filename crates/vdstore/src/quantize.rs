@@ -41,9 +41,18 @@ impl QuantizedColumn {
         if column.is_empty() {
             return Err(VdError::Empty("column"));
         }
+        if let Some(row) = column.values().iter().position(|v| !v.is_finite()) {
+            return Err(VdError::InvalidQuantization(format!(
+                "column '{}' has a non-finite value at row {row}; \
+                 (v - min) / width would emit a garbage code",
+                column.name()
+            )));
+        }
         let min = column.min().expect("non-empty column");
         let max = column.max().expect("non-empty column");
         let levels = 1u32 << bits;
+        // min == max (constant or all-equal column) degrades to a safe
+        // single-level code: width 0, every row in cell 0, zero error.
         let width = cell_width(min, max, levels);
         let codes = column
             .values()
@@ -87,6 +96,16 @@ impl QuantizedColumn {
         &self.codes
     }
 
+    /// The lower edge of the quantization grid (the column's minimum).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// The upper edge of the quantization grid (the column's maximum).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
     fn width(&self) -> f64 {
         cell_width(self.min, self.max, 1u32 << self.bits)
     }
@@ -102,7 +121,9 @@ impl QuantizedColumn {
     /// value is guaranteed to be `<= cell_upper(row)`.
     #[inline]
     pub fn cell_upper(&self, row: RowId) -> f64 {
-        let upper = self.min + (self.codes[row as usize] + 1) as f64 * self.width();
+        // u32 arithmetic: the all-ones code of a 16-bit grid must not
+        // overflow the +1
+        let upper = self.min + (self.codes[row as usize] as u32 + 1) as f64 * self.width();
         upper.min(self.max)
     }
 

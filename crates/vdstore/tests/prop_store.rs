@@ -67,6 +67,42 @@ proptest! {
     }
 
     #[test]
+    fn quantization_rejects_non_finite_values(
+        values in proptest::collection::vec(-10.0f64..10.0, 1..60),
+        at_seed in 0usize..1_000_000_000,
+        kind in 0u8..3,
+        bits in 1u8..=16,
+    ) {
+        let mut values = values;
+        let at = at_seed % values.len();
+        values[at] = match kind {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        };
+        let column = Column::new("c", values);
+        let err = QuantizedColumn::from_column(&column, bits).unwrap_err();
+        prop_assert!(matches!(err, vdstore::VdError::InvalidQuantization(_)));
+    }
+
+    #[test]
+    fn all_equal_columns_quantize_to_exact_single_level_codes(
+        value in -10.0f64..10.0,
+        len in 1usize..80,
+        bits in 1u8..=12,
+    ) {
+        let column = Column::new("c", vec![value; len]);
+        let q = QuantizedColumn::from_column(&column, bits).unwrap();
+        prop_assert_eq!(q.max_error(), 0.0);
+        for r in 0..len as u32 {
+            prop_assert_eq!(q.code(r), 0);
+            prop_assert_eq!(q.cell_lower(r), value);
+            prop_assert_eq!(q.cell_upper(r), value);
+            prop_assert_eq!(q.approximate(r), value);
+        }
+    }
+
+    #[test]
     fn topk_heaps_agree_with_sorting(
         values in proptest::collection::vec(-1000.0f64..1000.0, 1..200),
         k in 1usize..30,
@@ -160,6 +196,43 @@ proptest! {
             let fresh = spec.view(&store.table).unwrap().stats();
             prop_assert_eq!(stat, &fresh);
             prop_assert_eq!(stat.envelope(), fresh.envelope());
+        }
+    }
+
+    #[test]
+    fn persisted_codes_round_trip_and_bracket_exact_values(
+        raw in proptest::collection::vec(proptest::collection::vec(-2.0f64..2.0, 4), 1..40),
+        partitions in 1usize..5,
+        bits in 1u8..=8,
+    ) {
+        let table = DecomposedTable::from_vectors("codes", &raw).unwrap();
+        let specs = table.partition_specs(partitions);
+        let stats: Vec<vdstore::SegmentStats> =
+            specs.iter().map(|s| s.view(&table).unwrap().stats()).collect();
+        let codes = vdstore::StoreCodes::build(&table, &specs, &stats, bits).unwrap();
+        let bytes =
+            persist::store_to_bytes_with_codes(&table, &specs, &stats, None, Some(&codes))
+                .unwrap();
+        let store = persist::store_from_bytes(&bytes).unwrap();
+        let back = store.codes.as_ref().unwrap();
+        prop_assert_eq!(back.bits(), bits);
+        prop_assert!(back.matches_specs(&specs));
+        // reopened codes are byte-identical and their grids still bracket
+        // every exact value of their segment
+        for (si, spec) in specs.iter().enumerate() {
+            let view = back.segment_view(si).unwrap();
+            for d in 0..table.dims() {
+                prop_assert_eq!(
+                    view.dim_codes(d).unwrap(),
+                    &codes.dim_codes(d).unwrap()[spec.range()]
+                );
+                let grid = view.params(d);
+                let exact = &table.column(d).unwrap().values()[spec.range()];
+                for (&code, &v) in view.dim_codes(d).unwrap().iter().zip(exact) {
+                    let (lo, hi) = grid.cell_bounds(code);
+                    prop_assert!(lo <= v + 1e-9 && v <= hi + 1e-9);
+                }
+            }
         }
     }
 

@@ -20,7 +20,7 @@
 use std::sync::Arc;
 
 use bond_datagen::{sample_queries, ClusteredConfig};
-use bond_exec::{Engine, PlannerKind, QuerySpec, RequestBatch, RuleKind};
+use bond_exec::{Engine, PlannerKind, QuerySpec, RequestBatch, RuleKind, ScanMode};
 use bond_obs::span;
 
 fn main() {
@@ -77,7 +77,28 @@ fn main() {
     assert!(analysis.plans_match(), "executed plan diverged from rendered plan");
     assert_eq!(analysis.scanned_cells(), outcome.contributions_evaluated());
 
-    // 5. Where did the time go? Drain the span ring buffer and aggregate
+    // 5. The same request through the quantized first pass: EXPLAIN now
+    //    splits every segment's estimate into a filter phase (the u8 code
+    //    sweep) and a refine phase (exact f64 work scaled by the observed
+    //    filter selectivity), ANALYZE joins the executed filter counters,
+    //    and the answer stays bit-identical to the exact scan.
+    let quantized = spec.clone().scan_mode(ScanMode::QuantizedFilter);
+    let qexplain = engine.explain(&quantized).expect("explainable query");
+    println!("{qexplain}");
+    let qoutcome = engine.search_spec(&quantized).expect("query executes");
+    assert_eq!(qoutcome.hits, outcome.hits, "the quantized filter must stay bit-identical");
+    let qanalysis = qoutcome.analyze(&qexplain);
+    println!("{qanalysis}");
+    println!(
+        "quantized filter: {} code cells swept, {} rows refined exactly, selectivity {:.4} \
+         (exact scan touched {} f64 cells)",
+        qoutcome.quant_filter_cells(),
+        qoutcome.quant_refine_rows(),
+        qoutcome.quant_filter_selectivity().unwrap_or(1.0),
+        outcome.contributions_evaluated(),
+    );
+
+    // 6. Where did the time go? Drain the span ring buffer and aggregate
     //    the per-stage durations of everything run so far.
     let spans = span::take_spans();
     let mut by_stage: Vec<(&'static str, u64, u64)> = Vec::new();
@@ -96,11 +117,11 @@ fn main() {
         println!("  {stage:<16} x{count:<5} {total:>8} us total");
     }
 
-    // 6. The metrics registry: every layer of the engine emitted into it.
+    // 7. The metrics registry: every layer of the engine emitted into it.
     //    Prometheus-style text for scraping …
     println!("\nmetrics (Prometheus text format):");
     print!("{}", engine.metrics().render_text());
 
-    // 7. … and the one-line JSON snapshot the perf trajectory consumes.
+    // 8. … and the one-line JSON snapshot the perf trajectory consumes.
     println!("\nBENCH_JSON {}", engine.metrics().render_json());
 }

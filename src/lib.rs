@@ -19,7 +19,8 @@ pub use vdstore;
 
 pub use bond_exec::{
     AdaptivePlanner, CostModel, Engine, EngineBuilder, FeedbackSnapshot, PlannerKind, Priority,
-    QuerySpec, RequestBatch, RuleKind, SegmentFeedbackSnapshot, Server, ServerBuilder, Ticket,
+    QuerySpec, RequestBatch, RuleKind, ScanMode, SegmentFeedbackSnapshot, Server, ServerBuilder,
+    Ticket,
 };
 
 pub use bond_exec::{
