@@ -105,6 +105,10 @@ impl SegmentFeedback {
     /// scanned in (the plan's permutation) and `rows` the segment's row
     /// count; both come from the caller because a trace alone does not know
     /// which dimension sat at which scan position.
+    // ordering: relaxed — every counter is an independent monotone
+    // accumulator folded by racing workers via atomic RMW (no increment is
+    // lost); readers consume snapshots that tune plans and cost estimates,
+    // never answers, so cross-counter skew from unordered folds is benign.
     pub fn record_search(&self, order: &[usize], trace: &PruneTrace, rows: usize) {
         self.searches.fetch_add(1, Ordering::Relaxed);
         self.contributions.fetch_add(trace.contributions_evaluated, Ordering::Relaxed);
@@ -143,12 +147,16 @@ impl SegmentFeedback {
     }
 
     /// Records one zone-map skip (the envelope bound saved the scan).
+    // ordering: relaxed — independent monotone event count (see
+    // `record_search`).
     pub fn record_skip(&self) {
         self.skips.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records that a scanned search contributed nothing to its query's
     /// final top-k (the work the zone map failed to avoid).
+    // ordering: relaxed — independent monotone event count (see
+    // `record_search`).
     pub fn record_miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
@@ -158,6 +166,9 @@ impl SegmentFeedback {
     /// the per-dimension credit vector. The cheap variant for admission
     /// hot paths that price many requests per second; `prune_credit` is
     /// left empty, so do not plan from this.
+    // ordering: relaxed — loads race with in-flight folds; the copy only
+    // staleness-shifts cost estimates, and each field alone is a valid
+    // (monotone) reading, so no acquire pairing is needed.
     pub fn scalar_snapshot(&self) -> SegmentFeedbackSnapshot {
         SegmentFeedbackSnapshot {
             searches: self.searches.load(Ordering::Relaxed),
@@ -177,6 +188,8 @@ impl SegmentFeedback {
     /// A plain-data copy of the counters (each counter is read atomically;
     /// concurrent folds may land between reads, which only staleness-shifts
     /// the snapshot — acceptable for planning).
+    // ordering: relaxed — same contract as `scalar_snapshot`: planning
+    // input may trail execution by a few folds, never an answer.
     pub fn snapshot(&self) -> SegmentFeedbackSnapshot {
         SegmentFeedbackSnapshot {
             searches: self.searches.load(Ordering::Relaxed),

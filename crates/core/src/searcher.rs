@@ -333,7 +333,7 @@ pub fn search_segment(
     // recorded as a `segment.warmup` span (detail: dimensions processed)
     // while the global subscriber is on. Off (the default), beginning the
     // span is one relaxed atomic load and no clock is read.
-    let mut warmup_span = Some(bond_obs::Span::begin("segment.warmup"));
+    let mut warmup_span = Some(bond_obs::Span::begin(bond_obs::names::SPAN_SEGMENT_WARMUP));
     loop {
         let block = plan.schedule.next_block(processed, dims, attempts);
         if block == 0 {

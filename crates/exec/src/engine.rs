@@ -53,7 +53,7 @@ use bond::{
     SegmentFeedbackSnapshot, SegmentPlan,
 };
 use bond_metrics::{DecomposableMetric, Objective};
-use bond_obs::{Counter, Gauge, Histogram, MetricsRegistry, Span};
+use bond_obs::{names, Counter, Gauge, Histogram, MetricsRegistry, Span};
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -124,25 +124,25 @@ pub(crate) struct EngineMetrics {
 
 impl EngineMetrics {
     fn new(registry: MetricsRegistry) -> EngineMetrics {
-        let rule_searches = RULE_NAMES
-            .map(|name| (name, registry.counter(&format!("engine.rule.{name}.searches"))));
+        let rule_searches =
+            RULE_NAMES.map(|name| (name, registry.counter(&names::engine_rule_searches(name))));
         EngineMetrics {
-            batches: registry.counter("engine.batch.count"),
-            queries: registry.counter("engine.query.count"),
-            latency_us: registry.histogram("engine.query.latency_us"),
-            scanned_cells: registry.histogram("engine.query.scanned_cells"),
-            segment_searched: registry.counter("engine.segment.searched"),
-            segment_skipped: registry.counter("engine.segment.skipped"),
-            segment_missed: registry.counter("engine.segment.missed"),
+            batches: registry.counter(names::ENGINE_BATCH_COUNT),
+            queries: registry.counter(names::ENGINE_QUERY_COUNT),
+            latency_us: registry.histogram(names::ENGINE_QUERY_LATENCY_US),
+            scanned_cells: registry.histogram(names::ENGINE_QUERY_SCANNED_CELLS),
+            segment_searched: registry.counter(names::ENGINE_SEGMENT_SEARCHED),
+            segment_skipped: registry.counter(names::ENGINE_SEGMENT_SKIPPED),
+            segment_missed: registry.counter(names::ENGINE_SEGMENT_MISSED),
             rule_searches,
-            warm_segments: registry.gauge("planner.feedback.warm_segments"),
-            cost_error: registry.histogram("planner.cost.abs_rel_error"),
-            open_cold_us: registry.histogram("store.open.cold_us"),
-            persist_us: registry.histogram("store.persist.us"),
-            persist_bytes: registry.counter("store.persist.bytes"),
-            quant_filter_cells: registry.counter("engine.quant.filter_cells"),
-            quant_refine_rows: registry.counter("engine.quant.refine_rows"),
-            quant_filter_selectivity: registry.histogram("engine.quant.filter_selectivity"),
+            warm_segments: registry.gauge(names::PLANNER_FEEDBACK_WARM_SEGMENTS),
+            cost_error: registry.histogram(names::PLANNER_COST_ABS_REL_ERROR),
+            open_cold_us: registry.histogram(names::STORE_OPEN_COLD_US),
+            persist_us: registry.histogram(names::STORE_PERSIST_US),
+            persist_bytes: registry.counter(names::STORE_PERSIST_BYTES),
+            quant_filter_cells: registry.counter(names::ENGINE_QUANT_FILTER_CELLS),
+            quant_refine_rows: registry.counter(names::ENGINE_QUANT_REFINE_ROWS),
+            quant_filter_selectivity: registry.histogram(names::ENGINE_QUANT_FILTER_SELECTIVITY),
             registry,
         }
     }
@@ -359,7 +359,7 @@ impl EngineBuilder {
                 return Err(BondError::WeightDimensionMismatch { expected: dims, actual: w.len() });
             }
         }
-        self.rule.validate(dims).map_err(BondError::InvalidParams)?;
+        self.rule.validate(dims)?;
         if let ScanMode::ApproximateQuantized { bits } = self.scan {
             if bits == 0 || bits > 8 {
                 return Err(BondError::InvalidParams(format!(
@@ -576,7 +576,7 @@ impl Engine {
     ///
     /// [`BondError::Storage`] on I/O failure.
     pub fn persist(&self, path: impl AsRef<Path>) -> Result<()> {
-        let span = Span::begin("store.persist");
+        let span = Span::begin(names::SPAN_STORE_PERSIST);
         let learned = self.inner.feedback.snapshot().to_bytes();
         let codes = self.ensure_codes(8).ok();
         let report = save_store_with_codes(
@@ -615,7 +615,7 @@ impl Engine {
         if let Some(codes) = cache.get(&bits) {
             return Ok(Arc::clone(codes));
         }
-        let span = Span::begin("engine.codes.build").detail(bits as u64);
+        let span = Span::begin(names::SPAN_ENGINE_CODES_BUILD).detail(bits as u64);
         let codes =
             StoreCodes::build(&self.inner.table, &self.inner.specs, &self.inner.stats, bits)
                 .map_err(BondError::Storage)?;
@@ -886,7 +886,7 @@ impl Engine {
         // Invalid weight *values* (directly constructed variants bypassing
         // the validating constructors) error here instead of panicking in
         // `make_metric` during execution.
-        rule.validate(dims).map_err(BondError::InvalidParams)?;
+        rule.validate(dims)?;
         let scan = spec.scan_mode_override().unwrap_or(self.inner.scan);
         if let ScanMode::ApproximateQuantized { bits } = scan {
             if bits == 0 || bits > 8 {
@@ -933,7 +933,7 @@ impl Engine {
             return Ok(BatchOutcome { queries: Vec::new() });
         }
         let batch_start = Instant::now();
-        let plan_span = Span::begin("engine.plan").detail(batch.len() as u64);
+        let plan_span = Span::begin(names::SPAN_ENGINE_PLAN).detail(batch.len() as u64);
 
         // Materialise the zero-copy segment views for this call.
         let segments: Vec<Segment<'_>> = inner
@@ -1047,7 +1047,7 @@ impl Engine {
                 // columns, midpoint scores, per-hit error bounds. No exact
                 // fragment is read, no κ is published (midpoint scores are
                 // not safe bounds for exact searches), no plan is derived.
-                let scan_span = Span::begin("engine.scan").detail(si as u64);
+                let scan_span = Span::begin(names::SPAN_ENGINE_SCAN).detail(si as u64);
                 let codes = rq.codes.as_ref().expect("approximate queries carry codes");
                 let start = segment.range().start as u32;
                 let result = codes.segment_view(si).map_err(BondError::Storage).and_then(|view| {
@@ -1094,7 +1094,7 @@ impl Engine {
                 }
             }
 
-            let scan_span = Span::begin("engine.scan").detail(si as u64);
+            let scan_span = Span::begin(names::SPAN_ENGINE_SCAN).detail(si as u64);
             let mut rule = rq.rule.make_rule();
             let plan = match rq.planner {
                 PlannerKind::Uniform => {
@@ -1188,6 +1188,10 @@ impl Engine {
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
+                        // ordering: relaxed — the atomic RMW alone makes each
+                        // task index unique; task *data* is published to the
+                        // workers by `thread::scope`'s spawn (happens-before
+                        // the closure runs), not through this counter.
                         let task = next_task.fetch_add(1, Ordering::Relaxed);
                         if task >= n_tasks {
                             break;
@@ -1216,7 +1220,7 @@ impl Engine {
         if reverifies {
             inner.table.advise(Advice::Random);
         }
-        let merge_span = Span::begin("engine.merge").detail(batch.len() as u64);
+        let merge_span = Span::begin(names::SPAN_ENGINE_MERGE).detail(batch.len() as u64);
         let mut queries = Vec::with_capacity(batch.len());
         for rq in &resolved {
             let mut segment_outcomes: Vec<TaskOutcome> =

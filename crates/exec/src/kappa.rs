@@ -38,6 +38,11 @@ impl SharedKappa {
     }
 
     /// Merges `local` into the cell and returns the tightest κ known.
+    // ordering: relaxed — the κ value travels through this one atomic (the
+    // CAS retry loop re-reads on contention, so no tightening is lost) and
+    // is self-certifying: any value a worker observes is a bound some
+    // search proved, so acting on a stale κ only prunes less, never
+    // wrongly. No other memory is published through the cell.
     pub fn merge(&self, local: f64) -> f64 {
         let mut observed = self.bits.load(Ordering::Relaxed);
         loop {
@@ -60,6 +65,8 @@ impl SharedKappa {
     }
 
     /// The tightest κ proven so far, if any.
+    // ordering: relaxed — a possibly-stale κ is still a valid bound (see
+    // `merge`); missing the newest value only costs pruning opportunity.
     pub fn get(&self) -> Option<f64> {
         let bits = self.bits.load(Ordering::Relaxed);
         (bits != EMPTY).then(|| f64::from_bits(bits))

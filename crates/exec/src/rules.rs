@@ -10,6 +10,7 @@
 //! Euclidean with the safe WEv bound), so weighted and subspace queries run
 //! through the same partitioned engine as the unweighted ones.
 
+use bond::BondError;
 use bond_metrics::{
     DecomposableMetric, EqRule, EvRule, HhRule, HistogramIntersection, HqRule, Objective,
     PruningRule, SquaredEuclidean, WeightedEvRule, WeightedHistogramIntersection, WeightedHqRule,
@@ -56,14 +57,14 @@ impl RuleKind {
     ];
 
     /// A validated weighted-histogram-intersection rule.
-    pub fn weighted_histogram(weights: Vec<f64>) -> Result<Self, String> {
-        WeightedHistogramIntersection::new(weights.clone())?;
+    pub fn weighted_histogram(weights: Vec<f64>) -> Result<Self, BondError> {
+        WeightedHistogramIntersection::new(weights.clone()).map_err(BondError::InvalidParams)?;
         Ok(RuleKind::WeightedHistogram(weights))
     }
 
     /// A validated weighted-squared-Euclidean rule.
-    pub fn weighted_euclidean(weights: Vec<f64>) -> Result<Self, String> {
-        WeightedSquaredEuclidean::new(weights.clone())?;
+    pub fn weighted_euclidean(weights: Vec<f64>) -> Result<Self, BondError> {
+        WeightedSquaredEuclidean::new(weights.clone()).map_err(BondError::InvalidParams)?;
         Ok(RuleKind::WeightedEuclidean(weights))
     }
 
@@ -73,17 +74,22 @@ impl RuleKind {
     /// of every `execute` and surfaces a proper error instead of panicking
     /// mid-search. Value validity is delegated to the metric constructors —
     /// the single source of the "finite and non-negative" rule.
-    pub fn validate(&self, dims: usize) -> Result<(), String> {
+    pub fn validate(&self, dims: usize) -> Result<(), BondError> {
         if let Some(w) = self.weights() {
             if w.len() != dims {
-                return Err(format!("rule has {} weights, table has {dims} dimensions", w.len()));
+                return Err(BondError::InvalidParams(format!(
+                    "rule has {} weights, table has {dims} dimensions",
+                    w.len()
+                )));
             }
         }
         match self {
-            RuleKind::WeightedHistogram(w) => {
-                WeightedHistogramIntersection::new(w.clone()).map(|_| ())
-            }
-            RuleKind::WeightedEuclidean(w) => WeightedSquaredEuclidean::new(w.clone()).map(|_| ()),
+            RuleKind::WeightedHistogram(w) => WeightedHistogramIntersection::new(w.clone())
+                .map(|_| ())
+                .map_err(BondError::InvalidParams),
+            RuleKind::WeightedEuclidean(w) => WeightedSquaredEuclidean::new(w.clone())
+                .map(|_| ())
+                .map_err(BondError::InvalidParams),
             _ => Ok(()),
         }
     }

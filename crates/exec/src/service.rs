@@ -58,7 +58,7 @@
 use crate::batch::{QueryOutcome, QuerySpec, RequestBatch};
 use crate::engine::Engine;
 use bond::{BondError, Result};
-use bond_obs::{span, Counter, Gauge, Histogram, MetricsRegistry, Span};
+use bond_obs::{names, span, Counter, Gauge, Histogram, MetricsRegistry, Span};
 use std::collections::VecDeque;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -115,11 +115,11 @@ struct ServiceMetrics {
 impl ServiceMetrics {
     fn new(registry: &MetricsRegistry) -> ServiceMetrics {
         ServiceMetrics {
-            batches: registry.counter("service.batch.executed"),
-            served: registry.counter("service.query.served"),
-            rejected: registry.counter("service.admission.rejected"),
-            queue_depth: registry.gauge("service.queue.depth"),
-            queue_wait_us: registry.histogram("service.queue.wait_us"),
+            batches: registry.counter(names::SERVICE_BATCH_EXECUTED),
+            served: registry.counter(names::SERVICE_QUERY_SERVED),
+            rejected: registry.counter(names::SERVICE_ADMISSION_REJECTED),
+            queue_depth: registry.gauge(names::SERVICE_QUEUE_DEPTH),
+            queue_wait_us: registry.histogram(names::SERVICE_QUEUE_WAIT_US),
         }
     }
 }
@@ -459,7 +459,7 @@ fn worker_loop(engine: &Engine, shared: &Shared, max_batch: usize, max_cost: f64
             let waited_us = pending.submitted.elapsed().as_micros() as u64;
             shared.metrics.queue_wait_us.record(waited_us);
             span::record(
-                "service.queue_wait",
+                names::SPAN_SERVICE_QUEUE_WAIT,
                 pending.spec.priority_class().index() as u64,
                 waited_us,
             );
@@ -467,7 +467,7 @@ fn worker_loop(engine: &Engine, shared: &Shared, max_batch: usize, max_cost: f64
         let (specs, txs): (Vec<QuerySpec>, Vec<_>) =
             drained.into_iter().map(|p| (p.spec, p.tx)).unzip();
         let batch = RequestBatch::from_specs(specs);
-        let exec_span = Span::begin("service.execute").detail(batch.len() as u64);
+        let exec_span = Span::begin(names::SPAN_SERVICE_EXECUTE).detail(batch.len() as u64);
         let result = engine.execute(&batch);
         drop(exec_span);
         // Counters tick *before* each answer is routed, so a submitter that

@@ -1,0 +1,519 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant linting.
+//!
+//! The container this workspace builds in is offline, so `syn` is not an
+//! option — and regexing Rust source is exactly the kind of shortcut that
+//! reports an `unsafe` inside a string literal or misses an `unwrap()`
+//! behind a block comment. This lexer tokenizes the constructs that decide
+//! whether text is *code*: line and (nested) block comments, plain / raw /
+//! byte string literals, character literals vs. lifetimes, identifiers,
+//! numbers, and single-character punctuation. Everything a rule matches on
+//! is therefore a real code token with an accurate line and column.
+//!
+//! Two deliberate simplifications, both safe for linting:
+//!
+//! - multi-character operators (`::`, `->`, `>>`) surface as runs of
+//!   single-character [`TokenKind::Punct`] tokens — rules match the runs;
+//! - numeric literals are lexed greedily (digits, `_`, suffixes, a decimal
+//!   point followed by a digit, signed exponents) without validating the
+//!   grammar — the linter never interprets their values.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unsafe`, `Ordering`, …).
+    Ident(String),
+    /// One punctuation character (`::` arrives as two adjacent `Punct(':')`).
+    Punct(char),
+    /// A string literal (plain, raw, byte or raw-byte) holding the text
+    /// between the quotes with escapes left as written.
+    Str(String),
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// A numeric literal, lexed greedily and never interpreted.
+    Number,
+    /// A line or block comment, doc or plain, including its delimiters.
+    Comment(String),
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: usize,
+    /// Set by the test-region pass for tokens inside `#[cfg(test)]` /
+    /// `#[test]` items, which every rule skips.
+    pub in_test: bool,
+}
+
+impl Token {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(t) if t == name)
+    }
+
+    /// The identifier text, when this is an identifier token.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(t) => Some(t.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// What a source line holds, for walking comment blocks upwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LineKind {
+    /// Nothing but whitespace.
+    #[default]
+    Blank,
+    /// Only comment text (possibly the middle of a block comment).
+    CommentOnly,
+    /// A line opened by an attribute (`#[…]`), transparent when walking a
+    /// comment block down toward its item.
+    AttrOnly,
+    /// At least one ordinary code token.
+    Code,
+}
+
+/// A lexed file: the token stream plus per-line structure used by the
+/// comment-adjacency checks.
+#[derive(Debug)]
+pub struct LexedSource {
+    /// All tokens in source order, comments included.
+    pub tokens: Vec<Token>,
+    /// Per-line classification; index 0 is unused (lines are 1-based).
+    pub lines: Vec<LineKind>,
+    /// Per-line concatenated comment text (for every line a comment spans).
+    pub line_comments: Vec<String>,
+}
+
+impl LexedSource {
+    /// The comment text attached to the contiguous comment block directly
+    /// above `line` (attribute-only lines are transparent; a blank or code
+    /// line ends the block), plus any comment sharing `line` itself.
+    pub fn comment_block_above(&self, line: usize) -> String {
+        let mut collected: Vec<&str> = Vec::new();
+        if let Some(text) = self.line_comments.get(line) {
+            if !text.is_empty() {
+                collected.push(text);
+            }
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            match self.lines.get(l).copied().unwrap_or_default() {
+                LineKind::CommentOnly => {
+                    if let Some(text) = self.line_comments.get(l) {
+                        collected.push(text);
+                    }
+                }
+                LineKind::AttrOnly => {}
+                LineKind::Blank | LineKind::Code => break,
+            }
+            l -= 1;
+        }
+        collected.reverse();
+        collected.join("\n")
+    }
+}
+
+/// Merges a token's contribution into its line's classification: `Code`
+/// and `AttrOnly` are sticky (attribute arguments lex as ordinary idents
+/// but stay attribute context), comments only claim blank lines.
+fn note_line(lines: &mut [LineKind], l: usize, kind: LineKind) {
+    if let Some(cur) = lines.get_mut(l) {
+        *cur = match (*cur, kind) {
+            (LineKind::AttrOnly, _) => LineKind::AttrOnly,
+            (LineKind::Code, _) => LineKind::Code,
+            (LineKind::CommentOnly, LineKind::CommentOnly) => LineKind::CommentOnly,
+            (LineKind::CommentOnly, k) => k,
+            (LineKind::Blank, k) => k,
+        };
+    }
+}
+
+/// Lexes `src` into tokens plus per-line structure. Never fails: malformed
+/// trailing constructs (an unterminated string or comment) lex as a single
+/// token running to end of file — the compiler is the arbiter of validity,
+/// the linter only needs consistent classification.
+pub fn lex(src: &str) -> LexedSource {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut tokens: Vec<Token> = Vec::new();
+
+    let line_count = src.split('\n').count();
+    let mut lines = vec![LineKind::Blank; line_count + 2];
+    let mut line_comments = vec![String::new(); line_count + 2];
+
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    // Advances one character, tracking line/col.
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+        let start_line = line;
+        let start_col = col;
+
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+
+        // comments
+        if c == '/' && i + 1 < n && (chars[i + 1] == '/' || chars[i + 1] == '*') {
+            let block = chars[i + 1] == '*';
+            let mut text = String::new();
+            if block {
+                let mut depth = 0usize;
+                while i < n {
+                    if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        text.push_str("/*");
+                        bump!();
+                        bump!();
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        text.push_str("*/");
+                        bump!();
+                        bump!();
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        text.push(chars[i]);
+                        bump!();
+                    }
+                }
+            } else {
+                while i < n && chars[i] != '\n' {
+                    text.push(chars[i]);
+                    bump!();
+                }
+            }
+            // distribute the text across the lines it spans
+            for (off, chunk) in text.split('\n').enumerate() {
+                let l = start_line + off;
+                if l < line_comments.len() {
+                    if !line_comments[l].is_empty() {
+                        line_comments[l].push('\n');
+                    }
+                    line_comments[l].push_str(chunk);
+                    note_line(&mut lines, l, LineKind::CommentOnly);
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Comment(text),
+                line: start_line,
+                col: start_col,
+                in_test: false,
+            });
+            continue;
+        }
+
+        // string literals, including raw / byte prefixes
+        if let Some((prefix_len, raw)) = str_prefix(&chars, i) {
+            for _ in 0..prefix_len {
+                bump!();
+            }
+            let mut hashes = 0usize;
+            if raw {
+                while i < n && chars[i] == '#' {
+                    hashes += 1;
+                    bump!();
+                }
+            }
+            if i < n {
+                bump!(); // opening quote
+            }
+            let mut content = String::new();
+            while i < n {
+                if !raw && chars[i] == '\\' {
+                    content.push(chars[i]);
+                    bump!();
+                    if i < n {
+                        content.push(chars[i]);
+                        bump!();
+                    }
+                    continue;
+                }
+                if chars[i] == '"' && (1..=hashes).all(|h| i + h < n && chars[i + h] == '#') {
+                    bump!();
+                    for _ in 0..hashes {
+                        bump!();
+                    }
+                    break;
+                }
+                content.push(chars[i]);
+                bump!();
+            }
+            note_line(&mut lines, start_line, LineKind::Code);
+            tokens.push(Token {
+                kind: TokenKind::Str(content),
+                line: start_line,
+                col: start_col,
+                in_test: false,
+            });
+            continue;
+        }
+
+        // character literal, byte literal or lifetime
+        if c == '\'' || (c == 'b' && i + 1 < n && chars[i + 1] == '\'') {
+            let byte = c == 'b';
+            if byte {
+                bump!();
+            }
+            // chars[i] is now the opening quote
+            let is_lifetime = !byte
+                && i + 1 < n
+                && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_')
+                && !(i + 2 < n && chars[i + 2] == '\'');
+            bump!();
+            let kind = if is_lifetime {
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    bump!();
+                }
+                TokenKind::Lifetime
+            } else {
+                while i < n {
+                    if chars[i] == '\\' {
+                        bump!();
+                        if i < n {
+                            bump!();
+                        }
+                        continue;
+                    }
+                    if chars[i] == '\'' {
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+                TokenKind::Char
+            };
+            note_line(&mut lines, start_line, LineKind::Code);
+            tokens.push(Token { kind, line: start_line, col: start_col, in_test: false });
+            continue;
+        }
+
+        // identifiers and keywords
+        if c.is_alphabetic() || c == '_' {
+            let mut text = String::new();
+            while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                text.push(chars[i]);
+                bump!();
+            }
+            note_line(&mut lines, start_line, LineKind::Code);
+            tokens.push(Token {
+                kind: TokenKind::Ident(text),
+                line: start_line,
+                col: start_col,
+                in_test: false,
+            });
+            continue;
+        }
+
+        // numbers (greedy, uninterpreted)
+        if c.is_ascii_digit() {
+            while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                let at_exponent_sign = (chars[i] == 'e' || chars[i] == 'E')
+                    && i + 1 < n
+                    && (chars[i + 1] == '+' || chars[i + 1] == '-')
+                    && i + 2 < n
+                    && chars[i + 2].is_ascii_digit();
+                bump!();
+                if at_exponent_sign {
+                    bump!(); // the sign
+                }
+            }
+            // a decimal point only when followed by a digit (so `0..n` and
+            // `2.max(x)` stay separate tokens)
+            if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                bump!();
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    let at_exponent_sign = (chars[i] == 'e' || chars[i] == 'E')
+                        && i + 1 < n
+                        && (chars[i + 1] == '+' || chars[i + 1] == '-')
+                        && i + 2 < n
+                        && chars[i + 2].is_ascii_digit();
+                    bump!();
+                    if at_exponent_sign {
+                        bump!(); // the sign
+                    }
+                }
+            }
+            note_line(&mut lines, start_line, LineKind::Code);
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                line: start_line,
+                col: start_col,
+                in_test: false,
+            });
+            continue;
+        }
+
+        // single-character punctuation; `#` opening a line marks AttrOnly
+        let line_kind =
+            if c == '#' && lines.get(start_line).copied().unwrap_or_default() != LineKind::Code {
+                LineKind::AttrOnly
+            } else {
+                LineKind::Code
+            };
+        note_line(&mut lines, start_line, line_kind);
+        tokens.push(Token {
+            kind: TokenKind::Punct(c),
+            line: start_line,
+            col: start_col,
+            in_test: false,
+        });
+        bump!();
+    }
+
+    LexedSource { tokens, lines, line_comments }
+}
+
+/// Whether position `i` starts a string literal; returns
+/// `(prefix_chars_before_hashes_or_quote, is_raw)` when it does.
+fn str_prefix(chars: &[char], i: usize) -> Option<(usize, bool)> {
+    let n = chars.len();
+    let at = |k: usize| chars.get(i + k).copied();
+    match chars[i] {
+        '"' => Some((0, false)),
+        'r' => {
+            let mut k = 1;
+            while i + k < n && chars[i + k] == '#' {
+                k += 1;
+            }
+            // only #s may sit between `r` and the quote (else: raw ident)
+            (at(k) == Some('"')).then_some((1, true))
+        }
+        'b' => match at(1) {
+            Some('"') => Some((1, false)),
+            Some('r') => {
+                let mut k = 2;
+                while i + k < n && chars[i + k] == '#' {
+                    k += 1;
+                }
+                (at(k) == Some('"')).then_some((2, true))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ident_names(lexed: &LexedSource) -> Vec<&str> {
+        lexed.tokens.iter().filter_map(Token::ident).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_single_tokens() {
+        let src =
+            "let x = \"unsafe // not code\"; // trailing unsafe\n/* block\nunsafe */ fn f() {}";
+        let lexed = lex(src);
+        assert_eq!(ident_names(&lexed), vec!["let", "x", "fn", "f"]);
+        let strs: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Str(content) => Some(content.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["unsafe // not code"]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let lexed = lex("r#\"a \"quoted\" b\"# b\"bytes\" br#\"raw bytes\"# r\"plain raw\"");
+        let contents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Str(content) => Some(content.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(contents, vec!["a \"quoted\" b", "bytes", "raw bytes", "plain raw"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\\''; let l = 'label; }");
+        let lifetimes =
+            lexed.tokens.iter().filter(|t| matches!(t.kind, TokenKind::Lifetime)).count();
+        let chars = lexed.tokens.iter().filter(|t| matches!(t.kind, TokenKind::Char)).count();
+        assert_eq!(lifetimes, 3, "'a twice and 'label");
+        assert_eq!(chars, 2, "'x' and the escaped quote");
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let lexed = lex("for i in 0..10 { let y = 1.5e-3; let z = 2.max(3); }");
+        let numbers = lexed.tokens.iter().filter(|t| matches!(t.kind, TokenKind::Number)).count();
+        // 0, 10, 1.5e-3, 2, 3
+        assert_eq!(numbers, 5);
+        assert!(lexed.tokens.iter().any(|t| t.is_punct('.')));
+        assert!(ident_names(&lexed).contains(&"max"));
+    }
+
+    #[test]
+    fn line_kinds_and_comment_blocks() {
+        let src = "\
+// SAFETY: top comment
+#[allow(dead_code)]
+unsafe fn f() {}
+
+let x = 1; // trailing
+";
+        let lexed = lex(src);
+        assert_eq!(lexed.lines[1], LineKind::CommentOnly);
+        assert_eq!(lexed.lines[2], LineKind::AttrOnly, "attr args never flip the line to Code");
+        assert_eq!(lexed.lines[3], LineKind::Code);
+        assert_eq!(lexed.lines[4], LineKind::Blank);
+        assert_eq!(lexed.lines[5], LineKind::Code);
+        let block = lexed.comment_block_above(3);
+        assert!(block.contains("SAFETY:"), "{block:?}");
+        assert!(lexed.comment_block_above(5).contains("trailing"), "own-line comments count");
+        assert!(!lexed.comment_block_above(5).contains("SAFETY"), "blank+code break the block");
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let lexed = lex("/* outer /* inner */ still comment */ fn g() {}");
+        assert_eq!(ident_names(&lexed), vec!["fn", "g"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let lexed = lex("ab\n  cd");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+}

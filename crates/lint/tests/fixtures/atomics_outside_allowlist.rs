@@ -1,0 +1,9 @@
+//! Fixture: atomics in a module that is not on the concurrency allowlist —
+//! a justification comment alone must not make this pass.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn flip(flag: &AtomicBool) {
+    // ordering: relaxed — justified, but the module is not allowlisted.
+    flag.store(true, Ordering::Relaxed);
+}

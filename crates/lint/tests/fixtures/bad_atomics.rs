@@ -1,0 +1,17 @@
+//! Fixture: one unjustified `Ordering` site, two justified ones.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+// ordering: relaxed — fixture justification on the enclosing function.
+pub fn bump_fn_justified(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn bump_stmt_justified(counter: &AtomicU64) {
+    // ordering: seqcst — fixture justification on the statement.
+    counter.fetch_add(1, Ordering::SeqCst);
+}

@@ -1,0 +1,31 @@
+//! Fixture: one ad-hoc public error type, plus shapes that must pass.
+
+pub fn parse(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| "bad".to_string())
+}
+
+pub fn alias_ok(s: &str) -> Result<u32> {
+    parse(s)
+}
+
+pub fn bond_ok(s: &str) -> Result<u32, BondError> {
+    parse(s).map_err(BondError::InvalidParams)
+}
+
+pub fn tuple_ok(s: &str) -> Result<(u32, f64), VdError> {
+    let _ = s;
+    Err(VdError::Corrupt)
+}
+
+pub fn tuple_bad(s: &str) -> Result<(u32, f64), Vec<String>> {
+    let _ = s;
+    Err(Vec::new())
+}
+
+pub(crate) fn crate_private(s: &str) -> Result<u32, String> {
+    parse(s)
+}
+
+fn private(s: &str) -> Result<u32, String> {
+    parse(s)
+}

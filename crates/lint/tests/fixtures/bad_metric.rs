@@ -1,0 +1,15 @@
+//! Fixture: a dotted metric literal at a registration site and a stray
+//! metric-shaped literal elsewhere.
+
+pub fn register(registry: &bond_obs::MetricsRegistry) -> bond_obs::Counter {
+    registry.counter("engine.fixture.count")
+}
+
+pub fn stray() -> &'static str {
+    "another.dotted.name"
+}
+
+pub fn not_metric_shaped() -> (&'static str, &'static str, &'static str) {
+    // one dot, a version, and a file name — none may trip the rule
+    ("engine.plan", "0.1.0", "main.rs")
+}

@@ -1,0 +1,22 @@
+//! Fixture: two library panic paths, plus test code that must not count.
+
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn second(v: &[u64]) -> u64 {
+    *v.get(1).expect("fixture has two elements")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let v = vec![1u64];
+        assert_eq!(*v.first().unwrap(), 1);
+        let _ = v.get(0).expect("present");
+        if v.is_empty() {
+            panic!("unreachable in the fixture");
+        }
+    }
+}

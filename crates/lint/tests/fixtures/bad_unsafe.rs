@@ -1,0 +1,10 @@
+//! Fixture: one undocumented `unsafe`, one correctly documented.
+
+pub fn read(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}
+
+pub fn read_ok(ptr: *const u8) -> u8 {
+    // SAFETY: `ptr` is valid for reads by the caller's contract.
+    unsafe { *ptr }
+}

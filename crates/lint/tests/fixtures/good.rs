@@ -1,0 +1,17 @@
+//! Fixture: a file every rule accepts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// ordering: relaxed — fixture counter, no cross-variable publication.
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn read(ptr: *const u8) -> u8 {
+    // SAFETY: `ptr` is valid for reads by the caller's contract.
+    unsafe { *ptr }
+}
+
+pub fn checked(v: &[u64]) -> Result<u64, BondError> {
+    v.first().copied().ok_or_else(|| BondError::InvalidParams("empty".to_string()))
+}

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod names;
 pub mod registry;
 pub mod span;
 

@@ -27,11 +27,16 @@ impl Counter {
     }
 
     /// Adds `n`.
+    // ordering: relaxed — an independent monotone event count; no other
+    // memory is published through it and exports tolerate being a few
+    // increments behind.
     pub fn add(&self, n: u64) {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// The current count.
+    // ordering: relaxed — a monitoring read; staleness only shifts when an
+    // increment becomes visible, never what value it has.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -43,16 +48,21 @@ pub struct Gauge(Arc<AtomicI64>);
 
 impl Gauge {
     /// Replaces the level.
+    // ordering: relaxed — the gauge is an instantaneous level read only by
+    // monitoring; last-writer-wins with no release obligation.
     pub fn set(&self, v: i64) {
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Moves the level by `delta` (negative to decrease).
+    // ordering: relaxed — atomic RMW keeps concurrent deltas lossless; no
+    // cross-variable visibility is needed.
     pub fn add(&self, delta: i64) {
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// The current level.
+    // ordering: relaxed — monitoring read, same as Counter::get.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -103,6 +113,9 @@ impl Histogram {
     }
 
     /// Records one observation.
+    // ordering: relaxed — three independent monotone accumulators; snapshot
+    // derives its count from the bucket sum, so no inter-field ordering is
+    // relied upon (see `snapshot`).
     pub fn record(&self, v: u64) {
         self.0.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.0.count.fetch_add(1, Ordering::Relaxed);
@@ -110,11 +123,13 @@ impl Histogram {
     }
 
     /// Number of observations recorded so far.
+    // ordering: relaxed — monitoring read of a monotone count.
     pub fn count(&self) -> u64 {
         self.0.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all observations (wrapping on `u64` overflow).
+    // ordering: relaxed — monitoring read of a monotone sum.
     pub fn sum(&self) -> u64 {
         self.0.sum.load(Ordering::Relaxed)
     }
@@ -122,6 +137,10 @@ impl Histogram {
     /// A consistent-enough point-in-time copy (individual bucket loads are
     /// relaxed; totals conserve because every record updates the bucket
     /// before the count is read back by callers that first observe quiesce).
+    // ordering: relaxed — the count is recomputed from the bucket loads
+    // (never read from the racing `count` field), so the snapshot is
+    // internally consistent without acquire fences; `sum` may trail by
+    // in-flight records, which monitoring tolerates.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let buckets: Vec<u64> = self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
         let count: u64 = buckets.iter().sum();

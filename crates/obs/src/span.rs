@@ -62,6 +62,9 @@ impl Ring {
 
 /// Turns the global tracing subscriber on or off. Spans created while
 /// disabled never read a clock and never touch the ring buffer.
+// ordering: relaxed — the flag only gates whether clocks are read; span
+// data itself travels through the ring's mutex, so a racing reader that
+// misses the flip merely records (or skips) one more span.
 pub fn set_enabled(on: bool) {
     if on {
         // pin the epoch before the first record so timestamps start small
@@ -73,6 +76,8 @@ pub fn set_enabled(on: bool) {
 /// Whether the tracing subscriber is currently enabled — one relaxed
 /// atomic load; instrumented code uses this to gate *other* per-stage
 /// costs (extra clock reads, per-stage histograms) too.
+// ordering: relaxed — this load is the hot path's entire cost while
+// disabled; it synchronizes nothing (see `set_enabled`).
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }

@@ -125,9 +125,12 @@ pub struct MappedRegion {
     len: usize,
 }
 
+// SAFETY: the mapping is owned by this struct alone (the pointer is never
+// duplicated outside it), so moving the struct moves unique ownership of
+// the region to another thread.
+unsafe impl Send for MappedRegion {}
 // SAFETY: the region is mapped PROT_READ and never handed out mutably, so
 // concurrent reads from any thread are safe.
-unsafe impl Send for MappedRegion {}
 unsafe impl Sync for MappedRegion {}
 
 impl MappedRegion {
