@@ -1,5 +1,8 @@
 //! Criterion bench for the Section 8.2 experiment: synchronized
-//! multi-feature BOND search vs. per-feature search plus stream merging.
+//! multi-feature BOND search — sequential and through the engine — vs.
+//! per-feature search plus stream merging. Ends with a machine-readable
+//! `BENCH_JSON` line comparing latency and scanned work per evaluation
+//! strategy on clustered data.
 
 use bond::{
     BlockSchedule, BondParams, BondSearcher, DimensionOrdering, FeatureMetricKind, FeatureQuery,
@@ -7,9 +10,13 @@ use bond::{
 };
 use bond_baselines::{merge_streams, RankedStream};
 use bond_bench::{workloads, ExperimentScale};
+use bond_exec::{AggregateSpec, Engine, FeatureSpec, MultiFeatureSpec, QuerySpec};
 use bond_metrics::{DecomposableMetric, SquaredEuclidean, WeightedAverage};
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::fmt::Write as _;
 use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
 use vdstore::topk::Scored;
 
 fn bench_multifeature(c: &mut Criterion) {
@@ -31,7 +38,34 @@ fn bench_multifeature(c: &mut Criterion) {
         ..BondParams::default()
     };
 
+    let texture_shared = Arc::new(texture.clone());
+    let engine = Engine::builder(color.clone()).partitions(8).threads(4).build().unwrap();
+    let engine_spec = |idx: usize| {
+        QuerySpec::multi_feature(
+            MultiFeatureSpec::new(
+                vec![
+                    FeatureSpec::new(color_queries[idx].clone(), FeatureMetricKind::Euclidean),
+                    FeatureSpec::external(
+                        texture_queries[idx].clone(),
+                        FeatureMetricKind::Euclidean,
+                        texture_shared.clone(),
+                    ),
+                ],
+                AggregateSpec::WeightedAverage(vec![0.5, 0.5]),
+            ),
+            k,
+        )
+    };
+
     let mut group = c.benchmark_group("multifeature");
+    group.bench_function("engine_synchronized", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let idx = i % color_queries.len();
+            i += 1;
+            black_box(engine.search_spec(&engine_spec(idx)).unwrap());
+        })
+    });
     group.bench_function("synchronized_bond", |b| {
         let mut i = 0;
         b.iter(|| {
@@ -83,6 +117,101 @@ fn bench_multifeature(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // One measured pass per strategy over the whole query set: latency plus
+    // the scanned work (`(candidate, dimension)` cells) each evaluation
+    // strategy actually touched, as a machine-readable summary line.
+    let n = color_queries.len();
+    let feature_queries = |idx: usize| {
+        vec![
+            FeatureQuery {
+                query: color_queries[idx].clone(),
+                metric: FeatureMetricKind::Euclidean,
+            },
+            FeatureQuery {
+                query: texture_queries[idx].clone(),
+                metric: FeatureMetricKind::Euclidean,
+            },
+        ]
+    };
+
+    let start = Instant::now();
+    let mut engine_cells = 0u64;
+    let mut engine_hits = Vec::new();
+    for idx in 0..n {
+        let outcome = engine.search_spec(&engine_spec(idx)).unwrap();
+        engine_cells += outcome.contributions_evaluated();
+        engine_hits.push(outcome.hits);
+    }
+    let engine_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    let start = Instant::now();
+    let mut sync_cells = 0u64;
+    for (idx, expected) in engine_hits.iter().enumerate() {
+        let sync =
+            searcher.search(&feature_queries(idx), &aggregate, k, BlockSchedule::Fixed(8)).unwrap();
+        sync_cells += sync.trace.contributions_evaluated;
+        assert_eq!(&sync.hits, expected, "engine answers must be bit-identical");
+    }
+    let sync_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    let start = Instant::now();
+    let mut merge_cells = 0u64;
+    for idx in 0..n {
+        let cq = &color_queries[idx];
+        let tq = &texture_queries[idx];
+        let stream = |searcher: &BondSearcher<'_>, q: &[f64], dims: usize| {
+            let outcome = searcher.euclidean_ev(q, 4 * k, &params).unwrap();
+            let cells = outcome.trace.contributions_evaluated;
+            let stream = RankedStream::new(
+                outcome
+                    .hits
+                    .into_iter()
+                    .map(|h| Scored {
+                        row: h.row,
+                        score: SquaredEuclidean::similarity_from_distance(h.score, dims),
+                    })
+                    .collect(),
+            );
+            (stream, cells)
+        };
+        let (color_stream, color_cells) = stream(&color_searcher, cq, color.dims());
+        let (texture_stream, texture_cells) = stream(&texture_searcher, tq, texture.dims());
+        merge_cells += color_cells + texture_cells;
+        let random_cells = std::cell::Cell::new(0u64);
+        let ra = |f: usize, row: u32| -> f64 {
+            let (table, q) = if f == 0 { (&color, cq) } else { (&texture, tq) };
+            random_cells.set(random_cells.get() + table.dims() as u64);
+            let d = SquaredEuclidean.score(&table.row(row).unwrap(), q);
+            SquaredEuclidean::similarity_from_distance(d, table.dims())
+        };
+        black_box(merge_streams(&[color_stream, texture_stream], &ra, &aggregate, k));
+        merge_cells += random_cells.get();
+    }
+    let merge_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    println!(
+        "engine synchronized scan: {:.2} ms, {engine_cells} cells; sequential: {:.2} ms, \
+         {sync_cells} cells; stream merging: {:.2} ms, {merge_cells} cells",
+        engine_ms, sync_ms, merge_ms
+    );
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"bench\":\"multifeature\",\"rows\":{},\"color_dims\":{},\"texture_dims\":{},\
+         \"k\":{k},\"queries\":{n},\"aggregate\":\"weighted_average\",\
+         \"distribution\":\"clustered\",\"series\":[\
+         {{\"strategy\":\"engine_synchronized\",\"batch_ms\":{engine_ms:.4},\
+         \"scanned_cells\":{engine_cells}}},\
+         {{\"strategy\":\"sequential_synchronized\",\"batch_ms\":{sync_ms:.4},\
+         \"scanned_cells\":{sync_cells}}},\
+         {{\"strategy\":\"stream_merge\",\"batch_ms\":{merge_ms:.4},\
+         \"scanned_cells\":{merge_cells}}}]}}",
+        color.rows(),
+        color.dims(),
+        texture.dims(),
+    );
+    println!("BENCH_JSON {json}");
 }
 
 criterion_group! {

@@ -282,6 +282,22 @@ impl CostModel {
             .max(floor);
         (filter_cost, selectivity * self.segment_cost(stats, feedback, k, skipping))
     }
+
+    /// Discounts a per-segment cost estimate by a predicate filter's
+    /// selectivity on that segment (`eligible / live` rows). Every scan
+    /// phase — code sweep, warmup, refine — ranges over eligible rows only,
+    /// so the whole estimate scales linearly; a segment with no eligible
+    /// rows is skipped outright and costs nothing. The selectivity is
+    /// floored at `k / live`: a top-k search over a non-empty eligible set
+    /// still has to rank at least k rows' worth of work.
+    pub fn filtered_cost(&self, cost: f64, eligible: usize, live_rows: usize, k: usize) -> f64 {
+        if live_rows == 0 || eligible == 0 {
+            return 0.0;
+        }
+        let floor = (k as f64 / live_rows as f64).min(1.0);
+        let selectivity = (eligible as f64 / live_rows as f64).clamp(0.0, 1.0).max(floor);
+        cost * selectivity
+    }
 }
 
 #[cfg(test)]
@@ -448,5 +464,20 @@ mod tests {
         let empty = segment_stats(&[vec![0.0, 0.0]]);
         let empty = SegmentStats { live_rows: 0, ..empty };
         assert_eq!(model.segment_cost_quantized(&empty, None, 1, true), 0.0);
+    }
+
+    #[test]
+    fn filtered_cost_scales_with_selectivity() {
+        let model = CostModel::default();
+        // a quarter of the rows are eligible: a quarter of the work
+        assert!((model.filtered_cost(400.0, 25, 100, 1) - 100.0).abs() < 1e-12);
+        // fully eligible: no discount
+        assert_eq!(model.filtered_cost(400.0, 100, 100, 1), 400.0);
+        // no eligible row: the segment is skipped outright
+        assert_eq!(model.filtered_cost(400.0, 0, 100, 1), 0.0);
+        assert_eq!(model.filtered_cost(400.0, 10, 0, 1), 0.0);
+        // the k/rows floor: asking for half the segment keeps at least half
+        // the estimate even for a 1 %-selective filter
+        assert!((model.filtered_cost(400.0, 1, 100, 50) - 200.0).abs() < 1e-12);
     }
 }

@@ -30,6 +30,20 @@ pub enum BondError {
         /// Weight vector dimensionality.
         actual: usize,
     },
+    /// A per-feature query of a multi-feature spec does not match its
+    /// feature collection's dimensionality.
+    FeatureDimensionMismatch {
+        /// Index of the offending feature within the spec.
+        feature: usize,
+        /// The feature collection's dimensionality.
+        expected: usize,
+        /// The supplied query's dimensionality.
+        actual: usize,
+    },
+    /// An eligibility filter is unusable: its bitmap addresses a different
+    /// row domain than the table, or it leaves no live row eligible. The
+    /// message states which.
+    InvalidFilter(String),
     /// Invalid parameter combination, described in the message.
     InvalidParams(String),
     /// A serving front-end could not complete the request (shut down, or
@@ -50,6 +64,13 @@ impl fmt::Display for BondError {
             BondError::WeightDimensionMismatch { expected, actual } => {
                 write!(f, "weight vector has {actual} dimensions, table has {expected}")
             }
+            BondError::FeatureDimensionMismatch { feature, expected, actual } => {
+                write!(
+                    f,
+                    "feature {feature}: query has {actual} dimensions, collection has {expected}"
+                )
+            }
+            BondError::InvalidFilter(msg) => write!(f, "invalid filter: {msg}"),
             BondError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
             BondError::ServiceUnavailable(msg) => write!(f, "service unavailable: {msg}"),
         }
@@ -95,5 +116,10 @@ mod tests {
         let e = BondError::ServiceUnavailable("shut down".into());
         assert!(e.to_string().contains("service unavailable"));
         assert!(std::error::Error::source(&e).is_none());
+        let e = BondError::InvalidFilter("covers 9 rows, table has 10".into());
+        assert!(e.to_string().contains("invalid filter"));
+        let e = BondError::FeatureDimensionMismatch { feature: 1, expected: 8, actual: 3 };
+        assert!(e.to_string().contains("feature 1"));
+        assert!(e.to_string().contains('8'));
     }
 }

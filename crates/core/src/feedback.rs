@@ -105,6 +105,12 @@ impl SegmentFeedback {
     /// scanned in (the plan's permutation) and `rows` the segment's row
     /// count; both come from the caller because a trace alone does not know
     /// which dimension sat at which scan position.
+    ///
+    /// Callers must not fold predicate-filtered searches: their survival
+    /// and prune-depth signals describe the filter's eligible subset, not
+    /// the segment's data distribution, and would poison the per-dimension
+    /// credit used to plan unfiltered queries (the engine gates on
+    /// `filter.is_none()` before calling this).
     // ordering: relaxed — every counter is an independent monotone
     // accumulator folded by racing workers via atomic RMW (no increment is
     // lost); readers consume snapshots that tune plans and cost estimates,

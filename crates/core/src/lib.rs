@@ -86,7 +86,7 @@ pub use error::{BondError, Result};
 pub use feedback::{ExecFeedback, FeedbackSnapshot, SegmentFeedback, SegmentFeedbackSnapshot};
 pub use kappa::KappaCell;
 pub use multifeature::{
-    FeatureMetricKind, FeatureQuery, MultiFeatureOutcome, MultiFeatureSearcher,
+    FeatureMetricKind, FeatureQuery, MultiFeatureContext, MultiFeatureOutcome, MultiFeatureSearcher,
 };
 pub use ordering::DimensionOrdering;
 pub use plan::SegmentPlan;

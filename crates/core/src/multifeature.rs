@@ -15,14 +15,17 @@
 //! mapped onto the `[0, 1]` similarity scale with Equation 3 so they can be
 //! aggregated with histogram-intersection components.
 
+use std::ops::Range;
+
 use bond_metrics::{
     CandidateState, DecomposableMetric, EvRule, HhRule, HistogramIntersection, PruningRule,
     ScoreAggregate, SquaredEuclidean,
 };
 use vdstore::topk::Scored;
-use vdstore::{DecomposedTable, RowId, TopKLargest};
+use vdstore::{Bitmap, DecomposedTable, RowId, TopKLargest};
 
 use crate::error::{BondError, Result};
+use crate::kappa::KappaCell;
 use crate::schedule::BlockSchedule;
 use crate::trace::{PruneTrace, TraceCheckpoint};
 
@@ -54,6 +57,28 @@ pub struct MultiFeatureOutcome {
     pub trace: PruneTrace,
 }
 
+/// Shared context for a (possibly partitioned) synchronized multi-feature
+/// search — the multi-feature analogue of [`crate::SegmentContext`].
+///
+/// [`MultiFeatureSearcher::search`] uses the default (no sharing, no
+/// filter); the execution engine fills it in once per query and hands it to
+/// every segment worker, so segments pool their combined-score κ and an
+/// eligibility predicate restricts the scan.
+#[derive(Default)]
+pub struct MultiFeatureContext<'k> {
+    /// Shared κ cell over the *combined* similarity (`Objective::Maximize`);
+    /// `None` runs the range in isolation.
+    pub kappa: Option<&'k dyn KappaCell>,
+    /// Per-feature full-table row sums `T(x)`, outer-indexed by feature.
+    /// Computed on the fly when absent — the engine precomputes them once
+    /// per query so segment workers don't each re-derive them.
+    pub total_mass: Option<&'k [Vec<f64>]>,
+    /// Eligibility bitmap local to the searched range (bit `i` = row
+    /// `range.start + i`): carries tombstones and/or a relational predicate.
+    /// `None` scans every row of the range.
+    pub filter: Option<&'k Bitmap>,
+}
+
 /// A synchronized searcher over several feature collections that share the
 /// same row-id space (one row = one object, e.g. one image).
 #[derive(Debug)]
@@ -61,18 +86,18 @@ pub struct MultiFeatureSearcher<'a> {
     tables: Vec<&'a DecomposedTable>,
 }
 
-struct FeatureState {
+struct FeatureState<'t> {
     query: Vec<f64>,
     kind: FeatureMetricKind,
     dims: usize,
     partial: Vec<f64>,
     scanned_mass: Vec<f64>,
-    total_mass: Vec<f64>,
+    total_mass: &'t [f64],
     processed: Vec<usize>,
     remaining: Vec<usize>,
 }
 
-impl FeatureState {
+impl FeatureState<'_> {
     fn similarity_bounds(&self, rule: &dyn PruningRule, row: RowId) -> (f64, f64) {
         let idx = row as usize;
         let state = CandidateState {
@@ -140,6 +165,33 @@ impl<'a> MultiFeatureSearcher<'a> {
         k: usize,
         schedule: BlockSchedule,
     ) -> Result<MultiFeatureOutcome> {
+        let rows = self.rows();
+        if k == 0 || k > rows {
+            return Err(BondError::InvalidK { k, rows });
+        }
+        self.search_range(queries, aggregate, k, schedule, 0..rows, &MultiFeatureContext::default())
+    }
+
+    /// Runs the synchronized search restricted to one contiguous row range.
+    ///
+    /// This is [`MultiFeatureSearcher::search`] generalised the same way
+    /// [`crate::search_segment`] generalises the single-feature searcher:
+    /// the scan covers only `range`'s rows (further narrowed by
+    /// `ctx.filter`), and an externally supplied [`KappaCell`] may tighten
+    /// the combined-similarity κ with lower bounds proven by other segments
+    /// of the same query. Returned rows are global ids with *exact* combined
+    /// similarities, so per-segment outcomes merge into the global top-k by
+    /// score alone. Unlike the full entry point, `k` may exceed the range's
+    /// eligible row count: the range then reports everything it holds.
+    pub fn search_range(
+        &self,
+        queries: &[FeatureQuery],
+        aggregate: &dyn ScoreAggregate,
+        k: usize,
+        schedule: BlockSchedule,
+        range: Range<usize>,
+        ctx: &MultiFeatureContext<'_>,
+    ) -> Result<MultiFeatureOutcome> {
         if queries.len() != self.tables.len() {
             return Err(BondError::InvalidParams(format!(
                 "{} feature queries supplied for {} collections",
@@ -148,20 +200,53 @@ impl<'a> MultiFeatureSearcher<'a> {
             )));
         }
         let rows = self.rows();
-        if k == 0 || k > rows {
+        if k == 0 {
             return Err(BondError::InvalidK { k, rows });
+        }
+        if range.start > range.end || range.end > rows {
+            return Err(BondError::InvalidParams(format!(
+                "range {range:?} exceeds the {rows}-row collection"
+            )));
         }
         for (f, q) in queries.iter().enumerate() {
             if q.query.len() != self.tables[f].dims() {
-                return Err(BondError::QueryDimensionMismatch {
+                return Err(BondError::FeatureDimensionMismatch {
+                    feature: f,
                     expected: self.tables[f].dims(),
                     actual: q.query.len(),
                 });
             }
         }
+        if let Some(filter) = ctx.filter {
+            if filter.len() != range.len() {
+                return Err(BondError::InvalidFilter(format!(
+                    "range filter covers {} rows but the range has {}",
+                    filter.len(),
+                    range.len()
+                )));
+            }
+        }
+        if let Some(mass) = ctx.total_mass {
+            if mass.len() != self.tables.len() {
+                return Err(BondError::InvalidParams(format!(
+                    "{} total-mass vectors supplied for {} collections",
+                    mass.len(),
+                    self.tables.len()
+                )));
+            }
+        }
 
-        // Per-feature state and rules.
-        let mut states: Vec<FeatureState> = queries
+        // Per-feature state and rules. Bookkeeping vectors stay indexed by
+        // global row id so the block loop is byte-for-byte the full-table
+        // scan — partial sums accumulate in the same order for any range,
+        // which is what keeps per-segment answers bit-identical to the
+        // sequential searcher's.
+        let computed_mass: Vec<Vec<f64>> = if ctx.total_mass.is_none() {
+            self.tables.iter().map(|t| t.row_sums()).collect()
+        } else {
+            Vec::new()
+        };
+        let mut states: Vec<FeatureState<'_>> = queries
             .iter()
             .enumerate()
             .map(|(f, q)| {
@@ -172,7 +257,10 @@ impl<'a> MultiFeatureSearcher<'a> {
                     dims: table.dims(),
                     partial: vec![0.0; rows],
                     scanned_mass: vec![0.0; rows],
-                    total_mass: table.row_sums(),
+                    total_mass: match ctx.total_mass {
+                        Some(mass) => &mass[f],
+                        None => &computed_mass[f],
+                    },
                     processed: Vec::new(),
                     remaining: (0..table.dims()).collect(),
                 }
@@ -203,7 +291,10 @@ impl<'a> MultiFeatureSearcher<'a> {
         });
         let total_dims = global_order.len();
 
-        let mut alive: Vec<RowId> = (0..rows as RowId).collect();
+        let mut alive: Vec<RowId> = match ctx.filter {
+            Some(filter) => filter.iter().map(|local| local + range.start as RowId).collect(),
+            None => (range.start as RowId..range.end as RowId).collect(),
+        };
         let mut trace = PruneTrace::default();
         let hist_metric = HistogramIntersection;
         let euclid_metric = SquaredEuclidean;
@@ -269,7 +360,16 @@ impl<'a> MultiFeatureSearcher<'a> {
             attempts += 1;
             trace.pruning_attempts = attempts;
             let mut pruned_now = 0usize;
-            if let Some(kappa) = heap.kth() {
+            // κ is the k-th largest *combined lower bound*: ≥ k rows are
+            // proven to finish at or above it, so it is a globally valid
+            // pruning threshold — which is what makes it safe to pool
+            // through the shared cell with sibling segments.
+            let kappa = match (ctx.kappa, heap.kth()) {
+                (Some(cell), Some(local)) => Some(cell.tighten(local)),
+                (Some(cell), None) => cell.current(),
+                (None, local) => local,
+            };
+            if let Some(kappa) = kappa {
                 let slack = crate::searcher::prune_slack(kappa);
                 let before = alive.len();
                 let mut idx = 0usize;
@@ -319,6 +419,11 @@ impl<'a> MultiFeatureSearcher<'a> {
                 component[f] = state.exact_similarity(row);
             }
             heap.push(row, aggregate.combine(&component));
+        }
+        // An exact k-th best is itself a valid lower-bound κ: publish it so
+        // segments that start later prune harder from their first block.
+        if let (Some(cell), Some(kth)) = (ctx.kappa, heap.kth()) {
+            cell.tighten(kth);
         }
         Ok(MultiFeatureOutcome { hits: heap.into_sorted_vec(), trace })
     }
@@ -449,6 +554,90 @@ mod tests {
         ];
         assert!(searcher.search(&ok, &agg, 0, BlockSchedule::Fixed(2)).is_err());
         assert!(searcher.search(&ok, &agg, 100, BlockSchedule::Fixed(2)).is_err());
+    }
+
+    #[test]
+    fn range_results_merge_into_the_full_answer() {
+        let color = color_table();
+        let texture = texture_table();
+        let searcher = MultiFeatureSearcher::new(vec![&color, &texture]).unwrap();
+        let queries = vec![
+            FeatureQuery {
+                query: vec![0.65, 0.25, 0.05, 0.05],
+                metric: FeatureMetricKind::HistogramIntersection,
+            },
+            FeatureQuery { query: vec![0.9, 0.1, 0.3], metric: FeatureMetricKind::Euclidean },
+        ];
+        let agg = WeightedAverage::new(vec![0.6, 0.4]).unwrap();
+        let k = 2;
+        let full = searcher.search(&queries, &agg, k, BlockSchedule::Fixed(2)).unwrap();
+        // split the row space into two ranges sharing one κ cell, merge the
+        // exact per-range answers: bit-identical to the full search
+        let mass: Vec<Vec<f64>> = vec![color.row_sums(), texture.row_sums()];
+        struct MaxCell(std::sync::Mutex<Option<f64>>);
+        impl KappaCell for MaxCell {
+            fn tighten(&self, local: f64) -> f64 {
+                let mut g = self.0.lock().unwrap();
+                let merged = g.map_or(local, |v| v.max(local));
+                *g = Some(merged);
+                merged
+            }
+            fn current(&self) -> Option<f64> {
+                *self.0.lock().unwrap()
+            }
+        }
+        let cell = MaxCell(std::sync::Mutex::new(None));
+        let mut heap = TopKLargest::new(k);
+        for range in [0..3, 3..5] {
+            let ctx =
+                MultiFeatureContext { kappa: Some(&cell), total_mass: Some(&mass), filter: None };
+            let part = searcher
+                .search_range(&queries, &agg, k, BlockSchedule::Fixed(2), range, &ctx)
+                .unwrap();
+            for hit in part.hits {
+                heap.push(hit.row, hit.score);
+            }
+        }
+        assert_eq!(heap.into_sorted_vec(), full.hits);
+    }
+
+    #[test]
+    fn range_filter_restricts_the_candidates() {
+        let color = color_table();
+        let texture = texture_table();
+        let searcher = MultiFeatureSearcher::new(vec![&color, &texture]).unwrap();
+        let queries = vec![
+            FeatureQuery {
+                query: vec![0.65, 0.25, 0.05, 0.05],
+                metric: FeatureMetricKind::HistogramIntersection,
+            },
+            FeatureQuery { query: vec![0.9, 0.1, 0.3], metric: FeatureMetricKind::Euclidean },
+        ];
+        let agg = FuzzyMin;
+        // only rows 1 and 3 are eligible
+        let filter = Bitmap::from_rows(5, &[1, 3]);
+        let ctx = MultiFeatureContext { filter: Some(&filter), ..Default::default() };
+        let out =
+            searcher.search_range(&queries, &agg, 2, BlockSchedule::Fixed(2), 0..5, &ctx).unwrap();
+        let mut rows: Vec<RowId> = out.hits.iter().map(|h| h.row).collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![1, 3]);
+        // mismatched filter domain is a typed error
+        let bad = Bitmap::from_rows(3, &[1]);
+        let ctx = MultiFeatureContext { filter: Some(&bad), ..Default::default() };
+        assert!(matches!(
+            searcher.search_range(&queries, &agg, 1, BlockSchedule::Fixed(2), 0..5, &ctx),
+            Err(BondError::InvalidFilter(_))
+        ));
+        // per-feature dimension mismatches carry the feature index
+        let bad_q = vec![
+            FeatureQuery { query: vec![0.5; 4], metric: FeatureMetricKind::HistogramIntersection },
+            FeatureQuery { query: vec![0.5; 9], metric: FeatureMetricKind::Euclidean },
+        ];
+        assert!(matches!(
+            searcher.search(&bad_q, &agg, 1, BlockSchedule::Fixed(2)),
+            Err(BondError::FeatureDimensionMismatch { feature: 1, expected: 3, actual: 9 })
+        ));
     }
 
     #[test]

@@ -17,7 +17,9 @@
 use bond_metrics::{CandidateState, DecomposableMetric, Objective, PruningRule};
 use bond_metrics::{EqRule, EvRule, HhRule, HistogramIntersection, HqRule, SquaredEuclidean};
 use vdstore::topk::Scored;
-use vdstore::{DecomposedTable, RowId, Segment, SegmentCodesView, TopKLargest, TopKSmallest};
+use vdstore::{
+    Bitmap, DecomposedTable, RowId, Segment, SegmentCodesView, TopKLargest, TopKSmallest,
+};
 
 use crate::candidates::CandidateSet;
 use crate::error::{BondError, Result};
@@ -181,6 +183,7 @@ impl<'a> BondSearcher<'a> {
             row_sums: requirements.needs_total_mass.then(|| self.row_sums()),
             plan: None,
             codes: None,
+            filter: None,
         };
         search_segment(&segment, query, metric, rule, k, weights, params, &ctx)
     }
@@ -211,6 +214,13 @@ pub struct SegmentContext<'k> {
     /// bound cannot reach it — only the survivors enter the exact scan
     /// loop. The answer stays bit-identical to a codeless search.
     pub codes: Option<SegmentCodesView<'k>>,
+    /// Segment-local eligibility bitmap carrying a relational predicate
+    /// ("photographs taken in 1992", Section 6.1) into the search. Bit `i`
+    /// refers to the segment's `i`-th row; it is intersected with the
+    /// segment's live bitmap, so tombstoned rows stay excluded either way.
+    /// The quantized first pass, the exact scan and the κ proven here all
+    /// range over eligible rows only. `None` searches every live row.
+    pub filter: Option<&'k Bitmap>,
 }
 
 /// Runs one branch-and-bound BOND search restricted to a row segment.
@@ -293,7 +303,16 @@ pub fn search_segment(
     // All bookkeeping below is in segment-local row ids; only the final
     // ranking translates back to global ids.
     let mut partial = vec![0.0f64; rows];
-    let mut candidates = CandidateSet::from_bitmap(segment.live_bitmap());
+    let mut eligible = segment.live_bitmap();
+    if let Some(filter) = ctx.filter {
+        if filter.len() != rows {
+            return Err(BondError::InvalidFilter(format!(
+                "segment filter covers {} rows but the segment has {rows}",
+                filter.len()
+            )));
+        }
+        eligible.and_with(filter);
+    }
     let mut trace = PruneTrace::default();
     let objective = metric.objective();
 
@@ -302,6 +321,7 @@ pub fn search_segment(
     // interval bounds, and hand the exact loop below only the rows whose
     // optimistic bound can still reach it. The κ proven here is also
     // published to the shared cell, so sibling segments prune with it.
+    let mut candidates;
     if let Some(codes) = &ctx.codes {
         if codes.len() != rows || codes.dims() != dims {
             return Err(BondError::InvalidParams(format!(
@@ -310,20 +330,16 @@ pub fn search_segment(
                 codes.dims()
             )));
         }
-        let filter = crate::quantfilter::filter_segment(
-            codes,
-            metric,
-            query,
-            k,
-            &segment.live_bitmap(),
-            ctx.kappa,
-        )?;
+        let filter =
+            crate::quantfilter::filter_segment(codes, metric, query, k, &eligible, ctx.kappa)?;
         trace.filter_cells = filter.cells;
         candidates = CandidateSet::from_bitmap(filter.survivors);
         trace.refine_rows = candidates.len() as u64;
         if candidates.maybe_materialize(params.materialize_threshold) {
             trace.switched_to_list = true;
         }
+    } else {
+        candidates = CandidateSet::from_bitmap(eligible);
     }
 
     let mut processed = 0usize;

@@ -3,19 +3,24 @@
 //! Serving workloads are heterogeneous: a navigation step wants 10
 //! neighbours under the engine's default rule while a re-ranking job in the
 //! same batch wants 100 under a weighted metric. A [`QuerySpec`] carries
-//! one query's *whole* request — the vector, its own `k`, and optional
-//! per-query overrides of the engine's pruning rule and planner — and a
-//! [`RequestBatch`] collects specs so the engine amortizes per-query setup
-//! (dimension ordering, `T(x)` materialisation, worker-pool spawn) and
-//! schedules all `queries × segments` work items on one pool. Every query
-//! still reports a per-segment [`bond::PruneTrace`], preserving the paper's
-//! evaluation instrumentation in the parallel engine.
+//! one query's *whole* request — its [`QueryKind`] (bare top-k or a
+//! multi-feature combination), the vector, its own `k`, an optional
+//! eligibility filter, and optional per-query overrides of the engine's
+//! pruning rule and planner — and a [`RequestBatch`] collects specs so the
+//! engine amortizes per-query setup (dimension ordering, `T(x)`
+//! materialisation, worker-pool spawn) and schedules all
+//! `queries × segments` work items on one pool. Every query still reports a
+//! per-segment [`bond::PruneTrace`], preserving the paper's evaluation
+//! instrumentation in the parallel engine.
 
 use crate::planner::PlannerKind;
 use crate::rules::RuleKind;
-use bond::{PruneTrace, SegmentPlan};
+use bond::{BondError, FeatureMetricKind, PruneTrace, Result, SegmentPlan};
+use bond_metrics::{FuzzyMax, FuzzyMin, ScoreAggregate, WeightedAverage};
 use std::ops::Range;
+use std::sync::Arc;
 use vdstore::topk::Scored;
+use vdstore::{Bitmap, DecomposedTable};
 
 /// The admission-control class of a request: which queue it waits in at
 /// the serving front-end. Within a coalesced batch every spec still
@@ -108,6 +113,169 @@ impl ScanMode {
     }
 }
 
+/// How the per-feature similarities of a multi-feature request combine
+/// into one global score — a declarative, validatable mirror of the
+/// [`ScoreAggregate`] implementations in `bond-metrics` (Section 8.2's
+/// monotonic aggregates), so a spec stays plain data until admission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggregateSpec {
+    /// Weighted arithmetic mean; one non-negative weight per feature,
+    /// normalized at build time.
+    WeightedAverage(Vec<f64>),
+    /// Fuzzy conjunction: the worst component similarity.
+    FuzzyMin,
+    /// Fuzzy disjunction: the best component similarity.
+    FuzzyMax,
+}
+
+impl AggregateSpec {
+    /// Checks the aggregate against the spec's feature count.
+    pub fn validate(&self, features: usize) -> Result<()> {
+        match self {
+            AggregateSpec::WeightedAverage(weights) => {
+                if weights.len() != features {
+                    return Err(BondError::InvalidParams(format!(
+                        "aggregate carries {} weights for {features} features",
+                        weights.len()
+                    )));
+                }
+                if WeightedAverage::new(weights.clone()).is_none() {
+                    return Err(BondError::InvalidParams(
+                        "aggregate weights must be non-negative with a positive sum".into(),
+                    ));
+                }
+                Ok(())
+            }
+            AggregateSpec::FuzzyMin | AggregateSpec::FuzzyMax => Ok(()),
+        }
+    }
+
+    /// Materialises the combining function. Call [`AggregateSpec::validate`]
+    /// first; building an invalid weighted average is an error.
+    pub fn build(&self) -> Result<Box<dyn ScoreAggregate>> {
+        match self {
+            AggregateSpec::WeightedAverage(weights) => WeightedAverage::new(weights.clone())
+                .map(|a| Box::new(a) as Box<dyn ScoreAggregate>)
+                .ok_or_else(|| {
+                    BondError::InvalidParams(
+                        "aggregate weights must be non-negative with a positive sum".into(),
+                    )
+                }),
+            AggregateSpec::FuzzyMin => Ok(Box::new(FuzzyMin)),
+            AggregateSpec::FuzzyMax => Ok(Box::new(FuzzyMax)),
+        }
+    }
+
+    /// A short lowercase label for plans and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AggregateSpec::WeightedAverage(_) => "weighted_average",
+            AggregateSpec::FuzzyMin => "fuzzy_min",
+            AggregateSpec::FuzzyMax => "fuzzy_max",
+        }
+    }
+}
+
+/// One feature component of a multi-feature request: a query vector, the
+/// metric it is scored under, and the feature collection it runs against —
+/// either the engine's own table (the default) or a sibling collection
+/// sharing the engine's row-id space (e.g. the "texture" table beside the
+/// engine's "color" table).
+#[derive(Debug, Clone)]
+pub struct FeatureSpec {
+    query: Vec<f64>,
+    metric: FeatureMetricKind,
+    table: Option<Arc<DecomposedTable>>,
+}
+
+impl FeatureSpec {
+    /// A feature scored against the engine's own collection.
+    #[must_use]
+    pub fn new(query: Vec<f64>, metric: FeatureMetricKind) -> Self {
+        FeatureSpec { query, metric, table: None }
+    }
+
+    /// A feature scored against a sibling collection, which must have the
+    /// same number of rows as the engine's table (checked at admission).
+    #[must_use]
+    pub fn external(
+        query: Vec<f64>,
+        metric: FeatureMetricKind,
+        table: Arc<DecomposedTable>,
+    ) -> Self {
+        FeatureSpec { query, metric, table: Some(table) }
+    }
+
+    /// The feature's query vector.
+    pub fn query(&self) -> &[f64] {
+        &self.query
+    }
+
+    /// The metric this feature is scored under.
+    pub fn metric(&self) -> FeatureMetricKind {
+        self.metric
+    }
+
+    /// The sibling collection, or `None` for the engine's own table.
+    pub fn table(&self) -> Option<&Arc<DecomposedTable>> {
+        self.table.as_ref()
+    }
+}
+
+impl PartialEq for FeatureSpec {
+    fn eq(&self, other: &Self) -> bool {
+        // tables compare by identity: two specs are equal when they name
+        // the same collection, not merely equal data
+        self.query == other.query
+            && self.metric == other.metric
+            && match (&self.table, &other.table) {
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                (None, None) => true,
+                _ => false,
+            }
+    }
+}
+
+/// A multi-feature combination request (Section 8.2): per-feature queries,
+/// metrics and collections plus the monotonic aggregate that combines them.
+/// Carried by [`QueryKind::MultiFeature`]; executed as one synchronized
+/// scan per segment under the engine's shared-κ protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiFeatureSpec {
+    features: Vec<FeatureSpec>,
+    aggregate: AggregateSpec,
+}
+
+impl MultiFeatureSpec {
+    /// Combines `features` under `aggregate`. Dimensionalities, row spaces
+    /// and aggregate arity are checked at engine admission, not here — a
+    /// spec is plain data until it meets a table.
+    #[must_use]
+    pub fn new(features: Vec<FeatureSpec>, aggregate: AggregateSpec) -> Self {
+        MultiFeatureSpec { features, aggregate }
+    }
+
+    /// The feature components, in aggregate order.
+    pub fn features(&self) -> &[FeatureSpec] {
+        &self.features
+    }
+
+    /// The combining aggregate.
+    pub fn aggregate(&self) -> &AggregateSpec {
+        &self.aggregate
+    }
+}
+
+/// What shape of answer a [`QuerySpec`] requests from the engine.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum QueryKind {
+    /// Single-feature top-k over the engine's table — the classic request.
+    #[default]
+    TopK,
+    /// A synchronized multi-feature combination query.
+    MultiFeature(MultiFeatureSpec),
+}
+
 /// One k-NN request: a query vector, how many neighbours it wants, and
 /// optional per-query overrides of the engine defaults.
 ///
@@ -122,22 +290,58 @@ impl ScanMode {
 ///     .priority(Priority::Interactive);     // admission class at the server
 /// assert_eq!(spec.k(), 10);
 /// ```
+///
+/// A relational predicate rides along as an eligibility bitmap
+/// ([`QuerySpec::filter`]); a multi-feature combination request is built
+/// with [`QuerySpec::multi_feature`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuerySpec {
+    kind: QueryKind,
     vector: Vec<f64>,
     k: usize,
+    filter: Option<Arc<Bitmap>>,
     rule: Option<RuleKind>,
     planner: Option<PlannerKind>,
     scan: Option<ScanMode>,
-    priority: Priority,
+    priority: Option<Priority>,
 }
 
 impl QuerySpec {
     /// A request for the `k` nearest neighbours of `vector` under the
-    /// engine's default rule and planner, at [`Priority::Normal`].
+    /// engine's default rule and planner, at the server's default
+    /// admission class.
     #[must_use]
     pub fn new(vector: Vec<f64>, k: usize) -> Self {
-        QuerySpec { vector, k, rule: None, planner: None, scan: None, priority: Priority::Normal }
+        QuerySpec {
+            kind: QueryKind::TopK,
+            vector,
+            k,
+            filter: None,
+            rule: None,
+            planner: None,
+            scan: None,
+            priority: None,
+        }
+    }
+
+    /// A multi-feature combination request: the `k` rows with the best
+    /// aggregate similarity over all feature components. The spec's
+    /// `vector()` is empty — per-feature queries live in the
+    /// [`MultiFeatureSpec`]. Rule and scan-mode overrides do not apply to
+    /// this kind (each feature prunes under its own metric's rule, exact
+    /// fragments only) and are rejected at admission.
+    #[must_use]
+    pub fn multi_feature(spec: MultiFeatureSpec, k: usize) -> Self {
+        QuerySpec {
+            kind: QueryKind::MultiFeature(spec),
+            vector: Vec::new(),
+            k,
+            filter: None,
+            rule: None,
+            planner: None,
+            scan: None,
+            priority: None,
+        }
     }
 
     /// Overrides the engine's metric + pruning rule for this query only
@@ -169,11 +373,40 @@ impl QuerySpec {
     /// [`crate::service::Server`]).
     #[must_use]
     pub fn priority(mut self, priority: Priority) -> Self {
-        self.priority = priority;
+        self.priority = Some(priority);
         self
     }
 
-    /// The query vector.
+    /// Restricts the search to the rows set in `filter` — the Section 6.1
+    /// composition of a relational predicate ("photographs taken in 1992")
+    /// with the k-NN search. The bitmap addresses the engine table's full
+    /// row domain; the scan, the κ-seeding, the quantized first pass and
+    /// the zone-map segment skips all range over eligible rows only, and a
+    /// segment with no eligible row is never touched. A filter whose
+    /// domain mismatches the table, or that leaves no live row eligible,
+    /// is rejected at admission with [`bond::BondError::InvalidFilter`].
+    #[must_use]
+    pub fn filter(mut self, filter: Bitmap) -> Self {
+        self.filter = Some(Arc::new(filter));
+        self
+    }
+
+    /// Restricts the search to a pre-shared eligibility bitmap without
+    /// copying it (the relational front-end hands the same pushed-down
+    /// predicate to many specs).
+    #[must_use]
+    pub fn filter_shared(mut self, filter: Arc<Bitmap>) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+
+    /// What shape of answer this request asks for.
+    pub fn kind(&self) -> &QueryKind {
+        &self.kind
+    }
+
+    /// The query vector (empty for [`QueryKind::MultiFeature`] requests,
+    /// whose per-feature vectors live in their [`MultiFeatureSpec`]).
     pub fn vector(&self) -> &[f64] {
         &self.vector
     }
@@ -181,6 +414,11 @@ impl QuerySpec {
     /// The number of neighbours this query requests.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// The eligibility filter, when one was set.
+    pub fn filter_override(&self) -> Option<&Arc<Bitmap>> {
+        self.filter.as_ref()
     }
 
     /// The per-query rule override, when one was set.
@@ -198,9 +436,20 @@ impl QuerySpec {
         self.scan
     }
 
-    /// The request's admission class.
-    pub fn priority_class(&self) -> Priority {
+    /// The per-query admission-class override, when one was set (the
+    /// serving front-end queues unannotated requests at
+    /// [`Priority::Normal`]). Renamed from the pre-PR-9 `priority_class`,
+    /// which was the one accessor that didn't follow the `_override`
+    /// convention.
+    pub fn priority_override(&self) -> Option<Priority> {
         self.priority
+    }
+
+    /// Checks this spec against an engine without executing it — the
+    /// single validation entry point shared by direct execution and
+    /// service admission. Equivalent to [`crate::Engine::validate`].
+    pub fn validate_against(&self, engine: &crate::Engine) -> Result<()> {
+        engine.validate(self)
     }
 }
 
@@ -380,17 +629,74 @@ mod tests {
         let plain = QuerySpec::new(vec![0.1, 0.9], 5);
         assert_eq!(plain.vector(), &[0.1, 0.9]);
         assert_eq!(plain.k(), 5);
+        assert_eq!(plain.kind(), &QueryKind::TopK);
         assert_eq!(plain.rule_override(), None);
         assert_eq!(plain.planner_override(), None);
-        assert_eq!(plain.priority_class(), Priority::Normal);
+        assert_eq!(plain.priority_override(), None);
+        assert!(plain.filter_override().is_none());
 
         let spec = QuerySpec::new(vec![0.5, 0.5], 3)
             .rule(RuleKind::EuclideanEq)
             .planner(PlannerKind::Adaptive)
-            .priority(Priority::Batch);
+            .priority(Priority::Batch)
+            .filter(Bitmap::from_rows(4, &[0, 2]));
         assert_eq!(spec.rule_override(), Some(&RuleKind::EuclideanEq));
         assert_eq!(spec.planner_override(), Some(PlannerKind::Adaptive));
-        assert_eq!(spec.priority_class(), Priority::Batch);
+        assert_eq!(spec.priority_override(), Some(Priority::Batch));
+        assert_eq!(spec.filter_override().unwrap().count(), 2);
+        // sharing a pushed-down predicate across specs clones no bitmap
+        let shared = Arc::new(Bitmap::from_rows(4, &[1]));
+        let a = QuerySpec::new(vec![0.5, 0.5], 1).filter_shared(shared.clone());
+        let b = QuerySpec::new(vec![0.1, 0.1], 1).filter_shared(shared.clone());
+        assert!(Arc::ptr_eq(a.filter_override().unwrap(), b.filter_override().unwrap()));
+    }
+
+    #[test]
+    fn multi_feature_specs_are_plain_data() {
+        let table = Arc::new(
+            DecomposedTable::from_vectors("tex", &[vec![0.5, 0.5], vec![0.2, 0.8]]).unwrap(),
+        );
+        let mf = MultiFeatureSpec::new(
+            vec![
+                FeatureSpec::new(vec![0.6, 0.4], FeatureMetricKind::HistogramIntersection),
+                FeatureSpec::external(vec![0.5, 0.5], FeatureMetricKind::Euclidean, table.clone()),
+            ],
+            AggregateSpec::WeightedAverage(vec![0.7, 0.3]),
+        );
+        assert_eq!(mf.features().len(), 2);
+        assert_eq!(mf.features()[0].metric(), FeatureMetricKind::HistogramIntersection);
+        assert!(mf.features()[0].table().is_none());
+        assert!(Arc::ptr_eq(mf.features()[1].table().unwrap(), &table));
+        assert_eq!(mf.aggregate().label(), "weighted_average");
+
+        let spec = QuerySpec::multi_feature(mf.clone(), 3);
+        assert_eq!(spec.k(), 3);
+        assert!(spec.vector().is_empty());
+        assert_eq!(spec.kind(), &QueryKind::MultiFeature(mf));
+        // feature equality is collection *identity*, not data equality
+        let same_data = Arc::new(
+            DecomposedTable::from_vectors("tex", &[vec![0.5, 0.5], vec![0.2, 0.8]]).unwrap(),
+        );
+        let a = FeatureSpec::external(vec![0.5], FeatureMetricKind::Euclidean, table.clone());
+        let b = FeatureSpec::external(vec![0.5], FeatureMetricKind::Euclidean, same_data);
+        assert_ne!(a, b);
+        assert_eq!(a, a.clone());
+    }
+
+    #[test]
+    fn aggregate_specs_validate_and_build() {
+        let avg = AggregateSpec::WeightedAverage(vec![3.0, 1.0]);
+        avg.validate(2).unwrap();
+        assert!(avg.validate(3).is_err());
+        assert!(AggregateSpec::WeightedAverage(vec![-1.0, 1.0]).validate(2).is_err());
+        assert!(AggregateSpec::WeightedAverage(vec![0.0, 0.0]).build().is_err());
+        let built = avg.build().unwrap();
+        assert!((built.combine(&[1.0, 0.0]) - 0.75).abs() < 1e-12);
+        AggregateSpec::FuzzyMin.validate(5).unwrap();
+        assert_eq!(AggregateSpec::FuzzyMin.build().unwrap().combine(&[0.9, 0.2]), 0.2);
+        assert_eq!(AggregateSpec::FuzzyMax.build().unwrap().combine(&[0.9, 0.2]), 0.9);
+        assert_eq!(AggregateSpec::FuzzyMin.label(), "fuzzy_min");
+        assert_eq!(AggregateSpec::FuzzyMax.label(), "fuzzy_max");
     }
 
     #[test]

@@ -42,14 +42,18 @@
 //!   rank-correct. [`Engine::persist`] writes the learned state alongside
 //!   the store footer, so a reopened engine starts warm.
 
-use crate::batch::{BatchOutcome, QueryOutcome, QuerySpec, RequestBatch, ScanMode, SegmentRun};
+use crate::batch::{
+    BatchOutcome, MultiFeatureSpec, QueryKind, QueryOutcome, QuerySpec, RequestBatch, ScanMode,
+    SegmentRun,
+};
 use crate::kappa::SharedKappa;
 use crate::planner::PlannerKind;
 use crate::rules::RuleKind;
 use bond::quantfilter;
 use bond::{
     prune_slack, search_segment, BondError, BondParams, BondSearcher, CostModel, DimensionOrdering,
-    ExecFeedback, FeedbackSnapshot, KappaCell, PruneTrace, Result, SearchOutcome, SegmentContext,
+    ExecFeedback, FeatureQuery, FeedbackSnapshot, KappaCell, MultiFeatureContext,
+    MultiFeatureOutcome, MultiFeatureSearcher, PruneTrace, Result, SearchOutcome, SegmentContext,
     SegmentFeedbackSnapshot, SegmentPlan,
 };
 use bond_metrics::{DecomposableMetric, Objective};
@@ -62,7 +66,7 @@ use std::time::Instant;
 use vdstore::persist::{open_store, save_store_with_codes, validate_store_inputs, PersistedStore};
 use vdstore::topk::Scored;
 use vdstore::{
-    Advice, DecomposedTable, Envelope, Segment, SegmentSpec, SegmentStats, StorageBackend,
+    Advice, Bitmap, DecomposedTable, Envelope, Segment, SegmentSpec, SegmentStats, StorageBackend,
     StoreCodes, TopKLargest, TopKSmallest, VdError,
 };
 
@@ -120,6 +124,15 @@ pub(crate) struct EngineMetrics {
     /// `engine.quant.filter_selectivity` — per query, the percentage of
     /// filtered rows that reached the exact phase (lower is better).
     quant_filter_selectivity: Histogram,
+    /// `engine.filter.eligible_rows` — rows eligible under predicate
+    /// filters (filter ∧ live), summed over scanned filtered segments.
+    filter_eligible_rows: Counter,
+    /// `engine.filter.segments_empty` — segments skipped outright because a
+    /// predicate filter left none of their rows eligible.
+    filter_segments_empty: Counter,
+    /// `engine.multifeature.searches` — synchronized multi-feature segment
+    /// scans executed.
+    multifeature_searches: Counter,
 }
 
 impl EngineMetrics {
@@ -143,6 +156,9 @@ impl EngineMetrics {
             quant_filter_cells: registry.counter(names::ENGINE_QUANT_FILTER_CELLS),
             quant_refine_rows: registry.counter(names::ENGINE_QUANT_REFINE_ROWS),
             quant_filter_selectivity: registry.histogram(names::ENGINE_QUANT_FILTER_SELECTIVITY),
+            filter_eligible_rows: registry.counter(names::ENGINE_FILTER_ELIGIBLE_ROWS),
+            filter_segments_empty: registry.counter(names::ENGINE_FILTER_SEGMENTS_EMPTY),
+            multifeature_searches: registry.counter(names::ENGINE_MULTIFEATURE_SEARCHES),
             registry,
         }
     }
@@ -503,6 +519,9 @@ struct ResolvedQuery<'b> {
     codes: Option<Arc<StoreCodes>>,
     metric: Box<dyn DecomposableMetric>,
     objective: Objective,
+    /// The eligibility bitmap over the table's full row domain, when the
+    /// spec pushed one down; workers slice it per segment.
+    filter: Option<&'b Bitmap>,
     uniform_plan: Option<SegmentPlan>,
     /// `T(q)` for the total-mass skip bound (adaptive planning only).
     query_sum: f64,
@@ -720,6 +739,23 @@ impl Engine {
     /// survivor fraction (stats-driven planners only — uniform planning
     /// never skips).
     pub fn estimate_cost(&self, spec: &QuerySpec) -> f64 {
+        // Predicate filters discount every segment's estimate by its own
+        // eligible fraction (floored at k/live — the scan must still find k
+        // answers); a domain-mismatched filter prices as unfiltered here and
+        // is rejected by `validate` before execution.
+        let eligible = spec.filter_override().and_then(|f| self.filter_eligibility(f).ok());
+        if let QueryKind::MultiFeature(mf) = spec.kind() {
+            // The synchronized scan has no per-segment plan or feedback
+            // model yet: price the full-scan prior over the union of
+            // feature dimensions — an admission-ordering estimate, not a
+            // calibrated one.
+            let total_dims: usize = mf.features().iter().map(|f| f.query().len()).sum();
+            let rows = match &eligible {
+                Some(counts) => counts.iter().sum::<usize>(),
+                None => self.inner.table.live_rows(),
+            };
+            return rows as f64 * total_dims as f64;
+        }
         let planner = spec.planner_override().unwrap_or(self.inner.planner);
         let scan = spec.scan_mode_override().unwrap_or(self.inner.scan);
         let skipping =
@@ -730,7 +766,16 @@ impl Engine {
                 // counters, so the per-dimension credit vector is not cloned
                 // on this (per-submission) hot path
                 let snapshot = self.inner.feedback.segment(si).scalar_snapshot();
-                self.segment_estimate(si, scan, Some(&snapshot), spec.k(), skipping).0
+                let cost = self.segment_estimate(si, scan, Some(&snapshot), spec.k(), skipping).0;
+                match &eligible {
+                    Some(counts) => self.inner.cost.filtered_cost(
+                        cost,
+                        counts[si],
+                        self.inner.stats[si].live_rows,
+                        spec.k(),
+                    ),
+                    None => cost,
+                }
             })
             .sum()
     }
@@ -867,35 +912,134 @@ impl Engine {
     /// request immediately instead of poisoning a coalesced batch.
     pub fn validate(&self, spec: &QuerySpec) -> Result<()> {
         let dims = self.inner.table.dims();
-        let live = self.inner.table.live_rows();
-        if spec.vector().len() != dims {
-            return Err(BondError::QueryDimensionMismatch {
-                expected: dims,
-                actual: spec.vector().len(),
-            });
-        }
-        if spec.k() == 0 || spec.k() > live {
-            return Err(BondError::InvalidK { k: spec.k(), rows: live });
-        }
-        let rule = spec.rule_override().unwrap_or(&self.inner.rule);
-        if let Some(w) = rule.weights() {
-            if w.len() != dims {
-                return Err(BondError::WeightDimensionMismatch { expected: dims, actual: w.len() });
+        // A predicate filter must address the table's full row domain and
+        // leave at least one live row eligible; `k` is then checked against
+        // the *eligible* count, so an over-asking filtered request fails at
+        // admission instead of returning a silently short answer.
+        let eligible = match spec.filter_override() {
+            Some(filter) => {
+                let total: usize = self.filter_eligibility(filter)?.iter().sum();
+                if total == 0 {
+                    return Err(BondError::InvalidFilter(
+                        "filter leaves no live row eligible".into(),
+                    ));
+                }
+                total
             }
+            None => self.inner.table.live_rows(),
+        };
+        if spec.k() == 0 || spec.k() > eligible {
+            return Err(BondError::InvalidK { k: spec.k(), rows: eligible });
         }
-        // Invalid weight *values* (directly constructed variants bypassing
-        // the validating constructors) error here instead of panicking in
-        // `make_metric` during execution.
-        rule.validate(dims)?;
-        let scan = spec.scan_mode_override().unwrap_or(self.inner.scan);
-        if let ScanMode::ApproximateQuantized { bits } = scan {
-            if bits == 0 || bits > 8 {
+        match spec.kind() {
+            QueryKind::TopK => {
+                if spec.vector().len() != dims {
+                    return Err(BondError::QueryDimensionMismatch {
+                        expected: dims,
+                        actual: spec.vector().len(),
+                    });
+                }
+                let rule = spec.rule_override().unwrap_or(&self.inner.rule);
+                if let Some(w) = rule.weights() {
+                    if w.len() != dims {
+                        return Err(BondError::WeightDimensionMismatch {
+                            expected: dims,
+                            actual: w.len(),
+                        });
+                    }
+                }
+                // Invalid weight *values* (directly constructed variants
+                // bypassing the validating constructors) error here instead
+                // of panicking in `make_metric` during execution.
+                rule.validate(dims)?;
+                let scan = spec.scan_mode_override().unwrap_or(self.inner.scan);
+                if let ScanMode::ApproximateQuantized { bits } = scan {
+                    if bits == 0 || bits > 8 {
+                        return Err(BondError::InvalidParams(format!(
+                            "approximate scan bits must be in 1..=8, got {bits}"
+                        )));
+                    }
+                }
+            }
+            QueryKind::MultiFeature(mf) => self.validate_multifeature(spec, mf)?,
+        }
+        Ok(())
+    }
+
+    /// The multi-feature half of [`Engine::validate`]: feature arity,
+    /// per-feature dimensionalities (typed as
+    /// [`BondError::FeatureDimensionMismatch`]), shared row space, the
+    /// aggregate's weights, and the overrides this kind does not accept.
+    fn validate_multifeature(&self, spec: &QuerySpec, mf: &MultiFeatureSpec) -> Result<()> {
+        if spec.rule_override().is_some() {
+            return Err(BondError::InvalidParams(
+                "multi-feature requests cannot override the pruning rule — each feature \
+                 prunes under its own metric's rule"
+                    .into(),
+            ));
+        }
+        if spec.scan_mode_override().is_some_and(|scan| scan != ScanMode::Exact) {
+            return Err(BondError::InvalidParams(format!(
+                "multi-feature requests execute exact scans only, got scan mode {}",
+                spec.scan_mode_override().expect("checked above").label()
+            )));
+        }
+        if mf.features().is_empty() {
+            return Err(BondError::InvalidParams(
+                "multi-feature request needs at least one feature".into(),
+            ));
+        }
+        mf.aggregate().validate(mf.features().len())?;
+        let rows = self.inner.table.rows();
+        for (f, feature) in mf.features().iter().enumerate() {
+            let (expected, feature_rows) = match feature.table() {
+                Some(table) => (table.dims(), table.rows()),
+                None => (self.inner.table.dims(), rows),
+            };
+            if feature.query().len() != expected {
+                return Err(BondError::FeatureDimensionMismatch {
+                    feature: f,
+                    expected,
+                    actual: feature.query().len(),
+                });
+            }
+            if feature_rows != rows {
                 return Err(BondError::InvalidParams(format!(
-                    "approximate scan bits must be in 1..=8, got {bits}"
+                    "feature {f}'s collection has {feature_rows} rows, the engine's table \
+                     has {rows}"
                 )));
             }
         }
         Ok(())
+    }
+
+    /// Per-segment eligible-row counts under `filter` — `filter ∧ live`,
+    /// segment by segment, without materialising any intersection. The
+    /// shared precondition check of [`Engine::validate`],
+    /// [`Engine::estimate_cost`] and [`Engine::explain`]'s filtered
+    /// rendering.
+    ///
+    /// # Errors
+    ///
+    /// [`BondError::InvalidFilter`] when the bitmap's domain is not the
+    /// table's full row count.
+    pub(crate) fn filter_eligibility(&self, filter: &Bitmap) -> Result<Vec<usize>> {
+        let inner = &*self.inner;
+        if filter.len() != inner.table.rows() {
+            return Err(BondError::InvalidFilter(format!(
+                "filter covers {} rows but the table has {}",
+                filter.len(),
+                inner.table.rows()
+            )));
+        }
+        Ok(inner
+            .specs
+            .iter()
+            .map(|s| {
+                let segment = s.view(&inner.table).expect("specs partition this table");
+                filter.slice(segment.range()).intersection_count(&segment.live_bitmap())
+            })
+            .collect())
     }
 
     /// Runs one k-NN query under the engine defaults; equivalent to a
@@ -924,14 +1068,206 @@ impl Engine {
     ///
     /// Every spec is validated before any work starts; the first invalid
     /// spec fails the whole call.
+    ///
+    /// Filtered requests ([`QuerySpec::filter`]) restrict every stage to
+    /// their eligible rows; multi-feature requests
+    /// ([`QuerySpec::multi_feature`]) run one synchronized scan per segment
+    /// under the same shared-κ protocol and merge exactly like top-k
+    /// requests. Both kinds coexist freely in one batch.
     pub fn execute(&self, batch: &RequestBatch) -> Result<BatchOutcome> {
-        let inner = &*self.inner;
         for spec in batch.specs() {
             self.validate(spec)?;
         }
         if batch.is_empty() {
             return Ok(BatchOutcome { queries: Vec::new() });
         }
+        if batch.specs().iter().any(|s| matches!(s.kind(), QueryKind::MultiFeature(_))) {
+            return self.execute_mixed(batch);
+        }
+        self.execute_topk(batch)
+    }
+
+    /// A batch with at least one multi-feature request: the classic top-k
+    /// specs run in one engine pass exactly as a homogeneous batch would,
+    /// each multi-feature spec runs its own synchronized per-segment pass,
+    /// and the answers reassemble in submission order.
+    fn execute_mixed(&self, batch: &RequestBatch) -> Result<BatchOutcome> {
+        let mut slots: Vec<Option<QueryOutcome>> = (0..batch.len()).map(|_| None).collect();
+        let topk: Vec<usize> = batch
+            .specs()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.kind(), QueryKind::TopK))
+            .map(|(i, _)| i)
+            .collect();
+        if !topk.is_empty() {
+            let sub =
+                RequestBatch::from_specs(topk.iter().map(|&i| batch.specs()[i].clone()).collect());
+            let outcome = self.execute_topk(&sub)?;
+            for (&i, out) in topk.iter().zip(outcome.queries) {
+                slots[i] = Some(out);
+            }
+        } else {
+            // the engine-pass counter ticks once per `execute` call; the
+            // top-k subset's pass already counted it when one ran
+            self.inner.metrics.batches.inc();
+        }
+        for (i, spec) in batch.specs().iter().enumerate() {
+            if let QueryKind::MultiFeature(mf) = spec.kind() {
+                slots[i] = Some(self.execute_multifeature(spec, mf)?);
+            }
+        }
+        Ok(BatchOutcome {
+            queries: slots.into_iter().map(|s| s.expect("every slot answered")).collect(),
+        })
+    }
+
+    /// One multi-feature request: a synchronized scan
+    /// ([`MultiFeatureSearcher::search_range`]) per segment on the worker
+    /// pool, all segments pooling their combined-similarity κ through one
+    /// shared cell, per-segment exact answers merged into the global top-k
+    /// under the deterministic `(score, row)` order. Tombstones and the
+    /// spec's predicate filter both enter as the per-segment eligibility
+    /// bitmap.
+    fn execute_multifeature(
+        &self,
+        spec: &QuerySpec,
+        mf: &MultiFeatureSpec,
+    ) -> Result<QueryOutcome> {
+        let inner = &*self.inner;
+        let start = Instant::now();
+        let plan_span = Span::begin(names::SPAN_ENGINE_PLAN).detail(1);
+        let tables: Vec<&DecomposedTable> = mf
+            .features()
+            .iter()
+            .map(|f| f.table().map(|t| t.as_ref()).unwrap_or(&inner.table))
+            .collect();
+        let searcher = MultiFeatureSearcher::new(tables.clone())?;
+        let queries: Vec<FeatureQuery> = mf
+            .features()
+            .iter()
+            .map(|f| FeatureQuery { query: f.query().to_vec(), metric: f.metric() })
+            .collect();
+        let aggregate = mf.aggregate().build()?;
+        let k = spec.k();
+        let schedule = inner.params.schedule;
+        // Per-feature full-table row sums, computed once per query instead
+        // of once per segment worker.
+        let total_mass: Vec<Vec<f64>> = tables.iter().map(|t| t.row_sums()).collect();
+        // The combined similarity is maximized regardless of the component
+        // metrics (Euclidean components are flipped onto the similarity
+        // scale before aggregation), so one Maximize cell serves any mix.
+        let kappa = inner.share_kappa.then(|| SharedKappa::new(Objective::Maximize));
+        let segments: Vec<Segment<'_>> = inner
+            .specs
+            .iter()
+            .map(|s| s.view(&inner.table).expect("specs partition this table"))
+            .collect();
+        let n_segments = segments.len();
+        drop(plan_span);
+
+        let slots: Vec<OnceLock<Result<MultiFeatureOutcome>>> =
+            (0..n_segments).map(|_| OnceLock::new()).collect();
+        let run_task = |si: usize| {
+            let segment = &segments[si];
+            // Eligibility local to the segment: tombstones ∧ predicate.
+            let mut local = segment.live_bitmap();
+            if let Some(filter) = spec.filter_override() {
+                local.and_with(&filter.slice(segment.range()));
+            }
+            let eligible = local.count();
+            if eligible == 0 {
+                if spec.filter_override().is_some() {
+                    inner.metrics.filter_segments_empty.inc();
+                }
+                slots[si]
+                    .set(Ok(MultiFeatureOutcome {
+                        hits: Vec::new(),
+                        trace: PruneTrace { segment_skipped: true, ..PruneTrace::default() },
+                    }))
+                    .expect("each segment is claimed exactly once");
+                return;
+            }
+            if spec.filter_override().is_some() {
+                inner.metrics.filter_eligible_rows.add(eligible as u64);
+            }
+            let scan_span = Span::begin(names::SPAN_ENGINE_SCAN).detail(si as u64);
+            let ctx = MultiFeatureContext {
+                kappa: kappa.as_ref().map(|cell| cell as &dyn KappaCell),
+                total_mass: Some(&total_mass),
+                filter: Some(&local),
+            };
+            let result = searcher.search_range(
+                &queries,
+                aggregate.as_ref(),
+                k,
+                schedule,
+                segment.range(),
+                &ctx,
+            );
+            drop(scan_span);
+            inner.metrics.multifeature_searches.inc();
+            slots[si].set(result).expect("each segment is claimed exactly once");
+        };
+        let workers = inner.threads.min(n_segments);
+        if workers <= 1 {
+            for si in 0..n_segments {
+                run_task(si);
+            }
+        } else {
+            let next_task = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        // ordering: relaxed — the atomic RMW alone makes each
+                        // segment index unique; segment *data* is published
+                        // to the workers by `thread::scope`'s spawn
+                        // (happens-before the closure runs), not through
+                        // this counter.
+                        let si = next_task.fetch_add(1, Ordering::Relaxed);
+                        if si >= n_segments {
+                            break;
+                        }
+                        run_task(si);
+                    });
+                }
+            });
+        }
+        let outcomes: Vec<MultiFeatureOutcome> = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("all segments completed"))
+            .collect::<Result<_>>()?;
+
+        let merge_span = Span::begin(names::SPAN_ENGINE_MERGE).detail(1);
+        // Per-segment hits carry exact combined similarities for global
+        // rows, so the deterministic (score, row) top-k order makes this
+        // merge bit-identical to one full-table synchronized scan.
+        let mut heap = TopKLargest::new(k);
+        let mut runs = Vec::with_capacity(n_segments);
+        for (segment, out) in segments.iter().zip(outcomes) {
+            for hit in &out.hits {
+                heap.push(hit.row, hit.score);
+            }
+            runs.push(SegmentRun { rows: segment.range(), trace: out.trace, plan: None });
+        }
+        let outcome =
+            QueryOutcome { hits: heap.into_sorted_vec(), error_bounds: None, segments: runs };
+        drop(merge_span);
+
+        let m = &inner.metrics;
+        m.queries.inc();
+        m.scanned_cells.record(outcome.contributions_evaluated());
+        let skipped = outcome.segments_skipped() as u64;
+        m.segment_searched.add(n_segments as u64 - skipped);
+        m.segment_skipped.add(skipped);
+        m.latency_us.record(start.elapsed().as_micros() as u64);
+        Ok(outcome)
+    }
+
+    /// The classic top-k engine pass. Every spec must already be validated
+    /// and of [`QueryKind::TopK`].
+    fn execute_topk(&self, batch: &RequestBatch) -> Result<BatchOutcome> {
+        let inner = &*self.inner;
         let batch_start = Instant::now();
         let plan_span = Span::begin(names::SPAN_ENGINE_PLAN).detail(batch.len() as u64);
 
@@ -993,6 +1329,7 @@ impl Engine {
                     codes,
                     metric,
                     objective,
+                    filter: spec.filter_override().map(|f| f.as_ref()),
                     uniform_plan,
                     query_sum,
                     estimate,
@@ -1042,6 +1379,34 @@ impl Engine {
             let k = rq.spec.k();
             let cell = rq.kappa.as_ref();
 
+            // Predicate filter: this segment's window of the query's
+            // eligibility bitmap. A window that leaves no live row eligible
+            // skips the segment before any bound — or column — is touched.
+            let filter_slice = rq.filter.map(|f| f.slice(segment.range()));
+            let eligible =
+                filter_slice.as_ref().map(|f| f.intersection_count(&segment.live_bitmap()));
+            if eligible == Some(0) {
+                inner.metrics.filter_segments_empty.inc();
+                slots[task]
+                    .set(Ok(TaskOutcome {
+                        outcome: SearchOutcome {
+                            hits: Vec::new(),
+                            trace: PruneTrace {
+                                segment_skipped: true,
+                                rule: Some(rq.rule.name()),
+                                ..PruneTrace::default()
+                            },
+                        },
+                        plan: None,
+                        error_bounds: None,
+                    }))
+                    .expect("each task is claimed exactly once");
+                return;
+            }
+            if let Some(rows) = eligible {
+                inner.metrics.filter_eligible_rows.add(rows as u64);
+            }
+
             if rq.scan.is_approximate() {
                 // Codes only: one branch-free sweep of the segment's code
                 // columns, midpoint scores, per-hit error bounds. No exact
@@ -1050,14 +1415,12 @@ impl Engine {
                 let scan_span = Span::begin(names::SPAN_ENGINE_SCAN).detail(si as u64);
                 let codes = rq.codes.as_ref().expect("approximate queries carry codes");
                 let start = segment.range().start as u32;
+                let mut live = segment.live_bitmap();
+                if let Some(filter) = &filter_slice {
+                    live.and_with(filter);
+                }
                 let result = codes.segment_view(si).map_err(BondError::Storage).and_then(|view| {
-                    quantfilter::approximate_topk(
-                        &view,
-                        rq.metric.as_ref(),
-                        query,
-                        k,
-                        &segment.live_bitmap(),
-                    )
+                    quantfilter::approximate_topk(&view, rq.metric.as_ref(), query, k, &live)
                 });
                 drop(scan_span);
                 slots[task]
@@ -1083,10 +1446,17 @@ impl Engine {
             }
 
             if rq.planner.is_stats_driven() {
+                // The envelope covers the whole segment, so its bound is
+                // conservative (still valid) for any eligible subset —
+                // filtered zone-map skips can never drop an eligible row.
                 if let Some(outcome) = self.try_skip_segment(si, rq) {
                     // a zone-map skip hit is itself feedback: it raises the
                     // segment's observed skip rate, cheapening its estimate
-                    inner.feedback.segment(si).record_skip();
+                    // (filtered traces are kept out of the store — see the
+                    // `record_search` gate below)
+                    if rq.filter.is_none() {
+                        inner.feedback.segment(si).record_skip();
+                    }
                     slots[task]
                         .set(Ok(TaskOutcome { outcome, plan: None, error_bounds: None }))
                         .expect("each task is claimed exactly once");
@@ -1133,6 +1503,7 @@ impl Engine {
                 row_sums: row_sums.map(|sums| &sums[segment.range()]),
                 plan: Some(&plan),
                 codes: codes_view,
+                filter: filter_slice.as_ref(),
             };
             let mut outcome = search_segment(
                 segment,
@@ -1161,12 +1532,17 @@ impl Engine {
                 }
                 // Fold the executed plan's trace into the feedback store —
                 // every planner teaches the `Feedback` planner, because the
-                // credit is keyed by dimension id, not by policy.
-                inner.feedback.segment(si).record_search(
-                    &plan.order,
-                    &outcome.trace,
-                    segment.len(),
-                );
+                // credit is keyed by dimension id, not by policy. Filtered
+                // queries are excluded: their survival and prune-depth
+                // signals describe the predicate's subset, not the segment,
+                // and would poison the unfiltered estimates.
+                if rq.filter.is_none() {
+                    inner.feedback.segment(si).record_search(
+                        &plan.order,
+                        &outcome.trace,
+                        segment.len(),
+                    );
+                }
             }
             drop(scan_span);
             slots[task]
@@ -1421,13 +1797,17 @@ impl Engine {
         });
         // Close the feedback loop on the merge: a segment that was scanned
         // (not skipped) yet placed nothing in the final top-k was work the
-        // zone map failed to avoid — a "skip miss".
-        for (si, run) in runs.iter().enumerate() {
-            if !run.trace.segment_skipped
-                && !hits.iter().any(|h| run.rows.contains(&(h.row as usize)))
-            {
-                self.inner.feedback.segment(si).record_miss();
-                self.inner.metrics.segment_missed.inc();
+        // zone map failed to avoid — a "skip miss". Filtered queries don't
+        // teach it: a miss against a predicate's subset says nothing about
+        // the segment's unfiltered promise.
+        if rq.filter.is_none() {
+            for (si, run) in runs.iter().enumerate() {
+                if !run.trace.segment_skipped
+                    && !hits.iter().any(|h| run.rows.contains(&(h.row as usize)))
+                {
+                    self.inner.feedback.segment(si).record_miss();
+                    self.inner.metrics.segment_missed.inc();
+                }
             }
         }
         QueryOutcome { hits, error_bounds, segments: runs }

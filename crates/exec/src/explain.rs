@@ -17,10 +17,10 @@
 //! Both types are plain data with `Display` impls, so they print as
 //! compact reports and remain programmatically inspectable.
 
-use crate::batch::{QueryOutcome, QuerySpec, ScanMode};
+use crate::batch::{MultiFeatureSpec, QueryKind, QueryOutcome, QuerySpec, ScanMode};
 use crate::engine::Engine;
 use crate::planner::PlannerKind;
-use bond::{Result, SegmentPlan};
+use bond::{FeatureMetricKind, Result, SegmentPlan};
 use std::fmt;
 use std::ops::Range;
 
@@ -55,6 +55,21 @@ impl PlanProvenance {
     }
 }
 
+/// One feature component of a multi-feature plan, as rendered by
+/// [`Engine::explain`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureExplain {
+    /// The feature's position in the aggregate's argument order.
+    pub feature: usize,
+    /// The feature collection's dimensionality.
+    pub dims: usize,
+    /// The metric's label (`"histogram-intersection"` or `"euclidean"`).
+    pub metric: &'static str,
+    /// Whether the feature runs against a sibling collection rather than
+    /// the engine's own table.
+    pub external: bool,
+}
+
 /// The rendered plan for one segment of one request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SegmentExplain {
@@ -86,6 +101,19 @@ pub struct SegmentExplain {
     /// cost model expects the filter's survivors to need. `Some(0.0)` for
     /// approximate codes-only scans, `None` for exact scans.
     pub refine_cost: Option<f64>,
+    /// Live rows eligible under the request's predicate filter; `None`
+    /// when the request carries no filter.
+    pub eligible_rows: Option<usize>,
+    /// The segment's live-row count (the filter's denominator).
+    pub live_rows: usize,
+}
+
+impl SegmentExplain {
+    /// The filter's selectivity in this segment — eligible over live rows,
+    /// in `[0, 1]`. `None` when the request carries no filter.
+    pub fn filter_selectivity(&self) -> Option<f64> {
+        self.eligible_rows.map(|e| e as f64 / (self.live_rows.max(1)) as f64)
+    }
 }
 
 /// The rendered execution plan of one request — what [`Engine::execute`]
@@ -110,6 +138,14 @@ pub struct QueryExplain {
     pub visit_order: Vec<usize>,
     /// Per-segment rendered plans, in segment (row-range) order.
     pub segments: Vec<SegmentExplain>,
+    /// The feature components of a multi-feature request, in aggregate
+    /// order; empty for classic top-k requests.
+    pub features: Vec<FeatureExplain>,
+    /// The combining aggregate's label for a multi-feature request.
+    pub aggregate: Option<&'static str>,
+    /// Live rows eligible under the request's predicate filter, summed
+    /// over all segments; `None` when the request carries no filter.
+    pub eligible_rows: Option<usize>,
 }
 
 impl QueryExplain {
@@ -133,6 +169,32 @@ impl fmt::Display for QueryExplain {
             if self.skipping { "on" } else { "off" },
             self.estimated_cells(),
         )?;
+        if let Some(eligible) = self.eligible_rows {
+            let live: usize = self.segments.iter().map(|s| s.live_rows).sum();
+            writeln!(
+                f,
+                "  filter: {eligible} of {live} live rows eligible ({:.1}%)",
+                eligible as f64 / (live.max(1)) as f64 * 100.0,
+            )?;
+        }
+        if let Some(aggregate) = self.aggregate {
+            // The synchronized scan interleaves the features' dimension
+            // blocks, so the plan line shows the per-feature widths.
+            let parts: Vec<String> = self
+                .features
+                .iter()
+                .map(|ft| {
+                    format!(
+                        "f{} {} dims={}{}",
+                        ft.feature,
+                        ft.metric,
+                        ft.dims,
+                        if ft.external { " (external)" } else { "" }
+                    )
+                })
+                .collect();
+            writeln!(f, "  multi-feature: {} over [{}]", aggregate, parts.join(" | "))?;
+        }
         let order: Vec<String> = self.visit_order.iter().map(|s| s.to_string()).collect();
         writeln!(f, "  visit order: {}", order.join(" -> "))?;
         for seg in &self.segments {
@@ -146,9 +208,13 @@ impl fmt::Display for QueryExplain {
                 }
                 _ => String::new(),
             };
+            let eligible = match (seg.eligible_rows, seg.filter_selectivity()) {
+                (Some(rows), Some(sel)) => format!(" eligible={rows} ({:.1}%)", sel * 100.0),
+                _ => String::new(),
+            };
             writeln!(
                 f,
-                "  segment {} rows {}..{} visit#{} [{}] bound={} est={:.0} cells{}",
+                "  segment {} rows {}..{} visit#{} [{}] bound={} est={:.0} cells{}{}",
                 seg.segment,
                 seg.rows.start,
                 seg.rows.end,
@@ -157,6 +223,7 @@ impl fmt::Display for QueryExplain {
                 bound,
                 seg.estimated_cells,
                 phases,
+                eligible,
             )?;
             writeln!(
                 f,
@@ -311,6 +378,13 @@ impl Engine {
     /// this spec; explaining never touches column data.
     pub fn explain(&self, spec: &QuerySpec) -> Result<QueryExplain> {
         self.validate(spec)?;
+        let counts = match spec.filter_override() {
+            Some(filter) => Some(self.filter_eligibility(filter)?),
+            None => None,
+        };
+        if let QueryKind::MultiFeature(mf) = spec.kind() {
+            return Ok(self.explain_multifeature(spec, mf, counts));
+        }
         let rule = spec.rule_override().unwrap_or(self.rule());
         let planner = spec.planner_override().unwrap_or(self.planner());
         let scan = spec.scan_mode_override().unwrap_or(self.scan_mode());
@@ -330,6 +404,7 @@ impl Engine {
         }
         let feedback = self.feedback_snapshot();
         let min_warm = self.cost_model().min_warm_searches;
+        let stats = self.segment_stats();
         let segments = self
             .segment_specs()
             .iter()
@@ -350,8 +425,26 @@ impl Engine {
                 };
                 let envelope_bound =
                     self.optimistic_bound(si, metric.as_ref(), objective, query, query_sum);
-                let (estimated_cells, filter_cost, refine_cost) =
+                let (mut estimated_cells, mut filter_cost, mut refine_cost) =
                     self.segment_estimate(si, scan, Some(snapshot), spec.k(), skipping);
+                let live_rows = stats[si].live_rows;
+                let eligible_rows = counts.as_ref().map(|c| c[si]);
+                if let Some(eligible) = eligible_rows {
+                    // The same per-segment selectivity discount
+                    // `estimate_cost` prices admission with, applied
+                    // proportionally to the phase split.
+                    let discounted = self.cost_model().filtered_cost(
+                        estimated_cells,
+                        eligible,
+                        live_rows,
+                        spec.k(),
+                    );
+                    let ratio =
+                        if estimated_cells > 0.0 { discounted / estimated_cells } else { 0.0 };
+                    estimated_cells = discounted;
+                    filter_cost = filter_cost.map(|c| c * ratio);
+                    refine_cost = refine_cost.map(|c| c * ratio);
+                }
                 SegmentExplain {
                     segment: si,
                     rows: seg_spec.range(),
@@ -362,6 +455,8 @@ impl Engine {
                     estimated_cells,
                     filter_cost,
                     refine_cost,
+                    eligible_rows,
+                    live_rows,
                 }
             })
             .collect();
@@ -374,7 +469,78 @@ impl Engine {
             skipping,
             visit_order,
             segments,
+            features: Vec::new(),
+            aggregate: None,
+            eligible_rows: counts.map(|c| c.iter().sum()),
         })
+    }
+
+    /// Renders the plan for a multi-feature request: the synchronized scan
+    /// visits every segment in row order, interleaving the features'
+    /// dimension blocks, so the per-segment "plan" is the concatenated
+    /// dimension space under the engine's block schedule and the estimate
+    /// is the full synchronized sweep (discounted by filter selectivity).
+    fn explain_multifeature(
+        &self,
+        spec: &QuerySpec,
+        mf: &MultiFeatureSpec,
+        counts: Option<Vec<usize>>,
+    ) -> QueryExplain {
+        let features: Vec<FeatureExplain> = mf
+            .features()
+            .iter()
+            .enumerate()
+            .map(|(i, ft)| FeatureExplain {
+                feature: i,
+                dims: ft.query().len(),
+                metric: match ft.metric() {
+                    FeatureMetricKind::HistogramIntersection => "histogram-intersection",
+                    FeatureMetricKind::Euclidean => "euclidean",
+                },
+                external: ft.table().is_some(),
+            })
+            .collect();
+        let total_dims: usize = features.iter().map(|ft| ft.dims).sum();
+        let stats = self.segment_stats();
+        let segments = self
+            .segment_specs()
+            .iter()
+            .enumerate()
+            .map(|(si, seg_spec)| {
+                let live_rows = stats[si].live_rows;
+                let eligible_rows = counts.as_ref().map(|c| c[si]);
+                let scanned = eligible_rows.unwrap_or(live_rows);
+                SegmentExplain {
+                    segment: si,
+                    rows: seg_spec.range(),
+                    visit_position: si,
+                    plan: SegmentPlan {
+                        order: (0..total_dims).collect(),
+                        schedule: self.params().schedule,
+                    },
+                    provenance: PlanProvenance::Uniform,
+                    envelope_bound: None,
+                    estimated_cells: (scanned * total_dims) as f64,
+                    filter_cost: None,
+                    refine_cost: None,
+                    eligible_rows,
+                    live_rows,
+                }
+            })
+            .collect();
+        QueryExplain {
+            k: spec.k(),
+            rule: "multi-feature",
+            planner: PlannerKind::Uniform,
+            scan: ScanMode::Exact,
+            dims: total_dims,
+            skipping: false,
+            visit_order: (0..self.partitions()).collect(),
+            segments,
+            features,
+            aggregate: Some(mf.aggregate().label()),
+            eligible_rows: counts.map(|c| c.iter().sum()),
+        }
     }
 }
 
@@ -483,6 +649,61 @@ mod tests {
         }
         let text = analysis.to_string();
         assert!(text.contains("ANALYZE k=5 rule=Hq"));
+    }
+
+    #[test]
+    fn filtered_requests_explain_their_selectivity() {
+        use std::sync::Arc;
+        use vdstore::Bitmap;
+        let engine = Engine::builder(table(200, 8)).partitions(4).threads(1).build().unwrap();
+        let filter = Arc::new(Bitmap::from_rows(200, (0..50).collect::<Vec<_>>().as_slice()));
+        let spec = QuerySpec::new(engine.table().row(17).unwrap(), 5).filter_shared(filter);
+        let unfiltered = engine.explain(&QuerySpec::new(engine.table().row(17).unwrap(), 5));
+        let explain = engine.explain(&spec).unwrap();
+        assert_eq!(explain.eligible_rows, Some(50));
+        // rows 0..50 live entirely in segment 0 of 4 × 50-row segments
+        assert_eq!(explain.segments[0].eligible_rows, Some(50));
+        assert_eq!(explain.segments[0].filter_selectivity(), Some(1.0));
+        assert_eq!(explain.segments[1].eligible_rows, Some(0));
+        assert_eq!(explain.segments[1].estimated_cells, 0.0);
+        assert!(explain.estimated_cells() < unfiltered.unwrap().estimated_cells());
+        let text = explain.to_string();
+        assert!(text.contains("filter: 50 of 200 live rows eligible (25.0%)"), "{text}");
+        assert!(text.contains("eligible=50 (100.0%)"), "{text}");
+    }
+
+    #[test]
+    fn multi_feature_requests_explain_the_feature_interleave() {
+        use crate::batch::{AggregateSpec, FeatureSpec, MultiFeatureSpec};
+        use bond::FeatureMetricKind;
+        let engine = Engine::builder(table(120, 6)).partitions(3).threads(1).build().unwrap();
+        let q = engine.table().row(7).unwrap();
+        let mf = MultiFeatureSpec::new(
+            vec![
+                FeatureSpec::new(q.clone(), FeatureMetricKind::HistogramIntersection),
+                FeatureSpec::new(q, FeatureMetricKind::Euclidean),
+            ],
+            AggregateSpec::WeightedAverage(vec![0.7, 0.3]),
+        );
+        let spec = QuerySpec::multi_feature(mf, 4);
+        let explain = engine.explain(&spec).unwrap();
+        assert_eq!(explain.rule, "multi-feature");
+        assert_eq!(explain.aggregate, Some("weighted_average"));
+        assert_eq!(explain.features.len(), 2);
+        assert_eq!(explain.features[0].metric, "histogram-intersection");
+        assert_eq!(explain.features[1].metric, "euclidean");
+        assert_eq!(explain.dims, 12, "concatenated feature dimension space");
+        assert_eq!(explain.segments.len(), 3);
+        // full synchronized sweep: live rows × total dims per segment
+        assert_eq!(explain.estimated_cells(), (120 * 12) as f64);
+        let text = explain.to_string();
+        assert!(
+            text.contains(
+                "multi-feature: weighted_average over \
+                 [f0 histogram-intersection dims=6 | f1 euclidean dims=6]"
+            ),
+            "{text}"
+        );
     }
 
     #[test]

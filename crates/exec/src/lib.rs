@@ -86,6 +86,26 @@
 //!   ([`batch::QueryOutcome::error_bounds`]). Codes persist in the store
 //!   footer, so reopened engines filter without re-encoding, and observed
 //!   filter selectivity feeds back into the cost model's estimates.
+//! * **Predicate-filtered k-NN** — [`QuerySpec::filter`] pushes an
+//!   eligible-row [`vdstore::Bitmap`] into every layer of the search: the
+//!   exact scan, κ seeding, the quantized first pass and the zone-map
+//!   segment-skip bounds all respect the filter; segments with zero
+//!   eligible rows are skipped outright, [`Engine::estimate_cost`]
+//!   discounts by per-segment selectivity, and a filter that empties the
+//!   table is rejected at admission as
+//!   [`bond::BondError::InvalidFilter`]. Filtered answers are
+//!   bit-identical to a brute-force filter-then-scan.
+//! * **Multi-feature combination queries** — a [`QuerySpec`] built with
+//!   [`QuerySpec::multi_feature`] carries a [`MultiFeatureSpec`] (one
+//!   [`FeatureSpec`] per feature plus an [`AggregateSpec`]) through the
+//!   same partitioned engine: every segment runs
+//!   [`bond::MultiFeatureSearcher`]'s synchronized scan, partial-score
+//!   bounds merge under the shared κ protocol, and per-feature dimensions
+//!   are validated up front ([`bond::BondError::FeatureDimensionMismatch`]).
+//! * **Relational programs** — [`KnnProgram`] executes range selects
+//!   through `bond-relalg`'s algebraic operators and pushes the combined
+//!   candidate bitmap down into the k-NN operator as exactly the filter
+//!   above, logging the MIL-style script it ran.
 //! * **A serving front-end** — [`service::Server`] wraps a cloned engine
 //!   in a submission queue: concurrent threads submit individual
 //!   [`QuerySpec`]s, a worker coalesces them into engine batches, and
@@ -144,11 +164,13 @@ pub mod engine;
 pub mod explain;
 pub mod kappa;
 pub mod planner;
+pub mod relational;
 pub mod rules;
 pub mod service;
 
 pub use batch::{
-    BatchOutcome, Priority, QueryOutcome, QuerySpec, RequestBatch, ScanMode, SegmentRun,
+    AggregateSpec, BatchOutcome, FeatureSpec, MultiFeatureSpec, Priority, QueryKind, QueryOutcome,
+    QuerySpec, RequestBatch, ScanMode, SegmentRun,
 };
 pub use bond::{CostModel, FeedbackSnapshot, SegmentFeedbackSnapshot};
 pub use bond_obs::MetricsRegistry;
@@ -156,6 +178,7 @@ pub use engine::{Engine, EngineBuilder};
 pub use explain::{PlanProvenance, QueryAnalysis, QueryExplain, SegmentAnalysis, SegmentExplain};
 pub use kappa::SharedKappa;
 pub use planner::{AdaptivePlanner, PlannerKind};
+pub use relational::{KnnProgram, RelationalRun, SelectStep};
 pub use rules::RuleKind;
 pub use service::{Server, ServerBuilder, Ticket};
 

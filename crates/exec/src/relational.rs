@@ -1,0 +1,238 @@
+//! Relational-algebra programs whose final operator is an engine k-NN.
+//!
+//! Section 6.1 of the paper frames BOND as an ordinary algebraic plan —
+//! selects and joins feed a k-NN step with no special index structure.
+//! [`KnnProgram`] reproduces that composition on top of the execution
+//! engine: each [`SelectStep`] runs `bond-relalg`'s `uselect` over one
+//! dimensional fragment, the qualifying OIDs are materialised as
+//! eligibility bitmaps ([`bond_relalg::candidates_to_bitmap`]) and
+//! AND-composed, and the combined bitmap becomes exactly the
+//! [`QuerySpec::filter`] pushed into [`Engine::execute`]. Filter pushdown
+//! from relational predicates and predicate-filtered k-NN are therefore
+//! the *same* engine path, and a program with no selects degenerates into
+//! a plain top-k request whose answer matches the pure-MIL
+//! `bond_relalg::run_bond_hq` formulation.
+//!
+//! Like [`bond_relalg::BondHqProgram`], every executed program records the
+//! MIL-style statements it issued, so plans remain inspectable.
+
+use std::sync::Arc;
+
+use bond::Result;
+use bond_relalg::ops;
+use vdstore::bat::Bat;
+use vdstore::Bitmap;
+
+use crate::batch::{QueryOutcome, QuerySpec};
+use crate::engine::Engine;
+use crate::rules::RuleKind;
+
+/// One relational range predicate over a dimensional fragment:
+/// `σ(lo ≤ H<dim> ≤ hi)`, evaluated with `uselect` before the k-NN step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStep {
+    /// The dimension (fragment) the predicate ranges over.
+    pub dim: usize,
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+}
+
+/// A relational program that pipes zero or more range selects into an
+/// engine-executed k-NN operator.
+///
+/// ```
+/// use bond_exec::{Engine, KnnProgram};
+/// use vdstore::DecomposedTable;
+///
+/// let vectors: Vec<Vec<f64>> = (0..60)
+///     .map(|i| vec![i as f64 / 60.0, 1.0 - i as f64 / 60.0])
+///     .collect();
+/// let table = DecomposedTable::from_vectors("demo", &vectors).unwrap();
+/// let engine = Engine::builder(table).partitions(3).build().unwrap();
+///
+/// // σ(H0 ≥ 0.5) ⋉ knn(q, 3): only rows past the predicate compete.
+/// let run = KnnProgram::knn(vec![0.9, 0.1], 3)
+///     .select(0, 0.5, 1.0)
+///     .execute(&engine)
+///     .unwrap();
+/// assert_eq!(run.outcome.hits.len(), 3);
+/// assert!(run.outcome.hits.iter().all(|h| h.row >= 30));
+/// assert_eq!(run.eligible_rows, 30);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnProgram {
+    query: Vec<f64>,
+    k: usize,
+    selects: Vec<SelectStep>,
+    rule: Option<RuleKind>,
+}
+
+/// The result of executing a [`KnnProgram`] on an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct RelationalRun {
+    /// The k-NN operator's answer (hits, per-segment runs, traces).
+    pub outcome: QueryOutcome,
+    /// The MIL-style statements executed, in order.
+    pub script: Vec<String>,
+    /// Rows eligible after all selects (table rows when there are none).
+    pub eligible_rows: usize,
+}
+
+impl KnnProgram {
+    /// Starts a program whose final operator is `knn(query, k)`.
+    pub fn knn(query: Vec<f64>, k: usize) -> Self {
+        KnnProgram { query, k, selects: Vec::new(), rule: None }
+    }
+
+    /// Appends the range select `σ(lo ≤ H<dim> ≤ hi)` ahead of the k-NN
+    /// step. Selects compose conjunctively, in the order added.
+    pub fn select(mut self, dim: usize, lo: f64, hi: f64) -> Self {
+        self.selects.push(SelectStep { dim, lo, hi });
+        self
+    }
+
+    /// Overrides the engine's pruning rule for the k-NN operator.
+    pub fn rule(mut self, rule: RuleKind) -> Self {
+        self.rule = Some(rule);
+        self
+    }
+
+    /// The select steps, in execution order.
+    pub fn selects(&self) -> &[SelectStep] {
+        &self.selects
+    }
+
+    /// Executes the program: runs every select through the algebraic
+    /// `uselect` operator, pushes the AND-composed candidate bitmap into
+    /// the engine as the k-NN operator's filter, and returns the answer
+    /// with the executed script.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Engine::execute`] rejects at admission — dimension
+    /// mismatches, invalid `k`, and [`bond::BondError::InvalidFilter`]
+    /// when the selects leave no live row eligible.
+    pub fn execute(&self, engine: &Engine) -> Result<RelationalRun> {
+        let table = engine.table();
+        let rows = table.rows();
+        let mut script = Vec::new();
+        let mut combined: Option<Bitmap> = None;
+
+        for (i, step) in self.selects.iter().enumerate() {
+            // The fragment as a dense BAT (Figure 3a), selected with the
+            // same physical operator the MIL plan uses.
+            let fragment = Bat::dense(table.column(step.dim)?.values().to_vec());
+            script.push(format!("C{i} := H{}.uselect({:.6}, {:.6});", step.dim, step.lo, step.hi));
+            let candidates = ops::uselect_range(&fragment, step.lo, step.hi);
+            let bitmap = ops::candidates_to_bitmap(&candidates, rows)?;
+            combined = Some(match combined {
+                None => {
+                    script.push(format!("F := C{i}.bitmap({rows});"));
+                    bitmap
+                }
+                Some(mut acc) => {
+                    script.push(format!("F := F.and(C{i}.bitmap({rows}));"));
+                    acc.and_with(&bitmap);
+                    acc
+                }
+            });
+        }
+
+        let eligible_rows = combined.as_ref().map(Bitmap::count).unwrap_or(rows);
+        let mut spec = QuerySpec::new(self.query.clone(), self.k);
+        if let Some(rule) = &self.rule {
+            spec = spec.rule(rule.clone());
+        }
+        if let Some(bitmap) = combined {
+            script.push(format!("R := knn(F, Q, k={});", self.k));
+            spec = spec.filter_shared(Arc::new(bitmap));
+        } else {
+            script.push(format!("R := knn(Q, k={});", self.k));
+        }
+        let outcome = engine.search_spec(&spec)?;
+        Ok(RelationalRun { outcome, script, eligible_rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bond::BondError;
+    use bond_relalg::run_bond_hq;
+    use vdstore::{DecomposedTable, RowId};
+
+    fn table(rows: usize, dims: usize) -> DecomposedTable {
+        let vectors: Vec<Vec<f64>> = (0..rows)
+            .map(|r| {
+                let mut v: Vec<f64> =
+                    (0..dims).map(|d| ((r * 29 + d * 13) % 83) as f64 + 1.0).collect();
+                let total: f64 = v.iter().sum();
+                v.iter_mut().for_each(|x| *x /= total);
+                v
+            })
+            .collect();
+        DecomposedTable::from_vectors("t", &vectors).unwrap()
+    }
+
+    #[test]
+    fn programs_without_selects_match_the_pure_mil_formulation() {
+        let t = table(200, 8);
+        let query = t.row(17).unwrap();
+        let engine = Engine::builder(t.clone()).partitions(3).threads(2).build().unwrap();
+        let run =
+            KnnProgram::knn(query.clone(), 5).rule(RuleKind::HistogramHq).execute(&engine).unwrap();
+        let mil = run_bond_hq(&t, &query, 5).unwrap();
+        assert_eq!(run.outcome.hits, mil.hits);
+        assert_eq!(run.eligible_rows, 200);
+        assert!(run.script.last().unwrap().starts_with("R := knn(Q"));
+    }
+
+    #[test]
+    fn select_pushdown_matches_brute_force_filter_then_scan() {
+        let t = table(300, 6);
+        let query = t.row(41).unwrap();
+        let engine = Engine::builder(t.clone()).partitions(4).threads(2).build().unwrap();
+        let program = KnnProgram::knn(query.clone(), 7).select(0, 0.1, 0.2).select(2, 0.0, 0.25);
+        let run = program.execute(&engine).unwrap();
+
+        // Brute force: evaluate the predicates row by row, then exact-scan.
+        let eligible: Vec<RowId> = (0..300)
+            .filter(|&r| {
+                let v = t.row(r).unwrap();
+                (0.1..=0.2).contains(&v[0]) && (0.0..=0.25).contains(&v[2])
+            })
+            .collect();
+        assert_eq!(run.eligible_rows, eligible.len());
+        assert!(!eligible.is_empty());
+        let mut heap = vdstore::TopKLargest::new(7);
+        for &r in &eligible {
+            let v = t.row(r).unwrap();
+            let score: f64 = v.iter().zip(&query).map(|(a, b)| a.min(*b)).sum();
+            heap.push(r, score);
+        }
+        // Same rows and ranks; scores agree up to summation-order drift
+        // (the engine accumulates in its own dimension order).
+        let expected = heap.into_sorted_vec();
+        assert_eq!(run.outcome.hits.len(), expected.len());
+        for (got, want) in run.outcome.hits.iter().zip(&expected) {
+            assert_eq!(got.row, want.row);
+            assert!((got.score - want.score).abs() < 1e-9);
+        }
+        assert!(run.script.iter().any(|s| s.contains("H0.uselect")));
+        assert!(run.script.iter().any(|s| s.contains("F := F.and(C1.bitmap(300));")));
+        assert!(run.script.last().unwrap().starts_with("R := knn(F"));
+    }
+
+    #[test]
+    fn empty_selections_and_bad_dims_fail_at_admission() {
+        let t = table(50, 4);
+        let query = t.row(0).unwrap();
+        let engine = Engine::builder(t).partitions(2).threads(1).build().unwrap();
+        let empty = KnnProgram::knn(query.clone(), 1).select(0, 2.0, 3.0);
+        assert!(matches!(empty.execute(&engine), Err(BondError::InvalidFilter(_))));
+        let bad_dim = KnnProgram::knn(query, 1).select(9, 0.0, 1.0);
+        assert!(matches!(bad_dim.execute(&engine), Err(BondError::Storage(_))));
+    }
+}

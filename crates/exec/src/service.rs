@@ -358,13 +358,8 @@ impl Server {
                 self.shared.metrics.rejected.inc();
                 return Err(BondError::ServiceUnavailable("server is shut down".into()));
             }
-            state.pending[spec.priority_class().index()].push_back(Pending {
-                spec,
-                cost,
-                waited: 0,
-                submitted: Instant::now(),
-                tx,
-            });
+            state.pending[spec.priority_override().unwrap_or_default().index()]
+                .push_back(Pending { spec, cost, waited: 0, submitted: Instant::now(), tx });
         }
         self.shared.metrics.queue_depth.add(1);
         self.shared.wake.notify_one();
@@ -460,7 +455,7 @@ fn worker_loop(engine: &Engine, shared: &Shared, max_batch: usize, max_cost: f64
             shared.metrics.queue_wait_us.record(waited_us);
             span::record(
                 names::SPAN_SERVICE_QUEUE_WAIT,
-                pending.spec.priority_class().index() as u64,
+                pending.spec.priority_override().unwrap_or_default().index() as u64,
                 waited_us,
             );
         }

@@ -1,0 +1,433 @@
+//! The open query surface's contract (PR 9):
+//!
+//! * **Filtered k-NN is exact** — for every rule (the four unweighted plus
+//!   both weighted families), any partition count and either planner, a
+//!   predicate-filtered search returns exactly the brute-force
+//!   filter-then-scan answer: the filter composes with tombstones, with
+//!   the quantized first pass, and with zone-map segment skipping, and an
+//!   adaptive skip never drops an eligible row.
+//! * **Multi-feature requests match the sequential searcher** — the
+//!   partitioned engine's synchronized scan is bit-identical to
+//!   [`MultiFeatureSearcher`] for every aggregate, and filtered
+//!   multi-feature answers match an independent per-row oracle.
+//! * **Bad requests die at admission** — domain-mismatched or empty
+//!   filters ([`BondError::InvalidFilter`]), per-feature dimension
+//!   mismatches ([`BondError::FeatureDimensionMismatch`]) and aggregate
+//!   arity errors are rejected before any segment work starts.
+//! * **The filter metrics account honestly** — eligible rows are counted
+//!   once per scanned segment, filter-empty segments are skipped and
+//!   counted, and multi-feature scans tick their own counter.
+
+use bond::{BondError, FeatureMetricKind, FeatureQuery, MultiFeatureSearcher};
+use bond_exec::{
+    AggregateSpec, Engine, FeatureSpec, KnnProgram, MultiFeatureSpec, PlannerKind, QuerySpec,
+    RequestBatch, RuleKind, ScanMode,
+};
+use bond_metrics::{DecomposableMetric, SquaredEuclidean};
+use bond_obs::names;
+use proptest::prelude::*;
+use std::sync::Arc;
+use vdstore::topk::Scored;
+use vdstore::{Bitmap, DecomposedTable, RowId, TopKLargest};
+
+const DIMS: usize = 8;
+const PARTITIONS: [usize; 4] = [1, 2, 3, 7];
+
+/// All six pruning-rule families.
+fn all_rules() -> Vec<RuleKind> {
+    let mut rules: Vec<RuleKind> = RuleKind::ALL.to_vec();
+    rules.push(RuleKind::weighted_histogram(vec![1.0, 2.0, 0.0, 1.0, 4.0, 1.0, 1.0, 0.5]).unwrap());
+    rules.push(RuleKind::weighted_euclidean(vec![0.5, 1.0, 3.0, 0.0, 1.0, 1.0, 2.0, 1.0]).unwrap());
+    rules
+}
+
+/// Random normalized histograms plus a 64-bit eligibility mask and a query
+/// index. The mask is forced non-empty over the generated rows.
+fn collection_with_filter() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<bool>, usize)> {
+    (
+        proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, DIMS), 16..48),
+        proptest::collection::vec(proptest::bool::ANY, 64),
+        0usize..48,
+    )
+        .prop_map(|(mut vectors, mut mask, qi)| {
+            for v in &mut vectors {
+                let total: f64 = v.iter().sum();
+                if total <= 0.0 {
+                    v[0] = 1.0;
+                } else {
+                    v.iter_mut().for_each(|x| *x /= total);
+                }
+            }
+            let n = vectors.len();
+            mask.truncate(n);
+            if !mask.iter().any(|&m| m) {
+                mask[n / 2] = true;
+            }
+            (vectors, mask, qi)
+        })
+}
+
+fn bitmap_from_mask(mask: &[bool]) -> Bitmap {
+    let rows: Vec<RowId> =
+        mask.iter().enumerate().filter(|(_, &m)| m).map(|(r, _)| r as RowId).collect();
+    Bitmap::from_rows(mask.len(), &rows)
+}
+
+/// Brute-force filter-then-scan reference: the engine's own sequential
+/// searcher ranks *every* live row exactly (same scoring, same `(score,
+/// row)` total order), then the predicate keeps the eligible prefix.
+fn filtered_reference(engine: &Engine, query: &[f64], mask: &[bool], k: usize) -> Vec<Scored> {
+    let live = engine.segment_stats().iter().map(|s| s.live_rows).sum::<usize>();
+    let all = engine.sequential_reference(query, live).unwrap();
+    all.into_iter().filter(|h| mask[h.row as usize]).take(k).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn filtered_answers_match_brute_force_for_every_rule(
+        (vectors, mask, qi) in collection_with_filter(),
+    ) {
+        let table = Arc::new(DecomposedTable::from_vectors("filtered", &vectors).unwrap());
+        let query = vectors[qi % vectors.len()].clone();
+        let eligible = mask.iter().filter(|&&m| m).count();
+        let filter = Arc::new(bitmap_from_mask(&mask));
+        for rule in all_rules() {
+            for partitions in PARTITIONS {
+                // Adaptive covers the zone-map skip path: a skipped segment
+                // must never have held an eligible answer row.
+                for planner in [PlannerKind::Uniform, PlannerKind::Adaptive] {
+                    let engine = Engine::builder(table.clone())
+                        .partitions(partitions)
+                        .threads(2)
+                        .rule(rule.clone())
+                        .planner(planner)
+                        .build()
+                        .unwrap();
+                    for k in [1, 3.min(eligible), eligible] {
+                        let spec = QuerySpec::new(query.clone(), k)
+                            .filter_shared(filter.clone());
+                        let outcome = engine.search_spec(&spec).unwrap();
+                        let expected = filtered_reference(&engine, &query, &mask, k);
+                        let ctx = format!(
+                            "rule {} partitions {partitions} planner {planner:?} k {k} \
+                             eligible {eligible}",
+                            rule.name()
+                        );
+                        if planner == PlannerKind::Uniform {
+                            // Same dimension order as the reference scan:
+                            // the answer is bit-identical.
+                            assert_eq!(outcome.hits, expected, "{ctx}");
+                        } else {
+                            // Adaptive reorders dimensions per segment, so
+                            // exact scores can drift by an ULP — rows and
+                            // ranks must still match the brute force.
+                            assert_eq!(outcome.hits.len(), expected.len(), "{ctx}");
+                            for (got, want) in outcome.hits.iter().zip(&expected) {
+                                assert_eq!(got.row, want.row, "{ctx}");
+                                assert!((got.score - want.score).abs() < 1e-9, "{ctx}");
+                            }
+                        }
+                        assert!(outcome.hits.iter().all(|h| mask[h.row as usize]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_multifeature_is_bit_identical_to_the_sequential_searcher(
+        (vectors, mask, qi) in collection_with_filter(),
+    ) {
+        let color = DecomposedTable::from_vectors("color", &vectors).unwrap();
+        // A second feature collection over the same rows: reversed dims.
+        let reversed: Vec<Vec<f64>> =
+            vectors.iter().map(|v| v.iter().rev().copied().collect()).collect();
+        let texture = Arc::new(DecomposedTable::from_vectors("texture", &reversed).unwrap());
+        let query = vectors[qi % vectors.len()].clone();
+        let tquery: Vec<f64> = query.iter().rev().copied().collect();
+        let n = vectors.len();
+        let k = 4.min(n);
+        let _ = mask; // the filtered variant is covered separately below
+
+        for aggregate in [
+            AggregateSpec::WeightedAverage(vec![0.6, 0.4]),
+            AggregateSpec::FuzzyMin,
+            AggregateSpec::FuzzyMax,
+        ] {
+            let spec = QuerySpec::multi_feature(
+                MultiFeatureSpec::new(
+                    vec![
+                        FeatureSpec::new(query.clone(), FeatureMetricKind::HistogramIntersection),
+                        FeatureSpec::external(
+                            tquery.clone(),
+                            FeatureMetricKind::Euclidean,
+                            texture.clone(),
+                        ),
+                    ],
+                    aggregate.clone(),
+                ),
+                k,
+            );
+            let sequential = MultiFeatureSearcher::new(vec![&color, &texture]).unwrap();
+            let feature_queries = vec![
+                FeatureQuery {
+                    query: query.clone(),
+                    metric: FeatureMetricKind::HistogramIntersection,
+                },
+                FeatureQuery { query: tquery.clone(), metric: FeatureMetricKind::Euclidean },
+            ];
+            for partitions in PARTITIONS {
+                let engine = Engine::builder(color.clone())
+                    .partitions(partitions)
+                    .threads(2)
+                    .build()
+                    .unwrap();
+                let outcome = engine.search_spec(&spec).unwrap();
+                let expected = sequential
+                    .search(
+                        &feature_queries,
+                        aggregate.build().unwrap().as_ref(),
+                        k,
+                        engine.params().schedule,
+                    )
+                    .unwrap();
+                assert_eq!(
+                    outcome.hits, expected.hits,
+                    "aggregate {} partitions {partitions}",
+                    aggregate.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_multifeature_matches_an_independent_oracle(
+        (vectors, mask, qi) in collection_with_filter(),
+    ) {
+        let color = DecomposedTable::from_vectors("color", &vectors).unwrap();
+        let reversed: Vec<Vec<f64>> =
+            vectors.iter().map(|v| v.iter().rev().copied().collect()).collect();
+        let texture = Arc::new(DecomposedTable::from_vectors("texture", &reversed).unwrap());
+        let query = vectors[qi % vectors.len()].clone();
+        let tquery: Vec<f64> = query.iter().rev().copied().collect();
+        let eligible = mask.iter().filter(|&&m| m).count();
+        let k = 3.min(eligible);
+        let weights = [0.7, 0.3];
+
+        // Independent oracle: aggregate the per-feature similarities row by
+        // row — no BOND machinery involved.
+        let mut heap = TopKLargest::new(k);
+        for (r, keep) in mask.iter().enumerate() {
+            if !keep {
+                continue;
+            }
+            let hi: f64 =
+                vectors[r].iter().zip(&query).map(|(a, b)| a.min(*b)).sum();
+            let d = SquaredEuclidean.score(&reversed[r], &tquery);
+            let eu = SquaredEuclidean::similarity_from_distance(d, DIMS);
+            heap.push(r as RowId, weights[0] * hi + weights[1] * eu);
+        }
+        let expected = heap.into_sorted_vec();
+
+        let spec = QuerySpec::multi_feature(
+            MultiFeatureSpec::new(
+                vec![
+                    FeatureSpec::new(query.clone(), FeatureMetricKind::HistogramIntersection),
+                    FeatureSpec::external(tquery, FeatureMetricKind::Euclidean, texture.clone()),
+                ],
+                AggregateSpec::WeightedAverage(weights.to_vec()),
+            ),
+            k,
+        )
+        .filter(bitmap_from_mask(&mask));
+        for partitions in PARTITIONS {
+            let engine =
+                Engine::builder(color.clone()).partitions(partitions).threads(2).build().unwrap();
+            let outcome = engine.search_spec(&spec).unwrap();
+            assert_eq!(outcome.hits.len(), expected.len(), "partitions {partitions}");
+            for (i, (got, want)) in outcome.hits.iter().zip(&expected).enumerate() {
+                assert_eq!(got.row, want.row, "partitions {partitions} rank {i}");
+                assert!(
+                    (got.score - want.score).abs() <= 1e-9 * want.score.abs().max(1.0),
+                    "partitions {partitions} rank {i}: {} vs {}",
+                    got.score,
+                    want.score
+                );
+            }
+            assert!(outcome.hits.iter().all(|h| mask[h.row as usize]));
+        }
+    }
+}
+
+/// Deterministic, mildly skewed synthetic histograms.
+fn table(rows: usize, dims: usize) -> DecomposedTable {
+    let vectors: Vec<Vec<f64>> = (0..rows)
+        .map(|r| {
+            let mut v: Vec<f64> =
+                (0..dims).map(|d| ((r * 31 + d * 17) % 97) as f64 + 1.0).collect();
+            let total: f64 = v.iter().sum();
+            v.iter_mut().for_each(|x| *x /= total);
+            v
+        })
+        .collect();
+    DecomposedTable::from_vectors("surface", &vectors).unwrap()
+}
+
+#[test]
+fn filters_compose_with_tombstones() {
+    let mut t = table(200, DIMS);
+    let query = t.row(60).unwrap();
+    // Tombstone the filter's best match and a few of its neighbours.
+    for row in [60, 61, 62] {
+        t.delete(row).unwrap();
+    }
+    let mask: Vec<bool> = (0..200).map(|r| r % 2 == 0).collect();
+    let engine = Engine::builder(t).partitions(4).threads(2).build().unwrap();
+    let spec = QuerySpec::new(query.clone(), 7).filter(bitmap_from_mask(&mask));
+    let outcome = engine.search_spec(&spec).unwrap();
+    assert_eq!(outcome.hits.len(), 7);
+    assert!(outcome.hits.iter().all(|h| mask[h.row as usize] && (h.row < 60 || h.row > 62)));
+    let expected = filtered_reference(&engine, &query, &mask, 7);
+    assert_eq!(outcome.hits, expected);
+}
+
+#[test]
+fn predicate_filters_compose_with_the_quantized_first_pass() {
+    let t = table(400, DIMS);
+    let mask: Vec<bool> = (0..400).map(|r| r % 3 != 1).collect();
+    let filter = Arc::new(bitmap_from_mask(&mask));
+    let engine = Engine::builder(t.clone()).partitions(4).threads(2).build().unwrap();
+    for rule in all_rules() {
+        for q in [t.row(0).unwrap(), t.row(133).unwrap()] {
+            let exact =
+                QuerySpec::new(q.clone(), 10).rule(rule.clone()).filter_shared(filter.clone());
+            let quantized = exact.clone().scan_mode(ScanMode::QuantizedFilter);
+            let expected = engine.search_spec(&exact).unwrap();
+            let got = engine.search_spec(&quantized).unwrap();
+            assert_eq!(got.hits, expected.hits, "rule {}", rule.name());
+            assert!(got.quant_filter_cells() > 0, "code sweep actually ran");
+            assert!(got.hits.iter().all(|h| mask[h.row as usize]));
+        }
+    }
+}
+
+#[test]
+fn bad_filters_and_features_are_rejected_at_admission() {
+    let mut t = table(100, DIMS);
+    t.delete(10).unwrap();
+    let q = t.row(0).unwrap();
+    let engine = Engine::builder(t).partitions(2).threads(1).build().unwrap();
+
+    // Filter domain must equal the table's row space.
+    let short = QuerySpec::new(q.clone(), 1).filter(Bitmap::new(99));
+    assert!(matches!(engine.search_spec(&short), Err(BondError::InvalidFilter(_))));
+    // An empty filter can never answer.
+    let empty = QuerySpec::new(q.clone(), 1).filter(Bitmap::new(100));
+    assert!(matches!(engine.search_spec(&empty), Err(BondError::InvalidFilter(_))));
+    // A filter naming only tombstoned rows is empty in effect.
+    let dead = QuerySpec::new(q.clone(), 1).filter(Bitmap::from_rows(100, &[10]));
+    assert!(matches!(engine.search_spec(&dead), Err(BondError::InvalidFilter(_))));
+    // k is validated against the *eligible* rows, not the table.
+    let tight = QuerySpec::new(q.clone(), 3).filter(Bitmap::from_rows(100, &[1, 2]));
+    assert!(matches!(engine.search_spec(&tight), Err(BondError::InvalidK { k: 3, rows: 2 })));
+    // validate_against reports the same decision without executing.
+    assert!(matches!(
+        QuerySpec::new(q.clone(), 3)
+            .filter(Bitmap::from_rows(100, &[1, 2]))
+            .validate_against(&engine),
+        Err(BondError::InvalidK { k: 3, rows: 2 })
+    ));
+
+    // Per-feature dimensions are checked feature by feature.
+    let mf = QuerySpec::multi_feature(
+        MultiFeatureSpec::new(
+            vec![
+                FeatureSpec::new(q.clone(), FeatureMetricKind::HistogramIntersection),
+                FeatureSpec::new(vec![0.5; DIMS + 1], FeatureMetricKind::Euclidean),
+            ],
+            AggregateSpec::WeightedAverage(vec![0.5, 0.5]),
+        ),
+        5,
+    );
+    assert!(matches!(
+        engine.search_spec(&mf),
+        Err(BondError::FeatureDimensionMismatch { feature: 1, expected: DIMS, actual: 9 })
+    ));
+    // Aggregate arity must match the feature count.
+    let arity = QuerySpec::multi_feature(
+        MultiFeatureSpec::new(
+            vec![FeatureSpec::new(q.clone(), FeatureMetricKind::Euclidean)],
+            AggregateSpec::WeightedAverage(vec![0.5, 0.5]),
+        ),
+        5,
+    );
+    assert!(matches!(engine.search_spec(&arity), Err(BondError::InvalidParams(_))));
+    // Multi-feature requests cannot override the single-feature rule.
+    let ruled = QuerySpec::multi_feature(
+        MultiFeatureSpec::new(
+            vec![FeatureSpec::new(q.clone(), FeatureMetricKind::Euclidean)],
+            AggregateSpec::FuzzyMin,
+        ),
+        5,
+    )
+    .rule(RuleKind::EuclideanEq);
+    assert!(matches!(engine.search_spec(&ruled), Err(BondError::InvalidParams(_))));
+
+    // One bad spec fails the whole batch before any work starts.
+    let batch = RequestBatch::from_specs(vec![
+        QuerySpec::new(q.clone(), 1),
+        QuerySpec::new(q, 1).filter(Bitmap::new(100)),
+    ]);
+    assert!(engine.execute(&batch).is_err());
+    assert_eq!(engine.metrics().counter_value(names::ENGINE_BATCH_COUNT), Some(0));
+}
+
+#[test]
+fn filter_metrics_account_eligible_rows_and_empty_segments() {
+    let t = table(100, DIMS);
+    let q = t.row(5).unwrap();
+    let engine = Engine::builder(t).partitions(4).threads(2).build().unwrap();
+    // Rows 0..25 live entirely in the first of four 25-row segments.
+    let spec =
+        QuerySpec::new(q.clone(), 3).filter(Bitmap::from_rows(100, &(0..25).collect::<Vec<_>>()));
+    let outcome = engine.search_spec(&spec).unwrap();
+    assert!(outcome.hits.iter().all(|h| h.row < 25));
+    let metrics = engine.metrics();
+    assert_eq!(metrics.counter_value(names::ENGINE_FILTER_ELIGIBLE_ROWS), Some(25));
+    assert_eq!(metrics.counter_value(names::ENGINE_FILTER_SEGMENTS_EMPTY), Some(3));
+    assert_eq!(outcome.segments_skipped(), 3, "filter-empty segments are skipped outright");
+
+    // A multi-feature request ticks its own per-segment counter.
+    let mf = QuerySpec::multi_feature(
+        MultiFeatureSpec::new(
+            vec![FeatureSpec::new(q, FeatureMetricKind::HistogramIntersection)],
+            AggregateSpec::FuzzyMin,
+        ),
+        3,
+    );
+    engine.search_spec(&mf).unwrap();
+    assert_eq!(metrics.counter_value(names::ENGINE_MULTIFEATURE_SEARCHES), Some(4));
+}
+
+#[test]
+fn relational_programs_execute_on_the_engine() {
+    let t = table(150, DIMS);
+    let query = t.row(9).unwrap();
+    let engine = Engine::builder(t.clone()).partitions(3).threads(2).build().unwrap();
+    // No selects: the program is the pure MIL formulation on the engine.
+    let run =
+        KnnProgram::knn(query.clone(), 5).rule(RuleKind::HistogramHq).execute(&engine).unwrap();
+    let mil = bond_relalg::run_bond_hq(&t, &query, 5).unwrap();
+    assert_eq!(run.outcome.hits, mil.hits);
+    // With selects: pushdown equals the filter bitmap path exactly.
+    let lo = 1.0 / 97.0;
+    let hi = 30.0 / 97.0;
+    let pushed = KnnProgram::knn(query.clone(), 2).select(0, lo, hi).execute(&engine).unwrap();
+    let mask: Vec<bool> = (0..150).map(|r| (lo..=hi).contains(&t.row(r).unwrap()[0])).collect();
+    assert_eq!(pushed.eligible_rows, mask.iter().filter(|&&m| m).count());
+    let direct =
+        engine.search_spec(&QuerySpec::new(query, 2).filter(bitmap_from_mask(&mask))).unwrap();
+    assert_eq!(pushed.outcome.hits, direct.hits);
+}

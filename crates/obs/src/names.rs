@@ -30,6 +30,12 @@ pub const ENGINE_QUANT_FILTER_CELLS: &str = "engine.quant.filter_cells";
 pub const ENGINE_QUANT_REFINE_ROWS: &str = "engine.quant.refine_rows";
 /// Histogram: surviving fraction per query, in percent.
 pub const ENGINE_QUANT_FILTER_SELECTIVITY: &str = "engine.quant.filter_selectivity";
+/// Counter: rows eligible under predicate filters, summed over scanned segments.
+pub const ENGINE_FILTER_ELIGIBLE_ROWS: &str = "engine.filter.eligible_rows";
+/// Counter: segments skipped because a filter left no row eligible.
+pub const ENGINE_FILTER_SEGMENTS_EMPTY: &str = "engine.filter.segments_empty";
+/// Counter: synchronized multi-feature segment scans executed.
+pub const ENGINE_MULTIFEATURE_SEARCHES: &str = "engine.multifeature.searches";
 
 // --- planner metrics -----------------------------------------------------
 
@@ -98,6 +104,9 @@ pub const ALL: &[&str] = &[
     ENGINE_QUANT_FILTER_CELLS,
     ENGINE_QUANT_REFINE_ROWS,
     ENGINE_QUANT_FILTER_SELECTIVITY,
+    ENGINE_FILTER_ELIGIBLE_ROWS,
+    ENGINE_FILTER_SEGMENTS_EMPTY,
+    ENGINE_MULTIFEATURE_SEARCHES,
     PLANNER_FEEDBACK_WARM_SEGMENTS,
     PLANNER_COST_ABS_REL_ERROR,
     STORE_OPEN_COLD_US,

@@ -31,5 +31,7 @@
 pub mod ops;
 pub mod program;
 
-pub use ops::{kfetch_largest, map_add, map_min_const, positional_join, uselect_range};
+pub use ops::{
+    candidates_to_bitmap, kfetch_largest, map_add, map_min_const, positional_join, uselect_range,
+};
 pub use program::{run_bond_hq, BondHqProgram, MilRun};

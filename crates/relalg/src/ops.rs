@@ -6,7 +6,7 @@
 
 use vdstore::bat::{Bat, Head, OidBat};
 use vdstore::ops as kernels;
-use vdstore::{Result, VdError};
+use vdstore::{Bitmap, Result, VdError};
 
 /// `[min](Hi, const q)` — the multi-join map that takes the element-wise
 /// minimum of a dimensional fragment and a query constant.
@@ -57,6 +57,27 @@ pub fn positional_join(candidates: &OidBat, fragment: &Bat) -> Result<Bat> {
     candidates.join(fragment)
 }
 
+/// `C.bitmap(n)` — materialises a candidate list as an eligibility bitmap
+/// over an `n`-row table: the handoff from relational selects to the k-NN
+/// operator (Section 6.1's "combined with prior relational predicates"),
+/// which the execution engine consumes as a query filter.
+///
+/// # Errors
+///
+/// [`VdError::InvalidArgument`] when a candidate OID is outside `0..rows`.
+pub fn candidates_to_bitmap(candidates: &OidBat, rows: usize) -> Result<Bitmap> {
+    let mut bitmap = Bitmap::new(rows);
+    for &oid in candidates.tail() {
+        if oid as usize >= rows {
+            return Err(VdError::InvalidArgument(format!(
+                "candidate OID {oid} is outside the {rows}-row table"
+            )));
+        }
+        bitmap.set(oid);
+    }
+    Ok(bitmap)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +118,16 @@ mod tests {
         let m = Bat::materialized(vec![10, 20, 30], vec![0.5, 0.9, 0.2]).unwrap();
         let c = uselect_range(&m, 0.6, 1.0);
         assert_eq!(c.tail(), &[20]);
+    }
+
+    #[test]
+    fn candidates_materialise_as_bitmaps() {
+        let c = OidBat::dense(vec![1, 3, 4]);
+        let bitmap = candidates_to_bitmap(&c, 6).unwrap();
+        assert_eq!(bitmap.to_rows(), vec![1, 3, 4]);
+        assert_eq!(bitmap.len(), 6);
+        assert!(candidates_to_bitmap(&c, 4).is_err());
+        assert_eq!(candidates_to_bitmap(&OidBat::dense(vec![]), 3).unwrap().count(), 0);
     }
 
     #[test]

@@ -179,6 +179,17 @@ impl Bitmap {
         out
     }
 
+    /// Number of bits set in both `self` and `other` — `(a & b).count()`
+    /// without materialising the intersection. The engine uses this to
+    /// price and skip filtered segment scans (eligible = filter ∧ live).
+    ///
+    /// # Panics
+    /// Panics if the bitmaps have different lengths.
+    pub fn intersection_count(&self, other: &Bitmap) -> usize {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
+    }
+
     /// Fraction of set bits, in `[0, 1]`; `0` for an empty bitmap.
     pub fn density(&self) -> f64 {
         if self.len == 0 {
@@ -316,6 +327,17 @@ mod tests {
         b.clear_all();
         assert_eq!(b.count(), 0);
         assert_eq!(Bitmap::new(0).density(), 0.0);
+    }
+
+    #[test]
+    fn intersection_count_matches_materialised_and() {
+        let a = Bitmap::from_rows(130, &[0, 3, 64, 65, 127, 129]);
+        let b = Bitmap::from_rows(130, &[3, 64, 100, 129]);
+        assert_eq!(a.intersection_count(&b), 3);
+        let mut and = a.clone();
+        and.and_with(&b);
+        assert_eq!(and.count(), a.intersection_count(&b));
+        assert_eq!(a.intersection_count(&Bitmap::new(130)), 0);
     }
 
     #[test]

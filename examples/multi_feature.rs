@@ -1,15 +1,19 @@
-//! Multi-feature (complex) queries, Section 8.2.
+//! Multi-feature (complex) queries, Section 8.2 — through the engine.
 //!
 //! "Find the k images most similar to image A in color AND to image B in
 //! texture." The example builds two feature collections over the same set
-//! of objects, runs the synchronized BOND search for both the weighted
-//! average and the fuzzy-min aggregate, and compares it against the
-//! classical stream-merging evaluation.
+//! of objects and submits the combination request as a first-class
+//! [`bond_repro::QuerySpec`]: the engine runs one synchronized scan per
+//! segment, merging partial-score bounds under the shared-κ protocol. The
+//! answer is checked bit for bit against the sequential
+//! [`MultiFeatureSearcher`] and compared against the classical
+//! stream-merging evaluation.
 //!
 //! ```text
 //! cargo run --release --example multi_feature
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use bond::{
@@ -18,9 +22,8 @@ use bond::{
 };
 use bond_baselines::{merge_streams, RankedStream};
 use bond_datagen::ClusteredConfig;
-use bond_metrics::{
-    DecomposableMetric, FuzzyMin, ScoreAggregate, SquaredEuclidean, WeightedAverage,
-};
+use bond_metrics::{DecomposableMetric, SquaredEuclidean};
+use bond_repro::{AggregateSpec, Engine, FeatureSpec, MultiFeatureSpec, QuerySpec};
 use vdstore::topk::Scored;
 use vdstore::DecomposedTable;
 
@@ -35,36 +38,61 @@ fn main() {
     // Two feature collections over the same objects: a 64-dim "color"
     // feature and a 128-dim "texture" feature (the Section 8.2 setup).
     let color = ClusteredConfig::small(objects, 64, 1.0).generate();
-    let texture = ClusteredConfig::small(objects, 128, 1.0).with_seed(2).generate();
+    let texture = Arc::new(ClusteredConfig::small(objects, 128, 1.0).with_seed(2).generate());
 
     // Query: color of object A, texture of object B.
     let color_query = color.row(10).expect("row exists");
     let texture_query = texture.row(20).expect("row exists");
 
-    let multi = MultiFeatureSearcher::new(vec![&color, &texture]).expect("same row space");
-    let feature_queries = vec![
-        FeatureQuery { query: color_query.clone(), metric: FeatureMetricKind::Euclidean },
-        FeatureQuery { query: texture_query.clone(), metric: FeatureMetricKind::Euclidean },
-    ];
+    // The engine owns the color collection; the texture collection rides
+    // along as an external feature sharing the same row-id space.
+    let engine =
+        Engine::builder(color.clone()).partitions(8).threads(4).build().expect("valid engine");
 
     for (name, aggregate) in [
         (
             "weighted average (color 0.7, texture 0.3)",
-            Box::new(WeightedAverage::new(vec![0.7, 0.3]).expect("valid weights"))
-                as Box<dyn ScoreAggregate>,
+            AggregateSpec::WeightedAverage(vec![0.7, 0.3]),
         ),
-        ("fuzzy min (must match both)", Box::new(FuzzyMin)),
+        ("fuzzy min (must match both)", AggregateSpec::FuzzyMin),
     ] {
         println!("== aggregate: {name} ==");
+        let spec = QuerySpec::multi_feature(
+            MultiFeatureSpec::new(
+                vec![
+                    FeatureSpec::new(color_query.clone(), FeatureMetricKind::Euclidean),
+                    FeatureSpec::external(
+                        texture_query.clone(),
+                        FeatureMetricKind::Euclidean,
+                        texture.clone(),
+                    ),
+                ],
+                aggregate.clone(),
+            ),
+            k,
+        );
+        println!("{}", engine.explain(&spec).expect("explainable spec"));
         let start = Instant::now();
-        let sync = multi
-            .search(&feature_queries, aggregate.as_ref(), k, BlockSchedule::Fixed(8))
-            .expect("synchronized search succeeds");
-        let sync_ms = start.elapsed().as_secs_f64() * 1000.0;
-        println!("synchronized BOND search ({sync_ms:.2} ms):");
-        for hit in sync.hits.iter().take(5) {
+        let outcome = engine.search_spec(&spec).expect("engine multi-feature search");
+        let engine_ms = start.elapsed().as_secs_f64() * 1000.0;
+        println!("engine synchronized search ({engine_ms:.2} ms):");
+        for hit in outcome.hits.iter().take(5) {
             println!("  object {:>5}  combined similarity {:.4}", hit.row, hit.score);
         }
+
+        // The sequential reference: one synchronized scan over the full
+        // tables. The partitioned engine must agree bit for bit.
+        let multi = MultiFeatureSearcher::new(vec![&color, &texture]).expect("same row space");
+        let feature_queries = vec![
+            FeatureQuery { query: color_query.clone(), metric: FeatureMetricKind::Euclidean },
+            FeatureQuery { query: texture_query.clone(), metric: FeatureMetricKind::Euclidean },
+        ];
+        let agg = aggregate.build().expect("valid aggregate");
+        let sync = multi
+            .search(&feature_queries, agg.as_ref(), k, BlockSchedule::Fixed(8))
+            .expect("synchronized search succeeds");
+        assert_eq!(outcome.hits, sync.hits);
+        println!("engine answer is bit-identical to the sequential synchronized searcher");
 
         // The stream-merging baseline: a ranked stream per feature (depth
         // 4·k), merged with the threshold algorithm + random accesses.
@@ -100,7 +128,7 @@ fn main() {
                 similarity(&texture, row, &texture_query)
             }
         };
-        let merged = merge_streams(&streams, &ra, aggregate.as_ref(), k);
+        let merged = merge_streams(&streams, &ra, agg.as_ref(), k);
         let merge_ms = start.elapsed().as_secs_f64() * 1000.0;
         println!(
             "stream merging ({merge_ms:.2} ms, {} sorted / {} random accesses, certified: {}):",
@@ -109,6 +137,6 @@ fn main() {
         for hit in merged.hits.iter().take(5) {
             println!("  object {:>5}  combined similarity {:.4}", hit.row, hit.score);
         }
-        println!("synchronized speedup: {:.2}x\n", merge_ms / sync_ms);
+        println!("engine speedup over stream merging: {:.2}x\n", merge_ms / engine_ms);
     }
 }
