@@ -28,6 +28,7 @@ struct Series {
     ms_per_query: f64,
     speedup: f64,
     contributions: u64,
+    scan_bytes_per_sec: f64,
 }
 
 fn main() {
@@ -72,9 +73,15 @@ fn main() {
         let qps = total_queries / elapsed.as_secs_f64();
         let ms_per_query = elapsed.as_secs_f64() * 1000.0 / total_queries;
         let speedup = series.first().map_or(1.0, |base| qps / base.qps);
+        // Effective scan bandwidth: every evaluated contribution reads one
+        // f64 cell from a fragment, so bytes actually pulled through the
+        // scan per second — a direct "how close to memory-bound" figure.
+        let scan_bytes_per_sec = (contributions * reps as u64 * 8) as f64 / elapsed.as_secs_f64();
         println!(
-            "  threads {threads:>2} ({:>2} partitions): {qps:>8.1} q/s, {ms_per_query:>6.2} ms/query, speedup {speedup:>5.2}x",
-            engine.partitions()
+            "  threads {threads:>2} ({:>2} partitions): {qps:>8.1} q/s, {ms_per_query:>6.2} ms/query, \
+             speedup {speedup:>5.2}x, scan {:>6.2} GB/s",
+            engine.partitions(),
+            scan_bytes_per_sec / 1e9
         );
         series.push(Series {
             threads,
@@ -83,6 +90,7 @@ fn main() {
             ms_per_query,
             speedup,
             contributions,
+            scan_bytes_per_sec,
         });
     }
 
@@ -101,8 +109,14 @@ fn main() {
         let _ = write!(
             json,
             "{{\"threads\":{},\"partitions\":{},\"qps\":{:.2},\"ms_per_query\":{:.4},\
-             \"speedup\":{:.3},\"contributions\":{}}}",
-            s.threads, s.partitions, s.qps, s.ms_per_query, s.speedup, s.contributions
+             \"speedup\":{:.3},\"contributions\":{},\"scan_bytes_per_sec\":{:.0}}}",
+            s.threads,
+            s.partitions,
+            s.qps,
+            s.ms_per_query,
+            s.speedup,
+            s.contributions,
+            s.scan_bytes_per_sec
         );
     }
     json.push_str("]}");

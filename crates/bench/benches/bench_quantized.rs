@@ -20,13 +20,23 @@
 //! and filter selectivity, plus the headline `exact_cells_ratio` (exact
 //! cells of the exact run over exact cells of the filtered run) on one
 //! machine-readable `BENCH_JSON` line.
+//!
+//! A second section compares scan-kernel flavours head to head: the same
+//! code sweep (`quantfilter::interval_scores_into`) runs once per
+//! supported [`Kernel`] at 4 and 8 bits, asserts cross-kernel
+//! bit-identity inline, and reports cells/sec per flavour plus the
+//! dispatched-vs-scalar speedup in the same `BENCH_JSON` line.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
+use bond::quantfilter::interval_scores_into;
+use bond::{Kernel, QuantScratch};
 use bond_datagen::{sample_queries, ClusteredConfig};
 use bond_exec::{Engine, QuerySpec, RequestBatch, RuleKind, ScanMode};
+use bond_metrics::SquaredEuclidean;
+use vdstore::{SegmentStats, StoreCodes};
 
 struct Series {
     mode: &'static str,
@@ -37,6 +47,40 @@ struct Series {
     selectivity: f64,
     recall: f64,
     mean_error_bound: f64,
+}
+
+struct KernelSeries {
+    bits: u8,
+    kernel: &'static str,
+    sweep_ms: f64,
+    cells_per_sec: f64,
+}
+
+/// Runs the bare filter-phase sweep (LUT build + code sweep, no exact
+/// refinement) over every segment for every query on one explicit
+/// kernel flavour, and returns the per-row interval bounds as a
+/// bit-pattern digest so flavours can be compared for exact identity.
+fn sweep_all(
+    codes: &StoreCodes,
+    queries: &[Vec<f64>],
+    kernel: Kernel,
+    scratch: &mut QuantScratch,
+    digest: Option<&mut Vec<u64>>,
+) -> u64 {
+    let metric = SquaredEuclidean;
+    let mut cells = 0u64;
+    let mut digest = digest;
+    for query in queries {
+        for si in 0..codes.n_segments() {
+            let view = codes.segment_view(si).expect("segment view");
+            cells += interval_scores_into(&view, &metric, query, kernel, scratch)
+                .expect("sweep succeeds");
+            if let Some(bits) = digest.as_deref_mut() {
+                bits.extend(scratch.opt().iter().chain(scratch.pes()).map(|v| v.to_bits()));
+            }
+        }
+    }
+    cells
 }
 
 fn main() {
@@ -162,6 +206,83 @@ fn main() {
         series[2].recall,
     );
 
+    // --- kernel flavour comparison: the same sweep per ISA path --------
+    // Bypasses the engine so the flavour is explicit per series (the
+    // process-wide `BOND_KERNEL` dispatch latches once and can't be
+    // varied afterwards); every flavour is checked bit-identical to the
+    // scalar reference before its timed reps.
+    let specs = table.partition_specs(partitions);
+    let stats: Vec<SegmentStats> =
+        specs.iter().map(|s| s.view(&table).expect("segment view").stats()).collect();
+    let kernel_reps = 20;
+    let active = Kernel::active();
+    println!("  kernel sweep comparison (dispatched flavour: {}):", active.label());
+    let mut kernel_series: Vec<KernelSeries> = Vec::new();
+    for bits in [4u8, 8] {
+        let codes =
+            StoreCodes::build(&table, &specs, &stats, bits).expect("finite table quantizes");
+        let flavours: Vec<Kernel> = Kernel::ALL.into_iter().filter(|k| k.is_supported()).collect();
+        let mut reference: Option<Vec<u64>> = None;
+        let mut cells = 0u64;
+        let mut scratches: Vec<QuantScratch> = Vec::new();
+        for &kernel in &flavours {
+            let mut scratch = QuantScratch::new();
+            // untimed warm pass: sizes the scratch, faults in the code
+            // columns, and captures the bounds for the identity check
+            let mut digest = Vec::new();
+            cells = sweep_all(&codes, &queries, kernel, &mut scratch, Some(&mut digest));
+            match &reference {
+                Some(expected) => assert_eq!(
+                    expected,
+                    &digest,
+                    "{} sweep must be bit-identical to scalar",
+                    kernel.label()
+                ),
+                None => reference = Some(digest),
+            }
+            scratches.push(scratch);
+        }
+        // interleave the flavours rep by rep and keep each one's best
+        // pass: on a shared host, load spikes would otherwise land on
+        // whichever flavour happened to run during them
+        let mut best = vec![f64::INFINITY; flavours.len()];
+        for _ in 0..kernel_reps {
+            for (f, &kernel) in flavours.iter().enumerate() {
+                let timer = Instant::now();
+                std::hint::black_box(sweep_all(&codes, &queries, kernel, &mut scratches[f], None));
+                best[f] = best[f].min(timer.elapsed().as_secs_f64());
+            }
+        }
+        for (f, &kernel) in flavours.iter().enumerate() {
+            let sweep_ms = best[f] * 1000.0;
+            let cells_per_sec = cells as f64 / best[f];
+            println!(
+                "    {:>6} @ {bits} bits: {sweep_ms:>7.2} ms/sweep-pass, {:>7.1} Mcells/s",
+                kernel.label(),
+                cells_per_sec / 1e6
+            );
+            kernel_series.push(KernelSeries {
+                bits,
+                kernel: kernel.label(),
+                sweep_ms,
+                cells_per_sec,
+            });
+        }
+    }
+    let cps = |bits: u8, label: &str| {
+        kernel_series
+            .iter()
+            .find(|s| s.bits == bits && s.kernel == label)
+            .map_or(0.0, |s| s.cells_per_sec)
+    };
+    let kernel_speedup_8bit = cps(8, active.label()) / cps(8, "scalar").max(f64::MIN_POSITIVE);
+    let kernel_speedup_4bit = cps(4, active.label()) / cps(4, "scalar").max(f64::MIN_POSITIVE);
+    println!(
+        "    dispatched ({}) vs scalar: {kernel_speedup_4bit:.2}x cells/s at 4 bits, \
+         {kernel_speedup_8bit:.2}x at 8 bits",
+        active.label()
+    );
+
     let mut json = String::new();
     let _ = write!(
         json,
@@ -188,6 +309,22 @@ fn main() {
             s.selectivity,
             s.recall,
             s.mean_error_bound
+        );
+    }
+    let _ = write!(
+        json,
+        "],\"active_kernel\":\"{}\",\"kernel_speedup_4bit\":{kernel_speedup_4bit:.4},\
+         \"kernel_speedup_8bit\":{kernel_speedup_8bit:.4},\"kernels\":[",
+        active.label()
+    );
+    for (i, s) in kernel_series.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"kernel\":\"{}\",\"bits\":{},\"sweep_ms\":{:.4},\"cells_per_sec\":{:.0}}}",
+            s.kernel, s.bits, s.sweep_ms, s.cells_per_sec
         );
     }
     json.push_str("]}");

@@ -101,6 +101,15 @@ impl CandidateSet {
         false
     }
 
+    /// The explicit row list, when the set has been materialised — the
+    /// gathered scan kernels read it directly instead of re-collecting.
+    pub fn as_list(&self) -> Option<&[RowId]> {
+        match self {
+            CandidateSet::Bits(_) => None,
+            CandidateSet::List(l) => Some(l),
+        }
+    }
+
     /// The surviving row ids as a vector (ascending).
     pub fn to_rows(&self) -> Vec<RowId> {
         match self {
@@ -149,6 +158,12 @@ mod tests {
         let mut seen = Vec::new();
         c.for_each(|r| seen.push(r));
         assert_eq!(seen, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn as_list_only_in_list_phase() {
+        assert_eq!(CandidateSet::all(4).as_list(), None);
+        assert_eq!(CandidateSet::List(vec![1, 2]).as_list(), Some(&[1u32, 2u32][..]));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! results.
 
 use crate::feedback::SegmentFeedbackSnapshot;
+use crate::kernels::Kernel;
 use crate::plan::SegmentPlan;
 use crate::schedule::BlockSchedule;
 use bond_metrics::Objective;
@@ -235,6 +236,54 @@ impl CostModel {
     /// exact cell.
     pub const QUANT_CELL_COST: f64 = 0.125;
 
+    /// [`CostModel::QUANT_CELL_COST`] specialised to the scan kernel the
+    /// sweep actually dispatches to. The SIMD flavours process four code
+    /// cells per gather-accumulate step, but the gathers serialise on the
+    /// LUT loads, so the observed speedup is nearer 2× than 4× — a SIMD
+    /// code cell is priced at a sixteenth of an exact cell instead of an
+    /// eighth. The scalar price is exactly `QUANT_CELL_COST`, so all
+    /// existing scalar-priced estimates are unchanged bit for bit.
+    pub fn quant_cell_cost(kernel: Kernel) -> f64 {
+        match kernel {
+            Kernel::Scalar => Self::QUANT_CELL_COST,
+            Kernel::Avx2 | Kernel::Neon => Self::QUANT_CELL_COST * 0.5,
+        }
+    }
+
+    /// Code bit-width used when a segment has no usable selectivity signal:
+    /// the full `u8` grid (256 levels) — tightest brackets, widest LUT.
+    pub const DEFAULT_CODE_BITS: u8 = 8;
+    /// Code bit-width for observably tight segments: 16 levels fit the
+    /// 16-entry LUT register path of the AVX2 sweep, trading bracket width
+    /// for sweep speed where the filter prunes almost everything anyway.
+    pub const FAST_CODE_BITS: u8 = 4;
+    /// Observed filter selectivity (refined rows / swept rows) at or below
+    /// which a segment's codes drop to [`CostModel::FAST_CODE_BITS`]: when
+    /// at most one row in ten survives the 8-bit sweep, the coarser grid's
+    /// wider brackets cannot cost much refine work, and the sweep itself —
+    /// now the dominant phase — gets the fast path.
+    pub const ADAPTIVE_BITS_SELECTIVITY: f64 = 0.1;
+
+    /// The code bit-width this segment should be swept with, derived from
+    /// its accumulated feedback: [`CostModel::FAST_CODE_BITS`] once the
+    /// segment is warm *and* its observed filter selectivity is at most
+    /// [`CostModel::ADAPTIVE_BITS_SELECTIVITY`];
+    /// [`CostModel::DEFAULT_CODE_BITS`] otherwise (cold segments, segments
+    /// never filtered, loose segments). Bit-width only moves the
+    /// pessimistic/optimistic brackets — survivors are always re-scored
+    /// exactly — so this choice affects work, never answers.
+    pub fn adaptive_code_bits(&self, feedback: Option<&SegmentFeedbackSnapshot>) -> u8 {
+        let tight = feedback
+            .filter(|f| f.is_warm(self.min_warm_searches))
+            .and_then(SegmentFeedbackSnapshot::filter_selectivity)
+            .is_some_and(|s| s <= Self::ADAPTIVE_BITS_SELECTIVITY);
+        if tight {
+            Self::FAST_CODE_BITS
+        } else {
+            Self::DEFAULT_CODE_BITS
+        }
+    }
+
     /// Estimated cost (in exact-cell equivalents) of one search of this
     /// segment when the quantized first-pass filter runs: the full
     /// `rows × dims` code sweep at [`CostModel::QUANT_CELL_COST`] per cell,
@@ -266,6 +315,24 @@ impl CostModel {
         k: usize,
         skipping: bool,
     ) -> (f64, f64) {
+        self.segment_cost_quantized_split_with_kernel(stats, feedback, k, skipping, Kernel::Scalar)
+    }
+
+    /// [`CostModel::segment_cost_quantized_split`] priced for a specific
+    /// scan kernel: the sweep phase uses
+    /// [`CostModel::quant_cell_cost`]`(kernel)` per code cell instead of the
+    /// scalar [`CostModel::QUANT_CELL_COST`]. The engine passes the kernel
+    /// the process actually dispatched to, so admission estimates track the
+    /// hardware the sweep runs on; with [`Kernel::Scalar`] this is the
+    /// kernel-blind estimate bit for bit.
+    pub fn segment_cost_quantized_split_with_kernel(
+        &self,
+        stats: &SegmentStats,
+        feedback: Option<&SegmentFeedbackSnapshot>,
+        k: usize,
+        skipping: bool,
+        kernel: Kernel,
+    ) -> (f64, f64) {
         let rows = stats.live_rows as f64;
         let dims = stats.per_dim.len() as f64;
         if rows <= 0.0 || dims <= 0.0 {
@@ -274,7 +341,7 @@ impl CostModel {
         let warm = feedback.filter(|f| f.is_warm(self.min_warm_searches));
         let p_skip =
             if skipping { warm.map_or(0.0, SegmentFeedbackSnapshot::skip_rate) } else { 0.0 };
-        let filter_cost = rows * dims * Self::QUANT_CELL_COST * (1.0 - p_skip);
+        let filter_cost = rows * dims * Self::quant_cell_cost(kernel) * (1.0 - p_skip);
         let floor = (k as f64 / rows).min(1.0);
         let selectivity = feedback
             .and_then(SegmentFeedbackSnapshot::filter_selectivity)
@@ -464,6 +531,53 @@ mod tests {
         let empty = segment_stats(&[vec![0.0, 0.0]]);
         let empty = SegmentStats { live_rows: 0, ..empty };
         assert_eq!(model.segment_cost_quantized(&empty, None, 1, true), 0.0);
+    }
+
+    #[test]
+    fn kernel_cell_cost_prices_simd_sweeps_cheaper() {
+        assert_eq!(CostModel::quant_cell_cost(Kernel::Scalar), CostModel::QUANT_CELL_COST);
+        for simd in [Kernel::Avx2, Kernel::Neon] {
+            let c = CostModel::quant_cell_cost(simd);
+            assert!(c < CostModel::QUANT_CELL_COST, "{simd:?} must be cheaper than scalar");
+            assert!(c > 0.0);
+        }
+        // the kernel-blind split is the scalar-priced split, bit for bit
+        let stats = segment_stats(&vec![vec![0.1, 0.2, 0.3, 0.4]; 100]);
+        let model = CostModel::default();
+        let blind = model.segment_cost_quantized_split(&stats, None, 10, true);
+        let scalar =
+            model.segment_cost_quantized_split_with_kernel(&stats, None, 10, true, Kernel::Scalar);
+        assert_eq!(blind, scalar);
+        // a SIMD kernel discounts the sweep phase only
+        let simd =
+            model.segment_cost_quantized_split_with_kernel(&stats, None, 10, true, Kernel::Avx2);
+        assert!(simd.0 < scalar.0, "sweep phase gets cheaper under SIMD");
+        assert_eq!(simd.1, scalar.1, "refine phase is exact work either way");
+    }
+
+    #[test]
+    fn adaptive_bits_need_warm_and_tight_feedback() {
+        let model = CostModel::default();
+        // cold: no feedback at all
+        assert_eq!(model.adaptive_code_bits(None), CostModel::DEFAULT_CODE_BITS);
+        // warm but never filtered: no selectivity signal
+        let unfiltered = warm_feedback(4, 0, 40);
+        assert_eq!(model.adaptive_code_bits(Some(&unfiltered)), CostModel::DEFAULT_CODE_BITS);
+        // warm and tight: 5 % of swept rows survive → fast bits
+        let mut tight = warm_feedback(4, 0, 40);
+        tight.filter_rows = 4000;
+        tight.refine_rows = 200;
+        assert_eq!(model.adaptive_code_bits(Some(&tight)), CostModel::FAST_CODE_BITS);
+        // warm but loose: half survive → default bits
+        let mut loose = warm_feedback(4, 0, 40);
+        loose.filter_rows = 4000;
+        loose.refine_rows = 2000;
+        assert_eq!(model.adaptive_code_bits(Some(&loose)), CostModel::DEFAULT_CODE_BITS);
+        // tight but cold: selectivity alone is not enough
+        let mut cold = warm_feedback(4, 0, model.min_warm_searches - 1);
+        cold.filter_rows = 4000;
+        cold.refine_rows = 200;
+        assert_eq!(model.adaptive_code_bits(Some(&cold)), CostModel::DEFAULT_CODE_BITS);
     }
 
     #[test]

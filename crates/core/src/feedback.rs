@@ -495,6 +495,8 @@ mod tests {
             segment_skipped: false,
             filter_cells: 0,
             refine_rows: 0,
+            filter_bits: 0,
+            kernel: None,
             rule: None,
         }
     }

@@ -55,6 +55,11 @@
 //! * [`quantfilter`] — the branch-free quantized first-pass scan kernel the
 //!   execution engine runs before the exact search (LUT sweep over `u8`
 //!   code columns, interval score bounds, approximate codes-only top-k),
+//! * [`kernels`] — the runtime-dispatched ISA-pinned implementations of the
+//!   two hot loops (quantized LUT sweep, exact contribution accumulate):
+//!   AVX2 / NEON / portable scalar, selected once per process and
+//!   overridable with `BOND_KERNEL`, all bit-identical to the scalar
+//!   reference,
 //! * [`trace`] — the pruning traces from which every figure of the paper's
 //!   evaluation is regenerated.
 
@@ -67,6 +72,7 @@ pub mod cost;
 pub mod error;
 pub mod feedback;
 pub mod kappa;
+pub mod kernels;
 pub mod multifeature;
 pub mod ordering;
 pub mod plan;
@@ -85,12 +91,13 @@ pub use cost::CostModel;
 pub use error::{BondError, Result};
 pub use feedback::{ExecFeedback, FeedbackSnapshot, SegmentFeedback, SegmentFeedbackSnapshot};
 pub use kappa::KappaCell;
+pub use kernels::Kernel;
 pub use multifeature::{
     FeatureMetricKind, FeatureQuery, MultiFeatureContext, MultiFeatureOutcome, MultiFeatureSearcher,
 };
 pub use ordering::DimensionOrdering;
 pub use plan::SegmentPlan;
-pub use quantfilter::{ApproxOutcome, QuantFilter, QuantIntervals};
+pub use quantfilter::{ApproxOutcome, QuantFilter, QuantIntervals, QuantScratch};
 pub use schedule::BlockSchedule;
 pub use searcher::{
     prune_slack, search_segment, BondParams, BondSearcher, SearchOutcome, SegmentContext,

@@ -27,18 +27,16 @@
 //! scan mode: [`approximate_topk`] ranks live rows by midpoint score and
 //! reports half the interval width as a per-hit error bound.
 
+use std::cell::RefCell;
+
 use bond_metrics::{DecomposableMetric, Objective};
 use vdstore::topk::Scored;
 use vdstore::{Bitmap, SegmentCodesView, TopKLargest, TopKSmallest};
 
 use crate::error::{BondError, Result};
 use crate::kappa::KappaCell;
+use crate::kernels::{self, Kernel};
 use crate::searcher::prune_slack;
-
-/// Cells per inner-loop chunk: both running bounds advance through the
-/// code column in blocks of this many rows, keeping the working set in
-/// registers/L1 and giving the auto-vectorizer a fixed trip count.
-const BLOCK_CELLS: usize = 64;
 
 /// Per-row full-score interval bounds proven from the codes alone.
 #[derive(Debug, Clone)]
@@ -52,46 +50,179 @@ pub struct QuantIntervals {
     pub cells: u64,
 }
 
-/// Sweeps all code fragments of one segment and returns, for every local
-/// row, the interval `[pes, opt]` bracketing its exact full-dimensional
-/// score under `metric`.
-pub fn interval_scores(
+/// Reusable working memory of the quantized filter: the two per-row bound
+/// accumulators plus the two per-level contribution LUTs.
+///
+/// Allocated fresh, these four `Vec`s were the filter path's only per-task
+/// allocations; hoisting them into a scratch that lives as long as the
+/// worker (the engine keeps one per thread, see [`filter_segment`]) makes
+/// the sweep itself allocation-free once the buffers have grown to the
+/// segment's size — a property the `zero_alloc_filter` integration test
+/// pins with a counting allocator.
+#[derive(Debug, Default)]
+pub struct QuantScratch {
+    opt: Vec<f64>,
+    pes: Vec<f64>,
+    opt_lut: Vec<f64>,
+    pes_lut: Vec<f64>,
+    /// Interleaved `[opt, pes]` accumulator for the dimension-blocked
+    /// kernels (see [`kernels::sweep_pairs`]); `opt_lut` doubles as their
+    /// interleaved pair-LUT storage.
+    inter: Vec<f64>,
+    /// Per-level `(lo, hi)` cell bounds of the dimension currently having
+    /// its LUT built — input to the metric's batched
+    /// `fill_contribution_pairs`.
+    bounds: Vec<(f64, f64)>,
+}
+
+impl QuantScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        QuantScratch::default()
+    }
+
+    /// The optimistic bounds of the last [`interval_scores_into`] sweep.
+    pub fn opt(&self) -> &[f64] {
+        &self.opt
+    }
+
+    /// The pessimistic bounds of the last [`interval_scores_into`] sweep.
+    pub fn pes(&self) -> &[f64] {
+        &self.pes
+    }
+}
+
+thread_local! {
+    /// One scratch per worker thread. The engine runs each (query,
+    /// segment) task on one rayon-style worker, so this is exactly the
+    /// "per-task scratch" the filter path wants without threading a
+    /// handle through every call site.
+    static SCRATCH: RefCell<QuantScratch> = RefCell::new(QuantScratch::new());
+}
+
+/// Sweeps all code fragments of one segment into `scratch` using the given
+/// [`Kernel`], leaving the per-row interval `[pes, opt]` bracketing each
+/// exact full-dimensional score in [`QuantScratch::pes`] /
+/// [`QuantScratch::opt`]. Returns the number of code cells swept.
+///
+/// Once the scratch buffers have reached the segment's size, the whole
+/// sweep — LUT builds included — performs no allocation.
+pub fn interval_scores_into(
     codes: &SegmentCodesView<'_>,
     metric: &dyn DecomposableMetric,
     query: &[f64],
-) -> Result<QuantIntervals> {
+    kernel: Kernel,
+    scratch: &mut QuantScratch,
+) -> Result<u64> {
     let dims = codes.dims();
     if query.len() != dims {
         return Err(BondError::QueryDimensionMismatch { expected: dims, actual: query.len() });
     }
     let rows = codes.len();
     let levels = codes.levels();
-    let mut opt = vec![0.0f64; rows];
-    let mut pes = vec![0.0f64; rows];
-    let mut opt_lut = vec![0.0f64; levels];
-    let mut pes_lut = vec![0.0f64; levels];
-    for (d, &q) in query.iter().enumerate() {
-        let grid = codes.params(d);
-        for (code, (o, p)) in opt_lut.iter_mut().zip(pes_lut.iter_mut()).enumerate() {
-            let (lo, hi) = grid.cell_bounds(code as u8);
-            *o = metric.best_contribution(d, lo, hi, q);
-            *p = metric.worst_contribution(d, lo, hi, q);
-        }
-        let column = codes.dim_codes(d)?;
-        // The hot sweep: flat bytes in, two fused multiply-free
-        // accumulations out, no branches on row content.
-        for ((opt_block, pes_block), code_block) in opt
-            .chunks_mut(BLOCK_CELLS)
-            .zip(pes.chunks_mut(BLOCK_CELLS))
-            .zip(column.chunks(BLOCK_CELLS))
-        {
-            for ((o, p), &c) in opt_block.iter_mut().zip(pes_block.iter_mut()).zip(code_block) {
-                *o += opt_lut[c as usize];
-                *p += pes_lut[c as usize];
+    let group = kernels::sweep_group(kernel, levels);
+    // The hot sweep: flat bytes in, two multiply-free accumulations out,
+    // no branches on row content — dispatched to the pinned per-ISA
+    // kernel. Bit-identical across kernels by contract: every row adds its
+    // per-dimension contributions in dimension order either way.
+    if group <= 1 {
+        scratch.opt.clear();
+        scratch.opt.resize(rows, 0.0);
+        scratch.pes.clear();
+        scratch.pes.resize(rows, 0.0);
+        // one dimension at a time, straight into the bound arrays — the
+        // reference pass structure
+        scratch.opt_lut.resize(levels, 0.0);
+        scratch.pes_lut.resize(levels, 0.0);
+        scratch.inter.clear();
+        scratch.inter.resize(levels * 2, 0.0);
+        for (d, &q) in query.iter().enumerate() {
+            let grid = codes.params(d);
+            scratch.bounds.resize(levels, (0.0, 0.0));
+            grid.fill_cell_bounds(&mut scratch.bounds);
+            metric.fill_contribution_pairs(d, &scratch.bounds, q, &mut scratch.inter);
+            for (code, pair) in scratch.inter.chunks_exact(2).enumerate() {
+                scratch.opt_lut[code] = pair[0];
+                scratch.pes_lut[code] = pair[1];
             }
+            let column = codes.dim_codes(d)?;
+            kernels::sweep(
+                kernel,
+                column,
+                &scratch.opt_lut,
+                &scratch.pes_lut,
+                &mut scratch.opt,
+                &mut scratch.pes,
+            );
         }
+        return Ok((rows * dims) as u64);
     }
-    Ok(QuantIntervals { opt, pes, cells: (rows * dims) as u64 })
+    // The dimension-blocked kernels: up to `group` code columns fold into
+    // an interleaved `[opt, pes]` accumulator per pass, with each cell's
+    // contribution pair adjacent so the kernel fetches both in one load.
+    // None of the output buffers need zeroing: the first block sweeps in
+    // `init` mode and every row of `opt`/`pes` is overwritten by the final
+    // de-interleave, so stale contents are only ever resized away.
+    if scratch.inter.len() != rows * 2 {
+        scratch.inter.clear();
+        scratch.inter.resize(rows * 2, 0.0);
+    }
+    if scratch.opt.len() != rows {
+        scratch.opt.clear();
+        scratch.opt.resize(rows, 0.0);
+        scratch.pes.clear();
+        scratch.pes.resize(rows, 0.0);
+    }
+    scratch.opt_lut.resize(group * levels * 2, 0.0);
+    let mut columns: [&[u8]; kernels::MAX_SWEEP_GROUP] = [&[]; kernels::MAX_SWEEP_GROUP];
+    for start in (0..dims).step_by(group) {
+        let g = group.min(dims - start);
+        for (j, column) in columns.iter_mut().enumerate().take(g) {
+            let d = start + j;
+            let q = query[d];
+            let grid = codes.params(d);
+            let lut = &mut scratch.opt_lut[j * levels * 2..(j + 1) * levels * 2];
+            // Fused ISA LUT build when the metric exposes a kernel op —
+            // bit-identical to the portable two-step build below, which
+            // stays both the fallback and the reference.
+            let fused = metric
+                .kernel_op()
+                .is_some_and(|op| kernels::fill_pair_lut(kernel, op, d, grid, q, lut));
+            if !fused {
+                scratch.bounds.resize(levels, (0.0, 0.0));
+                grid.fill_cell_bounds(&mut scratch.bounds);
+                metric.fill_contribution_pairs(d, &scratch.bounds, q, lut);
+            }
+            *column = codes.dim_codes(d)?;
+        }
+        kernels::sweep_pairs(
+            kernel,
+            &columns[..g],
+            &scratch.opt_lut,
+            levels,
+            &mut scratch.inter,
+            start == 0,
+        );
+    }
+    for (i, pair) in scratch.inter.chunks_exact(2).enumerate() {
+        scratch.opt[i] = pair[0];
+        scratch.pes[i] = pair[1];
+    }
+    Ok((rows * dims) as u64)
+}
+
+/// Sweeps all code fragments of one segment and returns, for every local
+/// row, the interval `[pes, opt]` bracketing its exact full-dimensional
+/// score under `metric`. Allocates a fresh result; the engine's hot path
+/// goes through [`interval_scores_into`] and a per-thread scratch instead.
+pub fn interval_scores(
+    codes: &SegmentCodesView<'_>,
+    metric: &dyn DecomposableMetric,
+    query: &[f64],
+) -> Result<QuantIntervals> {
+    let mut scratch = QuantScratch::new();
+    let cells = interval_scores_into(codes, metric, query, Kernel::active(), &mut scratch)?;
+    Ok(QuantIntervals { opt: scratch.opt, pes: scratch.pes, cells })
 }
 
 /// The result of the quantized first pass over one segment.
@@ -113,6 +244,10 @@ pub struct QuantFilter {
 /// the pessimistic bounds, keep every live row whose optimistic bound can
 /// still reach κ. Publishes the proven κ to `shared` (it is a valid bound
 /// for the whole query, so sibling segments benefit immediately).
+///
+/// The sweep runs on the process-wide [`Kernel::active`] flavour and a
+/// per-thread scratch, so steady-state calls allocate nothing beyond the
+/// survivor bitmap and the κ heap.
 pub fn filter_segment(
     codes: &SegmentCodesView<'_>,
     metric: &dyn DecomposableMetric,
@@ -121,6 +256,21 @@ pub fn filter_segment(
     live: &Bitmap,
     shared: Option<&dyn KappaCell>,
 ) -> Result<QuantFilter> {
+    filter_segment_with_kernel(codes, metric, query, k, live, shared, Kernel::active())
+}
+
+/// [`filter_segment`] with an explicit kernel flavour — the entry point
+/// tests and benches use to compare flavours inside one process (the
+/// `BOND_KERNEL` override is latched once and cannot be varied later).
+pub fn filter_segment_with_kernel(
+    codes: &SegmentCodesView<'_>,
+    metric: &dyn DecomposableMetric,
+    query: &[f64],
+    k: usize,
+    live: &Bitmap,
+    shared: Option<&dyn KappaCell>,
+    kernel: Kernel,
+) -> Result<QuantFilter> {
     let rows = codes.len();
     if live.len() != rows {
         return Err(BondError::InvalidParams(format!(
@@ -128,56 +278,60 @@ pub fn filter_segment(
             live.len()
         )));
     }
-    let intervals = interval_scores(codes, metric, query)?;
-    let objective = metric.objective();
-    let local = match objective {
-        Objective::Maximize => {
-            let mut heap = TopKLargest::new(k);
-            for row in live.iter() {
-                heap.push(row, intervals.pes[row as usize]);
+    SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let cells = interval_scores_into(codes, metric, query, kernel, &mut scratch)?;
+        let scratch = &*scratch;
+        let objective = metric.objective();
+        let local = match objective {
+            Objective::Maximize => {
+                let mut heap = TopKLargest::new(k);
+                for row in live.iter() {
+                    heap.push(row, scratch.pes[row as usize]);
+                }
+                heap.kth()
             }
-            heap.kth()
-        }
-        Objective::Minimize => {
-            let mut heap = TopKSmallest::new(k);
-            for row in live.iter() {
-                heap.push(row, intervals.pes[row as usize]);
+            Objective::Minimize => {
+                let mut heap = TopKSmallest::new(k);
+                for row in live.iter() {
+                    heap.push(row, scratch.pes[row as usize]);
+                }
+                heap.kth()
             }
-            heap.kth()
-        }
-    };
-    // a vacuous (infinite) pessimistic bound proves nothing: do not
-    // publish it, and keep every live row
-    let local = local.filter(|v| v.is_finite());
-    let kappa = match shared {
-        None => local,
-        Some(cell) => match local {
-            Some(local) => Some(cell.tighten(local)),
-            None => cell.current(),
-        },
-    };
-    let mut survivors = Bitmap::new(rows);
-    match kappa {
-        None => {
-            for row in live.iter() {
-                survivors.set(row);
-            }
-        }
-        Some(kappa) => {
-            let slack = prune_slack(kappa);
-            for row in live.iter() {
-                let opt = intervals.opt[row as usize];
-                let keep = match objective {
-                    Objective::Maximize => opt >= kappa - slack,
-                    Objective::Minimize => opt <= kappa + slack,
-                };
-                if keep {
+        };
+        // a vacuous (infinite) pessimistic bound proves nothing: do not
+        // publish it, and keep every live row
+        let local = local.filter(|v| v.is_finite());
+        let kappa = match shared {
+            None => local,
+            Some(cell) => match local {
+                Some(local) => Some(cell.tighten(local)),
+                None => cell.current(),
+            },
+        };
+        let mut survivors = Bitmap::new(rows);
+        match kappa {
+            None => {
+                for row in live.iter() {
                     survivors.set(row);
                 }
             }
+            Some(kappa) => {
+                let slack = prune_slack(kappa);
+                for row in live.iter() {
+                    let opt = scratch.opt[row as usize];
+                    let keep = match objective {
+                        Objective::Maximize => opt >= kappa - slack,
+                        Objective::Minimize => opt <= kappa + slack,
+                    };
+                    if keep {
+                        survivors.set(row);
+                    }
+                }
+            }
         }
-    }
-    Ok(QuantFilter { survivors, kappa, cells: intervals.cells })
+        Ok(QuantFilter { survivors, kappa, cells })
+    })
 }
 
 /// The approximate (codes-only) answer for one segment.
@@ -195,7 +349,8 @@ pub struct ApproxOutcome {
 
 /// Answers a top-k query from the codes alone: rows are ranked by the
 /// midpoint of their score interval and each hit carries the bound on how
-/// far its exact score can be. No exact fragment is read at all.
+/// far its exact score can be. No exact fragment is read at all. Runs on
+/// the process-wide [`Kernel::active`] flavour and the per-thread scratch.
 pub fn approximate_topk(
     codes: &SegmentCodesView<'_>,
     metric: &dyn DecomposableMetric,
@@ -210,32 +365,36 @@ pub fn approximate_topk(
             live.len()
         )));
     }
-    let intervals = interval_scores(codes, metric, query)?;
-    let mid = |row: usize| 0.5 * (intervals.opt[row] + intervals.pes[row]);
-    let hits = match metric.objective() {
-        Objective::Maximize => {
-            let mut heap = TopKLargest::new(k);
-            for row in live.iter() {
-                heap.push(row, mid(row as usize));
+    SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let cells = interval_scores_into(codes, metric, query, Kernel::active(), &mut scratch)?;
+        let scratch = &*scratch;
+        let mid = |row: usize| 0.5 * (scratch.opt[row] + scratch.pes[row]);
+        let hits = match metric.objective() {
+            Objective::Maximize => {
+                let mut heap = TopKLargest::new(k);
+                for row in live.iter() {
+                    heap.push(row, mid(row as usize));
+                }
+                heap.into_sorted_vec()
             }
-            heap.into_sorted_vec()
-        }
-        Objective::Minimize => {
-            let mut heap = TopKSmallest::new(k);
-            for row in live.iter() {
-                heap.push(row, mid(row as usize));
+            Objective::Minimize => {
+                let mut heap = TopKSmallest::new(k);
+                for row in live.iter() {
+                    heap.push(row, mid(row as usize));
+                }
+                heap.into_sorted_vec()
             }
-            heap.into_sorted_vec()
-        }
-    };
-    let error_bounds = hits
-        .iter()
-        .map(|h| {
-            let row = h.row as usize;
-            0.5 * (intervals.opt[row] - intervals.pes[row]).abs()
-        })
-        .collect();
-    Ok(ApproxOutcome { hits, error_bounds, cells: intervals.cells })
+        };
+        let error_bounds = hits
+            .iter()
+            .map(|h| {
+                let row = h.row as usize;
+                0.5 * (scratch.opt[row] - scratch.pes[row]).abs()
+            })
+            .collect();
+        Ok(ApproxOutcome { hits, error_bounds, cells })
+    })
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 //! weighted variants) and the [`DecomposableMetric`]; convenience methods
 //! instantiate the combinations the paper evaluates.
 
-use bond_metrics::{CandidateState, DecomposableMetric, Objective, PruningRule};
+use bond_metrics::{CandidateState, DecomposableMetric, KernelOp, Objective, PruningRule};
 use bond_metrics::{EqRule, EvRule, HhRule, HistogramIntersection, HqRule, SquaredEuclidean};
 use vdstore::topk::Scored;
 use vdstore::{
@@ -24,6 +24,7 @@ use vdstore::{
 use crate::candidates::CandidateSet;
 use crate::error::{BondError, Result};
 use crate::kappa::KappaCell;
+use crate::kernels::{self, Kernel};
 use crate::ordering::DimensionOrdering;
 use crate::plan::SegmentPlan;
 use crate::schedule::BlockSchedule;
@@ -40,6 +41,87 @@ pub(crate) const PRUNE_EPS: f64 = 1e-9;
 /// zone-map check, a whole segment) is *not* pruned.
 pub fn prune_slack(kappa: f64) -> f64 {
     PRUNE_EPS * kappa.abs().max(1.0)
+}
+
+/// Minimum candidate density at which the dense vector kernels take the
+/// bitmap path: they stream *every* row of the column (hole rows'
+/// accumulators receive garbage that is provably never read), so below
+/// this density the over-compute outweighs the lane parallelism and the
+/// branchy per-candidate scalar loop wins.
+const DENSE_KERNEL_MIN_DENSITY: f64 = 0.25;
+
+/// Row-block length of the gathered kernel path: partial sums are copied
+/// into a contiguous stack buffer once per block, accumulated across the
+/// whole dimension block, and copied back — amortizing the copies over
+/// all dimensions while keeping the accumulator resident in L1.
+const GATHER_BLOCK_ROWS: usize = 64;
+
+/// Dense kernel accumulate over a whole dimension block: every row of each
+/// column is streamed through the ISA-pinned kernel. Per candidate row the
+/// arithmetic is exactly the scalar loop's, in the same dimension order.
+fn dense_accumulate_block(
+    kernel: Kernel,
+    op: KernelOp<'_>,
+    segment: &Segment<'_>,
+    dims_block: &[usize],
+    query: &[f64],
+    partial: &mut [f64],
+    mut mass: Option<&mut [f64]>,
+) -> Result<()> {
+    for &d in dims_block {
+        let values = segment.col_slice(d)?;
+        kernels::accumulate(kernel, op, d, values, query[d], partial);
+        if let Some(mass) = mass.as_deref_mut() {
+            kernels::add_assign(kernel, values, mass);
+        }
+    }
+    Ok(())
+}
+
+/// Gathered kernel accumulate over a whole dimension block for an explicit
+/// row list: 64-row blocks are copied into a contiguous accumulator,
+/// advanced through every dimension of the block (per row: same adds, same
+/// order as the scalar loop), then copied back.
+#[allow(clippy::too_many_arguments)]
+fn gather_accumulate_block(
+    kernel: Kernel,
+    op: KernelOp<'_>,
+    segment: &Segment<'_>,
+    dims_block: &[usize],
+    query: &[f64],
+    rows: &[RowId],
+    partial: &mut [f64],
+    mut mass: Option<&mut [f64]>,
+) -> Result<()> {
+    let mut acc = [0.0f64; GATHER_BLOCK_ROWS];
+    let mut mass_acc = [0.0f64; GATHER_BLOCK_ROWS];
+    for chunk in rows.chunks(GATHER_BLOCK_ROWS) {
+        let m = chunk.len();
+        for (i, &row) in chunk.iter().enumerate() {
+            acc[i] = partial[row as usize];
+        }
+        if let Some(mass) = mass.as_deref_mut() {
+            for (i, &row) in chunk.iter().enumerate() {
+                mass_acc[i] = mass[row as usize];
+            }
+        }
+        for &d in dims_block {
+            let values = segment.col_slice(d)?;
+            kernels::accumulate_gather(kernel, op, d, values, chunk, query[d], &mut acc[..m]);
+            if mass.is_some() {
+                kernels::add_assign_gather(kernel, values, chunk, &mut mass_acc[..m]);
+            }
+        }
+        for (i, &row) in chunk.iter().enumerate() {
+            partial[row as usize] = acc[i];
+        }
+        if let Some(mass) = mass.as_deref_mut() {
+            for (i, &row) in chunk.iter().enumerate() {
+                mass[row as usize] = mass_acc[i];
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Tuning knobs of a BOND search.
@@ -315,6 +397,12 @@ pub fn search_segment(
     }
     let mut trace = PruneTrace::default();
     let objective = metric.objective();
+    // One dispatch decision per process (overridable with BOND_KERNEL);
+    // metrics without a vectorizable contribution shape keep the portable
+    // per-contribution loop regardless of the flavour.
+    let kernel = Kernel::active();
+    let op = metric.kernel_op();
+    trace.kernel = Some(kernel.label());
 
     // Quantized first pass (Section 7.4 composed with the engine): sweep
     // the u8 code companions branch-free, prove a pessimistic κ from their
@@ -330,9 +418,11 @@ pub fn search_segment(
                 codes.dims()
             )));
         }
-        let filter =
-            crate::quantfilter::filter_segment(codes, metric, query, k, &eligible, ctx.kappa)?;
+        let filter = crate::quantfilter::filter_segment_with_kernel(
+            codes, metric, query, k, &eligible, ctx.kappa, kernel,
+        )?;
         trace.filter_cells = filter.cells;
+        trace.filter_bits = codes.bits();
         candidates = CandidateSet::from_bitmap(filter.survivors);
         trace.refine_rows = candidates.len() as u64;
         if candidates.maybe_materialize(params.materialize_threshold) {
@@ -356,20 +446,50 @@ pub fn search_segment(
             break;
         }
         let alive = candidates.len();
-        // Step 1: accumulate the partial scores over this block.
-        for &d in &order[processed..processed + block] {
-            let values = segment.col_slice(d)?;
-            let q = query[d];
-            match &mut scanned_mass {
-                Some(mass) => candidates.for_each(|row| {
-                    let v = values[row as usize];
-                    partial[row as usize] += metric.contribution(d, v, q);
-                    mass[row as usize] += v;
-                }),
-                None => candidates.for_each(|row| {
-                    let v = values[row as usize];
-                    partial[row as usize] += metric.contribution(d, v, q);
-                }),
+        // Step 1: accumulate the partial scores over this block — via the
+        // ISA-pinned kernels when the metric has a vectorizable shape. The
+        // dense path streams whole columns (over-computing hole rows whose
+        // accumulators are never read again) and is only worth it while
+        // the candidate bitmap is dense; the materialised list takes the
+        // gathered path; everything else keeps the per-candidate loop.
+        let dims_block = &order[processed..processed + block];
+        let dense_ok = rows > 0 && alive as f64 / rows as f64 >= DENSE_KERNEL_MIN_DENSITY;
+        match (op, candidates.as_list()) {
+            (Some(op), Some(list)) => gather_accumulate_block(
+                kernel,
+                op,
+                segment,
+                dims_block,
+                query,
+                list,
+                &mut partial,
+                scanned_mass.as_deref_mut(),
+            )?,
+            (Some(op), None) if dense_ok => dense_accumulate_block(
+                kernel,
+                op,
+                segment,
+                dims_block,
+                query,
+                &mut partial,
+                scanned_mass.as_deref_mut(),
+            )?,
+            _ => {
+                for &d in dims_block {
+                    let values = segment.col_slice(d)?;
+                    let q = query[d];
+                    match &mut scanned_mass {
+                        Some(mass) => candidates.for_each(|row| {
+                            let v = values[row as usize];
+                            partial[row as usize] += metric.contribution(d, v, q);
+                            mass[row as usize] += v;
+                        }),
+                        None => candidates.for_each(|row| {
+                            let v = values[row as usize];
+                            partial[row as usize] += metric.contribution(d, v, q);
+                        }),
+                    }
+                }
             }
         }
         trace.contributions_evaluated += (block * alive) as u64;
@@ -470,11 +590,25 @@ pub fn search_segment(
     // dimensions (cheap: only |C| vectors are touched), then rank.
     let survivors = candidates.to_rows();
     if params.refine_survivors && processed < dims {
-        for &d in &order[processed..] {
-            let values = segment.col_slice(d)?;
-            let q = query[d];
-            for &row in &survivors {
-                partial[row as usize] += metric.contribution(d, values[row as usize], q);
+        match op {
+            Some(op) => gather_accumulate_block(
+                kernel,
+                op,
+                segment,
+                &order[processed..],
+                query,
+                &survivors,
+                &mut partial,
+                None,
+            )?,
+            None => {
+                for &d in &order[processed..] {
+                    let values = segment.col_slice(d)?;
+                    let q = query[d];
+                    for &row in &survivors {
+                        partial[row as usize] += metric.contribution(d, values[row as usize], q);
+                    }
+                }
             }
         }
         trace.contributions_evaluated += ((dims - processed) * survivors.len()) as u64;

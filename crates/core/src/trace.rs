@@ -49,6 +49,14 @@ pub struct PruneTrace {
     /// search (zero when the search ran without codes; equals the segment's
     /// live rows when the filter could not prune).
     pub refine_rows: u64,
+    /// The code bit-width the quantized first pass swept (the engine picks
+    /// it per segment from observed filter selectivity). Zero when the
+    /// search ran without codes.
+    pub filter_bits: u8,
+    /// The scan-kernel flavour (`"scalar"`, `"avx2"`, `"neon"`) the
+    /// segment's hot loops dispatched to. `None` for traces that predate
+    /// kernel dispatch (e.g. deserialized old reports).
+    pub kernel: Option<&'static str>,
     /// The name of the pruning rule/metric that produced this trace
     /// (`"Hq"`, `"Ev"`, …), stamped by the execution engine. Bound scales
     /// are incomparable across rules, so per-rule consumers (feedback
@@ -108,6 +116,8 @@ mod tests {
             segment_skipped: false,
             filter_cells: 0,
             refine_rows: 0,
+            filter_bits: 0,
+            kernel: Some("scalar"),
             rule: Some("Hq"),
         }
     }

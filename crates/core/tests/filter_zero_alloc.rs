@@ -1,0 +1,83 @@
+//! The quantized filter's steady-state allocation contract: once the
+//! per-thread scratch has grown to the segment's size, a full sweep —
+//! LUT builds included — performs **zero** heap allocations. This is
+//! what makes the filter phase safe to run per segment per query on the
+//! hot path without allocator traffic or lock contention.
+//!
+//! Verified with a counting `#[global_allocator]`, which is process-wide
+//! state — hence this test's own integration binary, so no other test's
+//! allocations can race the counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bond::kernels::Kernel;
+use bond::quantfilter::interval_scores_into;
+use bond::QuantScratch;
+use bond_metrics::SquaredEuclidean;
+use vdstore::{DecomposedTable, SegmentStats, StoreCodes};
+
+/// Forwards to the system allocator, counting every allocation.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to `System`; the counter is a relaxed atomic
+// with no allocation of its own, so all of `System`'s contract holds.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warmed_interval_sweep_allocates_nothing() {
+    let vectors: Vec<Vec<f64>> = (0..300)
+        .map(|r| (0..8).map(|d| ((r * 8 + d) as f64 * 0.29).sin().abs()).collect())
+        .collect();
+    let table = DecomposedTable::from_vectors("za", &vectors).unwrap();
+    let specs = table.partition_specs(2);
+    let stats: Vec<SegmentStats> = specs.iter().map(|s| s.view(&table).unwrap().stats()).collect();
+    let query: Vec<f64> = table.row(7).unwrap();
+    let metric = SquaredEuclidean;
+
+    for bits in [4u8, 8] {
+        let codes = StoreCodes::build(&table, &specs, &stats, bits).unwrap();
+        for kernel in Kernel::ALL.into_iter().filter(|k| k.is_supported()) {
+            let mut scratch = QuantScratch::new();
+            // warm pass: grows the row/LUT buffers to their final sizes
+            for si in 0..codes.n_segments() {
+                let view = codes.segment_view(si).unwrap();
+                interval_scores_into(&view, &metric, &query, kernel, &mut scratch).unwrap();
+            }
+            // Steady state: not one allocation across repeated sweeps. The
+            // counter is process-wide, so the libtest harness thread can
+            // race a stray allocation into the window — a genuine leak in
+            // the sweep would show up in *every* repetition, so assert on
+            // the minimum over several windows instead of a single one.
+            let min_allocs = (0..5)
+                .map(|_| {
+                    let before = ALLOCATIONS.load(Ordering::Relaxed);
+                    for si in 0..codes.n_segments() {
+                        let view = codes.segment_view(si).unwrap();
+                        interval_scores_into(&view, &metric, &query, kernel, &mut scratch).unwrap();
+                    }
+                    ALLOCATIONS.load(Ordering::Relaxed) - before
+                })
+                .min()
+                .unwrap();
+            assert_eq!(min_allocs, 0, "warmed sweep allocated ({} @ {bits} bits)", kernel.label());
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Cross-kernel bit-identity: the ISA-pinned SIMD paths must produce the
+//! exact same `f64` bit patterns as the portable scalar reference, for
+//! every kernel entry point the hot loops use.
+//!
+//! Two surfaces are pinned:
+//!
+//! * the quantized sweep (`quantfilter::interval_scores_into`) across all
+//!   four decomposable metrics — which covers all six pruning rules
+//!   (`Hq`/`Hh` share histogram intersection, `Eq`/`Ev` squared
+//!   Euclidean, `WHq`/`WEv` the weighted variants) — at 2-, 4- and 8-bit
+//!   code widths (the ≤ 16-level register-LUT path and the gather path
+//!   both get exercised on AVX2 hosts);
+//! * the exact refine/warmup accumulate (`kernels::accumulate`,
+//!   `accumulate_gather`, `add_assign`, `add_assign_gather`) across all
+//!   four `KernelOp` shapes those six rules compile down to.
+//!
+//! Equality is `to_bits()` on every output — not approximate — because
+//! kernel dispatch must never be observable in answers.
+
+use bond::kernels::{self, Kernel};
+use bond::quantfilter::interval_scores_into;
+use bond::QuantScratch;
+use bond_metrics::{
+    DecomposableMetric, HistogramIntersection, KernelOp, SquaredEuclidean,
+    WeightedHistogramIntersection, WeightedSquaredEuclidean,
+};
+use proptest::prelude::*;
+use vdstore::{DecomposedTable, RowId, SegmentStats, StoreCodes};
+
+const DIMS: usize = 6;
+/// Spans two partitions and, within each, more than one 64-cell kernel
+/// block plus a non-multiple tail.
+const ROWS: usize = 170;
+
+/// Every kernel flavour this host can actually run, scalar first.
+fn supported_kernels() -> Vec<Kernel> {
+    Kernel::ALL.into_iter().filter(|k| k.is_supported()).collect()
+}
+
+/// Unit-cube vectors plus a query drawn from the same distribution.
+fn collection() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    (
+        proptest::collection::vec(proptest::collection::vec(0.0f64..=1.0, DIMS), ROWS),
+        proptest::collection::vec(0.0f64..=1.0, DIMS),
+    )
+}
+
+fn weights() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.05f64..=4.0, DIMS)
+}
+
+/// Runs the sweep over every segment with an explicit kernel and returns
+/// the concatenated `[opt, pes]` bounds as raw bit patterns.
+fn sweep_digest(
+    codes: &StoreCodes,
+    metric: &dyn DecomposableMetric,
+    query: &[f64],
+    kernel: Kernel,
+) -> Vec<u64> {
+    let mut scratch = QuantScratch::new();
+    let mut digest = Vec::new();
+    for si in 0..codes.n_segments() {
+        let view = codes.segment_view(si).unwrap();
+        interval_scores_into(&view, metric, query, kernel, &mut scratch).unwrap();
+        digest.extend(scratch.opt().iter().chain(scratch.pes()).map(|v| v.to_bits()));
+    }
+    digest
+}
+
+fn bits_of(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn quantized_sweep_is_bit_identical_across_kernels(
+        (vectors, query) in collection(),
+        w in weights(),
+        bits in prop_oneof![Just(2u8), Just(4), Just(8)],
+    ) {
+        let table = DecomposedTable::from_vectors("ki", &vectors).unwrap();
+        let specs = table.partition_specs(2);
+        let stats: Vec<SegmentStats> =
+            specs.iter().map(|s| s.view(&table).unwrap().stats()).collect();
+        let codes = StoreCodes::build(&table, &specs, &stats, bits).unwrap();
+
+        let whi = WeightedHistogramIntersection::new(w.clone()).unwrap();
+        let wse = WeightedSquaredEuclidean::new(w).unwrap();
+        let metrics: Vec<&dyn DecomposableMetric> =
+            vec![&HistogramIntersection, &SquaredEuclidean, &whi, &wse];
+        for metric in metrics {
+            let reference = sweep_digest(&codes, metric, &query, Kernel::Scalar);
+            for kernel in supported_kernels() {
+                let got = sweep_digest(&codes, metric, &query, kernel);
+                prop_assert_eq!(
+                    &reference,
+                    &got,
+                    "{} sweep diverged from scalar ({} @ {} bits)",
+                    kernel.label(),
+                    metric.name(),
+                    bits
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refine_accumulate_is_bit_identical_across_kernels(
+        values in proptest::collection::vec(-2.0f64..=2.0, ROWS),
+        seed_acc in proptest::collection::vec(-8.0f64..=8.0, ROWS),
+        query in -1.0f64..=1.0,
+        w in weights(),
+        dim in 0usize..DIMS,
+    ) {
+        let ops = [
+            KernelOp::Min,                         // Hq, Hh
+            KernelOp::SquaredDiff,                 // Eq, Ev
+            KernelOp::WeightedMin(&w),             // WHq
+            KernelOp::WeightedSquaredDiff(&w),     // WEv
+        ];
+        for op in ops {
+            let mut reference = seed_acc.clone();
+            kernels::accumulate(Kernel::Scalar, op, dim, &values, query, &mut reference);
+            for kernel in supported_kernels() {
+                let mut acc = seed_acc.clone();
+                kernels::accumulate(kernel, op, dim, &values, query, &mut acc);
+                prop_assert_eq!(
+                    bits_of(&reference),
+                    bits_of(&acc),
+                    "{} dense accumulate diverged from scalar ({:?})",
+                    kernel.label(),
+                    op
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gathered_paths_are_bit_identical_across_kernels(
+        values in proptest::collection::vec(-2.0f64..=2.0, ROWS),
+        rows in proptest::collection::vec(0u32..ROWS as u32, 1..=97),
+        query in -1.0f64..=1.0,
+        w in weights(),
+        dim in 0usize..DIMS,
+    ) {
+        let rows: Vec<RowId> = rows;
+        let ops = [
+            KernelOp::Min,
+            KernelOp::SquaredDiff,
+            KernelOp::WeightedMin(&w),
+            KernelOp::WeightedSquaredDiff(&w),
+        ];
+        for op in ops {
+            let mut reference = vec![0.0; rows.len()];
+            kernels::accumulate_gather(Kernel::Scalar, op, dim, &values, &rows, query, &mut reference);
+            for kernel in supported_kernels() {
+                let mut acc = vec![0.0; rows.len()];
+                kernels::accumulate_gather(kernel, op, dim, &values, &rows, query, &mut acc);
+                prop_assert_eq!(
+                    bits_of(&reference),
+                    bits_of(&acc),
+                    "{} gathered accumulate diverged from scalar ({:?})",
+                    kernel.label(),
+                    op
+                );
+            }
+        }
+
+        // the Hh rule's scanned-mass side columns
+        let mut dense_ref = vec![0.0; values.len()];
+        kernels::add_assign(Kernel::Scalar, &values, &mut dense_ref);
+        let mut gather_ref = vec![0.0; rows.len()];
+        kernels::add_assign_gather(Kernel::Scalar, &values, &rows, &mut gather_ref);
+        for kernel in supported_kernels() {
+            let mut dense = vec![0.0; values.len()];
+            kernels::add_assign(kernel, &values, &mut dense);
+            prop_assert_eq!(bits_of(&dense_ref), bits_of(&dense), "{} add_assign", kernel.label());
+            let mut gather = vec![0.0; rows.len()];
+            kernels::add_assign_gather(kernel, &values, &rows, &mut gather);
+            prop_assert_eq!(
+                bits_of(&gather_ref),
+                bits_of(&gather),
+                "{} add_assign_gather",
+                kernel.label()
+            );
+        }
+    }
+}

@@ -52,7 +52,7 @@ use crate::rules::RuleKind;
 use bond::quantfilter;
 use bond::{
     prune_slack, search_segment, BondError, BondParams, BondSearcher, CostModel, DimensionOrdering,
-    ExecFeedback, FeatureQuery, FeedbackSnapshot, KappaCell, MultiFeatureContext,
+    ExecFeedback, FeatureQuery, FeedbackSnapshot, KappaCell, Kernel, MultiFeatureContext,
     MultiFeatureOutcome, MultiFeatureSearcher, PruneTrace, Result, SearchOutcome, SegmentContext,
     SegmentFeedbackSnapshot, SegmentPlan,
 };
@@ -133,12 +133,20 @@ pub(crate) struct EngineMetrics {
     /// `engine.multifeature.searches` — synchronized multi-feature segment
     /// scans executed.
     multifeature_searches: Counter,
+    /// `engine.kernel.<label>.sweeps` — quantized code sweeps dispatched to
+    /// each scan-kernel flavour (one tick per swept segment).
+    kernel_sweeps: [(&'static str, Counter); 3],
 }
 
 impl EngineMetrics {
     fn new(registry: MetricsRegistry) -> EngineMetrics {
         let rule_searches =
             RULE_NAMES.map(|name| (name, registry.counter(&names::engine_rule_searches(name))));
+        let kernel_sweeps = [
+            ("scalar", registry.counter(names::ENGINE_KERNEL_SCALAR_SWEEPS)),
+            ("avx2", registry.counter(names::ENGINE_KERNEL_AVX2_SWEEPS)),
+            ("neon", registry.counter(names::ENGINE_KERNEL_NEON_SWEEPS)),
+        ];
         EngineMetrics {
             batches: registry.counter(names::ENGINE_BATCH_COUNT),
             queries: registry.counter(names::ENGINE_QUERY_COUNT),
@@ -159,12 +167,17 @@ impl EngineMetrics {
             filter_eligible_rows: registry.counter(names::ENGINE_FILTER_ELIGIBLE_ROWS),
             filter_segments_empty: registry.counter(names::ENGINE_FILTER_SEGMENTS_EMPTY),
             multifeature_searches: registry.counter(names::ENGINE_MULTIFEATURE_SEARCHES),
+            kernel_sweeps,
             registry,
         }
     }
 
     fn rule_counter(&self, name: &str) -> Option<&Counter> {
         self.rule_searches.iter().find(|(n, _)| *n == name).map(|(_, c)| c)
+    }
+
+    fn kernel_counter(&self, label: &str) -> Option<&Counter> {
+        self.kernel_sweeps.iter().find(|(n, _)| *n == label).map(|(_, c)| c)
     }
 }
 
@@ -427,9 +440,17 @@ impl EngineBuilder {
         // codes still describe this engine's partitioning (they do unless
         // the builder re-partitioned, which clears them anyway).
         let mut codes_cache: BTreeMap<u8, Arc<StoreCodes>> = BTreeMap::new();
+        let mut adaptive_cache: Option<Arc<StoreCodes>> = None;
         if let Some(codes) = self.preloaded_codes {
             if codes.matches_specs(&specs) {
-                codes_cache.insert(codes.bits(), Arc::new(codes));
+                match codes.uniform_bits() {
+                    Some(bits) => {
+                        codes_cache.insert(bits, Arc::new(codes));
+                    }
+                    // a store persisted by an adaptive engine carries mixed
+                    // widths: seed the adaptive slot, not the uniform cache
+                    None => adaptive_cache = Some(Arc::new(codes)),
+                }
             }
         }
         Ok(Engine {
@@ -448,6 +469,7 @@ impl EngineBuilder {
                 feedback,
                 row_sums: OnceLock::new(),
                 codes: Mutex::new(codes_cache),
+                adaptive_codes: Mutex::new(adaptive_cache),
                 metrics,
             }),
         })
@@ -488,6 +510,12 @@ struct EngineInner {
     /// first scan that needs them (or seeded from a store footer) and
     /// shared by every later query at that width.
     codes: Mutex<BTreeMap<u8, Arc<StoreCodes>>>,
+    /// The adaptively mixed code companion, when the bit-width policy has
+    /// produced one: the per-segment widths the feedback store most
+    /// recently justified. Rebuilt (and replaced) whenever the policy's
+    /// pick changes; `None` until the first mixed pick (all-default picks
+    /// live in the uniform `codes` cache instead).
+    adaptive_codes: Mutex<Option<Arc<StoreCodes>>>,
     /// Pre-registered metric handles; every hot-path emission is a relaxed
     /// atomic bump on one of these.
     metrics: EngineMetrics,
@@ -597,7 +625,10 @@ impl Engine {
     pub fn persist(&self, path: impl AsRef<Path>) -> Result<()> {
         let span = Span::begin(names::SPAN_STORE_PERSIST);
         let learned = self.inner.feedback.snapshot().to_bytes();
-        let codes = self.ensure_codes(8).ok();
+        // Persist the adaptively bit-sized companion: a cold engine's picks
+        // are uniformly 8 bits (the pre-adaptive bytes, identically); a
+        // warmed engine's mixed widths round-trip via the footer sentinel.
+        let codes = self.ensure_adaptive_codes().ok();
         let report = save_store_with_codes(
             &self.inner.table,
             &self.inner.specs,
@@ -641,6 +672,62 @@ impl Engine {
         drop(span);
         let codes = Arc::new(codes);
         cache.insert(bits, Arc::clone(&codes));
+        Ok(codes)
+    }
+
+    /// The per-segment code bit-widths the adaptive policy currently
+    /// justifies: [`CostModel::FAST_CODE_BITS`] for segments whose warmed
+    /// feedback shows a filter selectivity at or below
+    /// [`CostModel::ADAPTIVE_BITS_SELECTIVITY`],
+    /// [`CostModel::DEFAULT_CODE_BITS`] everywhere else. This is the pick
+    /// [`ScanMode::QuantizedFilter`] queries sweep with and what
+    /// [`Engine::explain`] renders per segment.
+    pub fn adaptive_code_bits(&self) -> Vec<u8> {
+        (0..self.inner.specs.len())
+            .map(|si| {
+                let snapshot = self.inner.feedback.segment(si).scalar_snapshot();
+                self.inner.cost.adaptive_code_bits(Some(&snapshot))
+            })
+            .collect()
+    }
+
+    /// The code companion quantized *filter* scans sweep: per-segment bit
+    /// widths picked by [`Engine::adaptive_code_bits`], rebuilt lazily
+    /// whenever the policy's pick drifts from the cached build. While every
+    /// segment still picks the default width this delegates to the uniform
+    /// [`Engine::ensure_codes`] cache — cold engines never pay for a mixed
+    /// build. Bit-width only changes bracket tightness, never answers:
+    /// survivors are re-scored exactly regardless of the sweep's width.
+    ///
+    /// # Errors
+    ///
+    /// [`BondError::Storage`] when the table cannot be quantized
+    /// (non-finite values).
+    pub fn ensure_adaptive_codes(&self) -> Result<Arc<StoreCodes>> {
+        let want = self.adaptive_code_bits();
+        if want.iter().all(|&b| b == CostModel::DEFAULT_CODE_BITS) {
+            return self.ensure_codes(CostModel::DEFAULT_CODE_BITS);
+        }
+        // a poisoned cache still holds either `None` or a fully-built
+        // companion (the slot is only assigned after a successful build),
+        // so recovering the guard is safe
+        let mut cache = match self.inner.adaptive_codes.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(codes) = cache.as_ref() {
+            if codes.segment_bits() == want.as_slice() {
+                return Ok(Arc::clone(codes));
+            }
+        }
+        let span = Span::begin(names::SPAN_ENGINE_CODES_BUILD)
+            .detail(*want.iter().min().unwrap_or(&0) as u64);
+        let codes =
+            StoreCodes::build_mixed(&self.inner.table, &self.inner.specs, &self.inner.stats, &want)
+                .map_err(BondError::Storage)?;
+        drop(span);
+        let codes = Arc::new(codes);
+        *cache = Some(Arc::clone(&codes));
         Ok(codes)
     }
 
@@ -783,9 +870,10 @@ impl Engine {
     /// One segment's cost estimate under `scan`, split into phases:
     /// `(total, filter sweep, exact refine)` — the filter/refine parts are
     /// `None` for exact scans. Code cells are priced at
-    /// [`CostModel::QUANT_CELL_COST`] of an exact cell. Shared by
-    /// [`Engine::estimate_cost`] and [`Engine::explain`], so the rendered
-    /// phase split always sums to the admission estimate.
+    /// [`CostModel::quant_cell_cost`] of an exact cell for the kernel this
+    /// process dispatches to. Shared by [`Engine::estimate_cost`] and
+    /// [`Engine::explain`], so the rendered phase split always sums to the
+    /// admission estimate.
     pub(crate) fn segment_estimate(
         &self,
         si: usize,
@@ -799,15 +887,20 @@ impl Engine {
         match scan {
             ScanMode::Exact => (inner.cost.segment_cost(stats, snapshot, k, skipping), None, None),
             ScanMode::QuantizedFilter => {
-                let (filter, refine) =
-                    inner.cost.segment_cost_quantized_split(stats, snapshot, k, skipping);
+                let (filter, refine) = inner.cost.segment_cost_quantized_split_with_kernel(
+                    stats,
+                    snapshot,
+                    k,
+                    skipping,
+                    Kernel::active(),
+                );
                 (filter + refine, Some(filter), Some(refine))
             }
             ScanMode::ApproximateQuantized { .. } => {
                 // codes only: the full sweep, never skipped, nothing exact
                 let filter = stats.live_rows as f64
                     * stats.per_dim.len() as f64
-                    * CostModel::QUANT_CELL_COST;
+                    * CostModel::quant_cell_cost(Kernel::active());
                 (filter, Some(filter), Some(0.0))
             }
         }
@@ -1296,9 +1389,14 @@ impl Engine {
                 let scan = spec.scan_mode_override().unwrap_or(inner.scan);
                 // Quantized scans resolve (and, on the cache's first miss,
                 // build) their code companions up front — workers only read.
-                let codes = match scan.uses_codes() {
-                    true => Some(self.ensure_codes(scan.bits())?),
-                    false => None,
+                // Filter scans take the adaptively bit-sized companion (the
+                // feedback store may have dropped tight segments to 4 bits);
+                // approximate scans answer *from* the codes, so they keep
+                // the exact uniform width the caller asked for.
+                let codes = match scan {
+                    ScanMode::QuantizedFilter => Some(self.ensure_adaptive_codes()?),
+                    _ if scan.uses_codes() => Some(self.ensure_codes(scan.bits())?),
+                    _ => None,
                 };
                 let metric = rule.make_metric();
                 let objective = rule.objective();
@@ -1432,6 +1530,8 @@ impl Engine {
                             .collect();
                         let trace = PruneTrace {
                             filter_cells: approx.cells,
+                            filter_bits: rq.scan.bits(),
+                            kernel: Some(Kernel::active().label()),
                             rule: Some(rq.rule.name()),
                             ..PruneTrace::default()
                         };
@@ -1638,7 +1738,22 @@ impl Engine {
         let m = &self.inner.metrics;
         m.queries.inc();
         let scanned = outcome.contributions_evaluated();
-        m.scanned_cells.record(scanned);
+        let filter_cells = outcome.quant_filter_cells();
+        let cell_cost = CostModel::quant_cell_cost(Kernel::active());
+        // `engine.query.scanned_cells` is in exact-cell equivalents: swept
+        // code cells fold in at the same per-kernel discount the cost model
+        // prices them with, so a quantized query's recorded work is
+        // comparable to (and calibrated against) its admission estimate.
+        // (They were previously dropped from this histogram entirely.)
+        m.scanned_cells.record(scanned + (filter_cells as f64 * cell_cost).round() as u64);
+        for run in &outcome.segments {
+            let trace = &run.trace;
+            if trace.filter_cells > 0 {
+                if let Some(counter) = trace.kernel.and_then(|k| m.kernel_counter(k)) {
+                    counter.inc();
+                }
+            }
+        }
         let skipped = outcome.segments_skipped() as u64;
         let searched = outcome.segments.len() as u64 - skipped;
         m.segment_searched.add(searched);
@@ -1646,7 +1761,6 @@ impl Engine {
         if let Some(counter) = m.rule_counter(rq.rule.name()) {
             counter.add(searched);
         }
-        let filter_cells = outcome.quant_filter_cells();
         if filter_cells > 0 {
             m.quant_filter_cells.add(filter_cells);
             m.quant_refine_rows.add(outcome.quant_refine_rows());
@@ -1657,8 +1771,8 @@ impl Engine {
         // |estimated − executed| / executed, in whole percent; `max(1)`
         // keeps a fully-skipped query (zero cells) finite. Executed work is
         // in exact-cell equivalents: swept code cells count at the same
-        // discount the estimate priced them with.
-        let executed = scanned as f64 + filter_cells as f64 * CostModel::QUANT_CELL_COST;
+        // per-kernel discount the estimate priced them with.
+        let executed = scanned as f64 + filter_cells as f64 * cell_cost;
         let error_pct = (rq.estimate - executed).abs() / executed.max(1.0) * 100.0;
         m.cost_error.record(error_pct.round() as u64);
     }

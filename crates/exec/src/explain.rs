@@ -20,7 +20,7 @@
 use crate::batch::{MultiFeatureSpec, QueryKind, QueryOutcome, QuerySpec, ScanMode};
 use crate::engine::Engine;
 use crate::planner::PlannerKind;
-use bond::{FeatureMetricKind, Result, SegmentPlan};
+use bond::{FeatureMetricKind, Kernel, Result, SegmentPlan};
 use std::fmt;
 use std::ops::Range;
 
@@ -94,9 +94,13 @@ pub struct SegmentExplain {
     /// (for quantized scans: the filter and refine phases summed).
     pub estimated_cells: f64,
     /// The quantized filter sweep's share of `estimated_cells` (code cells
-    /// priced at [`bond::CostModel::QUANT_CELL_COST`] each); `None` for
-    /// exact scans.
+    /// priced at [`bond::CostModel::quant_cell_cost`] each, for the kernel
+    /// this process dispatches to); `None` for exact scans.
     pub filter_cost: Option<f64>,
+    /// The code bit-width the quantized sweep of this segment would use:
+    /// the adaptive policy's pick for filter scans, the requested uniform
+    /// width for approximate scans, `None` for exact scans.
+    pub code_bits: Option<u8>,
     /// The exact refine phase's share of `estimated_cells`: the cells the
     /// cost model expects the filter's survivors to need. `Some(0.0)` for
     /// approximate codes-only scans, `None` for exact scans.
@@ -133,6 +137,9 @@ pub struct QueryExplain {
     /// Whether κ-aware whole-segment skipping is armed for this request
     /// (stats-driven planner and shared κ).
     pub skipping: bool,
+    /// The scan-kernel flavour this process dispatches hot loops to
+    /// (`"scalar"`, `"avx2"`, `"neon"`) — process-wide, shown once.
+    pub kernel: &'static str,
     /// The segment visit order: position `p` executes
     /// `visit_order[p]`.
     pub visit_order: Vec<usize>,
@@ -160,13 +167,15 @@ impl fmt::Display for QueryExplain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "EXPLAIN k={} rule={} planner={:?} scan={} dims={} skipping={} est_cells={:.0}",
+            "EXPLAIN k={} rule={} planner={:?} scan={} dims={} skipping={} kernel={} \
+             est_cells={:.0}",
             self.k,
             self.rule,
             self.planner,
             self.scan.label(),
             self.dims,
             if self.skipping { "on" } else { "off" },
+            self.kernel,
             self.estimated_cells(),
         )?;
         if let Some(eligible) = self.eligible_rows {
@@ -212,9 +221,10 @@ impl fmt::Display for QueryExplain {
                 (Some(rows), Some(sel)) => format!(" eligible={rows} ({:.1}%)", sel * 100.0),
                 _ => String::new(),
             };
+            let bits = seg.code_bits.map_or_else(String::new, |b| format!(" bits={b}"));
             writeln!(
                 f,
-                "  segment {} rows {}..{} visit#{} [{}] bound={} est={:.0} cells{}{}",
+                "  segment {} rows {}..{} visit#{} [{}] bound={} est={:.0} cells{}{}{}",
                 seg.segment,
                 seg.rows.start,
                 seg.rows.end,
@@ -223,6 +233,7 @@ impl fmt::Display for QueryExplain {
                 bound,
                 seg.estimated_cells,
                 phases,
+                bits,
                 eligible,
             )?;
             writeln!(
@@ -253,6 +264,12 @@ pub struct SegmentAnalysis {
     /// Rows the quantized filter let through to exact refinement; `0` when
     /// no filter ran.
     pub refine_rows: u64,
+    /// The code bit-width the quantized sweep actually used (from the
+    /// executed trace); `0` when the scan ran without codes.
+    pub filter_bits: u8,
+    /// The scan-kernel flavour the segment's hot loops actually dispatched
+    /// to; `None` for skipped segments (nothing ran).
+    pub kernel: Option<&'static str>,
     /// Whether the segment was skipped outright via its zone-map bound.
     pub skipped: bool,
     /// The pruning rule that produced the trace, as stamped by the engine.
@@ -335,13 +352,17 @@ impl fmt::Display for QueryAnalysis {
             }
             let depth = seg.prune_depth.map_or_else(|| "never".to_string(), |d| d.to_string());
             let filter = if seg.filter_cells > 0 {
-                format!(" filter_cells={} refine_rows={}", seg.filter_cells, seg.refine_rows)
+                format!(
+                    " filter_cells={} refine_rows={} bits={}",
+                    seg.filter_cells, seg.refine_rows, seg.filter_bits
+                )
             } else {
                 String::new()
             };
+            let kernel = seg.kernel.map_or_else(String::new, |k| format!(" kernel={k}"));
             writeln!(
                 f,
-                "  segment {}: scanned {} est {:.0}{} prune_depth@k={} rule={} plan={}",
+                "  segment {}: scanned {} est {:.0}{} prune_depth@k={} rule={} plan={}{}",
                 seg.segment,
                 seg.scanned_cells,
                 seg.estimated_cells,
@@ -353,6 +374,7 @@ impl fmt::Display for QueryAnalysis {
                     Some(false) => "DIVERGED",
                     None => "n/a",
                 },
+                kernel,
             )?;
         }
         Ok(())
@@ -405,6 +427,11 @@ impl Engine {
         let feedback = self.feedback_snapshot();
         let min_warm = self.cost_model().min_warm_searches;
         let stats = self.segment_stats();
+        // Filter scans sweep the adaptively bit-sized companion; rendering
+        // the policy's current pick here is what EXPLAIN promises — the
+        // width `execute` would sweep with right now.
+        let adaptive_bits =
+            matches!(scan, ScanMode::QuantizedFilter).then(|| self.adaptive_code_bits());
         let segments = self
             .segment_specs()
             .iter()
@@ -445,6 +472,10 @@ impl Engine {
                     filter_cost = filter_cost.map(|c| c * ratio);
                     refine_cost = refine_cost.map(|c| c * ratio);
                 }
+                let code_bits = match &adaptive_bits {
+                    Some(bits) => Some(bits[si]),
+                    None => scan.uses_codes().then(|| scan.bits()),
+                };
                 SegmentExplain {
                     segment: si,
                     rows: seg_spec.range(),
@@ -455,6 +486,7 @@ impl Engine {
                     estimated_cells,
                     filter_cost,
                     refine_cost,
+                    code_bits,
                     eligible_rows,
                     live_rows,
                 }
@@ -467,6 +499,7 @@ impl Engine {
             scan,
             dims: self.table().dims(),
             skipping,
+            kernel: Kernel::active().label(),
             visit_order,
             segments,
             features: Vec::new(),
@@ -523,6 +556,7 @@ impl Engine {
                     estimated_cells: (scanned * total_dims) as f64,
                     filter_cost: None,
                     refine_cost: None,
+                    code_bits: None,
                     eligible_rows,
                     live_rows,
                 }
@@ -535,6 +569,7 @@ impl Engine {
             scan: ScanMode::Exact,
             dims: total_dims,
             skipping: false,
+            kernel: Kernel::active().label(),
             visit_order: (0..self.partitions()).collect(),
             segments,
             features,
@@ -566,6 +601,8 @@ impl QueryOutcome {
                 scanned_cells: run.trace.contributions_evaluated,
                 filter_cells: run.trace.filter_cells,
                 refine_rows: run.trace.refine_rows,
+                filter_bits: run.trace.filter_bits,
+                kernel: run.trace.kernel,
                 skipped: run.trace.segment_skipped,
                 rule: run.trace.rule,
                 prune_depth: run.trace.dims_to_reach(explain.k),

@@ -1,0 +1,166 @@
+//! Feedback-adaptive code bit-width, end to end: an engine serving
+//! quantized-filter traffic on clustered data must observe its tight
+//! per-segment filter selectivity, drop those segments to 4-bit codes
+//! (`CostModel::FAST_CODE_BITS` — the register-resident LUT path), render
+//! the pick in EXPLAIN/ANALYZE, persist the mixed widths, and through all
+//! of it keep every answer bit-identical to the exact scan.
+
+use bond::CostModel;
+use bond_datagen::{sample_queries, ClusteredConfig};
+use bond_exec::{Engine, EngineBuilder, PlannerKind, QuerySpec, RequestBatch, RuleKind, ScanMode};
+use std::path::PathBuf;
+use vdstore::StorageBackend;
+
+const ROWS: usize = 2_000;
+const DIMS: usize = 8;
+const PARTITIONS: usize = 8;
+
+fn temp_store(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bond_exec_adaptive_bits_{tag}_{}", std::process::id()))
+}
+
+/// A warmed engine on cluster-major clustered data: each partition holds
+/// few clusters, so the code filter is extremely selective there.
+fn warmed_engine() -> Engine {
+    let table = ClusteredConfig { clusters: 16, ..ClusteredConfig::small(ROWS, DIMS, 0.0) }
+        .with_cluster_major(true)
+        .generate();
+    let queries = sample_queries(&table, 12, 97);
+    let engine = Engine::builder(table)
+        .partitions(PARTITIONS)
+        .threads(2)
+        .planner(PlannerKind::Feedback)
+        .rule(RuleKind::EuclideanEv)
+        .build()
+        .unwrap();
+    // well past CostModel::min_warm_searches per segment, all through the
+    // quantized path so observed selectivity lands in the feedback store
+    for _ in 0..2 {
+        let warming: Vec<QuerySpec> = queries
+            .iter()
+            .map(|q| QuerySpec::new(q.clone(), 10).scan_mode(ScanMode::QuantizedFilter))
+            .collect();
+        engine.execute(&RequestBatch::from_specs(warming)).unwrap();
+    }
+    engine
+}
+
+#[test]
+fn warmed_tight_segments_drop_to_four_bit_codes() {
+    let engine = warmed_engine();
+    let picks = engine.adaptive_code_bits();
+    assert_eq!(picks.len(), PARTITIONS);
+    assert!(picks
+        .iter()
+        .all(|&b| b == CostModel::FAST_CODE_BITS || b == CostModel::DEFAULT_CODE_BITS));
+    assert!(
+        picks.contains(&CostModel::FAST_CODE_BITS),
+        "warm clustered segments must pick the 4-bit fast path, got {picks:?}"
+    );
+
+    // the built codes match the picks, segment by segment
+    let codes = engine.ensure_adaptive_codes().unwrap();
+    assert_eq!(codes.segment_bits(), picks.as_slice());
+    // and the cache serves the same build back while feedback is stable
+    assert!(std::sync::Arc::ptr_eq(&codes, &engine.ensure_adaptive_codes().unwrap()));
+
+    // a cold engine on the same data stays uniformly at 8 bits
+    let cold = Engine::builder(engine.table().clone())
+        .partitions(PARTITIONS)
+        .threads(1)
+        .planner(PlannerKind::Feedback)
+        .build()
+        .unwrap();
+    assert!(cold.adaptive_code_bits().iter().all(|&b| b == CostModel::DEFAULT_CODE_BITS));
+}
+
+#[test]
+fn adaptive_widths_keep_answers_bit_identical_to_exact() {
+    let engine = warmed_engine();
+    assert!(
+        engine.adaptive_code_bits().contains(&CostModel::FAST_CODE_BITS),
+        "precondition: the adaptive pick must actually fire"
+    );
+    for q in sample_queries(engine.table(), 6, 4242) {
+        let exact = engine.search_spec(&QuerySpec::new(q.clone(), 10)).unwrap();
+        let filtered = engine
+            .search_spec(&QuerySpec::new(q, 10).scan_mode(ScanMode::QuantizedFilter))
+            .unwrap();
+        assert_eq!(filtered.hits, exact.hits, "4-bit filter segments changed an answer");
+        assert!(filtered.quant_filter_cells() > 0);
+    }
+}
+
+#[test]
+fn explain_and_analyze_render_the_per_segment_pick_and_kernel() {
+    let engine = warmed_engine();
+    let q = engine.table().row(42).unwrap();
+    let spec = QuerySpec::new(q, 10).scan_mode(ScanMode::QuantizedFilter);
+
+    let explain = engine.explain(&spec).unwrap();
+    let picks = engine.adaptive_code_bits();
+    for (seg, &want) in explain.segments.iter().zip(&picks) {
+        assert_eq!(seg.code_bits, Some(want), "segment {}", seg.segment);
+    }
+    let rendered = explain.to_string();
+    assert!(rendered.contains("kernel="), "{rendered}");
+    assert!(rendered.contains(" bits=4"), "no 4-bit segment rendered:\n{rendered}");
+
+    let outcome = engine.search_spec(&spec).unwrap();
+    let analysis = outcome.analyze(&explain);
+    let executed_fast = analysis
+        .segments
+        .iter()
+        .filter(|s| s.filter_cells > 0)
+        .any(|s| s.filter_bits == bond::CostModel::FAST_CODE_BITS);
+    assert!(executed_fast, "no executed segment swept 4-bit codes");
+    assert!(analysis.segments.iter().filter(|s| s.filter_cells > 0).all(|s| s.kernel.is_some()));
+    let shown = analysis.to_string();
+    assert!(shown.contains("bits="), "{shown}");
+    assert!(shown.contains("kernel="), "{shown}");
+
+    // exact plans carry no width column
+    let exact = engine.explain(&QuerySpec::new(engine.table().row(0).unwrap(), 10)).unwrap();
+    assert!(exact.segments.iter().all(|s| s.code_bits.is_none()));
+}
+
+#[test]
+fn mixed_widths_persist_and_serve_reopened_engines() {
+    let engine = warmed_engine();
+    let picks = engine.adaptive_code_bits();
+    assert!(picks.contains(&CostModel::FAST_CODE_BITS), "precondition: mixed widths");
+    let path = temp_store("roundtrip");
+    engine.persist(&path).unwrap();
+
+    let queries = sample_queries(engine.table(), 4, 777);
+    for backend in [StorageBackend::Heap, StorageBackend::Mapped] {
+        let reopened = EngineBuilder::open_with(&path, backend)
+            .unwrap()
+            .threads(2)
+            .rule(RuleKind::EuclideanEv)
+            .scan_mode(ScanMode::QuantizedFilter)
+            .build()
+            .unwrap();
+        // the footer's mixed-width codes seed the adaptive cache; the
+        // reopened engine's quantized answers must stay bit-identical to
+        // its own exact scan (scores across *engines* may differ in the
+        // last ulp — plan-order summation — so rows are compared there)
+        for q in &queries {
+            let exact = reopened
+                .search_spec(&QuerySpec::new(q.clone(), 10).scan_mode(ScanMode::Exact))
+                .unwrap();
+            let got = reopened.search_spec(&QuerySpec::new(q.clone(), 10)).unwrap();
+            assert_eq!(got.hits, exact.hits, "backend {backend:?}");
+            let original: Vec<u32> = engine
+                .search_spec(&QuerySpec::new(q.clone(), 10))
+                .unwrap()
+                .hits
+                .iter()
+                .map(|h| h.row)
+                .collect();
+            let reopened_rows: Vec<u32> = got.hits.iter().map(|h| h.row).collect();
+            assert_eq!(reopened_rows, original, "backend {backend:?}");
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}

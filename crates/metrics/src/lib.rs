@@ -37,6 +37,6 @@ pub use bounds::{
     CandidateState, PruningRule, Requirements,
 };
 pub use metric::{
-    DecomposableMetric, HistogramIntersection, Objective, SquaredEuclidean,
+    DecomposableMetric, HistogramIntersection, KernelOp, Objective, SquaredEuclidean,
     WeightedHistogramIntersection, WeightedSquaredEuclidean,
 };

@@ -29,6 +29,50 @@ impl Objective {
     }
 }
 
+/// The closed set of per-dimension contribution shapes the vectorized scan
+/// kernels in `bond-core` know how to compute without a virtual call per
+/// cell. A metric that matches one of these shapes advertises it through
+/// [`DecomposableMetric::kernel_op`]; everything else (including user
+/// metrics) keeps the `None` default and runs the portable per-contribution
+/// loop.
+///
+/// The shapes mirror the four concrete metrics of the paper: `min(v, q)`
+/// for histogram intersection, `(v − q)²` for squared Euclidean, and their
+/// per-dimension-weighted variants. The borrowed weight slices keep the
+/// enum allocation-free on the query path.
+#[derive(Debug, Clone, Copy)]
+pub enum KernelOp<'a> {
+    /// `min(value, query)` — histogram intersection (Definition 1).
+    Min,
+    /// `(value − query)²` — squared Euclidean distance (Definition 2).
+    SquaredDiff,
+    /// `w_dim · min(value, query)` — weighted histogram intersection.
+    WeightedMin(&'a [f64]),
+    /// `w_dim · (value − query)²` — weighted squared Euclidean
+    /// (Definition 3).
+    WeightedSquaredDiff(&'a [f64]),
+}
+
+impl KernelOp<'_> {
+    /// Evaluates the shape for one dimension — the scalar reference the
+    /// vector kernels must match bit for bit.
+    #[inline]
+    pub fn apply(&self, dim: usize, value: f64, query: f64) -> f64 {
+        match self {
+            KernelOp::Min => value.min(query),
+            KernelOp::SquaredDiff => {
+                let d = value - query;
+                d * d
+            }
+            KernelOp::WeightedMin(w) => w[dim] * value.min(query),
+            KernelOp::WeightedSquaredDiff(w) => {
+                let d = value - query;
+                w[dim] * d * d
+            }
+        }
+    }
+}
+
 /// A metric that decomposes into a sum of per-dimension contributions:
 /// `S(x, q) = Σ_i contribution(i, x_i, q_i)`.
 ///
@@ -93,6 +137,30 @@ pub trait DecomposableMetric: Send + Sync {
         }
     }
 
+    /// Fills `pairs` with the interleaved `[best, worst]` contribution of
+    /// every quantization cell of one dimension: `pairs[2*c]` and
+    /// `pairs[2*c + 1]` bracket the contribution any value inside
+    /// `bounds[c] = (lo, hi)` can make. Exactly the values of calling
+    /// [`DecomposableMetric::best_contribution`] /
+    /// [`DecomposableMetric::worst_contribution`] per cell — but as **one**
+    /// virtual call per dimension instead of two per cell: inside this
+    /// provided body `self` is the concrete metric, so the per-cell bound
+    /// math inlines. The quantized filter builds its per-level LUTs
+    /// through this for every dimension of every segment scan.
+    fn fill_contribution_pairs(
+        &self,
+        dim: usize,
+        bounds: &[(f64, f64)],
+        query: f64,
+        pairs: &mut [f64],
+    ) {
+        debug_assert_eq!(bounds.len() * 2, pairs.len());
+        for (pair, &(lo, hi)) in pairs.chunks_exact_mut(2).zip(bounds) {
+            pair[0] = self.best_contribution(dim, lo, hi, query);
+            pair[1] = self.worst_contribution(dim, lo, hi, query);
+        }
+    }
+
     /// An *optimistic* bound on the score of any vector inside the
     /// per-dimension value envelope `[mins_i, maxs_i]`: no vector in the box
     /// can score better than this under the metric's objective. Comparing it
@@ -126,6 +194,16 @@ pub trait DecomposableMetric: Send + Sync {
 
     /// A short human-readable name (used in experiment reports).
     fn name(&self) -> &'static str;
+
+    /// The vectorizable shape of [`DecomposableMetric::contribution`], when
+    /// it has one. Metrics that return `Some` promise that
+    /// [`KernelOp::apply`] computes *exactly* the same `f64` as
+    /// `contribution` for every `(dim, value, query)` — the SIMD kernels
+    /// rely on that to stay bit-identical to the scalar path. The default
+    /// is `None`: opaque metrics always take the portable loop.
+    fn kernel_op(&self) -> Option<KernelOp<'_>> {
+        None
+    }
 }
 
 /// Histogram intersection (Definition 1):
@@ -175,6 +253,10 @@ impl DecomposableMetric for HistogramIntersection {
     fn name(&self) -> &'static str {
         "histogram_intersection"
     }
+
+    fn kernel_op(&self) -> Option<KernelOp<'_>> {
+        Some(KernelOp::Min)
+    }
 }
 
 /// Squared Euclidean distance (Definition 2):
@@ -209,7 +291,10 @@ impl DecomposableMetric for SquaredEuclidean {
     #[inline]
     fn best_contribution(&self, _dim: usize, lo: f64, hi: f64, query: f64) -> f64 {
         // (v − q)² is minimized at the point of [lo, hi] closest to q.
-        let d = query.clamp(lo, hi) - query;
+        // `max`/`min` instead of `clamp`: identical for the ordered cell
+        // bounds this receives, but free of `clamp`'s panicking assert —
+        // which would keep the batched LUT build from vectorizing.
+        let d = query.max(lo).min(hi) - query;
         d * d
     }
 
@@ -240,6 +325,10 @@ impl DecomposableMetric for SquaredEuclidean {
 
     fn name(&self) -> &'static str {
         "squared_euclidean"
+    }
+
+    fn kernel_op(&self) -> Option<KernelOp<'_>> {
+        Some(KernelOp::SquaredDiff)
     }
 }
 
@@ -312,6 +401,10 @@ impl DecomposableMetric for WeightedHistogramIntersection {
     fn name(&self) -> &'static str {
         "weighted_histogram_intersection"
     }
+
+    fn kernel_op(&self) -> Option<KernelOp<'_>> {
+        Some(KernelOp::WeightedMin(&self.weights))
+    }
 }
 
 /// Weighted squared Euclidean distance (Definition 3, Appendix A):
@@ -380,7 +473,8 @@ impl DecomposableMetric for WeightedSquaredEuclidean {
 
     #[inline]
     fn best_contribution(&self, dim: usize, lo: f64, hi: f64, query: f64) -> f64 {
-        let d = query.clamp(lo, hi) - query;
+        // `max`/`min` instead of `clamp` — see `SquaredEuclidean`
+        let d = query.max(lo).min(hi) - query;
         self.weights[dim] * d * d
     }
 
@@ -393,6 +487,10 @@ impl DecomposableMetric for WeightedSquaredEuclidean {
 
     fn name(&self) -> &'static str {
         "weighted_squared_euclidean"
+    }
+
+    fn kernel_op(&self) -> Option<KernelOp<'_>> {
+        Some(KernelOp::WeightedSquaredDiff(&self.weights))
     }
 }
 
@@ -608,6 +706,51 @@ mod tests {
             f64::INFINITY
         );
         assert_eq!(Opaque(Objective::Minimize).envelope_best_score(&q, &mins, &maxs), 0.0);
+    }
+
+    #[test]
+    fn kernel_ops_match_contributions_exactly() {
+        // KernelOp::apply must be *bit-identical* to contribution — the
+        // SIMD kernels inherit their correctness proof from this.
+        let wh = WeightedHistogramIntersection::new(vec![2.0, 0.5, 0.0, 3.0]).unwrap();
+        let we = WeightedSquaredEuclidean::new(vec![2.0, 0.5, 0.0, 3.0]).unwrap();
+        let metrics: Vec<&dyn DecomposableMetric> =
+            vec![&HistogramIntersection, &SquaredEuclidean, &wh, &we];
+        let mut seed = 0xDEAD_BEEF_CAFE_1234u64;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for m in metrics {
+            let op = m.kernel_op().expect("all four concrete metrics vectorize");
+            for _ in 0..200 {
+                let d = (next() * 4.0) as usize % 4;
+                let v = next() * 2.0 - 0.5;
+                let q = next() * 2.0 - 0.5;
+                assert_eq!(
+                    op.apply(d, v, q).to_bits(),
+                    m.contribution(d, v, q).to_bits(),
+                    "{}: kernel op diverges at dim {d}, v={v}, q={q}",
+                    m.name()
+                );
+            }
+        }
+        // opaque metrics keep the None default
+        struct Opaque;
+        impl DecomposableMetric for Opaque {
+            fn objective(&self) -> Objective {
+                Objective::Maximize
+            }
+            fn contribution(&self, _d: usize, v: f64, q: f64) -> f64 {
+                v * q
+            }
+            fn name(&self) -> &'static str {
+                "opaque"
+            }
+        }
+        assert!(Opaque.kernel_op().is_none());
     }
 
     #[test]

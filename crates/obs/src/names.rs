@@ -36,6 +36,12 @@ pub const ENGINE_FILTER_ELIGIBLE_ROWS: &str = "engine.filter.eligible_rows";
 pub const ENGINE_FILTER_SEGMENTS_EMPTY: &str = "engine.filter.segments_empty";
 /// Counter: synchronized multi-feature segment scans executed.
 pub const ENGINE_MULTIFEATURE_SEARCHES: &str = "engine.multifeature.searches";
+/// Counter: quantized sweeps dispatched to the portable scalar kernel.
+pub const ENGINE_KERNEL_SCALAR_SWEEPS: &str = "engine.kernel.scalar.sweeps";
+/// Counter: quantized sweeps dispatched to the AVX2 kernel.
+pub const ENGINE_KERNEL_AVX2_SWEEPS: &str = "engine.kernel.avx2.sweeps";
+/// Counter: quantized sweeps dispatched to the NEON kernel.
+pub const ENGINE_KERNEL_NEON_SWEEPS: &str = "engine.kernel.neon.sweeps";
 
 // --- planner metrics -----------------------------------------------------
 
@@ -107,6 +113,9 @@ pub const ALL: &[&str] = &[
     ENGINE_FILTER_ELIGIBLE_ROWS,
     ENGINE_FILTER_SEGMENTS_EMPTY,
     ENGINE_MULTIFEATURE_SEARCHES,
+    ENGINE_KERNEL_SCALAR_SWEEPS,
+    ENGINE_KERNEL_AVX2_SWEEPS,
+    ENGINE_KERNEL_NEON_SWEEPS,
     PLANNER_FEEDBACK_WARM_SEGMENTS,
     PLANNER_COST_ABS_REL_ERROR,
     STORE_OPEN_COLD_US,

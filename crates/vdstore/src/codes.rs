@@ -56,6 +56,15 @@ impl CodeParams {
         1u32 << self.bits
     }
 
+    /// Width of one quantization cell (`0.0` for a degenerate range).
+    /// This is the exact multiplier behind [`CodeParams::cell_bounds`] —
+    /// exposed so ISA kernels can regenerate cell edges bit-identically
+    /// without going through a bounds array.
+    #[inline]
+    pub fn cell_width(&self) -> f64 {
+        self.width()
+    }
+
     #[inline]
     fn width(&self) -> f64 {
         if self.max > self.min {
@@ -86,6 +95,23 @@ impl CodeParams {
         let lo = self.min + code as f64 * width;
         let hi = (self.min + (code as u32 + 1) as f64 * width).min(self.max);
         (lo.min(self.max), hi)
+    }
+
+    /// Fills `out[c]` with [`CodeParams::cell_bounds`]`(c)` for every slot
+    /// — identical values, but the cell width (one division) is computed
+    /// once instead of per cell. The quantized filter rebuilds a
+    /// per-level bounds table for every (query, segment, dimension), so
+    /// the per-cell division is measurable there.
+    pub fn fill_cell_bounds(&self, out: &mut [(f64, f64)]) {
+        let width = self.width();
+        // the cell index converts through `i32`: exact for every level
+        // count (≤ 256), and — unlike `usize as f64` — a conversion the
+        // auto-vectorizer has a packed instruction for
+        for (c, slot) in out.iter_mut().enumerate() {
+            let lo = self.min + c as i32 as f64 * width;
+            let hi = (self.min + (c as i32 + 1) as f64 * width).min(self.max);
+            *slot = (lo.min(self.max), hi);
+        }
     }
 
     /// Midpoint reconstruction of a cell — the representative value the
@@ -174,7 +200,10 @@ impl CodeColumn {
 /// fragments plus the per-(segment, dimension) grids that decode them.
 #[derive(Debug, Clone)]
 pub struct StoreCodes {
-    bits: u8,
+    /// `segment_bits[segment]` — bits per code in that segment's windows.
+    /// Uniform stores repeat one width; the adaptive engine mixes 4-bit
+    /// (tight, fast-sweep) and 8-bit (loose, tight-bracket) segments.
+    segment_bits: Vec<u8>,
     rows: usize,
     specs: Vec<SegmentSpec>,
     /// `params[segment][dim]` — the grid each code byte of that window was
@@ -199,7 +228,27 @@ impl StoreCodes {
         stats: &[SegmentStats],
         bits: u8,
     ) -> Result<Self> {
-        if bits == 0 || bits > 8 {
+        Self::build_mixed(table, specs, stats, &vec![bits; specs.len()])
+    }
+
+    /// [`StoreCodes::build`] with one bit width **per segment** — the
+    /// adaptive engine drops observably tight segments to 4 bits (their
+    /// sweeps dominate, their survivors are few) while loose segments keep
+    /// the full 8-bit grid. `segment_bits` must have one entry per spec,
+    /// each in `1..=8`.
+    pub fn build_mixed(
+        table: &DecomposedTable,
+        specs: &[SegmentSpec],
+        stats: &[SegmentStats],
+        segment_bits: &[u8],
+    ) -> Result<Self> {
+        if segment_bits.len() != specs.len() {
+            return Err(VdError::LengthMismatch {
+                expected: specs.len(),
+                actual: segment_bits.len(),
+            });
+        }
+        if let Some(&bits) = segment_bits.iter().find(|&&b| b == 0 || b > 8) {
             return Err(VdError::InvalidQuantization(format!(
                 "code bits must be in 1..=8, got {bits}"
             )));
@@ -210,7 +259,7 @@ impl StoreCodes {
         let rows = table.rows();
         let dims = table.dims();
         let mut params: Vec<Vec<CodeParams>> = Vec::with_capacity(specs.len());
-        for (spec, stat) in specs.iter().zip(stats) {
+        for ((spec, stat), &bits) in specs.iter().zip(stats).zip(segment_bits) {
             let mut per_dim = Vec::with_capacity(dims);
             for d in 0..dims {
                 let (min, max) = match &stat.per_dim.get(d).and_then(|s| s.as_ref()) {
@@ -255,20 +304,34 @@ impl StoreCodes {
             checksums.push(fnv1a(&codes));
             columns.push(CodeColumn::from_vec(codes));
         }
-        Ok(StoreCodes { bits, rows, specs: specs.to_vec(), params, columns, checksums })
+        Ok(StoreCodes {
+            segment_bits: segment_bits.to_vec(),
+            rows,
+            specs: specs.to_vec(),
+            params,
+            columns,
+            checksums,
+        })
     }
 
     /// Reassembles codes parsed from a persisted store. Validates shape
     /// consistency; checksum verification happens at parse time.
     pub(crate) fn from_parts(
-        bits: u8,
+        segment_bits: Vec<u8>,
         rows: usize,
         specs: Vec<SegmentSpec>,
         params: Vec<Vec<CodeParams>>,
         columns: Vec<CodeColumn>,
         checksums: Vec<u64>,
     ) -> Result<Self> {
-        if bits == 0 || bits > 8 {
+        if segment_bits.len() != specs.len() {
+            return Err(VdError::Corrupt(format!(
+                "code bit widths cover {} segments, store has {}",
+                segment_bits.len(),
+                specs.len()
+            )));
+        }
+        if let Some(&bits) = segment_bits.iter().find(|&&b| b == 0 || b > 8) {
             return Err(VdError::InvalidQuantization(format!(
                 "code bits must be in 1..=8, got {bits}"
             )));
@@ -295,12 +358,26 @@ impl StoreCodes {
                 )));
             }
         }
-        Ok(StoreCodes { bits, rows, specs, params, columns, checksums })
+        Ok(StoreCodes { segment_bits, rows, specs, params, columns, checksums })
     }
 
-    /// Bits per code.
+    /// The widest per-segment code width — for a uniform store this is
+    /// *the* bit width; mixed stores report their tightest grid's width
+    /// (use [`StoreCodes::segment_bits`] for the per-segment truth).
     pub fn bits(&self) -> u8 {
-        self.bits
+        self.segment_bits.iter().copied().max().unwrap_or(8)
+    }
+
+    /// Bits per code of every segment, in segment order.
+    pub fn segment_bits(&self) -> &[u8] {
+        &self.segment_bits
+    }
+
+    /// The single code width all segments share, when they do share one —
+    /// `None` for adaptively mixed stores.
+    pub fn uniform_bits(&self) -> Option<u8> {
+        let first = *self.segment_bits.first()?;
+        self.segment_bits.iter().all(|&b| b == first).then_some(first)
     }
 
     /// Number of rows.
@@ -385,15 +462,15 @@ impl<'a> SegmentCodesView<'a> {
         Ok(&all[self.start..self.start + self.len])
     }
 
-    /// Number of quantization levels.
+    /// Number of quantization levels of this segment's grids.
     #[inline]
     pub fn levels(&self) -> usize {
-        1usize << self.codes.bits
+        1usize << self.codes.segment_bits[self.segment]
     }
 
-    /// Bits per code.
+    /// Bits per code in this segment.
     pub fn bits(&self) -> u8 {
-        self.codes.bits
+        self.codes.segment_bits[self.segment]
     }
 
     /// Number of dimensions.
@@ -500,11 +577,42 @@ mod tests {
     }
 
     #[test]
+    fn mixed_builds_bracket_with_per_segment_widths() {
+        let (table, specs, stats) = sample_table();
+        let codes = StoreCodes::build_mixed(&table, &specs, &stats, &[4, 8, 4]).unwrap();
+        assert_eq!(codes.segment_bits(), &[4, 8, 4]);
+        assert_eq!(codes.bits(), 8, "widest grid");
+        assert_eq!(codes.uniform_bits(), None);
+        for (si, spec) in specs.iter().enumerate() {
+            let view = codes.segment_view(si).unwrap();
+            assert_eq!(view.bits(), [4, 8, 4][si]);
+            assert_eq!(view.levels(), 1usize << [4, 8, 4][si]);
+            for d in 0..3 {
+                let window = view.dim_codes(d).unwrap();
+                let exact = &table.column(d).unwrap().values()[spec.range()];
+                let grid = view.params(d);
+                assert_eq!(grid.bits, [4, 8, 4][si]);
+                for (&code, &v) in window.iter().zip(exact) {
+                    assert!((code as u32) < grid.levels());
+                    let (lo, hi) = grid.cell_bounds(code);
+                    assert!(lo <= v + 1e-12 && v <= hi + 1e-12);
+                }
+            }
+        }
+        // a uniform build is the same thing said twice
+        let uniform = StoreCodes::build(&table, &specs, &stats, 8).unwrap();
+        assert_eq!(uniform.uniform_bits(), Some(8));
+        assert_eq!(uniform.segment_bits(), &[8, 8, 8]);
+    }
+
+    #[test]
     fn build_rejects_bad_inputs() {
         let (table, specs, stats) = sample_table();
         assert!(StoreCodes::build(&table, &specs, &stats, 0).is_err());
         assert!(StoreCodes::build(&table, &specs, &stats, 9).is_err());
         assert!(StoreCodes::build(&table, &specs, &stats[..2], 8).is_err());
+        assert!(StoreCodes::build_mixed(&table, &specs, &stats, &[8, 8]).is_err());
+        assert!(StoreCodes::build_mixed(&table, &specs, &stats, &[8, 0, 8]).is_err());
         let bad = DecomposedTable::from_vectors("nan", &[vec![0.1], vec![f64::NAN]]).unwrap();
         let bad_specs = bad.partition_specs(1);
         let bad_stats: Vec<SegmentStats> =

@@ -329,7 +329,18 @@ fn store_footer(
     buf.put_u32_le(learned.len() as u32);
     buf.put_slice(learned);
     if let Some(codes) = codes {
-        buf.put_u8(codes.bits());
+        // One byte of uniform width keeps every pre-adaptive store
+        // byte-identical; the 0 sentinel (an invalid width) flags a mixed
+        // store and is followed by one width byte per segment.
+        match codes.uniform_bits() {
+            Some(bits) => buf.put_u8(bits),
+            None => {
+                buf.put_u8(0);
+                for &b in codes.segment_bits() {
+                    buf.put_u8(b);
+                }
+            }
+        }
         for si in 0..codes.n_segments() {
             let view = codes.segment_view(si).expect("segment in range");
             for d in 0..codes.dims() {
@@ -592,7 +603,7 @@ struct StoreLayout {
 /// grids plus the absolute file offset of each dimension's code bytes (the
 /// mapped backend views them zero-copy at exactly those offsets).
 struct CodesLayout {
-    bits: u8,
+    segment_bits: Vec<u8>,
     params: Vec<Vec<CodeParams>>,
     dim_offsets: Vec<usize>,
     checksums: Vec<u64>,
@@ -749,16 +760,34 @@ fn parse_layout(bytes: &[u8]) -> Result<StoreLayout> {
         None
     } else {
         let bits = read_u8(&mut footer, "code bits")?;
-        if bits == 0 || bits > 8 {
+        if bits > 8 {
             return Err(VdError::Corrupt(format!("code bits {bits} outside 1..=8")));
         }
+        // bits == 0 is the mixed-width sentinel: one width byte per segment
+        // follows. Any non-zero value is the uniform width of every segment
+        // (the only form pre-adaptive stores ever wrote).
+        let segment_bits: Vec<u8> = if bits == 0 {
+            let mut widths = Vec::with_capacity(specs.len());
+            for _ in 0..specs.len() {
+                let b = read_u8(&mut footer, "per-segment code bits")?;
+                if b == 0 || b > 8 {
+                    return Err(VdError::Corrupt(format!(
+                        "per-segment code bits {b} outside 1..=8"
+                    )));
+                }
+                widths.push(b);
+            }
+            widths
+        } else {
+            vec![bits; specs.len()]
+        };
         let mut params = Vec::with_capacity(specs.len());
-        for spec in &specs {
+        for (spec, &seg_bits) in specs.iter().zip(&segment_bits) {
             let mut per_dim = Vec::with_capacity(dims);
             for _ in 0..dims {
                 let min = read_f64(&mut footer, "code grid minimum")?;
                 let max = read_f64(&mut footer, "code grid maximum")?;
-                per_dim.push(CodeParams::new(min, max, bits).map_err(|e| {
+                per_dim.push(CodeParams::new(min, max, seg_bits).map_err(|e| {
                     VdError::Corrupt(format!("segment {:?} code grid: {e}", spec.range()))
                 })?);
             }
@@ -786,7 +815,7 @@ fn parse_layout(bytes: &[u8]) -> Result<StoreLayout> {
                 });
             }
         }
-        Some(CodesLayout { bits, params, dim_offsets, checksums: code_checksums })
+        Some(CodesLayout { segment_bits, params, dim_offsets, checksums: code_checksums })
     };
     if !footer.is_empty() {
         return Err(VdError::Corrupt(format!("{} trailing bytes in footer", footer.len())));
@@ -813,7 +842,7 @@ fn assemble_store(
 ) -> Result<PersistedStore> {
     let codes = match (layout.codes, code_columns) {
         (Some(c), Some(code_columns)) => Some(StoreCodes::from_parts(
-            c.bits,
+            c.segment_bits,
             layout.rows,
             layout.specs.clone(),
             c.params,
@@ -1387,6 +1416,56 @@ mod tests {
             store_to_bytes_with_codes(&t, &specs, &stats, None, Some(&mismatched)),
             Err(VdError::InvalidArgument(_))
         ));
+    }
+
+    #[test]
+    fn mixed_width_codes_round_trip_via_the_sentinel() {
+        let t = sample();
+        let specs = t.partition_specs(2);
+        let stats: Vec<SegmentStats> = specs.iter().map(|s| s.view(&t).unwrap().stats()).collect();
+        let mixed = StoreCodes::build_mixed(&t, &specs, &stats, &[4, 8]).unwrap();
+
+        let bytes = store_to_bytes_with_codes(&t, &specs, &stats, None, Some(&mixed)).unwrap();
+        let back = store_from_bytes(&bytes).unwrap();
+        let back = back.codes.as_ref().unwrap();
+        assert_eq!(back.segment_bits(), &[4, 8]);
+        assert_eq!(back.uniform_bits(), None);
+        for d in 0..t.dims() {
+            assert_eq!(back.dim_codes(d).unwrap(), mixed.dim_codes(d).unwrap());
+            for si in 0..specs.len() {
+                assert_eq!(
+                    back.segment_view(si).unwrap().params(d),
+                    mixed.segment_view(si).unwrap().params(d)
+                );
+            }
+        }
+
+        // a uniform store writes the pre-adaptive single-byte form: the
+        // bytes must not mention the sentinel at all (they are exactly one
+        // uniform-width byte shorter than the equivalent sentinel form)
+        let uniform = StoreCodes::build(&t, &specs, &stats, 8).unwrap();
+        let uniform_bytes =
+            store_to_bytes_with_codes(&t, &specs, &stats, None, Some(&uniform)).unwrap();
+        let sentinel_overhead = specs.len();
+        assert_eq!(uniform_bytes.len() + sentinel_overhead, bytes.len());
+        assert_eq!(
+            store_from_bytes(&uniform_bytes).unwrap().codes.unwrap().segment_bits(),
+            &[8, 8]
+        );
+
+        // both backends reopen the mixed widths from disk
+        let dir = std::env::temp_dir().join("vdstore_store_mixed_codes_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mixed.bondvd");
+        save_store_with_codes(&t, &specs, &stats, None, Some(&mixed), &path).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), bytes.to_vec());
+        let heap = open_store(&path, StorageBackend::Heap).unwrap();
+        assert_eq!(heap.codes.as_ref().unwrap().segment_bits(), &[4, 8]);
+        if StorageBackend::mapping_supported() {
+            let mapped = open_store(&path, StorageBackend::Mapped).unwrap();
+            assert_eq!(mapped.codes.as_ref().unwrap().segment_bits(), &[4, 8]);
+        }
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
